@@ -1,0 +1,57 @@
+# Convenience targets for the sigstream repository.
+
+GO ?= go
+
+.PHONY: all build test race vet cover bench bench-figures eval eval-paper \
+	fuzz examples clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Micro-benchmarks of every structure.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# One benchmark per paper figure (quick scale).
+bench-figures:
+	$(GO) test -bench=Fig -benchtime=1x -run=^$$ .
+
+# Regenerate the full evaluation (quick scale) into results/.
+eval:
+	$(GO) run ./cmd/sigbench -fig all -out results > results/quick_all.txt
+
+# Paper-scale evaluation (slow: 10M-item workloads).
+eval-paper:
+	$(GO) run ./cmd/sigbench -fig all -scale paper -out results-paper
+
+fuzz:
+	$(GO) test -fuzz=FuzzOps -fuzztime=30s ./internal/ltc/
+	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/ltc/
+	$(GO) test -fuzz=FuzzReadText -fuzztime=30s ./internal/traceio/
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/traceio/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ddos
+	$(GO) run ./examples/website
+	$(GO) run ./examples/congestion
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/trending
+
+clean:
+	rm -f cover.out

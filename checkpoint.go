@@ -1,0 +1,33 @@
+package sigstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCheckpoints reports an empty checkpoint list.
+var ErrNoCheckpoints = errors.New("sigstream: no checkpoints to merge")
+
+// MergeCheckpoints restores each binary checkpoint (as produced by
+// LTC.MarshalBinary) and folds them into a single tracker — the one-call
+// aggregation path for per-site summaries. All checkpoints must come from
+// trackers built with the same Config.
+func MergeCheckpoints(images ...[]byte) (*LTC, error) {
+	if len(images) == 0 {
+		return nil, ErrNoCheckpoints
+	}
+	root := New(Config{})
+	if err := root.UnmarshalBinary(images[0]); err != nil {
+		return nil, fmt.Errorf("checkpoint 0: %w", err)
+	}
+	for i, img := range images[1:] {
+		shard := New(Config{})
+		if err := shard.UnmarshalBinary(img); err != nil {
+			return nil, fmt.Errorf("checkpoint %d: %w", i+1, err)
+		}
+		if err := root.Merge(shard); err != nil {
+			return nil, fmt.Errorf("checkpoint %d: %w", i+1, err)
+		}
+	}
+	return root, nil
+}

@@ -1,0 +1,58 @@
+package sigstream
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMergeCheckpoints(t *testing.T) {
+	cfg := Config{MemoryBytes: 16 << 10, Seed: 3}
+	images := make([][]byte, 3)
+	for site := 0; site < 3; site++ {
+		tr := New(cfg)
+		for p := 0; p < 2; p++ {
+			for i := 0; i < 5; i++ {
+				tr.Insert(Item(site*100 + i + 1))
+			}
+			tr.EndPeriod()
+		}
+		img, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[site] = img
+	}
+	global, err := MergeCheckpoints(images...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 3; site++ {
+		e, ok := global.Query(Item(site*100 + 1))
+		if !ok || e.Frequency != 2 || e.Persistency != 2 {
+			t.Fatalf("site %d item missing or wrong: %+v ok=%v", site, e, ok)
+		}
+	}
+}
+
+func TestMergeCheckpointsErrors(t *testing.T) {
+	if _, err := MergeCheckpoints(); !errors.Is(err, ErrNoCheckpoints) {
+		t.Fatalf("want ErrNoCheckpoints, got %v", err)
+	}
+	if _, err := MergeCheckpoints([]byte("garbage")); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+	// Valid first + garbage second.
+	tr := New(Config{MemoryBytes: 4096})
+	tr.Insert(1)
+	img, _ := tr.MarshalBinary()
+	if _, err := MergeCheckpoints(img, []byte("garbage")); err == nil {
+		t.Fatal("garbage second checkpoint accepted")
+	}
+	// Incompatible configurations.
+	other := New(Config{MemoryBytes: 8192})
+	other.Insert(2)
+	img2, _ := other.MarshalBinary()
+	if _, err := MergeCheckpoints(img, img2); err == nil {
+		t.Fatal("incompatible checkpoints accepted")
+	}
+}

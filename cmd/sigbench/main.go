@@ -1,0 +1,188 @@
+// Command sigbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sigbench -list
+//	sigbench -fig 9                # one figure, quick scale
+//	sigbench -fig all -scale paper # the full evaluation at paper scale
+//	sigbench -fig 12 -csv          # machine-readable output
+//	sigbench -fig 9 -plot          # terminal bar charts
+//	sigbench -fig all -out results # one CSV file per figure
+//	sigbench -fig 9 -n 1000000     # override every stream size
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sigstream/internal/exp"
+	"sigstream/internal/plot"
+	"sigstream/internal/report"
+	"sigstream/internal/stream"
+	"sigstream/internal/traceio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sigbench:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sigbench", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "", "figure id, group (paper, ablation, extensions), or \"all\"")
+		scale  = fs.String("scale", "quick", "workload scale: quick or paper")
+		n      = fs.Int("n", 0, "override the arrival count of every workload")
+		seed   = fs.Int64("seed", 1, "generation seed")
+		seeds  = fs.Int("seeds", 1, "replicate each figure across this many seeds (mean ± std rows)")
+		csv    = fs.Bool("csv", false, "emit CSV instead of a table")
+		doPlot = fs.Bool("plot", false, "draw terminal bar charts")
+		mdRep  = fs.Bool("report", false, "emit a markdown evaluation report")
+		outDir = fs.String("out", "", "also write one CSV file per figure into this directory")
+		list   = fs.Bool("list", false, "list available figures")
+
+		trace = fs.String("trace", "", "evaluate on a trace file (text 'item period' lines or traceio binary) instead of a figure")
+		task  = fs.String("task", "significant", "trace task: frequent, persistent or significant")
+		k     = fs.Int("k", 100, "trace: top-k size")
+		mems  = fs.String("mem", "16,64", "trace: comma-separated memory budgets in KiB")
+		alpha = fs.Float64("alpha", 1, "trace: significance weight α")
+		beta  = fs.Float64("beta", 1, "trace: significance weight β")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *trace != "" {
+		r, err := evalTraceFile(*trace, *task, *k, *mems, *alpha, *beta)
+		if err != nil {
+			return err
+		}
+		emit(stdout, r, *csv, *doPlot)
+		return nil
+	}
+
+	if *list || *fig == "" {
+		fmt.Fprintln(stdout, "available figures:")
+		for _, e := range exp.Registry() {
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintln(stdout, "groups: all, paper, ablation, extensions")
+		if *fig == "" && !*list {
+			return fmt.Errorf("no -fig given")
+		}
+		return nil
+	}
+
+	sc := exp.QuickScale
+	switch *scale {
+	case "quick":
+	case "paper":
+		sc = exp.PaperScale
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or paper)", *scale)
+	}
+	sc.Seed = *seed
+	if *n > 0 {
+		sc.CAIDA, sc.Network, sc.Social, sc.Zipf = *n, *n, *n, *n
+	}
+
+	exps, ok := exp.Expand(*fig)
+	if !ok {
+		return fmt.Errorf("unknown figure or group %q (try -list)", *fig)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var results []exp.Result
+	for _, e := range exps {
+		var r exp.Result
+		if *seeds > 1 {
+			r = exp.RunSeeds(e, sc, *seeds)
+		} else {
+			r = e.Run(sc)
+		}
+		if *mdRep {
+			results = append(results, r)
+		} else {
+			emit(stdout, r, *csv, *doPlot)
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, "fig"+e.ID+".csv")
+			if err := os.WriteFile(path, []byte(exp.CSV(r)), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if *mdRep {
+		fmt.Fprint(stdout, report.Generate(results, *scale))
+	}
+	return nil
+}
+
+func emit(w io.Writer, r exp.Result, csv, doPlot bool) {
+	switch {
+	case csv:
+		fmt.Fprint(w, exp.CSV(r))
+	case doPlot:
+		fmt.Fprintln(w, plot.Render(r))
+	default:
+		fmt.Fprintln(w, exp.Render(r))
+	}
+}
+
+// evalTraceFile loads a trace (binary traceio or "item period" text) and
+// runs the bring-your-own-trace evaluation.
+func evalTraceFile(path, task string, k int, memsCSV string, alpha, beta float64) (exp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return exp.Result{}, err
+	}
+	defer f.Close()
+	in, err := traceio.MaybeGzip(f)
+	if err != nil {
+		return exp.Result{}, err
+	}
+	// Sniff the magic to pick the format.
+	br := bufio.NewReader(in)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return exp.Result{}, fmt.Errorf("read %s: %w", path, err)
+	}
+	var s *stream.Stream
+	if string(magic) == "SGTR" {
+		s, err = traceio.ReadBinary(br)
+	} else {
+		s, err = traceio.ReadText(br, 100_000)
+	}
+	if err != nil {
+		return exp.Result{}, err
+	}
+	s.Label = filepath.Base(path)
+
+	var memsBytes []int
+	for _, part := range strings.Split(memsCSV, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return exp.Result{}, fmt.Errorf("bad -mem entry %q", part)
+		}
+		memsBytes = append(memsBytes, v<<10)
+	}
+	return exp.EvalTrace(s, task, stream.Weights{Alpha: alpha, Beta: beta},
+		memsBytes, k)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/traceio"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"9", "12", "tput", "policy"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("figure %s missing from -list output", want)
+		}
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no -fig must error after printing the list")
+	}
+}
+
+func TestRunSingleFigureCSVAndOut(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-fig", "d", "-n", "30000", "-csv", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "figure,dataset,series,x,metric,value") {
+		t.Fatalf("CSV header missing:\n%s", out.String()[:80])
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figd.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "LTC") {
+		t.Fatal("per-figure CSV file missing content")
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "d", "-n", "30000", "-plot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "█") {
+		t.Fatal("plot output has no bars")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &out); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "9", "-scale", "galactic"}, &out); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunTraceTextAndBinary(t *testing.T) {
+	dir := t.TempDir()
+	s := gen.ZipfStream(20000, 2000, 10, 1.1, 1)
+
+	txt := filepath.Join(dir, "trace.txt")
+	f, err := os.Create(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.WriteText(f, s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	bin := filepath.Join(dir, "trace.bin")
+	f, err = os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.WriteBinary(f, s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, path := range []string{txt, bin} {
+		var out bytes.Buffer
+		err := run([]string{"-trace", path, "-task", "frequent", "-k", "50",
+			"-mem", "8"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.Contains(out.String(), "LTC") {
+			t.Fatalf("%s: LTC missing from trace evaluation", path)
+		}
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "/nonexistent/file"}, &out); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	os.WriteFile(path, []byte("1 0\n2 0\n"), 0o644)
+	if err := run([]string{"-trace", path, "-mem", "zero"}, &out); err == nil {
+		t.Fatal("bad -mem accepted")
+	}
+	if err := run([]string{"-trace", path, "-task", "bogus"}, &out); err == nil {
+		t.Fatal("bad -task accepted")
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "d", "-n", "30000", "-report"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# sigstream evaluation report", "## Figure d"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

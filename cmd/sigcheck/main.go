@@ -1,0 +1,117 @@
+// Command sigcheck runs the paper's Section III-D prescription: before
+// relying on Long-tail Replacement, check that the workload's item
+// frequencies are long-tailed. It reads a trace (text "item [period]"
+// lines or traceio binary; "-" or no argument = stdin), prints
+// distribution statistics, a Zipf-skew fit, a log-log frequency plot, and
+// a recommendation.
+//
+// Usage:
+//
+//	siggen -preset caida -n 1000000 | sigcheck
+//	sigcheck trace.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"sigstream/internal/dist"
+	"sigstream/internal/stream"
+	"sigstream/internal/traceio"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if len(os.Args) > 1 && os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+	s, err := readTrace(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigcheck:", err)
+		os.Exit(1)
+	}
+	r := dist.Analyze(s)
+	fmt.Printf("trace: %s\n%s", name, r)
+	fmt.Println("\nfrequency vs rank (log-log):")
+	fmt.Print(loglogPlot(r.Freqs))
+}
+
+func readTrace(in io.Reader) (*stream.Stream, error) {
+	unzipped, err := traceio.MaybeGzip(in)
+	if err != nil {
+		return nil, err
+	}
+	in = unzipped
+	// Buffer enough to sniff the binary magic.
+	head := make([]byte, 4)
+	n, err := io.ReadFull(in, head)
+	if err != nil && n == 0 {
+		return nil, fmt.Errorf("empty input")
+	}
+	rest := io.MultiReader(strings.NewReader(string(head[:n])), in)
+	if string(head[:n]) == "SGTR" {
+		return traceio.ReadBinary(rest)
+	}
+	return traceio.ReadText(rest, 100_000)
+}
+
+// loglogPlot draws the frequency ranking on log-log axes with ASCII dots.
+func loglogPlot(freqs []uint64) string {
+	if len(freqs) == 0 {
+		return "(no data)\n"
+	}
+	const width, height = 60, 16
+	maxF := float64(freqs[0])
+	maxR := float64(len(freqs))
+	if maxF < 2 {
+		maxF = 2
+	}
+	if maxR < 2 {
+		maxR = 2
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for rank, f := range freqs {
+		if f == 0 {
+			break
+		}
+		x := int(math.Log(float64(rank+1)) / math.Log(maxR+1) * float64(width-1))
+		y := int(math.Log(float64(f)) / math.Log(maxF) * float64(height-1))
+		row := height - 1 - y
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		grid[row][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.0f ┤%s\n", maxF, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%8s ┤%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%8d ┤%s\n", 1, string(grid[height-1]))
+	fmt.Fprintf(&b, "%8s  └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%8s   rank 1 … %d (log)\n", "", len(freqs))
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/traceio"
+)
+
+func TestReadTraceTextAndBinary(t *testing.T) {
+	s := gen.ZipfStream(5000, 500, 10, 1.0, 1)
+
+	var txt bytes.Buffer
+	if err := traceio.WriteText(&txt, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTrace(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("text: %d items, want %d", got.Len(), s.Len())
+	}
+
+	var bin bytes.Buffer
+	if err := traceio.WriteBinary(&bin, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err = readTrace(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("binary: %d items, want %d", got.Len(), s.Len())
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	if _, err := readTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadTraceShortText(t *testing.T) {
+	// Fewer than 4 bytes must still parse as text, not crash the sniffer.
+	s, err := readTrace(strings.NewReader("7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("got %d items, want 1", s.Len())
+	}
+}
+
+func TestLogLogPlotShape(t *testing.T) {
+	out := loglogPlot([]uint64{1000, 500, 100, 50, 10, 5, 2, 1})
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	if !strings.Contains(out, "rank 1") {
+		t.Fatal("axis label missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	if loglogPlot(nil) != "(no data)\n" {
+		t.Fatal("empty input not handled")
+	}
+	// Degenerate single-frequency input must not panic.
+	_ = loglogPlot([]uint64{1})
+}
+
+func TestReadTraceGzipped(t *testing.T) {
+	s := gen.ZipfStream(3000, 300, 5, 1.0, 2)
+	var plain bytes.Buffer
+	if err := traceio.WriteText(&plain, s); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	zw.Write(plain.Bytes())
+	zw.Close()
+	got, err := readTrace(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("gzipped trace: %d items, want %d", got.Len(), s.Len())
+	}
+}

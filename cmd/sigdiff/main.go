@@ -1,0 +1,45 @@
+// Command sigdiff compares two sigbench CSV runs and exits non-zero when
+// accuracy regressed — a CI gate for the evaluation:
+//
+//	go run ./cmd/sigbench -fig all -csv > old.csv     # on main
+//	go run ./cmd/sigbench -fig all -csv > new.csv     # on the branch
+//	sigdiff -tol 0.05 old.csv new.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigstream/internal/compare"
+)
+
+func main() {
+	var (
+		tol = flag.Float64("tol", 0.02, "absolute per-point tolerance")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sigdiff [-tol x] old.csv new.csv")
+		os.Exit(2)
+	}
+	runs := make([]compare.Run, 2)
+	for i, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigdiff:", err)
+			os.Exit(1)
+		}
+		runs[i], err = compare.ParseCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigdiff:", err)
+			os.Exit(1)
+		}
+	}
+	rep := compare.Diff(runs[0], runs[1], *tol)
+	fmt.Print(compare.Render(rep))
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}

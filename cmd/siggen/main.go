@@ -1,0 +1,62 @@
+// Command siggen generates the synthetic workloads used by the experiments
+// and writes them as text (one "item period" pair per line) or binary
+// (16-byte header + little-endian uint64 items; see internal/traceio).
+//
+// Usage:
+//
+//	siggen -preset caida -n 1000000 > caida.txt
+//	siggen -m 50000 -periods 100 -skew 1.1 -head 500 -window 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/stream"
+	"sigstream/internal/traceio"
+)
+
+func main() {
+	var (
+		preset  = flag.String("preset", "", "workload preset: caida, network, social (overrides shape flags)")
+		n       = flag.Int("n", 1_000_000, "number of arrivals")
+		m       = flag.Int("m", 100_000, "distinct items")
+		periods = flag.Int("periods", 100, "number of periods")
+		skew    = flag.Float64("skew", 1.0, "Zipf skew γ")
+		head    = flag.Int("head", 100, "persistent head size")
+		window  = flag.Float64("window", 0.3, "mean tail active-window fraction")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		binOut  = flag.Bool("bin", false, "binary output (traceio format: header + uint64 LE items)")
+	)
+	flag.Parse()
+
+	var s *stream.Stream
+	switch *preset {
+	case "caida":
+		s = gen.CAIDALike(*n, *seed)
+	case "network":
+		s = gen.NetworkLike(*n, *seed)
+	case "social":
+		s = gen.SocialLike(*n, *seed)
+	case "":
+		s = gen.Generate(gen.Config{N: *n, M: *m, Periods: *periods,
+			Skew: *skew, Head: *head, TailWindowFrac: *window, Seed: *seed,
+			Label: "custom"})
+	default:
+		fmt.Fprintf(os.Stderr, "siggen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	var err error
+	if *binOut {
+		err = traceio.WriteBinary(os.Stdout, s)
+	} else {
+		err = traceio.WriteText(os.Stdout, s)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siggen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command sigmerge folds LTC checkpoint files (written with
+// LTC.MarshalBinary, e.g. by per-site collectors) into a global summary and
+// prints its top-k significant items.
+//
+// Usage:
+//
+//	sigmerge -k 20 site1.ltc site2.ltc site3.ltc
+//	sigmerge -out global.ltc site*.ltc   # also write the merged checkpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigstream"
+)
+
+func main() {
+	var (
+		k   = flag.Int("k", 10, "number of items to report")
+		out = flag.String("out", "", "write the merged checkpoint to this file")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "sigmerge: no checkpoint files given")
+		os.Exit(2)
+	}
+
+	images := make([][]byte, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigmerge:", err)
+			os.Exit(1)
+		}
+		images = append(images, img)
+	}
+	global, err := sigstream.MergeCheckpoints(images...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigmerge:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		img, err := global.MarshalBinary()
+		if err == nil {
+			err = os.WriteFile(*out, img, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigmerge:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("merged %d checkpoints (%d cells occupied)\n",
+		len(images), global.Occupancy())
+	fmt.Printf("%-4s %-20s %12s %12s %14s\n", "#", "item", "frequency",
+		"persistency", "significance")
+	for i, e := range global.TopK(*k) {
+		fmt.Printf("%-4d %-20d %12d %12d %14.1f\n",
+			i+1, e.Item, e.Frequency, e.Persistency, e.Significance)
+	}
+}

@@ -1,0 +1,44 @@
+// Command sigserver serves a sigstream tracker over HTTP.
+//
+// Usage:
+//
+//	sigserver -addr :8080 -mem 1048576 -alpha 1 -beta 10
+//
+// Then:
+//
+//	printf 'alice\nbob\nalice\n' | curl -s --data-binary @- localhost:8080/v1/insert
+//	curl -s -X POST localhost:8080/v1/period
+//	curl -s 'localhost:8080/v1/top?k=5'
+//	curl -s 'localhost:8080/v1/query?key=alice'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"sigstream"
+	"sigstream/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		mem    = flag.Int("mem", 1<<20, "tracker memory budget in bytes")
+		alpha  = flag.Float64("alpha", 1, "frequency weight α")
+		beta   = flag.Float64("beta", 1, "persistency weight β")
+		shards = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		decay  = flag.Float64("decay", 0, "per-period decay factor λ ∈ (0,1); 0 = all-history")
+	)
+	flag.Parse()
+
+	h := server.New(server.Config{
+		MemoryBytes: *mem,
+		Weights:     sigstream.Weights{Alpha: *alpha, Beta: *beta},
+		Shards:      *shards,
+		DecayFactor: *decay,
+	})
+	log.Printf("sigserver listening on %s (mem=%dB α=%g β=%g)", *addr, *mem, *alpha, *beta)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

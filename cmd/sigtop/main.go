@@ -1,0 +1,93 @@
+// Command sigtop reads a stream of item keys from stdin (one per line,
+// optionally "key period") and reports the top-k significant items.
+//
+// Period boundaries are taken from the second column when present;
+// otherwise -period-items arrivals form one period.
+//
+// Usage:
+//
+//	siggen -preset caida -n 1000000 | sigtop -k 20
+//	tail -f access.log | awk '{print $1}' | sigtop -k 10 -alpha 1 -beta 5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sigstream"
+)
+
+func main() {
+	var (
+		k           = flag.Int("k", 10, "number of items to report")
+		memKB       = flag.Int("mem", 64, "memory budget in KiB")
+		alpha       = flag.Float64("alpha", 1, "frequency weight α")
+		beta        = flag.Float64("beta", 1, "persistency weight β")
+		periodItems = flag.Int("period-items", 100_000, "arrivals per period when no period column is present")
+	)
+	flag.Parse()
+
+	tr := sigstream.New(sigstream.Config{
+		MemoryBytes: *memKB << 10,
+		Weights:     sigstream.Weights{Alpha: *alpha, Beta: *beta},
+	})
+	keys := sigstream.NewKeyMap()
+
+	count, err := ingest(os.Stdin, tr, keys, *periodItems)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigtop:", err)
+		os.Exit(1)
+	}
+	report(os.Stdout, tr, keys, count, *k)
+}
+
+// ingest feeds "key [period]" lines into the tracker, ending periods at
+// column changes (or every periodItems arrivals without a column), plus a
+// final EndPeriod. It returns the number of arrivals.
+func ingest(r io.Reader, tr *sigstream.LTC, keys *sigstream.KeyMap, periodItems int) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	count := 0
+	lastPeriod := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if p, err := strconv.Atoi(fields[1]); err == nil {
+				if lastPeriod >= 0 && p != lastPeriod {
+					tr.EndPeriod()
+				}
+				lastPeriod = p
+			}
+		} else if periodItems > 0 && count > 0 && count%periodItems == 0 {
+			tr.EndPeriod()
+		}
+		tr.Insert(keys.Intern(fields[0]))
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return count, err
+	}
+	tr.EndPeriod()
+	return count, nil
+}
+
+// report prints the ranking table.
+func report(w io.Writer, tr *sigstream.LTC, keys *sigstream.KeyMap, count, k int) {
+	fmt.Fprintf(w, "%d arrivals, %d tracked cells, memory %d bytes\n",
+		count, tr.Occupancy(), tr.MemoryBytes())
+	fmt.Fprintf(w, "%-4s %-24s %12s %12s %14s\n", "#", "item", "frequency",
+		"persistency", "significance")
+	for i, e := range tr.TopK(k) {
+		fmt.Fprintf(w, "%-4d %-24s %12d %12d %14.1f\n",
+			i+1, keys.Name(e.Item), e.Frequency, e.Persistency, e.Significance)
+	}
+}

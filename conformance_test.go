@@ -1,0 +1,107 @@
+package sigstream
+
+import (
+	"sync"
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+// publicAdapter lets the internal conformance suite drive public trackers.
+type publicAdapter struct{ t Tracker }
+
+func (a publicAdapter) Insert(item stream.Item) { a.t.Insert(item) }
+func (a publicAdapter) EndPeriod()              { a.t.EndPeriod() }
+func (a publicAdapter) Query(item stream.Item) (stream.Entry, bool) {
+	e, ok := a.t.Query(item)
+	return stream.Entry{Item: e.Item, Frequency: e.Frequency,
+		Persistency: e.Persistency, Significance: e.Significance}, ok
+}
+func (a publicAdapter) TopK(k int) []stream.Entry {
+	es := a.t.TopK(k)
+	out := make([]stream.Entry, len(es))
+	for i, e := range es {
+		out[i] = stream.Entry{Item: e.Item, Frequency: e.Frequency,
+			Persistency: e.Persistency, Significance: e.Significance}
+	}
+	return out
+}
+func (a publicAdapter) MemoryBytes() int { return a.t.MemoryBytes() }
+func (a publicAdapter) Name() string     { return a.t.Name() }
+
+func TestPublicLTCContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return publicAdapter{New(Config{MemoryBytes: mem, Weights: Balanced,
+			ItemsPerPeriod: 300})}
+	}, trackertest.Options{})
+}
+
+func TestShardedContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return publicAdapter{NewSharded(Config{MemoryBytes: mem,
+			Weights: Balanced, ItemsPerPeriod: 300}, 4)}
+	}, trackertest.Options{})
+}
+
+// TestShardedSoak hammers a sharded tracker with concurrent writers and
+// readers for several million operations; run with -race in CI. Skipped in
+// -short mode.
+func TestShardedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	tr := NewSharded(Config{MemoryBytes: 256 << 10, Weights: Balanced}, 8)
+	const writers = 8
+	const perWriter = 250_000
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers poll TopK and Query while writers ingest.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.TopK(50)
+				tr.Query(42)
+			}
+		}()
+	}
+	for wID := 0; wID < writers; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			// 1000 distinct items over 16k cells: no bucket overflows, so
+			// the final frequency sum must be exact — any shortfall is a
+			// genuine lost update.
+			for i := 0; i < perWriter; i++ {
+				tr.Insert(Item(i%1000 + 1))
+			}
+		}(wID)
+	}
+	// A single coordinator drives periods, as OPERATIONS.md prescribes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			tr.EndPeriod()
+		}
+	}()
+	<-done
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var total uint64
+	for _, e := range tr.TopK(1 << 20) {
+		total += e.Frequency
+	}
+	if total != writers*perWriter {
+		t.Fatalf("frequency sum %d, want %d (lost updates)", total, writers*perWriter)
+	}
+}

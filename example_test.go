@@ -1,0 +1,141 @@
+package sigstream_test
+
+import (
+	"fmt"
+
+	"sigstream"
+)
+
+// The basic workflow: insert arrivals, mark period boundaries, query the
+// top-k significant items.
+func ExampleNew() {
+	tr := sigstream.New(sigstream.Config{
+		MemoryBytes: 64 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 100},
+	})
+	for period := 0; period < 3; period++ {
+		tr.Insert(42) // steady item: every period
+		if period == 0 {
+			for i := 0; i < 50; i++ {
+				tr.Insert(7) // burst: one period only
+			}
+		}
+		tr.EndPeriod()
+	}
+	for _, e := range tr.TopK(2) {
+		fmt.Printf("item %d: f=%d p=%d s=%.0f\n",
+			e.Item, e.Frequency, e.Persistency, e.Significance)
+	}
+	// Output:
+	// item 42: f=3 p=3 s=303
+	// item 7: f=50 p=1 s=150
+}
+
+// String keys are hashed to Items; a KeyMap remembers the reverse mapping.
+func ExampleKeyMap() {
+	tr := sigstream.New(sigstream.Config{MemoryBytes: 16 << 10})
+	keys := sigstream.NewKeyMap()
+	for _, user := range []string{"alice", "bob", "alice"} {
+		tr.Insert(keys.Intern(user))
+	}
+	tr.EndPeriod()
+	top := tr.TopK(1)
+	fmt.Println(keys.Name(top[0].Item), top[0].Frequency)
+	// Output:
+	// alice 2
+}
+
+// Time-defined periods: InsertAt derives period boundaries from
+// timestamps (here, 60-second periods).
+func ExampleLTC_InsertAt() {
+	tr := sigstream.New(sigstream.Config{
+		MemoryBytes:    16 << 10,
+		Weights:        sigstream.Persistent,
+		PeriodDuration: 60,
+	})
+	tr.InsertAt(5, 10)  // period 0
+	tr.InsertAt(5, 70)  // period 1
+	tr.InsertAt(5, 95)  // period 1 again: persistency unchanged
+	tr.InsertAt(9, 130) // period 2 (closes period 1)
+	e, _ := tr.Query(5)
+	fmt.Println(e.Persistency)
+	// Output:
+	// 2
+}
+
+// Per-site summaries merge into a global view via binary checkpoints.
+func ExampleLTC_Merge() {
+	cfg := sigstream.Config{MemoryBytes: 16 << 10, Seed: 1}
+	siteA, siteB := sigstream.New(cfg), sigstream.New(cfg)
+	for i := 0; i < 3; i++ {
+		siteA.Insert(1)
+		siteB.Insert(2)
+	}
+	siteA.EndPeriod()
+	siteB.EndPeriod()
+	if err := siteA.Merge(siteB); err != nil {
+		fmt.Println("merge failed:", err)
+		return
+	}
+	a, _ := siteA.Query(1)
+	b, _ := siteA.Query(2)
+	fmt.Println(a.Frequency, b.Frequency)
+	// Output:
+	// 3 3
+}
+
+// Sharded ingestion for concurrent producers.
+func ExampleNewSharded() {
+	tr := sigstream.NewSharded(sigstream.Config{MemoryBytes: 64 << 10}, 4)
+	for i := 0; i < 10; i++ {
+		tr.Insert(99)
+	}
+	tr.EndPeriod()
+	e, _ := tr.Query(99)
+	fmt.Println(e.Frequency)
+	// Output:
+	// 10
+}
+
+// Sliding-window queries: significance over the most recent W periods.
+func ExampleNewWindow() {
+	tr := sigstream.NewWindow(sigstream.Config{
+		MemoryBytes: 32 << 10,
+		Weights:     sigstream.Frequent,
+	}, 2, 2) // window of 2 periods in 2 blocks
+	for period := 0; period < 4; period++ {
+		if period == 0 {
+			for i := 0; i < 100; i++ {
+				tr.Insert(1) // old burst
+			}
+		}
+		tr.Insert(2) // steady item
+		tr.EndPeriod()
+	}
+	// The burst has rotated out of the window; only the steady item remains.
+	top := tr.TopK(1)
+	fmt.Println(top[0].Item)
+	// Output:
+	// 2
+}
+
+// Merging per-site checkpoints into a global summary in one call.
+func ExampleMergeCheckpoints() {
+	cfg := sigstream.Config{MemoryBytes: 16 << 10, Seed: 1}
+	var images [][]byte
+	for site := 0; site < 2; site++ {
+		tr := sigstream.New(cfg)
+		tr.Insert(sigstream.Item(site + 1))
+		tr.EndPeriod()
+		img, _ := tr.MarshalBinary()
+		images = append(images, img)
+	}
+	global, err := sigstream.MergeCheckpoints(images...)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(global.TopK(10)))
+	// Output:
+	// 2
+}

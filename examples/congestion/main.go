@@ -1,0 +1,121 @@
+// Network congestion mitigation (the paper's Use Case 3): when a link
+// congests, rerouting should target flows that will STAY large — frequent
+// AND persistent — because rerouting a burst wastes a forwarding-table
+// update on traffic that disappears next period.
+//
+// This example simulates a congested link, picks reroute candidates with a
+// frequency-only detector and with a significance detector, and scores each
+// choice by how much traffic the rerouted flows actually carry in the
+// FOLLOWING periods.
+//
+// Run:
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigstream"
+)
+
+const (
+	observePeriods = 10 // periods the detectors watch before rerouting
+	futurePeriods  = 10 // periods used to score the decision
+	rerouteBudget  = 20 // forwarding entries we are willing to change
+	elephants      = 15 // long-lived large flows
+	bursts         = 30 // short-lived large flows (one period each)
+)
+
+type flowTraffic map[uint64][]int // flow → packets per period
+
+// synthesize builds per-period traffic: persistent elephants, one-period
+// bursts, and background mice.
+func synthesize(rng *rand.Rand) flowTraffic {
+	total := observePeriods + futurePeriods
+	tr := flowTraffic{}
+	for f := 0; f < elephants; f++ {
+		id := uint64(f + 1)
+		tr[id] = make([]int, total)
+		for p := 0; p < total; p++ {
+			tr[id][p] = 800 + rng.Intn(400)
+		}
+	}
+	for b := 0; b < bursts; b++ {
+		id := uint64(b + 10_001)
+		tr[id] = make([]int, total)
+		// Each burst lives in exactly one observed period, heavier than an
+		// elephant while it lasts.
+		tr[id][rng.Intn(observePeriods)] = 3_000 + rng.Intn(2_000)
+	}
+	for m := 0; m < 5_000; m++ {
+		id := uint64(m + 100_001)
+		tr[id] = make([]int, total)
+		for p := 0; p < total; p++ {
+			tr[id][p] = rng.Intn(4)
+		}
+	}
+	return tr
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	traffic := synthesize(rng)
+
+	byFreq := sigstream.New(sigstream.Config{
+		MemoryBytes: 32 << 10, Weights: sigstream.Frequent, Seed: 1})
+	bySig := sigstream.New(sigstream.Config{
+		MemoryBytes: 32 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 1500}, Seed: 2})
+
+	// Observation phase: replay the first observePeriods into both.
+	for p := 0; p < observePeriods; p++ {
+		for id, per := range traffic {
+			for i := 0; i < per[p]; i++ {
+				byFreq.Insert(id)
+				bySig.Insert(id)
+			}
+		}
+		byFreq.EndPeriod()
+		bySig.EndPeriod()
+	}
+
+	// Decision: reroute the top flows under each policy.
+	futureBytes := func(id uint64) int {
+		total := 0
+		for p := observePeriods; p < observePeriods+futurePeriods; p++ {
+			total += traffic[id][p]
+		}
+		return total
+	}
+	score := func(name string, tr sigstream.Tracker) {
+		moved := 0
+		useful := 0
+		for _, e := range tr.TopK(rerouteBudget) {
+			fb := futureBytes(e.Item)
+			moved += fb
+			if fb > 0 {
+				useful++
+			}
+		}
+		fmt.Printf("%-24s %2d/%d rerouted flows still carry traffic; "+
+			"future packets moved off the hot link: %d\n",
+			name, useful, rerouteBudget, moved)
+	}
+
+	fmt.Printf("rerouting %d flows after %d observation periods:\n\n",
+		rerouteBudget, observePeriods)
+	score("frequency policy:", byFreq)
+	score("significance policy:", bySig)
+
+	fmt.Println("\nsignificance policy's picks (elephants are flows 1..15):")
+	for i, e := range bySig.TopK(10) {
+		kind := "burst/mouse"
+		if e.Item <= elephants {
+			kind = "elephant"
+		}
+		fmt.Printf("%2d. flow=%-7d f=%-6d p=%-3d %s\n",
+			i+1, e.Item, e.Frequency, e.Persistency, kind)
+	}
+}

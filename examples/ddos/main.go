@@ -1,0 +1,97 @@
+// DDoS detection (the paper's Use Case 1): attack sources are both
+// frequent AND persistent, while legitimate flash crowds are frequent but
+// short-lived. Ranking by significance separates them where a pure
+// frequency ranking cannot.
+//
+// Run:
+//
+//	go run ./examples/ddos
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigstream"
+)
+
+const (
+	periods      = 48 // 48 five-minute windows ≈ 4 hours of traffic
+	attackers    = 25 // bots: moderate rate, every period
+	flashSources = 25 // flash-crowd clients: huge rate, 2 periods
+	background   = 40_000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Two trackers over the same packet stream: one ranking by pure
+	// frequency (what a heavy-hitter detector sees) and one by
+	// significance with a strong persistency weight.
+	byFreq := sigstream.New(sigstream.Config{
+		MemoryBytes: 64 << 10, Weights: sigstream.Frequent, Seed: 1,
+	})
+	bySig := sigstream.New(sigstream.Config{
+		MemoryBytes: 64 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 400},
+		Seed:        2,
+	})
+
+	flashPeriod := periods / 2
+	for p := 0; p < periods; p++ {
+		n := background
+		for i := 0; i < n; i++ {
+			// Background: long-tail of ordinary clients.
+			src := uint64(rng.Intn(20_000) + 1_000_000)
+			byFreq.Insert(src)
+			bySig.Insert(src)
+		}
+		// Attackers: 60 packets per bot per period, all periods.
+		for bot := 0; bot < attackers; bot++ {
+			for i := 0; i < 60; i++ {
+				src := uint64(bot + 1)
+				byFreq.Insert(src)
+				bySig.Insert(src)
+			}
+		}
+		// Flash crowd: brief, very heavy (a popular livestream).
+		if p == flashPeriod || p == flashPeriod+1 {
+			for c := 0; c < flashSources; c++ {
+				for i := 0; i < 2_000; i++ {
+					src := uint64(c + 500_001)
+					byFreq.Insert(src)
+					bySig.Insert(src)
+				}
+			}
+		}
+		byFreq.EndPeriod()
+		bySig.EndPeriod()
+	}
+
+	isAttacker := func(it uint64) bool { return it >= 1 && it <= attackers }
+	score := func(name string, tr sigstream.Tracker) {
+		top := tr.TopK(attackers)
+		hits := 0
+		for _, e := range top {
+			if isAttacker(e.Item) {
+				hits++
+			}
+		}
+		fmt.Printf("%-22s caught %2d/%d attackers in its top-%d\n",
+			name, hits, attackers, attackers)
+	}
+
+	fmt.Println("Who sits in the top-25 suspicious sources?")
+	score("frequency ranking:", byFreq)
+	score("significance ranking:", bySig)
+
+	fmt.Println("\nsignificance top-10 (bots are items 1..25, flash crowd 500001..):")
+	for i, e := range bySig.TopK(10) {
+		tag := "flash/benign"
+		if isAttacker(e.Item) {
+			tag = "ATTACKER"
+		}
+		fmt.Printf("%2d. src=%-8d f=%-6d p=%-3d s=%-9.0f %s\n",
+			i+1, e.Item, e.Frequency, e.Persistency, e.Significance, tag)
+	}
+}

@@ -1,0 +1,102 @@
+// Distributed aggregation: the paper's Use Case 3 closes with "if
+// persistent flows all over the data center can be efficiently identified,
+// we can make a global solution". This example runs one LTC per simulated
+// switch, ships each tracker's binary checkpoint to an aggregator (here:
+// a byte slice standing in for the network), merges them, and reports the
+// data-center-wide significant flows.
+//
+// Flows are hash-partitioned across switches (as an L3 fabric would), so
+// each flow's state lives on exactly one switch and the merge is exact up
+// to LTC's own approximation.
+//
+// Run:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sigstream"
+)
+
+const (
+	switches = 8
+	periods  = 12
+	flows    = 4000
+	elephant = 40 // persistent heavy flows
+)
+
+func main() {
+	// Every switch runs the same configuration — a requirement for Merge.
+	cfg := sigstream.Config{
+		MemoryBytes: 16 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 500},
+		Seed:        7,
+	}
+	site := make([]*sigstream.LTC, switches)
+	for i := range site {
+		site[i] = sigstream.New(cfg)
+	}
+
+	// Traffic: elephants (flows 1..elephant) send every period through
+	// their home switch; the rest are mice and bursts.
+	rng := rand.New(rand.NewSource(3))
+	home := func(flow uint64) int { return int(flow % switches) }
+	for p := 0; p < periods; p++ {
+		for f := uint64(1); f <= elephant; f++ {
+			for i := 0; i < 200+rng.Intn(100); i++ {
+				site[home(f)].Insert(f)
+			}
+		}
+		for i := 0; i < 30000; i++ {
+			f := uint64(rng.Intn(flows) + 1000)
+			site[home(f)].Insert(f)
+		}
+		for _, s := range site {
+			s.EndPeriod()
+		}
+	}
+
+	// Each switch exports a checkpoint; the aggregator restores and merges.
+	checkpoints := make([][]byte, switches)
+	for i, s := range site {
+		img, err := s.MarshalBinary()
+		if err != nil {
+			log.Fatalf("switch %d export: %v", i, err)
+		}
+		checkpoints[i] = img
+		fmt.Printf("switch %d exported %5d bytes (%d cells occupied)\n",
+			i, len(img), s.Occupancy())
+	}
+
+	global := sigstream.New(cfg)
+	if err := global.UnmarshalBinary(checkpoints[0]); err != nil {
+		log.Fatal(err)
+	}
+	for _, img := range checkpoints[1:] {
+		shard := sigstream.New(cfg)
+		if err := shard.UnmarshalBinary(img); err != nil {
+			log.Fatal(err)
+		}
+		if err := global.Merge(shard); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("\ndata-center-wide significant flows (top 10 of %d switches):\n", switches)
+	fmt.Printf("%-4s %-8s %10s %12s %7s\n", "#", "flow", "packets", "periods", "kind")
+	hit := 0
+	for i, e := range global.TopK(10) {
+		kind := "other"
+		if e.Item <= elephant {
+			kind = "elephant"
+			hit++
+		}
+		fmt.Printf("%-4d %-8d %10d %12d %7s\n", i+1, e.Item, e.Frequency,
+			e.Persistency, kind)
+	}
+	fmt.Printf("\n%d/10 of the global top-10 are true persistent elephants\n", hit)
+}

@@ -1,0 +1,61 @@
+// Quickstart: track top-k significant items in a synthetic stream with the
+// public sigstream API.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigstream"
+)
+
+func main() {
+	// One tracker, 64 KiB of memory, significance = 1·frequency +
+	// 50·persistency: an item appearing in every period is worth as much
+	// as one appearing 50 extra times.
+	tr := sigstream.New(sigstream.Config{
+		MemoryBytes: 64 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 50},
+	})
+
+	rng := rand.New(rand.NewSource(1))
+	const periods = 24 // e.g. one day in hourly periods
+
+	for p := 0; p < periods; p++ {
+		// Background noise: 20k arrivals spread over 5k random items.
+		for i := 0; i < 20_000; i++ {
+			tr.Insert(uint64(rng.Intn(5000) + 1000))
+		}
+		// Item 1: steady presence, 30 arrivals every period.
+		for i := 0; i < 30; i++ {
+			tr.Insert(1)
+		}
+		// Item 2: one enormous burst in period 3 only.
+		if p == 3 {
+			for i := 0; i < 3000; i++ {
+				tr.Insert(2)
+			}
+		}
+		tr.EndPeriod() // period boundary — hourly tick
+	}
+
+	fmt.Println("top-5 significant items (α=1, β=50):")
+	fmt.Printf("%-4s %-8s %10s %12s %14s\n", "#", "item", "frequency",
+		"persistency", "significance")
+	for i, e := range tr.TopK(5) {
+		fmt.Printf("%-4d %-8d %10d %12d %14.0f\n",
+			i+1, e.Item, e.Frequency, e.Persistency, e.Significance)
+	}
+
+	// Point queries work too.
+	if e, ok := tr.Query(1); ok {
+		fmt.Printf("\nitem 1: seen %d times across %d of %d periods\n",
+			e.Frequency, e.Persistency, periods)
+	}
+	fmt.Printf("structure: %d buckets × %d cells, %d bytes\n",
+		tr.Buckets(), tr.BucketWidth(), tr.MemoryBytes())
+}

@@ -1,0 +1,101 @@
+// Trending topics: "significant LATELY" instead of all-history. Two
+// recency mechanisms ship with the library —
+//
+//   - a jumping window (sigstream.NewWindow): hard cutoff, last W periods;
+//   - exponential decay (Config.DecayFactor): soft aging, smooth half-life.
+//
+// This example streams hashtag mentions through three trackers (all-time,
+// windowed, decayed) across a day where the news cycle turns over, and
+// shows how each ranking responds.
+//
+// Run:
+//
+//	go run ./examples/trending
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sigstream"
+)
+
+const hours = 24
+
+// mentionRate returns tag → mentions for a given hour.
+func mentionRate(hour int) map[string]int {
+	rates := map[string]int{
+		"#weather": 40, // evergreen background chatter
+		"#traffic": 30,
+	}
+	switch {
+	case hour < 10: // morning story dominates early
+		rates["#morning-scandal"] = 500
+	case hour < 14: // dead news hours
+		rates["#morning-scandal"] = 40
+	default: // evening breaking news takes over
+		rates["#breaking-now"] = 450
+		rates["#morning-scandal"] = 10
+	}
+	return rates
+}
+
+func main() {
+	keys := sigstream.NewKeyMap()
+	weights := sigstream.Weights{Alpha: 1, Beta: 50}
+
+	allTime := sigstream.New(sigstream.Config{
+		MemoryBytes: 32 << 10, Weights: weights})
+	windowed := sigstream.NewWindow(sigstream.Config{
+		MemoryBytes: 32 << 10, Weights: weights}, 6, 3) // last 6 hours
+	decayed := sigstream.New(sigstream.Config{
+		MemoryBytes: 32 << 10, Weights: weights,
+		DecayFactor: 0.7}) // half-life ≈ 2 hours
+
+	rng := rand.New(rand.NewSource(1))
+	trackers := []sigstream.Tracker{allTime, windowed, decayed}
+	for hour := 0; hour < hours; hour++ {
+		for tag, rate := range mentionRate(hour) {
+			item := keys.Intern(tag)
+			for i := 0; i < rate; i++ {
+				for _, tr := range trackers {
+					tr.Insert(item)
+				}
+			}
+		}
+		// Long tail of one-off tags.
+		for i := 0; i < 2000; i++ {
+			item := keys.Intern(fmt.Sprintf("#misc-%05d", rng.Intn(20000)))
+			for _, tr := range trackers {
+				tr.Insert(item)
+			}
+		}
+		for _, tr := range trackers {
+			tr.EndPeriod() // hourly tick
+		}
+	}
+
+	show := func(name string, tr sigstream.Tracker) {
+		var tags []string
+		for _, e := range tr.TopK(3) {
+			tags = append(tags, keys.Name(e.Item))
+		}
+		fmt.Printf("%-22s %s\n", name+":", strings.Join(tags, "  "))
+	}
+	fmt.Printf("rankings at hour %d (evening — #breaking-now is the story):\n\n", hours)
+	show("all-time", allTime)
+	show("window (last 6h)", windowed)
+	show("decay (t½≈2h)", decayed)
+
+	fmt.Println("\nwhere did the morning story go?")
+	for name, tr := range map[string]sigstream.Tracker{
+		"all-time": allTime, "windowed": windowed, "decayed": decayed,
+	} {
+		if e, ok := tr.Query(keys.Intern("#morning-scandal")); ok {
+			fmt.Printf("  %-9s still credits it %.0f significance\n", name, e.Significance)
+		} else {
+			fmt.Printf("  %-9s forgot it entirely\n", name)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Website popularity ranking (the paper's Use Case 2): rank sites by a
+// popularity blending how often users visit (frequency) and whether the
+// site is popular all the time (persistency). String keys are interned
+// through sigstream.KeyMap.
+//
+// Run:
+//
+//	go run ./examples/website
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigstream"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	tr := sigstream.New(sigstream.Config{
+		MemoryBytes: 32 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 200},
+	})
+	keys := sigstream.NewKeyMap()
+
+	// Simulated visit log over 30 daily periods.
+	evergreen := []string{"search.example", "mail.example", "news.example",
+		"wiki.example", "video.example"}
+	const days = 30
+	for day := 0; day < days; day++ {
+		// Evergreen sites: steady daily traffic.
+		for i, site := range evergreen {
+			visits := 300 - 40*i
+			for v := 0; v < visits; v++ {
+				tr.Insert(keys.Intern(site))
+			}
+		}
+		// A viral page: enormous traffic for three days, then gone.
+		if day >= 10 && day < 13 {
+			for v := 0; v < 15_000; v++ {
+				tr.Insert(keys.Intern("viral-meme.example"))
+			}
+		}
+		// Long tail of small sites with a few visits each.
+		for v := 0; v < 5_000; v++ {
+			site := fmt.Sprintf("blog-%04d.example", rng.Intn(2000))
+			tr.Insert(keys.Intern(site))
+		}
+		tr.EndPeriod() // midnight
+	}
+
+	fmt.Printf("site ranking after %d days (α=1, β=200):\n", days)
+	fmt.Printf("%-4s %-22s %9s %6s %12s\n", "#", "site", "visits", "days", "popularity")
+	for i, e := range tr.TopK(8) {
+		fmt.Printf("%-4d %-22s %9d %6d %12.0f\n", i+1, keys.Name(e.Item),
+			e.Frequency, e.Persistency, e.Significance)
+	}
+
+	// The viral page had more raw visits than several evergreen sites —
+	// show where each ranking style places it.
+	viral, _ := tr.Query(sigstream.HashKey("viral-meme.example"))
+	top, _ := tr.Query(sigstream.HashKey("search.example"))
+	fmt.Printf("\nviral-meme.example: %d visits in %d days → popularity %.0f\n",
+		viral.Frequency, viral.Persistency, viral.Significance)
+	fmt.Printf("search.example:     %d visits in %d days → popularity %.0f\n",
+		top.Frequency, top.Persistency, top.Significance)
+}

@@ -1,0 +1,3 @@
+module sigstream
+
+go 1.22

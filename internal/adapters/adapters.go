@@ -1,0 +1,217 @@
+// Package adapters assembles the paper's composite baselines: sketch-based
+// trackers for top-k persistent items (sketch + per-period Bloom filter +
+// min-heap, Section II-B) and for top-k significant items (a frequency
+// sketch and a persistency structure sharing the memory evenly, Section
+// V-C/V-H).
+package adapters
+
+import (
+	"sigstream/internal/bloom"
+	"sigstream/internal/cmsketch"
+	"sigstream/internal/countsketch"
+	"sigstream/internal/stream"
+	"sigstream/internal/topk"
+)
+
+// FreqSketch is the estimator contract shared by CM, CU and Count sketches.
+type FreqSketch interface {
+	Add(item stream.Item, delta uint64)
+	Estimate(item stream.Item) uint64
+	MemoryBytes() int
+}
+
+// Factory constructs a sketch from a memory budget.
+type Factory struct {
+	Label string
+	New   func(memoryBytes int) FreqSketch
+}
+
+// CMFactory builds Count-Min sketches.
+func CMFactory() Factory {
+	return Factory{Label: "CM", New: func(m int) FreqSketch {
+		return cmsketch.New(cmsketch.CM, m, cmsketch.DefaultRows)
+	}}
+}
+
+// CUFactory builds CU (conservative update) sketches.
+func CUFactory() Factory {
+	return Factory{Label: "CU", New: func(m int) FreqSketch {
+		return cmsketch.New(cmsketch.CU, m, cmsketch.DefaultRows)
+	}}
+}
+
+// CountFactory builds Count sketches.
+func CountFactory() Factory {
+	return Factory{Label: "Count", New: func(m int) FreqSketch {
+		return countsketch.New(m, countsketch.DefaultRows)
+	}}
+}
+
+// Persistent is the paper's sketch-based top-k persistent-items baseline:
+// half the memory holds a standard Bloom filter recording which items have
+// appeared in the current period; the other half holds the sketch (counting
+// periods, not arrivals) and the top-k min-heap. The Bloom filter is reset
+// at every period boundary.
+type Persistent struct {
+	label  string
+	beta   float64
+	bf     *bloom.Filter
+	sketch FreqSketch
+	heap   *topk.Heap
+}
+
+// NewPersistent builds the baseline from a total memory budget.
+func NewPersistent(f Factory, memoryBytes, k int, beta float64) *Persistent {
+	half := memoryBytes / 2
+	heapBytes := k * topk.EntryBytes
+	sketchBytes := memoryBytes - half - heapBytes
+	if sketchBytes < 16 {
+		sketchBytes = 16
+	}
+	return &Persistent{
+		label:  f.Label + "+BF",
+		beta:   beta,
+		bf:     bloom.New(half, 3),
+		sketch: f.New(sketchBytes),
+		heap:   topk.New(k),
+	}
+}
+
+// Insert records one arrival; persistency advances only on the first
+// arrival of the item within the current period.
+func (p *Persistent) Insert(item stream.Item) {
+	if p.bf.AddIfAbsent(item) {
+		p.sketch.Add(item, 1)
+		est := p.beta * float64(p.sketch.Estimate(item))
+		p.heap.Offer(item, est)
+	}
+}
+
+// EndPeriod resets the per-period Bloom filter.
+func (p *Persistent) EndPeriod() { p.bf.Reset() }
+
+// Query reports the heap value if tracked, else the sketch estimate.
+func (p *Persistent) Query(item stream.Item) (stream.Entry, bool) {
+	if v, ok := p.heap.Value(item); ok {
+		return stream.Entry{Item: item, Persistency: uint64(v / nonzero(p.beta)),
+			Significance: v}, true
+	}
+	est := p.sketch.Estimate(item)
+	if est == 0 {
+		return stream.Entry{}, false
+	}
+	return stream.Entry{Item: item, Persistency: est,
+		Significance: p.beta * float64(est)}, true
+}
+
+// TopK reports the heap's best k items.
+func (p *Persistent) TopK(k int) []stream.Entry {
+	es := p.heap.TopK(k)
+	for i := range es {
+		es[i].Persistency = uint64(es[i].Significance / nonzero(p.beta))
+	}
+	return es
+}
+
+// MemoryBytes reports the assembled footprint.
+func (p *Persistent) MemoryBytes() int {
+	return p.bf.MemoryBytes() + p.sketch.MemoryBytes() + p.heap.MemoryBytes()
+}
+
+// Name identifies the combination (e.g. "CU+BF").
+func (p *Persistent) Name() string { return p.label }
+
+// Significant is the paper's Section V-H baseline for top-k significant
+// items: a frequency sketch and a persistency structure (Bloom filter +
+// period sketch) splitting the memory evenly, with one min-heap ranking
+// items by estimated significance α·f̂ + β·p̂.
+type Significant struct {
+	label   string
+	weights stream.Weights
+	fsk     FreqSketch
+	psk     FreqSketch
+	bf      *bloom.Filter
+	heap    *topk.Heap
+}
+
+// NewSignificant builds the baseline from a total memory budget.
+func NewSignificant(f Factory, memoryBytes, k int, w stream.Weights) *Significant {
+	half := memoryBytes / 2
+	heapBytes := k * topk.EntryBytes
+	freqBytes := half - heapBytes
+	if freqBytes < 16 {
+		freqBytes = 16
+	}
+	quarter := (memoryBytes - half) / 2
+	if quarter < 16 {
+		quarter = 16
+	}
+	return &Significant{
+		label:   f.Label + "-sig",
+		weights: w,
+		fsk:     f.New(freqBytes),
+		psk:     f.New(quarter),
+		bf:      bloom.New(quarter, 3),
+		heap:    topk.New(k),
+	}
+}
+
+// Insert records one arrival in the frequency sketch, advances the
+// persistency sketch on first appearance in the period, and refreshes the
+// significance heap.
+func (s *Significant) Insert(item stream.Item) {
+	s.fsk.Add(item, 1)
+	if s.bf.AddIfAbsent(item) {
+		s.psk.Add(item, 1)
+	}
+	s.heap.Offer(item, s.significance(item))
+}
+
+// EndPeriod resets the per-period Bloom filter.
+func (s *Significant) EndPeriod() { s.bf.Reset() }
+
+func (s *Significant) significance(item stream.Item) float64 {
+	return s.weights.Significance(s.fsk.Estimate(item), s.psk.Estimate(item))
+}
+
+// Query reports sketch-derived estimates for item.
+func (s *Significant) Query(item stream.Item) (stream.Entry, bool) {
+	f := s.fsk.Estimate(item)
+	p := s.psk.Estimate(item)
+	if f == 0 && p == 0 {
+		return stream.Entry{}, false
+	}
+	return stream.Entry{Item: item, Frequency: f, Persistency: p,
+		Significance: s.weights.Significance(f, p)}, true
+}
+
+// TopK reports the heap's best k items with sketch-derived components.
+func (s *Significant) TopK(k int) []stream.Entry {
+	es := s.heap.TopK(k)
+	for i := range es {
+		es[i].Frequency = s.fsk.Estimate(es[i].Item)
+		es[i].Persistency = s.psk.Estimate(es[i].Item)
+	}
+	return es
+}
+
+// MemoryBytes reports the assembled footprint.
+func (s *Significant) MemoryBytes() int {
+	return s.fsk.MemoryBytes() + s.psk.MemoryBytes() + s.bf.MemoryBytes() +
+		s.heap.MemoryBytes()
+}
+
+// Name identifies the combination (e.g. "CU-sig").
+func (s *Significant) Name() string { return s.label }
+
+func nonzero(a float64) float64 {
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+var (
+	_ stream.Tracker = (*Persistent)(nil)
+	_ stream.Tracker = (*Significant)(nil)
+)

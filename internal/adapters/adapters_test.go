@@ -1,0 +1,191 @@
+package adapters
+
+import (
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestPersistentCountsPeriodsNotArrivals(t *testing.T) {
+	p := NewPersistent(CUFactory(), 64*1024, 10, 1)
+	// 100 arrivals in each of 4 periods → persistency 4, not 400.
+	for per := 0; per < 4; per++ {
+		for i := 0; i < 100; i++ {
+			p.Insert(7)
+		}
+		p.EndPeriod()
+	}
+	e, ok := p.Query(7)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Persistency != 4 {
+		t.Fatalf("persistency = %d, want 4", e.Persistency)
+	}
+}
+
+func TestPersistentSkippedPeriods(t *testing.T) {
+	p := NewPersistent(CMFactory(), 64*1024, 10, 1)
+	for per := 0; per < 6; per++ {
+		if per%2 == 0 {
+			p.Insert(7)
+		}
+		p.Insert(stream.Item(100 + per))
+		p.EndPeriod()
+	}
+	e, _ := p.Query(7)
+	if e.Persistency != 3 {
+		t.Fatalf("persistency = %d, want 3", e.Persistency)
+	}
+}
+
+func TestPersistentTopKOnWorkload(t *testing.T) {
+	s := gen.Generate(gen.Config{N: 40000, M: 2000, Periods: 40, Skew: 0.9,
+		Head: 50, TailWindowFrac: 0.15, Seed: 8})
+	o := oracle.FromStream(s, stream.Persistent)
+	for _, f := range []Factory{CMFactory(), CUFactory(), CountFactory()} {
+		p := NewPersistent(f, 64*1024, 100, 1)
+		s.Replay(p)
+		r := metrics.Evaluate(o, p, 50)
+		if r.Precision < 0.4 {
+			t.Fatalf("%s precision %.2f implausibly low with ample memory",
+				p.Name(), r.Precision)
+		}
+	}
+}
+
+func TestPersistentNames(t *testing.T) {
+	if got := NewPersistent(CMFactory(), 1024, 4, 1).Name(); got != "CM+BF" {
+		t.Fatalf("name = %q, want CM+BF", got)
+	}
+	if got := NewPersistent(CountFactory(), 1024, 4, 1).Name(); got != "Count+BF" {
+		t.Fatalf("name = %q, want Count+BF", got)
+	}
+}
+
+func TestPersistentQueryMissing(t *testing.T) {
+	p := NewPersistent(CMFactory(), 8*1024, 4, 1)
+	if _, ok := p.Query(999); ok {
+		t.Fatal("missing item reported present")
+	}
+}
+
+func TestSignificantTracksBothComponents(t *testing.T) {
+	s := NewSignificant(CUFactory(), 128*1024, 10, stream.Balanced)
+	for per := 0; per < 3; per++ {
+		for i := 0; i < 5; i++ {
+			s.Insert(7)
+		}
+		s.EndPeriod()
+	}
+	e, ok := s.Query(7)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Frequency != 15 {
+		t.Fatalf("frequency = %d, want 15", e.Frequency)
+	}
+	if e.Persistency != 3 {
+		t.Fatalf("persistency = %d, want 3", e.Persistency)
+	}
+	if want := stream.Balanced.Significance(15, 3); e.Significance != want {
+		t.Fatalf("significance = %v, want %v", e.Significance, want)
+	}
+}
+
+func TestSignificantWeightsChangeRanking(t *testing.T) {
+	// Item A: frequency 100, 1 period. Item B: frequency 10, 10 periods.
+	build := func(w stream.Weights) *Significant {
+		s := NewSignificant(CUFactory(), 256*1024, 4, w)
+		for per := 0; per < 10; per++ {
+			if per == 0 {
+				for i := 0; i < 100; i++ {
+					s.Insert(1)
+				}
+			}
+			s.Insert(2)
+			s.EndPeriod()
+		}
+		return s
+	}
+	freqHeavy := build(stream.Weights{Alpha: 10, Beta: 1})
+	if top := freqHeavy.TopK(1); top[0].Item != 1 {
+		t.Fatalf("α≫β should rank the burst first, got item %d", top[0].Item)
+	}
+	persHeavy := build(stream.Weights{Alpha: 0, Beta: 1})
+	if top := persHeavy.TopK(1); top[0].Item != 2 {
+		t.Fatalf("β-only should rank the persistent item first, got item %d", top[0].Item)
+	}
+}
+
+func TestSignificantTopKOnWorkload(t *testing.T) {
+	s := gen.Generate(gen.Config{N: 40000, M: 2000, Periods: 40, Skew: 1.0,
+		Head: 50, TailWindowFrac: 0.2, Seed: 12})
+	o := oracle.FromStream(s, stream.Balanced)
+	sig := NewSignificant(CUFactory(), 128*1024, 100, stream.Balanced)
+	s.Replay(sig)
+	r := metrics.Evaluate(o, sig, 50)
+	if r.Precision < 0.4 {
+		t.Fatalf("CU-sig precision %.2f implausibly low with ample memory", r.Precision)
+	}
+}
+
+func TestSignificantName(t *testing.T) {
+	if got := NewSignificant(CMFactory(), 1024, 4, stream.Balanced).Name(); got != "CM-sig" {
+		t.Fatalf("name = %q, want CM-sig", got)
+	}
+}
+
+func TestSignificantQueryMissing(t *testing.T) {
+	s := NewSignificant(CMFactory(), 8*1024, 4, stream.Balanced)
+	if _, ok := s.Query(31337); ok {
+		t.Fatal("missing item reported present")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	p := NewPersistent(CMFactory(), 64*1024, 100, 1)
+	if p.MemoryBytes() <= 0 || p.MemoryBytes() > 80*1024 {
+		t.Fatalf("persistent memory %d far from budget", p.MemoryBytes())
+	}
+	s := NewSignificant(CMFactory(), 64*1024, 100, stream.Balanced)
+	if s.MemoryBytes() <= 0 || s.MemoryBytes() > 80*1024 {
+		t.Fatalf("significant memory %d far from budget", s.MemoryBytes())
+	}
+}
+
+func TestTinyBudgetsDoNotPanic(t *testing.T) {
+	p := NewPersistent(CMFactory(), 8, 100, 1)
+	s := NewSignificant(CUFactory(), 8, 100, stream.Balanced)
+	for i := 0; i < 100; i++ {
+		p.Insert(stream.Item(i))
+		s.Insert(stream.Item(i))
+	}
+	p.EndPeriod()
+	s.EndPeriod()
+}
+
+func BenchmarkPersistentInsert(b *testing.B) {
+	p := NewPersistent(CUFactory(), 64*1024, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(stream.Item(i % 10000))
+		if i%10000 == 9999 {
+			p.EndPeriod()
+		}
+	}
+}
+
+func BenchmarkSignificantInsert(b *testing.B) {
+	s := NewSignificant(CUFactory(), 64*1024, 100, stream.Balanced)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(stream.Item(i % 10000))
+		if i%10000 == 9999 {
+			s.EndPeriod()
+		}
+	}
+}

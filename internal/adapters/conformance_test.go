@@ -1,0 +1,20 @@
+package adapters
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContractPersistent(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return NewPersistent(CUFactory(), mem, 50, 1)
+	}, trackertest.Options{PersistencyOnly: true})
+}
+
+func TestTrackerContractSignificant(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return NewSignificant(CUFactory(), mem, 50, stream.Balanced)
+	}, trackertest.Options{})
+}

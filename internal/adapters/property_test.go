@@ -1,0 +1,88 @@
+package adapters
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sigstream/internal/stream"
+)
+
+// TestPersistentNeverExceedsPeriods: for any arrival pattern, the reported
+// persistency of a tracked item never exceeds the number of periods (CM/CU
+// never underestimate per-period dedup'd counts, but they cannot invent
+// periods beyond the stream's length since each period adds at most one).
+func TestPersistentNeverExceedsPeriodsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPersistent(CUFactory(), 32*1024, 20, 1)
+		periods := 3 + rng.Intn(10)
+		for per := 0; per < periods; per++ {
+			n := rng.Intn(200)
+			for i := 0; i < n; i++ {
+				p.Insert(stream.Item(rng.Intn(100)))
+			}
+			p.EndPeriod()
+		}
+		for _, e := range p.TopK(100) {
+			// Sketch collisions can inflate, but never beyond the number of
+			// periods times the number of colliding items... the heap value
+			// itself is bounded by periods when the BF dedup works and the
+			// sketch is ample (32 KiB for ≤100 items ⇒ no collisions).
+			if e.Persistency > uint64(periods) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignificantFrequencyAtLeastPersistency: with ample sketch width,
+// f̂ ≥ p̂ for every item (an item appears at least once per counted period).
+func TestSignificantFrequencyAtLeastPersistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSignificant(CUFactory(), 256*1024, 20, stream.Balanced)
+	for per := 0; per < 8; per++ {
+		for i := 0; i < 300; i++ {
+			s.Insert(stream.Item(rng.Intn(50)))
+		}
+		s.EndPeriod()
+	}
+	for i := stream.Item(0); i < 50; i++ {
+		e, ok := s.Query(i)
+		if !ok {
+			continue
+		}
+		if e.Frequency < e.Persistency {
+			t.Fatalf("item %d: f=%d < p=%d with ample sketches",
+				i, e.Frequency, e.Persistency)
+		}
+	}
+}
+
+// TestPersistentBloomReusePath exercises many periods so the Bloom filter
+// reset path runs repeatedly without cross-period leakage.
+func TestPersistentBloomResetNoLeak(t *testing.T) {
+	p := NewPersistent(CMFactory(), 64*1024, 10, 1)
+	// Item appears only in even periods; odd periods are busy with other
+	// items that would collide if the BF leaked.
+	for per := 0; per < 20; per++ {
+		if per%2 == 0 {
+			p.Insert(7)
+		}
+		for i := 0; i < 50; i++ {
+			p.Insert(stream.Item(1000 + i))
+		}
+		p.EndPeriod()
+	}
+	e, ok := p.Query(7)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Persistency != 10 {
+		t.Fatalf("persistency %d, want 10 (even periods only)", e.Persistency)
+	}
+}

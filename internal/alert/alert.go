@@ -1,0 +1,127 @@
+// Package alert turns significance rankings into operational events: an
+// item whose significance crosses a threshold raises an alert; it clears
+// when it falls below a lower bound (hysteresis, so borderline items don't
+// flap). This is the acting half of the paper's Use Case 1 — detecting
+// DDoS sources is only useful if something fires.
+package alert
+
+import (
+	"fmt"
+
+	"sigstream/internal/stream"
+)
+
+// Rule configures when alerts raise and clear.
+type Rule struct {
+	// Raise is the significance at or above which an item alerts.
+	Raise float64
+	// Clear is the significance below which an active alert clears. Must
+	// be ≤ Raise; the gap is the hysteresis band. Zero defaults to Raise/2.
+	Clear float64
+	// MinPersistency additionally requires an item to have appeared in at
+	// least this many periods before it can raise — the paper's point that
+	// bursts alone should not trigger (0 disables).
+	MinPersistency uint64
+}
+
+// Kind distinguishes event types.
+type Kind int
+
+const (
+	// Raised fires when an item first crosses the Raise threshold.
+	Raised Kind = iota
+	// Cleared fires when a previously raised item falls below Clear (or
+	// leaves the scanned ranking entirely).
+	Cleared
+)
+
+func (k Kind) String() string {
+	if k == Cleared {
+		return "CLEAR"
+	}
+	return "RAISE"
+}
+
+// Event is one alert transition.
+type Event struct {
+	Kind  Kind
+	Scan  int // scan (period) index the transition was observed in
+	Entry stream.Entry
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s item=%d f=%d p=%d s=%.1f (scan %d)",
+		e.Kind, e.Entry.Item, e.Entry.Frequency, e.Entry.Persistency,
+		e.Entry.Significance, e.Scan)
+}
+
+// Watcher tracks alert state across scans. Not safe for concurrent use.
+type Watcher struct {
+	rule   Rule
+	active map[stream.Item]stream.Entry
+	scans  int
+}
+
+// NewWatcher creates a Watcher for rule.
+func NewWatcher(rule Rule) *Watcher {
+	if rule.Clear <= 0 || rule.Clear > rule.Raise {
+		rule.Clear = rule.Raise / 2
+	}
+	return &Watcher{rule: rule, active: map[stream.Item]stream.Entry{}}
+}
+
+// Active returns the number of currently raised items.
+func (w *Watcher) Active() int { return len(w.active) }
+
+// Scans returns the number of Scan calls so far.
+func (w *Watcher) Scans() int { return w.scans }
+
+// Scan evaluates a ranking snapshot (typically tracker.TopK(k) after each
+// period) and returns the transitions since the previous scan, raises
+// first. Items absent from the snapshot are treated as significance 0.
+func (w *Watcher) Scan(entries []stream.Entry) []Event {
+	scan := w.scans
+	w.scans++
+
+	present := make(map[stream.Item]stream.Entry, len(entries))
+	for _, e := range entries {
+		present[e.Item] = e
+	}
+	var events []Event
+	for _, e := range entries {
+		_, isActive := w.active[e.Item]
+		if isActive {
+			continue
+		}
+		if e.Significance >= w.rule.Raise &&
+			e.Persistency >= w.rule.MinPersistency {
+			w.active[e.Item] = e
+			events = append(events, Event{Kind: Raised, Scan: scan, Entry: e})
+		}
+	}
+	for item, last := range w.active {
+		cur, ok := present[item]
+		if ok && cur.Significance >= w.rule.Clear {
+			w.active[item] = cur // refresh the stored snapshot
+			continue
+		}
+		delete(w.active, item)
+		cleared := last
+		if ok {
+			cleared = cur
+		}
+		events = append(events, Event{Kind: Cleared, Scan: scan, Entry: cleared})
+	}
+	return events
+}
+
+// ActiveItems returns the currently raised entries (latest snapshots),
+// unordered.
+func (w *Watcher) ActiveItems() []stream.Entry {
+	es := make([]stream.Entry, 0, len(w.active))
+	for _, e := range w.active {
+		es = append(es, e)
+	}
+	return es
+}

@@ -1,0 +1,125 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func entry(item stream.Item, sig float64, p uint64) stream.Entry {
+	return stream.Entry{Item: item, Persistency: p, Significance: sig}
+}
+
+func TestRaiseOnceAndClear(t *testing.T) {
+	w := NewWatcher(Rule{Raise: 100, Clear: 50})
+	// Scan 0: item crosses.
+	ev := w.Scan([]stream.Entry{entry(1, 150, 3)})
+	if len(ev) != 1 || ev[0].Kind != Raised || ev[0].Entry.Item != 1 {
+		t.Fatalf("expected one raise, got %+v", ev)
+	}
+	if w.Active() != 1 {
+		t.Fatalf("active = %d", w.Active())
+	}
+	// Scan 1: still high — no duplicate raise.
+	if ev := w.Scan([]stream.Entry{entry(1, 160, 4)}); len(ev) != 0 {
+		t.Fatalf("duplicate events: %+v", ev)
+	}
+	// Scan 2: inside the hysteresis band — stays active.
+	if ev := w.Scan([]stream.Entry{entry(1, 70, 4)}); len(ev) != 0 {
+		t.Fatalf("hysteresis violated: %+v", ev)
+	}
+	// Scan 3: below Clear — clears.
+	ev = w.Scan([]stream.Entry{entry(1, 10, 4)})
+	if len(ev) != 1 || ev[0].Kind != Cleared {
+		t.Fatalf("expected clear, got %+v", ev)
+	}
+	if w.Active() != 0 {
+		t.Fatal("still active after clear")
+	}
+}
+
+func TestClearWhenItemVanishes(t *testing.T) {
+	w := NewWatcher(Rule{Raise: 100})
+	w.Scan([]stream.Entry{entry(1, 150, 1)})
+	ev := w.Scan(nil) // item evicted from the ranking entirely
+	if len(ev) != 1 || ev[0].Kind != Cleared {
+		t.Fatalf("vanished item not cleared: %+v", ev)
+	}
+	// The cleared event carries the last known snapshot.
+	if ev[0].Entry.Significance != 150 {
+		t.Fatalf("cleared event lost the last snapshot: %+v", ev[0])
+	}
+}
+
+func TestMinPersistencyGatesBursts(t *testing.T) {
+	w := NewWatcher(Rule{Raise: 100, MinPersistency: 3})
+	// A one-period burst with huge significance must NOT raise.
+	if ev := w.Scan([]stream.Entry{entry(1, 9999, 1)}); len(ev) != 0 {
+		t.Fatalf("burst raised despite MinPersistency: %+v", ev)
+	}
+	// Once persistent enough, it raises.
+	ev := w.Scan([]stream.Entry{entry(1, 9999, 3)})
+	if len(ev) != 1 || ev[0].Kind != Raised {
+		t.Fatalf("persistent item did not raise: %+v", ev)
+	}
+}
+
+func TestDefaultClear(t *testing.T) {
+	w := NewWatcher(Rule{Raise: 100})
+	w.Scan([]stream.Entry{entry(1, 120, 1)})
+	// 60 ≥ default clear 50 → stays.
+	if ev := w.Scan([]stream.Entry{entry(1, 60, 1)}); len(ev) != 0 {
+		t.Fatalf("default hysteresis wrong: %+v", ev)
+	}
+	if ev := w.Scan([]stream.Entry{entry(1, 40, 1)}); len(ev) != 1 {
+		t.Fatalf("default clear threshold wrong: %+v", ev)
+	}
+}
+
+func TestMultipleItemsIndependent(t *testing.T) {
+	w := NewWatcher(Rule{Raise: 100, Clear: 50})
+	ev := w.Scan([]stream.Entry{entry(1, 150, 1), entry(2, 30, 1), entry(3, 200, 1)})
+	if len(ev) != 2 {
+		t.Fatalf("expected 2 raises, got %+v", ev)
+	}
+	ev = w.Scan([]stream.Entry{entry(1, 150, 1), entry(2, 300, 1)})
+	// Item 2 raises, item 3 clears (vanished).
+	var raised, cleared int
+	for _, e := range ev {
+		switch e.Kind {
+		case Raised:
+			raised++
+		case Cleared:
+			cleared++
+		}
+	}
+	if raised != 1 || cleared != 1 {
+		t.Fatalf("got %d raises / %d clears, want 1/1: %+v", raised, cleared, ev)
+	}
+	if len(w.ActiveItems()) != 2 {
+		t.Fatalf("active items = %d, want 2", len(w.ActiveItems()))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: Raised, Scan: 4, Entry: entry(9, 123.4, 7)}
+	s := e.String()
+	for _, want := range []string{"RAISE", "item=9", "s=123.4", "scan 4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string missing %q: %s", want, s)
+		}
+	}
+	if !strings.Contains((Event{Kind: Cleared}).String(), "CLEAR") {
+		t.Fatal("clear string wrong")
+	}
+}
+
+func TestScanCounter(t *testing.T) {
+	w := NewWatcher(Rule{Raise: 1})
+	w.Scan(nil)
+	w.Scan(nil)
+	if w.Scans() != 2 {
+		t.Fatalf("scans = %d, want 2", w.Scans())
+	}
+}

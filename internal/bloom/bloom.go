@@ -1,0 +1,120 @@
+// Package bloom implements the standard Bloom filter that sketch-based
+// baselines use to deduplicate appearances within a period (Section II-B:
+// "we maintain a standard Bloom filter to record whether it has appeared in
+// the current period").
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// Filter is a standard Bloom filter over 64-bit items.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes []hashing.Bob
+	n      int // inserted count, for FPP estimation
+}
+
+// New creates a filter with the given memory budget and number of hash
+// functions. k ≤ 0 selects k = 3 (the usual choice at the paper's 50%
+// memory split).
+func New(memoryBytes, k int) *Filter {
+	if memoryBytes < 8 {
+		memoryBytes = 8
+	}
+	if k <= 0 {
+		k = 3
+	}
+	words := memoryBytes / 8
+	f := &Filter{
+		bits:   make([]uint64, words),
+		nbits:  uint64(words) * 64,
+		hashes: make([]hashing.Bob, k),
+	}
+	for i := range f.hashes {
+		f.hashes[i] = hashing.NewBob(uint32(0x9d2c + i*0x61))
+	}
+	return f
+}
+
+// NewForItems sizes a filter for n expected items at false-positive rate p.
+func NewForItems(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	mBits := float64(n) * math.Log(p) / (math.Ln2 * math.Ln2) * -1
+	k := int(math.Round(mBits / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(int(mBits/8)+8, k)
+}
+
+// Add inserts item.
+func (f *Filter) Add(item stream.Item) {
+	for _, h := range f.hashes {
+		idx := (uint64(h.Hash64(item)) * f.nbits) >> 32
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether item may have been added (no false negatives).
+func (f *Filter) Contains(item stream.Item) bool {
+	for _, h := range f.hashes {
+		idx := (uint64(h.Hash64(item)) * f.nbits) >> 32
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddIfAbsent inserts item and reports whether it was (probably) absent
+// before — the one-call idiom for per-period dedup.
+func (f *Filter) AddIfAbsent(item stream.Item) bool {
+	absent := !f.Contains(item)
+	if absent {
+		f.Add(item)
+	}
+	return absent
+}
+
+// Reset clears the filter (start of a new period).
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// MemoryBytes reports the bit-array footprint.
+func (f *Filter) MemoryBytes() int { return len(f.bits) * 8 }
+
+// EstimatedFPP estimates the current false-positive probability from the
+// number of insertions: (1 − e^{−kn/m})^k.
+func (f *Filter) EstimatedFPP() float64 {
+	k := float64(len(f.hashes))
+	return math.Pow(1-math.Exp(-k*float64(f.n)/float64(f.nbits)), k)
+}
+
+// Merge ORs other's bits into f. Both filters must have identical geometry;
+// the result answers Contains for the union of both filters' insertions.
+func (f *Filter) Merge(other *Filter) error {
+	if other == nil || f.nbits != other.nbits || len(f.hashes) != len(other.hashes) {
+		return fmt.Errorf("bloom: incompatible merge")
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.n += other.n
+	return nil
+}

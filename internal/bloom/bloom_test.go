@@ -1,0 +1,142 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sigstream/internal/stream"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(4096, 3)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.Contains(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := NewForItems(1000, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(i)
+	}
+	fp := 0
+	const probes = 10000
+	for i := uint64(1 << 32); i < 1<<32+probes; i++ {
+		if f.Contains(i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Fatalf("false-positive rate %.3f, want ≲0.01", rate)
+	}
+	if est := f.EstimatedFPP(); est > 0.05 {
+		t.Fatalf("estimated FPP %.3f implausible", est)
+	}
+}
+
+func TestAddIfAbsent(t *testing.T) {
+	f := New(4096, 3)
+	if !f.AddIfAbsent(7) {
+		t.Fatal("first add must report absent")
+	}
+	if f.AddIfAbsent(7) {
+		t.Fatal("second add must report present")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(1024, 3)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(i)
+	}
+	f.Reset()
+	present := 0
+	for i := uint64(0); i < 100; i++ {
+		if f.Contains(i) {
+			present++
+		}
+	}
+	if present != 0 {
+		t.Fatalf("%d items survive Reset", present)
+	}
+	if f.EstimatedFPP() != 0 {
+		t.Fatal("FPP must be 0 after reset")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	f := New(4096, 3)
+	if f.MemoryBytes() != 4096 {
+		t.Fatalf("MemoryBytes = %d, want 4096", f.MemoryBytes())
+	}
+	tiny := New(1, 1)
+	if tiny.MemoryBytes() < 8 {
+		t.Fatal("filter must allocate at least one word")
+	}
+}
+
+func TestNewForItemsDefaults(t *testing.T) {
+	f := NewForItems(0, -1)
+	if f.MemoryBytes() <= 0 {
+		t.Fatal("degenerate parameters must still produce a usable filter")
+	}
+}
+
+func TestContainsProperty(t *testing.T) {
+	// Anything added is always contained, under any key distribution.
+	f := New(8192, 4)
+	prop := func(x stream.Item) bool {
+		f.Add(x)
+		return f.Contains(x)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(64*1024, 3)
+	for i := 0; i < b.N; i++ {
+		f.Add(stream.Item(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(64*1024, 3)
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i) % 20000)
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	a := New(2048, 3)
+	b := New(2048, 3)
+	for i := uint64(0); i < 100; i++ {
+		a.Add(i)
+		b.Add(i + 1000)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !a.Contains(i) || !a.Contains(i+1000) {
+			t.Fatalf("union missing item %d", i)
+		}
+	}
+	if err := a.Merge(New(4096, 3)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package client is a typed Go client for the sigstream HTTP service
+// (internal/server, cmd/sigserver): batch inserts, period control, top-k
+// and point queries, stats, and checkpoint download/restore.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry mirrors the service's JSON estimate.
+type Entry struct {
+	Key          string  `json:"key"`
+	Item         uint64  `json:"item"`
+	Frequency    uint64  `json:"frequency"`
+	Persistency  uint64  `json:"persistency"`
+	Significance float64 `json:"significance"`
+}
+
+// Stats mirrors the service's /v1/stats payload.
+type Stats struct {
+	MemoryBytes int     `json:"memory_bytes"`
+	Shards      int     `json:"shards"`
+	Arrivals    uint64  `json:"arrivals"`
+	Periods     uint64  `json:"periods"`
+	Keys        int     `json:"distinct_keys_seen"`
+	Alpha       float64 `json:"alpha"`
+	Beta        float64 `json:"beta"`
+}
+
+// ErrNotTracked reports a point query for an unknown key.
+var ErrNotTracked = fmt.Errorf("sigstream client: key not tracked")
+
+// Client talks to one sigstream service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for the service at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for a 10-second-timeout
+// default.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Insert ships a batch of keys (one arrival each, in order) and returns
+// the number the service ingested.
+func (c *Client) Insert(keys ...string) (uint64, error) {
+	body := strings.Join(keys, "\n")
+	resp, err := c.http.Post(c.base+"/v1/insert", "text/plain",
+		strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Inserted uint64 `json:"inserted"`
+	}
+	if err := decode(resp, &out); err != nil {
+		return 0, err
+	}
+	return out.Inserted, nil
+}
+
+// EndPeriod closes the service's current period and returns the total
+// period count.
+func (c *Client) EndPeriod() (uint64, error) {
+	resp, err := c.http.Post(c.base+"/v1/period", "text/plain", nil)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Periods uint64 `json:"periods"`
+	}
+	if err := decode(resp, &out); err != nil {
+		return 0, err
+	}
+	return out.Periods, nil
+}
+
+// TopK fetches the k most significant items.
+func (c *Client) TopK(k int) ([]Entry, error) {
+	resp, err := c.http.Get(c.base + "/v1/top?k=" + strconv.Itoa(k))
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	if err := decode(resp, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Query fetches one key's estimate; ErrNotTracked when unknown.
+func (c *Client) Query(key string) (Entry, error) {
+	resp, err := c.http.Get(c.base + "/v1/query?key=" + url.QueryEscape(key))
+	if err != nil {
+		return Entry{}, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return Entry{}, ErrNotTracked
+	}
+	var out Entry
+	if err := decode(resp, &out); err != nil {
+		return Entry{}, err
+	}
+	return out, nil
+}
+
+// Stats fetches the service statistics.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	var out Stats
+	if err := decode(resp, &out); err != nil {
+		return Stats{}, err
+	}
+	return out, nil
+}
+
+// Checkpoint downloads a binary snapshot of the tracker.
+func (c *Client) Checkpoint() ([]byte, error) {
+	resp, err := c.http.Get(c.base + "/v1/checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Restore replaces the service's tracker state with a snapshot.
+func (c *Client) Restore(checkpoint []byte) error {
+	resp, err := c.http.Post(c.base+"/v1/restore", "application/octet-stream",
+		bytes.NewReader(checkpoint))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func statusError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("sigstream client: %s: %s", resp.Status,
+		strings.TrimSpace(string(body)))
+}

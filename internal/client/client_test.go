@@ -1,0 +1,94 @@
+package client
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"sigstream"
+	"sigstream/internal/server"
+)
+
+func newPair(t *testing.T) *Client {
+	t.Helper()
+	srv := httptest.NewServer(server.New(server.Config{
+		MemoryBytes: 64 << 10,
+		Weights:     sigstream.Weights{Alpha: 1, Beta: 10},
+		Shards:      2,
+	}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL, srv.Client())
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c := newPair(t)
+	n, err := c.Insert("a", "a", "b")
+	if err != nil || n != 3 {
+		t.Fatalf("Insert = %d, %v", n, err)
+	}
+	p, err := c.EndPeriod()
+	if err != nil || p != 1 {
+		t.Fatalf("EndPeriod = %d, %v", p, err)
+	}
+	e, err := c.Query("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Frequency != 2 || e.Persistency != 1 {
+		t.Fatalf("a: %+v", e)
+	}
+	top, err := c.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Key != "a" {
+		t.Fatalf("TopK = %+v", top)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Arrivals != 3 || st.Periods != 1 || st.Beta != 10 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestClientNotTracked(t *testing.T) {
+	c := newPair(t)
+	if _, err := c.Query("ghost"); !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("want ErrNotTracked, got %v", err)
+	}
+}
+
+func TestClientCheckpointRestore(t *testing.T) {
+	c := newPair(t)
+	c.Insert("x", "x", "y")
+	c.EndPeriod()
+	img, err := c.Checkpoint()
+	if err != nil || len(img) == 0 {
+		t.Fatalf("Checkpoint: %d bytes, %v", len(img), err)
+	}
+	// Mutate, restore, verify the state rolled back.
+	c.Insert("z", "z", "z", "z")
+	if err := c.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("z"); !errors.Is(err, ErrNotTracked) {
+		t.Fatal("z survived restore")
+	}
+	e, err := c.Query("x")
+	if err != nil || e.Frequency != 2 {
+		t.Fatalf("x after restore: %+v, %v", e, err)
+	}
+	// Garbage restore surfaces the server's 400.
+	if err := c.Restore([]byte("junk")); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+}
+
+func TestClientBadBase(t *testing.T) {
+	c := New("http://127.0.0.1:1", nil) // nothing listening
+	if _, err := c.Insert("a"); err == nil {
+		t.Fatal("dead endpoint produced no error")
+	}
+}

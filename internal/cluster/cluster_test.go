@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func cfg() Config {
+	return Config{MemoryBytes: 16 << 10, Weights: stream.Balanced, Seed: 5}
+}
+
+func TestRoundMergesSites(t *testing.T) {
+	a := NewSite("rack-a", cfg())
+	b := NewSite("rack-b", cfg())
+	co := NewCoordinator(cfg())
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 10; i++ {
+			a.Insert(1)
+			b.Insert(2)
+		}
+		if err := co.Round(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if co.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", co.Epoch())
+	}
+	e1, ok1 := co.Query(1)
+	e2, ok2 := co.Query(2)
+	if !ok1 || !ok2 {
+		t.Fatal("global view lost an item")
+	}
+	if e1.Frequency != 30 || e2.Frequency != 30 {
+		t.Fatalf("frequencies %d/%d, want 30/30", e1.Frequency, e2.Frequency)
+	}
+	if e1.Persistency != 3 || e2.Persistency != 3 {
+		t.Fatalf("persistencies %d/%d, want 3/3", e1.Persistency, e2.Persistency)
+	}
+	top := co.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("global TopK returned %d entries", len(top))
+	}
+}
+
+func TestCoordinatorBeforeFirstCommit(t *testing.T) {
+	co := NewCoordinator(cfg())
+	if got := co.TopK(5); got != nil {
+		t.Fatalf("TopK before any commit = %v, want nil", got)
+	}
+	if _, ok := co.Query(1); ok {
+		t.Fatal("Query before any commit must miss")
+	}
+}
+
+func TestDuplicateCollectionRejected(t *testing.T) {
+	s := NewSite("x", cfg())
+	s.Insert(1)
+	img, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(cfg())
+	if err := co.Collect("x", img); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Collect("x", img); err == nil {
+		t.Fatal("duplicate site collection accepted")
+	}
+	// A new round accepts the site again.
+	co.Commit()
+	if err := co.Collect("x", img); err != nil {
+		t.Fatalf("post-commit collection rejected: %v", err)
+	}
+}
+
+func TestCollectRejectsGarbage(t *testing.T) {
+	co := NewCoordinator(cfg())
+	if err := co.Collect("x", []byte("junk")); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+	if co.Pending() != 0 {
+		t.Fatal("failed collection counted as pending")
+	}
+}
+
+func TestCommitWithoutCollectionsKeepsOldView(t *testing.T) {
+	s := NewSite("x", cfg())
+	s.Insert(7)
+	co := NewCoordinator(cfg())
+	if err := co.Round(s); err != nil {
+		t.Fatal(err)
+	}
+	if n := co.Commit(); n != 0 {
+		t.Fatalf("empty commit merged %d sites", n)
+	}
+	// The previous global view survives an empty round.
+	if _, ok := co.Query(7); !ok {
+		t.Fatal("empty commit dropped the global view")
+	}
+}
+
+func TestConcurrentSiteIngestion(t *testing.T) {
+	s := NewSite("busy", cfg())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s.Insert(stream.Item(i%100 + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	co := NewCoordinator(cfg())
+	if err := co.Round(s); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, e := range co.TopK(1 << 20) {
+		total += e.Frequency
+	}
+	if total != 8*5000 {
+		t.Fatalf("global frequency sum %d, want %d", total, 8*5000)
+	}
+}
+
+func TestGlobalRankingAcrossSites(t *testing.T) {
+	// The global winner has its traffic split across no sites (items are
+	// partitioned), but a site-local ranking would miss cross-site
+	// comparisons: site A's #2 may be globally #1.
+	a := NewSite("a", cfg())
+	b := NewSite("b", cfg())
+	co := NewCoordinator(cfg())
+	for p := 0; p < 2; p++ {
+		for i := 0; i < 50; i++ {
+			a.Insert(100) // site A's local #1
+		}
+		for i := 0; i < 40; i++ {
+			a.Insert(101)
+		}
+		for i := 0; i < 45; i++ {
+			b.Insert(200) // site B's local #1, globally #2
+		}
+		if err := co.Round(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := co.TopK(3)
+	if top[0].Item != 100 || top[1].Item != 200 || top[2].Item != 101 {
+		t.Fatalf("global ranking wrong: %+v", top)
+	}
+}

@@ -1,0 +1,229 @@
+// Package cmsketch implements the Count-Min sketch (Cormode &
+// Muthukrishnan) and the CU sketch (Estan & Varghese's conservative
+// update), the two one-sided sketch baselines in the paper (Section II-A),
+// plus the sketch+min-heap top-k tracker the paper evaluates.
+//
+// CM adds 1 to one counter per row and estimates with the row minimum
+// (never underestimates). CU increments only the counter(s) currently at
+// the minimum, halving the overestimation in practice while keeping the
+// one-sided guarantee.
+package cmsketch
+
+import (
+	"fmt"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+	"sigstream/internal/topk"
+)
+
+// CounterBytes is the accounted size of one counter.
+const CounterBytes = 4
+
+// DefaultRows is the number of rows (the paper sets 3 arrays).
+const DefaultRows = 3
+
+// Kind selects the update rule.
+type Kind int
+
+const (
+	// CM is the plain Count-Min update (increment every row).
+	CM Kind = iota
+	// CU is the conservative update (increment only row minima).
+	CU
+)
+
+func (k Kind) String() string {
+	if k == CU {
+		return "CU"
+	}
+	return "CM"
+}
+
+// Sketch is a CM or CU sketch.
+type Sketch struct {
+	kind     Kind
+	rows     int
+	width    int
+	counters [][]uint32
+	hash     []hashing.Bob
+}
+
+// New builds a sketch with the given memory budget and row count (rows ≤ 0
+// selects DefaultRows).
+func New(kind Kind, memoryBytes, rows int) *Sketch {
+	if rows <= 0 {
+		rows = DefaultRows
+	}
+	width := memoryBytes / (CounterBytes * rows)
+	if width < 1 {
+		width = 1
+	}
+	s := &Sketch{
+		kind:     kind,
+		rows:     rows,
+		width:    width,
+		counters: make([][]uint32, rows),
+		hash:     make([]hashing.Bob, rows),
+	}
+	for i := 0; i < rows; i++ {
+		s.counters[i] = make([]uint32, width)
+		s.hash[i] = hashing.NewBob(uint32(0x5a0 + i*0x77))
+	}
+	return s
+}
+
+// Width reports the counters per row.
+func (s *Sketch) Width() int { return s.width }
+
+// Kind reports the update rule.
+func (s *Sketch) Kind() Kind { return s.kind }
+
+// MemoryBytes reports the counter-array footprint.
+func (s *Sketch) MemoryBytes() int { return s.rows * s.width * CounterBytes }
+
+func (s *Sketch) slot(row int, item stream.Item) *uint32 {
+	idx := int(s.hash[row].Hash64(item)) % s.width
+	if idx < 0 {
+		idx += s.width
+	}
+	return &s.counters[row][idx]
+}
+
+// Add records delta arrivals of item.
+func (s *Sketch) Add(item stream.Item, delta uint64) {
+	if s.kind == CM {
+		for i := 0; i < s.rows; i++ {
+			*s.slot(i, item) += uint32(delta)
+		}
+		return
+	}
+	// Conservative update: raise only counters below min+delta.
+	min := uint32(1<<32 - 1)
+	for i := 0; i < s.rows; i++ {
+		if v := *s.slot(i, item); v < min {
+			min = v
+		}
+	}
+	target := min + uint32(delta)
+	for i := 0; i < s.rows; i++ {
+		if p := s.slot(i, item); *p < target {
+			*p = target
+		}
+	}
+}
+
+// Estimate returns the row-minimum estimate (one-sided: never less than the
+// true count for CM/CU single-item streams).
+func (s *Sketch) Estimate(item stream.Item) uint64 {
+	min := uint32(1<<32 - 1)
+	for i := 0; i < s.rows; i++ {
+		if v := *s.slot(i, item); v < min {
+			min = v
+		}
+	}
+	return uint64(min)
+}
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for i := range s.counters {
+		row := s.counters[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Tracker is the paper's CM/CU top-k tracker: sketch plus min-heap of size
+// k. It tracks frequency only (significance = α·f).
+type Tracker struct {
+	sketch *Sketch
+	heap   *topk.Heap
+	alpha  float64
+}
+
+// NewTracker splits memoryBytes between a heap of size k and the sketch.
+func NewTracker(kind Kind, memoryBytes, k int, alpha float64) *Tracker {
+	heapBytes := k * topk.EntryBytes
+	sketchBytes := memoryBytes - heapBytes
+	if sketchBytes < CounterBytes*DefaultRows {
+		sketchBytes = CounterBytes * DefaultRows
+	}
+	return &Tracker{
+		sketch: New(kind, sketchBytes, DefaultRows),
+		heap:   topk.New(k),
+		alpha:  alpha,
+	}
+}
+
+// Insert records one arrival and refreshes the heap.
+func (t *Tracker) Insert(item stream.Item) {
+	t.sketch.Add(item, 1)
+	est := t.alpha * float64(t.sketch.Estimate(item))
+	t.heap.Offer(item, est)
+}
+
+// EndPeriod is a no-op in frequency mode.
+func (t *Tracker) EndPeriod() {}
+
+// Query reports the heap value if tracked, else the sketch estimate.
+func (t *Tracker) Query(item stream.Item) (stream.Entry, bool) {
+	if v, ok := t.heap.Value(item); ok {
+		return stream.Entry{Item: item, Frequency: uint64(v / nonzero(t.alpha)),
+			Significance: v}, true
+	}
+	est := t.sketch.Estimate(item)
+	if est == 0 {
+		return stream.Entry{}, false
+	}
+	return stream.Entry{Item: item, Frequency: est,
+		Significance: t.alpha * float64(est)}, true
+}
+
+// TopK reports the heap's best k items.
+func (t *Tracker) TopK(k int) []stream.Entry {
+	es := t.heap.TopK(k)
+	for i := range es {
+		es[i].Frequency = uint64(es[i].Significance / nonzero(t.alpha))
+	}
+	return es
+}
+
+// MemoryBytes reports sketch plus heap footprint.
+func (t *Tracker) MemoryBytes() int {
+	return t.sketch.MemoryBytes() + t.heap.MemoryBytes()
+}
+
+// Name identifies the algorithm.
+func (t *Tracker) Name() string { return t.sketch.kind.String() }
+
+func nonzero(a float64) float64 {
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+var _ stream.Tracker = (*Tracker)(nil)
+
+// Merge adds other's counters into s cell-by-cell. Both sketches must have
+// identical geometry and kind; CM/CU sketches built over disjoint
+// sub-streams merge into the sketch of the union (for CU the merged
+// estimate remains one-sided but may be looser than a single-pass CU).
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("cmsketch: cannot merge nil sketch")
+	}
+	if s.kind != other.kind || s.rows != other.rows || s.width != other.width {
+		return fmt.Errorf("cmsketch: incompatible merge (%v %dx%d vs %v %dx%d)",
+			s.kind, s.rows, s.width, other.kind, other.rows, other.width)
+	}
+	for i := range s.counters {
+		dst, src := s.counters[i], other.counters[i]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return nil
+}

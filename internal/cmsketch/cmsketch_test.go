@@ -1,0 +1,247 @@
+package cmsketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestCMNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := map[stream.Item]uint64{}
+	s := New(CM, 4096, 3)
+	for i := 0; i < 20000; i++ {
+		item := stream.Item(rng.Intn(2000))
+		truth[item]++
+		s.Add(item, 1)
+	}
+	for item, f := range truth {
+		if est := s.Estimate(item); est < f {
+			t.Fatalf("CM underestimated item %d: %d < %d", item, est, f)
+		}
+	}
+}
+
+func TestCUNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := map[stream.Item]uint64{}
+	s := New(CU, 4096, 3)
+	for i := 0; i < 20000; i++ {
+		item := stream.Item(rng.Intn(2000))
+		truth[item]++
+		s.Add(item, 1)
+	}
+	for item, f := range truth {
+		if est := s.Estimate(item); est < f {
+			t.Fatalf("CU underestimated item %d: %d < %d", item, est, f)
+		}
+	}
+}
+
+func TestCUNoWorseThanCM(t *testing.T) {
+	// Conservative update's defining property: on the identical stream,
+	// every CU estimate is ≤ the CM estimate.
+	rng := rand.New(rand.NewSource(3))
+	items := make([]stream.Item, 30000)
+	for i := range items {
+		items[i] = stream.Item(rng.Intn(3000))
+	}
+	cm := New(CM, 2048, 3)
+	cu := New(CU, 2048, 3)
+	for _, it := range items {
+		cm.Add(it, 1)
+		cu.Add(it, 1)
+	}
+	worse := 0
+	for i := stream.Item(0); i < 3000; i++ {
+		if cu.Estimate(i) > cm.Estimate(i) {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Fatalf("CU exceeded CM on %d items", worse)
+	}
+}
+
+func TestExactWithAmpleWidth(t *testing.T) {
+	s := New(CM, 1<<20, 3)
+	for i := 0; i < 100; i++ {
+		s.Add(5, 1)
+	}
+	s.Add(6, 1)
+	if got := s.Estimate(5); got != 100 {
+		t.Fatalf("estimate = %d, want 100 (no collisions at this width)", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(CU, 1024, 3)
+	s.Add(1, 10)
+	s.Reset()
+	if s.Estimate(1) != 0 {
+		t.Fatal("estimate nonzero after Reset")
+	}
+}
+
+func TestSizing(t *testing.T) {
+	s := New(CM, 1200, 3)
+	if s.Width() != 100 {
+		t.Fatalf("width = %d, want 100", s.Width())
+	}
+	if s.MemoryBytes() != 1200 {
+		t.Fatalf("MemoryBytes = %d, want 1200", s.MemoryBytes())
+	}
+	if New(CM, 1, 3).Width() != 1 {
+		t.Fatal("width must floor at 1")
+	}
+	if s.Kind() != CM {
+		t.Fatal("kind lost")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CM.String() != "CM" || CU.String() != "CU" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestTrackerTopKOnZipf(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 50000, M: 5000, Periods: 1, Skew: 1.2,
+		Head: 100, TailWindowFrac: 1, Seed: 4})
+	o := oracle.FromStream(st, stream.Frequent)
+	for _, kind := range []Kind{CM, CU} {
+		tr := NewTracker(kind, 32*1024, 100, 1)
+		st.Replay(tr)
+		r := metrics.Evaluate(o, tr, 100)
+		if r.Precision < 0.6 {
+			t.Fatalf("%v tracker precision %.2f, want ≥0.6", kind, r.Precision)
+		}
+	}
+}
+
+func TestTrackerQueryFallsBackToSketch(t *testing.T) {
+	tr := NewTracker(CM, 8*1024, 2, 1)
+	// Three items; heap holds 2, the third must still be answerable.
+	for i := 0; i < 10; i++ {
+		tr.Insert(1)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Insert(2)
+	}
+	tr.Insert(3)
+	e, ok := tr.Query(3)
+	if !ok || e.Frequency == 0 {
+		t.Fatalf("sketch fallback failed: %+v ok=%v", e, ok)
+	}
+}
+
+func TestTrackerMemoryAndName(t *testing.T) {
+	tr := NewTracker(CU, 16*1024, 10, 1)
+	if tr.MemoryBytes() <= 0 {
+		t.Fatal("memory must be positive")
+	}
+	if tr.Name() != "CU" {
+		t.Fatalf("name = %q, want CU", tr.Name())
+	}
+	if NewTracker(CM, 16*1024, 10, 1).Name() != "CM" {
+		t.Fatal("CM name wrong")
+	}
+}
+
+func TestTrackerTinyMemoryStillWorks(t *testing.T) {
+	// Heap demand exceeding the budget must not panic; the sketch gets a
+	// minimal array.
+	tr := NewTracker(CM, 64, 100, 1)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(stream.Item(i % 10))
+	}
+	if len(tr.TopK(10)) == 0 {
+		t.Fatal("no results from tiny tracker")
+	}
+}
+
+func BenchmarkCMInsert(b *testing.B) {
+	st := gen.NetworkLike(1<<17, 1)
+	tr := NewTracker(CM, 64*1024, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(st.Items[i&(1<<17-1)])
+	}
+}
+
+func BenchmarkCUInsert(b *testing.B) {
+	st := gen.NetworkLike(1<<17, 1)
+	tr := NewTracker(CU, 64*1024, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(st.Items[i&(1<<17-1)])
+	}
+}
+
+func TestMergeUnionEqualsSinglePassCM(t *testing.T) {
+	// CM is linear: merging two disjoint-substream sketches equals the
+	// single sketch of the concatenated stream, counter for counter.
+	rng := rand.New(rand.NewSource(11))
+	a := New(CM, 2048, 3)
+	b := New(CM, 2048, 3)
+	whole := New(CM, 2048, 3)
+	for i := 0; i < 20000; i++ {
+		item := stream.Item(rng.Intn(1000))
+		whole.Add(item, 1)
+		if i%2 == 0 {
+			a.Add(item, 1)
+		} else {
+			b.Add(item, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := stream.Item(0); i < 1000; i++ {
+		if a.Estimate(i) != whole.Estimate(i) {
+			t.Fatalf("item %d: merged %d != single-pass %d",
+				i, a.Estimate(i), whole.Estimate(i))
+		}
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := New(CM, 2048, 3)
+	if err := a.Merge(New(CU, 2048, 3)); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if err := a.Merge(New(CM, 4096, 3)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestMergedCUStillOneSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	truth := map[stream.Item]uint64{}
+	a := New(CU, 2048, 3)
+	b := New(CU, 2048, 3)
+	for i := 0; i < 20000; i++ {
+		item := stream.Item(rng.Intn(1000))
+		truth[item]++
+		if i%2 == 0 {
+			a.Add(item, 1)
+		} else {
+			b.Add(item, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for item, f := range truth {
+		if est := a.Estimate(item); est < f {
+			t.Fatalf("merged CU underestimated item %d: %d < %d", item, est, f)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package cmsketch
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContractCM(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return NewTracker(CM, mem, 50, 1)
+	}, trackertest.Options{FrequencyOnly: true})
+}
+
+func TestTrackerContractCU(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return NewTracker(CU, mem, 50, 1)
+	}, trackertest.Options{FrequencyOnly: true})
+}

@@ -1,0 +1,163 @@
+// Package compare diffs two evaluation runs (sigbench CSV output) point by
+// point, flagging metric regressions beyond a tolerance. cmd/sigdiff wraps
+// it so accuracy changes between code versions can gate CI.
+package compare
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point identifies one measured value.
+type Point struct {
+	Figure, Dataset, Series, X, Metric string
+}
+
+// String renders the point compactly.
+func (p Point) String() string {
+	return fmt.Sprintf("fig%s %s/%s@%s %s", p.Figure, p.Dataset, p.Series, p.X, p.Metric)
+}
+
+// Delta is one compared point.
+type Delta struct {
+	Point    Point
+	Old, New float64
+	// Regression is true when the new value is worse beyond tolerance:
+	// lower for higher-is-better metrics (precision, correct-rate, Mops),
+	// higher for lower-is-better metrics (ARE, AAE, error-rate).
+	Regression bool
+}
+
+// Run is a parsed evaluation CSV.
+type Run map[Point]float64
+
+// ParseCSV reads sigbench CSV output (header
+// "figure,dataset,series,x,metric,value").
+func ParseCSV(r io.Reader) (Run, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	run := Run{}
+	for i, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if i == 0 && strings.HasPrefix(line, "figure,") {
+			continue // header
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("compare: line %d: %d fields, want 6", i+1, len(fields))
+		}
+		v, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("compare: line %d: bad value %q: %w", i+1, fields[5], err)
+		}
+		run[Point{fields[0], fields[1], fields[2], fields[3], fields[4]}] = v
+	}
+	return run, nil
+}
+
+// lowerIsBetter classifies metrics for regression direction.
+func lowerIsBetter(metric string) bool {
+	switch metric {
+	case "ARE", "AAE", "error-rate":
+		return true
+	}
+	return strings.HasSuffix(metric, "±") // tighter spread is better
+}
+
+// Report is the outcome of a comparison.
+type Report struct {
+	// Deltas holds every point present in both runs whose value changed by
+	// more than tolerance (absolute), worst regressions first.
+	Deltas []Delta
+	// Regressions counts the deltas flagged as regressions.
+	Regressions int
+	// OnlyOld and OnlyNew count points present in one run only.
+	OnlyOld, OnlyNew int
+	// Compared counts points present in both runs.
+	Compared int
+}
+
+// Diff compares two runs with an absolute tolerance per point.
+func Diff(old, new Run, tolerance float64) Report {
+	rep := Report{}
+	for p, ov := range old {
+		nv, ok := new[p]
+		if !ok {
+			rep.OnlyOld++
+			continue
+		}
+		rep.Compared++
+		d := nv - ov
+		if d < 0 {
+			d = -d
+		}
+		if d <= tolerance {
+			continue
+		}
+		delta := Delta{Point: p, Old: ov, New: nv}
+		if lowerIsBetter(p.Metric) {
+			delta.Regression = nv > ov
+		} else {
+			delta.Regression = nv < ov
+		}
+		if delta.Regression {
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, delta)
+	}
+	for p := range new {
+		if _, ok := old[p]; !ok {
+			rep.OnlyNew++
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		di, dj := rep.Deltas[i], rep.Deltas[j]
+		if di.Regression != dj.Regression {
+			return di.Regression
+		}
+		mi := magnitude(di)
+		mj := magnitude(dj)
+		if mi != mj {
+			return mi > mj
+		}
+		return di.Point.String() < dj.Point.String()
+	})
+	return rep
+}
+
+func magnitude(d Delta) float64 {
+	m := d.New - d.Old
+	if m < 0 {
+		m = -m
+	}
+	return m
+}
+
+// Render formats a report for terminal output.
+func Render(rep Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compared %d points (%d only in old, %d only in new)\n",
+		rep.Compared, rep.OnlyOld, rep.OnlyNew)
+	if len(rep.Deltas) == 0 {
+		b.WriteString("no changes beyond tolerance\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d changed, %d regressions:\n", len(rep.Deltas), rep.Regressions)
+	for _, d := range rep.Deltas {
+		tag := "  ~ "
+		if d.Regression {
+			tag = "  ✗ "
+		}
+		fmt.Fprintf(&b, "%s%-55s %.4g → %.4g\n", tag, d.Point, d.Old, d.New)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldCSV = `figure,dataset,series,x,metric,value
+9,CAIDA,LTC,10KB,precision,0.99
+9,CAIDA,CM,10KB,precision,0.52
+10,CAIDA,LTC,10KB,ARE,0.001
+9,CAIDA,SS,10KB,precision,0.63
+`
+
+const newCSV = `figure,dataset,series,x,metric,value
+9,CAIDA,LTC,10KB,precision,0.90
+9,CAIDA,CM,10KB,precision,0.60
+10,CAIDA,LTC,10KB,ARE,0.2
+9,CAIDA,LC,10KB,precision,0.55
+`
+
+func parse(t *testing.T, s string) Run {
+	t.Helper()
+	r, err := ParseCSV(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiffClassifiesDirections(t *testing.T) {
+	rep := Diff(parse(t, oldCSV), parse(t, newCSV), 0.01)
+	if rep.Compared != 3 {
+		t.Fatalf("compared %d, want 3", rep.Compared)
+	}
+	if rep.OnlyOld != 1 || rep.OnlyNew != 1 {
+		t.Fatalf("only-old %d / only-new %d, want 1/1", rep.OnlyOld, rep.OnlyNew)
+	}
+	// LTC precision dropped (regression), CM precision rose (improvement),
+	// LTC ARE rose (regression).
+	if rep.Regressions != 2 {
+		t.Fatalf("regressions %d, want 2: %+v", rep.Regressions, rep.Deltas)
+	}
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("deltas %d, want 3", len(rep.Deltas))
+	}
+	// Regressions sort first.
+	if !rep.Deltas[0].Regression || !rep.Deltas[1].Regression || rep.Deltas[2].Regression {
+		t.Fatalf("sort order wrong: %+v", rep.Deltas)
+	}
+}
+
+func TestDiffTolerance(t *testing.T) {
+	rep := Diff(parse(t, oldCSV), parse(t, oldCSV), 0.0)
+	if len(rep.Deltas) != 0 || rep.Regressions != 0 {
+		t.Fatalf("identical runs produced deltas: %+v", rep.Deltas)
+	}
+	// A generous tolerance swallows the precision changes.
+	rep = Diff(parse(t, oldCSV), parse(t, newCSV), 0.5)
+	if len(rep.Deltas) != 0 {
+		t.Fatalf("tolerance not applied: %+v", rep.Deltas)
+	}
+}
+
+func TestLowerIsBetterClassification(t *testing.T) {
+	for metric, lower := range map[string]bool{
+		"ARE": true, "AAE": true, "error-rate": true,
+		"precision": false, "correct-rate": false, "Mops": false,
+		"precision±": true,
+	} {
+		if lowerIsBetter(metric) != lower {
+			t.Fatalf("lowerIsBetter(%q) wrong", metric)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := ParseCSV(strings.NewReader("9,a,b,c,d,notanumber\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+	r, err := ParseCSV(strings.NewReader(""))
+	if err != nil || len(r) != 0 {
+		t.Fatalf("empty input: %v, %d points", err, len(r))
+	}
+}
+
+func TestRender(t *testing.T) {
+	rep := Diff(parse(t, oldCSV), parse(t, newCSV), 0.01)
+	out := Render(rep)
+	for _, want := range []string{"compared 3 points", "2 regressions", "✗", "LTC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	clean := Render(Diff(parse(t, oldCSV), parse(t, oldCSV), 0))
+	if !strings.Contains(clean, "no changes") {
+		t.Fatalf("clean render wrong:\n%s", clean)
+	}
+}

@@ -1,0 +1,14 @@
+package countsketch
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return NewTracker(mem, 50, 1)
+	}, trackertest.Options{FrequencyOnly: true})
+}

@@ -1,0 +1,208 @@
+// Package countsketch implements the Count sketch (Charikar, Chen,
+// Farach-Colton), the unbiased sketch baseline for frequency estimation
+// (paper Section II-A), plus the sketch+min-heap top-k tracker the paper
+// evaluates.
+//
+// The sketch keeps rows of signed counters. Each arrival adds ±1 (a hashed
+// sign) to one counter per row; the estimate is the median of the signed
+// row readings.
+package countsketch
+
+import (
+	"fmt"
+	"sort"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+	"sigstream/internal/topk"
+)
+
+// CounterBytes is the accounted size of one signed counter.
+const CounterBytes = 4
+
+// DefaultRows is the number of rows (the paper sets 3 arrays for all
+// sketch-based algorithms).
+const DefaultRows = 3
+
+// Sketch is a Count sketch.
+type Sketch struct {
+	rows     int
+	width    int
+	counters [][]int32
+	hash     []hashing.Bob
+	sign     []hashing.Bob
+}
+
+// New builds a Count sketch with the given memory budget and row count
+// (rows ≤ 0 selects DefaultRows).
+func New(memoryBytes, rows int) *Sketch {
+	if rows <= 0 {
+		rows = DefaultRows
+	}
+	width := memoryBytes / (CounterBytes * rows)
+	if width < 1 {
+		width = 1
+	}
+	s := &Sketch{
+		rows:     rows,
+		width:    width,
+		counters: make([][]int32, rows),
+		hash:     make([]hashing.Bob, rows),
+		sign:     make([]hashing.Bob, rows),
+	}
+	for i := 0; i < rows; i++ {
+		s.counters[i] = make([]int32, width)
+		s.hash[i] = hashing.NewBob(uint32(0x100 + i*0x31))
+		s.sign[i] = hashing.NewBob(uint32(0xb00 + i*0x57))
+	}
+	return s
+}
+
+// Width reports the counters per row.
+func (s *Sketch) Width() int { return s.width }
+
+// MemoryBytes reports the counter-array footprint.
+func (s *Sketch) MemoryBytes() int { return s.rows * s.width * CounterBytes }
+
+// Add records delta arrivals of item.
+func (s *Sketch) Add(item stream.Item, delta uint64) {
+	for i := 0; i < s.rows; i++ {
+		idx := int(s.hash[i].Hash64(item)) % s.width
+		if idx < 0 {
+			idx += s.width
+		}
+		if s.sign[i].Hash64(item)&1 == 1 {
+			s.counters[i][idx] += int32(delta)
+		} else {
+			s.counters[i][idx] -= int32(delta)
+		}
+	}
+}
+
+// Estimate returns the median signed estimate, clamped at zero (true
+// frequencies are non-negative).
+func (s *Sketch) Estimate(item stream.Item) uint64 {
+	readings := make([]int32, s.rows)
+	for i := 0; i < s.rows; i++ {
+		idx := int(s.hash[i].Hash64(item)) % s.width
+		if idx < 0 {
+			idx += s.width
+		}
+		v := s.counters[i][idx]
+		if s.sign[i].Hash64(item)&1 == 0 {
+			v = -v
+		}
+		readings[i] = v
+	}
+	sort.Slice(readings, func(a, b int) bool { return readings[a] < readings[b] })
+	med := readings[s.rows/2]
+	if s.rows%2 == 0 {
+		med = (readings[s.rows/2-1] + readings[s.rows/2]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return uint64(med)
+}
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for i := range s.counters {
+		row := s.counters[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Tracker is the paper's Count-sketch top-k tracker: the sketch plus a
+// min-heap of size k. It tracks frequency only (significance = α·f).
+type Tracker struct {
+	sketch *Sketch
+	heap   *topk.Heap
+	alpha  float64
+}
+
+// NewTracker splits memoryBytes between a heap of size k and the sketch.
+func NewTracker(memoryBytes, k int, alpha float64) *Tracker {
+	heapBytes := k * topk.EntryBytes
+	sketchBytes := memoryBytes - heapBytes
+	if sketchBytes < CounterBytes*DefaultRows {
+		sketchBytes = CounterBytes * DefaultRows
+	}
+	return &Tracker{
+		sketch: New(sketchBytes, DefaultRows),
+		heap:   topk.New(k),
+		alpha:  alpha,
+	}
+}
+
+// Insert records one arrival and refreshes the heap.
+func (t *Tracker) Insert(item stream.Item) {
+	t.sketch.Add(item, 1)
+	est := t.alpha * float64(t.sketch.Estimate(item))
+	t.heap.Offer(item, est)
+}
+
+// EndPeriod is a no-op in frequency mode.
+func (t *Tracker) EndPeriod() {}
+
+// Query reports the heap value if tracked, else the sketch estimate.
+func (t *Tracker) Query(item stream.Item) (stream.Entry, bool) {
+	if v, ok := t.heap.Value(item); ok {
+		return stream.Entry{Item: item, Frequency: uint64(v / nonzero(t.alpha)),
+			Significance: v}, true
+	}
+	est := t.sketch.Estimate(item)
+	if est == 0 {
+		return stream.Entry{}, false
+	}
+	return stream.Entry{Item: item, Frequency: est,
+		Significance: t.alpha * float64(est)}, true
+}
+
+// TopK reports the heap's best k items.
+func (t *Tracker) TopK(k int) []stream.Entry {
+	es := t.heap.TopK(k)
+	for i := range es {
+		es[i].Frequency = uint64(es[i].Significance / nonzero(t.alpha))
+	}
+	return es
+}
+
+// MemoryBytes reports sketch plus heap footprint.
+func (t *Tracker) MemoryBytes() int {
+	return t.sketch.MemoryBytes() + t.heap.MemoryBytes()
+}
+
+// Name identifies the algorithm.
+func (t *Tracker) Name() string { return "Count" }
+
+func nonzero(a float64) float64 {
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+var _ stream.Tracker = (*Tracker)(nil)
+
+// Merge adds other's signed counters into s cell-by-cell. Both sketches
+// must have identical geometry; Count sketches over disjoint sub-streams
+// merge into the (still unbiased) sketch of the union.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("countsketch: cannot merge nil sketch")
+	}
+	if s.rows != other.rows || s.width != other.width {
+		return fmt.Errorf("countsketch: incompatible merge (%dx%d vs %dx%d)",
+			s.rows, s.width, other.rows, other.width)
+	}
+	for i := range s.counters {
+		dst, src := s.counters[i], other.counters[i]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package countsketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestExactWithAmpleWidth(t *testing.T) {
+	s := New(1<<20, 3)
+	for i := 0; i < 123; i++ {
+		s.Add(9, 1)
+	}
+	if got := s.Estimate(9); got != 123 {
+		t.Fatalf("estimate = %d, want 123", got)
+	}
+}
+
+func TestUnbiasedOnAverage(t *testing.T) {
+	// The Count sketch is unbiased: averaged over many hash seeds is not
+	// testable here (seeds are fixed), but over many *items* with the same
+	// true count, the mean estimate should land near the truth, unlike
+	// CM's strictly-upward bias.
+	rng := rand.New(rand.NewSource(5))
+	s := New(8192, 3)
+	const perItem = 20
+	const nItems = 2000
+	for i := 0; i < nItems; i++ {
+		for j := 0; j < perItem; j++ {
+			s.Add(stream.Item(i), 1)
+		}
+	}
+	_ = rng
+	var sum float64
+	for i := 0; i < nItems; i++ {
+		sum += float64(s.Estimate(stream.Item(i)))
+	}
+	mean := sum / nItems
+	if math.Abs(mean-perItem) > perItem*0.5 {
+		t.Fatalf("mean estimate %.1f far from true %d", mean, perItem)
+	}
+}
+
+func TestEstimateClampedAtZero(t *testing.T) {
+	s := New(16, 3) // heavy collisions; raw medians can go negative
+	for i := 0; i < 1000; i++ {
+		s.Add(stream.Item(i), 1)
+	}
+	for i := 0; i < 2000; i++ {
+		if s.Estimate(stream.Item(i)) > 1<<40 {
+			t.Fatal("estimate looks like wrapped negative")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(1024, 3)
+	s.Add(1, 5)
+	s.Reset()
+	if s.Estimate(1) != 0 {
+		t.Fatal("estimate nonzero after Reset")
+	}
+}
+
+func TestSizing(t *testing.T) {
+	s := New(1200, 3)
+	if s.Width() != 100 {
+		t.Fatalf("width = %d, want 100", s.Width())
+	}
+	if s.MemoryBytes() != 1200 {
+		t.Fatalf("MemoryBytes = %d, want 1200", s.MemoryBytes())
+	}
+}
+
+func TestTrackerTopKOnZipf(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 50000, M: 5000, Periods: 1, Skew: 1.2,
+		Head: 100, TailWindowFrac: 1, Seed: 6})
+	o := oracle.FromStream(st, stream.Frequent)
+	tr := NewTracker(32*1024, 100, 1)
+	st.Replay(tr)
+	r := metrics.Evaluate(o, tr, 100)
+	if r.Precision < 0.5 {
+		t.Fatalf("Count tracker precision %.2f, want ≥0.5", r.Precision)
+	}
+	if tr.Name() != "Count" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestTrackerQueryMissing(t *testing.T) {
+	tr := NewTracker(8*1024, 4, 1)
+	if _, ok := tr.Query(424242); ok {
+		t.Fatal("item with zero estimate reported present")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	st := gen.NetworkLike(1<<17, 1)
+	tr := NewTracker(64*1024, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(st.Items[i&(1<<17-1)])
+	}
+}
+
+func TestMergeUnionEqualsSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := New(2048, 3)
+	b := New(2048, 3)
+	whole := New(2048, 3)
+	for i := 0; i < 20000; i++ {
+		item := stream.Item(rng.Intn(1000))
+		whole.Add(item, 1)
+		if i%3 == 0 {
+			a.Add(item, 1)
+		} else {
+			b.Add(item, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := stream.Item(0); i < 1000; i++ {
+		if a.Estimate(i) != whole.Estimate(i) {
+			t.Fatalf("item %d: merged %d != single-pass %d",
+				i, a.Estimate(i), whole.Estimate(i))
+		}
+	}
+	if err := a.Merge(New(4096, 3)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Package dist diagnoses a workload's frequency distribution. The paper's
+// Long-tail Replacement section ends with a prescription (Section III-D,
+// "Shortcoming"): before relying on the optimization, users should sample
+// their dataset and check that item frequencies are long-tailed. This
+// package implements that check — frequency ranking, a Zipf-skew fit, tail
+// share statistics, and a go/no-go recommendation — and cmd/sigcheck wraps
+// it for trace files.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sigstream/internal/stream"
+)
+
+// Report summarizes a stream's frequency distribution.
+type Report struct {
+	// Arrivals and Distinct describe the sample size.
+	Arrivals int
+	Distinct int
+	// TopShare[k] is the fraction of arrivals contributed by the k most
+	// frequent items, for k ∈ {1, 10, 100}.
+	Top1Share   float64
+	Top10Share  float64
+	Top100Share float64
+	// MaxOverMedian is f_max / f_median — a quick tail indicator.
+	MaxOverMedian float64
+	// ZipfSkew is the γ of the best least-squares fit of
+	// log f_rank = c − γ·log rank over the top half of the ranking.
+	ZipfSkew float64
+	// FitR2 is the coefficient of determination of that fit.
+	FitR2 float64
+	// LongTail is the overall recommendation: true when Long-tail
+	// Replacement's assumption looks satisfied.
+	LongTail bool
+	// Freqs is the frequency ranking (descending), capped at 1000 entries
+	// for plotting.
+	Freqs []uint64
+}
+
+// Analyze computes the Report for a stream.
+func Analyze(s *stream.Stream) Report {
+	counts := make(map[stream.Item]uint64, 1024)
+	for _, it := range s.Items {
+		counts[it]++
+	}
+	freqs := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+
+	r := Report{
+		Arrivals: len(s.Items),
+		Distinct: len(freqs),
+	}
+	if len(freqs) == 0 {
+		return r
+	}
+	total := float64(len(s.Items))
+	sumTop := func(k int) float64 {
+		if k > len(freqs) {
+			k = len(freqs)
+		}
+		var t uint64
+		for _, f := range freqs[:k] {
+			t += f
+		}
+		return float64(t) / total
+	}
+	r.Top1Share = sumTop(1)
+	r.Top10Share = sumTop(10)
+	r.Top100Share = sumTop(100)
+	median := float64(freqs[len(freqs)/2])
+	if median > 0 {
+		r.MaxOverMedian = float64(freqs[0]) / median
+	}
+	r.ZipfSkew, r.FitR2 = fitZipf(freqs)
+
+	// Recommendation: a clear head (top-100 carries a disproportionate
+	// share) and a positive, well-fitting skew.
+	headShare := r.Top100Share
+	headFrac := math.Min(100, float64(len(freqs))) / float64(len(freqs))
+	r.LongTail = headShare > 5*headFrac && r.ZipfSkew > 0.4 &&
+		r.MaxOverMedian >= 10
+
+	cap := len(freqs)
+	if cap > 1000 {
+		cap = 1000
+	}
+	r.Freqs = freqs[:cap]
+	return r
+}
+
+// fitZipf least-squares fits log f = c − γ·log rank over the top half of
+// the ranking (the tail of a finite sample flattens into counting noise).
+func fitZipf(freqs []uint64) (gamma, r2 float64) {
+	n := len(freqs) / 2
+	if n < 3 {
+		n = len(freqs)
+	}
+	if n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy, syy float64
+	m := 0
+	for i := 0; i < n; i++ {
+		if freqs[i] == 0 {
+			break
+		}
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(freqs[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+		m++
+	}
+	if m < 2 {
+		return 0, 0
+	}
+	fm := float64(m)
+	den := fm*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope := (fm*sxy - sx*sy) / den
+	gamma = -slope
+	// R² = 1 − SSR/SST via the regression identity.
+	ssTot := syy - sy*sy/fm
+	ssReg := slope * (sxy - sx*sy/fm)
+	if ssTot > 0 {
+		r2 = ssReg / ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+		if r2 > 1 {
+			r2 = 1
+		}
+	}
+	return gamma, r2
+}
+
+// String renders the report for terminal output.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arrivals:         %d\n", r.Arrivals)
+	fmt.Fprintf(&b, "distinct items:   %d\n", r.Distinct)
+	fmt.Fprintf(&b, "top-1 share:      %.2f%%\n", r.Top1Share*100)
+	fmt.Fprintf(&b, "top-10 share:     %.2f%%\n", r.Top10Share*100)
+	fmt.Fprintf(&b, "top-100 share:    %.2f%%\n", r.Top100Share*100)
+	fmt.Fprintf(&b, "max/median freq:  %.1f\n", r.MaxOverMedian)
+	fmt.Fprintf(&b, "Zipf skew fit:    γ=%.2f (R²=%.2f)\n", r.ZipfSkew, r.FitR2)
+	if r.LongTail {
+		b.WriteString("verdict: long-tailed — Long-tail Replacement (the default) is appropriate\n")
+	} else {
+		b.WriteString("verdict: NOT clearly long-tailed — consider DisableLongTailReplacement (paper §III-D)\n")
+	}
+	return b.String()
+}

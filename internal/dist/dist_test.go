@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/stream"
+)
+
+func TestZipfStreamIsLongTail(t *testing.T) {
+	s := gen.ZipfStream(100000, 10000, 10, 1.1, 1)
+	r := Analyze(s)
+	if !r.LongTail {
+		t.Fatalf("Zipf γ=1.1 not recognized as long-tailed: %+v", r)
+	}
+	if math.Abs(r.ZipfSkew-1.1) > 0.35 {
+		t.Fatalf("fitted skew %.2f far from true 1.1", r.ZipfSkew)
+	}
+	if r.FitR2 < 0.8 {
+		t.Fatalf("fit R² %.2f too low for a true Zipf sample", r.FitR2)
+	}
+	if r.Top1Share <= 0 || r.Top100Share <= r.Top10Share {
+		t.Fatalf("share statistics inconsistent: %+v", r)
+	}
+}
+
+func TestUniformStreamIsNotLongTail(t *testing.T) {
+	s := gen.UniformStream(100000, 5000, 10, 2)
+	r := Analyze(s)
+	if r.LongTail {
+		t.Fatalf("uniform stream misclassified as long-tailed: %+v", r)
+	}
+	if r.MaxOverMedian > 3 {
+		t.Fatalf("uniform max/median %.1f implausible", r.MaxOverMedian)
+	}
+}
+
+func TestPresetWorkloadsAreLongTail(t *testing.T) {
+	for _, s := range []*stream.Stream{
+		gen.CAIDALike(80000, 1),
+		gen.NetworkLike(80000, 1),
+		gen.SocialLike(80000, 1),
+	} {
+		r := Analyze(s)
+		if !r.LongTail {
+			t.Errorf("%s not recognized as long-tailed: skew %.2f max/median %.1f",
+				s.Label, r.ZipfSkew, r.MaxOverMedian)
+		}
+	}
+}
+
+func TestAnalyzeEmptyAndTiny(t *testing.T) {
+	r := Analyze(&stream.Stream{})
+	if r.Arrivals != 0 || r.Distinct != 0 || r.LongTail {
+		t.Fatalf("empty stream report wrong: %+v", r)
+	}
+	r = Analyze(&stream.Stream{Items: []stream.Item{1, 1, 2}})
+	if r.Distinct != 2 || r.Arrivals != 3 {
+		t.Fatalf("tiny stream report wrong: %+v", r)
+	}
+}
+
+func TestFreqsCappedAndSorted(t *testing.T) {
+	s := gen.ZipfStream(50000, 5000, 5, 1.0, 3)
+	r := Analyze(s)
+	if len(r.Freqs) > 1000 {
+		t.Fatalf("freqs not capped: %d", len(r.Freqs))
+	}
+	for i := 1; i < len(r.Freqs); i++ {
+		if r.Freqs[i] > r.Freqs[i-1] {
+			t.Fatal("freqs not sorted descending")
+		}
+	}
+}
+
+func TestStringVerdicts(t *testing.T) {
+	long := Analyze(gen.ZipfStream(50000, 5000, 5, 1.2, 4)).String()
+	if !strings.Contains(long, "long-tailed — Long-tail Replacement") {
+		t.Fatalf("positive verdict missing:\n%s", long)
+	}
+	flat := Analyze(gen.UniformStream(50000, 5000, 5, 4)).String()
+	if !strings.Contains(flat, "NOT clearly long-tailed") {
+		t.Fatalf("negative verdict missing:\n%s", flat)
+	}
+}
+
+func TestFitZipfDegenerate(t *testing.T) {
+	if g, r2 := fitZipf(nil); g != 0 || r2 != 0 {
+		t.Fatal("nil input must yield zeros")
+	}
+	if g, _ := fitZipf([]uint64{5}); g != 0 {
+		t.Fatal("single point must yield zero skew")
+	}
+	// Perfectly flat ranking → slope 0.
+	if g, _ := fitZipf([]uint64{7, 7, 7, 7, 7, 7}); math.Abs(g) > 1e-9 {
+		t.Fatalf("flat ranking skew %.4f, want 0", g)
+	}
+}

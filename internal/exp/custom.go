@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"sigstream/internal/ltc"
+	"sigstream/internal/stream"
+)
+
+// EvalTrace scores a tracker line-up on a user-provided stream ("bring
+// your own trace"): the workload is exact-counted once, then every
+// algorithm of the selected task runs at each memory budget and is scored
+// on precision and ARE. Task is "frequent", "persistent" or "significant"
+// (the latter using the supplied weights).
+func EvalTrace(s *stream.Stream, task string, weights stream.Weights,
+	memsBytes []int, k int) (Result, error) {
+	start := time.Now()
+	if s.Len() == 0 {
+		return Result{}, fmt.Errorf("exp: empty trace")
+	}
+	if k <= 0 {
+		k = 100
+	}
+	if len(memsBytes) == 0 {
+		memsBytes = []int{16 << 10, 64 << 10}
+	}
+
+	var specsFor func(mem, k, ipp int) []spec
+	switch task {
+	case "frequent":
+		weights = stream.Frequent
+		specsFor = frequentSpecs
+	case "persistent":
+		weights = stream.Persistent
+		specsFor = persistentSpecs
+	case "significant":
+		if weights == (stream.Weights{}) {
+			weights = stream.Balanced
+		}
+		w := weights
+		specsFor = func(mem, k, ipp int) []spec {
+			specs := significantSpecs(mem, k, ipp, w)
+			// Include the full LTC ablation variants for custom traces.
+			specs = append(specs, spec{"LTC-noLTR", func() stream.Tracker {
+				return ltc.New(ltc.Options{MemoryBytes: mem, Weights: w,
+					DisableLongTailReplacement: true, ItemsPerPeriod: ipp})
+			}})
+			return specs
+		}
+	default:
+		return Result{}, fmt.Errorf("exp: unknown task %q (want frequent, persistent or significant)", task)
+	}
+
+	w := newWorkloads(QuickScale)
+	o := w.oracleFor(s, weights)
+	label := s.Label
+	if label == "" {
+		label = "trace"
+	}
+	var rows []Row
+	for _, mem := range memsBytes {
+		reports := runPoint(s, o, specsFor(mem, k, s.ItemsPerPeriod()), k)
+		for algo, r := range reports {
+			rows = append(rows,
+				Row{Figure: "trace", Dataset: label, Series: algo, X: kb(mem),
+					Metric: "precision", Value: r.Precision},
+				Row{Figure: "trace", Dataset: label, Series: algo, X: kb(mem),
+					Metric: "ARE", Value: r.ARE})
+		}
+	}
+	return Result{Figure: "trace",
+		Title:   fmt.Sprintf("custom trace: %s items (k=%d, α:β=%s)", task, k, weights),
+		Rows:    rows,
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,361 @@
+// Package exp drives the paper's evaluation: one function per figure that
+// regenerates the corresponding table or curve family on the synthetic
+// workloads. cmd/sigbench and the repository-level benchmarks are thin
+// wrappers around this package.
+//
+// Each experiment returns a Result: uniform rows of
+// (figure, dataset, series, x, metric, value), renderable as an aligned
+// table or CSV. Scales: Quick keeps every figure seconds-fast for tests;
+// Paper uses the paper's stream sizes (10 M / 10 M / 1.5 M items).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sigstream/internal/adapters"
+	"sigstream/internal/cmsketch"
+	"sigstream/internal/countsketch"
+	"sigstream/internal/gen"
+	"sigstream/internal/lossycounting"
+	"sigstream/internal/ltc"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/pie"
+	"sigstream/internal/spacesaving"
+	"sigstream/internal/stream"
+)
+
+// Scale selects stream sizes for a run.
+type Scale struct {
+	// CAIDA, Network, Social and Zipf are the arrival counts for the four
+	// workload families.
+	CAIDA, Network, Social, Zipf int
+	// Seed drives all generation.
+	Seed int64
+	// Quick trims the parameter sweeps (fewer memory points, smaller k)
+	// so a full figure runs in seconds.
+	Quick bool
+}
+
+// QuickScale is the test/CI scale.
+var QuickScale = Scale{
+	CAIDA: 200_000, Network: 200_000, Social: 150_000, Zipf: 200_000,
+	Seed: 1, Quick: true,
+}
+
+// PaperScale matches the paper's dataset sizes.
+var PaperScale = Scale{
+	CAIDA: 10_000_000, Network: 10_000_000, Social: 1_500_000, Zipf: 10_000_000,
+	Seed: 1,
+}
+
+// Row is one measured point.
+type Row struct {
+	Figure  string  // e.g. "9a"
+	Dataset string  // e.g. "CAIDA-like"
+	Series  string  // algorithm or curve name
+	X       string  // x-axis value, e.g. "10KB", "1:1", "500"
+	Metric  string  // "precision", "ARE", "correct-rate", "bound", "frequency", "Mops"
+	Value   float64 // the measurement
+}
+
+// Result is a figure's full output.
+type Result struct {
+	Figure string
+	Title  string
+	// PaperNote summarizes what the paper reports for this figure, for
+	// side-by-side comparison in EXPERIMENTS.md.
+	PaperNote string
+	Rows      []Row
+	Elapsed   time.Duration
+}
+
+// Experiment is a named, runnable figure regenerator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) Result
+}
+
+// Registry lists every reproducible figure in execution order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"6", "Frequency distribution is long-tailed (per bucket & per dataset)", Fig6},
+		{"7a", "Correct rate: theoretical bound vs measured", Fig7a},
+		{"7b", "Error bound: theoretical bound vs measured", Fig7b},
+		{"8a", "Long-tail Replacement ablation: precision vs memory", Fig8a},
+		{"8b", "Long-tail Replacement ablation: precision vs α:β", Fig8b},
+		{"9", "Finding frequent items: precision vs memory (3 datasets)", Fig9},
+		{"9d", "Finding frequent items: precision vs k", Fig9d},
+		{"10", "Finding frequent items: ARE vs memory (3 datasets)", Fig10},
+		{"10d", "Finding frequent items: ARE vs k", Fig10d},
+		{"11", "Deviation Eliminator ablation: precision vs memory", Fig11},
+		{"12", "Finding persistent items: precision vs memory (3 datasets)", Fig12},
+		{"12d", "Finding persistent items: precision vs k", Fig12d},
+		{"13", "Finding persistent items: ARE vs memory (3 datasets)", Fig13},
+		{"13d", "Finding persistent items: ARE vs k", Fig13d},
+		{"14", "Finding significant items: precision vs memory (3 datasets)", Fig14},
+		{"15", "Finding significant items: ARE vs memory (3 datasets)", Fig15},
+		{"tput", "Insertion throughput (Mops)", Throughput},
+		{"d", "Appendix: LTC bucket width d sweep", DSweep},
+		{"policy", "Ablation: replacement policy (long-tail vs basic vs eager)", PolicySweep},
+		{"periods", "Appendix: varying the number of periods", PeriodSweep},
+		{"zipf", "Appendix: synthetic Zipf skew sweep", ZipfSweep},
+		{"ext", "Extensions: window/decay on a regime shift (beyond the paper)", ExtSweep},
+		{"pie-l", "Tuning: PIE per-item hash count", PIESweep},
+		{"extfreq", "Extensions: frequent items incl. Misra-Gries and Sampling", ExtFreqSweep},
+		{"data", "Workload distribution statistics (companion to Fig 6)", DataSweep},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- workload cache ---------------------------------------------------------
+
+type workloads struct {
+	sc      Scale
+	streams map[string]*stream.Stream
+	oracles map[string]*oracle.Oracle
+}
+
+func newWorkloads(sc Scale) *workloads {
+	return &workloads{sc: sc,
+		streams: map[string]*stream.Stream{},
+		oracles: map[string]*oracle.Oracle{},
+	}
+}
+
+func (w *workloads) get(name string) *stream.Stream {
+	if s, ok := w.streams[name]; ok {
+		return s
+	}
+	var s *stream.Stream
+	switch name {
+	case "caida":
+		s = gen.CAIDALike(w.sc.CAIDA, w.sc.Seed)
+	case "network":
+		s = gen.NetworkLike(w.sc.Network, w.sc.Seed)
+	case "social":
+		s = gen.SocialLike(w.sc.Social, w.sc.Seed)
+	case "zipf":
+		s = gen.ZipfStream(w.sc.Zipf, w.sc.Zipf/10, 20, 1.0, w.sc.Seed)
+	default:
+		panic("exp: unknown workload " + name)
+	}
+	w.streams[name] = s
+	return s
+}
+
+func (w *workloads) oracle(name string, weights stream.Weights) *oracle.Oracle {
+	key := fmt.Sprintf("%s/%v", name, weights)
+	if o, ok := w.oracles[key]; ok {
+		return o
+	}
+	o := oracle.FromStream(w.get(name), weights)
+	w.oracles[key] = o
+	return o
+}
+
+// --- tracker line-ups -------------------------------------------------------
+
+type spec struct {
+	name  string
+	build func() stream.Tracker
+}
+
+// frequentSpecs is the paper's Fig 9/10 line-up: SS, LC, Count, CM, CU, LTC.
+func frequentSpecs(mem, k, itemsPerPeriod int) []spec {
+	alpha := 1.0
+	return []spec{
+		{"SpaceSaving", func() stream.Tracker { return spacesaving.New(mem, alpha) }},
+		{"LossyCounting", func() stream.Tracker { return lossycounting.New(mem, alpha) }},
+		{"Count", func() stream.Tracker { return countsketch.NewTracker(mem, k, alpha) }},
+		{"CM", func() stream.Tracker { return cmsketch.NewTracker(cmsketch.CM, mem, k, alpha) }},
+		{"CU", func() stream.Tracker { return cmsketch.NewTracker(cmsketch.CU, mem, k, alpha) }},
+		{"LTC", func() stream.Tracker {
+			return ltc.New(ltc.Options{MemoryBytes: mem, Weights: stream.Frequent,
+				ItemsPerPeriod: itemsPerPeriod})
+		}},
+	}
+}
+
+// persistentSpecs is the Fig 12/13 line-up: PIE (T× memory), CM+BF, CU+BF,
+// LTC. mem is the nominal per-algorithm budget; PIE receives it per period.
+func persistentSpecs(mem, k, itemsPerPeriod int) []spec {
+	beta := 1.0
+	return []spec{
+		{"PIE", func() stream.Tracker {
+			return pie.New(pie.Options{PerPeriodBytes: mem, Beta: beta})
+		}},
+		{"CM+BF", func() stream.Tracker {
+			return adapters.NewPersistent(adapters.CMFactory(), mem, k, beta)
+		}},
+		{"CU+BF", func() stream.Tracker {
+			return adapters.NewPersistent(adapters.CUFactory(), mem, k, beta)
+		}},
+		{"LTC", func() stream.Tracker {
+			return ltc.New(ltc.Options{MemoryBytes: mem, Weights: stream.Persistent,
+				ItemsPerPeriod: itemsPerPeriod})
+		}},
+	}
+}
+
+// significantSpecs is the Fig 14/15 line-up: CM-sig, CU-sig, LTC.
+func significantSpecs(mem, k, itemsPerPeriod int, w stream.Weights) []spec {
+	return []spec{
+		{"CM-sig", func() stream.Tracker {
+			return adapters.NewSignificant(adapters.CMFactory(), mem, k, w)
+		}},
+		{"CU-sig", func() stream.Tracker {
+			return adapters.NewSignificant(adapters.CUFactory(), mem, k, w)
+		}},
+		{"LTC", func() stream.Tracker {
+			return ltc.New(ltc.Options{MemoryBytes: mem, Weights: w,
+				ItemsPerPeriod: itemsPerPeriod})
+		}},
+	}
+}
+
+// runPoint replays s into each spec's tracker and scores it.
+func runPoint(s *stream.Stream, o *oracle.Oracle, specs []spec, k int) map[string]metrics.Report {
+	out := make(map[string]metrics.Report, len(specs))
+	for _, sp := range specs {
+		t := sp.build()
+		s.Replay(t)
+		out[sp.name] = metrics.Evaluate(o, t, k)
+	}
+	return out
+}
+
+// --- formatting helpers -----------------------------------------------------
+
+func kb(bytes int) string { return fmt.Sprintf("%dKB", bytes/1024) }
+
+// memPoints trims a sweep when Quick.
+func memPoints(sc Scale, full []int) []int {
+	if !sc.Quick || len(full) <= 3 {
+		return full
+	}
+	return []int{full[0], full[len(full)/2], full[len(full)-1]}
+}
+
+// memPointsQ returns the paper's sweep at full scale and an explicit
+// scaled-down list when Quick. Quick streams are ~50× shorter than the
+// paper's, so the paper's memory values would remove all pressure and
+// flatten every curve at precision 1; the quick lists restore the
+// memory-to-stream ratio the figure is about.
+func memPointsQ(sc Scale, full, quick []int) []int {
+	if sc.Quick {
+		return quick
+	}
+	return full
+}
+
+func kPoints(sc Scale, full []int) []int {
+	if !sc.Quick || len(full) <= 2 {
+		return full
+	}
+	return []int{full[0], full[len(full)-1]}
+}
+
+// Render formats a Result as an aligned text table.
+func Render(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", r.Figure, r.Title)
+	if r.PaperNote != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperNote)
+	}
+	fmt.Fprintf(&b, "elapsed: %v\n", r.Elapsed.Round(time.Millisecond))
+	if len(r.Rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s %-12s %-10s %-12s %s\n",
+		"dataset", "series", "x", "metric", "value")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %-12s %-10s %-12s %.6g\n",
+			row.Dataset, row.Series, row.X, row.Metric, row.Value)
+	}
+	return b.String()
+}
+
+// CSV formats a Result as comma-separated values with a header.
+func CSV(r Result) string {
+	var b strings.Builder
+	b.WriteString("figure,dataset,series,x,metric,value\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%g\n",
+			row.Figure, row.Dataset, row.Series, row.X, row.Metric, row.Value)
+	}
+	return b.String()
+}
+
+// Series extracts (x, value) points for one series+metric, preserving row
+// order — convenient for tests and plotting.
+func Series(r Result, dataset, series, metric string) []float64 {
+	var vs []float64
+	for _, row := range r.Rows {
+		if row.Dataset == dataset && row.Series == series && row.Metric == metric {
+			vs = append(vs, row.Value)
+		}
+	}
+	return vs
+}
+
+// SeriesNames lists the distinct series labels in a result.
+func SeriesNames(r Result) []string {
+	set := map[string]struct{}{}
+	for _, row := range r.Rows {
+		set[row.Series] = struct{}{}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Groups name figure subsets runnable as a unit with sigbench -fig <group>.
+var Groups = map[string][]string{
+	// paper: every figure of the paper's evaluation section, in order.
+	"paper": {"6", "7a", "7b", "8a", "8b", "9", "9d", "10", "10d", "11",
+		"12", "12d", "13", "13d", "14", "15", "tput"},
+	// ablation: the optimization and design-choice studies.
+	"ablation": {"8a", "8b", "11", "d", "policy", "pie-l"},
+	// extensions: everything beyond the paper.
+	"extensions": {"ext", "extfreq", "periods", "zipf"},
+}
+
+// Expand resolves a figure id, group name, or "all" to experiments.
+func Expand(id string) ([]Experiment, bool) {
+	if id == "all" {
+		return Registry(), true
+	}
+	if ids, ok := Groups[id]; ok {
+		var out []Experiment
+		for _, fid := range ids {
+			e, found := Find(fid)
+			if !found {
+				return nil, false
+			}
+			out = append(out, e)
+		}
+		return out, true
+	}
+	e, ok := Find(id)
+	if !ok {
+		return nil, false
+	}
+	return []Experiment{e}, true
+}

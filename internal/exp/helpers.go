@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"fmt"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+// oracleFor computes an oracle for an ad-hoc (non-preset) stream. These are
+// not cached: sweep experiments own their streams.
+func (w *workloads) oracleFor(s *stream.Stream, weights stream.Weights) *oracle.Oracle {
+	return oracle.FromStream(s, weights)
+}
+
+// genNetworkWithPeriods generates the Network-like workload with a custom
+// period count, for the appendix period sweep.
+func genNetworkWithPeriods(n, periods int, seed int64) *stream.Stream {
+	m := n / 5
+	if m < 64 {
+		m = 64
+	}
+	return gen.Generate(gen.Config{
+		N: n, M: m, Periods: periods, Skew: 0.9,
+		Head: 500, TailWindowFrac: 0.1, Seed: seed,
+		Label: fmt.Sprintf("Network-T%d", periods),
+	})
+}
+
+// genZipf generates a plain Zipf stream with the given skew, for the
+// appendix synthetic-dataset sweep.
+func genZipf(n int, gamma float64, seed int64) *stream.Stream {
+	s := gen.ZipfStream(n, n/10, 20, gamma, seed)
+	s.Label = fmt.Sprintf("Zipf-%.1f", gamma)
+	return s
+}

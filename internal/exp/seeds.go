@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"sigstream/internal/stats"
+)
+
+// RunSeeds replicates an experiment across `seeds` generation seeds and
+// aggregates each (dataset, series, x, metric) point into mean and
+// standard-deviation rows — the statistically honest version of a single
+// run, since the synthetic workloads are resampled per seed.
+//
+// The returned result carries two rows per point: the original metric name
+// with the mean, and "<metric>±" with the sample standard deviation.
+func RunSeeds(e Experiment, sc Scale, seeds int) Result {
+	start := time.Now()
+	if seeds < 1 {
+		seeds = 1
+	}
+	type key struct{ dataset, series, x, metric string }
+	samples := map[key][]float64{}
+	var order []key
+	var template Result
+	for i := 0; i < seeds; i++ {
+		run := sc
+		run.Seed = sc.Seed + int64(i)
+		r := e.Run(run)
+		if i == 0 {
+			template = r
+		}
+		for _, row := range r.Rows {
+			k := key{row.Dataset, row.Series, row.X, row.Metric}
+			if _, ok := samples[k]; !ok {
+				order = append(order, k)
+			}
+			samples[k] = append(samples[k], row.Value)
+		}
+	}
+	out := Result{
+		Figure:    template.Figure,
+		Title:     fmt.Sprintf("%s (mean of %d seeds)", template.Title, seeds),
+		PaperNote: template.PaperNote,
+		Elapsed:   time.Since(start),
+	}
+	for _, k := range order {
+		vs := samples[k]
+		out.Rows = append(out.Rows,
+			Row{Figure: template.Figure, Dataset: k.dataset, Series: k.series,
+				X: k.x, Metric: k.metric, Value: stats.Mean(vs)},
+			Row{Figure: template.Figure, Dataset: k.dataset, Series: k.series,
+				X: k.x, Metric: k.metric + "±", Value: stats.Std(vs)})
+	}
+	return out
+}

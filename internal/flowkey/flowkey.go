@@ -1,0 +1,107 @@
+// Package flowkey derives 64-bit stream items from network flow tuples.
+// The paper's flow footnote defines a flow as "a part of the five tuples:
+// source IP address, destination IP address, source port, destination
+// port, and protocol"; this package canonicalizes those parts into Item
+// keys so packet streams feed the trackers directly (as in the CAIDA
+// evaluation, which keys by source IP).
+package flowkey
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// Flow is one packet's tuple. Zero-valued fields are allowed; Key* helpers
+// select which parts participate in the key.
+type Flow struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// ParseFlow parses "src:sport>dst:dport/proto" with any of the port and
+// proto parts optional, e.g.:
+//
+//	"10.0.0.1>10.0.0.2"
+//	"10.0.0.1:1234>10.0.0.2:80/6"
+//	"[2001:db8::1]:443>[2001:db8::2]:8080/17"
+func ParseFlow(s string) (Flow, error) {
+	var f Flow
+	proto := ""
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		proto = s[i+1:]
+		s = s[:i]
+	}
+	parts := strings.SplitN(s, ">", 2)
+	if len(parts) != 2 {
+		return f, fmt.Errorf("flowkey: %q: missing '>' separator", s)
+	}
+	var err error
+	if f.Src, f.SrcPort, err = parseEndpoint(parts[0]); err != nil {
+		return f, fmt.Errorf("flowkey: src: %w", err)
+	}
+	if f.Dst, f.DstPort, err = parseEndpoint(parts[1]); err != nil {
+		return f, fmt.Errorf("flowkey: dst: %w", err)
+	}
+	if proto != "" {
+		p, err := strconv.ParseUint(proto, 10, 8)
+		if err != nil {
+			return f, fmt.Errorf("flowkey: proto %q: %w", proto, err)
+		}
+		f.Proto = uint8(p)
+	}
+	return f, nil
+}
+
+func parseEndpoint(s string) (netip.Addr, uint16, error) {
+	s = strings.TrimSpace(s)
+	// Try addr:port first (handles [v6]:port), then bare addr.
+	if ap, err := netip.ParseAddrPort(s); err == nil {
+		return ap.Addr(), ap.Port(), nil
+	}
+	addr, err := netip.ParseAddr(strings.Trim(s, "[]"))
+	if err != nil {
+		return netip.Addr{}, 0, err
+	}
+	return addr, 0, nil
+}
+
+// KeyFiveTuple keys the full five tuple — per-connection granularity.
+func (f Flow) KeyFiveTuple() stream.Item {
+	h := addrHash(f.Src)
+	h = hashing.Mix64(h ^ addrHash(f.Dst))
+	h = hashing.Mix64(h ^ uint64(f.SrcPort)<<24 ^ uint64(f.DstPort)<<8 ^ uint64(f.Proto))
+	return h
+}
+
+// KeySrc keys by source address only — the paper's CAIDA setting
+// (detecting heavy/persistent sources).
+func (f Flow) KeySrc() stream.Item { return addrHash(f.Src) }
+
+// KeyDst keys by destination address only (victim-side aggregation).
+func (f Flow) KeyDst() stream.Item { return addrHash(f.Dst) }
+
+// KeyPair keys by the (src, dst) pair regardless of ports and protocol.
+func (f Flow) KeyPair() stream.Item {
+	return hashing.Mix64(addrHash(f.Src) ^ hashing.Mix64(addrHash(f.Dst)))
+}
+
+// addrHash folds an address into 64 bits. IPv4 addresses map to their
+// 32-bit value mixed; IPv6 addresses mix both halves.
+func addrHash(a netip.Addr) uint64 {
+	if !a.IsValid() {
+		return 0
+	}
+	b := a.As16()
+	var hi, lo uint64
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(b[i])
+		lo = lo<<8 | uint64(b[i+8])
+	}
+	return hashing.Mix64(hi ^ hashing.Mix64(lo))
+}

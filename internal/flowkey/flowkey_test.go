@@ -1,0 +1,99 @@
+package flowkey
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestParseFlowForms(t *testing.T) {
+	cases := []struct {
+		in           string
+		src, dst     string
+		sport, dport uint16
+		proto        uint8
+	}{
+		{"10.0.0.1>10.0.0.2", "10.0.0.1", "10.0.0.2", 0, 0, 0},
+		{"10.0.0.1:1234>10.0.0.2:80/6", "10.0.0.1", "10.0.0.2", 1234, 80, 6},
+		{"[2001:db8::1]:443>[2001:db8::2]:8080/17",
+			"2001:db8::1", "2001:db8::2", 443, 8080, 17},
+		{"2001:db8::1>2001:db8::2", "2001:db8::1", "2001:db8::2", 0, 0, 0},
+	}
+	for _, c := range cases {
+		f, err := ParseFlow(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if f.Src != netip.MustParseAddr(c.src) || f.Dst != netip.MustParseAddr(c.dst) {
+			t.Fatalf("%q: addrs %v>%v", c.in, f.Src, f.Dst)
+		}
+		if f.SrcPort != c.sport || f.DstPort != c.dport || f.Proto != c.proto {
+			t.Fatalf("%q: ports/proto %d/%d/%d", c.in, f.SrcPort, f.DstPort, f.Proto)
+		}
+	}
+}
+
+func TestParseFlowErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"10.0.0.1",              // no separator
+		"nothost>10.0.0.2",      // bad src
+		"10.0.0.1>nothost",      // bad dst
+		"10.0.0.1>10.0.0.2/zzz", // bad proto
+		"10.0.0.1>10.0.0.2/300", // proto out of range
+	} {
+		if _, err := ParseFlow(in); err == nil {
+			t.Fatalf("%q accepted", in)
+		}
+	}
+}
+
+func TestKeysDeterministicAndGranular(t *testing.T) {
+	a, _ := ParseFlow("10.0.0.1:1000>10.0.0.2:80/6")
+	b, _ := ParseFlow("10.0.0.1:2000>10.0.0.2:80/6") // different src port
+	c, _ := ParseFlow("10.0.0.1:1000>10.0.0.3:80/6") // different dst
+
+	if a.KeyFiveTuple() != a.KeyFiveTuple() {
+		t.Fatal("five-tuple key not deterministic")
+	}
+	if a.KeyFiveTuple() == b.KeyFiveTuple() {
+		t.Fatal("five-tuple key ignores ports")
+	}
+	if a.KeySrc() != b.KeySrc() {
+		t.Fatal("src key must ignore ports")
+	}
+	if a.KeySrc() != c.KeySrc() {
+		t.Fatal("src key must match for the same source")
+	}
+	if a.KeyDst() == c.KeyDst() {
+		t.Fatal("dst key must distinguish destinations")
+	}
+	if a.KeyPair() != b.KeyPair() {
+		t.Fatal("pair key must ignore ports")
+	}
+	if a.KeyPair() == c.KeyPair() {
+		t.Fatal("pair key must distinguish destinations")
+	}
+}
+
+func TestKeySrcMatchesSameSource(t *testing.T) {
+	a, _ := ParseFlow("10.0.0.1:1>8.8.8.8:53/17")
+	b, _ := ParseFlow("10.0.0.1:9>1.1.1.1:443/6")
+	if a.KeySrc() != b.KeySrc() {
+		t.Fatal("same source produced different src keys")
+	}
+}
+
+func TestV4V6Distinct(t *testing.T) {
+	v4, _ := ParseFlow("1.2.3.4>5.6.7.8")
+	v6, _ := ParseFlow("2001:db8::1>2001:db8::2")
+	if v4.KeyPair() == v6.KeyPair() {
+		t.Fatal("v4 and v6 flows collided")
+	}
+}
+
+func TestInvalidAddrKey(t *testing.T) {
+	var f Flow // zero value: invalid addrs
+	if f.KeySrc() != 0 || f.KeyDst() != 0 {
+		t.Fatal("invalid addresses must key to 0")
+	}
+}

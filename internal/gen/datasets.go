@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"math/rand"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// Config controls synthetic stream generation.
+type Config struct {
+	// N is the total number of arrivals.
+	N int
+	// M is the number of distinct items in the universe.
+	M int
+	// Periods is the number of equal-sized periods the stream is divided into.
+	Periods int
+	// Skew is the Zipf exponent γ of the frequency distribution.
+	Skew float64
+	// Seed makes generation reproducible.
+	Seed int64
+	// Head is the number of top ranks that are persistent: active in every
+	// period. These model the stable heavy hitters (e.g. backbone flows).
+	Head int
+	// TailWindowFrac is the mean active-window length of non-head items,
+	// as a fraction of Periods. Small values produce bursty traffic whose
+	// frequency rank diverges from its persistency rank.
+	TailWindowFrac float64
+	// Label names the workload in experiment output.
+	Label string
+}
+
+// Generate produces a period-structured stream. Item IDs are pseudorandom
+// 64-bit values (stable per rank and seed), so hash-based structures see
+// realistic keys rather than small integers.
+func Generate(cfg Config) *stream.Stream {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		panic("gen: N and M must be positive")
+	}
+	if cfg.Periods <= 0 {
+		cfg.Periods = 1
+	}
+	if cfg.TailWindowFrac <= 0 {
+		cfg.TailWindowFrac = 1
+	}
+	if cfg.TailWindowFrac > 1 {
+		cfg.TailWindowFrac = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := NewZipf(rng, cfg.M, cfg.Skew)
+
+	// Stable 64-bit ID per rank.
+	ids := make([]stream.Item, cfg.M)
+	for i := range ids {
+		ids[i] = hashing.Mix64(uint64(cfg.Seed)<<20 ^ uint64(i+1))
+	}
+
+	// Active window [start, end) per rank, in periods.
+	starts := make([]int32, cfg.M)
+	ends := make([]int32, cfg.M)
+	for i := 0; i < cfg.M; i++ {
+		if i < cfg.Head {
+			starts[i], ends[i] = 0, int32(cfg.Periods)
+			continue
+		}
+		// Window length uniform in [1, 2·frac·Periods], capped at Periods,
+		// so the mean is ≈ frac·Periods.
+		maxLen := int(2 * cfg.TailWindowFrac * float64(cfg.Periods))
+		if maxLen < 1 {
+			maxLen = 1
+		}
+		length := 1 + rng.Intn(maxLen)
+		if length > cfg.Periods {
+			length = cfg.Periods
+		}
+		start := rng.Intn(cfg.Periods - length + 1)
+		starts[i], ends[i] = int32(start), int32(start+length)
+	}
+
+	// Bucket arrivals into periods: sample a rank, then a uniform period
+	// within its active window.
+	perPeriod := make([][]stream.Item, cfg.Periods)
+	expect := cfg.N/cfg.Periods + 1
+	for p := range perPeriod {
+		perPeriod[p] = make([]stream.Item, 0, expect)
+	}
+	for a := 0; a < cfg.N; a++ {
+		r := z.Next()
+		w := int(ends[r] - starts[r])
+		p := int(starts[r])
+		if w > 1 {
+			p += rng.Intn(w)
+		}
+		perPeriod[p] = append(perPeriod[p], ids[r])
+	}
+
+	// Flatten, shuffling inside each period so arrivals interleave the way
+	// real traffic does (generation order would otherwise cluster ranks).
+	items := make([]stream.Item, 0, cfg.N)
+	for _, bucket := range perPeriod {
+		rng.Shuffle(len(bucket), func(i, j int) {
+			bucket[i], bucket[j] = bucket[j], bucket[i]
+		})
+		items = append(items, bucket...)
+	}
+
+	// Period division downstream is count-based (N/Periods items each), so
+	// re-chunking is only approximate if periods have unequal sizes. Since
+	// the paper also divides real traces "with a fixed time interval" and
+	// its algorithms tolerate varying arrival rates, this is faithful.
+	return &stream.Stream{Items: items, Periods: cfg.Periods, Label: cfg.Label}
+}
+
+// CAIDALike emulates the paper's CAIDA Anonymized Internet Trace 2016
+// workload: 10 M packets keyed by source IP, 500 periods, strong skew,
+// a stable backbone of persistent sources plus bursty scanners.
+func CAIDALike(n int, seed int64) *stream.Stream {
+	return Generate(Config{
+		N: n, M: maxInt(n/8, 64), Periods: 500, Skew: 1.1,
+		Head: 1000, TailWindowFrac: 0.25, Seed: seed, Label: "CAIDA-like",
+	})
+}
+
+// NetworkLike emulates the stack-exchange temporal interaction network:
+// 10 M answer events keyed by user, 1000 periods, moderate skew, and high
+// temporal locality (most users are active for a short stretch).
+func NetworkLike(n int, seed int64) *stream.Stream {
+	return Generate(Config{
+		N: n, M: maxInt(n/5, 64), Periods: 1000, Skew: 0.9,
+		Head: 500, TailWindowFrac: 0.1, Seed: seed, Label: "Network-like",
+	})
+}
+
+// SocialLike emulates the social-network message log: 1.5 M messages keyed
+// by sender, 200 periods, milder skew, heavy per-period overlap.
+func SocialLike(n int, seed int64) *stream.Stream {
+	return Generate(Config{
+		N: n, M: maxInt(n/6, 64), Periods: 200, Skew: 0.8,
+		Head: 2000, TailWindowFrac: 0.5, Seed: seed, Label: "Social-like",
+	})
+}
+
+// ZipfStream generates a plain Zipf stream with every item active in every
+// period (no burst structure). Used by the theory-verification experiments
+// (Fig 7), which assume the Eq 3 Zipfian model.
+func ZipfStream(n, m, periods int, gamma float64, seed int64) *stream.Stream {
+	return Generate(Config{
+		N: n, M: m, Periods: periods, Skew: gamma,
+		Head: m, TailWindowFrac: 1, Seed: seed, Label: "Zipf",
+	})
+}
+
+// UniformStream generates a uniform-frequency stream — the distribution for
+// which the paper notes Long-tail Replacement is expected NOT to work well.
+func UniformStream(n, m, periods int, seed int64) *stream.Stream {
+	return Generate(Config{
+		N: n, M: m, Periods: periods, Skew: 0,
+		Head: m, TailWindowFrac: 1, Seed: seed, Label: "Uniform",
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sigstream/internal/stream"
+)
+
+func TestZipfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 100, 1.0)
+	for i := 0; i < 10000; i++ {
+		r := z.Next()
+		if r < 0 || r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfSkewOrdersRanks(t *testing.T) {
+	// With skew 1.2, rank 0 must be sampled far more often than rank 50.
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < 5*counts[50] {
+		t.Fatalf("rank 0 count %d not ≫ rank 50 count %d", counts[0], counts[50])
+	}
+	// Empirical frequency of rank 0 should approximate its mass.
+	p0 := float64(counts[0]) / 200000
+	if math.Abs(p0-z.Mass(0)) > 0.01 {
+		t.Fatalf("empirical mass %.4f vs analytic %.4f", p0, z.Mass(0))
+	}
+}
+
+func TestZipfZeroSkewIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for r, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/100 {
+			t.Fatalf("rank %d count %d deviates from uniform %d", r, c, n/10)
+		}
+	}
+}
+
+func TestZipfMassSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z := NewZipf(rng, 50, 0.8)
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		total += z.Mass(i)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("masses sum to %v, want 1", total)
+	}
+}
+
+func TestZipfFrequenciesEq3(t *testing.T) {
+	fs := ZipfFrequencies(1000, 10, 1.0)
+	// f_i must be non-increasing and sum to N.
+	sum := 0.0
+	for i, f := range fs {
+		sum += f
+		if i > 0 && f > fs[i-1]+1e-9 {
+			t.Fatalf("frequencies not non-increasing at %d", i)
+		}
+	}
+	if math.Abs(sum-1000) > 1e-6 {
+		t.Fatalf("frequencies sum to %v, want 1000", sum)
+	}
+	// Ratio f_1/f_2 must be 2^γ for γ=1.
+	if math.Abs(fs[0]/fs[1]-2) > 1e-9 {
+		t.Fatalf("f1/f2 = %v, want 2", fs[0]/fs[1])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{N: 5000, M: 500, Periods: 10, Skew: 1, Seed: 42})
+	b := Generate(Config{N: 5000, M: 500, Periods: 10, Skew: 1, Seed: 42})
+	if len(a.Items) != len(b.Items) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := Generate(Config{N: 5000, M: 500, Periods: 10, Skew: 1, Seed: 43})
+	diff := 0
+	for i := range a.Items {
+		if a.Items[i] != c.Items[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	s := Generate(Config{N: 10000, M: 1000, Periods: 20, Skew: 1.1, Head: 10, TailWindowFrac: 0.2, Seed: 7})
+	if s.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", s.Len())
+	}
+	if s.Periods != 20 {
+		t.Fatalf("Periods = %d, want 20", s.Periods)
+	}
+	d := s.Distinct()
+	if d < 100 || d > 1000 {
+		t.Fatalf("distinct items %d implausible for M=1000", d)
+	}
+}
+
+func TestGenerateLongTail(t *testing.T) {
+	// The headline assumption of Long-tail Replacement: frequencies follow
+	// a long-tail distribution. Verify the generated stream's top
+	// frequency dwarfs the median frequency.
+	s := Generate(Config{N: 50000, M: 5000, Periods: 10, Skew: 1.1, Head: 50, TailWindowFrac: 0.5, Seed: 11})
+	counts := map[stream.Item]int{}
+	for _, it := range s.Items {
+		counts[it]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	maxF, sum := 0, 0
+	for _, f := range freqs {
+		if f > maxF {
+			maxF = f
+		}
+		sum += f
+	}
+	mean := float64(sum) / float64(len(freqs))
+	if float64(maxF) < 20*mean {
+		t.Fatalf("max frequency %d not ≫ mean %.1f; distribution not long-tailed", maxF, mean)
+	}
+}
+
+func TestGenerateBurstyTailLimitsPersistency(t *testing.T) {
+	// With a small TailWindowFrac, non-head items must appear in far fewer
+	// periods than the head items.
+	const periods = 50
+	s := Generate(Config{N: 100000, M: 2000, Periods: periods, Skew: 0.9,
+		Head: 5, TailWindowFrac: 0.1, Seed: 13})
+	per := s.ItemsPerPeriod()
+	persist := map[stream.Item]map[int]struct{}{}
+	for i, it := range s.Items {
+		p := i / per
+		if persist[it] == nil {
+			persist[it] = map[int]struct{}{}
+		}
+		persist[it][p] = struct{}{}
+	}
+	maxP := 0
+	over := 0
+	for _, ps := range persist {
+		if len(ps) > maxP {
+			maxP = len(ps)
+		}
+		// Tail windows average 10% of 50 = 5 periods (max 10 by the uniform
+		// window draw); count-based re-chunking smears boundaries, so only
+		// flag items far beyond the window bound.
+		if len(ps) > periods/2 {
+			over++
+		}
+	}
+	if maxP < periods/2 {
+		t.Fatalf("no item is persistent (max persistency %d of %d periods)", maxP, periods)
+	}
+	// Only the 5 head items should span more than half the stream.
+	if over > 8 {
+		t.Fatalf("%d items exceed the tail persistency bound; windows not enforced", over)
+	}
+}
+
+func TestPresetsProduceConfiguredPeriods(t *testing.T) {
+	cases := []struct {
+		name    string
+		s       *stream.Stream
+		periods int
+	}{
+		{"caida", CAIDALike(20000, 1), 500},
+		{"network", NetworkLike(20000, 1), 1000},
+		{"social", SocialLike(20000, 1), 200},
+	}
+	for _, c := range cases {
+		if c.s.Periods != c.periods {
+			t.Errorf("%s: periods = %d, want %d", c.name, c.s.Periods, c.periods)
+		}
+		if c.s.Len() != 20000 {
+			t.Errorf("%s: len = %d, want 20000", c.name, c.s.Len())
+		}
+		if c.s.Label == "" {
+			t.Errorf("%s: missing label", c.name)
+		}
+	}
+}
+
+func TestUniformStreamHasFlatFrequencies(t *testing.T) {
+	s := UniformStream(30000, 300, 10, 5)
+	counts := map[stream.Item]int{}
+	for _, it := range s.Items {
+		counts[it]++
+	}
+	minF, maxF := 1<<30, 0
+	for _, c := range counts {
+		if c < minF {
+			minF = c
+		}
+		if c > maxF {
+			maxF = c
+		}
+	}
+	// 100 expected per item; Poisson noise keeps the range tight.
+	if maxF > 3*minF {
+		t.Fatalf("uniform stream has skewed counts: min %d max %d", minF, maxF)
+	}
+}
+
+func TestGenerateProperty(t *testing.T) {
+	// Any valid config yields exactly N arrivals whose IDs come from at
+	// most M distinct values.
+	f := func(seed int64) bool {
+		cfg := Config{N: 2000, M: 100, Periods: 8, Skew: 1, Seed: seed,
+			Head: 10, TailWindowFrac: 0.3}
+		s := Generate(cfg)
+		return s.Len() == 2000 && s.Distinct() <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampsMonotoneAndPeriodAligned(t *testing.T) {
+	s := Generate(Config{N: 5000, M: 300, Periods: 10, Skew: 1, Seed: 9})
+	const d = 60.0
+	ts := Timestamps(s, d, 1)
+	if len(ts) != s.Len() {
+		t.Fatalf("got %d timestamps for %d items", len(ts), s.Len())
+	}
+	per := s.ItemsPerPeriod()
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatalf("timestamps regress at %d", i)
+		}
+	}
+	for i, at := range ts {
+		wantPeriod := i / per
+		if got := int(at / d); got != wantPeriod {
+			t.Fatalf("arrival %d: time %.2f lands in period %d, want %d",
+				i, at, got, wantPeriod)
+		}
+	}
+}
+
+func TestZipfStreamAllItemsAlwaysActive(t *testing.T) {
+	s := ZipfStream(20000, 500, 10, 1.0, 3)
+	if s.Len() != 20000 || s.Periods != 10 || s.Label != "Zipf" {
+		t.Fatalf("shape wrong: %d items, %d periods, %q", s.Len(), s.Periods, s.Label)
+	}
+	// The head item should appear in every period (full activity windows).
+	counts := map[stream.Item]int{}
+	for _, it := range s.Items {
+		counts[it]++
+	}
+	var top stream.Item
+	best := 0
+	for it, c := range counts {
+		if c > best {
+			best, top = c, it
+		}
+	}
+	per := s.ItemsPerPeriod()
+	seen := map[int]bool{}
+	for i, it := range s.Items {
+		if it == top {
+			seen[i/per] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("head item active in %d/10 periods", len(seen))
+	}
+}

@@ -1,0 +1,36 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"sigstream/internal/stream"
+)
+
+// Timestamps assigns an arrival time to every item of a period-structured
+// stream: period p spans [p·d, (p+1)·d) for period duration d, and the
+// period's arrivals get sorted uniform offsets within it. Together with
+// ltc.InsertAt this exercises the paper's time-defined periods with the
+// naturally varying arrival rate the count-based stream already encodes
+// (bursty periods are denser in time).
+func Timestamps(s *stream.Stream, periodDuration float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	per := s.ItemsPerPeriod()
+	ts := make([]float64, len(s.Items))
+	for start := 0; start < len(s.Items); start += per {
+		end := start + per
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		p := start / per
+		offsets := make([]float64, end-start)
+		for i := range offsets {
+			offsets[i] = rng.Float64() * periodDuration * 0.999999
+		}
+		sort.Float64s(offsets)
+		for i := range offsets {
+			ts[start+i] = float64(p)*periodDuration + offsets[i]
+		}
+	}
+	return ts
+}

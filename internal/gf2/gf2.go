@@ -1,0 +1,80 @@
+// Package gf2 provides incremental Gaussian elimination over GF(2) for
+// systems with up to 64 unknowns. It is the decoding substrate for the
+// fountain-coded item IDs in the PIE baseline (package pie): every clean
+// Space-Time Bloom Filter cell contributes linear equations over the bits
+// of the unknown 64-bit item ID, and the ID is recovered once the system
+// reaches full rank.
+package gf2
+
+import "math/bits"
+
+// System is an incrementally-built linear system a·x = b over GF(2), with
+// x an unknown 64-bit vector. The zero value is ready to use.
+type System struct {
+	// rows[p] holds the stored equation whose highest set bit (pivot) is p;
+	// mask 0 means no equation with that pivot yet.
+	rows [64]row
+	rank int
+}
+
+type row struct {
+	mask uint64
+	rhs  uint8
+}
+
+// Rank reports the number of linearly independent equations absorbed.
+func (s *System) Rank() int { return s.rank }
+
+// Add absorbs the equation mask·x = rhs (rhs is a single bit). It returns
+// false if the equation contradicts the system (inconsistent), true
+// otherwise. Redundant (dependent, consistent) equations are accepted and
+// leave the rank unchanged.
+func (s *System) Add(mask uint64, rhs uint8) bool {
+	rhs &= 1
+	for mask != 0 {
+		p := 63 - bits.LeadingZeros64(mask)
+		if s.rows[p].mask == 0 {
+			s.rows[p] = row{mask, rhs}
+			s.rank++
+			return true
+		}
+		mask ^= s.rows[p].mask
+		rhs ^= s.rows[p].rhs
+	}
+	return rhs == 0
+}
+
+// Full reports whether the system determines all 64 bits.
+func (s *System) Full() bool { return s.rank == 64 }
+
+// Solve returns the unique solution if the system has full rank.
+func (s *System) Solve() (uint64, bool) {
+	if s.rank != 64 {
+		return 0, false
+	}
+	var x uint64
+	for p := 0; p < 64; p++ {
+		r := s.rows[p]
+		b := r.rhs
+		// All non-pivot bits of r.mask are < p, already solved.
+		if bits.OnesCount64(r.mask&^(1<<uint(p))&x)%2 == 1 {
+			b ^= 1
+		}
+		if b == 1 {
+			x |= 1 << uint(p)
+		}
+	}
+	return x, true
+}
+
+// Reset clears the system for reuse.
+func (s *System) Reset() {
+	s.rows = [64]row{}
+	s.rank = 0
+}
+
+// Eval computes mask·x over GF(2) — the parity of the masked bits. Encoders
+// use it to produce code symbols; tests use it to verify solutions.
+func Eval(mask, x uint64) uint8 {
+	return uint8(bits.OnesCount64(mask&x) & 1)
+}

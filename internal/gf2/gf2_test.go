@@ -1,0 +1,167 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveRecoversRandomVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		secret := rng.Uint64()
+		var s System
+		for !s.Full() {
+			mask := rng.Uint64()
+			if !s.Add(mask, Eval(mask, secret)) {
+				t.Fatal("consistent equation rejected")
+			}
+		}
+		got, ok := s.Solve()
+		if !ok || got != secret {
+			t.Fatalf("trial %d: got %x ok=%v, want %x", trial, got, ok, secret)
+		}
+	}
+}
+
+func TestRankGrowsOnlyOnIndependent(t *testing.T) {
+	var s System
+	if !s.Add(0b1, 1) || s.Rank() != 1 {
+		t.Fatal("first equation must raise rank to 1")
+	}
+	// Same equation again: consistent, redundant.
+	if !s.Add(0b1, 1) || s.Rank() != 1 {
+		t.Fatal("duplicate equation must be accepted without raising rank")
+	}
+	// Contradiction.
+	if s.Add(0b1, 0) {
+		t.Fatal("contradictory equation must be rejected")
+	}
+	if !s.Add(0b10, 0) || s.Rank() != 2 {
+		t.Fatal("independent equation must raise rank")
+	}
+	// Linear combination: x0 ^ x1 = 1 ^ 0 = 1.
+	if !s.Add(0b11, 1) || s.Rank() != 2 {
+		t.Fatal("dependent consistent equation mishandled")
+	}
+	if s.Add(0b11, 0) {
+		t.Fatal("dependent contradictory equation accepted")
+	}
+}
+
+func TestSolveRequiresFullRank(t *testing.T) {
+	var s System
+	s.Add(1, 1)
+	if _, ok := s.Solve(); ok {
+		t.Fatal("Solve must fail below full rank")
+	}
+	if s.Full() {
+		t.Fatal("rank 1 is not full")
+	}
+}
+
+func TestZeroMaskEquations(t *testing.T) {
+	var s System
+	if !s.Add(0, 0) {
+		t.Fatal("0 = 0 is consistent")
+	}
+	if s.Add(0, 1) {
+		t.Fatal("0 = 1 is inconsistent")
+	}
+	if s.Rank() != 0 {
+		t.Fatal("trivial equations must not change rank")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s System
+	s.Add(0b101, 1)
+	s.Reset()
+	if s.Rank() != 0 {
+		t.Fatal("Reset must clear rank")
+	}
+	// Previously contradictory equation now absorbable.
+	if !s.Add(0b101, 0) {
+		t.Fatal("post-reset system rejected fresh equation")
+	}
+}
+
+func TestEval(t *testing.T) {
+	if Eval(0b1011, 0b0011) != 0 { // two shared bits → even parity
+		t.Fatal("Eval parity wrong")
+	}
+	if Eval(0b1011, 0b0001) != 1 {
+		t.Fatal("Eval parity wrong")
+	}
+}
+
+func TestSolutionSatisfiesAllEquationsProperty(t *testing.T) {
+	// For any seed, feeding equations derived from a secret yields a
+	// solution consistent with every fed equation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		secret := rng.Uint64()
+		var s System
+		masks := make([]uint64, 0, 80)
+		for i := 0; i < 80; i++ {
+			m := rng.Uint64()
+			masks = append(masks, m)
+			if !s.Add(m, Eval(m, secret)) {
+				return false
+			}
+		}
+		x, ok := s.Solve()
+		if !ok {
+			// 80 random equations fail to reach rank 64 with probability
+			// ≈ 2^-16; treat as vacuous success.
+			return true
+		}
+		for _, m := range masks {
+			if Eval(m, x) != Eval(m, secret) {
+				return false
+			}
+		}
+		return x == secret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoisyEquationsDetected(t *testing.T) {
+	// With enough clean equations absorbed first, a corrupted equation is
+	// almost surely inconsistent and must be flagged.
+	rng := rand.New(rand.NewSource(3))
+	secret := rng.Uint64()
+	var s System
+	for !s.Full() {
+		m := rng.Uint64()
+		s.Add(m, Eval(m, secret))
+	}
+	detected := 0
+	for i := 0; i < 100; i++ {
+		m := rng.Uint64()
+		if !s.Add(m, Eval(m, secret)^1) {
+			detected++
+		}
+	}
+	if detected != 100 {
+		t.Fatalf("only %d/100 corrupted equations detected at full rank", detected)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	secret := rng.Uint64()
+	masks := make([]uint64, 128)
+	for i := range masks {
+		masks[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s System
+		for _, m := range masks {
+			s.Add(m, Eval(m, secret))
+		}
+	}
+}

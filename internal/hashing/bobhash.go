@@ -1,0 +1,171 @@
+// Package hashing provides the hash functions used by every data structure
+// in this repository.
+//
+// The paper's reference implementation uses Bob Jenkins' hash ("Bob Hash")
+// for all bucket placement. We implement Jenkins' lookup3 for byte slices
+// and a fast specialization for 64-bit item IDs, plus a splitmix64 finalizer
+// used where only avalanche mixing (not keyed hashing) is required.
+package hashing
+
+import "math/bits"
+
+// Bob computes Jenkins' lookup3 hashword-style hash of an 8-byte key with
+// the given seed. It is the keyed hash used for bucket placement throughout
+// the repository, mirroring the paper's use of Bob Hash.
+type Bob struct {
+	seed uint32
+}
+
+// NewBob returns a Bob hash keyed with seed. Distinct seeds behave as
+// independent hash functions.
+func NewBob(seed uint32) Bob { return Bob{seed: seed} }
+
+// Seed reports the seed this hash was created with.
+func (b Bob) Seed() uint32 { return b.seed }
+
+// Hash64 hashes a 64-bit item ID to a 32-bit value.
+func (b Bob) Hash64(x uint64) uint32 {
+	// lookup3 with two 32-bit words of input.
+	a := uint32(0xdeadbeef) + 8 + b.seed
+	bb := a
+	c := a
+	a += uint32(x)
+	bb += uint32(x >> 32)
+	// final(a,b,c)
+	c ^= bb
+	c -= bits.RotateLeft32(bb, 14)
+	a ^= c
+	a -= bits.RotateLeft32(c, 11)
+	bb ^= a
+	bb -= bits.RotateLeft32(a, 25)
+	c ^= bb
+	c -= bits.RotateLeft32(bb, 16)
+	a ^= c
+	a -= bits.RotateLeft32(c, 4)
+	bb ^= a
+	bb -= bits.RotateLeft32(a, 14)
+	c ^= bb
+	c -= bits.RotateLeft32(bb, 24)
+	return c
+}
+
+// Hash hashes an arbitrary byte slice with Jenkins' lookup3.
+func (b Bob) Hash(key []byte) uint32 {
+	length := len(key)
+	a := uint32(0xdeadbeef) + uint32(length) + b.seed
+	bb := a
+	c := a
+
+	i := 0
+	for length > 12 {
+		a += le32(key[i:])
+		bb += le32(key[i+4:])
+		c += le32(key[i+8:])
+		// mix(a,b,c)
+		a -= c
+		a ^= bits.RotateLeft32(c, 4)
+		c += bb
+		bb -= a
+		bb ^= bits.RotateLeft32(a, 6)
+		a += c
+		c -= bb
+		c ^= bits.RotateLeft32(bb, 8)
+		bb += a
+		a -= c
+		a ^= bits.RotateLeft32(c, 16)
+		c += bb
+		bb -= a
+		bb ^= bits.RotateLeft32(a, 19)
+		a += c
+		c -= bb
+		c ^= bits.RotateLeft32(bb, 4)
+		bb += a
+		i += 12
+		length -= 12
+	}
+
+	// Last block: affect all of a, b, c. Fall-through on purpose.
+	k := key[i:]
+	switch length {
+	case 12:
+		c += le32(k[8:])
+		bb += le32(k[4:])
+		a += le32(k)
+	case 11:
+		c += uint32(k[10]) << 16
+		fallthrough
+	case 10:
+		c += uint32(k[9]) << 8
+		fallthrough
+	case 9:
+		c += uint32(k[8])
+		fallthrough
+	case 8:
+		bb += le32(k[4:])
+		a += le32(k)
+	case 7:
+		bb += uint32(k[6]) << 16
+		fallthrough
+	case 6:
+		bb += uint32(k[5]) << 8
+		fallthrough
+	case 5:
+		bb += uint32(k[4])
+		fallthrough
+	case 4:
+		a += le32(k)
+	case 3:
+		a += uint32(k[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(k[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(k[0])
+	case 0:
+		return c
+	}
+	// final(a,b,c)
+	c ^= bb
+	c -= bits.RotateLeft32(bb, 14)
+	a ^= c
+	a -= bits.RotateLeft32(c, 11)
+	bb ^= a
+	bb -= bits.RotateLeft32(a, 25)
+	c ^= bb
+	c -= bits.RotateLeft32(bb, 16)
+	a ^= c
+	a -= bits.RotateLeft32(c, 4)
+	bb ^= a
+	bb -= bits.RotateLeft32(a, 14)
+	c ^= bb
+	c -= bits.RotateLeft32(bb, 24)
+	return c
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Mix64 applies the splitmix64 finalizer, a fast, high-quality avalanche
+// mixer for 64-bit values. It is not keyed; use Bob where independent hash
+// functions are required.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fingerprint returns an n-bit (n ≤ 32) nonzero fingerprint of an item ID,
+// keyed by seed. Fingerprints are used by the Bloom-filter-family structures
+// to distinguish colliding items cheaply.
+func Fingerprint(x uint64, seed uint32, bitsN uint) uint32 {
+	h := NewBob(seed ^ 0xfeedface).Hash64(x)
+	fp := h & ((1 << bitsN) - 1)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}

@@ -1,0 +1,14 @@
+package lossycounting
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return New(mem, 1)
+	}, trackertest.Options{FrequencyOnly: true})
+}

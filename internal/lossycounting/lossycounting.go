@@ -1,0 +1,136 @@
+// Package lossycounting implements Lossy Counting (Manku & Motwani), the
+// second counter-based baseline for top-k frequent items (paper Section
+// II-A).
+//
+// The stream is processed in windows of width w = ⌈1/ε⌉. Each tracked item
+// holds (count, Δ) where Δ is the window index at insertion — the maximum
+// undercount. At every window boundary, entries with count + Δ ≤ current
+// window are pruned.
+//
+// Classic Lossy Counting bounds its table at (1/ε)·log(εN) entries, which is
+// not a fixed budget; for the paper's equal-memory comparison this
+// implementation additionally enforces a hard capacity derived from the
+// memory budget by pruning the weakest entries when the table overflows.
+package lossycounting
+
+import (
+	"sort"
+
+	"sigstream/internal/stream"
+)
+
+// EntryBytes is the accounted memory per tracked item: 8-byte ID, 8-byte
+// count, 4-byte Δ, map overhead amortized to 4 bytes.
+const EntryBytes = 24
+
+type counter struct {
+	count uint64
+	delta uint64
+}
+
+// LC is a Lossy Counting summary.
+type LC struct {
+	capacity int
+	window   int // w = ⌈1/ε⌉
+	alpha    float64
+	table    map[stream.Item]*counter
+	seen     int    // arrivals in the current window
+	bucket   uint64 // current window index (the paper's b_current)
+}
+
+// New sizes a Lossy Counting summary from a memory budget. The window width
+// is set to the capacity (ε = 1/capacity), the standard choice that makes
+// the nominal table size match the budget.
+func New(memoryBytes int, alpha float64) *LC {
+	capacity := memoryBytes / EntryBytes
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LC{
+		capacity: capacity,
+		window:   capacity,
+		alpha:    alpha,
+		table:    make(map[stream.Item]*counter, capacity),
+		bucket:   1,
+	}
+}
+
+// Capacity reports the hard entry limit.
+func (l *LC) Capacity() int { return l.capacity }
+
+// MemoryBytes reports the accounted footprint.
+func (l *LC) MemoryBytes() int { return l.capacity * EntryBytes }
+
+// Name identifies the algorithm.
+func (l *LC) Name() string { return "LossyCounting" }
+
+// Insert records one arrival.
+func (l *LC) Insert(item stream.Item) {
+	if c, ok := l.table[item]; ok {
+		c.count++
+	} else {
+		l.table[item] = &counter{count: 1, delta: l.bucket - 1}
+	}
+	l.seen++
+	if l.seen >= l.window {
+		l.seen = 0
+		l.bucket++
+		l.prune()
+	}
+}
+
+// prune applies the window-boundary rule, then enforces the hard capacity.
+func (l *LC) prune() {
+	for item, c := range l.table {
+		if c.count+c.delta <= l.bucket-1 {
+			delete(l.table, item)
+		}
+	}
+	if len(l.table) <= l.capacity {
+		return
+	}
+	// Hard budget: drop the weakest (count+Δ) entries.
+	type kv struct {
+		item stream.Item
+		key  uint64
+	}
+	all := make([]kv, 0, len(l.table))
+	for item, c := range l.table {
+		all = append(all, kv{item, c.count + c.delta})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	for _, e := range all[:len(all)-l.capacity] {
+		delete(l.table, e.item)
+	}
+}
+
+// EndPeriod is a no-op: Lossy Counting has no notion of periods.
+func (l *LC) EndPeriod() {}
+
+// Query reports the estimate for item.
+func (l *LC) Query(item stream.Item) (stream.Entry, bool) {
+	c, ok := l.table[item]
+	if !ok {
+		return stream.Entry{}, false
+	}
+	return l.entry(item, c), true
+}
+
+// TopK reports the k tracked items with the largest counts.
+func (l *LC) TopK(k int) []stream.Entry {
+	es := make([]stream.Entry, 0, len(l.table))
+	for item, c := range l.table {
+		es = append(es, l.entry(item, c))
+	}
+	return stream.TopKFromEntries(es, k)
+}
+
+func (l *LC) entry(item stream.Item, c *counter) stream.Entry {
+	return stream.Entry{
+		Item:         item,
+		Frequency:    c.count,
+		Significance: l.alpha * float64(c.count),
+	}
+}
+
+var _ stream.Tracker = (*LC)(nil)

@@ -1,0 +1,168 @@
+package lossycounting
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestExactForHotItemSmallStream(t *testing.T) {
+	l := New(24*100, 1) // capacity 100, window 100
+	for i := 0; i < 50; i++ {
+		l.Insert(7)
+	}
+	e, ok := l.Query(7)
+	if !ok || e.Frequency != 50 {
+		t.Fatalf("got %+v ok=%v, want f=50", e, ok)
+	}
+}
+
+func TestPruneDropsColdItems(t *testing.T) {
+	// Window = capacity = 10. One hot item plus a parade of singletons:
+	// after several windows the singletons must be gone, the hot item kept.
+	l := New(24*10, 1)
+	next := stream.Item(100)
+	for w := 0; w < 20; w++ {
+		for i := 0; i < 5; i++ {
+			l.Insert(1)
+		}
+		for i := 0; i < 5; i++ {
+			l.Insert(next)
+			next++
+		}
+	}
+	if _, ok := l.Query(1); !ok {
+		t.Fatal("hot item pruned")
+	}
+	survivors := len(l.TopK(1 << 20))
+	if survivors > l.Capacity() {
+		t.Fatalf("%d survivors exceed capacity %d", survivors, l.Capacity())
+	}
+	if _, ok := l.Query(100); ok {
+		t.Fatal("first singleton should have been pruned long ago")
+	}
+}
+
+func TestHardCapacityEnforced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := New(24*50, 1)
+	for i := 0; i < 20000; i++ {
+		l.Insert(stream.Item(rng.Intn(5000)))
+	}
+	if got := len(l.TopK(1 << 20)); got > l.Capacity() {
+		t.Fatalf("table holds %d > capacity %d", got, l.Capacity())
+	}
+}
+
+func TestUnderestimatesBoundedByWindow(t *testing.T) {
+	// Lossy Counting may undercount a tracked item by at most εN
+	// (= N/window). Verify on a mixed stream.
+	rng := rand.New(rand.NewSource(2))
+	truth := map[stream.Item]uint64{}
+	const capacity = 100
+	l := New(24*capacity, 1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		item := stream.Item(rng.Intn(500))
+		truth[item]++
+		l.Insert(item)
+	}
+	bound := uint64(n/capacity + 1)
+	for item, f := range truth {
+		e, ok := l.Query(item)
+		if !ok {
+			continue
+		}
+		if e.Frequency > f {
+			t.Fatalf("item %d: overestimate %d > true %d (LC never overestimates)",
+				item, e.Frequency, f)
+		}
+		if f-e.Frequency > bound {
+			t.Fatalf("item %d: undercount %d exceeds εN bound %d",
+				item, f-e.Frequency, bound)
+		}
+	}
+}
+
+func TestHeadPrecisionOnZipf(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 50000, M: 5000, Periods: 1, Skew: 1.2,
+		Head: 100, TailWindowFrac: 1, Seed: 3})
+	o := oracle.FromStream(st, stream.Frequent)
+	l := New(24*500, 1)
+	st.Replay(l)
+	r := metrics.Evaluate(o, l, 50)
+	if r.Precision < 0.6 {
+		t.Fatalf("Lossy Counting precision %.2f on easy Zipf head", r.Precision)
+	}
+}
+
+func TestSizing(t *testing.T) {
+	l := New(2400, 1)
+	if l.Capacity() != 100 {
+		t.Fatalf("capacity = %d, want 100", l.Capacity())
+	}
+	if l.MemoryBytes() != 2400 {
+		t.Fatalf("MemoryBytes = %d, want 2400", l.MemoryBytes())
+	}
+	if New(1, 1).Capacity() != 1 {
+		t.Fatal("capacity must floor at 1")
+	}
+	if l.Name() != "LossyCounting" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestQueryMissing(t *testing.T) {
+	l := New(240, 1)
+	if _, ok := l.Query(12345); ok {
+		t.Fatal("missing item reported present")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	st := gen.NetworkLike(1<<17, 1)
+	l := New(64*1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(st.Items[i&(1<<17-1)])
+	}
+}
+
+func TestHardCapPruneKeepsStrongest(t *testing.T) {
+	// Force the hard-capacity branch: capacity 10 (window 10); feed pairs
+	// of repeated items so every tracked entry survives the classic
+	// window-boundary rule (count 2 > 1), overflowing the table until the
+	// weakest-by-(count+Δ) entries are force-dropped.
+	l := New(24*10, 1)
+	item := stream.Item(1)
+	for round := 0; round < 30; round++ {
+		for rep := 0; rep < 2; rep++ {
+			l.Insert(item)
+		}
+		item++
+		// One very hot item keeps a high count so the hard prune has a
+		// clear survivor to keep.
+		for rep := 0; rep < 3; rep++ {
+			l.Insert(999)
+		}
+	}
+	if got := len(l.TopK(1 << 20)); got > l.Capacity() {
+		t.Fatalf("table holds %d > capacity %d", got, l.Capacity())
+	}
+	if _, ok := l.Query(999); !ok {
+		t.Fatal("hot item dropped by hard prune")
+	}
+}
+
+func TestEndPeriodNoOp(t *testing.T) {
+	l := New(240, 1)
+	l.Insert(1)
+	l.EndPeriod() // must be a harmless no-op
+	if _, ok := l.Query(1); !ok {
+		t.Fatal("EndPeriod disturbed state")
+	}
+}

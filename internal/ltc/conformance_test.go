@@ -1,0 +1,15 @@
+package ltc
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return New(Options{MemoryBytes: mem, Weights: stream.Balanced,
+			ItemsPerPeriod: 300, Seed: 1})
+	}, trackertest.Options{})
+}

@@ -1,0 +1,35 @@
+package ltc
+
+// Exponential decay — an extension beyond the paper. The paper's
+// significance weighs all history equally; long-running deployments often
+// want "significant lately": items that are frequent and persistent in the
+// recent past, with stale history aging out. Setting Options.DecayFactor
+// λ ∈ (0,1) scales every cell's frequency and persistency counter by λ at
+// each period boundary, turning both into exponentially-weighted counts
+// (half-life = ln 2 / ln(1/λ) periods). λ=1 (or 0, the zero value)
+// disables decay and recovers the paper's semantics exactly.
+//
+// Decay composes with every other feature: the CLOCK still credits at most
+// one persistency unit per period; Significance Decrementing and Long-tail
+// Replacement operate on the decayed values, so eviction pressure
+// automatically favors recently-significant items.
+
+// applyDecay scales all counters by the configured factor. Cells whose
+// significance decays to zero are freed.
+func (l *LTC) applyDecay() {
+	λ := l.opts.DecayFactor
+	if λ <= 0 || λ >= 1 {
+		return
+	}
+	for i := range l.cells {
+		c := &l.cells[i]
+		if !c.occupied() {
+			continue
+		}
+		c.freq = uint32(float64(c.freq) * λ)
+		c.counter = uint32(float64(c.counter) * λ)
+		if l.significance(c) <= 0 && c.flags&(flagEven|flagOdd) == 0 {
+			c.clear()
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ltc
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func TestDecayDisabledByDefault(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Balanced, Seed: 1})
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 10; i++ {
+			l.Insert(7)
+		}
+		l.EndPeriod()
+	}
+	e, _ := l.Query(7)
+	if e.Frequency != 40 || e.Persistency != 4 {
+		t.Fatalf("f=%d p=%d, want exact 40/4 without decay", e.Frequency, e.Persistency)
+	}
+}
+
+func TestDecayHalvesCounts(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Frequent,
+		DecayFactor: 0.5, Seed: 2})
+	for i := 0; i < 100; i++ {
+		l.Insert(7)
+	}
+	l.EndPeriod() // 100 → 50
+	l.EndPeriod() // 50 → 25
+	e, ok := l.Query(7)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Frequency != 25 {
+		t.Fatalf("decayed frequency = %d, want 25", e.Frequency)
+	}
+}
+
+func TestDecayFreesDeadCells(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Frequent,
+		DecayFactor: 0.5, Seed: 3})
+	l.Insert(7) // frequency 1
+	l.EndPeriod()
+	l.EndPeriod() // 1 → 0 → freed (no pending flags after the second period)
+	if _, ok := l.Query(7); ok {
+		t.Fatal("fully decayed item still tracked")
+	}
+	if l.Occupancy() != 0 {
+		t.Fatalf("occupancy %d after full decay", l.Occupancy())
+	}
+}
+
+func TestDecayFavorsRecentItems(t *testing.T) {
+	// An old burst (period 0) versus a fresh equal burst (last period):
+	// with decay the fresh item must rank first; without decay they tie.
+	build := func(decay float64) *LTC {
+		l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Frequent,
+			DecayFactor: decay, Seed: 4})
+		for p := 0; p < 8; p++ {
+			if p == 0 {
+				for i := 0; i < 64; i++ {
+					l.Insert(1)
+				}
+			}
+			if p == 7 {
+				for i := 0; i < 64; i++ {
+					l.Insert(2)
+				}
+			}
+			l.Insert(3) // keep periods ticking
+			l.EndPeriod()
+		}
+		return l
+	}
+	decayed := build(0.5)
+	top := decayed.TopK(1)
+	if len(top) == 0 || top[0].Item != 2 {
+		t.Fatalf("decay should rank the fresh burst first, got %+v", top)
+	}
+	e1, ok := decayed.Query(1)
+	if ok && e1.Frequency > 1 {
+		t.Fatalf("old burst barely decayed: f=%d", e1.Frequency)
+	}
+	exact := build(0)
+	a, _ := exact.Query(1)
+	b, _ := exact.Query(2)
+	if a.Frequency != 64 || b.Frequency != 64 {
+		t.Fatalf("no-decay run should keep both at 64: %d/%d", a.Frequency, b.Frequency)
+	}
+}
+
+func TestDecayKeepsPersistencyBounded(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Persistent,
+		DecayFactor: 0.9, Seed: 5})
+	for p := 0; p < 20; p++ {
+		for i := 0; i < 5; i++ {
+			l.Insert(9)
+		}
+		l.EndPeriod()
+	}
+	e, ok := l.Query(9)
+	if !ok {
+		t.Fatal("steady item lost under decay")
+	}
+	// Geometric series with λ=0.9: steady-state ≈ λ(1−λ^t)/(1−λ) < 9.
+	if e.Persistency > 10 {
+		t.Fatalf("decayed persistency %d should stay below the λ/(1−λ) fixed point", e.Persistency)
+	}
+	if e.Persistency == 0 {
+		t.Fatal("steady item's persistency decayed to zero")
+	}
+}

@@ -1,0 +1,130 @@
+package ltc
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func TestItemZeroIsAValidID(t *testing.T) {
+	// Item 0 must be trackable: occupancy is a flag, not a sentinel ID.
+	l := New(Options{MemoryBytes: 1 << 12, Weights: stream.Balanced, Seed: 1})
+	for p := 0; p < 3; p++ {
+		l.Insert(0)
+		l.EndPeriod()
+	}
+	e, ok := l.Query(0)
+	if !ok {
+		t.Fatal("item 0 not tracked")
+	}
+	if e.Frequency != 3 || e.Persistency != 3 {
+		t.Fatalf("item 0: f=%d p=%d, want 3/3", e.Frequency, e.Persistency)
+	}
+}
+
+func TestEmptyPeriods(t *testing.T) {
+	// EndPeriod with no arrivals (including several in a row) must be safe
+	// and must not credit persistency.
+	l := New(Options{MemoryBytes: 1 << 12, Weights: stream.Persistent,
+		ItemsPerPeriod: 10, Seed: 2})
+	l.Insert(5)
+	for i := 0; i < 10; i++ {
+		l.EndPeriod()
+	}
+	e, ok := l.Query(5)
+	if !ok {
+		t.Fatal("item lost across empty periods")
+	}
+	if e.Persistency != 1 {
+		t.Fatalf("persistency %d after 10 empty periods, want 1", e.Persistency)
+	}
+}
+
+func TestHugeStepDoesNotOverrun(t *testing.T) {
+	// ItemsPerPeriod=1 makes the per-item step equal to the whole table;
+	// repeated arrivals in one "period" must not oversweep in DE mode.
+	l := New(Options{MemoryBytes: 1 << 10, Weights: stream.Persistent,
+		ItemsPerPeriod: 1, Seed: 3})
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 50; i++ { // 50× the declared rate
+			l.Insert(9)
+		}
+		l.EndPeriod()
+	}
+	e, _ := l.Query(9)
+	if e.Persistency != 4 {
+		t.Fatalf("persistency %d with 50× rate overrun, want 4", e.Persistency)
+	}
+}
+
+func TestQueryOnFreshTracker(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 10, Seed: 4})
+	if _, ok := l.Query(1); ok {
+		t.Fatal("fresh tracker reported a tracked item")
+	}
+	if top := l.TopK(10); len(top) != 0 {
+		t.Fatalf("fresh tracker TopK returned %d entries", len(top))
+	}
+	l.EndPeriod() // period end before any arrival must be safe
+}
+
+func TestTopKZeroAndNegative(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 10, Seed: 5})
+	l.Insert(1)
+	if got := l.TopK(0); len(got) != 0 {
+		t.Fatalf("TopK(0) = %d entries", len(got))
+	}
+	if got := l.TopK(-3); len(got) != 0 {
+		t.Fatalf("TopK(-3) = %d entries", len(got))
+	}
+}
+
+func TestManyPeriodsParityCycles(t *testing.T) {
+	// 1001 periods: parity flips odd number of times; counting must stay
+	// exact for a never-evicted item.
+	l := New(Options{MemoryBytes: 1 << 12, Weights: stream.Persistent,
+		ItemsPerPeriod: 2, Seed: 6})
+	const periods = 1001
+	for p := 0; p < periods; p++ {
+		l.Insert(3)
+		l.Insert(4)
+		l.EndPeriod()
+	}
+	e, _ := l.Query(3)
+	if e.Persistency != periods {
+		t.Fatalf("persistency %d, want %d", e.Persistency, periods)
+	}
+}
+
+func TestSignificanceTieEviction(t *testing.T) {
+	// Two cells with identical significance: decrement must consistently
+	// pick one (the first) and never corrupt the other.
+	l := New(Options{MemoryBytes: 2 * CellBytes, BucketWidth: 2,
+		Weights: stream.Frequent, DisableLongTailReplacement: true, Seed: 7})
+	l.Insert(1)
+	l.Insert(2) // both at f=1 — a tie
+	l.Insert(3) // decrements the first-found minimum
+	alive := 0
+	for _, it := range []stream.Item{1, 2} {
+		if _, ok := l.Query(it); ok {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("%d of the tied items alive, want exactly 1 (one expelled for item 3)", alive)
+	}
+}
+
+func TestFrequencyDoesNotOverflowRealisticStreams(t *testing.T) {
+	// 3M arrivals of one item: well within uint32; sanity-check there is no
+	// wraparound in the pipeline.
+	l := New(Options{MemoryBytes: 1 << 10, Weights: stream.Frequent, Seed: 8})
+	const n = 3_000_000
+	for i := 0; i < n; i++ {
+		l.Insert(42)
+	}
+	e, _ := l.Query(42)
+	if e.Frequency != n {
+		t.Fatalf("frequency %d, want %d", e.Frequency, n)
+	}
+}

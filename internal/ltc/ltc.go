@@ -1,0 +1,539 @@
+// Package ltc implements LTC (Long-Tail CLOCK), the paper's algorithm for
+// finding top-k significant items in a data stream.
+//
+// LTC keeps a lossy table of w buckets × d cells. Each cell stores an item
+// ID, an estimated frequency, and a persistency field made of a counter and
+// flag bits. An item's significance is α·frequency + β·persistency.
+//
+// The two key techniques are:
+//
+//   - A modified CLOCK algorithm: a pointer sweeps the table exactly once
+//     per period; a swept cell whose flag is set gets its persistency
+//     counter incremented and the flag cleared, so persistency grows by at
+//     most 1 per period no matter how many times the item appeared. The
+//     Deviation Eliminator optimization uses two parity flags (even/odd
+//     periods) so the swept flag always belongs to the previous period,
+//     eliminating the up-to-one-period deviation of a single-flag CLOCK.
+//
+//   - Long-tail Replacement: when an arriving item finally expels the
+//     smallest cell of a full bucket (by decrementing its significance to
+//     zero), the new item's initial frequency and persistency are set to the
+//     bucket's second-smallest values minus one, recovering the frequency
+//     the new item likely spent on the eviction under a long-tail
+//     distribution.
+package ltc
+
+import (
+	"fmt"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// CellBytes is the memory accounting per cell: 8-byte item ID, 4-byte
+// frequency, 4-byte persistency field (counter plus flag bits), matching the
+// paper's cost model.
+const CellBytes = 16
+
+// DefaultBucketWidth is d, the number of cells per bucket. The paper
+// selects d = 8 from its appendix experiments.
+const DefaultBucketWidth = 8
+
+const (
+	flagEven uint8 = 1 << iota // appearance flag for even-numbered periods
+	flagOdd                    // appearance flag for odd-numbered periods
+	flagOccupied
+)
+
+type cell struct {
+	id      stream.Item
+	freq    uint32
+	counter uint32
+	flags   uint8
+}
+
+func (c *cell) occupied() bool { return c.flags&flagOccupied != 0 }
+
+func (c *cell) clear() { *c = cell{} }
+
+// ReplacementPolicy selects how a full bucket admits a new item — the
+// design choice the paper's Long-tail Replacement section is about. All
+// policies except ReplaceEager first decrement the smallest cell's
+// significance and replace only when it reaches zero; they differ in the
+// admitted item's initial value.
+type ReplacementPolicy int
+
+const (
+	// ReplaceLongTail is the paper's optimization: initial value =
+	// second-smallest in the bucket minus one (default).
+	ReplaceLongTail ReplacementPolicy = iota
+	// ReplaceBasic initializes to 1 (the basic version; what
+	// DisableLongTailReplacement selects).
+	ReplaceBasic
+	// ReplaceSecondSmallest initializes to the second-smallest value
+	// without the minus-one adjustment (ablation: is the −1 needed to keep
+	// the newcomer smallest?).
+	ReplaceSecondSmallest
+	// ReplaceEager is the Space-Saving rule the paper argues against:
+	// replace the smallest cell immediately and initialize to its value
+	// plus one. It reintroduces overestimation error.
+	ReplaceEager
+)
+
+// String names the policy for experiment output.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case ReplaceBasic:
+		return "basic"
+	case ReplaceSecondSmallest:
+		return "second-smallest"
+	case ReplaceEager:
+		return "eager"
+	default:
+		return "long-tail"
+	}
+}
+
+// Options configures an LTC instance. The zero value of the feature toggles
+// selects the full algorithm (both optimizations on).
+type Options struct {
+	// MemoryBytes is the total memory budget; the bucket count is derived
+	// as w = MemoryBytes / (CellBytes · BucketWidth).
+	MemoryBytes int
+	// BucketWidth is d, the cells per bucket (default DefaultBucketWidth).
+	BucketWidth int
+	// Weights are the significance coefficients α and β.
+	Weights stream.Weights
+	// ItemsPerPeriod is the expected number of arrivals per period (the
+	// paper's n), used to derive the CLOCK step m/n. If zero, the step
+	// adapts using the previous period's observed arrival count.
+	ItemsPerPeriod int
+	// DisableDeviationEliminator reverts to the basic single-flag CLOCK
+	// (Section III-B), which can over- or under-count persistency by one
+	// period. Used by the Fig 11 ablation.
+	DisableDeviationEliminator bool
+	// Replacement selects the bucket-admission policy (default
+	// ReplaceLongTail, the paper's optimization).
+	Replacement ReplacementPolicy
+	// DisableLongTailReplacement is a convenience alias for
+	// Replacement = ReplaceBasic (Section III-B's initial value 1). Used by
+	// the Fig 8 ablation; ignored when Replacement is set explicitly.
+	DisableLongTailReplacement bool
+	// PeriodDuration enables time-defined periods for InsertAt: the length
+	// of one period in the same unit as InsertAt timestamps. Ignored by
+	// Insert/EndPeriod-driven streams.
+	PeriodDuration float64
+	// DecayFactor λ ∈ (0,1) exponentially ages counts at each period
+	// boundary (see decay.go). 0 or 1 disables decay (the paper's exact
+	// semantics). Extension beyond the paper.
+	DecayFactor float64
+	// Seed keys the bucket hash function.
+	Seed uint32
+}
+
+// LTC is the Long-Tail CLOCK structure. It is not safe for concurrent use;
+// wrap it or shard the stream for multi-goroutine ingestion.
+type LTC struct {
+	opts  Options
+	w, d  int
+	m     int // total cells, w·d
+	cells []cell
+	hash  hashing.Bob
+
+	// CLOCK state.
+	ptr          int     // next cell index the sweep pointer visits
+	acc          float64 // fractional cells owed to the sweep
+	step         float64 // cells to sweep per arriving item (m/n)
+	swept        int     // cells swept so far this period
+	parity       uint8   // flagEven or flagOdd: the *current* period's flag
+	itemsInPer   int     // arrivals seen this period (for adaptive stepping)
+	adaptiveStep bool
+
+	// Time-defined period state (InsertAt).
+	timeAnchored bool
+	periodStart  float64
+	lastArrival  float64
+	timeDebt     float64 // cells owed to the sweep by elapsed time
+
+	stats Stats
+}
+
+// Stats are cumulative operation counters, useful for understanding how a
+// configuration behaves on a workload (e.g. how much eviction pressure the
+// replacement policy absorbed).
+type Stats struct {
+	// Arrivals is the number of Insert/InsertAt calls.
+	Arrivals uint64
+	// Hits counts arrivals that matched a tracked cell (case 1).
+	Hits uint64
+	// Admissions counts items inserted into an empty cell (case 2) or
+	// after an expulsion.
+	Admissions uint64
+	// Decrements counts Significance Decrementing operations (case 3).
+	Decrements uint64
+	// Expulsions counts evicted items.
+	Expulsions uint64
+	// FlagConsumed counts persistency credits granted by the CLOCK sweep.
+	FlagConsumed uint64
+}
+
+// New builds an LTC from opts.
+func New(opts Options) *LTC {
+	if opts.BucketWidth <= 0 {
+		opts.BucketWidth = DefaultBucketWidth
+	}
+	if opts.MemoryBytes <= 0 {
+		opts.MemoryBytes = 64 * 1024
+	}
+	d := opts.BucketWidth
+	w := opts.MemoryBytes / (CellBytes * d)
+	if w < 1 {
+		w = 1
+	}
+	if opts.Replacement == ReplaceLongTail && opts.DisableLongTailReplacement {
+		opts.Replacement = ReplaceBasic
+	}
+	opts.DisableLongTailReplacement = opts.Replacement == ReplaceBasic
+	l := &LTC{
+		opts:   opts,
+		w:      w,
+		d:      d,
+		m:      w * d,
+		cells:  make([]cell, w*d),
+		hash:   hashing.NewBob(opts.Seed ^ 0x17c5),
+		parity: flagEven,
+	}
+	if opts.ItemsPerPeriod > 0 {
+		l.step = float64(l.m) / float64(opts.ItemsPerPeriod)
+	} else {
+		l.adaptiveStep = true
+		l.step = 0 // first period relies on the EndPeriod completion sweep
+	}
+	return l
+}
+
+// Buckets returns w, the number of buckets.
+func (l *LTC) Buckets() int { return l.w }
+
+// BucketWidth returns d, the number of cells per bucket.
+func (l *LTC) BucketWidth() int { return l.d }
+
+// Name identifies the configuration for experiment output.
+func (l *LTC) Name() string {
+	switch {
+	case l.opts.DisableDeviationEliminator && l.opts.Replacement == ReplaceBasic:
+		return "LTC-basic"
+	case l.opts.Replacement == ReplaceBasic:
+		return "LTC-noLTR"
+	case l.opts.Replacement == ReplaceSecondSmallest:
+		return "LTC-ss"
+	case l.opts.Replacement == ReplaceEager:
+		return "LTC-eager"
+	case l.opts.DisableDeviationEliminator:
+		return "LTC-noDE"
+	}
+	return "LTC"
+}
+
+// MemoryBytes reports the structure's accounted memory.
+func (l *LTC) MemoryBytes() int { return l.m * CellBytes }
+
+// previousFlag returns the parity bit the sweep consumes.
+func (l *LTC) previousFlag() uint8 {
+	if l.opts.DisableDeviationEliminator {
+		return flagEven // basic mode uses a single flag
+	}
+	if l.parity == flagEven {
+		return flagOdd
+	}
+	return flagEven
+}
+
+// currentFlag returns the parity bit set on appearance.
+func (l *LTC) currentFlag() uint8 {
+	if l.opts.DisableDeviationEliminator {
+		return flagEven
+	}
+	return l.parity
+}
+
+// significance computes a cell's significance α·f + β·counter.
+func (l *LTC) significance(c *cell) float64 {
+	return l.opts.Weights.Significance(uint64(c.freq), uint64(c.counter))
+}
+
+// Insert records one arrival of item (Section III-B, cases 1–3), then
+// advances the CLOCK pointer by its per-item step.
+func (l *LTC) Insert(item stream.Item) {
+	l.itemsInPer++
+	l.stats.Arrivals++
+	l.place(item)
+	l.advanceClock()
+}
+
+// place runs the three-case bucket update for one arrival.
+//
+// The bucket is scanned twice on the miss-with-full-bucket path: a cheap
+// match/empty pass first and the significance minimum only when needed.
+// (A single merged scan was measured slower — it adds float significance
+// math to the hit path, which dominates on skewed streams.)
+func (l *LTC) place(item stream.Item) {
+	b := int(l.hash.Hash64(item)) % l.w
+	if b < 0 {
+		b += l.w
+	}
+	bucket := l.cells[b*l.d : (b+1)*l.d]
+
+	// Case 1: item already tracked.
+	var empty *cell
+	for i := range bucket {
+		c := &bucket[i]
+		if !c.occupied() {
+			if empty == nil {
+				empty = c
+			}
+			continue
+		}
+		if c.id == item {
+			c.flags |= l.currentFlag()
+			c.freq++
+			l.stats.Hits++
+			return
+		}
+	}
+
+	// Case 2: an empty cell exists.
+	if empty != nil {
+		l.fill(empty, item, 1, 0)
+		l.stats.Admissions++
+		return
+	}
+
+	// Case 3: full bucket.
+	smallest := &bucket[0]
+	minSig := l.significance(smallest)
+	for i := 1; i < len(bucket); i++ {
+		if s := l.significance(&bucket[i]); s < minSig {
+			minSig = s
+			smallest = &bucket[i]
+		}
+	}
+	if l.opts.Replacement == ReplaceEager {
+		// Space-Saving rule: replace immediately, inherit min's counts plus
+		// one arrival. Reintroduces overestimation (the contrast the
+		// paper's Long-tail Replacement section draws).
+		initF, initC := smallest.freq+1, smallest.counter
+		smallest.clear()
+		l.fill(smallest, item, initF, initC)
+		l.stats.Expulsions++
+		l.stats.Admissions++
+		return
+	}
+	// Significance Decrementing on the smallest cell.
+	l.stats.Decrements++
+	if smallest.counter > 0 {
+		smallest.counter--
+	}
+	if smallest.freq > 0 {
+		smallest.freq--
+	}
+	if l.significance(smallest) <= 0 {
+		// Expel and insert the newcomer.
+		var initF, initC uint32 = 1, 0
+		switch l.opts.Replacement {
+		case ReplaceLongTail:
+			f2, c2 := l.secondSmallest(bucket, smallest)
+			initF, initC = 1, 0
+			if f2 > 1 {
+				initF = f2 - 1
+			}
+			if c2 > 0 {
+				initC = c2 - 1
+			}
+		case ReplaceSecondSmallest:
+			initF, initC = l.secondSmallest(bucket, smallest)
+			if initF < 1 {
+				initF = 1
+			}
+		}
+		smallest.clear()
+		l.fill(smallest, item, initF, initC)
+		l.stats.Expulsions++
+		l.stats.Admissions++
+	}
+}
+
+// fill installs item into the (empty) cell with the given initial values and
+// marks its appearance in the current period.
+func (l *LTC) fill(c *cell, item stream.Item, f, counter uint32) {
+	c.id = item
+	c.freq = f
+	c.counter = counter
+	c.flags = flagOccupied | l.currentFlag()
+}
+
+// secondSmallest returns the frequency and persistency counter of the
+// least-significant surviving cell — the bucket's second smallest before
+// the expulsion. With d = 1 there is no such cell and the basic initial
+// values (1, 0) are returned.
+func (l *LTC) secondSmallest(bucket []cell, expelled *cell) (f, counter uint32) {
+	found := false
+	var minSig float64
+	var minF, minC uint32
+	for i := range bucket {
+		c := &bucket[i]
+		if c == expelled || !c.occupied() {
+			continue
+		}
+		s := l.significance(c)
+		if !found || s < minSig {
+			found = true
+			minSig = s
+			minF, minC = c.freq, c.counter
+		}
+	}
+	if !found { // d == 1: no second-smallest exists
+		return 1, 0
+	}
+	return minF, minC
+}
+
+// advanceClock moves the sweep pointer by the per-item step, scanning the
+// cells it passes (Persistency Incrementing).
+func (l *LTC) advanceClock() {
+	if l.step <= 0 {
+		return
+	}
+	l.acc += l.step
+	n := int(l.acc)
+	if n <= 0 {
+		return
+	}
+	l.acc -= float64(n)
+	if !l.opts.DisableDeviationEliminator {
+		// With the Deviation Eliminator the per-period sweep is bounded by
+		// one full pass; EndPeriod completes whatever remains. (In basic
+		// mode the pointer runs free — lapping or undershooting is exactly
+		// the deviation the optimization removes.)
+		if remaining := l.m - l.swept; n > remaining {
+			n = remaining
+		}
+	}
+	l.sweep(n)
+}
+
+// sweep scans n cells from the pointer, consuming previous-period flags.
+func (l *LTC) sweep(n int) {
+	prev := l.previousFlag()
+	for i := 0; i < n; i++ {
+		c := &l.cells[l.ptr]
+		if c.flags&prev != 0 {
+			c.counter++
+			c.flags &^= prev
+			l.stats.FlagConsumed++
+		}
+		l.ptr++
+		if l.ptr == l.m {
+			l.ptr = 0
+		}
+	}
+	l.swept += n
+}
+
+// EndPeriod closes the current period. With the Deviation Eliminator it
+// completes the sweep (consuming all remaining previous-period flags) and
+// flips the parity, which performs the flag refreshment implicitly
+// (Section III-C, "Refreshment elimination").
+func (l *LTC) EndPeriod() {
+	if !l.opts.DisableDeviationEliminator {
+		if remaining := l.m - l.swept; remaining > 0 {
+			l.sweep(remaining)
+		}
+		if l.parity == flagEven {
+			l.parity = flagOdd
+		} else {
+			l.parity = flagEven
+		}
+	}
+	l.applyDecay()
+	if l.adaptiveStep && l.itemsInPer > 0 {
+		l.step = float64(l.m) / float64(l.itemsInPer)
+	}
+	l.swept = 0
+	l.acc = 0
+	l.timeDebt = 0
+	l.itemsInPer = 0
+}
+
+// entry converts a cell to a reported Entry. Flags that have been set but
+// not yet consumed by the sweep each represent one real period of
+// appearance, so they are included in the reported persistency.
+func (l *LTC) entry(c *cell) stream.Entry {
+	p := uint64(c.counter)
+	if c.flags&flagEven != 0 {
+		p++
+	}
+	if c.flags&flagOdd != 0 {
+		p++
+	}
+	return stream.Entry{
+		Item:         c.id,
+		Frequency:    uint64(c.freq),
+		Persistency:  p,
+		Significance: l.opts.Weights.Significance(uint64(c.freq), p),
+	}
+}
+
+// Query reports the estimate for item, if tracked.
+func (l *LTC) Query(item stream.Item) (stream.Entry, bool) {
+	b := int(l.hash.Hash64(item)) % l.w
+	if b < 0 {
+		b += l.w
+	}
+	bucket := l.cells[b*l.d : (b+1)*l.d]
+	for i := range bucket {
+		c := &bucket[i]
+		if c.occupied() && c.id == item {
+			return l.entry(c), true
+		}
+	}
+	return stream.Entry{}, false
+}
+
+// TopK reports the k tracked items with the largest significance. k ≤ 0
+// yields an empty result.
+func (l *LTC) TopK(k int) []stream.Entry {
+	if k <= 0 {
+		return nil
+	}
+	es := make([]stream.Entry, 0, k)
+	for i := range l.cells {
+		c := &l.cells[i]
+		if c.occupied() {
+			es = append(es, l.entry(c))
+		}
+	}
+	return stream.TopKFromEntries(es, k)
+}
+
+// Stats returns the cumulative operation counters.
+func (l *LTC) Stats() Stats { return l.stats }
+
+// Occupancy reports the number of occupied cells (for diagnostics).
+func (l *LTC) Occupancy() int {
+	n := 0
+	for i := range l.cells {
+		if l.cells[i].occupied() {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the configuration.
+func (l *LTC) String() string {
+	return fmt.Sprintf("%s{w=%d d=%d mem=%dB α:β=%s}", l.Name(), l.w, l.d,
+		l.MemoryBytes(), l.opts.Weights)
+}
+
+var _ stream.Tracker = (*LTC)(nil)

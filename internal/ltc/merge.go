@@ -1,0 +1,105 @@
+package ltc
+
+// Merging: two LTCs built over disjoint sub-streams of the same stream
+// (e.g. per-switch shards in the paper's data-center use case) combine into
+// one summary of the union. Both trackers must share geometry, weights and
+// hash seed, so any item maps to the same bucket in both.
+//
+// Merging is lossy in exactly the way LTC itself is lossy: each bucket of
+// the result keeps the d cells with the largest significance among the two
+// buckets' entries (summing frequency/persistency for items present in
+// both). Persistency is summed, which is correct when the shards partition
+// the arrivals of each period between them only if an item's per-period
+// appearances land in a single shard; for hash-sharded streams
+// (sigstream.Sharded) that holds by construction.
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrIncompatible reports a merge between trackers of different shape.
+var ErrIncompatible = errors.New("ltc: incompatible trackers")
+
+// Compatible reports whether two trackers can be merged.
+func (l *LTC) Compatible(other *LTC) bool {
+	return l.w == other.w && l.d == other.d &&
+		l.opts.Weights == other.opts.Weights &&
+		l.opts.Seed == other.opts.Seed &&
+		l.opts.DisableDeviationEliminator == other.opts.DisableDeviationEliminator
+}
+
+// Merge folds other into l. Both must be compatible; other is not
+// modified. Pending flag bits of both trackers are folded into the merged
+// persistency counters (so Merge is intended for end-of-stream or
+// end-of-period aggregation, after both sides saw EndPeriod).
+func (l *LTC) Merge(other *LTC) error {
+	if !l.Compatible(other) {
+		return ErrIncompatible
+	}
+	type merged struct {
+		id      uint64
+		freq    uint64
+		counter uint64
+	}
+	for b := 0; b < l.w; b++ {
+		mine := l.cells[b*l.d : (b+1)*l.d]
+		theirs := other.cells[b*l.d : (b+1)*l.d]
+
+		sum := make(map[uint64]*merged, 2*l.d)
+		absorb := func(cells []cell, host *LTC) {
+			for i := range cells {
+				c := &cells[i]
+				if !c.occupied() {
+					continue
+				}
+				e := host.entry(c) // folds pending flags into persistency
+				m := sum[c.id]
+				if m == nil {
+					m = &merged{id: c.id}
+					sum[c.id] = m
+				}
+				m.freq += e.Frequency
+				m.counter += e.Persistency
+			}
+		}
+		absorb(mine, l)
+		absorb(theirs, other)
+
+		all := make([]*merged, 0, len(sum))
+		for _, m := range sum {
+			all = append(all, m)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			si := l.opts.Weights.Significance(all[i].freq, all[i].counter)
+			sj := l.opts.Weights.Significance(all[j].freq, all[j].counter)
+			if si != sj {
+				return si > sj
+			}
+			return all[i].id < all[j].id
+		})
+		if len(all) > l.d {
+			all = all[:l.d]
+		}
+		for i := range mine {
+			if i < len(all) {
+				mine[i] = cell{
+					id:      all[i].id,
+					freq:    saturate32(all[i].freq),
+					counter: saturate32(all[i].counter),
+					flags:   flagOccupied,
+				}
+			} else {
+				mine[i] = cell{}
+			}
+		}
+	}
+	return nil
+}
+
+func saturate32(v uint64) uint32 {
+	if v > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(v)
+}

@@ -1,0 +1,162 @@
+package ltc
+
+import (
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/hashing"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestMergeIncompatible(t *testing.T) {
+	a := New(Options{MemoryBytes: 4096, Seed: 1})
+	b := New(Options{MemoryBytes: 8192, Seed: 1})
+	if a.Compatible(b) {
+		t.Fatal("different sizes reported compatible")
+	}
+	if err := a.Merge(b); err != ErrIncompatible {
+		t.Fatalf("want ErrIncompatible, got %v", err)
+	}
+	c := New(Options{MemoryBytes: 4096, Seed: 2})
+	if a.Compatible(c) {
+		t.Fatal("different seeds reported compatible")
+	}
+	d := New(Options{MemoryBytes: 4096, Seed: 1,
+		Weights: stream.Weights{Alpha: 5}})
+	if a.Compatible(d) {
+		t.Fatal("different weights reported compatible")
+	}
+}
+
+func TestMergeDisjointItems(t *testing.T) {
+	opts := Options{MemoryBytes: 1 << 16, Weights: stream.Balanced, Seed: 3}
+	a, b := New(opts), New(opts)
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 10; i++ {
+			a.Insert(1)
+			b.Insert(2)
+		}
+		a.EndPeriod()
+		b.EndPeriod()
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	e1, ok1 := a.Query(1)
+	e2, ok2 := a.Query(2)
+	if !ok1 || !ok2 {
+		t.Fatal("merged tracker lost an item")
+	}
+	if e1.Frequency != 30 || e2.Frequency != 30 {
+		t.Fatalf("frequencies %d/%d, want 30/30", e1.Frequency, e2.Frequency)
+	}
+	if e1.Persistency != 3 || e2.Persistency != 3 {
+		t.Fatalf("persistencies %d/%d, want 3/3", e1.Persistency, e2.Persistency)
+	}
+}
+
+func TestMergeSharedItemSumsCounts(t *testing.T) {
+	// Hash-sharded semantics: shard A sees item 5 in periods 1–2, shard B
+	// never sees it (hash sharding sends each item to one shard). But also
+	// verify the summing path with an item placed in both (period-disjoint
+	// appearances).
+	opts := Options{MemoryBytes: 1 << 16, Weights: stream.Balanced, Seed: 4}
+	a, b := New(opts), New(opts)
+	// Item 5 appears in a during periods 0,1 and in b during period 2
+	// (b idles through 0,1).
+	for p := 0; p < 3; p++ {
+		if p < 2 {
+			a.Insert(5)
+			a.Insert(5)
+			b.Insert(99)
+		} else {
+			b.Insert(5)
+			a.Insert(98)
+		}
+		a.EndPeriod()
+		b.EndPeriod()
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := a.Query(5)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Frequency != 5 {
+		t.Fatalf("frequency %d, want 5", e.Frequency)
+	}
+	if e.Persistency != 3 {
+		t.Fatalf("persistency %d, want 3", e.Persistency)
+	}
+}
+
+func TestMergeRespectsBucketCapacity(t *testing.T) {
+	// One bucket of d=2; three distinct items across the two trackers:
+	// the merge keeps the two most significant.
+	opts := Options{MemoryBytes: 2 * CellBytes, BucketWidth: 2,
+		Weights: stream.Frequent, Seed: 5}
+	a, b := New(opts), New(opts)
+	for i := 0; i < 10; i++ {
+		a.Insert(1)
+	}
+	for i := 0; i < 5; i++ {
+		a.Insert(2)
+	}
+	for i := 0; i < 7; i++ {
+		b.Insert(3)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Query(1); !ok {
+		t.Fatal("heaviest item lost in merge")
+	}
+	if _, ok := a.Query(3); !ok {
+		t.Fatal("second-heaviest item lost in merge")
+	}
+	if _, ok := a.Query(2); ok {
+		t.Fatal("weakest item should have been dropped at capacity")
+	}
+}
+
+func TestMergeShardedStreamMatchesSingle(t *testing.T) {
+	// Hash-shard one stream across 4 trackers, merge, and compare top-k
+	// precision against the oracle — sharded accuracy should be in the
+	// same class as a single tracker with 4× memory.
+	s := gen.Generate(gen.Config{N: 40000, M: 4000, Periods: 20, Skew: 1.0,
+		Head: 60, TailWindowFrac: 0.4, Seed: 8})
+	o := oracle.FromStream(s, stream.Balanced)
+
+	const shards = 4
+	opts := Options{MemoryBytes: 8 * 1024, Weights: stream.Balanced, Seed: 9,
+		ItemsPerPeriod: s.ItemsPerPeriod() / shards}
+	parts := make([]*LTC, shards)
+	for i := range parts {
+		parts[i] = New(opts)
+	}
+	per := s.ItemsPerPeriod()
+	for i, it := range s.Items {
+		parts[hashing.Mix64(it)%shards].Insert(it)
+		if (i+1)%per == 0 {
+			for _, p := range parts {
+				p.EndPeriod()
+			}
+		}
+	}
+	for _, p := range parts {
+		p.EndPeriod()
+	}
+	root := parts[0]
+	for _, p := range parts[1:] {
+		if err := root.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := metrics.Evaluate(o, root, 100)
+	if r.Precision < 0.8 {
+		t.Fatalf("sharded+merged precision %.2f, want ≥0.8", r.Precision)
+	}
+}

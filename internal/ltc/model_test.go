@@ -1,0 +1,279 @@
+package ltc
+
+// Model-based testing: a deliberately naive reference implementation of
+// the paper's Section III semantics (readable per-bucket slices, no packed
+// cells or stats) is run against the real structure on random traces. Any
+// divergence in reported frequency or persistency is a bug in one of the
+// two readings of the paper.
+//
+// The reference covers the DE-on configuration with count-based periods.
+// The sweep must be paced mid-period exactly like the real CLOCK (step m/n
+// cells per arrival): flag consumption interleaves with Significance
+// Decrementing, so an eager end-of-period sweep would NOT be equivalent —
+// a counter credited early can be decremented away later in the same
+// period. The reference therefore keeps its own paced pointer, while its
+// bucket logic stays an independent reading of Section III.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// refCell mirrors one lossy-table cell.
+type refCell struct {
+	id       stream.Item
+	occupied bool
+	freq     uint64
+	counter  uint64
+	curFlag  bool // appearance in the current period
+	prevFlag bool // unconsumed appearance from the previous period
+}
+
+// refLTC is the reference implementation.
+type refLTC struct {
+	w, d    int
+	weights stream.Weights
+	policy  ReplacementPolicy
+	hash    hashing.Bob
+	buckets [][]refCell
+
+	// Paced sweep state, mirroring the real CLOCK.
+	step  float64
+	acc   float64
+	ptr   int // flat cell index: bucket*d + cell
+	swept int
+}
+
+func newRef(w, d int, weights stream.Weights, policy ReplacementPolicy,
+	seed uint32, itemsPerPeriod int) *refLTC {
+	r := &refLTC{w: w, d: d, weights: weights, policy: policy,
+		hash: hashing.NewBob(seed ^ 0x17c5),
+		step: float64(w*d) / float64(itemsPerPeriod)}
+	r.buckets = make([][]refCell, w)
+	for i := range r.buckets {
+		r.buckets[i] = make([]refCell, d)
+	}
+	return r
+}
+
+// sweepCells consumes previous-period flags on the next n cells.
+func (r *refLTC) sweepCells(n int) {
+	m := r.w * r.d
+	for i := 0; i < n; i++ {
+		c := &r.buckets[r.ptr/r.d][r.ptr%r.d]
+		if c.prevFlag {
+			c.counter++
+			c.prevFlag = false
+		}
+		r.ptr = (r.ptr + 1) % m
+	}
+	r.swept += n
+}
+
+// advance paces the sweep after one arrival, capped at one pass per period.
+func (r *refLTC) advance() {
+	r.acc += r.step
+	n := int(r.acc)
+	if n <= 0 {
+		return
+	}
+	r.acc -= float64(n)
+	if remaining := r.w*r.d - r.swept; n > remaining {
+		n = remaining
+	}
+	if n > 0 {
+		r.sweepCells(n)
+	}
+}
+
+func (r *refLTC) sig(c *refCell) float64 {
+	return r.weights.Significance(c.freq, c.counter)
+}
+
+func (r *refLTC) insert(item stream.Item) {
+	r.place(item)
+	r.advance()
+}
+
+func (r *refLTC) place(item stream.Item) {
+	b := int(r.hash.Hash64(item)) % r.w
+	if b < 0 {
+		b += r.w
+	}
+	bucket := r.buckets[b]
+
+	// Case 1.
+	for i := range bucket {
+		c := &bucket[i]
+		if c.occupied && c.id == item {
+			c.curFlag = true
+			c.freq++
+			return
+		}
+	}
+	// Case 2.
+	for i := range bucket {
+		c := &bucket[i]
+		if !c.occupied {
+			*c = refCell{id: item, occupied: true, freq: 1, curFlag: true}
+			return
+		}
+	}
+	// Case 3: first-found smallest.
+	smallest := &bucket[0]
+	for i := 1; i < r.d; i++ {
+		if r.sig(&bucket[i]) < r.sig(smallest) {
+			smallest = &bucket[i]
+		}
+	}
+	if r.policy == ReplaceEager {
+		f, cnt := smallest.freq+1, smallest.counter
+		*smallest = refCell{id: item, occupied: true, freq: f, counter: cnt,
+			curFlag: true}
+		return
+	}
+	if smallest.counter > 0 {
+		smallest.counter--
+	}
+	if smallest.freq > 0 {
+		smallest.freq--
+	}
+	if r.sig(smallest) <= 0 {
+		var initF, initC uint64 = 1, 0
+		if r.policy == ReplaceLongTail || r.policy == ReplaceSecondSmallest {
+			// Second smallest = smallest surviving cell.
+			var second *refCell
+			for i := range bucket {
+				c := &bucket[i]
+				if c == smallest || !c.occupied {
+					continue
+				}
+				if second == nil || r.sig(c) < r.sig(second) {
+					second = c
+				}
+			}
+			if second != nil {
+				initF, initC = second.freq, second.counter
+				if r.policy == ReplaceLongTail {
+					if initF > 1 {
+						initF--
+					}
+					if initC > 0 {
+						initC--
+					}
+				}
+				if initF < 1 {
+					initF = 1
+				}
+			}
+		}
+		*smallest = refCell{id: item, occupied: true, freq: initF,
+			counter: initC, curFlag: true}
+	}
+}
+
+// endPeriod completes the paced sweep, then performs the parity handover
+// (current becomes previous).
+func (r *refLTC) endPeriod() {
+	if remaining := r.w*r.d - r.swept; remaining > 0 {
+		r.sweepCells(remaining)
+	}
+	r.swept = 0
+	r.acc = 0
+	for i := range r.buckets {
+		for j := range r.buckets[i] {
+			c := &r.buckets[i][j]
+			if !c.occupied {
+				continue
+			}
+			c.prevFlag, c.curFlag = c.curFlag, false
+		}
+	}
+}
+
+func (r *refLTC) query(item stream.Item) (stream.Entry, bool) {
+	b := int(r.hash.Hash64(item)) % r.w
+	if b < 0 {
+		b += r.w
+	}
+	for i := range r.buckets[b] {
+		c := &r.buckets[b][i]
+		if c.occupied && c.id == item {
+			p := c.counter
+			if c.prevFlag {
+				p++
+			}
+			if c.curFlag {
+				p++
+			}
+			return stream.Entry{Item: item, Frequency: c.freq, Persistency: p,
+				Significance: r.weights.Significance(c.freq, p)}, true
+		}
+	}
+	return stream.Entry{}, false
+}
+
+// TestModelEquivalence replays random traces through the real structure and
+// the reference, comparing every distinct item's estimate after every
+// period.
+func TestModelEquivalence(t *testing.T) {
+	policies := []ReplacementPolicy{
+		ReplaceLongTail, ReplaceBasic, ReplaceSecondSmallest, ReplaceEager,
+	}
+	weightsSet := []stream.Weights{
+		stream.Frequent, stream.Persistent, stream.Balanced,
+		{Alpha: 2, Beta: 7},
+	}
+	for trial := 0; trial < 24; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		policy := policies[trial%len(policies)]
+		weights := weightsSet[(trial/4)%len(weightsSet)]
+		const d = 2
+		wBuckets := 1 + rng.Intn(3) // 1–3 buckets: heavy collisions
+		perPeriod := 20 + rng.Intn(30)
+		universe := 1 + rng.Intn(12)
+
+		real := New(Options{
+			MemoryBytes:    wBuckets * d * CellBytes,
+			BucketWidth:    d,
+			Weights:        weights,
+			Replacement:    policy,
+			ItemsPerPeriod: perPeriod,
+			Seed:           uint32(trial),
+		})
+		if real.Buckets() != wBuckets {
+			t.Fatalf("trial %d: geometry %d, want %d", trial, real.Buckets(), wBuckets)
+		}
+		ref := newRef(wBuckets, d, weights, policy, uint32(trial), perPeriod)
+
+		for p := 0; p < 8; p++ {
+			for i := 0; i < perPeriod; i++ {
+				item := stream.Item(rng.Intn(universe) + 1)
+				real.Insert(item)
+				ref.insert(item)
+			}
+			real.EndPeriod()
+			ref.endPeriod()
+			for it := stream.Item(1); it <= stream.Item(universe); it++ {
+				ge, gok := real.Query(it)
+				we, wok := ref.query(it)
+				if gok != wok {
+					t.Fatalf("trial %d period %d item %d: tracked=%v ref=%v "+
+						"(policy %v, weights %v)", trial, p, it, gok, wok, policy, weights)
+				}
+				if !gok {
+					continue
+				}
+				if ge.Frequency != we.Frequency || ge.Persistency != we.Persistency {
+					t.Fatalf("trial %d period %d item %d: real f=%d p=%d, ref f=%d p=%d "+
+						"(policy %v, weights %v)", trial, p, it,
+						ge.Frequency, ge.Persistency, we.Frequency, we.Persistency,
+						policy, weights)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package ltc
+
+import (
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestPolicyNames(t *testing.T) {
+	cases := []struct {
+		p    ReplacementPolicy
+		want string
+	}{
+		{ReplaceLongTail, "long-tail"},
+		{ReplaceBasic, "basic"},
+		{ReplaceSecondSmallest, "second-smallest"},
+		{ReplaceEager, "eager"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.p, got, c.want)
+		}
+	}
+	if New(Options{Replacement: ReplaceEager}).Name() != "LTC-eager" {
+		t.Fatal("eager tracker name wrong")
+	}
+	if New(Options{Replacement: ReplaceSecondSmallest}).Name() != "LTC-ss" {
+		t.Fatal("second-smallest tracker name wrong")
+	}
+}
+
+func TestDisableLTRAliasesBasicPolicy(t *testing.T) {
+	l := New(Options{DisableLongTailReplacement: true})
+	if l.opts.Replacement != ReplaceBasic {
+		t.Fatal("alias not normalized")
+	}
+	if l.Name() != "LTC-noLTR" {
+		t.Fatalf("name = %q", l.Name())
+	}
+}
+
+func TestEagerPolicyReplacesImmediately(t *testing.T) {
+	// d=1, one bucket. With the eager (Space-Saving) rule a single
+	// arrival of a new item replaces the incumbent at min+1.
+	l := New(Options{MemoryBytes: CellBytes, BucketWidth: 1,
+		Weights: stream.Frequent, Replacement: ReplaceEager, Seed: 1})
+	for i := 0; i < 5; i++ {
+		l.Insert(1)
+	}
+	l.Insert(2)
+	if _, ok := l.Query(1); ok {
+		t.Fatal("eager policy must replace immediately")
+	}
+	e, ok := l.Query(2)
+	if !ok || e.Frequency != 6 {
+		t.Fatalf("eager init = %d, want min+1 = 6", e.Frequency)
+	}
+}
+
+func TestEagerPolicyOverestimates(t *testing.T) {
+	// The eager rule reintroduces overestimation: on a stressed table, at
+	// least one tracked item exceeds its true significance. The default
+	// decrement rule (any non-eager policy without LTR) never does.
+	s := gen.Generate(gen.Config{N: 40000, M: 6000, Periods: 10, Skew: 0.8,
+		Head: 50, TailWindowFrac: 0.6, Seed: 31})
+	o := oracle.FromStream(s, stream.Frequent)
+	eager := New(Options{MemoryBytes: 2 * 1024, Weights: stream.Frequent,
+		Replacement: ReplaceEager, ItemsPerPeriod: s.ItemsPerPeriod(), Seed: 2})
+	s.Replay(eager)
+	over := 0
+	for _, e := range eager.TopK(1 << 20) {
+		real, ok := o.Query(e.Item)
+		if !ok || e.Significance > real.Significance {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Fatal("eager (Space-Saving style) replacement produced no overestimates; " +
+			"the ablation contrast is gone")
+	}
+}
+
+func TestPolicyAccuracyOrdering(t *testing.T) {
+	// On a long-tail stream under pressure, long-tail replacement should
+	// be at least as precise as the basic policy and not catastrophically
+	// different from second-smallest.
+	s := gen.Generate(gen.Config{N: 60000, M: 8000, Periods: 20, Skew: 1.0,
+		Head: 100, TailWindowFrac: 0.5, Seed: 32})
+	o := oracle.FromStream(s, stream.Frequent)
+	run := func(p ReplacementPolicy) float64 {
+		l := New(Options{MemoryBytes: 4 * 1024, Weights: stream.Frequent,
+			Replacement: p, ItemsPerPeriod: s.ItemsPerPeriod(), Seed: 3})
+		s.Replay(l)
+		return metrics.Evaluate(o, l, 100).Precision
+	}
+	lt := run(ReplaceLongTail)
+	basic := run(ReplaceBasic)
+	ss := run(ReplaceSecondSmallest)
+	if lt+0.05 < basic {
+		t.Fatalf("long-tail %.2f worse than basic %.2f", lt, basic)
+	}
+	if lt+0.15 < ss || ss+0.15 < lt {
+		t.Fatalf("long-tail %.2f and second-smallest %.2f should be close", lt, ss)
+	}
+}
+
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	l := New(Options{MemoryBytes: 2048, Replacement: ReplaceEager, Seed: 4})
+	l.Insert(7)
+	img, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{})
+	if err := r.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "LTC-eager" {
+		t.Fatalf("policy lost through checkpoint: %s", r.Name())
+	}
+}

@@ -1,0 +1,76 @@
+package ltc
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func TestStatsCountOperations(t *testing.T) {
+	// Single bucket of d=1: fully deterministic operation mix.
+	l := New(Options{MemoryBytes: CellBytes, BucketWidth: 1,
+		Weights: stream.Frequent, DisableLongTailReplacement: true, Seed: 1})
+	l.Insert(1) // admission
+	l.Insert(1) // hit
+	l.Insert(1) // hit → f=3
+	l.Insert(2) // decrement (3→2)
+	l.Insert(2) // decrement (2→1)
+	l.Insert(2) // decrement (1→0) → expulsion + admission
+	st := l.Stats()
+	if st.Arrivals != 6 {
+		t.Fatalf("arrivals %d, want 6", st.Arrivals)
+	}
+	if st.Hits != 2 {
+		t.Fatalf("hits %d, want 2", st.Hits)
+	}
+	if st.Admissions != 2 {
+		t.Fatalf("admissions %d, want 2", st.Admissions)
+	}
+	if st.Decrements != 3 {
+		t.Fatalf("decrements %d, want 3", st.Decrements)
+	}
+	if st.Expulsions != 1 {
+		t.Fatalf("expulsions %d, want 1", st.Expulsions)
+	}
+}
+
+func TestStatsFlagConsumption(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 12, Weights: stream.Persistent,
+		ItemsPerPeriod: 10, Seed: 2})
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 10; i++ {
+			l.Insert(stream.Item(i % 4))
+		}
+		l.EndPeriod()
+	}
+	st := l.Stats()
+	// 4 items × 2 fully-swept previous periods = 8 credits (the final
+	// period's flags are still pending).
+	if st.FlagConsumed != 8 {
+		t.Fatalf("flag credits %d, want 8", st.FlagConsumed)
+	}
+}
+
+func TestStatsClearedByReset(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 12, Seed: 3})
+	l.Insert(1)
+	l.Reset()
+	if l.Stats() != (Stats{}) {
+		t.Fatalf("stats survived Reset: %+v", l.Stats())
+	}
+}
+
+func TestStatsEagerPolicyCountsExpulsions(t *testing.T) {
+	l := New(Options{MemoryBytes: CellBytes, BucketWidth: 1,
+		Weights: stream.Frequent, Replacement: ReplaceEager, Seed: 4})
+	l.Insert(1)
+	l.Insert(2) // eager expulsion
+	l.Insert(3) // eager expulsion
+	st := l.Stats()
+	if st.Expulsions != 2 {
+		t.Fatalf("eager expulsions %d, want 2", st.Expulsions)
+	}
+	if st.Decrements != 0 {
+		t.Fatalf("eager mode must not decrement, got %d", st.Decrements)
+	}
+}

@@ -1,0 +1,61 @@
+package ltc
+
+// Time-based periods (Section III-B, "Our method can be easily extended
+// when the period is defined by time"): instead of a fixed step of m/n
+// cells per arrival, the pointer advances (x−y)/t · m cells between an
+// item arriving at time x and its predecessor at time y, where t is the
+// period length. The pointer then passes every cell exactly once per
+// period even when the arrival rate varies.
+
+// InsertAt records one arrival of item at the given timestamp (seconds, or
+// any unit consistent with the configured period duration). Use it instead
+// of Insert when periods are defined by wall-clock time; the period
+// boundary is detected automatically, so EndPeriod must not be called by
+// the caller.
+//
+// Timestamps must be non-decreasing. The first call anchors the start of
+// the first period.
+func (l *LTC) InsertAt(item uint64, at float64) {
+	if l.opts.PeriodDuration <= 0 {
+		panic("ltc: InsertAt requires Options.PeriodDuration > 0")
+	}
+	if !l.timeAnchored {
+		l.timeAnchored = true
+		// Anchor period boundaries to multiples of the duration, so that
+		// "periods" mean the same wall-clock windows regardless of when the
+		// first item arrives within one.
+		l.periodStart = float64(int64(at/l.opts.PeriodDuration)) * l.opts.PeriodDuration
+		l.lastArrival = at
+	}
+	if at < l.lastArrival {
+		at = l.lastArrival // clamp clock regressions
+	}
+	// Cross any period boundaries that elapsed before this arrival.
+	for at >= l.periodStart+l.opts.PeriodDuration {
+		l.EndPeriod()
+		l.periodStart += l.opts.PeriodDuration
+	}
+	// Variable step: (x − y)/t · m cells.
+	l.timeDebt += (at - l.lastArrival) / l.opts.PeriodDuration * float64(l.m)
+	l.lastArrival = at
+
+	l.insertTimed(item)
+}
+
+// insertTimed is Insert without the count-based clock advance; the sweep is
+// paced by timeDebt instead.
+func (l *LTC) insertTimed(item uint64) {
+	l.itemsInPer++
+	l.stats.Arrivals++
+	l.place(item)
+	n := int(l.timeDebt)
+	if n > 0 {
+		l.timeDebt -= float64(n)
+		if remaining := l.m - l.swept; n > remaining {
+			n = remaining
+		}
+		if n > 0 {
+			l.sweep(n)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package ltc
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/stream"
+)
+
+func TestInsertAtRequiresPeriodDuration(t *testing.T) {
+	l := New(Options{MemoryBytes: 1024, Weights: stream.Persistent})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InsertAt without PeriodDuration must panic")
+		}
+	}()
+	l.InsertAt(1, 0)
+}
+
+func TestInsertAtCountsPeriodsByTime(t *testing.T) {
+	// Period = 10s. Item 42 appears at t=1, 12, 13, 25: periods 0, 1, 1, 2
+	// → persistency 3.
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Persistent,
+		PeriodDuration: 10, Seed: 1})
+	for _, at := range []float64{1, 12, 13, 25} {
+		l.InsertAt(42, at)
+	}
+	// Close the final period by advancing time past its end with another
+	// item.
+	l.InsertAt(7, 31)
+	e, ok := l.Query(42)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Persistency != 3 {
+		t.Fatalf("persistency = %d, want 3", e.Persistency)
+	}
+	if e.Frequency != 4 {
+		t.Fatalf("frequency = %d, want 4", e.Frequency)
+	}
+}
+
+func TestInsertAtIdlePeriodsAreCrossed(t *testing.T) {
+	// A long gap (several empty periods) must not credit persistency.
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Persistent,
+		PeriodDuration: 1, Seed: 2})
+	l.InsertAt(5, 0.5)
+	l.InsertAt(5, 10.5) // nine empty periods in between
+	l.InsertAt(1, 11.5) // close period 10
+	e, _ := l.Query(5)
+	if e.Persistency != 2 {
+		t.Fatalf("persistency = %d, want 2 (appeared in 2 of 11 periods)", e.Persistency)
+	}
+}
+
+func TestInsertAtVariableRateMatchesOracle(t *testing.T) {
+	// Arrival rate varies 10× between periods; the variable-step CLOCK
+	// must still count persistency exactly for every item (memory ample).
+	const periodLen = 1.0
+	const periods = 12
+	rng := rand.New(rand.NewSource(9))
+	l := New(Options{MemoryBytes: 1 << 16, Weights: stream.Persistent,
+		PeriodDuration: periodLen, Seed: 3})
+	truth := map[stream.Item]map[int]struct{}{}
+	for p := 0; p < periods; p++ {
+		n := 20
+		if p%2 == 1 {
+			n = 200 // bursty periods
+		}
+		for i := 0; i < n; i++ {
+			item := stream.Item(rng.Intn(30) + 1)
+			at := float64(p)*periodLen + rng.Float64()*periodLen*0.999
+			l.InsertAt(item, at)
+			if truth[item] == nil {
+				truth[item] = map[int]struct{}{}
+			}
+			truth[item][p] = struct{}{}
+		}
+	}
+	// InsertAt keeps timestamps within each period unsorted-free: they must
+	// be non-decreasing overall, so re-sort is implied by generation order
+	// (period major). Final period is closed by a sentinel arrival.
+	l.InsertAt(999999, periods*periodLen)
+	for item, ps := range truth {
+		e, ok := l.Query(item)
+		if !ok {
+			t.Fatalf("item %d lost with ample memory", item)
+		}
+		if e.Persistency != uint64(len(ps)) {
+			t.Fatalf("item %d: persistency %d, want %d", item, e.Persistency, len(ps))
+		}
+	}
+}
+
+func TestInsertAtClampsClockRegression(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Persistent,
+		PeriodDuration: 10, Seed: 4})
+	l.InsertAt(1, 5)
+	l.InsertAt(2, 3) // clock went backwards; must not panic or corrupt
+	l.InsertAt(3, 6)
+	if l.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3", l.Occupancy())
+	}
+}
+
+func TestInsertAtUnsortedWithinPeriodStillBounded(t *testing.T) {
+	// Even with clamped regressions, persistency never exceeds the number
+	// of elapsed periods.
+	l := New(Options{MemoryBytes: 1 << 14, Weights: stream.Persistent,
+		PeriodDuration: 1, Seed: 5})
+	rng := rand.New(rand.NewSource(4))
+	for p := 0; p < 8; p++ {
+		for i := 0; i < 50; i++ {
+			l.InsertAt(stream.Item(rng.Intn(10)), float64(p)+rng.Float64())
+		}
+	}
+	l.InsertAt(424242, 8.0)
+	for _, e := range l.TopK(100) {
+		if e.Persistency > 9 {
+			t.Fatalf("item %d persistency %d exceeds elapsed periods", e.Item, e.Persistency)
+		}
+	}
+}
+
+func TestTimedEquivalentToCountBased(t *testing.T) {
+	// Replaying the same stream by timestamps (InsertAt) and by explicit
+	// EndPeriod calls must produce identical estimates when timestamps are
+	// period-aligned (gen.Timestamps guarantees that).
+	s := gen.Generate(gen.Config{N: 20000, M: 1500, Periods: 20, Skew: 1.0,
+		Head: 30, TailWindowFrac: 0.4, Seed: 21})
+	const d = 10.0
+	ts := gen.Timestamps(s, d, 2)
+
+	counted := New(Options{MemoryBytes: 8 * 1024, Weights: stream.Balanced,
+		ItemsPerPeriod: s.ItemsPerPeriod(), Seed: 6})
+	s.Replay(counted)
+
+	timed := New(Options{MemoryBytes: 8 * 1024, Weights: stream.Balanced,
+		PeriodDuration: d, Seed: 6})
+	for i, it := range s.Items {
+		timed.InsertAt(it, ts[i])
+	}
+	// Close the final period by advancing past its end.
+	timed.InsertAt(999999999, float64(s.Periods)*d)
+
+	// The two replays pace their CLOCK sweeps differently, so cell-level
+	// state can differ; but for the top items (never evicted at 8 KiB for
+	// the head) estimates must agree exactly.
+	for _, e := range counted.TopK(30) {
+		got, ok := timed.Query(e.Item)
+		if !ok {
+			t.Fatalf("item %d missing from timed replay", e.Item)
+		}
+		if got.Frequency != e.Frequency {
+			t.Fatalf("item %d: timed f=%d, counted f=%d", e.Item,
+				got.Frequency, e.Frequency)
+		}
+		if got.Persistency != e.Persistency {
+			t.Fatalf("item %d: timed p=%d, counted p=%d", e.Item,
+				got.Persistency, e.Persistency)
+		}
+	}
+}

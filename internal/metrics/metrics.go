@@ -1,0 +1,71 @@
+// Package metrics implements the paper's evaluation metrics (§V-A):
+// Precision over the reported top-k set and ARE (average relative error)
+// of the reported significances, plus AAE and recall for completeness.
+package metrics
+
+import (
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+// Report bundles the scores of one tracker on one workload.
+type Report struct {
+	Precision float64 // |φ∩ψ| / k
+	Recall    float64 // |φ∩ψ| / |φ| (== precision when both sets have size k)
+	ARE       float64 // (1/k)·Σ |s_i − ŝ_i| / s_i over the reported set
+	AAE       float64 // (1/k)·Σ |s_i − ŝ_i| over the reported set
+}
+
+// Evaluate scores tracker t against the exact oracle o for top-k queries.
+//
+// Following the paper: φ is the correct top-k significant set, ψ the
+// reported set; precision = |φ∩ψ|/k. ARE averages |s_i−ŝ_i|/s_i over the
+// reported items, where s_i is the item's real significance. Reported items
+// that never appeared (s_i = 0) contribute their full estimate as relative
+// error 1 per unit, guarded to avoid division by zero.
+func Evaluate(o *oracle.Oracle, t stream.Tracker, k int) Report {
+	truth := o.TopK(k)
+	reported := t.TopK(k)
+	return Score(o, truth, reported, k)
+}
+
+// Score computes the metrics from an explicit truth set and reported set.
+func Score(o *oracle.Oracle, truth, reported []stream.Entry, k int) Report {
+	truthSet := make(map[stream.Item]struct{}, len(truth))
+	for _, e := range truth {
+		truthSet[e.Item] = struct{}{}
+	}
+	hits := 0
+	var sumRel, sumAbs float64
+	for _, r := range reported {
+		if _, ok := truthSet[r.Item]; ok {
+			hits++
+		}
+		real, found := o.Query(r.Item)
+		var s float64
+		if found {
+			s = real.Significance
+		}
+		diff := s - r.Significance
+		if diff < 0 {
+			diff = -diff
+		}
+		sumAbs += diff
+		if s > 0 {
+			sumRel += diff / s
+		} else if r.Significance > 0 {
+			// Reported a phantom item: count it as 100% relative error.
+			sumRel += 1
+		}
+	}
+	rep := Report{}
+	if k > 0 {
+		rep.Precision = float64(hits) / float64(k)
+		rep.ARE = sumRel / float64(k)
+		rep.AAE = sumAbs / float64(k)
+	}
+	if len(truth) > 0 {
+		rep.Recall = float64(hits) / float64(len(truth))
+	}
+	return rep
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+// fixed is a stub tracker returning a canned top-k.
+type fixed struct{ entries []stream.Entry }
+
+func (f *fixed) Insert(stream.Item)                     {}
+func (f *fixed) EndPeriod()                             {}
+func (f *fixed) Query(stream.Item) (stream.Entry, bool) { return stream.Entry{}, false }
+func (f *fixed) TopK(k int) []stream.Entry {
+	if k > len(f.entries) {
+		k = len(f.entries)
+	}
+	return f.entries[:k]
+}
+func (f *fixed) MemoryBytes() int { return 0 }
+func (f *fixed) Name() string     { return "fixed" }
+
+func buildOracle() *oracle.Oracle {
+	o := oracle.New(stream.Frequent)
+	// Frequencies: item 1 → 10, item 2 → 5, item 3 → 2, item 4 → 1.
+	for i := 0; i < 10; i++ {
+		o.Insert(1)
+	}
+	for i := 0; i < 5; i++ {
+		o.Insert(2)
+	}
+	o.Insert(3)
+	o.Insert(3)
+	o.Insert(4)
+	o.EndPeriod()
+	return o
+}
+
+func TestPerfectTracker(t *testing.T) {
+	o := buildOracle()
+	tr := &fixed{entries: []stream.Entry{
+		{Item: 1, Significance: 10},
+		{Item: 2, Significance: 5},
+	}}
+	r := Evaluate(o, tr, 2)
+	if r.Precision != 1 || r.Recall != 1 {
+		t.Fatalf("precision/recall = %v/%v, want 1/1", r.Precision, r.Recall)
+	}
+	if r.ARE != 0 || r.AAE != 0 {
+		t.Fatalf("ARE/AAE = %v/%v, want 0/0", r.ARE, r.AAE)
+	}
+}
+
+func TestHalfWrongSet(t *testing.T) {
+	o := buildOracle()
+	tr := &fixed{entries: []stream.Entry{
+		{Item: 1, Significance: 10},
+		{Item: 3, Significance: 2}, // true top-2 is {1,2}
+	}}
+	r := Evaluate(o, tr, 2)
+	if r.Precision != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", r.Precision)
+	}
+}
+
+func TestAREComputation(t *testing.T) {
+	o := buildOracle()
+	// Item 1 estimated 8 (true 10, rel err 0.2); item 2 estimated 5 (0).
+	tr := &fixed{entries: []stream.Entry{
+		{Item: 1, Significance: 8},
+		{Item: 2, Significance: 5},
+	}}
+	r := Evaluate(o, tr, 2)
+	if math.Abs(r.ARE-0.1) > 1e-12 {
+		t.Fatalf("ARE = %v, want 0.1", r.ARE)
+	}
+	if math.Abs(r.AAE-1.0) > 1e-12 {
+		t.Fatalf("AAE = %v, want 1.0", r.AAE)
+	}
+}
+
+func TestPhantomItemPenalized(t *testing.T) {
+	o := buildOracle()
+	// Item 99 never appeared: contributes relative error 1.
+	tr := &fixed{entries: []stream.Entry{
+		{Item: 1, Significance: 10},
+		{Item: 99, Significance: 50},
+	}}
+	r := Evaluate(o, tr, 2)
+	if math.Abs(r.ARE-0.5) > 1e-12 {
+		t.Fatalf("ARE = %v, want 0.5 (phantom counts as 1)", r.ARE)
+	}
+	if r.Precision != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", r.Precision)
+	}
+}
+
+func TestShortReportedSet(t *testing.T) {
+	// A tracker reporting fewer than k items is penalized in precision
+	// (divide by k, not by |ψ|).
+	o := buildOracle()
+	tr := &fixed{entries: []stream.Entry{{Item: 1, Significance: 10}}}
+	r := Evaluate(o, tr, 4)
+	if r.Precision != 0.25 {
+		t.Fatalf("precision = %v, want 0.25", r.Precision)
+	}
+}
+
+func TestZeroK(t *testing.T) {
+	o := buildOracle()
+	tr := &fixed{}
+	r := Evaluate(o, tr, 0)
+	if r.Precision != 0 || r.ARE != 0 {
+		t.Fatalf("k=0 must yield zero report, got %+v", r)
+	}
+}

@@ -1,0 +1,109 @@
+// Package misragries implements the Misra-Gries "Frequent" algorithm, the
+// classical ancestor of the paper's counter-based baselines. It is included
+// as an extension: Space-Saving (which the paper evaluates) is the
+// increment-on-replace refinement of this decrement-on-collision scheme,
+// and having both makes the replacement-policy ablation complete.
+//
+// Misra-Gries keeps k counters. A tracked arrival increments its counter;
+// an untracked arrival with a free slot claims it; an untracked arrival
+// with all slots busy decrements every counter by one, freeing slots whose
+// counters reach zero. Estimates never overestimate... they UNDERestimate
+// by at most N/(k+1).
+package misragries
+
+import (
+	"sigstream/internal/stream"
+)
+
+// EntryBytes is the accounted memory per counter: 8-byte ID, 8-byte count,
+// map overhead amortized to 8 bytes.
+const EntryBytes = 24
+
+// MG is a Misra-Gries summary.
+type MG struct {
+	capacity int
+	alpha    float64
+	counts   map[stream.Item]uint64
+}
+
+// New sizes a summary from a memory budget. alpha scales reported
+// significance (frequency weight).
+func New(memoryBytes int, alpha float64) *MG {
+	capacity := memoryBytes / EntryBytes
+	if capacity < 1 {
+		capacity = 1
+	}
+	return NewCapacity(capacity, alpha)
+}
+
+// NewCapacity creates a summary with an explicit counter count.
+func NewCapacity(capacity int, alpha float64) *MG {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MG{
+		capacity: capacity,
+		alpha:    alpha,
+		counts:   make(map[stream.Item]uint64, capacity),
+	}
+}
+
+// Capacity reports the number of counters.
+func (m *MG) Capacity() int { return m.capacity }
+
+// MemoryBytes reports the accounted footprint.
+func (m *MG) MemoryBytes() int { return m.capacity * EntryBytes }
+
+// Name identifies the algorithm.
+func (m *MG) Name() string { return "MisraGries" }
+
+// Insert records one arrival.
+func (m *MG) Insert(item stream.Item) {
+	if _, ok := m.counts[item]; ok {
+		m.counts[item]++
+		return
+	}
+	if len(m.counts) < m.capacity {
+		m.counts[item] = 1
+		return
+	}
+	// Decrement everything; drop zeros. The arrival itself is discarded.
+	for it, c := range m.counts {
+		if c <= 1 {
+			delete(m.counts, it)
+		} else {
+			m.counts[it] = c - 1
+		}
+	}
+}
+
+// EndPeriod is a no-op: Misra-Gries has no notion of periods.
+func (m *MG) EndPeriod() {}
+
+// Query reports the estimate for item.
+func (m *MG) Query(item stream.Item) (stream.Entry, bool) {
+	c, ok := m.counts[item]
+	if !ok {
+		return stream.Entry{}, false
+	}
+	return m.entry(item, c), true
+}
+
+// TopK reports the k tracked items with the largest counts.
+func (m *MG) TopK(k int) []stream.Entry {
+	es := make([]stream.Entry, 0, len(m.counts))
+	for item, c := range m.counts {
+		es = append(es, m.entry(item, c))
+	}
+	return stream.TopKFromEntries(es, k)
+}
+
+func (m *MG) entry(item stream.Item, c uint64) stream.Entry {
+	return stream.Entry{
+		Item:         item,
+		Frequency:    c,
+		Significance: m.alpha * float64(c),
+	}
+}
+
+var _ stream.Tracker = (*MG)(nil)

@@ -1,0 +1,104 @@
+package misragries
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestExactUnderCapacity(t *testing.T) {
+	m := NewCapacity(10, 1)
+	for i := 0; i < 7; i++ {
+		m.Insert(1)
+	}
+	m.Insert(2)
+	e, ok := m.Query(1)
+	if !ok || e.Frequency != 7 {
+		t.Fatalf("item 1: %+v ok=%v, want f=7", e, ok)
+	}
+}
+
+func TestDecrementOnCollision(t *testing.T) {
+	// Capacity 2: a=3, b=1. Inserting c decrements both and discards c;
+	// b reaches zero and is freed.
+	m := NewCapacity(2, 1)
+	m.Insert(10)
+	m.Insert(10)
+	m.Insert(10)
+	m.Insert(20)
+	m.Insert(30)
+	if _, ok := m.Query(30); ok {
+		t.Fatal("colliding arrival must be discarded, not inserted")
+	}
+	if _, ok := m.Query(20); ok {
+		t.Fatal("decremented-to-zero item must be dropped")
+	}
+	e, _ := m.Query(10)
+	if e.Frequency != 2 {
+		t.Fatalf("survivor count %d, want 2", e.Frequency)
+	}
+	// The freed slot admits the next newcomer.
+	m.Insert(40)
+	if _, ok := m.Query(40); !ok {
+		t.Fatal("freed slot not reused")
+	}
+}
+
+func TestNeverOverestimatesAndBoundedUndercount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth := map[stream.Item]uint64{}
+	const capacity = 50
+	m := NewCapacity(capacity, 1)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		item := stream.Item(rng.Intn(500))
+		truth[item]++
+		m.Insert(item)
+	}
+	bound := uint64(n/(capacity+1)) + 1
+	for item, f := range truth {
+		e, ok := m.Query(item)
+		if !ok {
+			continue
+		}
+		if e.Frequency > f {
+			t.Fatalf("item %d: overestimate %d > %d", item, e.Frequency, f)
+		}
+		if f-e.Frequency > bound {
+			t.Fatalf("item %d: undercount %d exceeds N/(k+1) bound %d",
+				item, f-e.Frequency, bound)
+		}
+	}
+}
+
+func TestHeadPrecisionOnZipf(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 50000, M: 5000, Periods: 1, Skew: 1.2,
+		Head: 100, TailWindowFrac: 1, Seed: 3})
+	o := oracle.FromStream(st, stream.Frequent)
+	m := NewCapacity(500, 1)
+	st.Replay(m)
+	r := metrics.Evaluate(o, m, 50)
+	if r.Precision < 0.6 {
+		t.Fatalf("Misra-Gries precision %.2f on easy Zipf head", r.Precision)
+	}
+}
+
+func TestSizing(t *testing.T) {
+	m := New(2400, 1)
+	if m.Capacity() != 100 {
+		t.Fatalf("capacity %d, want 100", m.Capacity())
+	}
+	if m.MemoryBytes() != 2400 {
+		t.Fatalf("memory %d, want 2400", m.MemoryBytes())
+	}
+	if New(1, 1).Capacity() != 1 {
+		t.Fatal("capacity must floor at 1")
+	}
+	if m.Name() != "MisraGries" {
+		t.Fatal("wrong name")
+	}
+}

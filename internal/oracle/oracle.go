@@ -1,0 +1,108 @@
+// Package oracle computes exact ground truth — true frequency, persistency
+// and significance for every item in a stream — against which the
+// approximate trackers are scored.
+package oracle
+
+import (
+	"sigstream/internal/stream"
+)
+
+// Counts holds an item's exact statistics.
+type Counts struct {
+	Frequency   uint64
+	Persistency uint64
+}
+
+// Oracle is an exact (hash-map based) counter. It implements
+// stream.Tracker so it can be driven by stream.Replay like any other
+// structure, but it is not memory-bounded.
+type Oracle struct {
+	weights stream.Weights
+	counts  map[stream.Item]*Counts
+	// seenThisPeriod tracks first appearances within the current period.
+	seenThisPeriod map[stream.Item]struct{}
+}
+
+// New returns an exact oracle scoring significance with the given weights.
+func New(w stream.Weights) *Oracle {
+	return &Oracle{
+		weights:        w,
+		counts:         make(map[stream.Item]*Counts),
+		seenThisPeriod: make(map[stream.Item]struct{}),
+	}
+}
+
+// FromStream replays s into a fresh oracle and returns it.
+func FromStream(s *stream.Stream, w stream.Weights) *Oracle {
+	o := New(w)
+	s.Replay(o)
+	return o
+}
+
+// Insert records one arrival.
+func (o *Oracle) Insert(item stream.Item) {
+	c := o.counts[item]
+	if c == nil {
+		c = &Counts{}
+		o.counts[item] = c
+	}
+	c.Frequency++
+	if _, seen := o.seenThisPeriod[item]; !seen {
+		o.seenThisPeriod[item] = struct{}{}
+		c.Persistency++
+	}
+}
+
+// EndPeriod closes the current period.
+func (o *Oracle) EndPeriod() {
+	// Persistency was credited eagerly on first appearance, so the boundary
+	// only needs to reset the per-period set.
+	o.seenThisPeriod = make(map[stream.Item]struct{}, len(o.seenThisPeriod))
+}
+
+// Query returns the exact entry for item.
+func (o *Oracle) Query(item stream.Item) (stream.Entry, bool) {
+	c, ok := o.counts[item]
+	if !ok {
+		return stream.Entry{}, false
+	}
+	return o.entry(item, c), true
+}
+
+// TopK returns the exact top-k significant items.
+func (o *Oracle) TopK(k int) []stream.Entry {
+	es := make([]stream.Entry, 0, len(o.counts))
+	for item, c := range o.counts {
+		es = append(es, o.entry(item, c))
+	}
+	return stream.TopKFromEntries(es, k)
+}
+
+// All returns exact entries for every distinct item, sorted by significance.
+func (o *Oracle) All() []stream.Entry {
+	return o.TopK(len(o.counts))
+}
+
+// Distinct reports the number of distinct items observed.
+func (o *Oracle) Distinct() int { return len(o.counts) }
+
+// Weights returns the significance weights the oracle scores with.
+func (o *Oracle) Weights() stream.Weights { return o.weights }
+
+// MemoryBytes reports 0: the oracle is unbounded and excluded from
+// memory-budget comparisons.
+func (o *Oracle) MemoryBytes() int { return 0 }
+
+// Name identifies the oracle in experiment output.
+func (o *Oracle) Name() string { return "Oracle" }
+
+func (o *Oracle) entry(item stream.Item, c *Counts) stream.Entry {
+	return stream.Entry{
+		Item:         item,
+		Frequency:    c.Frequency,
+		Persistency:  c.Persistency,
+		Significance: o.weights.Significance(c.Frequency, c.Persistency),
+	}
+}
+
+var _ stream.Tracker = (*Oracle)(nil)

@@ -1,0 +1,121 @@
+package oracle
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func TestOracleFrequencyAndPersistency(t *testing.T) {
+	o := New(stream.Balanced)
+	// Period 1: a a b. Period 2: a c. Period 3: c c c.
+	for _, it := range []stream.Item{1, 1, 2} {
+		o.Insert(it)
+	}
+	o.EndPeriod()
+	for _, it := range []stream.Item{1, 3} {
+		o.Insert(it)
+	}
+	o.EndPeriod()
+	for _, it := range []stream.Item{3, 3, 3} {
+		o.Insert(it)
+	}
+	o.EndPeriod()
+
+	cases := []struct {
+		item    stream.Item
+		f, p    uint64
+		present bool
+	}{
+		{1, 3, 2, true},
+		{2, 1, 1, true},
+		{3, 4, 2, true},
+		{4, 0, 0, false},
+	}
+	for _, c := range cases {
+		e, ok := o.Query(c.item)
+		if ok != c.present {
+			t.Fatalf("item %d: present=%v, want %v", c.item, ok, c.present)
+		}
+		if !ok {
+			continue
+		}
+		if e.Frequency != c.f || e.Persistency != c.p {
+			t.Fatalf("item %d: f=%d p=%d, want f=%d p=%d", c.item, e.Frequency, e.Persistency, c.f, c.p)
+		}
+		want := stream.Balanced.Significance(c.f, c.p)
+		if e.Significance != want {
+			t.Fatalf("item %d: significance %v, want %v", c.item, e.Significance, want)
+		}
+	}
+}
+
+func TestOraclePersistencyCountsOncePerPeriod(t *testing.T) {
+	o := New(stream.Persistent)
+	for i := 0; i < 100; i++ {
+		o.Insert(7)
+	}
+	o.EndPeriod()
+	e, _ := o.Query(7)
+	if e.Persistency != 1 {
+		t.Fatalf("persistency %d after one period of many arrivals, want 1", e.Persistency)
+	}
+}
+
+func TestOracleTopK(t *testing.T) {
+	o := New(stream.Frequent)
+	for i := 0; i < 5; i++ {
+		o.Insert(10)
+	}
+	for i := 0; i < 3; i++ {
+		o.Insert(20)
+	}
+	o.Insert(30)
+	o.EndPeriod()
+	top := o.TopK(2)
+	if len(top) != 2 || top[0].Item != 10 || top[1].Item != 20 {
+		t.Fatalf("TopK wrong: %+v", top)
+	}
+	all := o.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d entries, want 3", len(all))
+	}
+}
+
+func TestFromStream(t *testing.T) {
+	s := &stream.Stream{Items: []stream.Item{1, 1, 2, 2, 1, 3}, Periods: 3}
+	o := FromStream(s, stream.Balanced)
+	// Periods of 2 items: [1 1] [2 2] [1 3].
+	e, _ := o.Query(1)
+	if e.Frequency != 3 || e.Persistency != 2 {
+		t.Fatalf("item 1: f=%d p=%d, want 3/2", e.Frequency, e.Persistency)
+	}
+	e, _ = o.Query(3)
+	if e.Frequency != 1 || e.Persistency != 1 {
+		t.Fatalf("item 3: f=%d p=%d, want 1/1", e.Frequency, e.Persistency)
+	}
+	if o.Distinct() != 3 {
+		t.Fatalf("Distinct = %d, want 3", o.Distinct())
+	}
+}
+
+func TestOracleTrackerInterface(t *testing.T) {
+	var tr stream.Tracker = New(stream.Balanced)
+	if tr.Name() != "Oracle" {
+		t.Fatal("wrong name")
+	}
+	if tr.MemoryBytes() != 0 {
+		t.Fatal("oracle must report zero memory (unbounded)")
+	}
+}
+
+func BenchmarkOracleInsert(b *testing.B) {
+	o := New(stream.Balanced)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Insert(stream.Item(i % 100000))
+		if i%100000 == 99999 {
+			o.EndPeriod()
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package pie
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return New(Options{PerPeriodBytes: mem, Beta: 1, Seed: 1})
+	}, trackertest.Options{PersistencyOnly: true, MinPeriods: 6})
+}

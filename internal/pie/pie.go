@@ -1,0 +1,283 @@
+// Package pie implements PIE, the state-of-the-art baseline for finding
+// top-k persistent items (paper Section II-B). PIE maintains one
+// Space-Time Bloom Filter (STBF) per period and encodes the IDs of the
+// items appearing in that period with a fountain code; after the stream, it
+// decodes the IDs of items that appeared in enough periods.
+//
+// The original uses Raptor codes. Raptor codes are linear fountain codes,
+// so this implementation uses a random linear fountain over GF(2): each
+// clean STBF cell stores a 16-bit code symbol whose bits are seeded linear
+// combinations of the unknown 64-bit item ID, and decoding is Gaussian
+// elimination (package gf2). Decode succeeds exactly when the collected
+// clean cells reach rank 64 — the same information-theoretic condition that
+// governs Raptor decoding, which is what drives PIE's accuracy-vs-memory
+// behaviour (see DESIGN.md §6).
+//
+// Following the paper's evaluation setup, PIE is granted T× the nominal
+// memory budget: one full STBF per period.
+package pie
+
+import (
+	"sigstream/internal/gf2"
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// CellBytes is the accounted size of one STBF cell: 8-bit fingerprint,
+// 16-bit code symbol, 2-bit state, padded to 4 bytes.
+const CellBytes = 4
+
+// defaultSymbolBits is the number of GF(2) equations contributed by a
+// clean cell when Options.SymbolBits is unset.
+const defaultSymbolBits = 16
+
+type cellState uint8
+
+const (
+	cellEmpty cellState = iota
+	cellValid
+	cellDirty
+)
+
+type cell struct {
+	fp    uint8
+	sym   uint16
+	state cellState
+}
+
+// Options configures PIE.
+type Options struct {
+	// PerPeriodBytes is the memory budget of each period's STBF.
+	PerPeriodBytes int
+	// Hashes is the number of cells each item writes per period (default 2).
+	Hashes int
+	// SymbolBits is the fountain-code symbol width per cell, 1–16 bits
+	// (default 16). Fewer bits per cell means more clean periods are
+	// required before an ID can decode (≥ ⌈64/SymbolBits⌉).
+	SymbolBits int
+	// Beta is the persistency weight used when reporting significance.
+	Beta float64
+	// Seed keys the hash functions and the fountain-code masks.
+	Seed uint32
+}
+
+// PIE is the Space-Time Bloom Filter structure.
+type PIE struct {
+	opts   Options
+	m      int // cells per STBF
+	stbfs  [][]cell
+	cur    []cell
+	hashes []hashing.Bob
+
+	decoded []stream.Entry // cache of the last full decode
+	stale   bool
+}
+
+// New builds a PIE instance.
+func New(opts Options) *PIE {
+	if opts.PerPeriodBytes < CellBytes {
+		opts.PerPeriodBytes = CellBytes
+	}
+	if opts.Hashes <= 0 {
+		opts.Hashes = 2
+	}
+	if opts.SymbolBits <= 0 || opts.SymbolBits > 16 {
+		opts.SymbolBits = defaultSymbolBits
+	}
+	m := opts.PerPeriodBytes / CellBytes
+	p := &PIE{
+		opts:   opts,
+		m:      m,
+		cur:    make([]cell, m),
+		hashes: make([]hashing.Bob, opts.Hashes),
+		stale:  true,
+	}
+	for i := range p.hashes {
+		p.hashes[i] = hashing.NewBob(opts.Seed ^ uint32(0x4ae1+i*0x95))
+	}
+	return p
+}
+
+// Cells reports the number of cells per period STBF.
+func (p *PIE) Cells() int { return p.m }
+
+// Name identifies the algorithm.
+func (p *PIE) Name() string { return "PIE" }
+
+// MemoryBytes reports the total footprint across all period STBFs built so
+// far (the paper's T× allowance).
+func (p *PIE) MemoryBytes() int {
+	return (len(p.stbfs) + 1) * p.m * CellBytes
+}
+
+func (p *PIE) position(i int, item stream.Item) int {
+	pos := int(p.hashes[i].Hash64(item)) % p.m
+	if pos < 0 {
+		pos += p.m
+	}
+	return pos
+}
+
+func (p *PIE) fingerprint(item stream.Item) uint8 {
+	return uint8(hashing.Fingerprint(item, p.opts.Seed^0x77, 8))
+}
+
+// mask derives the fountain-code mask for equation j of cell pos in period t.
+func (p *PIE) mask(pos, t, j int) uint64 {
+	seed := uint64(p.opts.Seed)<<32 ^ uint64(pos)<<24 ^ uint64(t)<<4 ^ uint64(j)
+	return hashing.Mix64(hashing.Mix64(seed) ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// minDecodePeriods is the number of clean same-position cells needed
+// before a decode is attempted (64 unknowns / SymbolBits per cell).
+func (p *PIE) minDecodePeriods() int {
+	return (64 + p.opts.SymbolBits - 1) / p.opts.SymbolBits
+}
+
+// symbol encodes item into the code symbol for (pos, t).
+func (p *PIE) symbol(item stream.Item, pos, t int) uint16 {
+	var s uint16
+	for j := 0; j < p.opts.SymbolBits; j++ {
+		s |= uint16(gf2.Eval(p.mask(pos, t, j), item)) << uint(j)
+	}
+	return s
+}
+
+// Insert records one arrival of item in the current period's STBF.
+func (p *PIE) Insert(item stream.Item) {
+	t := len(p.stbfs)
+	fp := p.fingerprint(item)
+	for i := 0; i < p.opts.Hashes; i++ {
+		pos := p.position(i, item)
+		c := &p.cur[pos]
+		switch c.state {
+		case cellEmpty:
+			*c = cell{fp: fp, sym: p.symbol(item, pos, t), state: cellValid}
+		case cellValid:
+			if c.fp != fp || c.sym != p.symbol(item, pos, t) {
+				c.state = cellDirty
+			}
+		}
+	}
+	p.stale = true
+}
+
+// EndPeriod seals the current STBF and starts a fresh one.
+func (p *PIE) EndPeriod() {
+	p.stbfs = append(p.stbfs, p.cur)
+	p.cur = make([]cell, p.m)
+	p.stale = true
+}
+
+// sealed returns all period STBFs including the in-progress one if it has
+// content (queries mid-period should see it).
+func (p *PIE) sealed() [][]cell {
+	return p.stbfs
+}
+
+// Query reports the estimate for a known item ID by recounting the periods
+// whose STBF holds a clean matching cell at any of the item's positions.
+// Unlike TopK, Query does not require decoding (the ID is given).
+func (p *PIE) Query(item stream.Item) (stream.Entry, bool) {
+	fp := p.fingerprint(item)
+	persist := uint64(0)
+	for t, stbf := range p.sealed() {
+		for i := 0; i < p.opts.Hashes; i++ {
+			pos := p.position(i, item)
+			c := stbf[pos]
+			if c.state == cellValid && c.fp == fp && c.sym == p.symbol(item, pos, t) {
+				persist++
+				break
+			}
+		}
+	}
+	if persist == 0 {
+		return stream.Entry{}, false
+	}
+	return stream.Entry{Item: item, Persistency: persist,
+		Significance: p.opts.Beta * float64(persist)}, true
+}
+
+// TopK decodes the STBFs and reports the k decoded items with the largest
+// estimated persistency.
+func (p *PIE) TopK(k int) []stream.Entry {
+	if p.stale {
+		p.decode()
+	}
+	es := make([]stream.Entry, len(p.decoded))
+	copy(es, p.decoded)
+	return stream.TopKFromEntries(es, k)
+}
+
+// decode runs the fountain decode over all sealed periods: for every cell
+// position, clean cells sharing a fingerprint across periods contribute
+// equations; a full-rank system yields a candidate ID, which is verified
+// against the fingerprint and the position mapping.
+func (p *PIE) decode() {
+	stbfs := p.sealed()
+	candidates := make(map[stream.Item]struct{})
+	group := make(map[uint8][]int, 8) // fingerprint → periods with clean cells
+	for pos := 0; pos < p.m; pos++ {
+		for fp := range group {
+			delete(group, fp)
+		}
+		for t, stbf := range stbfs {
+			c := stbf[pos]
+			if c.state == cellValid {
+				group[c.fp] = append(group[c.fp], t)
+			}
+		}
+		minPeriods := p.minDecodePeriods()
+		for fp, ts := range group {
+			if len(ts) < minPeriods {
+				continue
+			}
+			item, ok := p.decodeGroup(pos, ts, stbfs)
+			if !ok || p.fingerprint(item) != fp {
+				continue
+			}
+			if !p.mapsTo(item, pos) {
+				continue
+			}
+			candidates[item] = struct{}{}
+		}
+	}
+	p.decoded = p.decoded[:0]
+	for item := range candidates {
+		if e, ok := p.Query(item); ok {
+			p.decoded = append(p.decoded, e)
+		}
+	}
+	p.stale = false
+}
+
+// decodeGroup builds and solves the GF(2) system from the clean cells at
+// pos in periods ts. It returns false when the group is inconsistent (two
+// items sharing a fingerprint) or underdetermined.
+func (p *PIE) decodeGroup(pos int, ts []int, stbfs [][]cell) (stream.Item, bool) {
+	var sys gf2.System
+	for _, t := range ts {
+		sym := stbfs[t][pos].sym
+		for j := 0; j < p.opts.SymbolBits; j++ {
+			if !sys.Add(p.mask(pos, t, j), uint8(sym>>uint(j))&1) {
+				return 0, false
+			}
+		}
+		if sys.Full() {
+			break
+		}
+	}
+	return sys.Solve()
+}
+
+// mapsTo verifies that one of the item's hash positions is pos.
+func (p *PIE) mapsTo(item stream.Item, pos int) bool {
+	for i := 0; i < p.opts.Hashes; i++ {
+		if p.position(i, item) == pos {
+			return true
+		}
+	}
+	return false
+}
+
+var _ stream.Tracker = (*PIE)(nil)

@@ -1,0 +1,214 @@
+package pie
+
+import (
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestDecodeRecoversPersistentItems(t *testing.T) {
+	// Two persistent items over 10 periods with a roomy STBF must be
+	// decoded with exact persistency.
+	p := New(Options{PerPeriodBytes: 4096, Beta: 1, Seed: 1})
+	a, b := stream.Item(0xdeadbeefcafe), stream.Item(0x123456789abc)
+	for per := 0; per < 10; per++ {
+		p.Insert(a)
+		if per%2 == 0 {
+			p.Insert(b)
+		}
+		p.EndPeriod()
+	}
+	top := p.TopK(10)
+	if len(top) < 2 {
+		t.Fatalf("decoded %d items, want ≥2: %+v", len(top), top)
+	}
+	if top[0].Item != a || top[0].Persistency != 10 {
+		t.Fatalf("top item %+v, want item %x with persistency 10", top[0], a)
+	}
+	if top[1].Item != b || top[1].Persistency != 5 {
+		t.Fatalf("second item %+v, want item %x with persistency 5", top[1], b)
+	}
+}
+
+func TestShortLivedItemsNotDecoded(t *testing.T) {
+	// An item below the decode threshold (fewer than minDecodePeriods
+	// periods) cannot be reconstructed.
+	p := New(Options{PerPeriodBytes: 4096, Beta: 1, Seed: 2})
+	for per := 0; per < 8; per++ {
+		if per < 2 {
+			p.Insert(777)
+		}
+		p.Insert(stream.Item(1000 + per)) // churn
+		p.EndPeriod()
+	}
+	for _, e := range p.TopK(100) {
+		if e.Item == 777 {
+			t.Fatalf("item below decode threshold was decoded: %+v", e)
+		}
+	}
+}
+
+func TestQueryByIDWorksWithoutDecode(t *testing.T) {
+	p := New(Options{PerPeriodBytes: 4096, Beta: 2, Seed: 3})
+	for per := 0; per < 3; per++ {
+		p.Insert(555)
+		p.EndPeriod()
+	}
+	e, ok := p.Query(555)
+	if !ok {
+		t.Fatal("known ID not found")
+	}
+	if e.Persistency != 3 {
+		t.Fatalf("persistency = %d, want 3", e.Persistency)
+	}
+	if e.Significance != 6 {
+		t.Fatalf("significance = %v, want 6 (β=2)", e.Significance)
+	}
+	if _, ok := p.Query(556); ok {
+		t.Fatal("absent ID reported present")
+	}
+}
+
+func TestDuplicateArrivalsWithinPeriodCountOnce(t *testing.T) {
+	p := New(Options{PerPeriodBytes: 4096, Beta: 1, Seed: 4})
+	for i := 0; i < 50; i++ {
+		p.Insert(42)
+	}
+	p.EndPeriod()
+	e, ok := p.Query(42)
+	if !ok || e.Persistency != 1 {
+		t.Fatalf("persistency = %d (ok=%v), want 1", e.Persistency, ok)
+	}
+}
+
+func TestCollisionsDirtyCells(t *testing.T) {
+	// A tiny STBF flooded with distinct items must mark cells dirty and
+	// decode little or nothing — PIE's tight-memory failure mode.
+	p := New(Options{PerPeriodBytes: 64, Beta: 1, Seed: 5}) // 16 cells
+	for per := 0; per < 10; per++ {
+		for i := 0; i < 200; i++ {
+			p.Insert(stream.Item(i))
+		}
+		p.EndPeriod()
+	}
+	if got := len(p.TopK(1000)); got > 20 {
+		t.Fatalf("decoded %d items from a hopelessly dirty STBF", got)
+	}
+}
+
+func TestAccuracyOnWorkload(t *testing.T) {
+	// Persistent-head workload with ample per-period memory: PIE should
+	// find most of the true top-k persistent items.
+	s := gen.Generate(gen.Config{N: 30000, M: 1500, Periods: 30, Skew: 0.9,
+		Head: 40, TailWindowFrac: 0.15, Seed: 6})
+	o := oracle.FromStream(s, stream.Persistent)
+	p := New(Options{PerPeriodBytes: 32 * 1024, Beta: 1, Seed: 7})
+	s.Replay(p)
+	r := metrics.Evaluate(o, p, 30)
+	if r.Precision < 0.5 {
+		t.Fatalf("PIE precision %.2f with ample memory, want ≥0.5", r.Precision)
+	}
+}
+
+func TestNoOvercountingProperty(t *testing.T) {
+	// Reported persistency must never exceed the true persistency: a clean
+	// matching cell requires the item to have been inserted that period
+	// (fingerprint+symbol collisions from a different single item in the
+	// same cell are what the symbol check rules out).
+	s := gen.Generate(gen.Config{N: 20000, M: 800, Periods: 25, Skew: 1.0,
+		Head: 20, TailWindowFrac: 0.3, Seed: 8})
+	o := oracle.FromStream(s, stream.Persistent)
+	p := New(Options{PerPeriodBytes: 16 * 1024, Beta: 1, Seed: 9})
+	s.Replay(p)
+	for _, e := range p.TopK(200) {
+		real, ok := o.Query(e.Item)
+		if !ok {
+			t.Fatalf("decoded phantom item %x", e.Item)
+		}
+		if e.Persistency > real.Persistency {
+			t.Fatalf("item %x: PIE persistency %d > true %d",
+				e.Item, e.Persistency, real.Persistency)
+		}
+	}
+}
+
+func TestMemoryAccountingGrowsPerPeriod(t *testing.T) {
+	p := New(Options{PerPeriodBytes: 1024, Beta: 1, Seed: 10})
+	m0 := p.MemoryBytes()
+	p.EndPeriod()
+	p.EndPeriod()
+	if p.MemoryBytes() <= m0 {
+		t.Fatal("memory must grow with the number of period STBFs")
+	}
+	if p.Cells() != 1024/CellBytes {
+		t.Fatalf("cells = %d, want %d", p.Cells(), 1024/CellBytes)
+	}
+	if p.Name() != "PIE" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestDecodeCacheInvalidation(t *testing.T) {
+	p := New(Options{PerPeriodBytes: 4096, Beta: 1, Seed: 11})
+	for per := 0; per < 5; per++ {
+		p.Insert(99)
+		p.EndPeriod()
+	}
+	before := len(p.TopK(10))
+	for per := 0; per < 5; per++ {
+		p.Insert(1234567)
+		p.EndPeriod()
+	}
+	after := p.TopK(10)
+	if len(after) <= before {
+		t.Fatalf("decode cache not refreshed: %d → %d items", before, len(after))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := gen.NetworkLike(1<<16, 1)
+	p := New(Options{PerPeriodBytes: 64 * 1024, Beta: 1, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(s.Items[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	s := gen.Generate(gen.Config{N: 50000, M: 2000, Periods: 25, Skew: 1.0,
+		Head: 50, TailWindowFrac: 0.2, Seed: 1})
+	p := New(Options{PerPeriodBytes: 32 * 1024, Beta: 1, Seed: 1})
+	s.Replay(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.stale = true
+		p.decode()
+	}
+}
+
+func TestSymbolBitsOption(t *testing.T) {
+	// 8-bit symbols need ≥8 clean periods to decode; 7 periods must not
+	// decode, 10 must.
+	build := func(periods int) *PIE {
+		p := New(Options{PerPeriodBytes: 4096, SymbolBits: 8, Beta: 1, Seed: 21})
+		for per := 0; per < periods; per++ {
+			p.Insert(0xabcdef)
+			p.EndPeriod()
+		}
+		return p
+	}
+	if got := len(build(7).TopK(10)); got != 0 {
+		t.Fatalf("decoded %d items below the 8-period threshold", got)
+	}
+	few := build(10).TopK(10)
+	if len(few) != 1 || few[0].Item != 0xabcdef {
+		t.Fatalf("10 periods with 8-bit symbols failed to decode: %+v", few)
+	}
+	// Out-of-range widths fall back to the default.
+	if p := New(Options{PerPeriodBytes: 64, SymbolBits: 99}); p.opts.SymbolBits != 16 {
+		t.Fatalf("SymbolBits 99 not clamped: %d", p.opts.SymbolBits)
+	}
+}

@@ -1,0 +1,132 @@
+// Package plot renders experiment results as simple terminal charts, so
+// `sigbench -plot` shows the paper's curve shapes without leaving the
+// shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sigstream/internal/exp"
+)
+
+// Width is the bar width in characters.
+const Width = 40
+
+// Render draws one grouped bar chart per (dataset, metric) pair in the
+// result: x-values as rows, one bar per series.
+func Render(r exp.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", r.Figure, r.Title)
+
+	type groupKey struct{ dataset, metric string }
+	groups := map[groupKey][]exp.Row{}
+	var order []groupKey
+	for _, row := range r.Rows {
+		k := groupKey{row.Dataset, row.Metric}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	for _, k := range order {
+		rows := groups[k]
+		fmt.Fprintf(&b, "\n%s · %s\n", k.dataset, k.metric)
+		b.WriteString(renderGroup(rows, k.metric))
+	}
+	return b.String()
+}
+
+// renderGroup draws the bars for one dataset+metric block.
+func renderGroup(rows []exp.Row, metric string) string {
+	maxV := 0.0
+	for _, r := range rows {
+		if r.Value > maxV {
+			maxV = r.Value
+		}
+	}
+	logScale := metric == "ARE" && spansDecades(rows)
+	var b strings.Builder
+
+	// Preserve first-appearance order of x values and series.
+	var xs []string
+	seenX := map[string]bool{}
+	var series []string
+	seenS := map[string]bool{}
+	for _, r := range rows {
+		if !seenX[r.X] {
+			seenX[r.X] = true
+			xs = append(xs, r.X)
+		}
+		if !seenS[r.Series] {
+			seenS[r.Series] = true
+			series = append(series, r.Series)
+		}
+	}
+	sort.Strings(series)
+
+	val := map[[2]string]float64{}
+	for _, r := range rows {
+		val[[2]string{r.X, r.Series}] = r.Value
+	}
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %s\n", x)
+		for _, s := range series {
+			v, ok := val[[2]string{x, s}]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-14s %s %.4g\n", s, bar(v, maxV, logScale), v)
+		}
+	}
+	if logScale {
+		b.WriteString("  (log scale)\n")
+	}
+	return b.String()
+}
+
+// bar renders a value as a proportional run of block characters.
+func bar(v, max float64, logScale bool) string {
+	if max <= 0 {
+		return ""
+	}
+	frac := v / max
+	if logScale {
+		// Map [max/10^6, max] to [0,1] logarithmically.
+		const decades = 6
+		if v <= 0 {
+			frac = 0
+		} else {
+			frac = 1 + math.Log10(v/max)/decades
+			if frac < 0 {
+				frac = 0
+			}
+		}
+	}
+	n := int(frac*Width + 0.5)
+	if n > Width {
+		n = Width
+	}
+	if n == 0 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// spansDecades reports whether the values cover more than two orders of
+// magnitude, which makes a linear bar chart unreadable.
+func spansDecades(rows []exp.Row) bool {
+	minPos := math.Inf(1)
+	maxV := 0.0
+	for _, r := range rows {
+		if r.Value > 0 && r.Value < minPos {
+			minPos = r.Value
+		}
+		if r.Value > maxV {
+			maxV = r.Value
+		}
+	}
+	return maxV > 0 && minPos < math.Inf(1) && maxV/minPos > 100
+}

@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"sigstream/internal/exp"
+)
+
+func sample() exp.Result {
+	return exp.Result{
+		Figure: "9",
+		Title:  "demo",
+		Rows: []exp.Row{
+			{Figure: "9", Dataset: "D", Series: "LTC", X: "10KB", Metric: "precision", Value: 0.99},
+			{Figure: "9", Dataset: "D", Series: "CM", X: "10KB", Metric: "precision", Value: 0.52},
+			{Figure: "9", Dataset: "D", Series: "LTC", X: "50KB", Metric: "precision", Value: 1.0},
+			{Figure: "9", Dataset: "D", Series: "CM", X: "50KB", Metric: "precision", Value: 0.9},
+		},
+	}
+}
+
+func TestRenderContainsAllSeriesAndXs(t *testing.T) {
+	out := Render(sample())
+	for _, want := range []string{"demo", "LTC", "CM", "10KB", "50KB", "precision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarsProportional(t *testing.T) {
+	out := Render(sample())
+	lines := strings.Split(out, "\n")
+	count := func(sub string) int {
+		for _, l := range lines {
+			if strings.Contains(l, sub) && strings.Contains(l, "█") {
+				return strings.Count(l, "█")
+			}
+		}
+		return -1
+	}
+	ltc := count("LTC")
+	cm := count("CM")
+	if ltc <= cm {
+		t.Fatalf("LTC bar (%d) not longer than CM bar (%d)", ltc, cm)
+	}
+	if ltc > Width {
+		t.Fatalf("bar overflows width: %d > %d", ltc, Width)
+	}
+}
+
+func TestLogScaleForWideARE(t *testing.T) {
+	r := exp.Result{
+		Figure: "10",
+		Rows: []exp.Row{
+			{Dataset: "D", Series: "LTC", X: "5KB", Metric: "ARE", Value: 0.0004},
+			{Dataset: "D", Series: "CM", X: "5KB", Metric: "ARE", Value: 240},
+		},
+	}
+	out := Render(r)
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("expected log scale for 6-decade spread:\n%s", out)
+	}
+	// The tiny value still gets a visible (≥1 char) bar.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "LTC") && !strings.Contains(l, "█") {
+			t.Fatalf("zero-width bar for positive value:\n%s", out)
+		}
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	r := exp.Result{
+		Figure: "x",
+		Rows: []exp.Row{
+			{Dataset: "D", Series: "A", X: "1", Metric: "ARE", Value: 0},
+		},
+	}
+	out := Render(r) // must not panic or divide by zero
+	if !strings.Contains(out, "A") {
+		t.Fatal("series missing")
+	}
+}

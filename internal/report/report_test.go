@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sigstream/internal/exp"
+)
+
+func sample() exp.Result {
+	return exp.Result{
+		Figure:    "9",
+		Title:     "demo | title",
+		PaperNote: "LTC wins",
+		Rows: []exp.Row{
+			{Dataset: "D", Series: "LTC", X: "10KB", Metric: "precision", Value: 0.99},
+			{Dataset: "D", Series: "CM", X: "10KB", Metric: "precision", Value: 0.50},
+			{Dataset: "D", Series: "LTC", X: "10KB", Metric: "ARE", Value: 0.001},
+			{Dataset: "D", Series: "CM", X: "10KB", Metric: "ARE", Value: 25},
+		},
+	}
+}
+
+func TestSummarizeBestWorst(t *testing.T) {
+	s := Summarize(sample())
+	// Precision: best LTC; ARE: best LTC (lower is better).
+	if !strings.Contains(s, "precision: best LTC") {
+		t.Fatalf("precision summary wrong: %s", s)
+	}
+	if !strings.Contains(s, "ARE: best LTC") {
+		t.Fatalf("ARE summary must invert ordering: %s", s)
+	}
+	if !strings.Contains(s, "worst CM") {
+		t.Fatalf("worst series missing: %s", s)
+	}
+}
+
+func TestSummarizeSingleSeries(t *testing.T) {
+	r := exp.Result{Rows: []exp.Row{
+		{Series: "LTC", Metric: "precision", Value: 0.9},
+	}}
+	if s := Summarize(r); !strings.Contains(s, "LTC 0.9") {
+		t.Fatalf("single-series summary wrong: %s", s)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	md := Generate([]exp.Result{sample()}, "quick")
+	for _, want := range []string{
+		"# sigstream evaluation report",
+		"Scale: **quick**",
+		"| Figure | Paper | Measured summary | Elapsed |",
+		"## Figure 9",
+		"*Paper:* LTC wins",
+		"| D | LTC | 10KB | precision | 0.99 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("missing %q in report:\n%s", want, md)
+		}
+	}
+	// Pipes in titles must be escaped so the summary table stays intact.
+	if !strings.Contains(md, `demo \| title`) {
+		t.Fatal("pipe escaping missing")
+	}
+}
+
+func TestGenerateOnRealFigure(t *testing.T) {
+	sc := exp.Scale{CAIDA: 30000, Network: 30000, Social: 30000, Zipf: 30000,
+		Seed: 1, Quick: true}
+	r := exp.DSweep(sc)
+	md := Generate([]exp.Result{r}, "tiny")
+	if !strings.Contains(md, "d=8") {
+		t.Fatalf("real figure rows missing:\n%s", md[:300])
+	}
+}

@@ -1,0 +1,14 @@
+package sampling
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+	"sigstream/internal/trackertest"
+)
+
+func TestTrackerContract(t *testing.T) {
+	trackertest.Run(t, func(mem int) stream.Tracker {
+		return New(mem, 5000, stream.Balanced)
+	}, trackertest.Options{Lossy: true})
+}

@@ -1,0 +1,130 @@
+// Package sampling implements a hash-based small-space sampler for
+// persistent items, in the spirit of the coordinated 1-sampling line of
+// work the paper cites for distributed persistent-item detection (Section
+// II-B). It completes the baseline set: PIE decodes everything it can,
+// sketches estimate everything approximately, and sampling tracks an exact
+// subset.
+//
+// An item is sampled iff Hash(item) < τ, where τ is derived from the
+// memory budget and an expected distinct-item count. Because the predicate
+// depends only on the item, the same items are sampled in every period
+// ("coordinated"), so a sampled item's frequency and persistency are exact
+// and the top-k estimate is the top-k of the sample scaled by nothing —
+// precision degrades gracefully as the sampling rate drops below
+// k/distinct.
+package sampling
+
+import (
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// EntryBytes is the accounted memory per sampled item: 8-byte ID, 8-byte
+// frequency, 4-byte persistency, 4-byte period tag, map overhead amortized
+// to 8 bytes.
+const EntryBytes = 32
+
+type entry struct {
+	freq     uint64
+	persist  uint32
+	lastSeen uint32 // period index of the last persistency credit
+}
+
+// Sampler tracks the exact statistics of a hash-defined item subset.
+type Sampler struct {
+	weights   stream.Weights
+	capacity  int
+	threshold uint32 // sample iff hash < threshold
+	hash      hashing.Bob
+	items     map[stream.Item]*entry
+	period    uint32
+}
+
+// New sizes a sampler from a memory budget and an expected number of
+// distinct items in the stream (used to pick the sampling rate so the
+// sample fits the budget). expectedDistinct ≤ 0 assumes 1e6.
+func New(memoryBytes int, expectedDistinct int, w stream.Weights) *Sampler {
+	capacity := memoryBytes / EntryBytes
+	if capacity < 1 {
+		capacity = 1
+	}
+	if expectedDistinct <= 0 {
+		expectedDistinct = 1_000_000
+	}
+	rate := float64(capacity) / float64(expectedDistinct)
+	if rate > 1 {
+		rate = 1
+	}
+	return &Sampler{
+		weights:   w,
+		capacity:  capacity,
+		threshold: uint32(rate * float64(1<<32-1)),
+		hash:      hashing.NewBob(0xab54),
+		items:     make(map[stream.Item]*entry, capacity),
+	}
+}
+
+// SamplingRate reports the fraction of the item space that is sampled.
+func (s *Sampler) SamplingRate() float64 {
+	return float64(s.threshold) / float64(1<<32-1)
+}
+
+// MemoryBytes reports the accounted footprint.
+func (s *Sampler) MemoryBytes() int { return s.capacity * EntryBytes }
+
+// Name identifies the algorithm.
+func (s *Sampler) Name() string { return "Sampling" }
+
+// Insert records one arrival.
+func (s *Sampler) Insert(item stream.Item) {
+	if s.hash.Hash64(item) >= s.threshold {
+		return
+	}
+	e := s.items[item]
+	if e == nil {
+		if len(s.items) >= s.capacity {
+			// Budget exhausted: the sampler degrades by ignoring new
+			// sampled items rather than evicting exact state.
+			return
+		}
+		e = &entry{}
+		s.items[item] = e
+	}
+	e.freq++
+	if e.persist == 0 || e.lastSeen != s.period {
+		e.persist++
+		e.lastSeen = s.period
+	}
+}
+
+// EndPeriod advances the period counter.
+func (s *Sampler) EndPeriod() { s.period++ }
+
+// Query reports the exact statistics of a sampled item.
+func (s *Sampler) Query(item stream.Item) (stream.Entry, bool) {
+	e, ok := s.items[item]
+	if !ok {
+		return stream.Entry{}, false
+	}
+	return s.entry(item, e), true
+}
+
+// TopK reports the top-k significant items of the sample.
+func (s *Sampler) TopK(k int) []stream.Entry {
+	es := make([]stream.Entry, 0, len(s.items))
+	for item, e := range s.items {
+		es = append(es, s.entry(item, e))
+	}
+	return stream.TopKFromEntries(es, k)
+}
+
+func (s *Sampler) entry(item stream.Item, e *entry) stream.Entry {
+	return stream.Entry{
+		Item:         item,
+		Frequency:    e.freq,
+		Persistency:  uint64(e.persist),
+		Significance: s.weights.Significance(e.freq, uint64(e.persist)),
+	}
+}
+
+var _ stream.Tracker = (*Sampler)(nil)

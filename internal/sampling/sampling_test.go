@@ -1,0 +1,128 @@
+package sampling
+
+import (
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestSampledItemsAreExact(t *testing.T) {
+	// Rate 1 (capacity ≥ distinct): everything sampled, everything exact.
+	s := New(32*100, 50, stream.Balanced)
+	if s.SamplingRate() < 0.999 {
+		t.Fatalf("rate %.3f, want ≈1 when capacity exceeds distinct", s.SamplingRate())
+	}
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 10; i++ {
+			s.Insert(7)
+		}
+		if p%2 == 0 {
+			s.Insert(9)
+		}
+		s.EndPeriod()
+	}
+	e, ok := s.Query(7)
+	if !ok || e.Frequency != 40 || e.Persistency != 4 {
+		t.Fatalf("item 7: %+v ok=%v, want 40/4", e, ok)
+	}
+	e, ok = s.Query(9)
+	if !ok || e.Frequency != 2 || e.Persistency != 2 {
+		t.Fatalf("item 9: %+v ok=%v, want 2/2", e, ok)
+	}
+}
+
+func TestSamplingRateScalesWithBudget(t *testing.T) {
+	small := New(32*10, 1000, stream.Balanced)
+	big := New(32*500, 1000, stream.Balanced)
+	if small.SamplingRate() >= big.SamplingRate() {
+		t.Fatalf("rates %.4f vs %.4f not increasing with budget",
+			small.SamplingRate(), big.SamplingRate())
+	}
+	if small.SamplingRate() > 0.05 {
+		t.Fatalf("small budget rate %.4f too high", small.SamplingRate())
+	}
+}
+
+func TestCoordinatedAcrossPeriods(t *testing.T) {
+	// The sampling predicate depends only on the item, so an item sampled
+	// once is sampled in every period.
+	s := New(32*20, 2000, stream.Balanced)
+	var sampled stream.Item
+	for i := stream.Item(1); i < 10000; i++ {
+		s.Insert(i)
+		if _, ok := s.Query(i); ok {
+			sampled = i
+			break
+		}
+	}
+	if sampled == 0 {
+		t.Skip("no item sampled at this rate; statistical fluke")
+	}
+	s.EndPeriod()
+	s.Insert(sampled)
+	e, ok := s.Query(sampled)
+	if !ok || e.Persistency != 2 {
+		t.Fatalf("sampled item not coordinated across periods: %+v ok=%v", e, ok)
+	}
+}
+
+func TestCapacityNotExceeded(t *testing.T) {
+	s := New(32*10, 10, stream.Balanced) // rate 1, capacity 10
+	for i := stream.Item(1); i <= 1000; i++ {
+		s.Insert(i)
+	}
+	if got := len(s.TopK(1 << 20)); got > 10 {
+		t.Fatalf("sample holds %d items, capacity 10", got)
+	}
+}
+
+func TestPrecisionReasonableWithGoodBudget(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 40000, M: 2000, Periods: 20, Skew: 0.9,
+		Head: 50, TailWindowFrac: 0.2, Seed: 3})
+	o := oracle.FromStream(st, stream.Persistent)
+	s := New(32*4000, 2000, stream.Persistent) // rate 1
+	st.Replay(s)
+	r := metrics.Evaluate(o, s, 50)
+	if r.Precision < 0.95 {
+		t.Fatalf("full-rate sampler precision %.2f, want ≈1", r.Precision)
+	}
+	if r.ARE > 1e-9 {
+		t.Fatalf("full-rate sampler ARE %.4g, want 0 (exact)", r.ARE)
+	}
+}
+
+func TestPrecisionDegradesWithLowRate(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 40000, M: 2000, Periods: 20, Skew: 0.9,
+		Head: 50, TailWindowFrac: 0.2, Seed: 3})
+	o := oracle.FromStream(st, stream.Persistent)
+	s := New(32*50, 2000, stream.Persistent) // rate ≈ 2.5%
+	st.Replay(s)
+	r := metrics.Evaluate(o, s, 50)
+	if r.Precision > 0.5 {
+		t.Fatalf("low-rate sampler precision %.2f implausibly high", r.Precision)
+	}
+}
+
+func TestNameAndMemory(t *testing.T) {
+	s := New(3200, 100, stream.Balanced)
+	if s.Name() != "Sampling" {
+		t.Fatal("wrong name")
+	}
+	if s.MemoryBytes() != 3200 {
+		t.Fatalf("memory %d, want 3200", s.MemoryBytes())
+	}
+	if New(1, 0, stream.Balanced).MemoryBytes() <= 0 {
+		t.Fatal("degenerate budget unusable")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New(64*1024, 100000, stream.Balanced)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(stream.Item(i))
+	}
+}

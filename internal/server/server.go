@@ -1,0 +1,318 @@
+// Package server exposes a sigstream tracker over HTTP, so non-Go
+// producers (log shippers, packet samplers, cron jobs) can feed a stream
+// and dashboards can poll the significant-items ranking.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/insert     body: newline-separated item keys (inserted in order)
+//	POST /v1/period     close the current period
+//	GET  /v1/top?k=N    top-N significant items
+//	GET  /v1/query?key=K one item's estimate
+//	GET  /v1/stats      tracker statistics
+//	GET  /v1/checkpoint download a binary snapshot of the tracker
+//	POST /v1/restore    replace the tracker state from a snapshot body
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"sigstream"
+)
+
+// Config sizes the served tracker.
+type Config struct {
+	// MemoryBytes is the tracker's budget (default 1 MiB).
+	MemoryBytes int
+	// Weights are the significance coefficients (default Balanced).
+	Weights sigstream.Weights
+	// Shards is the concurrency level (default GOMAXPROCS).
+	Shards int
+	// DecayFactor optionally ages counts at each period boundary
+	// (see sigstream.Config.DecayFactor).
+	DecayFactor float64
+	// MaxBodyBytes caps an insert request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is an http.Handler serving one tracker.
+type Server struct {
+	mux     *http.ServeMux
+	tracker *sigstream.Sharded
+	cfg     Config
+
+	mu       sync.Mutex // guards keys and counters
+	keys     *sigstream.KeyMap
+	arrivals uint64
+	periods  uint64
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.MemoryBytes <= 0 {
+		cfg.MemoryBytes = 1 << 20
+	}
+	if cfg.Weights == (sigstream.Weights{}) {
+		cfg.Weights = sigstream.Balanced
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		mux: http.NewServeMux(),
+		tracker: sigstream.NewSharded(sigstream.Config{
+			MemoryBytes: cfg.MemoryBytes,
+			Weights:     cfg.Weights,
+			DecayFactor: cfg.DecayFactor,
+		}, cfg.Shards),
+		cfg:  cfg,
+		keys: sigstream.NewKeyMap(),
+	}
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/period", s.handlePeriod)
+	s.mux.HandleFunc("/v1/top", s.handleTop)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/restore", s.handleRestore)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// trk returns the live tracker under the lock, so /v1/restore can swap it
+// safely while other handlers run.
+func (s *Server) trk() *sigstream.Sharded {
+	s.mu.Lock()
+	t := s.tracker
+	s.mu.Unlock()
+	return t
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// entryJSON is the wire form of one estimate.
+type entryJSON struct {
+	Key          string  `json:"key"`
+	Item         uint64  `json:"item"`
+	Frequency    uint64  `json:"frequency"`
+	Persistency  uint64  `json:"persistency"`
+	Significance float64 `json:"significance"`
+}
+
+type statsJSON struct {
+	MemoryBytes int     `json:"memory_bytes"`
+	Shards      int     `json:"shards"`
+	Arrivals    uint64  `json:"arrivals"`
+	Periods     uint64  `json:"periods"`
+	Keys        int     `json:"distinct_keys_seen"`
+	Alpha       float64 `json:"alpha"`
+	Beta        float64 `json:"beta"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	trk := s.trk()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	n := uint64(0)
+	for sc.Scan() {
+		key := sc.Text()
+		if key == "" {
+			continue
+		}
+		s.mu.Lock()
+		item := s.keys.Intern(key)
+		s.mu.Unlock()
+		trk.Insert(item)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.arrivals += n
+	s.mu.Unlock()
+	writeJSON(w, map[string]uint64{"inserted": n})
+}
+
+func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.trk().EndPeriod()
+	s.mu.Lock()
+	s.periods++
+	p := s.periods
+	s.mu.Unlock()
+	writeJSON(w, map[string]uint64{"periods": p})
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 1<<20 {
+			httpError(w, http.StatusBadRequest, "bad k")
+			return
+		}
+		k = parsed
+	}
+	entries := s.trk().TopK(k)
+	out := make([]entryJSON, len(entries))
+	s.mu.Lock()
+	for i, e := range entries {
+		out[i] = entryJSON{
+			Key:          s.keys.Name(e.Item),
+			Item:         e.Item,
+			Frequency:    e.Frequency,
+			Persistency:  e.Persistency,
+			Significance: e.Significance,
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "key required")
+		return
+	}
+	e, ok := s.trk().Query(sigstream.HashKey(key))
+	if !ok {
+		httpError(w, http.StatusNotFound, "not tracked")
+		return
+	}
+	writeJSON(w, entryJSON{
+		Key:          key,
+		Item:         e.Item,
+		Frequency:    e.Frequency,
+		Persistency:  e.Persistency,
+		Significance: e.Significance,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	st := statsJSON{
+		MemoryBytes: s.tracker.MemoryBytes(),
+		Shards:      s.tracker.Shards(),
+		Arrivals:    s.arrivals,
+		Periods:     s.periods,
+		Keys:        s.keys.Len(),
+		Alpha:       s.cfg.Weights.Alpha,
+		Beta:        s.cfg.Weights.Beta,
+	}
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	img, err := s.trk().MarshalBinary()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(img)))
+	_, _ = w.Write(img)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	// Restore into a fresh tracker first, then swap, so a bad image leaves
+	// the live tracker untouched. Key names are not part of the snapshot;
+	// unseen keys render as hex until re-interned.
+	fresh := sigstream.NewSharded(sigstream.Config{}, 1)
+	if err := fresh.UnmarshalBinary(body); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.tracker = fresh
+	s.mu.Unlock()
+	writeJSON(w, map[string]int{"shards": fresh.Shards()})
+}
+
+// handleMetrics exposes the counters in Prometheus text format, so the
+// service drops into existing scrape configs.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	arrivals, periods, keys := s.arrivals, s.periods, s.keys.Len()
+	mem, shards := s.tracker.MemoryBytes(), s.tracker.Shards()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP sigstream_arrivals_total Stream arrivals ingested.\n")
+	fmt.Fprintf(w, "# TYPE sigstream_arrivals_total counter\n")
+	fmt.Fprintf(w, "sigstream_arrivals_total %d\n", arrivals)
+	fmt.Fprintf(w, "# HELP sigstream_periods_total Periods closed.\n")
+	fmt.Fprintf(w, "# TYPE sigstream_periods_total counter\n")
+	fmt.Fprintf(w, "sigstream_periods_total %d\n", periods)
+	fmt.Fprintf(w, "# HELP sigstream_distinct_keys Distinct keys interned.\n")
+	fmt.Fprintf(w, "# TYPE sigstream_distinct_keys gauge\n")
+	fmt.Fprintf(w, "sigstream_distinct_keys %d\n", keys)
+	fmt.Fprintf(w, "# HELP sigstream_memory_bytes Tracker memory budget.\n")
+	fmt.Fprintf(w, "# TYPE sigstream_memory_bytes gauge\n")
+	fmt.Fprintf(w, "sigstream_memory_bytes %d\n", mem)
+	fmt.Fprintf(w, "# HELP sigstream_shards Tracker shard count.\n")
+	fmt.Fprintf(w, "# TYPE sigstream_shards gauge\n")
+	fmt.Fprintf(w, "sigstream_shards %d\n", shards)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

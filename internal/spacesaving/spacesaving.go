@@ -1,0 +1,204 @@
+// Package spacesaving implements the Space-Saving algorithm (Metwally,
+// Agrawal, El Abbadi) with its Stream-Summary structure, the classic
+// counter-based baseline for top-k frequent items (paper Section II-A).
+//
+// Space-Saving keeps k counters ⟨item, count, error⟩. A tracked arrival
+// increments its counter; an untracked arrival replaces the item with the
+// minimum count m, setting count = m+1 and error = m. The Stream-Summary
+// (counts grouped in a doubly-linked list of count-buckets) makes both
+// operations O(1).
+//
+// Space-Saving tracks frequency only; the reported significance is
+// α·frequency. The paper evaluates it in the α=1, β=0 setting.
+package spacesaving
+
+import (
+	"sigstream/internal/stream"
+)
+
+// EntryBytes is the accounted memory per counter: 8-byte ID, 8-byte count,
+// 8-byte error, plus linked-structure overhead amortized to 8 bytes.
+const EntryBytes = 32
+
+type node struct {
+	item       stream.Item
+	err        uint64
+	b          *bucket
+	prev, next *node // siblings within the bucket (nil-terminated)
+}
+
+type bucket struct {
+	count      uint64
+	head       *node
+	prev, next *bucket // ascending count order (nil-terminated)
+}
+
+// SS is a Space-Saving summary.
+type SS struct {
+	capacity int
+	alpha    float64
+	index    map[stream.Item]*node
+	min      *bucket // bucket with the smallest count
+}
+
+// New creates a Space-Saving summary sized from a memory budget.
+// alpha is the frequency weight used when reporting significance.
+func New(memoryBytes int, alpha float64) *SS {
+	capacity := memoryBytes / EntryBytes
+	if capacity < 1 {
+		capacity = 1
+	}
+	return NewCapacity(capacity, alpha)
+}
+
+// NewCapacity creates a Space-Saving summary with an explicit counter count.
+func NewCapacity(capacity int, alpha float64) *SS {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SS{
+		capacity: capacity,
+		alpha:    alpha,
+		index:    make(map[stream.Item]*node, capacity),
+	}
+}
+
+// Capacity reports the number of counters.
+func (s *SS) Capacity() int { return s.capacity }
+
+// MemoryBytes reports the accounted footprint.
+func (s *SS) MemoryBytes() int { return s.capacity * EntryBytes }
+
+// Name identifies the algorithm.
+func (s *SS) Name() string { return "SpaceSaving" }
+
+// Insert records one arrival.
+func (s *SS) Insert(item stream.Item) {
+	if n, ok := s.index[item]; ok {
+		s.increment(n)
+		return
+	}
+	if len(s.index) < s.capacity {
+		n := &node{item: item}
+		s.index[item] = n
+		s.attach(n, s.bucketFor(1, nil))
+		return
+	}
+	// Replace a minimum-count item: count becomes min+1, error = min.
+	victim := s.min.head
+	delete(s.index, victim.item)
+	victim.item = item
+	victim.err = s.min.count
+	s.index[item] = victim
+	s.increment(victim)
+}
+
+// EndPeriod is a no-op: Space-Saving has no notion of periods.
+func (s *SS) EndPeriod() {}
+
+// Query reports the estimate for item.
+func (s *SS) Query(item stream.Item) (stream.Entry, bool) {
+	n, ok := s.index[item]
+	if !ok {
+		return stream.Entry{}, false
+	}
+	return s.entry(n), true
+}
+
+// Count returns the estimated count and its maximum overestimation error.
+func (s *SS) Count(item stream.Item) (count, err uint64, ok bool) {
+	n, found := s.index[item]
+	if !found {
+		return 0, 0, false
+	}
+	return n.b.count, n.err, true
+}
+
+// TopK reports the k tracked items with the largest counts.
+func (s *SS) TopK(k int) []stream.Entry {
+	es := make([]stream.Entry, 0, len(s.index))
+	for _, n := range s.index {
+		es = append(es, s.entry(n))
+	}
+	return stream.TopKFromEntries(es, k)
+}
+
+func (s *SS) entry(n *node) stream.Entry {
+	return stream.Entry{
+		Item:         n.item,
+		Frequency:    n.b.count,
+		Significance: s.alpha * float64(n.b.count),
+	}
+}
+
+// increment moves n from its bucket to the count+1 bucket in O(1).
+func (s *SS) increment(n *node) {
+	old := n.b
+	s.detach(n)
+	s.attach(n, s.bucketFor(old.count+1, old))
+	if old.head == nil {
+		s.removeBucket(old)
+	}
+}
+
+// bucketFor returns the bucket with the given count, creating it after the
+// hint bucket (or at the front when hint is nil).
+func (s *SS) bucketFor(count uint64, hint *bucket) *bucket {
+	var prev, cur *bucket
+	if hint != nil {
+		prev, cur = hint, hint.next
+	} else {
+		cur = s.min
+	}
+	for cur != nil && cur.count < count {
+		prev, cur = cur, cur.next
+	}
+	if cur != nil && cur.count == count {
+		return cur
+	}
+	b := &bucket{count: count, prev: prev, next: cur}
+	if prev != nil {
+		prev.next = b
+	} else {
+		s.min = b
+	}
+	if cur != nil {
+		cur.prev = b
+	}
+	return b
+}
+
+func (s *SS) attach(n *node, b *bucket) {
+	n.b = b
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+}
+
+func (s *SS) detach(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		n.b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *SS) removeBucket(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}
+
+var _ stream.Tracker = (*SS)(nil)

@@ -1,0 +1,151 @@
+package spacesaving
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/metrics"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s := NewCapacity(10, 1)
+	for i := 0; i < 5; i++ {
+		s.Insert(1)
+	}
+	for i := 0; i < 3; i++ {
+		s.Insert(2)
+	}
+	c, err, ok := s.Count(1)
+	if !ok || c != 5 || err != 0 {
+		t.Fatalf("item 1: count=%d err=%d ok=%v, want 5/0/true", c, err, ok)
+	}
+	c, err, ok = s.Count(2)
+	if !ok || c != 3 || err != 0 {
+		t.Fatalf("item 2: count=%d err=%d ok=%v, want 3/0/true", c, err, ok)
+	}
+}
+
+func TestReplacementRule(t *testing.T) {
+	// Capacity 2. After a:3, b:1, inserting c replaces b (the min):
+	// count(c) = min+1 = 2, err(c) = min = 1.
+	s := NewCapacity(2, 1)
+	s.Insert(10)
+	s.Insert(10)
+	s.Insert(10)
+	s.Insert(20)
+	s.Insert(30)
+	if _, ok := s.Query(20); ok {
+		t.Fatal("item 20 should have been replaced")
+	}
+	c, err, ok := s.Count(30)
+	if !ok || c != 2 || err != 1 {
+		t.Fatalf("replacement: count=%d err=%d ok=%v, want 2/1/true", c, err, ok)
+	}
+	c, _, _ = s.Count(10)
+	if c != 3 {
+		t.Fatalf("survivor count = %d, want 3", c)
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	// Space-Saving's classical guarantee: estimate ≥ true count for every
+	// tracked item.
+	rng := rand.New(rand.NewSource(7))
+	truth := map[stream.Item]uint64{}
+	s := NewCapacity(20, 1)
+	for i := 0; i < 20000; i++ {
+		item := stream.Item(rng.Intn(200) + 1)
+		truth[item]++
+		s.Insert(item)
+	}
+	for item, f := range truth {
+		if c, _, ok := s.Count(item); ok && c < f {
+			t.Fatalf("item %d: estimate %d < true %d", item, c, f)
+		}
+	}
+}
+
+func TestCountSumInvariant(t *testing.T) {
+	// Σ counts over all counters == stream length (each arrival adds
+	// exactly 1 to exactly one counter, including replacements).
+	rng := rand.New(rand.NewSource(9))
+	s := NewCapacity(16, 1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s.Insert(stream.Item(rng.Intn(100)))
+	}
+	var total uint64
+	for _, e := range s.TopK(1 << 20) {
+		total += e.Frequency
+	}
+	if total != n {
+		t.Fatalf("counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	s := NewCapacity(100, 1)
+	for i := 1; i <= 10; i++ {
+		for j := 0; j < i*3; j++ {
+			s.Insert(stream.Item(i))
+		}
+	}
+	top := s.TopK(3)
+	if len(top) != 3 || top[0].Item != 10 || top[1].Item != 9 || top[2].Item != 8 {
+		t.Fatalf("TopK wrong: %+v", top)
+	}
+}
+
+func TestMemorySizing(t *testing.T) {
+	s := New(3200, 1)
+	if s.Capacity() != 100 {
+		t.Fatalf("capacity = %d, want 100", s.Capacity())
+	}
+	if s.MemoryBytes() != 3200 {
+		t.Fatalf("MemoryBytes = %d, want 3200", s.MemoryBytes())
+	}
+	tiny := New(1, 1)
+	if tiny.Capacity() != 1 {
+		t.Fatal("capacity must floor at 1")
+	}
+}
+
+func TestHeadPrecisionOnZipf(t *testing.T) {
+	st := gen.Generate(gen.Config{N: 50000, M: 5000, Periods: 1, Skew: 1.2,
+		Head: 100, TailWindowFrac: 1, Seed: 3})
+	o := oracle.FromStream(st, stream.Frequent)
+	s := NewCapacity(500, 1)
+	st.Replay(s)
+	r := metrics.Evaluate(o, s, 50)
+	if r.Precision < 0.7 {
+		t.Fatalf("Space-Saving precision %.2f on easy Zipf head, want ≥0.7", r.Precision)
+	}
+}
+
+func TestQueryMissing(t *testing.T) {
+	s := NewCapacity(4, 1)
+	if _, ok := s.Query(99); ok {
+		t.Fatal("missing item reported present")
+	}
+	if _, _, ok := s.Count(99); ok {
+		t.Fatal("missing item counted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(100, 1).Name() != "SpaceSaving" {
+		t.Fatal("wrong name")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	st := gen.NetworkLike(1<<17, 1)
+	s := New(64*1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(st.Items[i&(1<<17-1)])
+	}
+}

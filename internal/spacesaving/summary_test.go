@@ -1,0 +1,108 @@
+package spacesaving
+
+// White-box tests of the Stream-Summary structure: the doubly-linked list
+// of count-buckets must stay strictly ascending, every node must point at
+// the bucket that holds it, and the index map must stay in sync.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sigstream/internal/stream"
+)
+
+// checkInvariants validates the whole Stream-Summary.
+func checkInvariants(t *testing.T, s *SS) {
+	t.Helper()
+	seen := 0
+	var prevCount uint64
+	first := true
+	for b := s.min; b != nil; b = b.next {
+		if !first && b.count <= prevCount {
+			t.Fatalf("bucket counts not strictly ascending: %d after %d",
+				b.count, prevCount)
+		}
+		prevCount = b.count
+		first = false
+		if b.head == nil {
+			t.Fatalf("empty bucket (count %d) left in the list", b.count)
+		}
+		if b.next != nil && b.next.prev != b {
+			t.Fatal("broken bucket back-link")
+		}
+		var prevNode *node
+		for n := b.head; n != nil; n = n.next {
+			if n.b != b {
+				t.Fatalf("node %d points at bucket %d, lives in %d",
+					n.item, n.b.count, b.count)
+			}
+			if n.prev != prevNode {
+				t.Fatal("broken node back-link")
+			}
+			if idx, ok := s.index[n.item]; !ok || idx != n {
+				t.Fatalf("index out of sync for item %d", n.item)
+			}
+			prevNode = n
+			seen++
+		}
+	}
+	if seen != len(s.index) {
+		t.Fatalf("list holds %d nodes, index holds %d", seen, len(s.index))
+	}
+	if seen > s.capacity {
+		t.Fatalf("%d nodes exceed capacity %d", seen, s.capacity)
+	}
+}
+
+func TestSummaryInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewCapacity(8, 1)
+		for op := 0; op < 2000; op++ {
+			s.Insert(stream.Item(rng.Intn(50)))
+		}
+		checkInvariants(t, s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryInvariantsSequentialFill(t *testing.T) {
+	s := NewCapacity(4, 1)
+	// Fill, saturate, and churn.
+	for i := 0; i < 4; i++ {
+		s.Insert(stream.Item(i))
+	}
+	checkInvariants(t, s)
+	for i := 0; i < 100; i++ {
+		s.Insert(stream.Item(100 + i))
+	}
+	checkInvariants(t, s)
+	// Heavy increments on one survivor.
+	survivor := s.TopK(1)[0].Item
+	for i := 0; i < 50; i++ {
+		s.Insert(survivor)
+	}
+	checkInvariants(t, s)
+}
+
+func TestMinBucketTracksMinimum(t *testing.T) {
+	s := NewCapacity(3, 1)
+	s.Insert(1)
+	s.Insert(1)
+	s.Insert(2)
+	s.Insert(3)
+	if s.min == nil || s.min.count != 1 {
+		t.Fatalf("min bucket count %v, want 1", s.min)
+	}
+	s.Insert(2)
+	s.Insert(3)
+	// All at ≥2 now except... 1 has 2, 2 has 2, 3 has 2: min bucket = 2.
+	if s.min.count != 2 {
+		t.Fatalf("min bucket count %d, want 2", s.min.count)
+	}
+	checkInvariants(t, s)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !close(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std(nil) != 0 || Std([]float64{5}) != 0 {
+		t.Fatal("degenerate std must be 0")
+	}
+	// Sample std of {2,4,4,4,5,5,7,9} is ≈2.138 (n−1).
+	got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13808993529939) > 1e-9 {
+		t.Fatalf("std = %v", got)
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	if !close(Median([]float64{3, 1, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !close(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Fatal("even median")
+	}
+	if !close(Quantile([]float64{0, 10}, 0.25), 2.5) {
+		t.Fatal("interpolated quantile")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	if !close(Quantile([]float64{1, 2, 3}, -1), 1) || !close(Quantile([]float64{1, 2, 3}, 2), 3) {
+		t.Fatal("q clamping")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax = %v/%v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Skip NaN/Inf/overflow-prone samples; the helpers are for metric
+		// values (precision, ARE), which are modest finite numbers.
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package stream defines the shared data-stream model: items, tracker
+// entries, the Tracker interface implemented by every algorithm in this
+// repository, and period-divided streams.
+//
+// Following the paper, a stream is divided into T equal-sized periods. An
+// item's frequency is its total number of appearances; its persistency is
+// the number of periods in which it appears at least once; its significance
+// is α·frequency + β·persistency.
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is a 64-bit stream item identifier (e.g. a source IP, a user ID, a
+// flow key hash).
+type Item = uint64
+
+// Entry is a tracker's estimate for one item.
+type Entry struct {
+	Item         Item
+	Frequency    uint64  // estimated number of appearances
+	Persistency  uint64  // estimated number of periods with ≥1 appearance
+	Significance float64 // α·Frequency + β·Persistency under the tracker's weights
+}
+
+// Tracker is the interface implemented by every algorithm: LTC, the
+// counter-based and sketch-based baselines, and PIE.
+//
+// The caller feeds arrivals with Insert and marks period boundaries with
+// EndPeriod. After the stream (or at any point mid-stream), Query and TopK
+// report estimates. EndPeriod must be called after the final period for the
+// last period's appearances to count toward persistency.
+type Tracker interface {
+	// Insert records one arrival of item.
+	Insert(item Item)
+	// EndPeriod marks the boundary between two periods.
+	EndPeriod()
+	// Query returns the tracker's estimate for item, and whether the
+	// tracker has any record of it.
+	Query(item Item) (Entry, bool)
+	// TopK returns up to k entries with the largest estimated
+	// significance, in non-increasing order.
+	TopK(k int) []Entry
+	// MemoryBytes reports the memory footprint the structure was sized to.
+	MemoryBytes() int
+	// Name identifies the algorithm (for experiment output).
+	Name() string
+}
+
+// Weights are the user-defined significance coefficients.
+type Weights struct {
+	Alpha float64 // frequency coefficient
+	Beta  float64 // persistency coefficient
+}
+
+// Significance computes α·f + β·p.
+func (w Weights) Significance(f, p uint64) float64 {
+	return w.Alpha*float64(f) + w.Beta*float64(p)
+}
+
+// String renders the weights as the paper's "α:β" notation.
+func (w Weights) String() string {
+	return fmt.Sprintf("%g:%g", w.Alpha, w.Beta)
+}
+
+// Frequent, Persistent and Balanced are the three weightings the paper's
+// evaluation uses most often.
+var (
+	Frequent   = Weights{Alpha: 1, Beta: 0}
+	Persistent = Weights{Alpha: 0, Beta: 1}
+	Balanced   = Weights{Alpha: 1, Beta: 1}
+)
+
+// Stream is a finite, replayable stream divided into Periods equal-sized
+// (count-based) periods.
+type Stream struct {
+	Items   []Item
+	Periods int
+	// Label names the workload for experiment output (e.g. "CAIDA-like").
+	Label string
+}
+
+// Len returns the total number of arrivals.
+func (s *Stream) Len() int { return len(s.Items) }
+
+// ItemsPerPeriod returns the number of arrivals in each period (the last
+// period may be up to Periods−1 items shorter).
+func (s *Stream) ItemsPerPeriod() int {
+	if s.Periods <= 0 {
+		return len(s.Items)
+	}
+	n := (len(s.Items) + s.Periods - 1) / s.Periods
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Distinct returns the number of distinct items.
+func (s *Stream) Distinct() int {
+	seen := make(map[Item]struct{}, len(s.Items)/4+1)
+	for _, it := range s.Items {
+		seen[it] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Replay feeds the stream into t: Insert for every arrival, EndPeriod at
+// each period boundary including after the final period.
+func (s *Stream) Replay(t Tracker) {
+	per := s.ItemsPerPeriod()
+	for i, it := range s.Items {
+		t.Insert(it)
+		if (i+1)%per == 0 {
+			t.EndPeriod()
+		}
+	}
+	if len(s.Items)%per != 0 {
+		t.EndPeriod()
+	}
+}
+
+// ReplayAll feeds the stream into every tracker in ts in one pass.
+func (s *Stream) ReplayAll(ts ...Tracker) {
+	for _, t := range ts {
+		s.Replay(t)
+	}
+}
+
+// SortEntries orders entries by significance descending, breaking ties by
+// item ID ascending so results are deterministic.
+func SortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Significance != es[j].Significance {
+			return es[i].Significance > es[j].Significance
+		}
+		return es[i].Item < es[j].Item
+	})
+}
+
+// TopKFromEntries returns the k largest-significance entries from es
+// (sorted, deterministic). k ≤ 0 yields an empty result. It is a helper
+// for trackers that materialize all candidates and then rank them.
+func TopKFromEntries(es []Entry, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	SortEntries(es)
+	if k < len(es) {
+		es = es[:k]
+	}
+	return es
+}

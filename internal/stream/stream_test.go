@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"testing"
+)
+
+// recorder is a minimal Tracker that records the calls it receives.
+type recorder struct {
+	inserts []Item
+	periods int
+	// insertsPerPeriod[i] = number of Insert calls seen during period i.
+	insertsPerPeriod []int
+	current          int
+}
+
+func (r *recorder) Insert(item Item) {
+	r.inserts = append(r.inserts, item)
+	r.current++
+}
+func (r *recorder) EndPeriod() {
+	r.periods++
+	r.insertsPerPeriod = append(r.insertsPerPeriod, r.current)
+	r.current = 0
+}
+func (r *recorder) Query(Item) (Entry, bool) { return Entry{}, false }
+func (r *recorder) TopK(int) []Entry         { return nil }
+func (r *recorder) MemoryBytes() int         { return 0 }
+func (r *recorder) Name() string             { return "recorder" }
+
+func TestReplayPeriodBoundaries(t *testing.T) {
+	s := &Stream{Items: make([]Item, 100), Periods: 10}
+	for i := range s.Items {
+		s.Items[i] = Item(i)
+	}
+	r := &recorder{}
+	s.Replay(r)
+	if len(r.inserts) != 100 {
+		t.Fatalf("got %d inserts, want 100", len(r.inserts))
+	}
+	if r.periods != 10 {
+		t.Fatalf("got %d EndPeriod calls, want 10", r.periods)
+	}
+	for i, n := range r.insertsPerPeriod {
+		if n != 10 {
+			t.Fatalf("period %d saw %d inserts, want 10", i, n)
+		}
+	}
+}
+
+func TestReplayRaggedFinalPeriod(t *testing.T) {
+	// 103 items in 10 periods: ceil(103/10)=11 per period, so the last
+	// period holds the remaining 4 items and still gets an EndPeriod.
+	s := &Stream{Items: make([]Item, 103), Periods: 10}
+	r := &recorder{}
+	s.Replay(r)
+	if r.periods != 10 {
+		t.Fatalf("got %d periods, want 10", r.periods)
+	}
+	total := 0
+	for _, n := range r.insertsPerPeriod {
+		total += n
+	}
+	if total != 103 {
+		t.Fatalf("period insert counts sum to %d, want 103", total)
+	}
+	if last := r.insertsPerPeriod[len(r.insertsPerPeriod)-1]; last != 4 {
+		t.Fatalf("final period saw %d inserts, want 4", last)
+	}
+}
+
+func TestReplayZeroPeriods(t *testing.T) {
+	// Periods=0 means the whole stream is one period.
+	s := &Stream{Items: []Item{1, 2, 3}}
+	r := &recorder{}
+	s.Replay(r)
+	if r.periods != 1 {
+		t.Fatalf("got %d periods, want 1", r.periods)
+	}
+}
+
+func TestItemsPerPeriod(t *testing.T) {
+	cases := []struct {
+		items, periods, want int
+	}{
+		{100, 10, 10},
+		{103, 10, 11},
+		{5, 10, 1},
+		{0, 10, 1},
+		{7, 0, 7},
+	}
+	for _, c := range cases {
+		s := &Stream{Items: make([]Item, c.items), Periods: c.periods}
+		if got := s.ItemsPerPeriod(); got != c.want {
+			t.Errorf("ItemsPerPeriod(%d items, %d periods) = %d, want %d",
+				c.items, c.periods, got, c.want)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := &Stream{Items: []Item{1, 2, 2, 3, 3, 3}}
+	if got := s.Distinct(); got != 3 {
+		t.Fatalf("Distinct = %d, want 3", got)
+	}
+}
+
+func TestWeightsSignificance(t *testing.T) {
+	w := Weights{Alpha: 2, Beta: 3}
+	if got := w.Significance(10, 4); got != 32 {
+		t.Fatalf("Significance = %v, want 32", got)
+	}
+	if Frequent.Significance(10, 4) != 10 {
+		t.Fatal("Frequent weighting should ignore persistency")
+	}
+	if Persistent.Significance(10, 4) != 4 {
+		t.Fatal("Persistent weighting should ignore frequency")
+	}
+	if Balanced.Significance(10, 4) != 14 {
+		t.Fatal("Balanced weighting should sum both")
+	}
+}
+
+func TestWeightsString(t *testing.T) {
+	if s := (Weights{Alpha: 1, Beta: 10}).String(); s != "1:10" {
+		t.Fatalf("String = %q, want 1:10", s)
+	}
+}
+
+func TestSortEntriesDeterministicTies(t *testing.T) {
+	es := []Entry{
+		{Item: 5, Significance: 7},
+		{Item: 2, Significance: 7},
+		{Item: 9, Significance: 10},
+	}
+	SortEntries(es)
+	if es[0].Item != 9 || es[1].Item != 2 || es[2].Item != 5 {
+		t.Fatalf("unexpected order: %+v", es)
+	}
+}
+
+func TestTopKFromEntries(t *testing.T) {
+	es := []Entry{
+		{Item: 1, Significance: 1},
+		{Item: 2, Significance: 5},
+		{Item: 3, Significance: 3},
+	}
+	top := TopKFromEntries(es, 2)
+	if len(top) != 2 || top[0].Item != 2 || top[1].Item != 3 {
+		t.Fatalf("TopKFromEntries wrong: %+v", top)
+	}
+	// k larger than the candidate set returns everything.
+	top = TopKFromEntries([]Entry{{Item: 4, Significance: 2}}, 10)
+	if len(top) != 1 {
+		t.Fatalf("expected 1 entry, got %d", len(top))
+	}
+}
+
+func TestTopKFromEntriesNonPositiveK(t *testing.T) {
+	es := []Entry{{Item: 1, Significance: 5}}
+	if got := TopKFromEntries(es, 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %d entries", len(got))
+	}
+	if got := TopKFromEntries(es, -2); len(got) != 0 {
+		t.Fatalf("negative k returned %d entries", len(got))
+	}
+}

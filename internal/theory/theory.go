@@ -1,0 +1,253 @@
+// Package theory implements the paper's Section IV analysis: the
+// correct-rate lower bound (Lemma IV.1, Eq 3–5) and the error upper bound
+// (Eq 6–11) for LTC under a Zipfian stream model. The Fig 7 experiments
+// check these formulas against measured values.
+package theory
+
+import (
+	"math"
+
+	"sigstream/internal/gen"
+)
+
+// Model describes the analytic stream and structure parameters.
+type Model struct {
+	N     int     // stream length
+	M     int     // distinct items
+	Gamma float64 // Zipf skew γ
+	W     int     // LTC buckets
+	D     int     // LTC cells per bucket
+	Alpha float64 // frequency weight
+	Beta  float64 // persistency weight
+}
+
+// Frequencies returns the Eq 3 expected Zipf frequencies f_1 ≥ … ≥ f_M.
+func (m Model) Frequencies() []float64 {
+	return gen.ZipfFrequencies(m.N, m.M, m.Gamma)
+}
+
+// CorrectRate returns the Eq 4–5 lower bound on the probability that the
+// reported significance of the item of the given zero-based rank is
+// correct.
+//
+// π_i is the probability that item e_i is "useful" — mapped to the same
+// bucket as e and ever ahead of it: π_i = 1/w when f_i > f, otherwise
+// (1/w)·f_i/(f+1). The DP dp[j][x] counts the probability of exactly x
+// useful items among the first j; the reported significance is certainly
+// correct when fewer than d−1 items are useful.
+func (m Model) CorrectRate(rank int) float64 {
+	freqs := m.Frequencies()
+	if rank < 0 || rank >= len(freqs) {
+		return 0
+	}
+	return correctRate(freqs, rank, m.W, m.D)
+}
+
+func correctRate(freqs []float64, rank, w, d int) float64 {
+	if d < 2 {
+		// With a single cell per bucket any useful item breaks correctness;
+		// the bound degenerates to the probability of zero useful items,
+		// handled by the same DP with Σ over x ≤ d−2 = empty ⇒ 0.
+		return 0
+	}
+	f := freqs[rank]
+	// dp[x] = probability of exactly x useful items so far; x is capped at
+	// d−1 (anything beyond cannot become correct again, and the cap keeps
+	// the DP O(M·d)). Mass stuck at the cap is never counted.
+	dp := make([]float64, d)
+	dp[0] = 1
+	invW := 1.0 / float64(w)
+	for i, fi := range freqs {
+		if i == rank {
+			continue
+		}
+		var pi float64
+		if fi > f {
+			pi = invW
+		} else {
+			pi = invW * fi / (f + 1)
+		}
+		for x := d - 1; x >= 1; x-- {
+			dp[x] = dp[x]*(1-pi) + dp[x-1]*pi
+		}
+		dp[0] *= 1 - pi
+	}
+	p := 0.0
+	for x := 0; x <= d-2; x++ {
+		p += dp[x]
+	}
+	// Guard against floating-point drift just past the probability range.
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// AverageCorrectRate averages the CorrectRate bound over the top-k ranks —
+// the quantity Fig 7(a) plots against memory.
+func (m Model) AverageCorrectRate(k int) float64 {
+	freqs := m.Frequencies()
+	if k > len(freqs) {
+		k = len(freqs)
+	}
+	if k <= 0 {
+		return 0
+	}
+	total := 0.0
+	for r := 0; r < k; r++ {
+		total += correctRate(freqs, r, m.W, m.D)
+	}
+	return total / float64(k)
+}
+
+// PSmall returns the probability that a tracked item's cell is the smallest
+// of its bucket when a decrement arrives.
+//
+// The paper's Eq 7 is partially garbled in the available text; this is the
+// reconstruction documented in DESIGN.md §7: with i of the d−1 sibling
+// cells holding comparable colliding items (each independently with
+// probability 1/w), the tracked cell is the smallest of the i+1 contenders
+// with probability 1/(i+1):
+//
+//	P_small = Σ_{i=0}^{d−1} C(d−1,i) (1/w)^i (1−1/w)^{d−1−i} / (i+1)
+func (m Model) PSmall() float64 {
+	w := float64(m.W)
+	d := m.D
+	p := 0.0
+	for i := 0; i <= d-1; i++ {
+		p += binom(d-1, i) * math.Pow(1/w, float64(i)) *
+			math.Pow(1-1/w, float64(d-1-i)) / float64(i+1)
+	}
+	return p
+}
+
+// ExpectedV returns Eq 8: the expected number of items that can perform
+// Significance Decrementing on the item of the given zero-based rank —
+// items mapped to the same bucket (probability 1/w) that are less
+// significant (ranks below it under the Zipf model).
+func (m Model) ExpectedV(rank int) float64 {
+	freqs := m.Frequencies()
+	total := 0.0
+	for j := rank + 1; j < len(freqs); j++ {
+		total += freqs[j]
+	}
+	return total / float64(m.W)
+}
+
+// ExpectedDecrements returns Eq 9: E(X_i) = P_small · E(V).
+func (m Model) ExpectedDecrements(rank int) float64 {
+	return m.PSmall() * m.ExpectedV(rank)
+}
+
+// ErrorBound returns Eq 11: the Markov upper bound on
+// Pr{s_i − ŝ_i ≥ ε·N} for the item of the given zero-based rank:
+//
+//	Pr ≤ P_small · E(V) · (α+β) / (ε·N)
+//
+// The result is clamped to [0, 1].
+func (m Model) ErrorBound(rank int, eps float64) float64 {
+	if eps <= 0 {
+		return 1
+	}
+	b := m.ExpectedDecrements(rank) * (m.Alpha + m.Beta) / (eps * float64(m.N))
+	if b > 1 {
+		return 1
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// AverageErrorBound averages ErrorBound over the top-k ranks — the
+// quantity Fig 7(b) plots against memory.
+func (m Model) AverageErrorBound(k int, eps float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > m.M {
+		k = m.M
+	}
+	// E(V) needs the suffix sums once; reuse via direct loop.
+	freqs := m.Frequencies()
+	suffix := 0.0
+	suffixes := make([]float64, len(freqs)+1)
+	for j := len(freqs) - 1; j >= 0; j-- {
+		suffix += freqs[j]
+		suffixes[j] = suffix
+	}
+	ps := m.PSmall()
+	total := 0.0
+	for r := 0; r < k; r++ {
+		ev := suffixes[r+1] / float64(m.W)
+		b := ps * ev * (m.Alpha + m.Beta) / (eps * float64(m.N))
+		if b > 1 {
+			b = 1
+		}
+		total += b
+	}
+	return total / float64(k)
+}
+
+// binom computes C(n, k) as a float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// SuggestW returns the smallest bucket count w whose correct-rate lower
+// bound for the top-k items reaches target (0 < target < 1), by doubling
+// then bisecting w. The other Model fields (N, M, Gamma, D) must be set;
+// the receiver's W is ignored. Returns 0 if even wMax buckets cannot
+// reach the target.
+func (m Model) SuggestW(k int, target float64, wMax int) int {
+	if target <= 0 {
+		return 1
+	}
+	if target >= 1 {
+		target = 0.999999
+	}
+	if wMax < 1 {
+		wMax = 1 << 26 // 64M buckets ≈ 8 GiB at d=8; beyond advisory range
+	}
+	reach := func(w int) bool {
+		mm := m
+		mm.W = w
+		return mm.AverageCorrectRate(k) >= target
+	}
+	lo, hi := 1, 1
+	for !reach(hi) {
+		if hi >= wMax {
+			return 0
+		}
+		lo = hi
+		hi *= 2
+		if hi > wMax {
+			hi = wMax
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if mid == lo {
+			break
+		}
+		if reach(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,217 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/ltc"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func model(w int) Model {
+	return Model{N: 100000, M: 10000, Gamma: 1.0, W: w, D: 8, Alpha: 1, Beta: 0}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {7, 3, 35}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCorrectRateInUnitInterval(t *testing.T) {
+	m := model(500)
+	for _, rank := range []int{0, 10, 100, 5000} {
+		p := m.CorrectRate(rank)
+		if p < 0 || p > 1 {
+			t.Fatalf("rank %d: bound %v outside [0,1]", rank, p)
+		}
+	}
+	if m.CorrectRate(-1) != 0 || m.CorrectRate(1<<20) != 0 {
+		t.Fatal("out-of-range ranks must yield 0")
+	}
+}
+
+func TestCorrectRateMonotoneInMemory(t *testing.T) {
+	// More buckets (more memory) → fewer collisions → higher bound.
+	small := model(100).AverageCorrectRate(100)
+	large := model(2000).AverageCorrectRate(100)
+	if large <= small {
+		t.Fatalf("bound not increasing with memory: w=100 → %.4f, w=2000 → %.4f",
+			small, large)
+	}
+}
+
+func TestCorrectRateHigherForHotterItems(t *testing.T) {
+	m := model(500)
+	if m.CorrectRate(0) < m.CorrectRate(2000) {
+		t.Fatalf("rank 0 bound %.4f below rank 2000 bound %.4f",
+			m.CorrectRate(0), m.CorrectRate(2000))
+	}
+}
+
+func TestCorrectRateDegenerateD(t *testing.T) {
+	m := model(500)
+	m.D = 1
+	if m.CorrectRate(0) != 0 {
+		t.Fatal("d=1 bound must be 0 (no slack cells)")
+	}
+}
+
+func TestPSmallInUnitInterval(t *testing.T) {
+	for _, w := range []int{1, 2, 10, 1000} {
+		m := model(w)
+		p := m.PSmall()
+		if p <= 0 || p > 1 {
+			t.Fatalf("w=%d: PSmall = %v outside (0,1]", w, p)
+		}
+	}
+}
+
+func TestExpectedVDecreasesWithRankAndMemory(t *testing.T) {
+	m := model(500)
+	if m.ExpectedV(0) <= m.ExpectedV(100) {
+		t.Fatal("E(V) must shrink for lower ranks (fewer smaller items)")
+	}
+	m2 := model(5000)
+	if m2.ExpectedV(0) >= m.ExpectedV(0) {
+		t.Fatal("E(V) must shrink with more buckets")
+	}
+}
+
+func TestErrorBoundClampedAndMonotone(t *testing.T) {
+	m := model(200)
+	if b := m.ErrorBound(0, 1e-12); b != 1 {
+		t.Fatalf("tiny ε must clamp the bound to 1, got %v", b)
+	}
+	if b := m.ErrorBound(0, 0); b != 1 {
+		t.Fatal("ε=0 must yield 1")
+	}
+	loose := m.ErrorBound(500, 1.0/(1<<10))
+	tight := model(2000).ErrorBound(500, 1.0/(1<<10))
+	if tight > loose {
+		t.Fatalf("bound not decreasing with memory: %.5f → %.5f", loose, tight)
+	}
+}
+
+func TestAverageErrorBoundMatchesPerRank(t *testing.T) {
+	m := model(300)
+	eps := math.Pow(2, -14)
+	avg := m.AverageErrorBound(10, eps)
+	manual := 0.0
+	for r := 0; r < 10; r++ {
+		manual += m.ErrorBound(r, eps)
+	}
+	manual /= 10
+	if math.Abs(avg-manual) > 1e-9 {
+		t.Fatalf("AverageErrorBound %.6f != mean of ErrorBound %.6f", avg, manual)
+	}
+}
+
+// TestFig7aBoundBelowMeasured is the Fig 7(a) check in miniature: the
+// theoretical correct-rate bound must sit at or below the measured correct
+// rate of LTC (no-LTR, DE on — the analyzed configuration) on a Zipf
+// stream.
+func TestFig7aBoundBelowMeasured(t *testing.T) {
+	const (
+		n     = 200000
+		mDist = 20000
+		k     = 200
+	)
+	s := gen.ZipfStream(n, mDist, 20, 1.0, 42)
+	o := oracle.FromStream(s, stream.Frequent)
+	for _, mem := range []int{16 * 1024, 64 * 1024} {
+		l := ltc.New(ltc.Options{MemoryBytes: mem, Weights: stream.Frequent,
+			DisableLongTailReplacement: true,
+			ItemsPerPeriod:             s.ItemsPerPeriod(), Seed: 5})
+		s.Replay(l)
+		// Measured correct rate: fraction of the true top-k whose reported
+		// significance is exact.
+		correct := 0
+		for _, e := range o.TopK(k) {
+			got, ok := l.Query(e.Item)
+			if ok && got.Frequency == e.Frequency {
+				correct++
+			}
+		}
+		measured := float64(correct) / k
+		th := Model{N: n, M: mDist, Gamma: 1.0, W: l.Buckets(), D: l.BucketWidth(),
+			Alpha: 1, Beta: 0}
+		bound := th.AverageCorrectRate(k)
+		if bound > measured+0.10 {
+			t.Fatalf("mem %dKB: theoretical bound %.3f exceeds measured %.3f",
+				mem/1024, bound, measured)
+		}
+	}
+}
+
+// TestFig7bBoundAboveMeasured is the Fig 7(b) check in miniature: the
+// theoretical error bound must sit at or above the measured probability of
+// an ε·N significance error.
+func TestFig7bBoundAboveMeasured(t *testing.T) {
+	const (
+		n     = 200000
+		mDist = 20000
+		k     = 200
+	)
+	eps := math.Pow(2, -14)
+	s := gen.ZipfStream(n, mDist, 20, 1.0, 43)
+	o := oracle.FromStream(s, stream.Frequent)
+	for _, mem := range []int{8 * 1024, 32 * 1024} {
+		l := ltc.New(ltc.Options{MemoryBytes: mem, Weights: stream.Frequent,
+			DisableLongTailReplacement: true,
+			ItemsPerPeriod:             s.ItemsPerPeriod(), Seed: 6})
+		s.Replay(l)
+		exceed := 0
+		for _, e := range o.TopK(k) {
+			got, _ := l.Query(e.Item)
+			if e.Significance-got.Significance >= eps*float64(n) {
+				exceed++
+			}
+		}
+		measured := float64(exceed) / k
+		th := Model{N: n, M: mDist, Gamma: 1.0, W: l.Buckets(), D: l.BucketWidth(),
+			Alpha: 1, Beta: 0}
+		bound := th.AverageErrorBound(k, eps)
+		if bound+1e-9 < measured {
+			t.Fatalf("mem %dKB: theoretical bound %.4f below measured %.4f",
+				mem/1024, bound, measured)
+		}
+	}
+}
+
+func TestSuggestW(t *testing.T) {
+	m := Model{N: 1_000_000, M: 100_000, Gamma: 1.0, D: 8, Alpha: 1}
+	w := m.SuggestW(100, 0.95, 1<<22)
+	if w <= 0 {
+		t.Fatal("no suggestion for a reachable target")
+	}
+	// The suggestion must actually reach the target...
+	m.W = w
+	if got := m.AverageCorrectRate(100); got < 0.95 {
+		t.Fatalf("suggested w=%d only reaches %.3f", w, got)
+	}
+	// ...and be minimal-ish: half the buckets must miss it.
+	m.W = w / 2
+	if w > 2 && m.AverageCorrectRate(100) >= 0.95 {
+		t.Fatalf("w=%d not minimal (w/2 also reaches target)", w)
+	}
+	// Unreachable target within a tiny cap returns 0.
+	if got := (Model{N: 1_000_000, M: 100_000, Gamma: 1.0, D: 8, Alpha: 1}).
+		SuggestW(100, 0.99, 4); got != 0 {
+		t.Fatalf("capped search returned %d, want 0", got)
+	}
+	// Degenerate targets.
+	if (Model{N: 1000, M: 100, Gamma: 1, D: 8}).SuggestW(10, 0, 100) != 1 {
+		t.Fatal("target 0 must suggest the minimum")
+	}
+}

@@ -1,0 +1,156 @@
+// Package topk provides the bounded min-heap that sketch-based baselines
+// keep beside their counter arrays to report top-k items (Section II-A:
+// "it needs to maintain a min-heap to record and update top-k frequent
+// items").
+package topk
+
+import (
+	"sigstream/internal/stream"
+)
+
+// EntryBytes is the accounted memory per heap slot: 8-byte item ID, 8-byte
+// value, plus the index-map overhead (≈8 bytes amortized).
+const EntryBytes = 24
+
+// Heap is a capacity-bounded min-heap over (item, value) pairs with O(1)
+// membership lookup. The heap keeps the k largest values seen: offering a
+// value below the current minimum of a full heap is a no-op.
+type Heap struct {
+	cap   int
+	items []slot
+	index map[stream.Item]int
+}
+
+type slot struct {
+	item  stream.Item
+	value float64
+}
+
+// New creates a heap holding at most capacity entries.
+func New(capacity int) *Heap {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Heap{
+		cap:   capacity,
+		items: make([]slot, 0, capacity),
+		index: make(map[stream.Item]int, capacity),
+	}
+}
+
+// Len reports the number of entries currently held.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Cap reports the configured capacity.
+func (h *Heap) Cap() int { return h.cap }
+
+// MemoryBytes reports the accounted footprint of a full heap.
+func (h *Heap) MemoryBytes() int { return h.cap * EntryBytes }
+
+// Min returns the smallest value in the heap, or 0 if empty.
+func (h *Heap) Min() float64 {
+	if len(h.items) == 0 {
+		return 0
+	}
+	return h.items[0].value
+}
+
+// Value returns the stored value for item.
+func (h *Heap) Value(item stream.Item) (float64, bool) {
+	i, ok := h.index[item]
+	if !ok {
+		return 0, false
+	}
+	return h.items[i].value, true
+}
+
+// Contains reports whether item is currently tracked.
+func (h *Heap) Contains(item stream.Item) bool {
+	_, ok := h.index[item]
+	return ok
+}
+
+// Offer proposes (item, value). If the item is present its value is updated
+// (up or down) and the heap reordered. Otherwise the item is inserted if
+// there is room or if value beats the current minimum, which is evicted.
+// It reports whether the item is tracked afterwards.
+func (h *Heap) Offer(item stream.Item, value float64) bool {
+	if i, ok := h.index[item]; ok {
+		old := h.items[i].value
+		h.items[i].value = value
+		if value < old {
+			h.siftUp(i)
+		} else {
+			h.siftDown(i)
+		}
+		return true
+	}
+	if len(h.items) < h.cap {
+		h.items = append(h.items, slot{item, value})
+		i := len(h.items) - 1
+		h.index[item] = i
+		h.siftUp(i)
+		return true
+	}
+	if value <= h.items[0].value {
+		return false
+	}
+	// Replace the minimum.
+	delete(h.index, h.items[0].item)
+	h.items[0] = slot{item, value}
+	h.index[item] = 0
+	h.siftDown(0)
+	return true
+}
+
+// Items returns all tracked entries with their values, unordered.
+func (h *Heap) Items() []stream.Entry {
+	es := make([]stream.Entry, len(h.items))
+	for i, s := range h.items {
+		es[i] = stream.Entry{Item: s.item, Significance: s.value}
+	}
+	return es
+}
+
+// TopK returns up to k tracked entries with the largest values, sorted
+// descending. Entries carry only Item and Significance; callers enrich
+// Frequency/Persistency from their sketches.
+func (h *Heap) TopK(k int) []stream.Entry {
+	return stream.TopKFromEntries(h.Items(), k)
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].value <= h.items[i].value {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.items[l].value < h.items[smallest].value {
+			smallest = l
+		}
+		if r < n && h.items[r].value < h.items[smallest].value {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.index[h.items[i].item] = i
+	h.index[h.items[j].item] = j
+}

@@ -1,0 +1,147 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sigstream/internal/stream"
+)
+
+func TestOfferAndMin(t *testing.T) {
+	h := New(3)
+	h.Offer(1, 10)
+	h.Offer(2, 5)
+	h.Offer(3, 7)
+	if h.Min() != 5 {
+		t.Fatalf("Min = %v, want 5", h.Min())
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+}
+
+func TestEvictionOfMinimum(t *testing.T) {
+	h := New(2)
+	h.Offer(1, 10)
+	h.Offer(2, 5)
+	if ok := h.Offer(3, 3); ok {
+		t.Fatal("value below minimum must be rejected when full")
+	}
+	if ok := h.Offer(4, 8); !ok {
+		t.Fatal("value above minimum must evict it")
+	}
+	if h.Contains(2) {
+		t.Fatal("item 2 should have been evicted")
+	}
+	if !h.Contains(4) || !h.Contains(1) {
+		t.Fatal("heap lost a survivor")
+	}
+	if h.Min() != 8 {
+		t.Fatalf("Min = %v, want 8", h.Min())
+	}
+}
+
+func TestUpdateExistingUpAndDown(t *testing.T) {
+	h := New(3)
+	h.Offer(1, 10)
+	h.Offer(2, 20)
+	h.Offer(3, 30)
+	h.Offer(1, 40) // raise
+	if v, _ := h.Value(1); v != 40 {
+		t.Fatalf("Value(1) = %v, want 40", v)
+	}
+	if h.Min() != 20 {
+		t.Fatalf("Min = %v, want 20", h.Min())
+	}
+	h.Offer(3, 1) // lower
+	if h.Min() != 1 {
+		t.Fatalf("Min after lowering = %v, want 1", h.Min())
+	}
+}
+
+func TestValueMissing(t *testing.T) {
+	h := New(2)
+	if _, ok := h.Value(9); ok {
+		t.Fatal("missing item reported present")
+	}
+}
+
+func TestTopKSorted(t *testing.T) {
+	h := New(10)
+	for i := 1; i <= 10; i++ {
+		h.Offer(stream.Item(i), float64(i))
+	}
+	top := h.TopK(3)
+	if len(top) != 3 || top[0].Item != 10 || top[1].Item != 9 || top[2].Item != 8 {
+		t.Fatalf("TopK wrong: %+v", top)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	h := New(0)
+	if h.Cap() != 1 {
+		t.Fatalf("Cap = %d, want floor 1", h.Cap())
+	}
+	if h.MemoryBytes() != EntryBytes {
+		t.Fatalf("MemoryBytes = %d, want %d", h.MemoryBytes(), EntryBytes)
+	}
+}
+
+func TestHeapKeepsKLargest(t *testing.T) {
+	// Feed 1000 random values; the heap must end holding exactly the 50
+	// largest.
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 1000)
+	h := New(50)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+		h.Offer(stream.Item(i), values[i])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(values)))
+	want := values[:50]
+	got := h.TopK(50)
+	if len(got) != 50 {
+		t.Fatalf("heap holds %d, want 50", len(got))
+	}
+	for i := range want {
+		if got[i].Significance != want[i] {
+			t.Fatalf("rank %d: got %v, want %v", i, got[i].Significance, want[i])
+		}
+	}
+}
+
+func TestHeapInvariantProperty(t *testing.T) {
+	// After any sequence of offers, the array satisfies the min-heap
+	// property and the index map is consistent.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(16)
+		for op := 0; op < 500; op++ {
+			h.Offer(stream.Item(rng.Intn(40)), rng.Float64()*100)
+		}
+		for i := 1; i < len(h.items); i++ {
+			if h.items[(i-1)/2].value > h.items[i].value {
+				return false
+			}
+		}
+		for item, i := range h.index {
+			if h.items[i].item != item {
+				return false
+			}
+		}
+		return len(h.index) == len(h.items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	h := New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Offer(stream.Item(i%1000), float64(i%777))
+	}
+}

@@ -1,0 +1,188 @@
+package traceio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/stream"
+)
+
+func sample() *stream.Stream {
+	return gen.Generate(gen.Config{N: 1000, M: 50, Periods: 10, Skew: 1.0, Seed: 3})
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(s.Items) {
+		t.Fatalf("item count %d, want %d", len(got.Items), len(s.Items))
+	}
+	for i := range s.Items {
+		if got.Items[i] != s.Items[i] {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+	if got.Periods != s.Periods {
+		t.Fatalf("periods %d, want %d", got.Periods, s.Periods)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(s.Items) || got.Periods != s.Periods {
+		t.Fatalf("shape %d/%d, want %d/%d", len(got.Items), got.Periods,
+			len(s.Items), s.Periods)
+	}
+	for i := range s.Items {
+		if got.Items[i] != s.Items[i] {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+func TestReadTextWithoutPeriodColumn(t *testing.T) {
+	in := "1\n2\n3\n4\n5\n"
+	s, err := ReadText(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items) != 5 {
+		t.Fatalf("items %d, want 5", len(s.Items))
+	}
+	if s.Periods != 3 { // ceil(5/2)
+		t.Fatalf("periods %d, want 3", s.Periods)
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n1 0\n\n2 0\n# trailing\n3 1\n"
+	s, err := ReadText(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items) != 3 || s.Periods != 2 {
+		t.Fatalf("got %d items / %d periods, want 3/2", len(s.Items), s.Periods)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("notanumber\n"), 0); err == nil {
+		t.Fatal("bad item accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1 x\n"), 0); err == nil {
+		t.Fatal("bad period accepted")
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("XXXX0000000000000000")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated body.
+	s := sample()
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, s)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReadTextEmptyStreamGetsOnePeriod(t *testing.T) {
+	s, err := ReadText(strings.NewReader(""), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Periods != 1 {
+		t.Fatalf("periods %d, want 1", s.Periods)
+	}
+}
+
+// TestBinaryFormatGolden pins the on-disk format: byte-for-byte layout of
+// a tiny trace. Any change here is a format break and must bump the
+// version field instead.
+func TestBinaryFormatGolden(t *testing.T) {
+	s := &stream.Stream{
+		Items:   []stream.Item{0x0102030405060708, 0x1112131415161718},
+		Periods: 3,
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'S', 'G', 'T', 'R', // magic
+		1, 0, 0, 0, // version 1 LE
+		3, 0, 0, 0, // periods
+		2, 0, 0, 0, // item count
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // item 0 LE
+		0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11, // item 1 LE
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("binary format drifted:\n got %x\nwant %x", buf.Bytes(), want)
+	}
+}
+
+func TestMaybeGzip(t *testing.T) {
+	s := sample()
+	// Gzipped text trace round-trips.
+	var plain bytes.Buffer
+	if err := WriteText(&plain, s); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	r, err := MaybeGzip(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(s.Items) {
+		t.Fatalf("gzip round trip lost items: %d vs %d", len(got.Items), len(s.Items))
+	}
+	// Plain content passes through.
+	r, err = MaybeGzip(strings.NewReader("1 0\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadText(r, 0)
+	if err != nil || len(got.Items) != 2 {
+		t.Fatalf("plain passthrough broken: %v, %d items", err, len(got.Items))
+	}
+	// Tiny input is passed through untouched.
+	if _, err := MaybeGzip(strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt gzip header errors.
+	if _, err := MaybeGzip(bytes.NewReader([]byte{0x1f, 0x8b, 0xff})); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

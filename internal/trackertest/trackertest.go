@@ -1,0 +1,173 @@
+// Package trackertest is a conformance suite for stream.Tracker
+// implementations: every algorithm in this repository — and any a
+// downstream user adds — must satisfy the same behavioural contract. Call
+// Run with a factory in each implementation's tests.
+package trackertest
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+// Factory builds a fresh tracker with roughly the given memory budget.
+type Factory func(memoryBytes int) stream.Tracker
+
+// Options tunes the suite for implementation-specific semantics.
+type Options struct {
+	// FrequencyOnly marks trackers that do not count persistency
+	// (Space-Saving, Lossy Counting, Misra-Gries, frequency sketches);
+	// persistency-specific checks are skipped.
+	FrequencyOnly bool
+	// PersistencyOnly marks trackers that do not count frequency (PIE,
+	// persistency adapters); frequency-specific checks are skipped.
+	PersistencyOnly bool
+	// MinPeriods is the number of periods an item must span before the
+	// tracker can report it (PIE's decode threshold). The suite feeds at
+	// least this many periods before asserting visibility.
+	MinPeriods int
+	// Lossy marks trackers that may drop items under pressure even at the
+	// suite's modest scale (the sampling baseline); presence checks are
+	// then skipped.
+	Lossy bool
+}
+
+// Run executes the contract checks against trackers built by f.
+func Run(t *testing.T, f Factory, opts Options) {
+	t.Helper()
+	periods := opts.MinPeriods
+	if periods < 6 {
+		periods = 6
+	}
+
+	t.Run("FreshTrackerIsEmpty", func(t *testing.T) {
+		tr := f(16 << 10)
+		if _, ok := tr.Query(12345); ok {
+			t.Fatal("fresh tracker reports a tracked item")
+		}
+		if got := tr.TopK(10); len(got) != 0 {
+			t.Fatalf("fresh tracker TopK returned %d entries", len(got))
+		}
+	})
+
+	t.Run("NameAndMemory", func(t *testing.T) {
+		tr := f(16 << 10)
+		if tr.Name() == "" {
+			t.Fatal("empty Name")
+		}
+		if tr.MemoryBytes() <= 0 {
+			t.Fatal("non-positive MemoryBytes")
+		}
+	})
+
+	t.Run("NonPositiveKIsEmpty", func(t *testing.T) {
+		tr := f(16 << 10)
+		tr.Insert(1)
+		tr.EndPeriod()
+		if len(tr.TopK(0)) != 0 || len(tr.TopK(-5)) != 0 {
+			t.Fatal("TopK with k ≤ 0 returned entries")
+		}
+	})
+
+	t.Run("EndPeriodBeforeAnyInsert", func(t *testing.T) {
+		tr := f(16 << 10)
+		tr.EndPeriod()
+		tr.EndPeriod()
+		tr.Insert(7)
+		tr.EndPeriod()
+		if opts.Lossy {
+			return
+		}
+		if periods > 3 {
+			return // below the visibility threshold; covered elsewhere
+		}
+		if _, ok := tr.Query(7); !ok {
+			t.Fatal("item lost after leading empty periods")
+		}
+	})
+
+	t.Run("TopKSortedAndBounded", func(t *testing.T) {
+		tr := f(64 << 10)
+		rng := rand.New(rand.NewSource(1))
+		for p := 0; p < periods; p++ {
+			for i := 0; i < 300; i++ {
+				tr.Insert(stream.Item(rng.Intn(40) + 1))
+			}
+			tr.EndPeriod()
+		}
+		top := tr.TopK(10)
+		if len(top) > 10 {
+			t.Fatalf("TopK(10) returned %d entries", len(top))
+		}
+		for i := 1; i < len(top); i++ {
+			if top[i].Significance > top[i-1].Significance {
+				t.Fatal("TopK not sorted by significance")
+			}
+		}
+	})
+
+	t.Run("QueryConsistentWithTopK", func(t *testing.T) {
+		tr := f(64 << 10)
+		for p := 0; p < periods; p++ {
+			for i := 0; i < 200; i++ {
+				tr.Insert(stream.Item(i%20 + 1))
+			}
+			tr.EndPeriod()
+		}
+		for _, e := range tr.TopK(5) {
+			got, ok := tr.Query(e.Item)
+			if !ok {
+				t.Fatalf("TopK item %d not queryable", e.Item)
+			}
+			if got.Significance != e.Significance {
+				t.Fatalf("item %d: Query significance %v != TopK %v",
+					e.Item, got.Significance, e.Significance)
+			}
+		}
+	})
+
+	t.Run("HotItemVisible", func(t *testing.T) {
+		if opts.Lossy {
+			t.Skip("lossy tracker: presence not guaranteed")
+		}
+		tr := f(64 << 10)
+		for p := 0; p < periods; p++ {
+			for i := 0; i < 50; i++ {
+				tr.Insert(777)
+			}
+			tr.EndPeriod()
+		}
+		e, ok := tr.Query(777)
+		if !ok {
+			t.Fatal("uncontended hot item not tracked")
+		}
+		if !opts.PersistencyOnly && e.Frequency == 0 {
+			t.Fatal("hot item frequency 0")
+		}
+		if !opts.FrequencyOnly && e.Persistency == 0 {
+			t.Fatal("hot item persistency 0")
+		}
+		if !opts.FrequencyOnly && e.Persistency > uint64(periods) {
+			t.Fatalf("persistency %d exceeds %d periods", e.Persistency, periods)
+		}
+	})
+
+	t.Run("SurvivesPressure", func(t *testing.T) {
+		// A tiny budget with a huge universe must not panic or corrupt.
+		tr := f(256)
+		rng := rand.New(rand.NewSource(2))
+		for p := 0; p < periods; p++ {
+			for i := 0; i < 500; i++ {
+				tr.Insert(stream.Item(rng.Intn(5000)))
+			}
+			tr.EndPeriod()
+		}
+		top := tr.TopK(100)
+		for i := 1; i < len(top); i++ {
+			if top[i].Significance > top[i-1].Significance {
+				t.Fatal("TopK unsorted under pressure")
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package window extends LTC to sliding-window queries: top-k significant
+// items over the most recent W periods, rather than the whole stream. This
+// is the natural production follow-up to the paper (its significance sums
+// all history), useful when "significant" should mean "significant
+// recently" with hard cutoff semantics instead of exponential decay.
+//
+// The design is a jumping window: the window of W periods is covered by B
+// blocks of W/B periods each, one LTC per block. The active block ingests
+// arrivals; at each block boundary the oldest block is dropped and a fresh
+// one starts. Queries merge all live blocks. The reported window therefore
+// slides with a granularity of W/B periods — the standard accuracy/cost
+// trade-off of jumping windows (B ↑ → finer slide, more merge work).
+package window
+
+import (
+	"sigstream/internal/ltc"
+	"sigstream/internal/stream"
+)
+
+// Options configures a sliding-window tracker.
+type Options struct {
+	// MemoryBytes is the total budget, split evenly across blocks.
+	MemoryBytes int
+	// WindowPeriods is W, the number of periods a query covers.
+	WindowPeriods int
+	// Blocks is B, the number of sub-summaries covering the window
+	// (default 4; must divide WindowPeriods).
+	Blocks int
+	// Weights are the significance coefficients.
+	Weights stream.Weights
+	// ItemsPerPeriod paces each block's CLOCK sweep.
+	ItemsPerPeriod int
+	// Seed keys the hash functions. All blocks share it so they stay
+	// mergeable.
+	Seed uint32
+}
+
+// Window is a jumping-window LTC.
+type Window struct {
+	opts         Options
+	blocks       []*ltc.LTC // ring; blocks[active] ingests
+	active       int
+	live         int // how many blocks contain data (≤ len(blocks))
+	periodInBlk  int
+	periodsPerBk int
+}
+
+// New builds a Window tracker.
+func New(opts Options) *Window {
+	if opts.Blocks <= 0 {
+		opts.Blocks = 4
+	}
+	if opts.WindowPeriods <= 0 {
+		opts.WindowPeriods = opts.Blocks
+	}
+	if opts.WindowPeriods%opts.Blocks != 0 {
+		// Round the window up to a multiple of the block count.
+		opts.WindowPeriods += opts.Blocks - opts.WindowPeriods%opts.Blocks
+	}
+	if opts.MemoryBytes <= 0 {
+		opts.MemoryBytes = 64 << 10
+	}
+	w := &Window{
+		opts:         opts,
+		blocks:       make([]*ltc.LTC, opts.Blocks),
+		periodsPerBk: opts.WindowPeriods / opts.Blocks,
+	}
+	for i := range w.blocks {
+		w.blocks[i] = w.newBlock()
+	}
+	w.live = 1
+	return w
+}
+
+func (w *Window) newBlock() *ltc.LTC {
+	return ltc.New(ltc.Options{
+		MemoryBytes:    w.opts.MemoryBytes / w.opts.Blocks,
+		Weights:        w.opts.Weights,
+		ItemsPerPeriod: w.opts.ItemsPerPeriod,
+		Seed:           w.opts.Seed,
+	})
+}
+
+// WindowPeriods reports the (possibly rounded) window length in periods.
+func (w *Window) WindowPeriods() int { return w.opts.WindowPeriods }
+
+// Blocks reports the number of sub-summaries.
+func (w *Window) Blocks() int { return len(w.blocks) }
+
+// Insert records one arrival in the active block.
+func (w *Window) Insert(item stream.Item) {
+	w.blocks[w.active].Insert(item)
+}
+
+// EndPeriod closes a period; every periodsPerBlock periods the ring
+// advances, expiring the oldest block.
+func (w *Window) EndPeriod() {
+	w.blocks[w.active].EndPeriod()
+	w.periodInBlk++
+	if w.periodInBlk < w.periodsPerBk {
+		return
+	}
+	w.periodInBlk = 0
+	w.active = (w.active + 1) % len(w.blocks)
+	// The slot we rotate into may hold the expiring oldest block.
+	w.blocks[w.active].Reset()
+	if w.live < len(w.blocks) {
+		w.live++
+	}
+}
+
+// merged builds a disposable union of all live blocks via checkpoint
+// round-trip (so the live blocks are never mutated).
+func (w *Window) merged() *ltc.LTC {
+	img, err := w.blocks[w.active].MarshalBinary()
+	if err != nil {
+		// Marshal of a well-formed tracker cannot fail; fall back to the
+		// active block alone.
+		return w.blocks[w.active]
+	}
+	union := w.newBlock()
+	if err := union.UnmarshalBinary(img); err != nil {
+		return w.blocks[w.active]
+	}
+	for i := 1; i < w.live; i++ {
+		idx := (w.active - i + len(w.blocks)) % len(w.blocks)
+		if err := union.Merge(w.blocks[idx]); err != nil {
+			break
+		}
+	}
+	return union
+}
+
+// Query reports the windowed estimate for item.
+func (w *Window) Query(item stream.Item) (stream.Entry, bool) {
+	return w.merged().Query(item)
+}
+
+// TopK reports the window's top-k significant items.
+func (w *Window) TopK(k int) []stream.Entry {
+	return w.merged().TopK(k)
+}
+
+// MemoryBytes reports the summed block budgets.
+func (w *Window) MemoryBytes() int {
+	total := 0
+	for _, b := range w.blocks {
+		total += b.MemoryBytes()
+	}
+	return total
+}
+
+// Name identifies the tracker.
+func (w *Window) Name() string { return "LTC-window" }
+
+var _ stream.Tracker = (*Window)(nil)

@@ -1,0 +1,166 @@
+package window
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func opts(windowPeriods, blocks int) Options {
+	return Options{
+		MemoryBytes:   64 << 10,
+		WindowPeriods: windowPeriods,
+		Blocks:        blocks,
+		Weights:       stream.Balanced,
+		Seed:          1,
+	}
+}
+
+func TestWindowRoundsToBlockMultiple(t *testing.T) {
+	w := New(Options{WindowPeriods: 10, Blocks: 4})
+	if w.WindowPeriods() != 12 {
+		t.Fatalf("window rounded to %d, want 12", w.WindowPeriods())
+	}
+	if w.Blocks() != 4 {
+		t.Fatalf("blocks = %d", w.Blocks())
+	}
+}
+
+func TestWindowCountsWithinWindow(t *testing.T) {
+	w := New(opts(4, 4)) // 1 period per block
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 5; i++ {
+			w.Insert(7)
+		}
+		w.EndPeriod()
+	}
+	e, ok := w.Query(7)
+	if !ok {
+		t.Fatal("item lost")
+	}
+	if e.Frequency != 15 || e.Persistency != 3 {
+		t.Fatalf("f=%d p=%d, want 15/3 (all inside window)", e.Frequency, e.Persistency)
+	}
+}
+
+func TestWindowExpiresOldBlocks(t *testing.T) {
+	// Window of 4 periods in 4 blocks. An item seen only in period 0 must
+	// vanish after 4 more periods.
+	w := New(opts(4, 4))
+	for i := 0; i < 50; i++ {
+		w.Insert(99)
+	}
+	w.EndPeriod()
+	for p := 0; p < 4; p++ {
+		w.Insert(1) // keep the stream moving
+		w.EndPeriod()
+	}
+	if e, ok := w.Query(99); ok && e.Frequency > 0 {
+		t.Fatalf("expired item still reported: %+v", e)
+	}
+}
+
+func TestWindowSteadyItemPersists(t *testing.T) {
+	// An item in every period always shows up with persistency ≤ window.
+	w := New(opts(6, 3)) // 2 periods per block
+	for p := 0; p < 20; p++ {
+		for i := 0; i < 3; i++ {
+			w.Insert(5)
+		}
+		w.EndPeriod()
+		e, ok := w.Query(5)
+		if !ok {
+			t.Fatalf("period %d: steady item lost", p)
+		}
+		if e.Persistency > uint64(w.WindowPeriods()) {
+			t.Fatalf("period %d: persistency %d exceeds window %d",
+				p, e.Persistency, w.WindowPeriods())
+		}
+	}
+	// After many periods the windowed frequency stays bounded: at most
+	// window × rate (6 × 3 = 18).
+	e, _ := w.Query(5)
+	if e.Frequency > 18 {
+		t.Fatalf("windowed frequency %d exceeds window capacity 18", e.Frequency)
+	}
+	if e.Frequency < 12 { // at least the full blocks' worth
+		t.Fatalf("windowed frequency %d lost too much history", e.Frequency)
+	}
+}
+
+func TestWindowTopKRanksRecentOverExpired(t *testing.T) {
+	// A huge old burst must eventually rank below a steady recent item.
+	w := New(opts(4, 4))
+	for i := 0; i < 1000; i++ {
+		w.Insert(111) // the burst, period 0
+	}
+	w.EndPeriod()
+	for p := 0; p < 5; p++ {
+		for i := 0; i < 10; i++ {
+			w.Insert(222)
+		}
+		w.EndPeriod()
+	}
+	top := w.TopK(1)
+	if len(top) == 0 || top[0].Item != 222 {
+		t.Fatalf("expired burst still ranked first: %+v", top)
+	}
+}
+
+func TestWindowQueriesDoNotMutate(t *testing.T) {
+	w := New(opts(4, 2))
+	for p := 0; p < 3; p++ {
+		w.Insert(7)
+		w.EndPeriod()
+	}
+	before, _ := w.Query(7)
+	for i := 0; i < 10; i++ {
+		w.TopK(5)
+		w.Query(7)
+	}
+	after, _ := w.Query(7)
+	if before != after {
+		t.Fatalf("queries mutated state: %+v → %+v", before, after)
+	}
+}
+
+func TestWindowDefaults(t *testing.T) {
+	w := New(Options{})
+	if w.Blocks() != 4 || w.WindowPeriods() != 4 {
+		t.Fatalf("defaults: blocks=%d window=%d", w.Blocks(), w.WindowPeriods())
+	}
+	if w.MemoryBytes() <= 0 {
+		t.Fatal("no memory")
+	}
+	if w.Name() != "LTC-window" {
+		t.Fatal("wrong name")
+	}
+	w.Insert(1)
+	if _, ok := w.Query(1); !ok {
+		t.Fatal("basic insert/query broken")
+	}
+}
+
+func BenchmarkWindowInsert(b *testing.B) {
+	w := New(Options{MemoryBytes: 64 << 10, WindowPeriods: 8, Blocks: 4,
+		Weights: stream.Balanced, ItemsPerPeriod: 10000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Insert(stream.Item(i % 5000))
+	}
+}
+
+func BenchmarkWindowTopK(b *testing.B) {
+	w := New(Options{MemoryBytes: 32 << 10, WindowPeriods: 8, Blocks: 4,
+		Weights: stream.Balanced})
+	for p := 0; p < 8; p++ {
+		for i := 0; i < 2000; i++ {
+			w.Insert(stream.Item(i % 500))
+		}
+		w.EndPeriod()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.TopK(100)
+	}
+}

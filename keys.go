@@ -1,0 +1,168 @@
+package sigstream
+
+import (
+	"sigstream/internal/hashing"
+)
+
+// HashKey derives a stable 64-bit Item from a string key (a username, URL,
+// flow tuple, …). It combines two independent 32-bit Bob hashes, so
+// accidental collisions are negligible for realistic key sets (~2^-64 per
+// pair × pairs).
+func HashKey(key string) Item {
+	b := []byte(key)
+	lo := hashing.NewBob(0x5eed0001).Hash(b)
+	hi := hashing.NewBob(0x5eed0002).Hash(b)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// KeyMap remembers the string behind each hashed Item so query results can
+// be reported with their original keys. It is an optional convenience: the
+// trackers themselves only ever store the 8-byte Item.
+type KeyMap struct {
+	names map[Item]string
+}
+
+// NewKeyMap creates an empty KeyMap.
+func NewKeyMap() *KeyMap {
+	return &KeyMap{names: make(map[Item]string)}
+}
+
+// Intern hashes key, remembers the mapping, and returns the Item.
+func (m *KeyMap) Intern(key string) Item {
+	it := HashKey(key)
+	if _, ok := m.names[it]; !ok {
+		m.names[it] = key
+	}
+	return it
+}
+
+// Lookup returns the string behind item, if interned.
+func (m *KeyMap) Lookup(item Item) (string, bool) {
+	s, ok := m.names[item]
+	return s, ok
+}
+
+// Name returns the string behind item, or a hex rendering if unknown.
+func (m *KeyMap) Name(item Item) string {
+	if s, ok := m.names[item]; ok {
+		return s
+	}
+	return "0x" + hex64(item)
+}
+
+// Len reports the number of interned keys.
+func (m *KeyMap) Len() int { return len(m.names) }
+
+// BoundedKeyMap is a KeyMap with a hard entry limit: when full, interning a
+// new key evicts the least-recently-used one. Use it on unbounded key
+// spaces (IPs, URLs) where a plain KeyMap would grow without limit; evicted
+// keys simply render as hex if they resurface in a ranking.
+type BoundedKeyMap struct {
+	max   int
+	names map[Item]*boundedEntry
+	// Intrusive LRU list: head = most recent, tail = eviction candidate.
+	head, tail *boundedEntry
+}
+
+type boundedEntry struct {
+	item       Item
+	key        string
+	prev, next *boundedEntry
+}
+
+// NewBoundedKeyMap creates a KeyMap holding at most max keys (minimum 1).
+func NewBoundedKeyMap(max int) *BoundedKeyMap {
+	if max < 1 {
+		max = 1
+	}
+	return &BoundedKeyMap{max: max, names: make(map[Item]*boundedEntry, max)}
+}
+
+// Intern hashes key, remembers the mapping (evicting the LRU entry when
+// full), and returns the Item.
+func (m *BoundedKeyMap) Intern(key string) Item {
+	it := HashKey(key)
+	if e, ok := m.names[it]; ok {
+		m.touch(e)
+		return it
+	}
+	if len(m.names) >= m.max {
+		victim := m.tail
+		m.unlink(victim)
+		delete(m.names, victim.item)
+	}
+	e := &boundedEntry{item: it, key: key}
+	m.names[it] = e
+	m.pushFront(e)
+	return it
+}
+
+// Lookup returns the string behind item, if still interned. A hit counts
+// as use for LRU purposes.
+func (m *BoundedKeyMap) Lookup(item Item) (string, bool) {
+	e, ok := m.names[item]
+	if !ok {
+		return "", false
+	}
+	m.touch(e)
+	return e.key, true
+}
+
+// Name returns the string behind item, or a hex rendering if evicted or
+// never interned.
+func (m *BoundedKeyMap) Name(item Item) string {
+	if s, ok := m.Lookup(item); ok {
+		return s
+	}
+	return "0x" + hex64(item)
+}
+
+// Len reports the number of currently interned keys.
+func (m *BoundedKeyMap) Len() int { return len(m.names) }
+
+// Cap reports the configured limit.
+func (m *BoundedKeyMap) Cap() int { return m.max }
+
+func (m *BoundedKeyMap) touch(e *boundedEntry) {
+	if m.head == e {
+		return
+	}
+	m.unlink(e)
+	m.pushFront(e)
+}
+
+func (m *BoundedKeyMap) pushFront(e *boundedEntry) {
+	e.prev = nil
+	e.next = m.head
+	if m.head != nil {
+		m.head.prev = e
+	}
+	m.head = e
+	if m.tail == nil {
+		m.tail = e
+	}
+}
+
+func (m *BoundedKeyMap) unlink(e *boundedEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func hex64(x uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}

@@ -1,0 +1,93 @@
+package sigstream
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBoundedKeyMapEvictsLRU(t *testing.T) {
+	m := NewBoundedKeyMap(2)
+	a := m.Intern("a")
+	b := m.Intern("b")
+	// Touch a so b becomes the LRU.
+	if _, ok := m.Lookup(a); !ok {
+		t.Fatal("a lost early")
+	}
+	c := m.Intern("c") // evicts b
+	if _, ok := m.Lookup(b); ok {
+		t.Fatal("LRU entry b not evicted")
+	}
+	if _, ok := m.Lookup(a); !ok {
+		t.Fatal("recently-used a evicted")
+	}
+	if _, ok := m.Lookup(c); !ok {
+		t.Fatal("new entry c missing")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+}
+
+func TestBoundedKeyMapReinternRefreshes(t *testing.T) {
+	m := NewBoundedKeyMap(2)
+	m.Intern("a")
+	m.Intern("b")
+	m.Intern("a") // refresh a; b is now LRU
+	m.Intern("c")
+	if _, ok := m.Lookup(HashKey("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := m.Lookup(HashKey("a")); !ok {
+		t.Fatal("refreshed a evicted")
+	}
+}
+
+func TestBoundedKeyMapNameFallsBackToHex(t *testing.T) {
+	m := NewBoundedKeyMap(1)
+	m.Intern("x")
+	m.Intern("y") // evicts x
+	name := m.Name(HashKey("x"))
+	if name == "x" {
+		t.Fatal("evicted key still resolved")
+	}
+	if len(name) != 18 || name[:2] != "0x" {
+		t.Fatalf("hex fallback malformed: %q", name)
+	}
+	if m.Name(HashKey("y")) != "y" {
+		t.Fatal("live key misresolved")
+	}
+}
+
+func TestBoundedKeyMapMinimumCapacity(t *testing.T) {
+	m := NewBoundedKeyMap(0)
+	if m.Cap() != 1 {
+		t.Fatalf("cap = %d, want floor 1", m.Cap())
+	}
+	m.Intern("a")
+	m.Intern("b")
+	if m.Len() != 1 {
+		t.Fatalf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestBoundedKeyMapChurn(t *testing.T) {
+	// Heavy churn must keep the list and map consistent.
+	m := NewBoundedKeyMap(16)
+	for i := 0; i < 10000; i++ {
+		m.Intern(fmt.Sprintf("key-%d", i%100))
+	}
+	if m.Len() > 16 {
+		t.Fatalf("len %d exceeds cap", m.Len())
+	}
+	// Walk the LRU list and confirm it matches the map.
+	count := 0
+	for e := m.head; e != nil; e = e.next {
+		if got, ok := m.names[e.item]; !ok || got != e {
+			t.Fatal("list/map divergence")
+		}
+		count++
+	}
+	if count != m.Len() {
+		t.Fatalf("list holds %d, map holds %d", count, m.Len())
+	}
+}

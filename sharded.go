@@ -1,0 +1,126 @@
+package sigstream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/ltc"
+	"sigstream/internal/stream"
+)
+
+// Sharded is a concurrency-safe LTC: the item space is hash-partitioned
+// across independent LTC shards, each behind its own mutex, so goroutines
+// ingesting different items rarely contend. Because sharding is by item,
+// every item's state lives in exactly one shard and global top-k is an
+// exact merge of the shards' top-k lists.
+//
+// EndPeriod takes all shard locks and must be called by a single
+// coordinator (concurrent Inserts may proceed; they will order either side
+// of the boundary).
+type Sharded struct {
+	shards []shard
+	total  int // total memory budget
+}
+
+type shard struct {
+	mu sync.Mutex
+	l  *ltc.LTC
+}
+
+// NewSharded splits cfg.MemoryBytes evenly across n shards (n ≤ 0 selects
+// GOMAXPROCS). ItemsPerPeriod is divided across shards automatically.
+func NewSharded(cfg Config, n int) *Sharded {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Weights == (Weights{}) {
+		cfg.Weights = Balanced
+	}
+	if cfg.MemoryBytes <= 0 {
+		cfg.MemoryBytes = 64 << 10
+	}
+	s := &Sharded{shards: make([]shard, n), total: cfg.MemoryBytes}
+	for i := range s.shards {
+		s.shards[i].l = ltc.New(ltc.Options{
+			MemoryBytes:                cfg.MemoryBytes / n,
+			BucketWidth:                cfg.BucketWidth,
+			Weights:                    internalWeights(cfg.Weights),
+			ItemsPerPeriod:             cfg.ItemsPerPeriod / n,
+			DisableDeviationEliminator: cfg.DisableDeviationEliminator,
+			DisableLongTailReplacement: cfg.DisableLongTailReplacement,
+			DecayFactor:                cfg.DecayFactor,
+			Seed:                       cfg.Seed + uint32(i)*0x9e37,
+		})
+	}
+	return s
+}
+
+// Shards reports the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+func (s *Sharded) owner(item Item) *shard {
+	return &s.shards[hashing.Mix64(item)%uint64(len(s.shards))]
+}
+
+// Insert records one arrival. Safe for concurrent use.
+func (s *Sharded) Insert(item Item) {
+	sh := s.owner(item)
+	sh.mu.Lock()
+	sh.l.Insert(item)
+	sh.mu.Unlock()
+}
+
+// EndPeriod marks a period boundary on every shard.
+func (s *Sharded) EndPeriod() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.l.EndPeriod()
+		sh.mu.Unlock()
+	}
+}
+
+// Query reports the estimate for item. Safe for concurrent use.
+func (s *Sharded) Query(item Item) (Entry, bool) {
+	sh := s.owner(item)
+	sh.mu.Lock()
+	e, ok := sh.l.Query(item)
+	sh.mu.Unlock()
+	return publicEntry(e), ok
+}
+
+// TopK reports the k globally most significant items — exact with respect
+// to the shards' contents, since each item lives in one shard.
+func (s *Sharded) TopK(k int) []Entry {
+	var all []stream.Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.l.TopK(k)...)
+		sh.mu.Unlock()
+	}
+	merged := stream.TopKFromEntries(all, k)
+	out := make([]Entry, len(merged))
+	for i, e := range merged {
+		out[i] = publicEntry(e)
+	}
+	return out
+}
+
+// MemoryBytes reports the summed shard budgets.
+func (s *Sharded) MemoryBytes() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].l.MemoryBytes()
+	}
+	return total
+}
+
+// Name identifies the tracker.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("LTC-sharded%d", len(s.shards))
+}
+
+var _ Tracker = (*Sharded)(nil)

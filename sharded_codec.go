@@ -1,0 +1,88 @@
+package sigstream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// shardedMagic identifies a Sharded checkpoint ("SGSH").
+const shardedMagic = 0x48534753
+
+// ErrBadShardedCheckpoint reports a corrupt Sharded checkpoint image.
+var ErrBadShardedCheckpoint = errors.New("sigstream: bad sharded checkpoint")
+
+// MarshalBinary snapshots every shard into one image
+// (encoding.BinaryMarshaler). Safe to call concurrently with Insert.
+func (s *Sharded) MarshalBinary() ([]byte, error) {
+	images := make([][]byte, len(s.shards))
+	total := 8 // magic + count
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		img, err := sh.l.MarshalBinary()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		images[i] = img
+		total += 4 + len(img)
+	}
+	buf := make([]byte, 0, total)
+	buf = binary.LittleEndian.AppendUint32(buf, shardedMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(images)))
+	for _, img := range images {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img)))
+		buf = append(buf, img...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a Sharded tracker from a MarshalBinary image
+// (encoding.BinaryUnmarshaler). The receiver's shard count and contents are
+// replaced. Not safe to call concurrently with other operations.
+func (s *Sharded) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: short header", ErrBadShardedCheckpoint)
+	}
+	if binary.LittleEndian.Uint32(data) != shardedMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadShardedCheckpoint)
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if n < 1 || n > 1<<16 {
+		return fmt.Errorf("%w: implausible shard count %d", ErrBadShardedCheckpoint, n)
+	}
+	off := 8
+	shards := make([]shard, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		if off+4 > len(data) {
+			return fmt.Errorf("%w: truncated at shard %d", ErrBadShardedCheckpoint, i)
+		}
+		size := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if size < 0 || off+size > len(data) {
+			return fmt.Errorf("%w: shard %d overruns image", ErrBadShardedCheckpoint, i)
+		}
+		inner := New(Config{})
+		if err := inner.UnmarshalBinary(data[off : off+size]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		shards[i].l = inner.l
+		total += inner.MemoryBytes()
+		off += size
+	}
+	if off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadShardedCheckpoint, len(data)-off)
+	}
+	s.shards = shards
+	s.total = total
+	return nil
+}
+
+var (
+	_ interface {
+		MarshalBinary() ([]byte, error)
+		UnmarshalBinary([]byte) error
+	} = (*Sharded)(nil)
+)

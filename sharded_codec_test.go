@@ -1,0 +1,58 @@
+package sigstream
+
+import (
+	"testing"
+)
+
+func TestShardedCheckpointRoundTrip(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 32 << 10, Weights: Balanced, Seed: 2}, 4)
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 100; i++ {
+			s.Insert(Item(i + 1))
+		}
+		s.EndPeriod()
+	}
+	img, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewSharded(Config{}, 1) // shape replaced on load
+	if err := restored.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Shards() != 4 {
+		t.Fatalf("restored %d shards, want 4", restored.Shards())
+	}
+	a := s.TopK(20)
+	b := restored.TopK(20)
+	if len(a) != len(b) {
+		t.Fatalf("TopK size %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TopK[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Restored tracker keeps working.
+	restored.Insert(5)
+	if _, ok := restored.Query(5); !ok {
+		t.Fatal("restored tracker unusable")
+	}
+}
+
+func TestShardedCheckpointRejectsGarbage(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 8 << 10}, 2)
+	img, _ := s.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte{1, 2, 3, 4}, img[4:]...),
+		"truncated": img[:len(img)-3],
+		"trailing":  append(append([]byte(nil), img...), 0xff),
+	}
+	for name, data := range cases {
+		r := NewSharded(Config{}, 1)
+		if err := r.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: corrupt sharded checkpoint accepted", name)
+		}
+	}
+}

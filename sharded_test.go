@@ -1,0 +1,142 @@
+package sigstream
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedBasicCounting(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 64 << 10, Weights: Balanced}, 4)
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", s.Shards())
+	}
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 10; i++ {
+			s.Insert(7)
+			s.Insert(9)
+		}
+		s.EndPeriod()
+	}
+	e, ok := s.Query(7)
+	if !ok || e.Frequency != 30 || e.Persistency != 3 {
+		t.Fatalf("item 7: %+v ok=%v, want f=30 p=3", e, ok)
+	}
+}
+
+func TestShardedTopKIsGlobal(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 256 << 10, Weights: Frequent}, 8)
+	// 100 items with distinct frequencies spread over all shards.
+	for i := 1; i <= 100; i++ {
+		for j := 0; j < i; j++ {
+			s.Insert(Item(i))
+		}
+	}
+	s.EndPeriod()
+	top := s.TopK(10)
+	if len(top) != 10 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	for i, e := range top {
+		if e.Item != Item(100-i) {
+			t.Fatalf("rank %d: item %d, want %d", i, e.Item, 100-i)
+		}
+	}
+}
+
+func TestShardedConcurrentInserts(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 128 << 10, Weights: Balanced}, 4)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 20000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Insert(Item(i%500 + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.EndPeriod()
+	var total uint64
+	for _, e := range s.TopK(1 << 20) {
+		total += e.Frequency
+	}
+	if total != goroutines*perG {
+		t.Fatalf("tracked frequency sum %d, want %d (lost updates)",
+			total, goroutines*perG)
+	}
+}
+
+func TestShardedDefaults(t *testing.T) {
+	s := NewSharded(Config{}, 0)
+	if s.Shards() < 1 {
+		t.Fatal("no shards")
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("no memory")
+	}
+	if s.Name() == "" {
+		t.Fatal("no name")
+	}
+	s.Insert(1)
+	if _, ok := s.Query(1); !ok {
+		t.Fatal("lost item")
+	}
+}
+
+func TestPublicCheckpointAndMerge(t *testing.T) {
+	cfg := Config{MemoryBytes: 16 << 10, Weights: Balanced, Seed: 5}
+	a, b := New(cfg), New(cfg)
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 20; i++ {
+			a.Insert(Item(i + 1))
+			b.Insert(Item(i + 101))
+		}
+		a.EndPeriod()
+		b.EndPeriod()
+	}
+	// Round-trip a through its checkpoint.
+	img, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Config{})
+	if err := restored.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := restored.Query(1); !ok || e.Frequency != 4 {
+		t.Fatalf("merged state wrong for item 1: %+v ok=%v", e, ok)
+	}
+	if e, ok := restored.Query(101); !ok || e.Frequency != 4 {
+		t.Fatalf("merged state wrong for item 101: %+v ok=%v", e, ok)
+	}
+	// Reset leaves a clean tracker.
+	restored.Reset()
+	if restored.Occupancy() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestPublicMergeIncompatible(t *testing.T) {
+	a := New(Config{MemoryBytes: 16 << 10, Seed: 1})
+	b := New(Config{MemoryBytes: 32 << 10, Seed: 1})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestPublicInsertAt(t *testing.T) {
+	l := New(Config{MemoryBytes: 16 << 10, Weights: Persistent, PeriodDuration: 10})
+	l.InsertAt(5, 1)
+	l.InsertAt(5, 12)
+	l.InsertAt(6, 21)
+	e, ok := l.Query(5)
+	if !ok || e.Persistency != 2 {
+		t.Fatalf("timed persistency = %d (ok=%v), want 2", e.Persistency, ok)
+	}
+}

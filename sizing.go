@@ -1,0 +1,50 @@
+package sigstream
+
+import (
+	"sigstream/internal/ltc"
+	"sigstream/internal/theory"
+)
+
+// Workload describes a stream for memory-sizing purposes. Get the numbers
+// from a sample of your data (cmd/sigcheck reports all three).
+type Workload struct {
+	// Arrivals is the expected stream length N.
+	Arrivals int
+	// Distinct is the expected number of distinct items M.
+	Distinct int
+	// Skew is the Zipf exponent γ of the frequency distribution
+	// (cmd/sigcheck fits it; 1.0 is a typical network trace).
+	Skew float64
+}
+
+// SuggestMemoryBytes returns the smallest LTC memory budget whose
+// theoretical correct-rate lower bound (paper Section IV-B) reaches
+// targetCorrectRate for top-k queries on the described workload, assuming
+// the default bucket width. It returns 0 when no budget up to 1 GiB
+// suffices (implausible inputs) — fall back to measuring with
+// cmd/sigbench -trace on a sample.
+//
+// The bound is conservative: real precision at the suggested budget is
+// typically higher (see EXPERIMENTS.md, Fig 7a).
+func SuggestMemoryBytes(w Workload, k int, targetCorrectRate float64) int {
+	if w.Arrivals <= 0 || w.Distinct <= 0 || k <= 0 {
+		return 0
+	}
+	// Cap the analytic universe: ranks far beyond 4·k contribute nothing
+	// but DP time. ExpectedV-style tail mass still matters for the bound's
+	// π terms, so keep a healthy margin.
+	m := w.Distinct
+	if m > 200_000 {
+		m = 200_000
+	}
+	model := theory.Model{
+		N: w.Arrivals, M: m, Gamma: w.Skew,
+		D: ltc.DefaultBucketWidth, Alpha: 1,
+	}
+	const wMax = 1 << 30 / (ltc.CellBytes * ltc.DefaultBucketWidth) // 1 GiB
+	buckets := model.SuggestW(k, targetCorrectRate, wMax)
+	if buckets == 0 {
+		return 0
+	}
+	return buckets * ltc.DefaultBucketWidth * ltc.CellBytes
+}

@@ -1,0 +1,64 @@
+package sigstream
+
+import (
+	"testing"
+
+	"sigstream/internal/gen"
+	"sigstream/internal/oracle"
+	"sigstream/internal/stream"
+)
+
+func TestSuggestMemoryBytesReachesTarget(t *testing.T) {
+	w := Workload{Arrivals: 200_000, Distinct: 20_000, Skew: 1.0}
+	mem := SuggestMemoryBytes(w, 100, 0.95)
+	if mem <= 0 {
+		t.Fatal("no suggestion for a plausible workload")
+	}
+	// Validate empirically: an LTC sized to the suggestion must reach the
+	// target precision on a matching synthetic stream (the bound is a lower
+	// bound, so this should pass with margin).
+	s := gen.ZipfStream(w.Arrivals, w.Distinct, 20, w.Skew, 5)
+	o := oracle.FromStream(s, stream.Frequent)
+	tr := New(Config{MemoryBytes: mem, Weights: Frequent,
+		ItemsPerPeriod: s.ItemsPerPeriod()})
+	for i, it := range s.Items {
+		tr.Insert(it)
+		if (i+1)%s.ItemsPerPeriod() == 0 {
+			tr.EndPeriod()
+		}
+	}
+	truth := map[Item]bool{}
+	for _, e := range o.TopK(100) {
+		truth[e.Item] = true
+	}
+	hits := 0
+	for _, e := range tr.TopK(100) {
+		if truth[e.Item] {
+			hits++
+		}
+	}
+	if p := float64(hits) / 100; p < 0.95 {
+		t.Fatalf("suggested %d bytes reached only %.2f precision", mem, p)
+	}
+}
+
+func TestSuggestMemoryBytesMonotone(t *testing.T) {
+	w := Workload{Arrivals: 500_000, Distinct: 50_000, Skew: 1.0}
+	loose := SuggestMemoryBytes(w, 100, 0.6)
+	tight := SuggestMemoryBytes(w, 100, 0.99)
+	if loose <= 0 || tight <= 0 {
+		t.Fatal("no suggestions")
+	}
+	if tight < loose {
+		t.Fatalf("stricter target suggested less memory: %d < %d", tight, loose)
+	}
+}
+
+func TestSuggestMemoryBytesDegenerate(t *testing.T) {
+	if SuggestMemoryBytes(Workload{}, 100, 0.9) != 0 {
+		t.Fatal("empty workload must yield 0")
+	}
+	if SuggestMemoryBytes(Workload{Arrivals: 1000, Distinct: 100, Skew: 1}, 0, 0.9) != 0 {
+		t.Fatal("k=0 must yield 0")
+	}
+}

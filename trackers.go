@@ -1,0 +1,207 @@
+package sigstream
+
+import (
+	"sigstream/internal/adapters"
+	"sigstream/internal/cmsketch"
+	"sigstream/internal/countsketch"
+	"sigstream/internal/lossycounting"
+	"sigstream/internal/ltc"
+	"sigstream/internal/misragries"
+	"sigstream/internal/pie"
+	"sigstream/internal/sampling"
+	"sigstream/internal/spacesaving"
+	"sigstream/internal/window"
+)
+
+// Config configures the LTC tracker created by New.
+type Config struct {
+	// MemoryBytes is the total memory budget (default 64 KiB).
+	MemoryBytes int
+	// Weights are the significance coefficients (default Balanced).
+	Weights Weights
+	// ItemsPerPeriod hints the expected arrivals per period, used to pace
+	// the CLOCK sweep. Zero selects adaptive pacing from the previous
+	// period's count.
+	ItemsPerPeriod int
+	// BucketWidth is the cells per bucket, d (default 8, the paper's
+	// choice).
+	BucketWidth int
+	// DisableDeviationEliminator reverts to the basic single-flag CLOCK.
+	DisableDeviationEliminator bool
+	// DisableLongTailReplacement reverts admissions to initial value 1.
+	DisableLongTailReplacement bool
+	// PeriodDuration enables time-defined periods for InsertAt: the length
+	// of one period, in the same unit as InsertAt timestamps. Streams
+	// driven by Insert/EndPeriod ignore it.
+	PeriodDuration float64
+	// DecayFactor λ ∈ (0,1) exponentially ages all counts at each period
+	// boundary, turning significance into "significant lately"
+	// (half-life = ln 2 / ln(1/λ) periods). 0 or 1 keeps the paper's exact
+	// all-history semantics. Extension beyond the paper.
+	DecayFactor float64
+	// Seed keys the hash function.
+	Seed uint32
+}
+
+// LTC is the paper's Long-Tail CLOCK tracker. It implements Tracker and
+// additionally exposes structure diagnostics.
+type LTC struct {
+	wrap
+	l *ltc.LTC
+}
+
+// New creates an LTC tracker, the package's primary structure.
+func New(cfg Config) *LTC {
+	if cfg.Weights == (Weights{}) {
+		cfg.Weights = Balanced
+	}
+	l := ltc.New(ltc.Options{
+		MemoryBytes:                cfg.MemoryBytes,
+		BucketWidth:                cfg.BucketWidth,
+		Weights:                    internalWeights(cfg.Weights),
+		ItemsPerPeriod:             cfg.ItemsPerPeriod,
+		DisableDeviationEliminator: cfg.DisableDeviationEliminator,
+		DisableLongTailReplacement: cfg.DisableLongTailReplacement,
+		PeriodDuration:             cfg.PeriodDuration,
+		DecayFactor:                cfg.DecayFactor,
+		Seed:                       cfg.Seed,
+	})
+	return &LTC{wrap: wrap{l}, l: l}
+}
+
+// InsertAt records one arrival at a timestamp, for time-defined periods
+// (Config.PeriodDuration must be set). Period boundaries are crossed
+// automatically; do not call EndPeriod on a timestamp-driven stream.
+// Timestamps must be non-decreasing.
+func (l *LTC) InsertAt(item Item, at float64) { l.l.InsertAt(item, at) }
+
+// Reset clears all tracked state, keeping the configuration.
+func (l *LTC) Reset() { l.l.Reset() }
+
+// MarshalBinary encodes the full tracker state as a compact checkpoint
+// image (encoding.BinaryMarshaler).
+func (l *LTC) MarshalBinary() ([]byte, error) { return l.l.MarshalBinary() }
+
+// UnmarshalBinary restores the tracker from a MarshalBinary image,
+// replacing its current state and configuration
+// (encoding.BinaryUnmarshaler).
+func (l *LTC) UnmarshalBinary(data []byte) error { return l.l.UnmarshalBinary(data) }
+
+// Merge folds another tracker's state into this one. Both trackers must
+// share memory size, bucket width, weights and seed (as produced by the
+// same Config); use it to aggregate per-shard or per-site summaries into a
+// global view. The other tracker is left unmodified.
+func (l *LTC) Merge(other *LTC) error { return l.l.Merge(other.l) }
+
+// Buckets reports w, the number of buckets in the lossy table.
+func (l *LTC) Buckets() int { return l.l.Buckets() }
+
+// BucketWidth reports d, the cells per bucket.
+func (l *LTC) BucketWidth() int { return l.l.BucketWidth() }
+
+// Occupancy reports the number of occupied cells.
+func (l *LTC) Occupancy() int { return l.l.Occupancy() }
+
+// NewSpaceSaving creates the Space-Saving baseline (counter-based, top-k
+// frequent items). It tracks frequency only; alpha scales the reported
+// significance.
+func NewSpaceSaving(memoryBytes int, alpha float64) Tracker {
+	return wrap{spacesaving.New(memoryBytes, alpha)}
+}
+
+// NewLossyCounting creates the Lossy Counting baseline (counter-based,
+// top-k frequent items). It tracks frequency only.
+func NewLossyCounting(memoryBytes int, alpha float64) Tracker {
+	return wrap{lossycounting.New(memoryBytes, alpha)}
+}
+
+// NewMisraGries creates the Misra-Gries "Frequent" baseline (counter-based,
+// top-k frequent items; never overestimates). It tracks frequency only.
+func NewMisraGries(memoryBytes int, alpha float64) Tracker {
+	return wrap{misragries.New(memoryBytes, alpha)}
+}
+
+// SketchKind selects a sketch family for the sketch-based baselines.
+type SketchKind int
+
+const (
+	// CM is the Count-Min sketch.
+	CM SketchKind = iota
+	// CU is the CU sketch (Count-Min with conservative update).
+	CU
+	// Count is the Count sketch (signed counters, median estimate).
+	Count
+)
+
+func (k SketchKind) factory() adapters.Factory {
+	switch k {
+	case CU:
+		return adapters.CUFactory()
+	case Count:
+		return adapters.CountFactory()
+	default:
+		return adapters.CMFactory()
+	}
+}
+
+// NewFrequentSketch creates a sketch+min-heap tracker for top-k frequent
+// items (the paper's sketch baselines in the α=1, β=0 setting).
+func NewFrequentSketch(kind SketchKind, memoryBytes, k int, alpha float64) Tracker {
+	switch kind {
+	case CU:
+		return wrap{cmsketch.NewTracker(cmsketch.CU, memoryBytes, k, alpha)}
+	case Count:
+		return wrap{countsketch.NewTracker(memoryBytes, k, alpha)}
+	default:
+		return wrap{cmsketch.NewTracker(cmsketch.CM, memoryBytes, k, alpha)}
+	}
+}
+
+// NewPersistentSketch creates the sketch+Bloom-filter+heap tracker for
+// top-k persistent items: half the memory deduplicates appearances within
+// the current period, the rest counts periods.
+func NewPersistentSketch(kind SketchKind, memoryBytes, k int, beta float64) Tracker {
+	return wrap{adapters.NewPersistent(kind.factory(), memoryBytes, k, beta)}
+}
+
+// NewSignificantSketch creates the two-sketch tracker for top-k significant
+// items: a frequency sketch and a persistency structure share the memory
+// evenly, with one heap ranking by α·f̂ + β·p̂.
+func NewSignificantSketch(kind SketchKind, memoryBytes, k int, w Weights) Tracker {
+	return wrap{adapters.NewSignificant(kind.factory(), memoryBytes, k,
+		internalWeights(w))}
+}
+
+// NewWindow creates a jumping-window LTC: top-k significant items over the
+// most recent windowPeriods periods, covered by `blocks` rotating
+// sub-summaries (blocks ≤ 0 selects 4). Old history expires with a
+// granularity of windowPeriods/blocks periods. Extension beyond the paper.
+func NewWindow(cfg Config, windowPeriods, blocks int) Tracker {
+	if cfg.Weights == (Weights{}) {
+		cfg.Weights = Balanced
+	}
+	return wrap{window.New(window.Options{
+		MemoryBytes:    cfg.MemoryBytes,
+		WindowPeriods:  windowPeriods,
+		Blocks:         blocks,
+		Weights:        internalWeights(cfg.Weights),
+		ItemsPerPeriod: cfg.ItemsPerPeriod,
+		Seed:           cfg.Seed,
+	})}
+}
+
+// NewPIE creates the PIE baseline for top-k persistent items: one
+// Space-Time Bloom Filter of perPeriodBytes per period, with fountain-coded
+// item IDs decoded at query time. Note PIE's total memory is
+// perPeriodBytes × periods, matching the paper's T× allowance.
+func NewPIE(perPeriodBytes int, beta float64) Tracker {
+	return wrap{pie.New(pie.Options{PerPeriodBytes: perPeriodBytes, Beta: beta})}
+}
+
+// NewSampling creates the coordinated hash-sampling baseline: a
+// hash-defined subset of the item space is tracked exactly; everything
+// else is ignored. expectedDistinct calibrates the sampling rate to the
+// memory budget.
+func NewSampling(memoryBytes, expectedDistinct int, w Weights) Tracker {
+	return wrap{sampling.New(memoryBytes, expectedDistinct, internalWeights(w))}
+}

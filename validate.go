@@ -1,0 +1,61 @@
+package sigstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig wraps every configuration validation failure.
+var ErrInvalidConfig = errors.New("sigstream: invalid config")
+
+// Validate reports configuration mistakes that New would otherwise paper
+// over by clamping, plus combinations that are almost certainly not what
+// the caller intended. Call it when the configuration comes from user
+// input (flags, config files); programmatic callers with known-good values
+// can skip it.
+func (c Config) Validate() error {
+	var problems []string
+	if c.MemoryBytes < 0 {
+		problems = append(problems, "MemoryBytes is negative")
+	}
+	if c.MemoryBytes > 0 && c.MemoryBytes < 2*16 {
+		problems = append(problems, "MemoryBytes below one cell pair; the tracker will hold almost nothing")
+	}
+	if c.Weights.Alpha < 0 || c.Weights.Beta < 0 {
+		problems = append(problems, "negative significance weights")
+	}
+	if c.BucketWidth < 0 {
+		problems = append(problems, "BucketWidth is negative")
+	}
+	if c.BucketWidth > 256 {
+		problems = append(problems, "BucketWidth > 256 makes every bucket operation a long scan")
+	}
+	if c.ItemsPerPeriod < 0 {
+		problems = append(problems, "ItemsPerPeriod is negative")
+	}
+	if c.PeriodDuration < 0 {
+		problems = append(problems, "PeriodDuration is negative")
+	}
+	// 0 and 1 both mean "no decay"; anything outside [0,1] is an error.
+	if c.DecayFactor < 0 || c.DecayFactor > 1 {
+		problems = append(problems, "DecayFactor outside [0,1]")
+	}
+	if c.DecayFactor > 0 && c.DecayFactor < 0.01 {
+		problems = append(problems, "DecayFactor < 0.01 erases nearly everything each period")
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, join(problems))
+}
+
+func join(ps []string) string {
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}

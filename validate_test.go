@@ -1,0 +1,62 @@
+package sigstream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsSensibleConfigs(t *testing.T) {
+	for _, c := range []Config{
+		{},
+		{MemoryBytes: 64 << 10, Weights: Balanced},
+		{MemoryBytes: 1 << 20, Weights: Weights{Alpha: 1, Beta: 500},
+			BucketWidth: 16, ItemsPerPeriod: 10_000, DecayFactor: 0.9},
+		{MemoryBytes: 4096, PeriodDuration: 60},
+		{DecayFactor: 1}, // 1 = disabled, valid
+	} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %+v rejected: %v", c, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{MemoryBytes: -1}, "negative"},
+		{Config{MemoryBytes: 8}, "below one cell"},
+		{Config{Weights: Weights{Alpha: -1}}, "negative significance"},
+		{Config{BucketWidth: -2}, "BucketWidth is negative"},
+		{Config{BucketWidth: 1000}, "long scan"},
+		{Config{ItemsPerPeriod: -5}, "ItemsPerPeriod"},
+		{Config{PeriodDuration: -1}, "PeriodDuration"},
+		{Config{DecayFactor: 1.5}, "DecayFactor outside"},
+		{Config{DecayFactor: -0.1}, "DecayFactor outside"},
+		{Config{DecayFactor: 0.001}, "erases nearly everything"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Fatalf("config %+v accepted", c.cfg)
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("error not wrapped: %v", err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("error %q missing %q", err, c.want)
+		}
+	}
+}
+
+func TestValidateAggregatesProblems(t *testing.T) {
+	err := Config{MemoryBytes: -1, DecayFactor: 2}.Validate()
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if !strings.Contains(err.Error(), ";") {
+		t.Fatalf("multiple problems not aggregated: %v", err)
+	}
+}
