@@ -1,0 +1,183 @@
+package sigstream
+
+import (
+	"fmt"
+	"testing"
+
+	"sigstream/internal/gen"
+)
+
+// feedSequential replays s item-at-a-time with a period boundary every per
+// arrivals (and after a trailing partial period).
+func feedSequential(tr Tracker, items []Item, per int) {
+	for i, it := range items {
+		tr.Insert(it)
+		if (i+1)%per == 0 {
+			tr.EndPeriod()
+		}
+	}
+	if len(items)%per != 0 {
+		tr.EndPeriod()
+	}
+}
+
+// feedBatched replays the same stream through InsertBatch in ragged batch
+// sizes (cycling through sizes, never spanning a period boundary).
+func feedBatched(tr Tracker, items []Item, per int) {
+	sizes := []int{1, 7, 256, 3, 64, 1000}
+	si := 0
+	fed := 0
+	for off := 0; off < len(items); {
+		n := sizes[si%len(sizes)]
+		si++
+		if rem := per - fed; n > rem {
+			n = rem
+		}
+		if rem := len(items) - off; n > rem {
+			n = rem
+		}
+		InsertBatch(tr, items[off:off+n])
+		off += n
+		fed += n
+		if fed == per {
+			tr.EndPeriod()
+			fed = 0
+		}
+	}
+	if fed != 0 {
+		tr.EndPeriod()
+	}
+}
+
+// assertSameResults compares the two trackers' full rankings and the
+// estimates of every ranked item; any divergence between the batch and
+// per-item paths fails the test.
+func assertSameResults(t *testing.T, seq, bat Tracker) {
+	t.Helper()
+	a, b := seq.TopK(100), bat.TopK(100)
+	if len(a) != len(b) {
+		t.Fatalf("TopK length %d (sequential) vs %d (batched)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TopK[%d]: sequential %+v, batched %+v", i, a[i], b[i])
+		}
+	}
+	for _, e := range a {
+		ea, oka := seq.Query(e.Item)
+		eb, okb := bat.Query(e.Item)
+		if oka != okb || ea != eb {
+			t.Fatalf("Query(%d): sequential %+v/%v, batched %+v/%v",
+				e.Item, ea, oka, eb, okb)
+		}
+	}
+}
+
+// TestInsertBatchEquivalenceLTC runs LTC under real eviction pressure in
+// several configurations and asserts the batch path is bit-identical to
+// per-item insertion.
+func TestInsertBatchEquivalenceLTC(t *testing.T) {
+	s := gen.NetworkLike(60_000, 3)
+	per := s.ItemsPerPeriod()
+	configs := map[string]Config{
+		"default":  {MemoryBytes: 8 << 10, Weights: Balanced},
+		"paced":    {MemoryBytes: 8 << 10, Weights: Balanced, ItemsPerPeriod: per},
+		"basic":    {MemoryBytes: 8 << 10, Weights: Balanced, ItemsPerPeriod: per, DisableDeviationEliminator: true, DisableLongTailReplacement: true},
+		"decay":    {MemoryBytes: 8 << 10, Weights: Balanced, ItemsPerPeriod: per, DecayFactor: 0.9},
+		"frequent": {MemoryBytes: 4 << 10, Weights: Frequent, ItemsPerPeriod: per},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			seq, bat := New(cfg), New(cfg)
+			feedSequential(seq, s.Items, per)
+			feedBatched(bat, s.Items, per)
+			assertSameResults(t, seq, bat)
+		})
+	}
+}
+
+// TestInsertBatchEquivalenceWindow asserts the window tracker's batch path
+// matches per-item insertion across block rotations.
+func TestInsertBatchEquivalenceWindow(t *testing.T) {
+	s := gen.NetworkLike(60_000, 4)
+	per := s.ItemsPerPeriod()
+	cfg := Config{MemoryBytes: 16 << 10, Weights: Balanced, ItemsPerPeriod: per}
+	seq, bat := NewWindow(cfg, 8, 4), NewWindow(cfg, 8, 4)
+	feedSequential(seq, s.Items, per)
+	feedBatched(bat, s.Items, per)
+	assertSameResults(t, seq, bat)
+}
+
+// TestInsertBatchEquivalenceSharded asserts the shard-partitioned batch
+// path yields the same state as per-item insertion (single-threaded, so
+// ordering within each shard is the only variable).
+func TestInsertBatchEquivalenceSharded(t *testing.T) {
+	s := gen.NetworkLike(60_000, 5)
+	per := s.ItemsPerPeriod()
+	cfg := Config{MemoryBytes: 64 << 10, Weights: Balanced, ItemsPerPeriod: per}
+	for _, shards := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			seq, bat := NewSharded(cfg, shards), NewSharded(cfg, shards)
+			feedSequential(seq, s.Items, per)
+			feedBatched(bat, s.Items, per)
+			assertSameResults(t, seq, bat)
+		})
+	}
+}
+
+// TestInsertBatchEquivalenceBaselines drives every baseline through the
+// generic fallback adapter and asserts batch and per-item feeding agree.
+func TestInsertBatchEquivalenceBaselines(t *testing.T) {
+	s := gen.NetworkLike(40_000, 6)
+	per := s.ItemsPerPeriod()
+	for _, kind := range Baselines() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{MemoryBytes: 8 << 10, TopK: 50,
+				ExpectedDistinct: s.Distinct()}
+			seq, bat := NewBaseline(kind, cfg), NewBaseline(kind, cfg)
+			feedSequential(seq, s.Items, per)
+			feedBatched(bat, s.Items, per)
+			assertSameResults(t, seq, bat)
+		})
+	}
+}
+
+// TestInsertBatchHelperFallback checks the package-level helper on a
+// Tracker implementation that has no native batch path at all.
+func TestInsertBatchHelperFallback(t *testing.T) {
+	tr := plainTracker{inner: New(Config{MemoryBytes: 8 << 10})}
+	InsertBatch(tr, []Item{1, 2, 3, 2, 1, 1})
+	tr.EndPeriod()
+	if e, ok := tr.Query(1); !ok || e.Frequency != 3 {
+		t.Fatalf("item 1: %+v ok=%v, want frequency 3", e, ok)
+	}
+}
+
+// plainTracker hides the inner tracker's InsertBatch so the helper's
+// per-item fallback branch is exercised.
+type plainTracker struct{ inner *LTC }
+
+func (p plainTracker) Insert(item Item)              { p.inner.Insert(item) }
+func (p plainTracker) EndPeriod()                    { p.inner.EndPeriod() }
+func (p plainTracker) Query(item Item) (Entry, bool) { return p.inner.Query(item) }
+func (p plainTracker) TopK(k int) []Entry            { return p.inner.TopK(k) }
+func (p plainTracker) MemoryBytes() int              { return p.inner.MemoryBytes() }
+func (p plainTracker) Name() string                  { return p.inner.Name() }
+
+// TestEveryPublicTrackerImplementsBatchInserter pins the API guarantee
+// that all constructors return batch-capable trackers.
+func TestEveryPublicTrackerImplementsBatchInserter(t *testing.T) {
+	trackers := []Tracker{
+		New(Config{}),
+		NewSharded(Config{}, 2),
+		NewWindow(Config{}, 8, 2),
+	}
+	for _, kind := range Baselines() {
+		trackers = append(trackers, NewBaseline(kind, Config{}))
+	}
+	for _, tr := range trackers {
+		if _, ok := tr.(BatchInserter); !ok {
+			t.Errorf("%s does not implement BatchInserter", tr.Name())
+		}
+	}
+}

@@ -12,6 +12,7 @@ package sigstream
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"sigstream/internal/exp"
@@ -168,6 +169,104 @@ func BenchmarkInsertCUSketch(b *testing.B) {
 func BenchmarkInsertPersistentCU(b *testing.B) {
 	benchInsert(b, NewPersistentSketch(CU, 64<<10, 100, 1))
 }
+
+// benchInsertBatch feeds b.N arrivals in fixed-size batches through the
+// BatchInserter path (native or fallback), with the same period cadence as
+// benchInsert. ns/op is directly comparable between the two.
+func benchInsertBatch(b *testing.B, tr Tracker, batch int) {
+	b.Helper()
+	s := gen.NetworkLike(1<<17, 1)
+	per := s.ItemsPerPeriod()
+	mask := 1<<17 - 1
+	b.ResetTimer()
+	sincePeriod := 0
+	for done := 0; done < b.N; {
+		start := done & mask
+		end := start + batch
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		if rem := b.N - done; end-start > rem {
+			end = start + rem
+		}
+		InsertBatch(tr, s.Items[start:end])
+		n := end - start
+		done += n
+		sincePeriod += n
+		if sincePeriod >= per {
+			tr.EndPeriod()
+			sincePeriod = 0
+		}
+	}
+}
+
+// BenchmarkInsertBatchLTC measures LTC's per-arrival cost on the native
+// 256-item batch path; compare with BenchmarkInsertLTC.
+func BenchmarkInsertBatchLTC(b *testing.B) {
+	benchInsertBatch(b, New(Config{MemoryBytes: 64 << 10, Weights: Balanced}), 256)
+}
+
+// BenchmarkInsertBatchSpaceSaving measures a baseline driven through the
+// generic per-item fallback adapter; compare with
+// BenchmarkInsertSpaceSaving to see the adapter overhead is negligible.
+func BenchmarkInsertBatchSpaceSaving(b *testing.B) {
+	benchInsertBatch(b, NewBaseline(SpaceSaving, Config{MemoryBytes: 64 << 10,
+		Weights: Frequent}), 256)
+}
+
+// benchShardedParallel hammers one Sharded tracker from 8 goroutines,
+// per-item when batch ≤ 0 and via InsertBatch otherwise. ns/op is per
+// arrival in both modes, so the items/sec ratio is the inverse ns/op
+// ratio.
+func benchShardedParallel(b *testing.B, batch int) {
+	b.Helper()
+	tr := NewSharded(Config{MemoryBytes: 1 << 20, Weights: Balanced,
+		ItemsPerPeriod: 1 << 17}, 8)
+	s := gen.NetworkLike(1<<17, 1)
+	mask := 1<<17 - 1
+	const goroutines = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		n := b.N / goroutines
+		if g == 0 {
+			n += b.N % goroutines
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			off := g * 1013 // decorrelate the goroutines' positions
+			if batch <= 0 {
+				for i := 0; i < n; i++ {
+					tr.Insert(s.Items[(off+i)&mask])
+				}
+				return
+			}
+			for done := 0; done < n; {
+				start := (off + done) & mask
+				end := start + batch
+				if rem := n - done; end-start > rem {
+					end = start + rem
+				}
+				if end > len(s.Items) {
+					end = len(s.Items)
+				}
+				tr.InsertBatch(s.Items[start:end])
+				done += end - start
+			}
+		}(g, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkShardedInsert measures the per-item Sharded path under
+// contention: 8 goroutines, one lock round-trip per arrival.
+func BenchmarkShardedInsert(b *testing.B) { benchShardedParallel(b, 0) }
+
+// BenchmarkShardedInsertBatch measures the batched Sharded path under
+// contention: 8 goroutines, 256-item batches partitioned by shard, one
+// lock round-trip per shard per batch.
+func BenchmarkShardedInsertBatch(b *testing.B) { benchShardedParallel(b, 256) }
 
 // BenchmarkTopKLTC measures top-k query latency on a warm LTC.
 func BenchmarkTopKLTC(b *testing.B) {

@@ -34,8 +34,21 @@
 //		fmt.Println(e.Item, e.Significance)
 //	}
 //
+// For high-rate ingestion, feed arrivals in batches: every tracker in this
+// package implements the optional BatchInserter interface, and
+// tr.InsertBatch(items) is semantically identical to inserting each item
+// in order while amortizing the per-arrival overhead (for the concurrent
+// Sharded tracker, one lock round-trip per shard per batch instead of one
+// per item). The package-level InsertBatch helper feeds any Tracker,
+// falling back to per-item insertion.
+//
 // The package also ships the baselines the paper compares against —
 // Space-Saving, Lossy Counting, Count/CM/CU sketches with top-k heaps,
 // sketch+Bloom-filter persistency adapters, and PIE — behind the same
-// Tracker interface, so head-to-head evaluations are one loop.
+// Tracker interface, so head-to-head evaluations are one loop. All eight
+// are built by one constructor, NewBaseline(kind, cfg), from the same
+// Config that drives New; the positional constructors (NewSpaceSaving,
+// NewPIE, …) remain as deprecated wrappers. Constructors apply documented
+// defaults to zero Config fields and panic on invalid configurations;
+// validate untrusted input first with Config.Validate.
 package sigstream

@@ -1,0 +1,87 @@
+package ltc
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+// replayPair feeds the same arrivals into two identically-configured
+// trackers, one per item and one in ragged batches, with periods of per
+// arrivals, and returns both.
+func replayPair(opts Options, items []stream.Item, per int) (seq, bat *LTC) {
+	seq, bat = New(opts), New(opts)
+	for i, it := range items {
+		seq.Insert(it)
+		if (i+1)%per == 0 {
+			seq.EndPeriod()
+		}
+	}
+	sizes := []int{1, 13, 64, 257}
+	fed, si := 0, 0
+	for off := 0; off < len(items); {
+		n := sizes[si%len(sizes)]
+		si++
+		if rem := per - fed; n > rem {
+			n = rem
+		}
+		if rem := len(items) - off; n > rem {
+			n = rem
+		}
+		bat.InsertBatch(items[off : off+n])
+		off += n
+		fed += n
+		if fed == per {
+			bat.EndPeriod()
+			fed = 0
+		}
+	}
+	return seq, bat
+}
+
+// TestInsertBatchMatchesInsert asserts the batch path leaves the internal
+// structure in a state identical to per-item insertion — cells, CLOCK
+// position and operation statistics — across pacing modes.
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]stream.Item, 30_000)
+	for i := range items {
+		items[i] = stream.Item(rng.Intn(3000) + 1)
+	}
+	const per = 5000
+	for name, opts := range map[string]Options{
+		"paced":    {MemoryBytes: 4 << 10, Weights: stream.Balanced, ItemsPerPeriod: per},
+		"adaptive": {MemoryBytes: 4 << 10, Weights: stream.Balanced},
+		"basic": {MemoryBytes: 4 << 10, Weights: stream.Balanced,
+			ItemsPerPeriod: per, DisableDeviationEliminator: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			seq, bat := replayPair(opts, items, per)
+			if seq.stats != bat.stats {
+				t.Fatalf("stats diverged: sequential %+v, batched %+v",
+					seq.stats, bat.stats)
+			}
+			if seq.ptr != bat.ptr || seq.acc != bat.acc || seq.swept != bat.swept {
+				t.Fatalf("CLOCK state diverged: sequential ptr=%d acc=%v swept=%d, batched ptr=%d acc=%v swept=%d",
+					seq.ptr, seq.acc, seq.swept, bat.ptr, bat.acc, bat.swept)
+			}
+			for i := range seq.cells {
+				if seq.cells[i] != bat.cells[i] {
+					t.Fatalf("cell %d diverged: sequential %+v, batched %+v",
+						i, seq.cells[i], bat.cells[i])
+				}
+			}
+		})
+	}
+}
+
+// TestInsertBatchEmptyAndNil checks degenerate batches are no-ops.
+func TestInsertBatchEmptyAndNil(t *testing.T) {
+	l := New(Options{MemoryBytes: 1 << 10, ItemsPerPeriod: 10})
+	l.InsertBatch(nil)
+	l.InsertBatch([]stream.Item{})
+	if l.Stats().Arrivals != 0 || l.Occupancy() != 0 {
+		t.Fatalf("empty batch mutated the tracker: %+v", l.Stats())
+	}
+}

@@ -11,10 +11,18 @@
 //	GET  /v1/stats      tracker statistics
 //	GET  /v1/checkpoint download a binary snapshot of the tracker
 //	POST /v1/restore    replace the tracker state from a snapshot body
+//
+// /v1/insert is batched end-to-end: the whole request body is parsed into
+// one key batch, the keys are interned under a single lock acquisition, and
+// the batch is handed to the tracker's BatchInserter path, so each shard
+// lock is taken once per request instead of once per line. Put many keys in
+// one request for throughput; a request is still not atomic with respect to
+// a concurrent POST /v1/period, which may land between two shards'
+// sub-batches.
 package server
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -123,25 +131,28 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	trk := s.trk()
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 64<<10), 64<<10)
-	n := uint64(0)
-	for sc.Scan() {
-		key := sc.Text()
-		if key == "" {
-			continue
-		}
-		s.mu.Lock()
-		item := s.keys.Intern(key)
-		s.mu.Unlock()
-		trk.Insert(item)
-		n++
-	}
-	if err := sc.Err(); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
 		return
 	}
+	// Intern the whole request under one lock acquisition, then feed the
+	// tracker one batch: each shard lock is taken once per request.
+	lines := bytes.Split(body, []byte{'\n'})
+	batch := make([]sigstream.Item, 0, len(lines))
+	s.mu.Lock()
+	for _, line := range lines {
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		batch = append(batch, s.keys.Intern(string(line)))
+	}
+	s.mu.Unlock()
+	trk.InsertBatch(batch)
+	n := uint64(len(batch))
 	s.mu.Lock()
 	s.arrivals += n
 	s.mu.Unlock()

@@ -49,6 +49,31 @@ type Tracker interface {
 	Name() string
 }
 
+// BatchInserter is the optional bulk-ingestion extension of Tracker:
+// trackers with a native batch path (LTC, the window tracker) implement it
+// to amortize per-arrival overhead. InsertBatch(items) must be semantically
+// identical to calling Insert for each item in order; only the constant
+// cost per arrival may differ. Feed arbitrary trackers through the
+// InsertBatch helper, which falls back to per-item Insert.
+type BatchInserter interface {
+	// InsertBatch records one arrival for each item, in order.
+	InsertBatch(items []Item)
+}
+
+// InsertBatch feeds a batch of arrivals into t, using the native batch path
+// when t implements BatchInserter and item-at-a-time Insert otherwise. It
+// is the generic adapter that lets batch-oriented callers (the HTTP server,
+// the benchmark harness) drive any Tracker.
+func InsertBatch(t Tracker, items []Item) {
+	if b, ok := t.(BatchInserter); ok {
+		b.InsertBatch(items)
+		return
+	}
+	for _, it := range items {
+		t.Insert(it)
+	}
+}
+
 // Weights are the user-defined significance coefficients.
 type Weights struct {
 	Alpha float64 // frequency coefficient
@@ -118,6 +143,37 @@ func (s *Stream) Replay(t Tracker) {
 		}
 	}
 	if len(s.Items)%per != 0 {
+		t.EndPeriod()
+	}
+}
+
+// ReplayBatch feeds the stream into t in batches of up to batch items
+// (batch ≤ 0 selects 256), using the tracker's native batch path when it
+// has one. Batches never span a period boundary, so the result matches
+// Replay exactly for any conforming BatchInserter.
+func (s *Stream) ReplayBatch(t Tracker, batch int) {
+	if batch <= 0 {
+		batch = 256
+	}
+	per := s.ItemsPerPeriod()
+	fed := 0 // items fed in the current period
+	for off := 0; off < len(s.Items); {
+		n := batch
+		if rem := per - fed; n > rem {
+			n = rem
+		}
+		if rem := len(s.Items) - off; n > rem {
+			n = rem
+		}
+		InsertBatch(t, s.Items[off:off+n])
+		off += n
+		fed += n
+		if fed == per {
+			t.EndPeriod()
+			fed = 0
+		}
+	}
+	if fed != 0 {
 		t.EndPeriod()
 	}
 }

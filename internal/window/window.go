@@ -92,6 +92,12 @@ func (w *Window) Insert(item stream.Item) {
 	w.blocks[w.active].Insert(item)
 }
 
+// InsertBatch records a batch of arrivals in the active block
+// (stream.BatchInserter); semantically identical to per-item Insert.
+func (w *Window) InsertBatch(items []stream.Item) {
+	w.blocks[w.active].InsertBatch(items)
+}
+
 // EndPeriod closes a period; every periodsPerBlock periods the ring
 // advances, expiring the oldest block.
 func (w *Window) EndPeriod() {
@@ -153,4 +159,7 @@ func (w *Window) MemoryBytes() int {
 // Name identifies the tracker.
 func (w *Window) Name() string { return "LTC-window" }
 
-var _ stream.Tracker = (*Window)(nil)
+var (
+	_ stream.Tracker       = (*Window)(nil)
+	_ stream.BatchInserter = (*Window)(nil)
+)

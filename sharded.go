@@ -21,7 +21,17 @@ import (
 // of the boundary).
 type Sharded struct {
 	shards []shard
-	total  int // total memory budget
+	// scratch pools the partition buffers InsertBatch uses, so the steady
+	// state hot path allocates nothing.
+	scratch sync.Pool
+}
+
+// batchScratch is the reusable working memory of one InsertBatch call.
+type batchScratch struct {
+	owner  []uint32 // owning shard of each batch item (hash computed once)
+	counts []int
+	next   []int
+	sorted []Item
 }
 
 type shard struct {
@@ -29,25 +39,49 @@ type shard struct {
 	l  *ltc.LTC
 }
 
-// NewSharded splits cfg.MemoryBytes evenly across n shards (n ≤ 0 selects
-// GOMAXPROCS). ItemsPerPeriod is divided across shards automatically.
+// NewSharded splits cfg.MemoryBytes across n shards (n ≤ 0 selects
+// GOMAXPROCS). The budget is distributed in whole buckets, remainder
+// included, so Sharded.MemoryBytes reports the same usable budget a single
+// LTC of cfg.MemoryBytes would; n is capped so every shard holds at least
+// one bucket (no degenerate shards on small budgets). ItemsPerPeriod is
+// divided across shards automatically.
+//
+// NewSharded panics if cfg is invalid; pre-check untrusted configurations
+// with Config.Validate.
 func NewSharded(cfg Config, n int) *Sharded {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Weights == (Weights{}) {
-		cfg.Weights = Balanced
+	cfg = cfg.withDefaults()
+	mustValidate(cfg)
+	// Distribute the budget in bucket-sized units so no shard is rounded to
+	// zero buckets and the division remainder is not silently dropped.
+	bucketBytes := ltc.CellBytes * cfg.BucketWidth
+	buckets := cfg.MemoryBytes / bucketBytes
+	if buckets < 1 {
+		buckets = 1
 	}
-	if cfg.MemoryBytes <= 0 {
-		cfg.MemoryBytes = 64 << 10
+	if n > buckets {
+		n = buckets // per-shard minimum: one full bucket
 	}
-	s := &Sharded{shards: make([]shard, n), total: cfg.MemoryBytes}
+	perShard, extra := buckets/n, buckets%n
+	// Per-shard pacing hint: ceil, so a small hint never becomes 0 (which
+	// would silently flip that shard to adaptive pacing).
+	itemsPerPeriod := 0
+	if cfg.ItemsPerPeriod > 0 {
+		itemsPerPeriod = (cfg.ItemsPerPeriod + n - 1) / n
+	}
+	s := &Sharded{shards: make([]shard, n)}
 	for i := range s.shards {
+		b := perShard
+		if i < extra {
+			b++
+		}
 		s.shards[i].l = ltc.New(ltc.Options{
-			MemoryBytes:                cfg.MemoryBytes / n,
+			MemoryBytes:                b * bucketBytes,
 			BucketWidth:                cfg.BucketWidth,
 			Weights:                    internalWeights(cfg.Weights),
-			ItemsPerPeriod:             cfg.ItemsPerPeriod / n,
+			ItemsPerPeriod:             itemsPerPeriod,
 			DisableDeviationEliminator: cfg.DisableDeviationEliminator,
 			DisableLongTailReplacement: cfg.DisableLongTailReplacement,
 			DecayFactor:                cfg.DecayFactor,
@@ -70,6 +104,75 @@ func (s *Sharded) Insert(item Item) {
 	sh.mu.Lock()
 	sh.l.Insert(item)
 	sh.mu.Unlock()
+}
+
+// InsertBatch records a batch of arrivals (BatchInserter). The batch is
+// pre-partitioned by owning shard, so each shard's lock is taken at most
+// once per batch instead of once per item; within a shard, items keep
+// their arrival order, so the final state is identical to item-at-a-time
+// insertion. Safe for concurrent use, but a batch is not atomic: a
+// concurrent EndPeriod may fall between two shards' sub-batches, splitting
+// the batch across the boundary (just as it can split per-item inserts).
+func (s *Sharded) InsertBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	n := uint64(len(s.shards))
+	if n == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.l.InsertBatch(items)
+		sh.mu.Unlock()
+		return
+	}
+	b, _ := s.scratch.Get().(*batchScratch)
+	if b == nil {
+		b = &batchScratch{}
+	}
+	if cap(b.owner) < len(items) {
+		b.owner = make([]uint32, len(items))
+	}
+	if cap(b.sorted) < len(items) {
+		b.sorted = make([]Item, len(items))
+	}
+	if cap(b.counts) < int(n) {
+		b.counts = make([]int, n)
+		b.next = make([]int, n)
+	}
+	owner, sorted := b.owner[:len(items)], b.sorted[:len(items)]
+	counts, next := b.counts[:n], b.next[:n]
+	// Counting sort by shard: one pass to hash and size the runs, one to
+	// scatter into contiguous per-shard sub-batches.
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, it := range items {
+		sh := uint32(hashing.Mix64(it) % n)
+		owner[i] = sh
+		counts[sh]++
+	}
+	sum := 0
+	for i, c := range counts {
+		next[i] = sum
+		sum += c
+	}
+	for i, it := range items {
+		sh := owner[i]
+		sorted[next[sh]] = it
+		next[sh]++
+	}
+	start := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.l.InsertBatch(sorted[start : start+c])
+		sh.mu.Unlock()
+		start += c
+	}
+	s.scratch.Put(b)
 }
 
 // EndPeriod marks a period boundary on every shard.
@@ -123,4 +226,7 @@ func (s *Sharded) Name() string {
 	return fmt.Sprintf("LTC-sharded%d", len(s.shards))
 }
 
-var _ Tracker = (*Sharded)(nil)
+var (
+	_ Tracker       = (*Sharded)(nil)
+	_ BatchInserter = (*Sharded)(nil)
+)

@@ -54,7 +54,6 @@ func (s *Sharded) UnmarshalBinary(data []byte) error {
 	}
 	off := 8
 	shards := make([]shard, n)
-	total := 0
 	for i := 0; i < n; i++ {
 		if off+4 > len(data) {
 			return fmt.Errorf("%w: truncated at shard %d", ErrBadShardedCheckpoint, i)
@@ -69,14 +68,12 @@ func (s *Sharded) UnmarshalBinary(data []byte) error {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		shards[i].l = inner.l
-		total += inner.MemoryBytes()
 		off += size
 	}
 	if off != len(data) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadShardedCheckpoint, len(data)-off)
 	}
 	s.shards = shards
-	s.total = total
 	return nil
 }
 

@@ -69,6 +69,117 @@ func TestShardedConcurrentInserts(t *testing.T) {
 	}
 }
 
+// TestShardedBatchRaceStress mixes concurrent Insert, InsertBatch and
+// Query with a coordinator calling EndPeriod; run under -race in CI. The
+// item universe fits every shard, so the final frequency sum must be exact.
+func TestShardedBatchRaceStress(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 256 << 10, Weights: Balanced}, 8)
+	const (
+		writers   = 4
+		batchers  = 4
+		perWriter = 8_000
+		batchSize = 64
+	)
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.TopK(20)
+				s.Query(17)
+			}
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Insert(Item(i%400 + 1))
+			}
+		}(g)
+	}
+	for g := 0; g < batchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := make([]Item, batchSize)
+			for done := 0; done < perWriter; done += batchSize {
+				for i := range batch {
+					batch[i] = Item((done+i)%400 + 1)
+				}
+				s.InsertBatch(batch)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			s.EndPeriod()
+		}
+	}()
+	<-done
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var total uint64
+	for _, e := range s.TopK(1 << 20) {
+		total += e.Frequency
+	}
+	want := uint64(writers*perWriter + batchers*perWriter)
+	if total != want {
+		t.Fatalf("frequency sum %d, want %d (lost updates)", total, want)
+	}
+}
+
+// TestShardedSmallBudgetNoDegenerateShards pins the integer-division
+// fixes: a small budget over many shards must cap the shard count instead
+// of creating zero-bucket shards, and the division remainder must be
+// distributed so the sharded tracker reports the same usable budget a
+// single LTC of the same configuration would.
+func TestShardedSmallBudgetNoDegenerateShards(t *testing.T) {
+	// 3 buckets' worth of memory (bucket = 8 cells × 16 B = 128 B) over 16
+	// requested shards → at most 3 shards, each ≥ 1 bucket.
+	s := NewSharded(Config{MemoryBytes: 3 * 128, Weights: Balanced}, 16)
+	if s.Shards() > 3 || s.Shards() < 1 {
+		t.Fatalf("Shards = %d, want in [1,3]", s.Shards())
+	}
+	if got := s.MemoryBytes(); got != 3*128 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 3*128)
+	}
+	s.Insert(1)
+	if _, ok := s.Query(1); !ok {
+		t.Fatal("degenerate shard lost the item")
+	}
+}
+
+// TestShardedMemoryMatchesSingleLTC checks the remainder distribution on a
+// budget that does not divide evenly by the shard count.
+func TestShardedMemoryMatchesSingleLTC(t *testing.T) {
+	cfg := Config{MemoryBytes: 100_000, Weights: Balanced} // 781 buckets, 781 % 7 != 0
+	single := New(cfg)
+	sharded := NewSharded(cfg, 7)
+	if single.MemoryBytes() != sharded.MemoryBytes() {
+		t.Fatalf("sharded budget %d under-reports single-LTC budget %d",
+			sharded.MemoryBytes(), single.MemoryBytes())
+	}
+	// ItemsPerPeriod hint must never round to zero on any shard.
+	s2 := NewSharded(Config{MemoryBytes: 64 << 10, ItemsPerPeriod: 5}, 8)
+	s2.Insert(1) // would divide 5/8 = 0 before the fix; just exercise it
+	if _, ok := s2.Query(1); !ok {
+		t.Fatal("lost item with small ItemsPerPeriod")
+	}
+}
+
 func TestShardedDefaults(t *testing.T) {
 	s := NewSharded(Config{}, 0)
 	if s.Shards() < 1 {

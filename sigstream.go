@@ -66,6 +66,31 @@ type Tracker interface {
 	Name() string
 }
 
+// BatchInserter is the optional bulk-ingestion extension of Tracker.
+// Trackers with a native batch path (LTC, Sharded, the window tracker)
+// implement it to amortize per-arrival overhead — interface dispatch,
+// CLOCK-advance bookkeeping and, for Sharded, one lock round-trip per item.
+// InsertBatch(items) is semantically identical to calling Insert for each
+// item in order. Every tracker returned by this package implements
+// BatchInserter: algorithms without a native path fall back to per-item
+// insertion. For an arbitrary Tracker use the InsertBatch helper.
+type BatchInserter interface {
+	// InsertBatch records one arrival for each item, in order.
+	InsertBatch(items []Item)
+}
+
+// InsertBatch feeds a batch of arrivals into any Tracker: the native batch
+// path when t implements BatchInserter, item-at-a-time Insert otherwise.
+func InsertBatch(t Tracker, items []Item) {
+	if b, ok := t.(BatchInserter); ok {
+		b.InsertBatch(items)
+		return
+	}
+	for _, it := range items {
+		t.Insert(it)
+	}
+}
+
 // wrap adapts an internal tracker to the public interface.
 type wrap struct {
 	t stream.Tracker
@@ -73,6 +98,10 @@ type wrap struct {
 
 func (w wrap) Insert(item Item) { w.t.Insert(item) }
 func (w wrap) EndPeriod()       { w.t.EndPeriod() }
+
+// InsertBatch routes a batch to the internal tracker's native batch path,
+// or falls back to per-item insertion (the generic adapter for baselines).
+func (w wrap) InsertBatch(items []Item) { stream.InsertBatch(w.t, items) }
 func (w wrap) Query(item Item) (Entry, bool) {
 	e, ok := w.t.Query(item)
 	return publicEntry(e), ok
@@ -96,3 +125,5 @@ func publicEntry(e stream.Entry) Entry {
 func internalWeights(w Weights) stream.Weights {
 	return stream.Weights{Alpha: w.Alpha, Beta: w.Beta}
 }
+
+var _ BatchInserter = wrap{}

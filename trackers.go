@@ -1,6 +1,8 @@
 package sigstream
 
 import (
+	"fmt"
+
 	"sigstream/internal/adapters"
 	"sigstream/internal/cmsketch"
 	"sigstream/internal/countsketch"
@@ -13,7 +15,11 @@ import (
 	"sigstream/internal/window"
 )
 
-// Config configures the LTC tracker created by New.
+// Config configures every tracker in this package: the LTC tracker created
+// by New/NewSharded/NewWindow and the baselines created by NewBaseline.
+// The zero value selects documented defaults (64 KiB budget, Balanced
+// weights, bucket width 8, top-k heap size 100). Constructors panic on an
+// invalid configuration; pre-check untrusted input with Validate.
 type Config struct {
 	// MemoryBytes is the total memory budget (default 64 KiB).
 	MemoryBytes int
@@ -41,6 +47,17 @@ type Config struct {
 	DecayFactor float64
 	// Seed keys the hash function.
 	Seed uint32
+	// TopK is the heap size k of the sketch-based baselines created by
+	// NewBaseline (default DefaultTopK). LTC itself needs no k at build
+	// time and ignores it.
+	TopK int
+	// Sketch selects the sketch family of the sketch-based baselines
+	// created by NewBaseline (default CM). Other trackers ignore it.
+	Sketch SketchKind
+	// ExpectedDistinct calibrates the Sampling baseline's rate to the
+	// memory budget (0 assumes one million distinct items). Other trackers
+	// ignore it.
+	ExpectedDistinct int
 }
 
 // LTC is the paper's Long-Tail CLOCK tracker. It implements Tracker and
@@ -50,11 +67,12 @@ type LTC struct {
 	l *ltc.LTC
 }
 
-// New creates an LTC tracker, the package's primary structure.
+// New creates an LTC tracker, the package's primary structure. Zero cfg
+// fields take their documented defaults; New panics if cfg is invalid
+// (pre-check untrusted input with Config.Validate).
 func New(cfg Config) *LTC {
-	if cfg.Weights == (Weights{}) {
-		cfg.Weights = Balanced
-	}
+	cfg = cfg.withDefaults()
+	mustValidate(cfg)
 	l := ltc.New(ltc.Options{
 		MemoryBytes:                cfg.MemoryBytes,
 		BucketWidth:                cfg.BucketWidth,
@@ -68,6 +86,11 @@ func New(cfg Config) *LTC {
 	})
 	return &LTC{wrap: wrap{l}, l: l}
 }
+
+// InsertBatch records one arrival for each item, in order (BatchInserter).
+// It is semantically identical to calling Insert per item but amortizes
+// the per-arrival overhead on the hot path.
+func (l *LTC) InsertBatch(items []Item) { l.l.InsertBatch(items) }
 
 // InsertAt records one arrival at a timestamp, for time-defined periods
 // (Config.PeriodDuration must be set). Period boundaries are crossed
@@ -102,23 +125,141 @@ func (l *LTC) BucketWidth() int { return l.l.BucketWidth() }
 // Occupancy reports the number of occupied cells.
 func (l *LTC) Occupancy() int { return l.l.Occupancy() }
 
+// BaselineKind selects one of the paper's baseline algorithms for
+// NewBaseline.
+type BaselineKind int
+
+const (
+	// SpaceSaving is the counter-based Space-Saving baseline (top-k
+	// frequent items; frequency only, scaled by Weights.Alpha).
+	SpaceSaving BaselineKind = iota
+	// LossyCounting is the counter-based Lossy Counting baseline (top-k
+	// frequent items; frequency only).
+	LossyCounting
+	// MisraGries is the Misra-Gries "Frequent" baseline (top-k frequent
+	// items; never overestimates).
+	MisraGries
+	// FrequentSketch is a Config.Sketch sketch plus a min-heap of
+	// Config.TopK frequent items (the paper's sketch baselines at α=1,
+	// β=0).
+	FrequentSketch
+	// PersistentSketch is a sketch+Bloom-filter+heap tracker for top-k
+	// persistent items: half the memory deduplicates appearances within
+	// the current period, the rest counts periods.
+	PersistentSketch
+	// SignificantSketch is the two-sketch tracker for top-k significant
+	// items: a frequency sketch and a persistency structure share the
+	// memory evenly, with one heap ranking by α·f̂ + β·p̂.
+	SignificantSketch
+	// PIE is the Space-Time Bloom Filter baseline for top-k persistent
+	// items. Config.MemoryBytes is its per-period budget; total memory is
+	// MemoryBytes × periods, matching the paper's T× allowance.
+	PIE
+	// Sampling is the coordinated hash-sampling baseline: a hash-defined
+	// subset of the item space (calibrated by Config.ExpectedDistinct) is
+	// tracked exactly; everything else is ignored.
+	Sampling
+)
+
+// String names the baseline for experiment output.
+func (k BaselineKind) String() string {
+	switch k {
+	case SpaceSaving:
+		return "SpaceSaving"
+	case LossyCounting:
+		return "LossyCounting"
+	case MisraGries:
+		return "MisraGries"
+	case FrequentSketch:
+		return "FrequentSketch"
+	case PersistentSketch:
+		return "PersistentSketch"
+	case SignificantSketch:
+		return "SignificantSketch"
+	case PIE:
+		return "PIE"
+	case Sampling:
+		return "Sampling"
+	}
+	return fmt.Sprintf("BaselineKind(%d)", int(k))
+}
+
+// NewBaseline creates one of the paper's baseline trackers from the same
+// Config that drives New: MemoryBytes sizes the structure (per period for
+// PIE), Weights supplies α and β, and TopK, Sketch and ExpectedDistinct
+// tune the kinds that use them. Zero fields take their documented
+// defaults; NewBaseline panics if cfg is invalid or kind is unknown
+// (pre-check untrusted input with Config.Validate).
+//
+// It replaces the eight positional-argument constructors (NewSpaceSaving,
+// NewPIE, …), which remain as thin deprecated wrappers.
+func NewBaseline(kind BaselineKind, cfg Config) Tracker {
+	cfg = cfg.withDefaults()
+	mustValidate(cfg)
+	switch kind {
+	case SpaceSaving:
+		return wrap{spacesaving.New(cfg.MemoryBytes, cfg.Weights.Alpha)}
+	case LossyCounting:
+		return wrap{lossycounting.New(cfg.MemoryBytes, cfg.Weights.Alpha)}
+	case MisraGries:
+		return wrap{misragries.New(cfg.MemoryBytes, cfg.Weights.Alpha)}
+	case FrequentSketch:
+		switch cfg.Sketch {
+		case CU:
+			return wrap{cmsketch.NewTracker(cmsketch.CU, cfg.MemoryBytes, cfg.TopK, cfg.Weights.Alpha)}
+		case Count:
+			return wrap{countsketch.NewTracker(cfg.MemoryBytes, cfg.TopK, cfg.Weights.Alpha)}
+		default:
+			return wrap{cmsketch.NewTracker(cmsketch.CM, cfg.MemoryBytes, cfg.TopK, cfg.Weights.Alpha)}
+		}
+	case PersistentSketch:
+		return wrap{adapters.NewPersistent(cfg.Sketch.factory(), cfg.MemoryBytes, cfg.TopK, cfg.Weights.Beta)}
+	case SignificantSketch:
+		return wrap{adapters.NewSignificant(cfg.Sketch.factory(), cfg.MemoryBytes, cfg.TopK, internalWeights(cfg.Weights))}
+	case PIE:
+		return wrap{pie.New(pie.Options{PerPeriodBytes: cfg.MemoryBytes, Beta: cfg.Weights.Beta, Seed: cfg.Seed})}
+	case Sampling:
+		return wrap{sampling.New(cfg.MemoryBytes, cfg.ExpectedDistinct, internalWeights(cfg.Weights))}
+	}
+	panic(fmt.Errorf("%w: unknown BaselineKind %d", ErrInvalidConfig, int(kind)))
+}
+
+// Baselines lists every BaselineKind, in declaration order, for callers
+// that sweep the whole line-up (evaluations, equivalence tests).
+func Baselines() []BaselineKind {
+	return []BaselineKind{SpaceSaving, LossyCounting, MisraGries,
+		FrequentSketch, PersistentSketch, SignificantSketch, PIE, Sampling}
+}
+
 // NewSpaceSaving creates the Space-Saving baseline (counter-based, top-k
 // frequent items). It tracks frequency only; alpha scales the reported
 // significance.
+//
+// Deprecated: Use NewBaseline(SpaceSaving, Config{MemoryBytes: memoryBytes,
+// Weights: Weights{Alpha: alpha}}).
 func NewSpaceSaving(memoryBytes int, alpha float64) Tracker {
-	return wrap{spacesaving.New(memoryBytes, alpha)}
+	return NewBaseline(SpaceSaving,
+		Config{MemoryBytes: memoryBytes, Weights: Weights{Alpha: alpha}})
 }
 
 // NewLossyCounting creates the Lossy Counting baseline (counter-based,
 // top-k frequent items). It tracks frequency only.
+//
+// Deprecated: Use NewBaseline(LossyCounting, Config{MemoryBytes:
+// memoryBytes, Weights: Weights{Alpha: alpha}}).
 func NewLossyCounting(memoryBytes int, alpha float64) Tracker {
-	return wrap{lossycounting.New(memoryBytes, alpha)}
+	return NewBaseline(LossyCounting,
+		Config{MemoryBytes: memoryBytes, Weights: Weights{Alpha: alpha}})
 }
 
 // NewMisraGries creates the Misra-Gries "Frequent" baseline (counter-based,
 // top-k frequent items; never overestimates). It tracks frequency only.
+//
+// Deprecated: Use NewBaseline(MisraGries, Config{MemoryBytes: memoryBytes,
+// Weights: Weights{Alpha: alpha}}).
 func NewMisraGries(memoryBytes int, alpha float64) Tracker {
-	return wrap{misragries.New(memoryBytes, alpha)}
+	return NewBaseline(MisraGries,
+		Config{MemoryBytes: memoryBytes, Weights: Weights{Alpha: alpha}})
 }
 
 // SketchKind selects a sketch family for the sketch-based baselines.
@@ -146,40 +287,45 @@ func (k SketchKind) factory() adapters.Factory {
 
 // NewFrequentSketch creates a sketch+min-heap tracker for top-k frequent
 // items (the paper's sketch baselines in the α=1, β=0 setting).
+//
+// Deprecated: Use NewBaseline(FrequentSketch, Config{MemoryBytes:
+// memoryBytes, TopK: k, Sketch: kind, Weights: Weights{Alpha: alpha}}).
 func NewFrequentSketch(kind SketchKind, memoryBytes, k int, alpha float64) Tracker {
-	switch kind {
-	case CU:
-		return wrap{cmsketch.NewTracker(cmsketch.CU, memoryBytes, k, alpha)}
-	case Count:
-		return wrap{countsketch.NewTracker(memoryBytes, k, alpha)}
-	default:
-		return wrap{cmsketch.NewTracker(cmsketch.CM, memoryBytes, k, alpha)}
-	}
+	return NewBaseline(FrequentSketch, Config{MemoryBytes: memoryBytes,
+		TopK: k, Sketch: kind, Weights: Weights{Alpha: alpha}})
 }
 
 // NewPersistentSketch creates the sketch+Bloom-filter+heap tracker for
 // top-k persistent items: half the memory deduplicates appearances within
 // the current period, the rest counts periods.
+//
+// Deprecated: Use NewBaseline(PersistentSketch, Config{MemoryBytes:
+// memoryBytes, TopK: k, Sketch: kind, Weights: Weights{Beta: beta}}).
 func NewPersistentSketch(kind SketchKind, memoryBytes, k int, beta float64) Tracker {
-	return wrap{adapters.NewPersistent(kind.factory(), memoryBytes, k, beta)}
+	return NewBaseline(PersistentSketch, Config{MemoryBytes: memoryBytes,
+		TopK: k, Sketch: kind, Weights: Weights{Beta: beta}})
 }
 
 // NewSignificantSketch creates the two-sketch tracker for top-k significant
 // items: a frequency sketch and a persistency structure share the memory
 // evenly, with one heap ranking by α·f̂ + β·p̂.
+//
+// Deprecated: Use NewBaseline(SignificantSketch, Config{MemoryBytes:
+// memoryBytes, TopK: k, Sketch: kind, Weights: w}).
 func NewSignificantSketch(kind SketchKind, memoryBytes, k int, w Weights) Tracker {
-	return wrap{adapters.NewSignificant(kind.factory(), memoryBytes, k,
-		internalWeights(w))}
+	return NewBaseline(SignificantSketch, Config{MemoryBytes: memoryBytes,
+		TopK: k, Sketch: kind, Weights: w})
 }
 
 // NewWindow creates a jumping-window LTC: top-k significant items over the
 // most recent windowPeriods periods, covered by `blocks` rotating
 // sub-summaries (blocks ≤ 0 selects 4). Old history expires with a
 // granularity of windowPeriods/blocks periods. Extension beyond the paper.
+// Zero cfg fields take their documented defaults; NewWindow panics if cfg
+// is invalid.
 func NewWindow(cfg Config, windowPeriods, blocks int) Tracker {
-	if cfg.Weights == (Weights{}) {
-		cfg.Weights = Balanced
-	}
+	cfg = cfg.withDefaults()
+	mustValidate(cfg)
 	return wrap{window.New(window.Options{
 		MemoryBytes:    cfg.MemoryBytes,
 		WindowPeriods:  windowPeriods,
@@ -194,14 +340,22 @@ func NewWindow(cfg Config, windowPeriods, blocks int) Tracker {
 // Space-Time Bloom Filter of perPeriodBytes per period, with fountain-coded
 // item IDs decoded at query time. Note PIE's total memory is
 // perPeriodBytes × periods, matching the paper's T× allowance.
+//
+// Deprecated: Use NewBaseline(PIE, Config{MemoryBytes: perPeriodBytes,
+// Weights: Weights{Beta: beta}}).
 func NewPIE(perPeriodBytes int, beta float64) Tracker {
-	return wrap{pie.New(pie.Options{PerPeriodBytes: perPeriodBytes, Beta: beta})}
+	return NewBaseline(PIE,
+		Config{MemoryBytes: perPeriodBytes, Weights: Weights{Beta: beta}})
 }
 
 // NewSampling creates the coordinated hash-sampling baseline: a
 // hash-defined subset of the item space is tracked exactly; everything
 // else is ignored. expectedDistinct calibrates the sampling rate to the
 // memory budget.
+//
+// Deprecated: Use NewBaseline(Sampling, Config{MemoryBytes: memoryBytes,
+// ExpectedDistinct: expectedDistinct, Weights: w}).
 func NewSampling(memoryBytes, expectedDistinct int, w Weights) Tracker {
-	return wrap{sampling.New(memoryBytes, expectedDistinct, internalWeights(w))}
+	return NewBaseline(Sampling, Config{MemoryBytes: memoryBytes,
+		ExpectedDistinct: expectedDistinct, Weights: w})
 }

@@ -3,16 +3,59 @@ package sigstream
 import (
 	"errors"
 	"fmt"
+
+	"sigstream/internal/ltc"
 )
 
 // ErrInvalidConfig wraps every configuration validation failure.
 var ErrInvalidConfig = errors.New("sigstream: invalid config")
 
-// Validate reports configuration mistakes that New would otherwise paper
-// over by clamping, plus combinations that are almost certainly not what
-// the caller intended. Call it when the configuration comes from user
-// input (flags, config files); programmatic callers with known-good values
-// can skip it.
+// Documented configuration defaults, applied in one place by every
+// constructor (New, NewSharded, NewWindow, NewBaseline).
+const (
+	// DefaultMemoryBytes is the budget used when Config.MemoryBytes is 0.
+	DefaultMemoryBytes = 64 << 10
+	// DefaultTopK is the heap size used by the sketch-based baselines when
+	// Config.TopK is 0.
+	DefaultTopK = 100
+)
+
+// withDefaults fills every zero field that has a documented default:
+// MemoryBytes → DefaultMemoryBytes, Weights → Balanced, BucketWidth →
+// ltc.DefaultBucketWidth, TopK → DefaultTopK. This is the single
+// defaulting story shared by all constructors; ad-hoc clamping elsewhere
+// is a bug.
+func (c Config) withDefaults() Config {
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = DefaultMemoryBytes
+	}
+	if c.Weights == (Weights{}) {
+		c.Weights = Balanced
+	}
+	if c.BucketWidth == 0 {
+		c.BucketWidth = ltc.DefaultBucketWidth
+	}
+	if c.TopK == 0 {
+		c.TopK = DefaultTopK
+	}
+	return c
+}
+
+// mustValidate backs the constructors' documented panic-on-invalid
+// behavior.
+func mustValidate(c Config) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// Validate reports configuration mistakes — negative sizes, weights or
+// rates, DecayFactor outside [0,1] — plus combinations that are almost
+// certainly not what the caller intended. Every constructor (New,
+// NewSharded, NewWindow, NewBaseline) applies the documented defaults to
+// zero fields and then panics on a Validate failure, so call Validate
+// first whenever the configuration comes from user input (flags, config
+// files) to turn the panic into an error you can handle.
 func (c Config) Validate() error {
 	var problems []string
 	if c.MemoryBytes < 0 {
@@ -42,6 +85,15 @@ func (c Config) Validate() error {
 	}
 	if c.DecayFactor > 0 && c.DecayFactor < 0.01 {
 		problems = append(problems, "DecayFactor < 0.01 erases nearly everything each period")
+	}
+	if c.TopK < 0 {
+		problems = append(problems, "TopK is negative")
+	}
+	if c.Sketch < CM || c.Sketch > Count {
+		problems = append(problems, "unknown Sketch kind")
+	}
+	if c.ExpectedDistinct < 0 {
+		problems = append(problems, "ExpectedDistinct is negative")
 	}
 	if len(problems) == 0 {
 		return nil

@@ -36,6 +36,9 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{Config{DecayFactor: 1.5}, "DecayFactor outside"},
 		{Config{DecayFactor: -0.1}, "DecayFactor outside"},
 		{Config{DecayFactor: 0.001}, "erases nearly everything"},
+		{Config{TopK: -1}, "TopK is negative"},
+		{Config{Sketch: SketchKind(9)}, "unknown Sketch"},
+		{Config{ExpectedDistinct: -3}, "ExpectedDistinct is negative"},
 	}
 	for _, c := range cases {
 		err := c.cfg.Validate()
@@ -58,5 +61,73 @@ func TestValidateAggregatesProblems(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), ";") {
 		t.Fatalf("multiple problems not aggregated: %v", err)
+	}
+}
+
+// mustPanicInvalid asserts fn panics with an ErrInvalidConfig-wrapped
+// error, the documented constructor behavior for invalid configurations.
+func mustPanicInvalid(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s accepted an invalid config", name)
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("%s panicked with %v, want ErrInvalidConfig", name, r)
+		}
+	}()
+	fn()
+}
+
+// TestConstructorsRejectInvalidConfig pins the shared validation story:
+// every constructor routes through Config.Validate instead of silently
+// clamping.
+func TestConstructorsRejectInvalidConfig(t *testing.T) {
+	bad := Config{MemoryBytes: -1}
+	mustPanicInvalid(t, "New", func() { New(bad) })
+	mustPanicInvalid(t, "NewSharded", func() { NewSharded(bad, 4) })
+	mustPanicInvalid(t, "NewWindow", func() { NewWindow(bad, 8, 2) })
+	mustPanicInvalid(t, "NewBaseline", func() { NewBaseline(SpaceSaving, bad) })
+	mustPanicInvalid(t, "NewBaseline kind", func() {
+		NewBaseline(BaselineKind(42), Config{})
+	})
+}
+
+// TestNewBaselineDefaultsAndKinds smoke-tests every kind through the
+// unified constructor with a zero config and checks the deprecated
+// positional constructors build the same algorithm.
+func TestNewBaselineDefaultsAndKinds(t *testing.T) {
+	for _, kind := range Baselines() {
+		tr := NewBaseline(kind, Config{})
+		if tr.Name() == "" || tr.MemoryBytes() <= 0 {
+			t.Fatalf("%v: bad zero-config tracker %q/%d",
+				kind, tr.Name(), tr.MemoryBytes())
+		}
+		tr.Insert(1)
+		tr.EndPeriod()
+	}
+	pairs := []struct {
+		kind       BaselineKind
+		deprecated Tracker
+	}{
+		{SpaceSaving, NewSpaceSaving(8<<10, 1)},
+		{LossyCounting, NewLossyCounting(8<<10, 1)},
+		{MisraGries, NewMisraGries(8<<10, 1)},
+		{FrequentSketch, NewFrequentSketch(CU, 8<<10, 50, 1)},
+		{PersistentSketch, NewPersistentSketch(CU, 8<<10, 50, 1)},
+		{SignificantSketch, NewSignificantSketch(CU, 8<<10, 50, Balanced)},
+		{PIE, NewPIE(8<<10, 1)},
+		{Sampling, NewSampling(8<<10, 1000, Balanced)},
+	}
+	for _, p := range pairs {
+		unified := NewBaseline(p.kind, Config{MemoryBytes: 8 << 10, TopK: 50,
+			Sketch: CU, ExpectedDistinct: 1000,
+			Weights: Weights{Alpha: 1, Beta: 1}})
+		if unified.Name() != p.deprecated.Name() {
+			t.Fatalf("%v: NewBaseline built %q, deprecated wrapper built %q",
+				p.kind, unified.Name(), p.deprecated.Name())
+		}
 	}
 }
