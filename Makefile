@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-figures eval eval-paper \
-	fuzz examples clean
+.PHONY: all build test race vet staticcheck cover bench bench-figures eval \
+	eval-paper fuzz examples clean
 
 all: build test vet
 
@@ -18,6 +18,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Runs staticcheck when installed (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 \
+		&& staticcheck ./... \
+		|| echo "staticcheck not installed; skipping"
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

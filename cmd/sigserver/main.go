@@ -11,27 +11,47 @@
 //	curl -s 'localhost:8080/v1/top?k=5'
 //	curl -s 'localhost:8080/v1/query?key=alice'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// Observability: every request is logged structurally (method, path,
+// status, bytes, duration); requests slower than -slow log at WARN.
+// -pprof mounts net/http/pprof under /debug/pprof for live CPU and heap
+// profiling — leave it off unless the listener is trusted-network only.
 package main
 
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
 
 	"sigstream"
+	"sigstream/internal/obs"
 	"sigstream/internal/server"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		mem    = flag.Int("mem", 1<<20, "tracker memory budget in bytes")
-		alpha  = flag.Float64("alpha", 1, "frequency weight α")
-		beta   = flag.Float64("beta", 1, "persistency weight β")
-		shards = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
-		decay  = flag.Float64("decay", 0, "per-period decay factor λ ∈ (0,1); 0 = all-history")
+		addr      = flag.String("addr", ":8080", "listen address")
+		mem       = flag.Int("mem", 1<<20, "tracker memory budget in bytes")
+		alpha     = flag.Float64("alpha", 1, "frequency weight α")
+		beta      = flag.Float64("beta", 1, "persistency weight β")
+		shards    = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		decay     = flag.Float64("decay", 0, "per-period decay factor λ ∈ (0,1); 0 = all-history")
+		slow      = flag.Duration("slow", time.Second, "slow-request log threshold (0 disables)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
+		withPprof = flag.Bool("pprof", false, "mount /debug/pprof (opt-in; exposes profiling data)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("sigserver: bad -log-level %q: %v", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	h := server.New(server.Config{
 		MemoryBytes: *mem,
@@ -39,6 +59,19 @@ func main() {
 		Shards:      *shards,
 		DecayFactor: *decay,
 	})
-	log.Printf("sigserver listening on %s (mem=%dB α=%g β=%g)", *addr, *mem, *alpha, *beta)
-	log.Fatal(http.ListenAndServe(*addr, h))
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	root := obs.LogRequests(logger, *slow, mux)
+
+	logger.Info("sigserver listening", "addr", *addr, "mem_bytes", *mem,
+		"alpha", *alpha, "beta", *beta, "shards", *shards, "pprof", *withPprof)
+	log.Fatal(http.ListenAndServe(*addr, root))
 }

@@ -29,6 +29,7 @@ func main() {
 		alpha       = flag.Float64("alpha", 1, "frequency weight α")
 		beta        = flag.Float64("beta", 1, "persistency weight β")
 		periodItems = flag.Int("period-items", 100_000, "arrivals per period when no period column is present")
+		showStats   = flag.Bool("stats", false, "print the tracker's operation counters after the ranking")
 	)
 	flag.Parse()
 
@@ -44,6 +45,9 @@ func main() {
 		os.Exit(1)
 	}
 	report(os.Stdout, tr, keys, count, *k)
+	if *showStats {
+		printStats(os.Stdout, tr)
+	}
 }
 
 // ingest feeds "key [period]" lines into the tracker, ending periods at
@@ -80,14 +84,27 @@ func ingest(r io.Reader, tr *sigstream.LTC, keys *sigstream.KeyMap, periodItems 
 	return count, nil
 }
 
-// report prints the ranking table.
+// report prints the ranking table, headed by the tracker's structured
+// snapshot (occupancy and memory come from the one StatsReporter surface
+// the HTTP service and experiment harness read too).
 func report(w io.Writer, tr *sigstream.LTC, keys *sigstream.KeyMap, count, k int) {
-	fmt.Fprintf(w, "%d arrivals, %d tracked cells, memory %d bytes\n",
-		count, tr.Occupancy(), tr.MemoryBytes())
+	st, _ := sigstream.TrackerStats(tr)
+	fmt.Fprintf(w, "%d arrivals, %d/%d cells occupied, memory %d bytes\n",
+		count, st.OccupiedCells, st.Cells, st.MemoryBytes)
 	fmt.Fprintf(w, "%-4s %-24s %12s %12s %14s\n", "#", "item", "frequency",
 		"persistency", "significance")
 	for i, e := range tr.TopK(k) {
 		fmt.Fprintf(w, "%-4d %-24s %12d %12d %14.1f\n",
 			i+1, keys.Name(e.Item), e.Frequency, e.Persistency, e.Significance)
 	}
+}
+
+// printStats dumps the tracker's cumulative operation counters — the same
+// snapshot /v1/stats serves — for offline diagnosis of eviction pressure.
+func printStats(w io.Writer, tr *sigstream.LTC) {
+	st, _ := sigstream.TrackerStats(tr)
+	fmt.Fprintf(w, "\ncounters: periods %d  hits %d  admissions %d  decrements %d  expulsions %d\n",
+		st.Periods, st.Hits, st.Admissions, st.Decrements, st.Expulsions)
+	fmt.Fprintf(w, "clock: cells swept %d  flags consumed %d  parity flips %d\n",
+		st.CellsSwept, st.FlagsConsumed, st.ParityFlips)
 }

@@ -24,15 +24,43 @@ type Entry struct {
 	Significance float64 `json:"significance"`
 }
 
-// Stats mirrors the service's /v1/stats payload.
+// TrackerStats mirrors the service's typed tracker snapshot
+// (sigstream.Stats): identity, geometry, occupancy and the cumulative
+// operation counters of the LTC core.
+type TrackerStats struct {
+	Tracker       string  `json:"tracker"`
+	MemoryBytes   int     `json:"memory_bytes"`
+	Shards        int     `json:"shards"`
+	Buckets       int     `json:"buckets"`
+	BucketWidth   int     `json:"bucket_width"`
+	Cells         int     `json:"cells"`
+	OccupiedCells int     `json:"occupied_cells"`
+	Alpha         float64 `json:"alpha"`
+	Beta          float64 `json:"beta"`
+	Periods       uint64  `json:"periods"`
+	Arrivals      uint64  `json:"arrivals"`
+	Batches       uint64  `json:"batches"`
+	BatchedItems  uint64  `json:"batched_items"`
+	Hits          uint64  `json:"hits"`
+	Admissions    uint64  `json:"admissions"`
+	Decrements    uint64  `json:"decrements"`
+	Expulsions    uint64  `json:"expulsions"`
+	FlagsConsumed uint64  `json:"flags_consumed"`
+	CellsSwept    uint64  `json:"cells_swept"`
+	ParityFlips   uint64  `json:"parity_flips"`
+}
+
+// Stats mirrors the service's /v1/stats payload: the flat service-level
+// fields plus the typed tracker snapshot.
 type Stats struct {
-	MemoryBytes int     `json:"memory_bytes"`
-	Shards      int     `json:"shards"`
-	Arrivals    uint64  `json:"arrivals"`
-	Periods     uint64  `json:"periods"`
-	Keys        int     `json:"distinct_keys_seen"`
-	Alpha       float64 `json:"alpha"`
-	Beta        float64 `json:"beta"`
+	MemoryBytes int          `json:"memory_bytes"`
+	Shards      int          `json:"shards"`
+	Arrivals    uint64       `json:"arrivals"`
+	Periods     uint64       `json:"periods"`
+	Keys        int          `json:"distinct_keys_seen"`
+	Alpha       float64      `json:"alpha"`
+	Beta        float64      `json:"beta"`
+	Tracker     TrackerStats `json:"tracker"`
 }
 
 // ErrNotTracked reports a point query for an unknown key.

@@ -108,6 +108,7 @@ func Registry() []Experiment {
 		{"pie-l", "Tuning: PIE per-item hash count", PIESweep},
 		{"extfreq", "Extensions: frequent items incl. Misra-Gries and Sampling", ExtFreqSweep},
 		{"data", "Workload distribution statistics (companion to Fig 6)", DataSweep},
+		{"stats", "Tracker operation counters vs memory (observability)", StatsSweep},
 	}
 }
 
@@ -334,7 +335,7 @@ var Groups = map[string][]string{
 	// ablation: the optimization and design-choice studies.
 	"ablation": {"8a", "8b", "11", "d", "policy", "pie-l"},
 	// extensions: everything beyond the paper.
-	"extensions": {"ext", "extfreq", "periods", "zipf"},
+	"extensions": {"ext", "extfreq", "periods", "zipf", "stats"},
 }
 
 // Expand resolves a figure id, group name, or "all" to experiments.

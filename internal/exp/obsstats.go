@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"time"
+
+	"sigstream/internal/ltc"
+	"sigstream/internal/stream"
+)
+
+// StatsSweep replays the workloads into an LTC at several memory budgets
+// and reports the tracker's own operation counters (the stream.Stats
+// snapshot every StatsReporter serves): hit rate, admission and expulsion
+// rates, significance decrements, CLOCK cells swept per arrival, and final
+// occupancy. It is the observability companion to the accuracy figures —
+// the counters explain *why* precision moves as memory shrinks (expulsion
+// rate climbs, occupancy saturates) without any oracle.
+func StatsSweep(sc Scale) Result {
+	start := time.Now()
+	w := newWorkloads(sc)
+	res := Result{Figure: "stats", Title: "Tracker operation counters vs memory (observability)",
+		PaperNote: "beyond the paper: internal counters, not an accuracy metric"}
+
+	mems := memPointsQ(sc,
+		[]int{16 << 10, 64 << 10, 256 << 10},
+		[]int{4 << 10, 16 << 10, 64 << 10})
+	for _, ds := range []string{"caida", "network", "social"} {
+		s := w.get(ds)
+		for _, mem := range mems {
+			t := ltc.New(ltc.Options{MemoryBytes: mem, Weights: stream.Balanced,
+				ItemsPerPeriod: s.ItemsPerPeriod()})
+			s.Replay(t)
+			st := t.Stats()
+			n := float64(st.Arrivals)
+			if n == 0 {
+				continue
+			}
+			x := kb(mem)
+			res.Rows = append(res.Rows,
+				Row{"stats", ds, "LTC", x, "hit-rate", float64(st.Hits) / n},
+				Row{"stats", ds, "LTC", x, "admission-rate", float64(st.Admissions) / n},
+				Row{"stats", ds, "LTC", x, "expulsion-rate", float64(st.Expulsions) / n},
+				Row{"stats", ds, "LTC", x, "decrement-rate", float64(st.Decrements) / n},
+				Row{"stats", ds, "LTC", x, "cells-swept-per-arrival", float64(st.CellsSwept) / n},
+				Row{"stats", ds, "LTC", x, "occupancy", float64(st.Occupied) / float64(st.Cells)},
+			)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

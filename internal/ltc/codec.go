@@ -10,13 +10,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"sigstream/internal/stream"
 )
 
 // codecMagic identifies an LTC checkpoint ("LTC1" little-endian).
 const codecMagic = 0x3143544c
 
-// codecVersion is bumped on any layout change.
-const codecVersion = 2
+// codecVersion is bumped on any layout change. Version 3 appended the
+// cumulative operation counters (stream.Counters), so observability state
+// survives checkpoint/restore.
+const codecVersion = 3
 
 var (
 	// ErrBadCheckpoint reports a corrupt or truncated checkpoint image.
@@ -37,7 +41,8 @@ func (l *LTC) MarshalBinary() ([]byte, error) {
 		4 + // seed
 		8 + 8 + // period duration, decay factor
 		8 + 8 + 8 + 1 + // ptr, acc, step, parity
-		8 + 8 // swept, itemsInPer
+		8 + 8 + // swept, itemsInPer
+		11*8 // operation counters
 	buf := make([]byte, 0, header+len(l.cells)*17)
 	le := binary.LittleEndian
 
@@ -71,6 +76,17 @@ func (l *LTC) MarshalBinary() ([]byte, error) {
 	buf = append(buf, l.parity)
 	app64(uint64(l.swept))
 	app64(uint64(l.itemsInPer))
+	app64(l.stats.Arrivals)
+	app64(l.stats.Batches)
+	app64(l.stats.BatchItems)
+	app64(l.stats.Hits)
+	app64(l.stats.Admissions)
+	app64(l.stats.Decrements)
+	app64(l.stats.Expulsions)
+	app64(l.stats.FlagConsumed)
+	app64(l.stats.CellsSwept)
+	app64(l.stats.Periods)
+	app64(l.stats.ParityFlips)
 
 	for i := range l.cells {
 		c := &l.cells[i]
@@ -129,6 +145,17 @@ func (l *LTC) UnmarshalBinary(data []byte) error {
 	fresh.parity = r.u8()
 	fresh.swept = int(r.u64())
 	fresh.itemsInPer = int(r.u64())
+	fresh.stats.Arrivals = r.u64()
+	fresh.stats.Batches = r.u64()
+	fresh.stats.BatchItems = r.u64()
+	fresh.stats.Hits = r.u64()
+	fresh.stats.Admissions = r.u64()
+	fresh.stats.Decrements = r.u64()
+	fresh.stats.Expulsions = r.u64()
+	fresh.stats.FlagConsumed = r.u64()
+	fresh.stats.CellsSwept = r.u64()
+	fresh.stats.Periods = r.u64()
+	fresh.stats.ParityFlips = r.u64()
 	if fresh.ptr < 0 || fresh.ptr >= fresh.m || fresh.swept < 0 || fresh.swept > fresh.m {
 		return fmt.Errorf("%w: CLOCK state out of range", ErrBadCheckpoint)
 	}
@@ -173,7 +200,7 @@ func (l *LTC) Reset() {
 	l.periodStart = 0
 	l.lastArrival = 0
 	l.timeDebt = 0
-	l.stats = Stats{}
+	l.stats = stream.Counters{}
 	if l.adaptiveStep {
 		l.step = 0
 	}

@@ -29,6 +29,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := restored.UnmarshalBinary(img); err != nil {
 		t.Fatal(err)
 	}
+	// The operation counters ride the image (codec v3): the restored
+	// tracker's snapshot is bit-identical, not zeroed.
+	if got, want := restored.Stats(), l.Stats(); got != want {
+		t.Fatalf("stats differ after restore:\ngot  %+v\nwant %+v", got, want)
+	}
+	if restored.Stats().Expulsions == 0 {
+		t.Fatal("warm 8KB tracker should have expelled items; counters look zeroed")
+	}
 	// Identical TopK and identical future behaviour.
 	a := l.TopK(50)
 	b := restored.TopK(50)

@@ -155,26 +155,7 @@ type LTC struct {
 	lastArrival  float64
 	timeDebt     float64 // cells owed to the sweep by elapsed time
 
-	stats Stats
-}
-
-// Stats are cumulative operation counters, useful for understanding how a
-// configuration behaves on a workload (e.g. how much eviction pressure the
-// replacement policy absorbed).
-type Stats struct {
-	// Arrivals is the number of Insert/InsertAt calls.
-	Arrivals uint64
-	// Hits counts arrivals that matched a tracked cell (case 1).
-	Hits uint64
-	// Admissions counts items inserted into an empty cell (case 2) or
-	// after an expulsion.
-	Admissions uint64
-	// Decrements counts Significance Decrementing operations (case 3).
-	Decrements uint64
-	// Expulsions counts evicted items.
-	Expulsions uint64
-	// FlagConsumed counts persistency credits granted by the CLOCK sweep.
-	FlagConsumed uint64
+	stats stream.Counters
 }
 
 // New builds an LTC from opts.
@@ -279,8 +260,13 @@ func (l *LTC) Insert(item stream.Item) {
 // accumulator is flushed into sweeps only when at least one whole cell is
 // owed, instead of paying the advance bookkeeping on every call.
 func (l *LTC) InsertBatch(items []stream.Item) {
+	if len(items) == 0 {
+		return
+	}
 	l.itemsInPer += len(items)
 	l.stats.Arrivals += uint64(len(items))
+	l.stats.Batches++
+	l.stats.BatchItems += uint64(len(items))
 	if l.step <= 0 {
 		// Adaptive pacing before the first EndPeriod: no sweep is owed, so
 		// the batch is pure bucket probes.
@@ -476,6 +462,7 @@ func (l *LTC) sweep(n int) {
 		}
 	}
 	l.swept += n
+	l.stats.CellsSwept += uint64(n)
 }
 
 // EndPeriod closes the current period. With the Deviation Eliminator it
@@ -492,7 +479,9 @@ func (l *LTC) EndPeriod() {
 		} else {
 			l.parity = flagEven
 		}
+		l.stats.ParityFlips++
 	}
+	l.stats.Periods++
 	l.applyDecay()
 	if l.adaptiveStep && l.itemsInPer > 0 {
 		l.step = float64(l.m) / float64(l.itemsInPer)
@@ -554,8 +543,24 @@ func (l *LTC) TopK(k int) []stream.Entry {
 	return stream.TopKFromEntries(es, k)
 }
 
-// Stats returns the cumulative operation counters.
-func (l *LTC) Stats() Stats { return l.stats }
+// Stats returns the tracker's observability snapshot: geometry, occupancy
+// and the cumulative operation counters (stream.StatsReporter). The
+// occupancy gauge scans the table, so Stats is a diagnostics call, not a
+// hot-path one.
+func (l *LTC) Stats() stream.Stats {
+	return stream.Stats{
+		Tracker:     l.Name(),
+		MemoryBytes: l.MemoryBytes(),
+		Shards:      1,
+		Buckets:     l.w,
+		BucketWidth: l.d,
+		Cells:       l.m,
+		Occupied:    l.Occupancy(),
+		Alpha:       l.opts.Weights.Alpha,
+		Beta:        l.opts.Weights.Beta,
+		Counters:    l.stats,
+	}
+}
 
 // Occupancy reports the number of occupied cells (for diagnostics).
 func (l *LTC) Occupancy() int {
@@ -577,4 +582,5 @@ func (l *LTC) String() string {
 var (
 	_ stream.Tracker       = (*LTC)(nil)
 	_ stream.BatchInserter = (*LTC)(nil)
+	_ stream.StatsReporter = (*LTC)(nil)
 )

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// LogRequests wraps next with structured request logging. Every request
+// logs at Debug; responses with status >= 500 log at Error; requests
+// slower than slow (when slow > 0) log at Warn with the threshold
+// attached, so operators can grep one line class for latency regressions.
+// A nil logger selects slog.Default.
+func LogRequests(logger *slog.Logger, slow time.Duration, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		d := time.Since(start)
+		args := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", d,
+			"remote", r.RemoteAddr,
+		}
+		switch {
+		case slow > 0 && d >= slow:
+			logger.Warn("slow request", append(args, "slow_threshold", slow)...)
+		case sw.status >= 500:
+			logger.Error("request failed", args...)
+		default:
+			logger.Debug("request", args...)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyBuckets are the histogram bounds, in seconds, used for
+// request latencies: sub-millisecond turns on the fast read endpoints up
+// through multi-second bulk inserts and checkpoint transfers.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// HTTPMetrics records per-endpoint request counts, error counts and
+// latency histograms. Wrap each handler once at mux-construction time;
+// Collect exposes the accumulated series. Safe for concurrent use.
+type HTTPMetrics struct {
+	// endpoints is built at Wrap time and read-only afterwards, so the
+	// request path takes only the owning endpoint's mutex.
+	endpoints map[string]*endpointMetrics
+	bounds    []float64
+}
+
+// endpointMetrics is one endpoint's accumulated counters.
+type endpointMetrics struct {
+	mu       sync.Mutex
+	requests uint64
+	errors   uint64 // responses with status >= 400
+	buckets  []uint64
+	sum      float64 // total latency, seconds
+}
+
+// NewHTTPMetrics creates a middleware recorder with the default latency
+// buckets.
+func NewHTTPMetrics() *HTTPMetrics {
+	return &HTTPMetrics{
+		endpoints: make(map[string]*endpointMetrics),
+		bounds:    DefaultLatencyBuckets,
+	}
+}
+
+// Wrap instruments next under the given endpoint label. Endpoints must be
+// registered before the server starts serving (Wrap is not safe to call
+// concurrently with requests).
+func (m *HTTPMetrics) Wrap(endpoint string, next http.Handler) http.Handler {
+	e := &endpointMetrics{buckets: make([]uint64, len(m.bounds)+1)}
+	m.endpoints[endpoint] = e
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		e.observe(sw.status, time.Since(start), m.bounds)
+	})
+}
+
+// observe records one finished request.
+func (e *endpointMetrics) observe(status int, d time.Duration, bounds []float64) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(bounds) && sec > bounds[i] {
+		i++
+	}
+	e.mu.Lock()
+	e.requests++
+	if status >= 400 {
+		e.errors++
+	}
+	e.buckets[i]++
+	e.sum += sec
+	e.mu.Unlock()
+}
+
+// Collect implements Collector: three families, one labeled series set per
+// endpoint, in lexical endpoint order.
+func (m *HTTPMetrics) Collect(w *Writer) {
+	for _, name := range sortedKeys(m.endpoints) {
+		e := m.endpoints[name]
+		e.mu.Lock()
+		requests, errors := e.requests, e.errors
+		buckets := append([]uint64(nil), e.buckets...)
+		sum := e.sum
+		e.mu.Unlock()
+		lbl := Label{Name: "endpoint", Value: name}
+		w.Counter("sigstream_http_requests_total",
+			"HTTP requests served, by endpoint.", float64(requests), lbl)
+		w.Counter("sigstream_http_errors_total",
+			"HTTP responses with status >= 400, by endpoint.", float64(errors), lbl)
+		w.Histogram("sigstream_http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.",
+			m.bounds, buckets, sum, lbl)
+	}
+}
+
+// statusWriter captures the response status code and byte count.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status before forwarding it.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts response bytes.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+var _ Collector = (*HTTPMetrics)(nil)

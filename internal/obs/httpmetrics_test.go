@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMetricsCountsAndErrors(t *testing.T) {
+	m := NewHTTPMetrics()
+	ok := m.Wrap("/v1/top", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	bad := m.Wrap("/v1/query", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "missing key", http.StatusBadRequest)
+	}))
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/top", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	bad.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/query", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	m.Collect(w)
+	out := sb.String()
+	for _, line := range []string{
+		`sigstream_http_requests_total{endpoint="/v1/top"} 3`,
+		`sigstream_http_errors_total{endpoint="/v1/top"} 0`,
+		`sigstream_http_requests_total{endpoint="/v1/query"} 1`,
+		`sigstream_http_errors_total{endpoint="/v1/query"} 1`,
+		`sigstream_http_request_seconds_count{endpoint="/v1/top"} 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	// The histogram must carry one bucket per configured bound plus +Inf.
+	wantBuckets := (len(DefaultLatencyBuckets) + 1) * 2 // two endpoints
+	if got := strings.Count(out, "sigstream_http_request_seconds_bucket"); got != wantBuckets {
+		t.Errorf("bucket lines = %d, want %d", got, wantBuckets)
+	}
+}
+
+func TestStatusWriterDefaultsTo200(t *testing.T) {
+	m := NewHTTPMetrics()
+	h := m.Wrap("/plain", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("implicit 200"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/plain", nil))
+
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	m.Collect(w)
+	if !strings.Contains(sb.String(), `sigstream_http_errors_total{endpoint="/plain"} 0`) {
+		t.Fatalf("implicit 200 counted as error:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,201 @@
+// Package obs is the observability layer of the sigstream service: a small
+// Prometheus text-exposition registry any component can register into, HTTP
+// middleware recording per-endpoint request counts, error counts and
+// latency histograms, and structured request logging with a slow-request
+// threshold.
+//
+// The registry deliberately implements only the subset of the Prometheus
+// text format (version 0.0.4) the service needs — counters, gauges and
+// fixed-bucket histograms — so the server stays dependency-free while
+// remaining scrapeable by any Prometheus-compatible collector.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric sample.
+type Label struct {
+	// Name is the label name (must match [a-zA-Z_][a-zA-Z0-9_]*).
+	Name string
+	// Value is the label value; it is escaped on output.
+	Value string
+}
+
+// Writer emits metric families in Prometheus text format. A # HELP/# TYPE
+// header is written once per metric name, so collectors emitting many
+// labeled samples of one family produce a well-formed exposition. Writers
+// are single-use per scrape and not safe for concurrent use.
+type Writer struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewWriter starts an exposition written to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+// Err reports the first underlying write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Counter emits one sample of a monotonically increasing counter.
+func (w *Writer) Counter(name, help string, value float64, labels ...Label) {
+	w.header(name, help, "counter")
+	w.sample(name, "", labels, value)
+}
+
+// Gauge emits one sample of a point-in-time gauge.
+func (w *Writer) Gauge(name, help string, value float64, labels ...Label) {
+	w.header(name, help, "gauge")
+	w.sample(name, "", labels, value)
+}
+
+// Histogram emits one fixed-bucket histogram: counts[i] is the number of
+// observations in (bounds[i-1], bounds[i]] (non-cumulative; Histogram
+// accumulates), sum the total of all observed values. A final +Inf bucket
+// carrying the total count and the _sum/_count series are appended, per the
+// exposition format. len(counts) must be len(bounds)+1, the last entry
+// holding observations above the largest bound.
+func (w *Writer) Histogram(name, help string, bounds []float64, counts []uint64, sum float64, labels ...Label) {
+	w.header(name, help, "histogram")
+	var cum uint64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		le := Label{Name: "le", Value: formatFloat(b)}
+		w.sample(name, "_bucket", append(labels[:len(labels):len(labels)], le), float64(cum))
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	inf := Label{Name: "le", Value: "+Inf"}
+	w.sample(name, "_bucket", append(labels[:len(labels):len(labels)], inf), float64(cum))
+	w.sample(name, "_sum", labels, sum)
+	w.sample(name, "_count", labels, float64(cum))
+}
+
+// header writes the # HELP and # TYPE lines the first time name appears.
+func (w *Writer) header(name, help, typ string) {
+	if w.err != nil || w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	_, w.err = fmt.Fprintf(w.w, "# HELP %s %s\n# TYPE %s %s\n",
+		name, strings.ReplaceAll(help, "\n", " "), name, typ)
+}
+
+// sample writes one "name{labels} value" line.
+func (w *Writer) sample(name, suffix string, labels []Label, value float64) {
+	if w.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteString(suffix)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	_, w.err = fmt.Fprintf(w.w, "%s %s\n", sb.String(), formatFloat(value))
+}
+
+// escapeLabel escapes backslash, double quote and newline per the format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a value the way Prometheus expects: integers without
+// an exponent or trailing zeros, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Collector contributes metric samples to a Registry scrape. Collect is
+// called under the registry lock once per scrape and must be fast: snapshot
+// counters, write, return.
+type Collector interface {
+	// Collect writes the collector's current samples.
+	Collect(w *Writer)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(w *Writer)
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect(w *Writer) { f(w) }
+
+// Registry fans one scrape out to every registered collector, in
+// registration order. It is an http.Handler serving the exposition, so
+// mounting it at /metrics drops the service into existing scrape configs.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a collector. Safe for concurrent use.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// WriteText writes one full exposition of every collector to w.
+func (r *Registry) WriteText(w io.Writer) error {
+	ew := NewWriter(w)
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	for _, c := range collectors {
+		c.Collect(ew)
+	}
+	return ew.Err()
+}
+
+// ServeHTTP implements http.Handler: GET returns the exposition.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteText(w)
+}
+
+// sortedKeys returns m's keys in lexical order, for stable exposition
+// output across scrapes.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("app_requests_total", "Total requests.", 42)
+	w.Gauge("app_temp", "Current temperature.", 3.5, Label{Name: "room", Value: "lab"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP app_requests_total Total requests.\n" +
+		"# TYPE app_requests_total counter\n" +
+		"app_requests_total 42\n" +
+		"# HELP app_temp Current temperature.\n" +
+		"# TYPE app_temp gauge\n" +
+		`app_temp{room="lab"} 3.5` + "\n"
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestHeaderWrittenOncePerFamily(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("hits_total", "Hits.", 1, Label{Name: "ep", Value: "a"})
+	w.Counter("hits_total", "Hits.", 2, Label{Name: "ep", Value: "b"})
+	if got := strings.Count(sb.String(), "# TYPE hits_total counter"); got != 1 {
+		t.Fatalf("TYPE header appeared %d times, want 1:\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), `hits_total{ep="b"} 2`) {
+		t.Fatalf("second sample missing:\n%s", sb.String())
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	// Non-cumulative counts 3,2,1 over bounds .1,.5 → cumulative 3,5,6.
+	w.Histogram("lat_seconds", "Latency.", []float64{0.1, 0.5},
+		[]uint64{3, 2, 1}, 1.25)
+	out := sb.String()
+	for _, line := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="0.5"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 6`,
+		"lat_seconds_sum 1.25",
+		"lat_seconds_count 6",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("c_total", "C.", 1, Label{Name: "path", Value: "a\"b\\c\nd"})
+	if !strings.Contains(sb.String(), `c_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", sb.String())
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CollectorFunc(func(w *Writer) {
+		w.Gauge("up", "Service up.", 1)
+	}))
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sigstream"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp := get(t, base+"/metrics")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q lacks exposition version", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// typeLines parses the exposition's "# TYPE <name> <kind>" headers into a
+// name→kind map, failing on malformed headers or duplicates.
+func typeLines(t *testing.T, text string) map[string]string {
+	t.Helper()
+	families := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Fatalf("malformed TYPE header %q", line)
+		}
+		name, kind := fields[2], fields[3]
+		if kind != "counter" && kind != "gauge" && kind != "histogram" {
+			t.Fatalf("unknown metric kind %q in %q", kind, line)
+		}
+		if _, dup := families[name]; dup {
+			t.Fatalf("duplicate TYPE header for %s", name)
+		}
+		families[name] = kind
+	}
+	return families
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv.URL+"/v1/insert", strings.Repeat("hot\n", 50)+"cold\n").Body.Close()
+	post(t, srv.URL+"/v1/period", "").Body.Close()
+	get(t, srv.URL+"/v1/top?k=5").Body.Close()
+
+	text := scrape(t, srv.URL)
+	families := typeLines(t, text)
+
+	if len(families) < 12 {
+		t.Fatalf("exposition has %d metric families, want >= 12:\n%s",
+			len(families), text)
+	}
+	wantKind := map[string]string{
+		"sigstream_arrivals_total":        "counter",
+		"sigstream_periods_total":         "counter",
+		"sigstream_ltc_hits_total":        "counter",
+		"sigstream_ltc_admissions_total":  "counter",
+		"sigstream_ltc_decrements_total":  "counter",
+		"sigstream_ltc_expulsions_total":  "counter",
+		"sigstream_ltc_cells_swept_total": "counter",
+		"sigstream_ltc_occupied_cells":    "gauge",
+		"sigstream_http_requests_total":   "counter",
+		"sigstream_http_request_seconds":  "histogram",
+	}
+	for name, kind := range wantKind {
+		if got := families[name]; got != kind {
+			t.Errorf("family %s: kind %q, want %q", name, got, kind)
+		}
+	}
+	// The LTC counters must reflect the ingested stream.
+	if !strings.Contains(text, "sigstream_ltc_hits_total 49") {
+		t.Errorf("hits counter not reflecting 49 repeat arrivals:\n%s", text)
+	}
+}
+
+func TestMetricsPerEndpointSeries(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv.URL+"/v1/insert", "a\nb\n").Body.Close()
+	post(t, srv.URL+"/v1/insert", "a\n").Body.Close()
+	// One error: GET on a POST-only endpoint.
+	resp := get(t, srv.URL+"/v1/insert")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/insert = %d", resp.StatusCode)
+	}
+
+	text := scrape(t, srv.URL)
+	for _, want := range []string{
+		`sigstream_http_requests_total{endpoint="/v1/insert"} 3`,
+		`sigstream_http_errors_total{endpoint="/v1/insert"} 1`,
+		`sigstream_http_request_seconds_count{endpoint="/v1/insert"} 3`,
+		`sigstream_http_request_seconds_bucket{endpoint="/v1/insert",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestStatsTypedTrackerSnapshot(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv.URL+"/v1/insert", strings.Repeat("x\n", 10)).Body.Close()
+	post(t, srv.URL+"/v1/period", "").Body.Close()
+
+	st := decode[statsResponse](t, get(t, srv.URL+"/v1/stats"))
+	if st.Tracker.Shards != 2 {
+		t.Fatalf("tracker shards %d, want 2", st.Tracker.Shards)
+	}
+	if st.Tracker.Arrivals != 10 {
+		t.Fatalf("tracker arrivals %d, want 10", st.Tracker.Arrivals)
+	}
+	if st.Tracker.Hits != 9 {
+		t.Fatalf("tracker hits %d, want 9", st.Tracker.Hits)
+	}
+	if st.Tracker.Alpha != 1 || st.Tracker.Beta != 10 {
+		t.Fatalf("tracker weights α=%g β=%g, want 1/10", st.Tracker.Alpha, st.Tracker.Beta)
+	}
+	// The flat legacy fields come from the same snapshot.
+	if st.Shards != st.Tracker.Shards || st.MemoryBytes != st.Tracker.MemoryBytes {
+		t.Fatalf("flat fields diverge from typed snapshot: %+v", st)
+	}
+}
+
+func TestRestorePreservesConfigAndStats(t *testing.T) {
+	// Regression: restore used to rebuild the tracker as
+	// NewSharded(Config{}, 1), silently dropping the configured shard
+	// count, memory budget, weights and decay.
+	srv := httptest.NewServer(New(Config{
+		MemoryBytes: 64 << 10,
+		Weights:     sigstream.Weights{Alpha: 2, Beta: 5},
+		Shards:      4,
+	}))
+	t.Cleanup(srv.Close)
+
+	post(t, srv.URL+"/v1/insert", strings.Repeat("k1\n", 20)+"k2\n").Body.Close()
+	post(t, srv.URL+"/v1/period", "").Body.Close()
+	before := decode[statsResponse](t, get(t, srv.URL+"/v1/stats"))
+
+	resp := get(t, srv.URL+"/v1/checkpoint")
+	img, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb, then restore.
+	post(t, srv.URL+"/v1/insert", "noise\n").Body.Close()
+	rr, err := http.Post(srv.URL+"/v1/restore", "application/octet-stream",
+		bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("restore status %d", rr.StatusCode)
+	}
+
+	after := decode[statsResponse](t, get(t, srv.URL+"/v1/stats"))
+	if after.Tracker.Shards != 4 {
+		t.Fatalf("restore dropped shard count: %d, want 4", after.Tracker.Shards)
+	}
+	if after.Tracker.Alpha != 2 || after.Tracker.Beta != 5 {
+		t.Fatalf("restore dropped weights: α=%g β=%g", after.Tracker.Alpha, after.Tracker.Beta)
+	}
+	if after.Tracker.MemoryBytes != before.Tracker.MemoryBytes {
+		t.Fatalf("restore changed memory: %d -> %d",
+			before.Tracker.MemoryBytes, after.Tracker.MemoryBytes)
+	}
+	// The operation counters ride the checkpoint (codec v3): the service
+	// resumes reporting where the snapshot left off.
+	if after.Tracker.Hits != before.Tracker.Hits ||
+		after.Tracker.Admissions != before.Tracker.Admissions {
+		t.Fatalf("counters did not survive restore: before hits=%d adm=%d, after hits=%d adm=%d",
+			before.Tracker.Hits, before.Tracker.Admissions,
+			after.Tracker.Hits, after.Tracker.Admissions)
+	}
+	if after.Arrivals != before.Arrivals || after.Periods != before.Periods {
+		t.Fatalf("service counters not reset to snapshot: arrivals %d/%d periods %d/%d",
+			before.Arrivals, after.Arrivals, before.Periods, after.Periods)
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	// A snapshot from a 1-shard server must not be restorable into a
+	// 2-shard server.
+	one := httptest.NewServer(New(Config{MemoryBytes: 64 << 10, Shards: 1}))
+	t.Cleanup(one.Close)
+	post(t, one.URL+"/v1/insert", "a\nb\n").Body.Close()
+	resp := get(t, one.URL+"/v1/checkpoint")
+	img, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	two := newTestServer(t) // 2 shards
+	rr, err := http.Post(two.URL+"/v1/restore", "application/octet-stream",
+		bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched restore status %d, want 409: %s", rr.StatusCode, body)
+	}
+	// The live tracker is untouched by the rejected restore.
+	st := decode[statsResponse](t, get(t, two.URL+"/v1/stats"))
+	if st.Tracker.Shards != 2 {
+		t.Fatalf("rejected restore mutated tracker: shards %d", st.Tracker.Shards)
+	}
+}

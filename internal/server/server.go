@@ -11,6 +11,11 @@
 //	GET  /v1/stats      tracker statistics
 //	GET  /v1/checkpoint download a binary snapshot of the tracker
 //	POST /v1/restore    replace the tracker state from a snapshot body
+//	GET  /metrics       Prometheus text exposition (service + LTC + HTTP series)
+//
+// Every endpoint is wrapped in obs.HTTPMetrics middleware, so /metrics
+// reports per-endpoint request counts, error counts and latency
+// histograms alongside the tracker's instrumentation counters.
 //
 // /v1/insert is batched end-to-end: the whole request body is parsed into
 // one key batch, the keys are interned under a single lock acquisition, and
@@ -31,6 +36,7 @@ import (
 	"sync"
 
 	"sigstream"
+	"sigstream/internal/obs"
 )
 
 // Config sizes the served tracker.
@@ -53,6 +59,8 @@ type Server struct {
 	mux     *http.ServeMux
 	tracker *sigstream.Sharded
 	cfg     Config
+	httpm   *obs.HTTPMetrics
+	reg     *obs.Registry
 
 	mu       sync.Mutex // guards keys and counters
 	keys     *sigstream.KeyMap
@@ -72,25 +80,44 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 8 << 20
 	}
 	s := &Server{
-		mux: http.NewServeMux(),
-		tracker: sigstream.NewSharded(sigstream.Config{
-			MemoryBytes: cfg.MemoryBytes,
-			Weights:     cfg.Weights,
-			DecayFactor: cfg.DecayFactor,
-		}, cfg.Shards),
-		cfg:  cfg,
-		keys: sigstream.NewKeyMap(),
+		mux:   http.NewServeMux(),
+		cfg:   cfg,
+		keys:  sigstream.NewKeyMap(),
+		httpm: obs.NewHTTPMetrics(),
+		reg:   obs.NewRegistry(),
 	}
-	s.mux.HandleFunc("/v1/insert", s.handleInsert)
-	s.mux.HandleFunc("/v1/period", s.handlePeriod)
-	s.mux.HandleFunc("/v1/top", s.handleTop)
-	s.mux.HandleFunc("/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("/v1/restore", s.handleRestore)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.tracker = s.newTracker()
+	for path, h := range map[string]http.HandlerFunc{
+		"/v1/insert":     s.handleInsert,
+		"/v1/period":     s.handlePeriod,
+		"/v1/top":        s.handleTop,
+		"/v1/query":      s.handleQuery,
+		"/v1/stats":      s.handleStats,
+		"/v1/checkpoint": s.handleCheckpoint,
+		"/v1/restore":    s.handleRestore,
+	} {
+		s.mux.Handle(path, s.httpm.Wrap(path, h))
+	}
+	s.reg.Register(obs.CollectorFunc(s.collectTracker))
+	s.reg.Register(s.httpm)
+	s.mux.Handle("/metrics", s.httpm.Wrap("/metrics", s.reg))
 	return s
 }
+
+// newTracker builds a tracker from the server's configuration; New and
+// /v1/restore share it so a restored tracker is validated against the same
+// geometry the server was started with.
+func (s *Server) newTracker() *sigstream.Sharded {
+	return sigstream.NewSharded(sigstream.Config{
+		MemoryBytes: s.cfg.MemoryBytes,
+		Weights:     s.cfg.Weights,
+		DecayFactor: s.cfg.DecayFactor,
+	}, s.cfg.Shards)
+}
+
+// Registry exposes the server's metrics registry so embedding programs can
+// register additional collectors into the same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // trk returns the live tracker under the lock, so /v1/restore can swap it
 // safely while other handlers run.
@@ -115,14 +142,21 @@ type entryJSON struct {
 	Significance float64 `json:"significance"`
 }
 
-type statsJSON struct {
-	MemoryBytes int     `json:"memory_bytes"`
-	Shards      int     `json:"shards"`
-	Arrivals    uint64  `json:"arrivals"`
-	Periods     uint64  `json:"periods"`
-	Keys        int     `json:"distinct_keys_seen"`
-	Alpha       float64 `json:"alpha"`
-	Beta        float64 `json:"beta"`
+// statsResponse is the /v1/stats payload: the service-level counters plus
+// the tracker's typed sigstream.Stats snapshot. The flat fields mirror the
+// pre-StatsReporter payload for existing consumers; new consumers should
+// read the structured "tracker" object. The flat fields are filled from
+// the same snapshot, not tracked separately — the typed Stats is the
+// single source of truth.
+type statsResponse struct {
+	MemoryBytes int             `json:"memory_bytes"`
+	Shards      int             `json:"shards"`
+	Arrivals    uint64          `json:"arrivals"`
+	Periods     uint64          `json:"periods"`
+	Keys        int             `json:"distinct_keys_seen"`
+	Alpha       float64         `json:"alpha"`
+	Beta        float64         `json:"beta"`
+	Tracker     sigstream.Stats `json:"tracker"`
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -231,15 +265,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	ts := s.trk().Stats()
 	s.mu.Lock()
-	st := statsJSON{
-		MemoryBytes: s.tracker.MemoryBytes(),
-		Shards:      s.tracker.Shards(),
+	st := statsResponse{
+		MemoryBytes: ts.MemoryBytes,
+		Shards:      ts.Shards,
 		Arrivals:    s.arrivals,
 		Periods:     s.periods,
 		Keys:        s.keys.Len(),
-		Alpha:       s.cfg.Weights.Alpha,
-		Beta:        s.cfg.Weights.Beta,
+		Alpha:       ts.Alpha,
+		Beta:        ts.Beta,
+		Tracker:     ts,
 	}
 	s.mu.Unlock()
 	writeJSON(w, st)
@@ -271,46 +307,72 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Restore into a fresh tracker first, then swap, so a bad image leaves
-	// the live tracker untouched. Key names are not part of the snapshot;
-	// unseen keys render as hex until re-interned.
-	fresh := sigstream.NewSharded(sigstream.Config{}, 1)
+	// the live tracker untouched. The fresh tracker is built from the
+	// server's configuration and the snapshot must match its geometry:
+	// accepting an arbitrary image would silently replace the configured
+	// shard count, memory budget and weights with whatever the snapshot
+	// carries. Key names are not part of the snapshot; unseen keys render
+	// as hex until re-interned.
+	fresh := s.newTracker()
+	want := fresh.Stats()
 	if err := fresh.UnmarshalBinary(body); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	got := fresh.Stats()
+	if got.Shards != want.Shards || got.MemoryBytes != want.MemoryBytes ||
+		got.BucketWidth != want.BucketWidth ||
+		got.Alpha != want.Alpha || got.Beta != want.Beta {
+		httpError(w, http.StatusConflict, fmt.Sprintf(
+			"snapshot geometry (shards=%d mem=%d d=%d α=%g β=%g) does not match server config (shards=%d mem=%d d=%d α=%g β=%g)",
+			got.Shards, got.MemoryBytes, got.BucketWidth, got.Alpha, got.Beta,
+			want.Shards, want.MemoryBytes, want.BucketWidth, want.Alpha, want.Beta))
+		return
+	}
+	// Reset the service counters to the snapshot's view of the stream: the
+	// tracker-level counters survive the checkpoint round-trip, so the
+	// service resumes reporting where the snapshot left off.
 	s.mu.Lock()
 	s.tracker = fresh
+	s.arrivals = got.Arrivals
+	s.periods = got.Periods
 	s.mu.Unlock()
 	writeJSON(w, map[string]int{"shards": fresh.Shards()})
 }
 
-// handleMetrics exposes the counters in Prometheus text format, so the
-// service drops into existing scrape configs.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+// collectTracker contributes the service- and tracker-level series to the
+// /metrics exposition. The historical five series keep their names; the
+// LTC core counters are exported under sigstream_ltc_*.
+func (s *Server) collectTracker(w *obs.Writer) {
+	ts := s.trk().Stats()
 	s.mu.Lock()
 	arrivals, periods, keys := s.arrivals, s.periods, s.keys.Len()
-	mem, shards := s.tracker.MemoryBytes(), s.tracker.Shards()
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP sigstream_arrivals_total Stream arrivals ingested.\n")
-	fmt.Fprintf(w, "# TYPE sigstream_arrivals_total counter\n")
-	fmt.Fprintf(w, "sigstream_arrivals_total %d\n", arrivals)
-	fmt.Fprintf(w, "# HELP sigstream_periods_total Periods closed.\n")
-	fmt.Fprintf(w, "# TYPE sigstream_periods_total counter\n")
-	fmt.Fprintf(w, "sigstream_periods_total %d\n", periods)
-	fmt.Fprintf(w, "# HELP sigstream_distinct_keys Distinct keys interned.\n")
-	fmt.Fprintf(w, "# TYPE sigstream_distinct_keys gauge\n")
-	fmt.Fprintf(w, "sigstream_distinct_keys %d\n", keys)
-	fmt.Fprintf(w, "# HELP sigstream_memory_bytes Tracker memory budget.\n")
-	fmt.Fprintf(w, "# TYPE sigstream_memory_bytes gauge\n")
-	fmt.Fprintf(w, "sigstream_memory_bytes %d\n", mem)
-	fmt.Fprintf(w, "# HELP sigstream_shards Tracker shard count.\n")
-	fmt.Fprintf(w, "# TYPE sigstream_shards gauge\n")
-	fmt.Fprintf(w, "sigstream_shards %d\n", shards)
+	w.Counter("sigstream_arrivals_total", "Stream arrivals ingested.", float64(arrivals))
+	w.Counter("sigstream_periods_total", "Periods closed.", float64(periods))
+	w.Gauge("sigstream_distinct_keys", "Distinct keys interned.", float64(keys))
+	w.Gauge("sigstream_memory_bytes", "Tracker memory budget.", float64(ts.MemoryBytes))
+	w.Gauge("sigstream_shards", "Tracker shard count.", float64(ts.Shards))
+	w.Gauge("sigstream_ltc_cells", "Total LTC cell capacity.", float64(ts.Cells))
+	w.Gauge("sigstream_ltc_occupied_cells", "Occupied LTC cells.", float64(ts.OccupiedCells))
+	w.Counter("sigstream_ltc_hits_total",
+		"Arrivals that matched a tracked cell.", float64(ts.Hits))
+	w.Counter("sigstream_ltc_admissions_total",
+		"Items installed into a cell.", float64(ts.Admissions))
+	w.Counter("sigstream_ltc_decrements_total",
+		"Significance Decrementing operations.", float64(ts.Decrements))
+	w.Counter("sigstream_ltc_expulsions_total",
+		"Items expelled from the table.", float64(ts.Expulsions))
+	w.Counter("sigstream_ltc_flags_consumed_total",
+		"Persistency credits granted by the CLOCK sweep.", float64(ts.FlagsConsumed))
+	w.Counter("sigstream_ltc_cells_swept_total",
+		"Cells passed by the CLOCK sweep pointer.", float64(ts.CellsSwept))
+	w.Counter("sigstream_ltc_parity_flips_total",
+		"Deviation-Eliminator parity flips.", float64(ts.ParityFlips))
+	w.Counter("sigstream_ltc_batches_total",
+		"Native-path InsertBatch calls.", float64(ts.Batches))
+	w.Counter("sigstream_ltc_batched_items_total",
+		"Arrivals ingested via InsertBatch.", float64(ts.BatchedItems))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

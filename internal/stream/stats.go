@@ -1,0 +1,122 @@
+package stream
+
+// Counters are the cumulative operation counters a tracker accumulates on
+// its hot path. Every field is a plain (non-atomic) add: a tracker owned by
+// one goroutine — or one shard behind its own lock — pays only an integer
+// increment per event, and concurrency-safe wrappers aggregate per-shard
+// counters at snapshot time instead of contending on shared atomics.
+type Counters struct {
+	// Arrivals is the number of Insert/InsertAt arrivals recorded.
+	Arrivals uint64
+	// Batches is the number of InsertBatch calls on the native batch path.
+	Batches uint64
+	// BatchItems is the number of arrivals that came in via InsertBatch
+	// (BatchItems/Batches is the mean batch size; Arrivals−BatchItems the
+	// per-item path's share).
+	BatchItems uint64
+	// Hits counts arrivals that matched a tracked cell (case 1).
+	Hits uint64
+	// Admissions counts items inserted into an empty cell (case 2) or
+	// after an expulsion.
+	Admissions uint64
+	// Decrements counts Significance Decrementing operations (case 3).
+	Decrements uint64
+	// Expulsions counts evicted items.
+	Expulsions uint64
+	// FlagConsumed counts persistency credits granted by the CLOCK sweep.
+	FlagConsumed uint64
+	// CellsSwept counts cells the CLOCK pointer has passed over.
+	CellsSwept uint64
+	// Periods counts EndPeriod boundaries (including implicit time-driven
+	// boundaries crossed by InsertAt).
+	Periods uint64
+	// ParityFlips counts Deviation-Eliminator parity flips; it tracks
+	// Periods when the eliminator is enabled and stays 0 in basic mode.
+	ParityFlips uint64
+}
+
+// Add accumulates other into c, field by field. It is the building block
+// for per-shard and per-block aggregation.
+func (c *Counters) Add(other Counters) {
+	c.Arrivals += other.Arrivals
+	c.Batches += other.Batches
+	c.BatchItems += other.BatchItems
+	c.Hits += other.Hits
+	c.Admissions += other.Admissions
+	c.Decrements += other.Decrements
+	c.Expulsions += other.Expulsions
+	c.FlagConsumed += other.FlagConsumed
+	c.CellsSwept += other.CellsSwept
+	c.Periods += other.Periods
+	c.ParityFlips += other.ParityFlips
+}
+
+// Stats is a structured observability snapshot of one tracker: identity,
+// geometry, occupancy, and the cumulative operation counters. Trackers
+// expose it through the StatsReporter extension; aggregating trackers
+// (sharded, windowed) merge their children's snapshots with Merge.
+type Stats struct {
+	// Tracker is the algorithm name (Tracker.Name).
+	Tracker string
+	// MemoryBytes is the accounted memory footprint.
+	MemoryBytes int
+	// Shards is the number of independent partitions (1 for single
+	// structures).
+	Shards int
+	// Buckets is w, the number of hash buckets (0 when not bucket-based).
+	Buckets int
+	// BucketWidth is d, the cells per bucket (0 when not bucket-based).
+	BucketWidth int
+	// Cells is the total cell capacity (0 when not cell-based).
+	Cells int
+	// Occupied is the number of occupied cells at snapshot time.
+	Occupied int
+	// Alpha is the frequency weight.
+	Alpha float64
+	// Beta is the persistency weight.
+	Beta float64
+	// Counters are the cumulative operation counters.
+	Counters
+}
+
+// Merge folds a child snapshot into an aggregate: counters and capacities
+// are summed, except Periods and ParityFlips, which take the maximum —
+// every child sees the same period boundaries, so summing them would
+// multiply the period count by the child count.
+func (s *Stats) Merge(child Stats) {
+	s.MemoryBytes += child.MemoryBytes
+	s.Buckets += child.Buckets
+	s.Cells += child.Cells
+	s.Occupied += child.Occupied
+	periods, flips := s.Periods, s.ParityFlips
+	s.Counters.Add(child.Counters)
+	s.Periods = periods
+	s.ParityFlips = flips
+	if child.Periods > s.Periods {
+		s.Periods = child.Periods
+	}
+	if child.ParityFlips > s.ParityFlips {
+		s.ParityFlips = child.ParityFlips
+	}
+}
+
+// StatsReporter is the optional observability extension of Tracker:
+// trackers that keep instrumentation counters implement it to expose a
+// structured snapshot. Like BatchInserter, callers should feel-test with a
+// type assertion or use a generic fallback (the public package provides
+// one).
+type StatsReporter interface {
+	// Stats returns the tracker's observability snapshot.
+	Stats() Stats
+}
+
+// CollectStats snapshots any Tracker: the native snapshot when t implements
+// StatsReporter, otherwise a minimal snapshot carrying only the identity
+// fields derivable from the Tracker interface. The second result reports
+// whether the snapshot is native.
+func CollectStats(t Tracker) (Stats, bool) {
+	if r, ok := t.(StatsReporter); ok {
+		return r.Stats(), true
+	}
+	return Stats{Tracker: t.Name(), MemoryBytes: t.MemoryBytes(), Shards: 1}, false
+}

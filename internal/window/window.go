@@ -43,6 +43,7 @@ type Window struct {
 	live         int // how many blocks contain data (≤ len(blocks))
 	periodInBlk  int
 	periodsPerBk int
+	periods      uint64 // cumulative EndPeriod count (blocks reset on rotation)
 }
 
 // New builds a Window tracker.
@@ -102,6 +103,7 @@ func (w *Window) InsertBatch(items []stream.Item) {
 // advances, expiring the oldest block.
 func (w *Window) EndPeriod() {
 	w.blocks[w.active].EndPeriod()
+	w.periods++
 	w.periodInBlk++
 	if w.periodInBlk < w.periodsPerBk {
 		return
@@ -159,7 +161,24 @@ func (w *Window) MemoryBytes() int {
 // Name identifies the tracker.
 func (w *Window) Name() string { return "LTC-window" }
 
+// Stats aggregates the blocks' snapshots (stream.StatsReporter). Operation
+// counters cover the current window contents: a block's counters expire
+// with the block when the ring rotates. Periods is the window-level
+// cumulative period count, which survives rotation.
+func (w *Window) Stats() stream.Stats {
+	s := w.blocks[w.active].Stats()
+	for i, b := range w.blocks {
+		if i != w.active {
+			s.Merge(b.Stats())
+		}
+	}
+	s.Tracker = w.Name()
+	s.Periods = w.periods
+	return s
+}
+
 var (
 	_ stream.Tracker       = (*Window)(nil)
 	_ stream.BatchInserter = (*Window)(nil)
+	_ stream.StatsReporter = (*Window)(nil)
 )

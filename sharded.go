@@ -226,7 +226,33 @@ func (s *Sharded) Name() string {
 	return fmt.Sprintf("LTC-sharded%d", len(s.shards))
 }
 
+// Stats merges the per-shard snapshots into one global view
+// (StatsReporter): capacities, occupancy and operation counters are
+// summed; Periods and ParityFlips take the per-shard maximum, since every
+// shard sees the same period boundaries. Each shard's counters are plain
+// (non-atomic) adds under that shard's existing lock, so instrumentation
+// adds no hot-path synchronization; Stats briefly takes each shard lock in
+// turn to snapshot.
+func (s *Sharded) Stats() Stats {
+	var agg stream.Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.l.Stats()
+		sh.mu.Unlock()
+		if i == 0 {
+			agg = st
+		} else {
+			agg.Merge(st)
+		}
+	}
+	agg.Tracker = s.Name()
+	agg.Shards = len(s.shards)
+	return publicStats(agg)
+}
+
 var (
 	_ Tracker       = (*Sharded)(nil)
 	_ BatchInserter = (*Sharded)(nil)
+	_ StatsReporter = (*Sharded)(nil)
 )

@@ -1,0 +1,121 @@
+package sigstream
+
+import (
+	"sigstream/internal/stream"
+)
+
+// Stats is a structured observability snapshot of one tracker: identity,
+// geometry, occupancy, and cumulative operation counters. It is the one
+// stats surface shared by the HTTP service's /v1/stats and /metrics
+// endpoints, cmd/sigtop, and the experiment harness. Counter semantics
+// follow the paper's operation cases: a Hit is an arrival matching a
+// tracked cell, an Admission fills an empty or freshly-expelled cell, a
+// Decrement is a Significance Decrementing step on a full bucket, and an
+// Expulsion evicts the decremented item once its significance reaches
+// zero. The JSON field names are the wire contract of /v1/stats.
+type Stats struct {
+	// Tracker is the algorithm name (Tracker.Name).
+	Tracker string `json:"tracker"`
+	// MemoryBytes is the accounted memory footprint.
+	MemoryBytes int `json:"memory_bytes"`
+	// Shards is the number of independent partitions (1 for unsharded
+	// trackers).
+	Shards int `json:"shards"`
+	// Buckets is w, the number of hash buckets (0 for non-bucket trackers).
+	Buckets int `json:"buckets,omitempty"`
+	// BucketWidth is d, the cells per bucket (0 for non-bucket trackers).
+	BucketWidth int `json:"bucket_width,omitempty"`
+	// Cells is the total cell capacity (0 for non-cell trackers).
+	Cells int `json:"cells,omitempty"`
+	// OccupiedCells is the number of occupied cells at snapshot time.
+	OccupiedCells int `json:"occupied_cells"`
+	// Alpha is the frequency weight α.
+	Alpha float64 `json:"alpha"`
+	// Beta is the persistency weight β.
+	Beta float64 `json:"beta"`
+	// Periods is the number of period boundaries the tracker has crossed.
+	Periods uint64 `json:"periods"`
+	// Arrivals is the number of recorded arrivals.
+	Arrivals uint64 `json:"arrivals"`
+	// Batches is the number of native-path InsertBatch calls.
+	Batches uint64 `json:"batches"`
+	// BatchedItems is the number of arrivals ingested via InsertBatch.
+	BatchedItems uint64 `json:"batched_items"`
+	// Hits counts arrivals that matched a tracked cell.
+	Hits uint64 `json:"hits"`
+	// Admissions counts items installed into a cell.
+	Admissions uint64 `json:"admissions"`
+	// Decrements counts Significance Decrementing operations.
+	Decrements uint64 `json:"decrements"`
+	// Expulsions counts evicted items.
+	Expulsions uint64 `json:"expulsions"`
+	// FlagsConsumed counts persistency credits granted by the CLOCK sweep.
+	FlagsConsumed uint64 `json:"flags_consumed"`
+	// CellsSwept counts cells the CLOCK pointer has passed over.
+	CellsSwept uint64 `json:"cells_swept"`
+	// ParityFlips counts Deviation-Eliminator parity flips (0 in basic
+	// mode).
+	ParityFlips uint64 `json:"parity_flips"`
+}
+
+// StatsReporter is the optional observability extension of Tracker,
+// mirroring BatchInserter: trackers with instrumentation counters
+// implement it to expose a structured snapshot. Every tracker returned by
+// this package implements it — LTC, Window and Sharded natively (Sharded
+// merges its per-shard counters), the baselines through a generic adapter
+// that reports identity and memory only. For an arbitrary Tracker use the
+// TrackerStats helper.
+type StatsReporter interface {
+	// Stats returns the tracker's observability snapshot. It is a
+	// diagnostics call (it may scan the structure), not a hot-path one.
+	Stats() Stats
+}
+
+// TrackerStats snapshots any Tracker: the native snapshot when t
+// implements StatsReporter, otherwise a minimal snapshot carrying the
+// identity fields derivable from the Tracker interface. The second result
+// reports whether the snapshot is native, in the same shape as the
+// InsertBatch helper's fallback contract.
+func TrackerStats(t Tracker) (Stats, bool) {
+	if r, ok := t.(StatsReporter); ok {
+		return r.Stats(), true
+	}
+	return Stats{Tracker: t.Name(), MemoryBytes: t.MemoryBytes(), Shards: 1}, false
+}
+
+// publicStats converts an internal snapshot to the public wire form.
+func publicStats(s stream.Stats) Stats {
+	return Stats{
+		Tracker:       s.Tracker,
+		MemoryBytes:   s.MemoryBytes,
+		Shards:        s.Shards,
+		Buckets:       s.Buckets,
+		BucketWidth:   s.BucketWidth,
+		Cells:         s.Cells,
+		OccupiedCells: s.Occupied,
+		Alpha:         s.Alpha,
+		Beta:          s.Beta,
+		Periods:       s.Periods,
+		Arrivals:      s.Arrivals,
+		Batches:       s.Batches,
+		BatchedItems:  s.BatchItems,
+		Hits:          s.Hits,
+		Admissions:    s.Admissions,
+		Decrements:    s.Decrements,
+		Expulsions:    s.Expulsions,
+		FlagsConsumed: s.FlagConsumed,
+		CellsSwept:    s.CellsSwept,
+		ParityFlips:   s.ParityFlips,
+	}
+}
+
+// Stats reports the wrapped tracker's snapshot (StatsReporter): the
+// internal tracker's native snapshot when it keeps counters (LTC, the
+// window tracker), or the generic identity-only fallback for baselines
+// without instrumentation.
+func (w wrap) Stats() Stats {
+	s, _ := stream.CollectStats(w.t)
+	return publicStats(s)
+}
+
+var _ StatsReporter = wrap{}

@@ -1,0 +1,163 @@
+package sigstream
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLTCStatsNative(t *testing.T) {
+	tr := New(Config{MemoryBytes: 32 << 10, ItemsPerPeriod: 100})
+	for i := 0; i < 10; i++ {
+		tr.Insert(Item(7))
+	}
+	tr.Insert(Item(8))
+	tr.EndPeriod()
+
+	st, native := TrackerStats(tr)
+	if !native {
+		t.Fatal("LTC should report native stats")
+	}
+	if st.Tracker != tr.Name() {
+		t.Fatalf("tracker name %q, want %q", st.Tracker, tr.Name())
+	}
+	if st.Arrivals != 11 {
+		t.Fatalf("arrivals %d, want 11", st.Arrivals)
+	}
+	if st.Hits != 9 {
+		t.Fatalf("hits %d, want 9 (10 arrivals of one item, first admits)", st.Hits)
+	}
+	if st.Admissions != 2 {
+		t.Fatalf("admissions %d, want 2", st.Admissions)
+	}
+	if st.Periods != 1 {
+		t.Fatalf("periods %d, want 1", st.Periods)
+	}
+	if st.Shards != 1 || st.Cells == 0 || st.Buckets == 0 {
+		t.Fatalf("geometry not populated: %+v", st)
+	}
+	if st.OccupiedCells != 2 {
+		t.Fatalf("occupied %d, want 2", st.OccupiedCells)
+	}
+	if st.MemoryBytes != tr.MemoryBytes() {
+		t.Fatalf("memory %d, want %d", st.MemoryBytes, tr.MemoryBytes())
+	}
+}
+
+func TestShardedStatsMergesShards(t *testing.T) {
+	s := NewSharded(Config{MemoryBytes: 64 << 10}, 4)
+	items := make([]Item, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		items = append(items, Item(i%50))
+	}
+	s.InsertBatch(items)
+	s.EndPeriod()
+
+	st, native := TrackerStats(s)
+	if !native {
+		t.Fatal("Sharded should report native stats")
+	}
+	if st.Shards != 4 {
+		t.Fatalf("shards %d, want 4", st.Shards)
+	}
+	if st.Arrivals != 1000 {
+		t.Fatalf("arrivals %d, want 1000 summed across shards", st.Arrivals)
+	}
+	if st.Hits+st.Admissions == 0 {
+		t.Fatal("no operation counters aggregated")
+	}
+	// All shards see the same period boundary: merged as max, not sum.
+	if st.Periods != 1 {
+		t.Fatalf("periods %d, want 1 (max across shards, not sum)", st.Periods)
+	}
+	// Capacity sums across shards and the per-shard memory sums to ~budget.
+	if st.Cells == 0 || st.MemoryBytes != s.MemoryBytes() {
+		t.Fatalf("capacity not aggregated: %+v", st)
+	}
+}
+
+func TestWindowStatsNative(t *testing.T) {
+	w := NewWindow(Config{MemoryBytes: 32 << 10}, 4, 2)
+	for p := 0; p < 6; p++ {
+		for i := 0; i < 20; i++ {
+			w.Insert(Item(i))
+		}
+		w.EndPeriod()
+	}
+	st, native := TrackerStats(w)
+	if !native {
+		t.Fatal("Window should report native stats")
+	}
+	// Periods is cumulative across block rotations.
+	if st.Periods != 6 {
+		t.Fatalf("periods %d, want 6", st.Periods)
+	}
+	if st.Arrivals == 0 {
+		t.Fatal("window arrivals not reported")
+	}
+}
+
+func TestBaselineStatsFallback(t *testing.T) {
+	for _, kind := range []BaselineKind{SpaceSaving, LossyCounting, MisraGries,
+		FrequentSketch, PersistentSketch, SignificantSketch, PIE, Sampling} {
+		tr := NewBaseline(kind, Config{MemoryBytes: 32 << 10})
+		tr.Insert(Item(1))
+		tr.EndPeriod()
+		st, _ := TrackerStats(tr)
+		if st.Tracker != tr.Name() {
+			t.Errorf("%v: name %q, want %q", kind, st.Tracker, tr.Name())
+		}
+		if st.MemoryBytes != tr.MemoryBytes() {
+			t.Errorf("%v: memory %d, want %d", kind, st.MemoryBytes, tr.MemoryBytes())
+		}
+		if st.Shards != 1 {
+			t.Errorf("%v: shards %d, want 1", kind, st.Shards)
+		}
+	}
+}
+
+func TestStatsSurviveCheckpoint(t *testing.T) {
+	tr := New(Config{MemoryBytes: 32 << 10, ItemsPerPeriod: 100})
+	for i := 0; i < 200; i++ {
+		tr.Insert(Item(i % 10))
+	}
+	tr.EndPeriod()
+	before, _ := TrackerStats(tr)
+
+	img, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Config{MemoryBytes: 32 << 10})
+	if err := restored.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := TrackerStats(restored)
+	if after != before {
+		t.Fatalf("stats changed across checkpoint:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if after.Hits == 0 || after.CellsSwept == 0 {
+		t.Fatalf("counters empty after restore: %+v", after)
+	}
+}
+
+func TestStatsJSONWireNames(t *testing.T) {
+	tr := New(Config{MemoryBytes: 16 << 10})
+	tr.Insert(Item(1))
+	st, _ := TrackerStats(tr)
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tracker", "memory_bytes", "shards",
+		"occupied_cells", "alpha", "beta", "arrivals", "hits", "admissions",
+		"decrements", "expulsions", "flags_consumed", "cells_swept",
+		"parity_flips"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON wire field %q missing: %s", key, b)
+		}
+	}
+}
