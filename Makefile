@@ -2,8 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck cover bench bench-figures eval \
-	eval-paper fuzz examples clean
+.PHONY: all build test race vet staticcheck cover bench bench-figures \
+	bench-core benchcmp bench-pipeline-smoke eval eval-paper fuzz examples \
+	clean
 
 all: build test vet
 
@@ -37,6 +38,25 @@ bench:
 # One benchmark per paper figure (quick scale).
 bench-figures:
 	$(GO) test -bench=Fig -benchtime=1x -run=^$$ .
+
+# Hot-path benchmarks (LTC core + pipeline), 10 samples each, recorded so
+# benchcmp can diff them against a baseline.
+bench-core:
+	$(GO) test -run=^$$ -bench='InsertLTC|InsertBatchLTC|TopKLTC|Pipeline' \
+		-count=10 . | tee results/bench_head.txt
+
+# Compare the current hot-path numbers against the recorded PR 2 baseline.
+# Uses benchstat when installed (go install
+# golang.org/x/perf/cmd/benchstat@latest); otherwise the raw samples are
+# still written to results/bench_head.txt.
+benchcmp: bench-core
+	@command -v benchstat >/dev/null 2>&1 \
+		&& benchstat results/bench_pr2_ltc.txt results/bench_head.txt \
+		|| echo "benchstat not installed; skipping (raw numbers in results/bench_head.txt)"
+
+# Fast sanity run of the pipeline benchmarks (what CI runs on every push).
+bench-pipeline-smoke:
+	$(GO) test -run=^$$ -bench=Pipeline -benchtime=100x .
 
 # Regenerate the full evaluation (quick scale) into results/.
 eval:

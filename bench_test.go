@@ -11,6 +11,7 @@ package sigstream
 // cmd/sigbench -scale paper.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -267,6 +268,84 @@ func BenchmarkShardedInsert(b *testing.B) { benchShardedParallel(b, 0) }
 // contention: 8 goroutines, 256-item batches partitioned by shard, one
 // lock round-trip per shard per batch.
 func BenchmarkShardedInsertBatch(b *testing.B) { benchShardedParallel(b, 256) }
+
+// benchPipelineIngest drives b.N arrivals through a Pipeline from a single
+// producer in 256-item batches, flushing once at the end. ns/op is per
+// arrival, directly comparable with benchSyncShardedIngest at the same
+// shard count: the difference is what the asynchronous front-end buys (or
+// costs) for one producer.
+func benchPipelineIngest(b *testing.B, shards int) {
+	b.Helper()
+	tr := NewSharded(Config{MemoryBytes: 1 << 20, Weights: Balanced,
+		ItemsPerPeriod: 1 << 17}, shards)
+	p := tr.Pipeline(PipelineOptions{})
+	defer p.Close()
+	s := gen.NetworkLike(1<<17, 1)
+	mask := 1<<17 - 1
+	const batch = 256
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		start := done & mask
+		end := start + batch
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		if rem := b.N - done; end-start > rem {
+			end = start + rem
+		}
+		if err := p.Submit(s.Items[start:end]); err != nil {
+			b.Fatal(err)
+		}
+		done += end - start
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchSyncShardedIngest is the synchronous single-producer counterpart:
+// the same 256-item batches applied inline via InsertBatch.
+func benchSyncShardedIngest(b *testing.B, shards int) {
+	b.Helper()
+	tr := NewSharded(Config{MemoryBytes: 1 << 20, Weights: Balanced,
+		ItemsPerPeriod: 1 << 17}, shards)
+	s := gen.NetworkLike(1<<17, 1)
+	mask := 1<<17 - 1
+	const batch = 256
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		start := done & mask
+		end := start + batch
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		if rem := b.N - done; end-start > rem {
+			end = start + rem
+		}
+		tr.InsertBatch(s.Items[start:end])
+		done += end - start
+	}
+}
+
+// BenchmarkPipelineIngest measures single-producer pipelined ingestion at
+// 1, 4 and 8 shards; compare against BenchmarkPipelineSyncIngest.
+func BenchmarkPipelineIngest(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchPipelineIngest(b, shards)
+		})
+	}
+}
+
+// BenchmarkPipelineSyncIngest measures the synchronous baseline for the
+// pipelined figure: same producer, same batches, no rings or workers.
+func BenchmarkPipelineSyncIngest(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchSyncShardedIngest(b, shards)
+		})
+	}
+}
 
 // BenchmarkTopKLTC measures top-k query latency on a warm LTC.
 func BenchmarkTopKLTC(b *testing.B) {

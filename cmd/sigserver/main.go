@@ -44,6 +44,8 @@ func main() {
 		slow      = flag.Duration("slow", time.Second, "slow-request log threshold (0 disables)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
 		withPprof = flag.Bool("pprof", false, "mount /debug/pprof (opt-in; exposes profiling data)")
+		pipelined = flag.Bool("pipeline", false, "route /v1/insert through the asynchronous sharded pipeline")
+		ring      = flag.Int("pipeline-ring", 0, "per-shard pipeline ring capacity in batches (0 = default)")
 	)
 	flag.Parse()
 
@@ -54,10 +56,12 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	h := server.New(server.Config{
-		MemoryBytes: *mem,
-		Weights:     sigstream.Weights{Alpha: *alpha, Beta: *beta},
-		Shards:      *shards,
-		DecayFactor: *decay,
+		MemoryBytes:  *mem,
+		Weights:      sigstream.Weights{Alpha: *alpha, Beta: *beta},
+		Shards:       *shards,
+		DecayFactor:  *decay,
+		Pipeline:     *pipelined,
+		PipelineRing: *ring,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
@@ -72,6 +76,7 @@ func main() {
 	root := obs.LogRequests(logger, *slow, mux)
 
 	logger.Info("sigserver listening", "addr", *addr, "mem_bytes", *mem,
-		"alpha", *alpha, "beta", *beta, "shards", *shards, "pprof", *withPprof)
+		"alpha", *alpha, "beta", *beta, "shards", *shards, "pprof", *withPprof,
+		"pipeline", *pipelined)
 	log.Fatal(http.ListenAndServe(*addr, root))
 }

@@ -100,6 +100,7 @@ func Registry() []Experiment {
 		{"14", "Finding significant items: precision vs memory (3 datasets)", Fig14},
 		{"15", "Finding significant items: ARE vs memory (3 datasets)", Fig15},
 		{"tput", "Insertion throughput (Mops)", Throughput},
+		{"pipe", "Pipelined vs synchronous sharded ingestion (Mops)", PipelineSweep},
 		{"d", "Appendix: LTC bucket width d sweep", DSweep},
 		{"policy", "Ablation: replacement policy (long-tail vs basic vs eager)", PolicySweep},
 		{"periods", "Appendix: varying the number of periods", PeriodSweep},
@@ -335,7 +336,7 @@ var Groups = map[string][]string{
 	// ablation: the optimization and design-choice studies.
 	"ablation": {"8a", "8b", "11", "d", "policy", "pie-l"},
 	// extensions: everything beyond the paper.
-	"extensions": {"ext", "extfreq", "periods", "zipf", "stats"},
+	"extensions": {"ext", "extfreq", "periods", "zipf", "stats", "pipe"},
 }
 
 // Expand resolves a figure id, group name, or "all" to experiments.

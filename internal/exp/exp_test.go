@@ -351,6 +351,21 @@ func TestThroughputReportsAllLineups(t *testing.T) {
 	}
 }
 
+func TestPipelineSweepReportsBothSeries(t *testing.T) {
+	r := PipelineSweep(tinyScale)
+	perSeries := map[string]int{}
+	for _, row := range r.Rows {
+		if row.Metric != "Mops" || row.Value <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+		perSeries[row.Series]++
+	}
+	// 4 shard counts, each measured sync and pipelined.
+	if perSeries["sync"] != 4 || perSeries["pipelined"] != 4 {
+		t.Fatalf("unexpected series coverage %v", perSeries)
+	}
+}
+
 func TestPeriodAndZipfSweepsRun(t *testing.T) {
 	r := PeriodSweep(tinyScale)
 	if len(Series(r, "Network-T100", "LTC", "precision")) != 1 {

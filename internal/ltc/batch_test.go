@@ -71,10 +71,11 @@ func TestInsertBatchMatchesInsert(t *testing.T) {
 				t.Fatalf("CLOCK state diverged: sequential ptr=%d acc=%v swept=%d, batched ptr=%d acc=%v swept=%d",
 					seq.ptr, seq.acc, seq.swept, bat.ptr, bat.acc, bat.swept)
 			}
-			for i := range seq.cells {
-				if seq.cells[i] != bat.cells[i] {
+			seqCells, batCells := seq.cellStates(), bat.cellStates()
+			for i := range seqCells {
+				if seqCells[i] != batCells[i] {
 					t.Fatalf("cell %d diverged: sequential %+v, batched %+v",
-						i, seq.cells[i], bat.cells[i])
+						i, seqCells[i], batCells[i])
 				}
 			}
 		})

@@ -43,7 +43,7 @@ func (l *LTC) MarshalBinary() ([]byte, error) {
 		8 + 8 + 8 + 1 + // ptr, acc, step, parity
 		8 + 8 + // swept, itemsInPer
 		11*8 // operation counters
-	buf := make([]byte, 0, header+len(l.cells)*17)
+	buf := make([]byte, 0, header+l.m*17)
 	le := binary.LittleEndian
 
 	app32 := func(v uint32) { buf = le.AppendUint32(buf, v) }
@@ -88,12 +88,14 @@ func (l *LTC) MarshalBinary() ([]byte, error) {
 	app64(l.stats.Periods)
 	app64(l.stats.ParityFlips)
 
-	for i := range l.cells {
-		c := &l.cells[i]
-		app64(c.id)
-		app32(c.freq)
-		app32(c.counter)
-		buf = append(buf, c.flags)
+	// Wire cells stay in the version-3 interleaved 17-byte layout; the
+	// in-memory lanes are converted on encode, so the SoA refactor is
+	// invisible to existing checkpoint images.
+	for i := 0; i < l.m; i++ {
+		app64(l.ids[i])
+		app32(l.freqs[i])
+		app32(l.counters[i])
+		buf = append(buf, l.flags[i])
 	}
 	return buf, nil
 }
@@ -172,13 +174,13 @@ func (l *LTC) UnmarshalBinary(data []byte) error {
 			len(r.data)-r.off, need)
 	}
 	for i := 0; i < fresh.m; i++ {
-		c := &fresh.cells[i]
-		c.id = le.Uint64(r.data[r.off:])
-		c.freq = le.Uint32(r.data[r.off+8:])
-		c.counter = le.Uint32(r.data[r.off+12:])
-		c.flags = r.data[r.off+16]
+		fresh.ids[i] = le.Uint64(r.data[r.off:])
+		fresh.freqs[i] = le.Uint32(r.data[r.off+8:])
+		fresh.counters[i] = le.Uint32(r.data[r.off+12:])
+		fresh.flags[i] = r.data[r.off+16]
 		r.off += 17
 	}
+	fresh.occupied = fresh.countOccupied()
 	if r.err != nil {
 		return r.err
 	}
@@ -188,9 +190,11 @@ func (l *LTC) UnmarshalBinary(data []byte) error {
 
 // Reset clears all cells and CLOCK state, keeping the configuration.
 func (l *LTC) Reset() {
-	for i := range l.cells {
-		l.cells[i] = cell{}
-	}
+	clear(l.ids)
+	clear(l.freqs)
+	clear(l.counters)
+	clear(l.flags)
+	l.occupied = 0
 	l.ptr = 0
 	l.acc = 0
 	l.swept = 0

@@ -21,15 +21,14 @@ func (l *LTC) applyDecay() {
 	if λ <= 0 || λ >= 1 {
 		return
 	}
-	for i := range l.cells {
-		c := &l.cells[i]
-		if !c.occupied() {
+	for i, f := range l.flags {
+		if f&flagOccupied == 0 {
 			continue
 		}
-		c.freq = uint32(float64(c.freq) * λ)
-		c.counter = uint32(float64(c.counter) * λ)
-		if l.significance(c) <= 0 && c.flags&(flagEven|flagOdd) == 0 {
-			c.clear()
+		l.freqs[i] = uint32(float64(l.freqs[i]) * λ)
+		l.counters[i] = uint32(float64(l.counters[i]) * λ)
+		if l.sigZero(i) && f&(flagEven|flagOdd) == 0 {
+			l.clearCell(i)
 		}
 	}
 }

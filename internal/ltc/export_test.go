@@ -1,0 +1,21 @@
+package ltc
+
+// White-box test helpers. cellState reassembles the structure-of-arrays
+// lanes into per-cell tuples so equivalence tests can compare full table
+// state between two trackers.
+
+type cellState struct {
+	id      uint64
+	freq    uint32
+	counter uint32
+	flags   uint8
+}
+
+// cellStates snapshots every cell, in table order.
+func (l *LTC) cellStates() []cellState {
+	cs := make([]cellState, l.m)
+	for i := range cs {
+		cs[i] = cellState{l.ids[i], l.freqs[i], l.counters[i], l.flags[i]}
+	}
+	return cs
+}

@@ -21,6 +21,16 @@
 //     bucket's second-smallest values minus one, recovering the frequency
 //     the new item likely spent on the eviction under a long-tail
 //     distribution.
+//
+// The table is laid out as a structure of arrays: a dense []uint64 ID lane
+// plus parallel frequency, counter and flag lanes. A Case-1 hit — the hot
+// path on any skewed stream — resolves by scanning only the ID lane, which
+// for the default d = 8 is exactly one 64-byte cache line per probe; the
+// other lanes are touched only on the matched cell. The interleaved
+// array-of-structs layout this replaced straddled three cache lines per
+// bucket scan. The serialized checkpoint format is unaffected: the codec
+// converts between the lanes and the stable interleaved wire cells on
+// encode/decode.
 package ltc
 
 import (
@@ -44,17 +54,6 @@ const (
 	flagOdd                    // appearance flag for odd-numbered periods
 	flagOccupied
 )
-
-type cell struct {
-	id      stream.Item
-	freq    uint32
-	counter uint32
-	flags   uint8
-}
-
-func (c *cell) occupied() bool { return c.flags&flagOccupied != 0 }
-
-func (c *cell) clear() { *c = cell{} }
 
 // ReplacementPolicy selects how a full bucket admits a new item — the
 // design choice the paper's Long-tail Replacement section is about. All
@@ -134,11 +133,25 @@ type Options struct {
 // LTC is the Long-Tail CLOCK structure. It is not safe for concurrent use;
 // wrap it or shard the stream for multi-goroutine ingestion.
 type LTC struct {
-	opts  Options
-	w, d  int
-	m     int // total cells, w·d
-	cells []cell
-	hash  hashing.Bob
+	opts Options
+	w, d int
+	m    int // total cells, w·d
+
+	// Cell state, structure-of-arrays. ids is the Case-1 scan lane (one
+	// cache line per d=8 bucket); the other lanes are indexed by the same
+	// cell index and touched only on match, admission, eviction or sweep.
+	ids      []uint64
+	freqs    []uint32
+	counters []uint32
+	flags    []uint8
+	occupied int // occupied-cell count, maintained on fill/clear (O(1) Occupancy)
+
+	hash hashing.Bob
+	modM uint64 // Lemire reduction constant ⌈2⁶⁴ / w⌉ (see reduce.go)
+
+	// Fixed-point significance comparator (see sig.go).
+	fixOK      bool
+	aFix, bFix uint64
 
 	// CLOCK state.
 	ptr          int     // next cell index the sweep pointer visits
@@ -175,15 +188,21 @@ func New(opts Options) *LTC {
 		opts.Replacement = ReplaceBasic
 	}
 	opts.DisableLongTailReplacement = opts.Replacement == ReplaceBasic
+	m := w * d
 	l := &LTC{
-		opts:   opts,
-		w:      w,
-		d:      d,
-		m:      w * d,
-		cells:  make([]cell, w*d),
-		hash:   hashing.NewBob(opts.Seed ^ 0x17c5),
-		parity: flagEven,
+		opts:     opts,
+		w:        w,
+		d:        d,
+		m:        m,
+		ids:      make([]uint64, m),
+		freqs:    make([]uint32, m),
+		counters: make([]uint32, m),
+		flags:    make([]uint8, m),
+		hash:     hashing.NewBob(opts.Seed ^ 0x17c5),
+		modM:     fastmodM(w),
+		parity:   flagEven,
 	}
+	l.aFix, l.bFix, l.fixOK = fixedWeights(opts.Weights)
 	if opts.ItemsPerPeriod > 0 {
 		l.step = float64(l.m) / float64(opts.ItemsPerPeriod)
 	} else {
@@ -191,6 +210,16 @@ func New(opts Options) *LTC {
 		l.step = 0 // first period relies on the EndPeriod completion sweep
 	}
 	return l
+}
+
+// fixedWeights derives the Q44.20 comparator weights, enabled only when
+// both α and β are exactly representable (sig.go documents why that makes
+// the comparison order identical to float64).
+func fixedWeights(w stream.Weights) (aFix, bFix uint64, ok bool) {
+	var aok, bok bool
+	aFix, aok = fixedWeight(w.Alpha)
+	bFix, bok = fixedWeight(w.Beta)
+	return aFix, bFix, aok && bok
 }
 
 // Buckets returns w, the number of buckets.
@@ -236,11 +265,6 @@ func (l *LTC) currentFlag() uint8 {
 		return flagEven
 	}
 	return l.parity
-}
-
-// significance computes a cell's significance α·f + β·counter.
-func (l *LTC) significance(c *cell) float64 {
-	return l.opts.Weights.Significance(uint64(c.freq), uint64(c.counter))
 }
 
 // Insert records one arrival of item (Section III-B, cases 1–3), then
@@ -297,77 +321,69 @@ func (l *LTC) InsertBatch(items []stream.Item) {
 
 // place runs the three-case bucket update for one arrival.
 //
-// The bucket is scanned twice on the miss-with-full-bucket path: a cheap
-// match/empty pass first and the significance minimum only when needed.
-// (A single merged scan was measured slower — it adds float significance
-// math to the hit path, which dominates on skewed streams.)
+// Case 1 scans only the ID lane — for d = 8 a single 64-byte cache line —
+// and touches the flag/frequency lanes on the matched cell alone. The miss
+// path re-scans the flags lane for an empty cell and only then pays the
+// significance minimum. (A single merged scan was measured slower — it adds
+// eviction bookkeeping to the hit path, which dominates on skewed streams.)
 func (l *LTC) place(item stream.Item) {
-	b := int(l.hash.Hash64(item)) % l.w
-	if b < 0 {
-		b += l.w
-	}
-	bucket := l.cells[b*l.d : (b+1)*l.d]
-
-	// Case 1: item already tracked.
-	var empty *cell
-	for i := range bucket {
-		c := &bucket[i]
-		if !c.occupied() {
-			if empty == nil {
-				empty = c
+	base := l.bucket(item) * l.d
+	end := base + l.d
+	ids := l.ids[base:end]
+	// Case 1: item already tracked. An unoccupied cell's stale ID can
+	// collide with the probe, so a candidate match confirms against the
+	// occupancy flag before counting.
+	for j := range ids {
+		if ids[j] == item {
+			i := base + j
+			if l.flags[i]&flagOccupied == 0 {
+				continue
 			}
-			continue
-		}
-		if c.id == item {
-			c.flags |= l.currentFlag()
-			c.freq++
+			l.flags[i] |= l.currentFlag()
+			l.freqs[i]++
 			l.stats.Hits++
 			return
 		}
 	}
+	l.placeMiss(item, base, end)
+}
 
+// placeMiss handles cases 2 and 3 once the ID-lane scan found no match.
+func (l *LTC) placeMiss(item stream.Item, base, end int) {
 	// Case 2: an empty cell exists.
-	if empty != nil {
-		l.fill(empty, item, 1, 0)
-		l.stats.Admissions++
-		return
+	for i := base; i < end; i++ {
+		if l.flags[i]&flagOccupied == 0 {
+			l.fill(i, item, 1, 0)
+			l.stats.Admissions++
+			return
+		}
 	}
 
 	// Case 3: full bucket.
-	smallest := &bucket[0]
-	minSig := l.significance(smallest)
-	for i := 1; i < len(bucket); i++ {
-		if s := l.significance(&bucket[i]); s < minSig {
-			minSig = s
-			smallest = &bucket[i]
-		}
-	}
+	min := l.leastIdx(base, end)
 	if l.opts.Replacement == ReplaceEager {
 		// Space-Saving rule: replace immediately, inherit min's counts plus
 		// one arrival. Reintroduces overestimation (the contrast the
 		// paper's Long-tail Replacement section draws).
-		initF, initC := smallest.freq+1, smallest.counter
-		smallest.clear()
-		l.fill(smallest, item, initF, initC)
+		l.fill(min, item, l.freqs[min]+1, l.counters[min])
 		l.stats.Expulsions++
 		l.stats.Admissions++
 		return
 	}
 	// Significance Decrementing on the smallest cell.
 	l.stats.Decrements++
-	if smallest.counter > 0 {
-		smallest.counter--
+	if l.counters[min] > 0 {
+		l.counters[min]--
 	}
-	if smallest.freq > 0 {
-		smallest.freq--
+	if l.freqs[min] > 0 {
+		l.freqs[min]--
 	}
-	if l.significance(smallest) <= 0 {
+	if l.sigZero(min) {
 		// Expel and insert the newcomer.
 		var initF, initC uint32 = 1, 0
 		switch l.opts.Replacement {
 		case ReplaceLongTail:
-			f2, c2 := l.secondSmallest(bucket, smallest)
-			initF, initC = 1, 0
+			f2, c2 := l.secondSmallest(base, end, min)
 			if f2 > 1 {
 				initF = f2 - 1
 			}
@@ -375,51 +391,39 @@ func (l *LTC) place(item stream.Item) {
 				initC = c2 - 1
 			}
 		case ReplaceSecondSmallest:
-			initF, initC = l.secondSmallest(bucket, smallest)
+			initF, initC = l.secondSmallest(base, end, min)
 			if initF < 1 {
 				initF = 1
 			}
 		}
-		smallest.clear()
-		l.fill(smallest, item, initF, initC)
+		l.fill(min, item, initF, initC)
 		l.stats.Expulsions++
 		l.stats.Admissions++
 	}
 }
 
-// fill installs item into the (empty) cell with the given initial values and
-// marks its appearance in the current period.
-func (l *LTC) fill(c *cell, item stream.Item, f, counter uint32) {
-	c.id = item
-	c.freq = f
-	c.counter = counter
-	c.flags = flagOccupied | l.currentFlag()
+// fill installs item into cell i with the given initial values and marks
+// its appearance in the current period, overwriting whatever the cell held
+// and keeping the occupancy count current.
+func (l *LTC) fill(i int, item stream.Item, f, counter uint32) {
+	if l.flags[i]&flagOccupied == 0 {
+		l.occupied++
+	}
+	l.ids[i] = item
+	l.freqs[i] = f
+	l.counters[i] = counter
+	l.flags[i] = flagOccupied | l.currentFlag()
 }
 
-// secondSmallest returns the frequency and persistency counter of the
-// least-significant surviving cell — the bucket's second smallest before
-// the expulsion. With d = 1 there is no such cell and the basic initial
-// values (1, 0) are returned.
-func (l *LTC) secondSmallest(bucket []cell, expelled *cell) (f, counter uint32) {
-	found := false
-	var minSig float64
-	var minF, minC uint32
-	for i := range bucket {
-		c := &bucket[i]
-		if c == expelled || !c.occupied() {
-			continue
-		}
-		s := l.significance(c)
-		if !found || s < minSig {
-			found = true
-			minSig = s
-			minF, minC = c.freq, c.counter
-		}
+// clearCell frees cell i, keeping the occupancy count current.
+func (l *LTC) clearCell(i int) {
+	if l.flags[i]&flagOccupied != 0 {
+		l.occupied--
 	}
-	if !found { // d == 1: no second-smallest exists
-		return 1, 0
-	}
-	return minF, minC
+	l.ids[i] = 0
+	l.freqs[i] = 0
+	l.counters[i] = 0
+	l.flags[i] = 0
 }
 
 // advanceClock moves the sweep pointer by the per-item step, scanning the
@@ -447,20 +451,23 @@ func (l *LTC) advanceClock() {
 }
 
 // sweep scans n cells from the pointer, consuming previous-period flags.
+// The scan runs over the dense flags lane, so a full-table completion sweep
+// touches m bytes instead of m interleaved cells.
 func (l *LTC) sweep(n int) {
 	prev := l.previousFlag()
+	ptr := l.ptr
 	for i := 0; i < n; i++ {
-		c := &l.cells[l.ptr]
-		if c.flags&prev != 0 {
-			c.counter++
-			c.flags &^= prev
+		if l.flags[ptr]&prev != 0 {
+			l.counters[ptr]++
+			l.flags[ptr] &^= prev
 			l.stats.FlagConsumed++
 		}
-		l.ptr++
-		if l.ptr == l.m {
-			l.ptr = 0
+		ptr++
+		if ptr == l.m {
+			ptr = 0
 		}
 	}
+	l.ptr = ptr
 	l.swept += n
 	l.stats.CellsSwept += uint64(n)
 }
@@ -492,36 +499,32 @@ func (l *LTC) EndPeriod() {
 	l.itemsInPer = 0
 }
 
-// entry converts a cell to a reported Entry. Flags that have been set but
+// entry converts cell i to a reported Entry. Flags that have been set but
 // not yet consumed by the sweep each represent one real period of
 // appearance, so they are included in the reported persistency.
-func (l *LTC) entry(c *cell) stream.Entry {
-	p := uint64(c.counter)
-	if c.flags&flagEven != 0 {
+func (l *LTC) entry(i int) stream.Entry {
+	p := uint64(l.counters[i])
+	if l.flags[i]&flagEven != 0 {
 		p++
 	}
-	if c.flags&flagOdd != 0 {
+	if l.flags[i]&flagOdd != 0 {
 		p++
 	}
 	return stream.Entry{
-		Item:         c.id,
-		Frequency:    uint64(c.freq),
+		Item:         l.ids[i],
+		Frequency:    uint64(l.freqs[i]),
 		Persistency:  p,
-		Significance: l.opts.Weights.Significance(uint64(c.freq), p),
+		Significance: l.opts.Weights.Significance(uint64(l.freqs[i]), p),
 	}
 }
 
 // Query reports the estimate for item, if tracked.
 func (l *LTC) Query(item stream.Item) (stream.Entry, bool) {
-	b := int(l.hash.Hash64(item)) % l.w
-	if b < 0 {
-		b += l.w
-	}
-	bucket := l.cells[b*l.d : (b+1)*l.d]
-	for i := range bucket {
-		c := &bucket[i]
-		if c.occupied() && c.id == item {
-			return l.entry(c), true
+	base := l.bucket(item) * l.d
+	ids := l.ids[base : base+l.d]
+	for j := range ids {
+		if ids[j] == item && l.flags[base+j]&flagOccupied != 0 {
+			return l.entry(base + j), true
 		}
 	}
 	return stream.Entry{}, false
@@ -533,20 +536,21 @@ func (l *LTC) TopK(k int) []stream.Entry {
 	if k <= 0 {
 		return nil
 	}
-	es := make([]stream.Entry, 0, k)
-	for i := range l.cells {
-		c := &l.cells[i]
-		if c.occupied() {
-			es = append(es, l.entry(c))
+	// Size by occupancy: the candidate slice holds every occupied cell, so
+	// capacity k would regrow log₂(occupied/k) times on a large table.
+	es := make([]stream.Entry, 0, l.occupied)
+	for i, f := range l.flags {
+		if f&flagOccupied != 0 {
+			es = append(es, l.entry(i))
 		}
 	}
 	return stream.TopKFromEntries(es, k)
 }
 
 // Stats returns the tracker's observability snapshot: geometry, occupancy
-// and the cumulative operation counters (stream.StatsReporter). The
-// occupancy gauge scans the table, so Stats is a diagnostics call, not a
-// hot-path one.
+// and the cumulative operation counters (stream.StatsReporter). Every gauge
+// including occupancy is O(1), so Stats is safe to call on every metrics
+// scrape.
 func (l *LTC) Stats() stream.Stats {
 	return stream.Stats{
 		Tracker:     l.Name(),
@@ -562,11 +566,16 @@ func (l *LTC) Stats() stream.Stats {
 	}
 }
 
-// Occupancy reports the number of occupied cells (for diagnostics).
-func (l *LTC) Occupancy() int {
+// Occupancy reports the number of occupied cells in O(1); the count is
+// maintained on every fill and clear.
+func (l *LTC) Occupancy() int { return l.occupied }
+
+// countOccupied rescans the flags lane; the cold paths that rebuild the
+// table wholesale (restore, merge) use it to re-derive the O(1) counter.
+func (l *LTC) countOccupied() int {
 	n := 0
-	for i := range l.cells {
-		if l.cells[i].occupied() {
+	for _, f := range l.flags {
+		if f&flagOccupied != 0 {
 			n++
 		}
 	}

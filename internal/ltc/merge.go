@@ -43,28 +43,26 @@ func (l *LTC) Merge(other *LTC) error {
 		counter uint64
 	}
 	for b := 0; b < l.w; b++ {
-		mine := l.cells[b*l.d : (b+1)*l.d]
-		theirs := other.cells[b*l.d : (b+1)*l.d]
+		base, end := b*l.d, (b+1)*l.d
 
 		sum := make(map[uint64]*merged, 2*l.d)
-		absorb := func(cells []cell, host *LTC) {
-			for i := range cells {
-				c := &cells[i]
-				if !c.occupied() {
+		absorb := func(host *LTC) {
+			for i := base; i < end; i++ {
+				if host.flags[i]&flagOccupied == 0 {
 					continue
 				}
-				e := host.entry(c) // folds pending flags into persistency
-				m := sum[c.id]
+				e := host.entry(i) // folds pending flags into persistency
+				m := sum[e.Item]
 				if m == nil {
-					m = &merged{id: c.id}
-					sum[c.id] = m
+					m = &merged{id: e.Item}
+					sum[e.Item] = m
 				}
 				m.freq += e.Frequency
 				m.counter += e.Persistency
 			}
 		}
-		absorb(mine, l)
-		absorb(theirs, other)
+		absorb(l)
+		absorb(other)
 
 		all := make([]*merged, 0, len(sum))
 		for _, m := range sum {
@@ -81,19 +79,22 @@ func (l *LTC) Merge(other *LTC) error {
 		if len(all) > l.d {
 			all = all[:l.d]
 		}
-		for i := range mine {
-			if i < len(all) {
-				mine[i] = cell{
-					id:      all[i].id,
-					freq:    saturate32(all[i].freq),
-					counter: saturate32(all[i].counter),
-					flags:   flagOccupied,
-				}
+		for j := 0; j < l.d; j++ {
+			i := base + j
+			if j < len(all) {
+				l.ids[i] = all[j].id
+				l.freqs[i] = saturate32(all[j].freq)
+				l.counters[i] = saturate32(all[j].counter)
+				l.flags[i] = flagOccupied
 			} else {
-				mine[i] = cell{}
+				l.ids[i] = 0
+				l.freqs[i] = 0
+				l.counters[i] = 0
+				l.flags[i] = 0
 			}
 		}
 	}
+	l.occupied = l.countOccupied()
 	return nil
 }
 

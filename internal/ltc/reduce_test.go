@@ -1,0 +1,59 @@
+package ltc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastmodMatchesModulo sweeps a deterministic grid of widths and
+// hashes and asserts the multiply-shift reduction is exactly h % w — not
+// merely distribution-equivalent — and always lands in [0, w).
+func TestFastmodMatchesModulo(t *testing.T) {
+	widths := []int{1, 2, 3, 5, 7, 8, 13, 64, 100, 257, 4096, 65535, 65536,
+		1 << 20, 1<<31 - 1, 1 << 31, 1<<32 - 1}
+	hashes := []uint32{0, 1, 2, 0x7fffffff, 0x80000000, 0xdeadbeef, 0xffffffff}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10_000; i++ {
+		hashes = append(hashes, rng.Uint32())
+	}
+	for _, w := range widths {
+		m := fastmodM(w)
+		for _, h := range hashes {
+			got := fastmod32(h, m, uint64(w))
+			want := uint32(uint64(h) % uint64(w))
+			if got != want {
+				t.Fatalf("fastmod32(%#x, w=%d) = %d, want %d", h, w, got, want)
+			}
+			if int(got) >= w {
+				t.Fatalf("fastmod32(%#x, w=%d) = %d out of range", h, w, got)
+			}
+		}
+	}
+}
+
+// FuzzFastmod lets the fuzzer search for a (hash, width) pair where the
+// reduction diverges from the plain remainder. None exists — the Lemire
+// fastmod identity h %% w == hi64((M·h)·w) with M = ⌈2⁶⁴/w⌉ is exact for
+// any w that fits in 32 bits — but the fuzz target encodes the claim the
+// bucket() hot path depends on.
+func FuzzFastmod(f *testing.F) {
+	f.Add(uint32(0), uint32(1))
+	f.Add(uint32(0xffffffff), uint32(1))
+	f.Add(uint32(0xdeadbeef), uint32(3))
+	f.Add(uint32(12345), uint32(4096))
+	f.Add(uint32(0xffffffff), uint32(0xffffffff))
+	f.Fuzz(func(t *testing.T, h, w32 uint32) {
+		if w32 == 0 {
+			t.Skip("table width is always >= 1")
+		}
+		w := int(w32)
+		got := fastmod32(h, fastmodM(w), uint64(w))
+		want := uint32(uint64(h) % uint64(w))
+		if got != want {
+			t.Fatalf("fastmod32(%#x, w=%d) = %d, want %d", h, w, got, want)
+		}
+		if int(got) >= w {
+			t.Fatalf("fastmod32(%#x, w=%d) = %d out of range", h, w, got)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package ltc
+
+// Fixed-point significance comparisons.
+//
+// Case 3 (Significance Decrementing) and Long-tail Replacement need to
+// *order* cells by significance α·f + β·c, not to report the value; the
+// float64 math the reporting path uses is wasted work there — two int→float
+// conversions, two multiplies and an add per cell per eviction scan. When
+// the weights are exactly representable in Q44.20 fixed point (α·2²⁰ and
+// β·2²⁰ are integers ≤ 2³¹ — true for every weighting in the paper and all
+// common deployments: 0, 0.25, 0.5, 1, 1.5, 2, 100, …), the scan instead
+// compares aFix·f + bFix·c in uint64.
+//
+// Why the order is identical to the float64 order: with f, c < 2³² and
+// aFix, bFix ≤ 2³¹, each fixed product is < 2⁶³ and the fixed sum cannot
+// overflow, so fixed-point comparison orders by the *exact* value of
+// α·f + β·c. The float64 path computes fl(fl(α·f) + fl(β·c)); rounding is
+// monotone, so the float order never contradicts the exact order — it can
+// only merge values into a tie that the exact order distinguishes, and that
+// needs a significand wider than 53 bits, i.e. a scaled sum ≥ 2⁵³
+// (significance ≥ 2³³ with 20 fractional weight bits). Frequencies are
+// 32-bit and per-item significance tops out far below that in any
+// achievable stream, so inside the representable domain every comparison —
+// including the first-minimum-wins tie-break of the scan order — matches
+// the pre-fixed-point float behavior bit for bit. The golden fixtures in
+// testdata pin this.
+//
+// Weights outside Q44.20 (negative, > 2¹¹, or with finer fractional
+// resolution, e.g. 0.3) fall back to the original float64 comparisons, so
+// exotic configurations keep their exact historical behavior too.
+
+import "math"
+
+// sigShift is the fixed-point fractional resolution (Q44.20).
+const sigShift = 20
+
+// fixedWeight converts a significance weight to Q44.20, reporting whether
+// the representation is exact and overflow-free.
+func fixedWeight(w float64) (uint64, bool) {
+	if w < 0 {
+		return 0, false
+	}
+	s := w * (1 << sigShift)
+	if s != math.Trunc(s) || s > 1<<31 {
+		return 0, false
+	}
+	return uint64(s), true
+}
+
+// sigFixed computes cell i's significance in Q44.20 (valid only when
+// l.fixOK).
+func (l *LTC) sigFixed(i int) uint64 {
+	return l.aFix*uint64(l.freqs[i]) + l.bFix*uint64(l.counters[i])
+}
+
+// sigFloat computes cell i's significance in float64 (the reporting
+// definition, and the comparison fallback for non-Q44.20 weights).
+func (l *LTC) sigFloat(i int) float64 {
+	return l.opts.Weights.Significance(uint64(l.freqs[i]), uint64(l.counters[i]))
+}
+
+// leastIdx returns the index of the least-significant cell in
+// [base, end), first-minimum-wins — the scan order Significance
+// Decrementing targets.
+func (l *LTC) leastIdx(base, end int) int {
+	min := base
+	if l.fixOK {
+		minSig := l.sigFixed(base)
+		for i := base + 1; i < end; i++ {
+			if s := l.sigFixed(i); s < minSig {
+				minSig, min = s, i
+			}
+		}
+		return min
+	}
+	minSig := l.sigFloat(base)
+	for i := base + 1; i < end; i++ {
+		if s := l.sigFloat(i); s < minSig {
+			minSig, min = s, i
+		}
+	}
+	return min
+}
+
+// sigZero reports whether cell i's significance has been decremented to
+// nothing (the expulsion condition; equals the historical float `≤ 0`
+// check for the non-negative weights both paths require).
+func (l *LTC) sigZero(i int) bool {
+	if l.fixOK {
+		return l.sigFixed(i) == 0
+	}
+	return l.sigFloat(i) <= 0
+}
+
+// secondSmallest returns the frequency and persistency counter of the
+// least-significant occupied cell in [base, end) other than skip — the
+// bucket's second smallest before an expulsion. With d = 1 there is no
+// such cell and the basic initial values (1, 0) are returned.
+func (l *LTC) secondSmallest(base, end, skip int) (f, counter uint32) {
+	found := false
+	var minF, minC uint32
+	if l.fixOK {
+		var minSig uint64
+		for i := base; i < end; i++ {
+			if i == skip || l.flags[i]&flagOccupied == 0 {
+				continue
+			}
+			if s := l.sigFixed(i); !found || s < minSig {
+				found = true
+				minSig = s
+				minF, minC = l.freqs[i], l.counters[i]
+			}
+		}
+	} else {
+		var minSig float64
+		for i := base; i < end; i++ {
+			if i == skip || l.flags[i]&flagOccupied == 0 {
+				continue
+			}
+			if s := l.sigFloat(i); !found || s < minSig {
+				found = true
+				minSig = s
+				minF, minC = l.freqs[i], l.counters[i]
+			}
+		}
+	}
+	if !found { // d == 1: no second-smallest exists
+		return 1, 0
+	}
+	return minF, minC
+}

@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordSink collects everything its shard worker delivers.
+type recordSink struct {
+	mu    sync.Mutex
+	items []uint64
+}
+
+func (r *recordSink) InsertBatch(items []uint64) {
+	r.mu.Lock()
+	r.items = append(r.items, items...)
+	r.mu.Unlock()
+}
+
+func (r *recordSink) snapshot() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uint64(nil), r.items...)
+}
+
+func modPartition(item uint64, shards int) int { return int(item % uint64(shards)) }
+
+func TestPartitionPreservesPerShardOrder(t *testing.T) {
+	sinks := []*recordSink{{}, {}, {}}
+	in := New([]Sink{sinks[0], sinks[1], sinks[2]}, Options{Partition: modPartition})
+	defer in.Close()
+
+	var want [3][]uint64
+	batch := make([]uint64, 0, 10)
+	for v := uint64(0); v < 1000; v++ {
+		batch = append(batch, v)
+		want[v%3] = append(want[v%3], v)
+		if len(batch) == 10 {
+			if err := in.Submit(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for s, sink := range sinks {
+		got := sink.snapshot()
+		if len(got) != len(want[s]) {
+			t.Fatalf("shard %d: got %d items, want %d", s, len(got), len(want[s]))
+		}
+		for i := range got {
+			if got[i] != want[s][i] {
+				t.Fatalf("shard %d item %d: got %d, want %d (order not preserved)",
+					s, i, got[i], want[s][i])
+			}
+		}
+	}
+	st := in.Stats()
+	if st.Items != 1000 {
+		t.Fatalf("Items = %d, want 1000", st.Items)
+	}
+	if st.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", st.Flushes)
+	}
+}
+
+func TestSubmitCopiesTheBatch(t *testing.T) {
+	sink := &recordSink{}
+	in := New([]Sink{sink}, Options{})
+	defer in.Close()
+	batch := []uint64{1, 2, 3}
+	if err := in.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	batch[0], batch[1], batch[2] = 9, 9, 9 // caller reuses its slice immediately
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.snapshot()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("sink saw %v, want the submitted values 1 2 3", got)
+	}
+}
+
+// gateSink blocks deliveries until released, to force ring backpressure.
+type gateSink struct {
+	gate  chan struct{}
+	count atomic.Uint64
+}
+
+func (g *gateSink) InsertBatch(items []uint64) {
+	<-g.gate
+	g.count.Add(uint64(len(items)))
+}
+
+func TestBackpressureStallsAndRecovers(t *testing.T) {
+	g := &gateSink{gate: make(chan struct{})}
+	in := New([]Sink{g}, Options{RingSize: 1})
+	defer in.Close()
+
+	done := make(chan error)
+	go func() {
+		var err error
+		for i := 0; i < 16 && err == nil; i++ {
+			err = in.Submit([]uint64{uint64(i)})
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("16 submits into a 1-deep ring with a blocked worker returned early (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+		// expected: the producer is stalled on the full ring
+	}
+	close(g.gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.count.Load(); got != 16 {
+		t.Fatalf("worker applied %d items, want 16", got)
+	}
+	if st := in.Stats(); st.Stalls == 0 {
+		t.Fatal("expected at least one recorded stall")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	sink := &recordSink{}
+	in := New([]Sink{sink}, Options{})
+	if err := in.Submit([]uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close drains: the submitted batch must have been applied.
+	if got := sink.snapshot(); len(got) != 2 {
+		t.Fatalf("close did not drain: sink saw %v", got)
+	}
+	if err := in.Submit([]uint64{3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := in.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+// panicSink fails on every delivery.
+type panicSink struct{}
+
+func (panicSink) InsertBatch([]uint64) { panic("sink exploded") }
+
+func TestSinkPanicPoisonsThePipeline(t *testing.T) {
+	in := New([]Sink{panicSink{}}, Options{})
+	defer in.Close()
+	if err := in.Submit([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err == nil {
+		t.Fatal("Flush after a sink panic returned nil, want the recorded failure")
+	}
+	// Poisoned pipeline: submissions are rejected-and-dropped, not queued,
+	// and every entry point reports the failure.
+	if err := in.Submit([]uint64{4}); err == nil {
+		t.Fatal("Submit on a poisoned pipeline returned nil")
+	}
+	if in.Err() == nil {
+		t.Fatal("Err() returned nil after a sink panic")
+	}
+	if st := in.Stats(); st.Dropped == 0 {
+		t.Fatal("expected dropped items after the failure")
+	}
+	if err := in.Close(); err == nil {
+		t.Fatal("Close returned nil, want the recorded failure")
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	sinks := []*recordSink{{}, {}, {}, {}}
+	in := New([]Sink{sinks[0], sinks[1], sinks[2], sinks[3]}, Options{RingSize: 4})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]uint64, 0, 64)
+			for i := 0; i < perProducer; i++ {
+				batch = append(batch, uint64(p*perProducer+i))
+				if len(batch) == 64 {
+					if err := in.Submit(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if err := in.Submit(batch); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	// Concurrent flushes and stats snapshots must be safe alongside the
+	// producers.
+	for i := 0; i < 10; i++ {
+		_ = in.Flush()
+		_ = in.Stats()
+	}
+	wg.Wait()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range sinks {
+		total += len(s.snapshot())
+	}
+	if total != producers*perProducer {
+		t.Fatalf("sinks saw %d items, want %d", total, producers*perProducer)
+	}
+}

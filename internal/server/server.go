@@ -52,6 +52,14 @@ type Config struct {
 	DecayFactor float64
 	// MaxBodyBytes caps an insert request body (default 8 MiB).
 	MaxBodyBytes int64
+	// Pipeline routes /v1/insert through an asynchronous sigstream.Pipeline
+	// instead of the synchronous batch path: handler goroutines partition and
+	// enqueue, per-shard workers apply. Read endpoints and period/checkpoint
+	// flush the pipeline first, so responses keep read-your-writes semantics.
+	Pipeline bool
+	// PipelineRing is the per-shard ring capacity in batches when Pipeline
+	// is on (default sigstream's DefaultRingSize).
+	PipelineRing int
 }
 
 // Server is an http.Handler serving one tracker.
@@ -62,8 +70,9 @@ type Server struct {
 	httpm   *obs.HTTPMetrics
 	reg     *obs.Registry
 
-	mu       sync.Mutex // guards keys and counters
+	mu       sync.Mutex // guards keys, counters, and the tracker/pipeline pair
 	keys     *sigstream.KeyMap
+	pipeline *sigstream.Pipeline // nil unless cfg.Pipeline; swapped with the tracker on restore
 	arrivals uint64
 	periods  uint64
 }
@@ -87,6 +96,9 @@ func New(cfg Config) *Server {
 		reg:   obs.NewRegistry(),
 	}
 	s.tracker = s.newTracker()
+	if cfg.Pipeline {
+		s.pipeline = s.tracker.Pipeline(sigstream.PipelineOptions{RingSize: cfg.PipelineRing})
+	}
 	for path, h := range map[string]http.HandlerFunc{
 		"/v1/insert":     s.handleInsert,
 		"/v1/period":     s.handlePeriod,
@@ -126,6 +138,39 @@ func (s *Server) trk() *sigstream.Sharded {
 	t := s.tracker
 	s.mu.Unlock()
 	return t
+}
+
+// pipe returns the live pipeline (nil when disabled) under the lock.
+func (s *Server) pipe() *sigstream.Pipeline {
+	s.mu.Lock()
+	p := s.pipeline
+	s.mu.Unlock()
+	return p
+}
+
+// barrier flushes the pipeline, if any, so the following read or period
+// operation observes every previously accepted insert. A restore may close
+// the pipeline concurrently; the resulting ErrClosed only means there is
+// nothing left to flush, so it is not surfaced.
+func (s *Server) barrier() error {
+	p := s.pipe()
+	if p == nil {
+		return nil
+	}
+	if err := p.Flush(); err != nil && err != sigstream.ErrPipelineClosed {
+		return err
+	}
+	return nil
+}
+
+// Close releases the pipeline workers, if any. The HTTP handlers remain
+// usable (reads still work); it exists so embedding programs can shut the
+// ingestion path down cleanly.
+func (s *Server) Close() error {
+	if p := s.pipe(); p != nil {
+		return p.Close()
+	}
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -185,7 +230,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, s.keys.Intern(string(line)))
 	}
 	s.mu.Unlock()
-	trk.InsertBatch(batch)
+	if p := s.pipe(); p != nil {
+		if err := p.Submit(batch); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+			return
+		}
+	} else {
+		trk.InsertBatch(batch)
+	}
 	n := uint64(len(batch))
 	s.mu.Lock()
 	s.arrivals += n
@@ -196,6 +248,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	// The period boundary must land after every accepted insert.
+	if err := s.barrier(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
 		return
 	}
 	s.trk().EndPeriod()
@@ -219,6 +276,10 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k = parsed
+	}
+	if err := s.barrier(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+		return
 	}
 	entries := s.trk().TopK(k)
 	out := make([]entryJSON, len(entries))
@@ -246,6 +307,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "key required")
 		return
 	}
+	if err := s.barrier(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+		return
+	}
 	e, ok := s.trk().Query(sigstream.HashKey(key))
 	if !ok {
 		httpError(w, http.StatusNotFound, "not tracked")
@@ -263,6 +328,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if err := s.barrier(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
 		return
 	}
 	ts := s.trk().Stats()
@@ -284,6 +353,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if err := s.barrier(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
 		return
 	}
 	img, err := s.trk().MarshalBinary()
@@ -331,12 +404,23 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	// Reset the service counters to the snapshot's view of the stream: the
 	// tracker-level counters survive the checkpoint round-trip, so the
-	// service resumes reporting where the snapshot left off.
+	// service resumes reporting where the snapshot left off. A pipeline is
+	// bound to one tracker, so the old one is retired with the old tracker
+	// and a fresh one is started over the restored state; the retired
+	// pipeline is drained outside the lock (its items target the replaced
+	// tracker, which is being discarded anyway).
 	s.mu.Lock()
+	old := s.pipeline
+	if old != nil {
+		s.pipeline = fresh.Pipeline(sigstream.PipelineOptions{RingSize: s.cfg.PipelineRing})
+	}
 	s.tracker = fresh
 	s.arrivals = got.Arrivals
 	s.periods = got.Periods
 	s.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
 	writeJSON(w, map[string]int{"shards": fresh.Shards()})
 }
 
@@ -373,6 +457,27 @@ func (s *Server) collectTracker(w *obs.Writer) {
 		"Native-path InsertBatch calls.", float64(ts.Batches))
 	w.Counter("sigstream_ltc_batched_items_total",
 		"Arrivals ingested via InsertBatch.", float64(ts.BatchedItems))
+	if p := s.pipe(); p != nil {
+		ps := p.Stats()
+		w.Gauge("sigstream_pipeline_shards", "Pipeline shard workers.", float64(ps.Shards))
+		w.Gauge("sigstream_pipeline_ring_capacity",
+			"Per-shard ring capacity in batches.", float64(ps.RingCapacity))
+		for i, d := range ps.RingDepth {
+			w.Gauge("sigstream_pipeline_ring_depth",
+				"Current ring depth in batches.", float64(d),
+				obs.Label{Name: "shard", Value: strconv.Itoa(i)})
+		}
+		w.Counter("sigstream_pipeline_items_total",
+			"Items accepted by the pipeline.", float64(ps.Items))
+		w.Counter("sigstream_pipeline_batches_total",
+			"Sub-batches enqueued onto rings.", float64(ps.Batches))
+		w.Counter("sigstream_pipeline_stalls_total",
+			"Ring sends that blocked on a full ring (backpressure).", float64(ps.Stalls))
+		w.Counter("sigstream_pipeline_flushes_total",
+			"Completed pipeline flush drains.", float64(ps.Flushes))
+		w.Counter("sigstream_pipeline_dropped_total",
+			"Items discarded after a worker failure.", float64(ps.Dropped))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,204 @@
+package sigstream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sigstream/internal/gen"
+)
+
+// feedPipelined replays the same stream through a Pipeline in ragged batch
+// sizes, flushing before every period boundary so the boundary lands at
+// the same arrival as the synchronous paths.
+func feedPipelined(t *testing.T, tr *Sharded, p *Pipeline, items []Item, per int) {
+	t.Helper()
+	sizes := []int{1, 7, 256, 3, 64, 1000}
+	si := 0
+	fed := 0
+	for off := 0; off < len(items); {
+		n := sizes[si%len(sizes)]
+		si++
+		if rem := per - fed; n > rem {
+			n = rem
+		}
+		if rem := len(items) - off; n > rem {
+			n = rem
+		}
+		if err := p.Submit(items[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		fed += n
+		if fed == per {
+			if err := p.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			tr.EndPeriod()
+			fed = 0
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fed != 0 {
+		tr.EndPeriod()
+	}
+}
+
+// TestPipelineEquivalence asserts the three ingestion paths — per-item
+// Insert, partitioned InsertBatch, and the asynchronous Pipeline — leave a
+// Sharded tracker in bit-identical state for a single producer: same
+// top-k ranking, same per-item estimates, same operation counters.
+func TestPipelineEquivalence(t *testing.T) {
+	s := gen.NetworkLike(60_000, 11)
+	per := s.ItemsPerPeriod()
+	cfg := Config{MemoryBytes: 64 << 10, Weights: Balanced, ItemsPerPeriod: per}
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			seq := NewSharded(cfg, shards)
+			bat := NewSharded(cfg, shards)
+			pip := NewSharded(cfg, shards)
+			feedSequential(seq, s.Items, per)
+			feedBatched(bat, s.Items, per)
+			p := pip.Pipeline(PipelineOptions{RingSize: 4})
+			feedPipelined(t, pip, p, s.Items, per)
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, seq, bat)
+			assertSameResults(t, seq, pip)
+			// The operation counters must match too (how arrivals were
+			// framed into batches is the only allowed difference).
+			ss, ps := seq.Stats(), pip.Stats()
+			ss.Batches, ss.BatchedItems = 0, 0
+			ps.Batches, ps.BatchedItems = 0, 0
+			if ss != ps {
+				t.Fatalf("stats diverged:\nsequential %+v\npipelined  %+v", ss, ps)
+			}
+			st := p.Stats()
+			if st.Items != uint64(len(s.Items)) {
+				t.Fatalf("pipeline accepted %d items, want %d", st.Items, len(s.Items))
+			}
+		})
+	}
+}
+
+// TestPipelineMixedWithDirectInserts checks a pipeline coexists with
+// direct synchronous calls on the same tracker (both are documented as
+// allowed — they serialize on the shard locks).
+func TestPipelineMixedWithDirectInserts(t *testing.T) {
+	tr := NewSharded(Config{MemoryBytes: 32 << 10, Weights: Balanced,
+		ItemsPerPeriod: 1000}, 4)
+	p := tr.Pipeline(PipelineOptions{})
+	defer p.Close()
+	for i := 0; i < 500; i++ {
+		tr.Insert(Item(i))
+	}
+	if err := p.Submit(seqItems(500, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Stats().Arrivals; got != 1000 {
+		t.Fatalf("arrivals = %d, want 1000", got)
+	}
+}
+
+// TestPipelineRestart checks a Sharded tracker outlives its pipeline: a
+// second pipeline over the same tracker keeps ingesting where the first
+// stopped.
+func TestPipelineRestart(t *testing.T) {
+	tr := NewSharded(Config{MemoryBytes: 32 << 10, Weights: Balanced,
+		ItemsPerPeriod: 1000}, 4)
+	p1 := tr.Pipeline(PipelineOptions{})
+	if err := p1.Submit(seqItems(0, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := tr.Pipeline(PipelineOptions{})
+	defer p2.Close()
+	if err := p2.Submit(seqItems(400, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Stats().Arrivals; got != 1000 {
+		t.Fatalf("arrivals = %d, want 1000", got)
+	}
+}
+
+func seqItems(lo, hi int) []Item {
+	items := make([]Item, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		items = append(items, Item(i))
+	}
+	return items
+}
+
+// TestPipelineConcurrentStress hammers one pipelined tracker from many
+// producers while readers run TopK/Query/Stats and a coordinator flushes
+// and closes periods — the -race configuration this repository's CI runs
+// must stay clean, and no arrival may be lost.
+func TestPipelineConcurrentStress(t *testing.T) {
+	producers := 8
+	perProducer := 20_000
+	if testing.Short() {
+		producers, perProducer = 4, 4_000
+	}
+	s := gen.NetworkLike(producers*perProducer, 13)
+	tr := NewSharded(Config{MemoryBytes: 256 << 10, Weights: Balanced,
+		ItemsPerPeriod: 1 << 14}, 8)
+	p := tr.Pipeline(PipelineOptions{RingSize: 8})
+
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items := s.Items[g*perProducer : (g+1)*perProducer]
+			for off := 0; off < len(items); off += 512 {
+				end := off + 512
+				if end > len(items) {
+					end = len(items)
+				}
+				if err := p.Submit(items[off:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.TopK(20)
+			_, _ = tr.Query(s.Items[0])
+			_ = tr.Stats()
+			_ = p.Stats()
+			_ = p.Flush()
+			tr.EndPeriod()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Stats().Arrivals, uint64(producers*perProducer); got != want {
+		t.Fatalf("arrivals = %d, want %d (lost items in the pipeline)", got, want)
+	}
+}
