@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck cover bench bench-figures \
-	bench-core benchcmp bench-pipeline-smoke eval eval-paper fuzz examples \
-	clean
+.PHONY: all build test race vet staticcheck lint siglint siglint-escapes \
+	cover bench bench-figures bench-core benchcmp bench-pipeline-smoke \
+	eval eval-paper fuzz fuzz-smoke examples clean
 
-all: build test vet
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,18 @@ staticcheck:
 	@command -v staticcheck >/dev/null 2>&1 \
 		&& staticcheck ./... \
 		|| echo "staticcheck not installed; skipping"
+
+# The full lint surface: go vet, staticcheck (if installed), the
+# repo-specific analyzers, and the zero-alloc hot-path gate.
+lint: vet staticcheck siglint siglint-escapes
+
+# Repo-specific analyzers (see DESIGN.md "Static analysis").
+siglint:
+	$(GO) run ./cmd/siglint ./...
+
+# Verify every //sig:noalloc function compiles without heap escapes.
+siglint-escapes:
+	$(GO) run ./cmd/siglint -escapes ./...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -71,6 +83,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/ltc/
 	$(GO) test -fuzz=FuzzReadText -fuzztime=30s ./internal/traceio/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/traceio/
+
+# The quick fuzz pass CI runs on every push (10s per LTC target).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz='^FuzzOps$$' -fuzztime=10s ./internal/ltc/
+	$(GO) test -run=^$$ -fuzz='^FuzzCheckpoint$$' -fuzztime=10s ./internal/ltc/
+	$(GO) test -run=^$$ -fuzz='^FuzzFastmod$$' -fuzztime=10s ./internal/ltc/
 
 examples:
 	$(GO) run ./examples/quickstart

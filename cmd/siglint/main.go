@@ -1,0 +1,149 @@
+// Command siglint runs sigstream's repo-specific static analyzers — the
+// invariants go vet and staticcheck cannot see.
+//
+// Usage:
+//
+//	siglint ./...            run every analyzer over the whole module
+//	siglint -list            list the analyzers
+//	siglint -run floateq     run a single analyzer
+//	siglint -escapes ./...   verify //sig:noalloc functions stay heap-free
+//
+// siglint always analyzes the entire module containing the working
+// directory (the analyzers are cross-package by design); a trailing
+// package pattern is accepted for familiarity and ignored.
+//
+// Findings are suppressed inline with
+//
+//	//siglint:ignore <reason>
+//
+// on the offending line or the line above it; the reason is mandatory.
+// Exit status is 1 when findings (or escape violations) remain, 2 on usage
+// or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sigstream/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("siglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		escapes = fs.Bool("escapes", false, "check //sig:noalloc functions for heap escapes instead of running the analyzers")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		runOnly = fs.String("run", "", "run only the named analyzer")
+		rootDir = fs.String("C", "", "module root (default: walk up from the working directory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	root := *rootDir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "siglint:", err)
+			return 2
+		}
+	}
+
+	if *escapes {
+		return runEscapes(root, stdout, stderr)
+	}
+
+	analyzers := analysis.Analyzers()
+	if *runOnly != "" {
+		analyzers = nil
+		for _, a := range analysis.Analyzers() {
+			if a.Name == *runOnly {
+				analyzers = []*analysis.Analyzer{a}
+			}
+		}
+		if analyzers == nil {
+			fmt.Fprintf(stderr, "siglint: unknown analyzer %q (try -list)\n", *runOnly)
+			return 2
+		}
+	}
+
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "siglint:", err)
+		return 2
+	}
+	findings := analysis.RunAll(prog, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, relativize(root, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "siglint: %d finding(s) in %d package(s)\n",
+			len(findings), len(prog.Packages))
+		return 1
+	}
+	fmt.Fprintf(stdout, "siglint: %d package(s) clean\n", len(prog.Packages))
+	return 0
+}
+
+func runEscapes(root string, stdout, stderr io.Writer) int {
+	violations, funcs, err := analysis.CheckEscapes(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "siglint:", err)
+		return 2
+	}
+	if len(funcs) == 0 {
+		fmt.Fprintln(stderr, "siglint: no //sig:noalloc annotations found")
+		return 2
+	}
+	for _, v := range violations {
+		fmt.Fprintln(stdout, v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(stderr, "siglint: %d heap escape(s) in %d annotated function(s)\n",
+			len(violations), len(funcs))
+		return 1
+	}
+	fmt.Fprintf(stdout, "siglint: %d //sig:noalloc function(s) allocation-free\n", len(funcs))
+	return 0
+}
+
+// relativize shortens absolute finding paths to module-relative ones.
+func relativize(root string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil &&
+		!filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("siglint -list = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"mixedatomic", "lockblock", "floateq", "kindswitch", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("siglint -run nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want an unknown-analyzer message", errOut.String())
+	}
+}
+
+// TestCleanTree is the command-level form of the acceptance criterion:
+// siglint exits 0 over this repository.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("siglint = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("stdout = %q, want a clean summary", out.String())
+	}
+}

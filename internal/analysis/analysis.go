@@ -1,0 +1,159 @@
+// Package analysis is sigstream's repo-specific static-analysis framework:
+// the engine behind cmd/siglint. Generic tooling (go vet, staticcheck,
+// -race) cannot check the invariants the cache-conscious core and the
+// concurrent pipeline rely on — parallel-lane indexing, the exact
+// fixed-point significance comparator that forbids float equality, the
+// atomic-vs-mutex split of the pipeline counters, and the zero-allocation
+// guarantee of the per-arrival hot path. This package loads every package
+// in the module with the standard library's parser and type checker (no
+// external modules, matching the repo's zero-dependency rule) and runs a
+// small set of analyzers encoding exactly those invariants.
+//
+// Analyzers report Findings. A finding is suppressed by an inline comment
+//
+//	//siglint:ignore <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: a bare //siglint:ignore is itself reported. Suppressions are
+// deliberately loud in the source — each one documents why a rule does not
+// apply at that site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	// Analyzer names the rule that fired.
+	Analyzer string
+	// Pos locates the offending node.
+	Pos token.Position
+	// Message explains the violation.
+	Message string
+}
+
+// String renders the finding in the file:line:col style editors understand.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one repo-specific rule.
+type Analyzer struct {
+	// Name is the identifier used in output and suppression bookkeeping.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects the loaded program and reports violations. Run must not
+	// filter suppressions itself; RunAll applies them uniformly.
+	Run func(*Program) []Finding
+}
+
+// Analyzers returns the full rule set, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MixedAtomic,
+		LockBlock,
+		FloatEq,
+		KindSwitch,
+		ErrDrop,
+	}
+}
+
+// RunAll executes the analyzers, drops findings suppressed by
+// //siglint:ignore comments, reports malformed suppressions, and returns
+// the surviving findings sorted by position.
+func RunAll(p *Program, analyzers []*Analyzer) []Finding {
+	sup, bad := collectSuppressions(p)
+	var out []Finding
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		for _, f := range a.Run(p) {
+			if sup.covers(f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "siglint:ignore"
+
+// suppressions indexes the lines covered by //siglint:ignore comments,
+// keyed by filename.
+type suppressions map[string]map[int]bool
+
+func (s suppressions) covers(pos token.Position) bool {
+	return s[pos.Filename][pos.Line]
+}
+
+// collectSuppressions scans every file's comments. A suppression covers
+// its own line (trailing-comment form) and the following line (standalone
+// form). A suppression with no reason is reported as a finding instead of
+// taking effect.
+func collectSuppressions(p *Program) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					reason := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					if reason == "" {
+						bad = append(bad, Finding{
+							Analyzer: "siglint",
+							Pos:      pos,
+							Message:  "//siglint:ignore requires a reason",
+						})
+						continue
+					}
+					lines := sup[pos.Filename]
+					if lines == nil {
+						lines = map[int]bool{}
+						sup[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+					lines[pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// identOf unwraps parenthesized identifiers; it returns nil for anything
+// more complex.
+func identOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// errDropNames are the method/function names whose error results ErrDrop
+// refuses to see discarded, wherever they are declared. They are the
+// persistence and wire surface of the repo: a dropped Encode/Restore error
+// means a checkpoint that silently never happened.
+var errDropNames = map[string]bool{
+	"Encode":          true,
+	"Decode":          true,
+	"Restore":         true,
+	"MarshalBinary":   true,
+	"UnmarshalBinary": true,
+}
+
+// errDropPackages are the packages whose error-returning functions are
+// covered regardless of name (io.Copy, bufio.Writer.Flush, ...).
+var errDropPackages = map[string]bool{
+	"io":    true,
+	"bufio": true,
+}
+
+// ErrDrop flags statements that discard the error result of a
+// serialization or I/O call: an expression statement (or defer/go) whose
+// call returns an error nobody binds. Assigning the error to _ is an
+// explicit, reviewable decision and is allowed; simply not mentioning it
+// is not.
+const errDropName = "errdrop"
+
+var ErrDrop = &Analyzer{
+	Name: errDropName,
+	Doc:  "ignored error results from Encode/Decode/Restore/io calls",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Program) []Finding {
+	var out []Finding
+	check := func(pkg *Package, call *ast.CallExpr, how string) {
+		name, covered := errDropTarget(pkg, call)
+		if !covered {
+			return
+		}
+		out = append(out, Finding{
+			Analyzer: errDropName,
+			Pos:      p.Fset.Position(call.Pos()),
+			Message:  fmt.Sprintf("%s of %s discards its error result", how, name),
+		})
+	}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := x.X.(*ast.CallExpr); ok {
+						check(pkg, call, "call")
+					}
+				case *ast.DeferStmt:
+					check(pkg, x.Call, "defer")
+				case *ast.GoStmt:
+					check(pkg, x.Call, "go")
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// errDropTarget reports whether call is covered by the rule: the callee is
+// one of errDropNames or declared in one of errDropPackages, and its
+// signature returns an error.
+func errDropTarget(pkg *Package, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	// Dropping a read-side Close error (defer resp.Body.Close()) is
+	// accepted Go idiom; flagging it would only breed reflexive ignores.
+	// Write-side close errors surface through the preceding Flush/Encode.
+	if fn.Name() == "Close" {
+		return "", false
+	}
+	inScope := errDropNames[fn.Name()] ||
+		(fn.Pkg() != nil && errDropPackages[fn.Pkg().Path()])
+	if !inScope {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEqPackages lists the import-path suffixes FloatEq applies to. The
+// LTC core earned the restriction: its eviction order is decided by the
+// exact Q44.20 fixed-point comparator precisely because float comparison
+// semantics are too subtle to sprinkle through a hot path — an == that
+// "works" on one code path ties differently after a seemingly neutral
+// refactor of the arithmetic. Code elsewhere in the module compares floats
+// for config identity, which is a different, legitimate idiom.
+var FloatEqPackages = []string{"internal/ltc"}
+
+// FloatEq flags == and != where either operand is a floating-point value,
+// or a struct or array whose comparison includes floating-point fields,
+// inside the packages named by FloatEqPackages.
+const floatEqName = "floateq"
+
+var FloatEq = &Analyzer{
+	Name: floatEqName,
+	Doc:  "no ==/!= on float operands inside internal/ltc (use the fixed-point comparator)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range p.Packages {
+		if !floatEqApplies(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				t := operandType(pkg, bin)
+				if t == nil || !comparesFloats(t) {
+					return true
+				}
+				out = append(out, Finding{
+					Analyzer: floatEqName,
+					Pos:      p.Fset.Position(bin.OpPos),
+					Message: fmt.Sprintf(
+						"%s on %s compares floats; use the fixed-point comparator or an epsilon",
+						bin.Op, t),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func floatEqApplies(path string) bool {
+	for _, suffix := range FloatEqPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// operandType picks the typed operand of a comparison (one side may be an
+// untyped constant such as 0).
+func operandType(pkg *Package, bin *ast.BinaryExpr) types.Type {
+	for _, e := range []ast.Expr{bin.X, bin.Y} {
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+			if _, untyped := tv.Type.(*types.Basic); !untyped || tv.Value == nil {
+				return tv.Type
+			}
+		}
+	}
+	if tv, ok := pkg.Info.Types[bin.X]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// comparesFloats reports whether comparing two values of type t compares
+// floating-point representations, directly or through struct fields or
+// array elements.
+func comparesFloats(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if comparesFloats(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return comparesFloats(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package analysis
+
+// Golden-file tests: each analyzer runs over a seeded mini-module under
+// testdata/<analyzer>/ whose sources mark every expected finding with a
+// trailing `// want "substring"` comment. The harness demands an exact
+// match both ways — every want satisfied by a finding on that line, every
+// finding claimed by a want — so an analyzer that goes quiet or starts
+// over-reporting fails loudly.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expected finding.
+type want struct {
+	file   string // slash path as loaded
+	line   int
+	substr string
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// collectWants scans every .go file under root for want comments.
+func collectWants(t *testing.T, root string) []want {
+	t.Helper()
+	var wants []want
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, want{
+					file:   filepath.ToSlash(abs),
+					line:   i + 1,
+					substr: m[1],
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func TestAnalyzerGolden(t *testing.T) {
+	cases := []struct {
+		dir string
+		az  *Analyzer
+	}{
+		{"mixedatomic", MixedAtomic},
+		{"lockblock", LockBlock},
+		{"floateq", FloatEq},
+		{"kindswitch", KindSwitch},
+		{"errdrop", ErrDrop},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			root := filepath.Join("testdata", c.dir)
+			prog, err := Load(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := RunAll(prog, []*Analyzer{c.az})
+			wants := collectWants(t, root)
+			if len(wants) == 0 {
+				t.Fatalf("no want comments under %s; the fixture is broken", root)
+			}
+
+			matched := make([]bool, len(findings))
+			for _, w := range wants {
+				ok := false
+				for i, f := range findings {
+					if matched[i] {
+						continue
+					}
+					if filepath.ToSlash(f.Pos.Filename) == w.file &&
+						f.Pos.Line == w.line &&
+						strings.Contains(f.Message, w.substr) {
+						matched[i] = true
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("missing finding at %s:%d containing %q", w.file, w.line, w.substr)
+				}
+			}
+			for i, f := range findings {
+				if !matched[i] {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression checks the three //siglint:ignore forms over the full
+// analyzer set: standalone and trailing comments suppress the next/own
+// line, and a bare ignore suppresses nothing but is itself reported.
+func TestSuppression(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunAll(prog, Analyzers())
+
+	var reasonless, drops int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "siglint" && strings.Contains(f.Message, "requires a reason"):
+			reasonless++
+		case f.Analyzer == "errdrop" && strings.Contains(f.Message, "discards its error result"):
+			drops++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if reasonless != 1 {
+		t.Errorf("got %d reasonless-ignore findings, want 1", reasonless)
+	}
+	// Bare() is not suppressed by the reasonless ignore, and Plain() is the
+	// control; Standalone() and Trailing() must stay silent.
+	if drops != 2 {
+		t.Errorf("got %d errdrop findings, want 2 (Bare and Plain only)", drops)
+	}
+}
+
+// TestRealTreeClean pins the PR invariant the CI job enforces: the repo's
+// own source has no unsuppressed findings.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	root := filepath.Join("..", "..")
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunAll(prog, Analyzers())
+	for _, f := range findings {
+		t.Errorf("finding on the real tree: %s", f)
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch flags switches over the module's enum-like types —
+// BaselineKind, SketchKind, ReplacementPolicy, codec versions and any
+// future integer type with a declared constant set — that neither cover
+// every declared constant nor carry a non-empty default. A new enum value
+// (a ninth baseline, a codec version 4) must fail loudly at the switch
+// that forgot it, not fall through into silently wrong behavior.
+const kindSwitchName = "kindswitch"
+
+var KindSwitch = &Analyzer{
+	Name: kindSwitchName,
+	Doc:  "switches over module enum types must be exhaustive or carry a non-empty default",
+	Run:  runKindSwitch,
+}
+
+// enumInfo is the declared constant set of one module enum type.
+type enumInfo struct {
+	names  []string           // declared constant names, in declaration order
+	values map[int64][]string // constant value -> names (aliases share a value)
+}
+
+func runKindSwitch(p *Program) []Finding {
+	enums := collectEnums(p)
+	if len(enums) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sw.Tag]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					return true
+				}
+				enum, ok := enums[named]
+				if !ok {
+					return true
+				}
+				if f := checkEnumSwitch(p, pkg, sw, named, enum); f != nil {
+					out = append(out, *f)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectEnums finds every named integer type declared in the module that
+// has at least two package-level constants of that exact type.
+func collectEnums(p *Program) map[*types.Named]*enumInfo {
+	enums := map[*types.Named]*enumInfo{}
+	for _, pkg := range p.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named, ok := c.Type().(*types.Named)
+			if !ok || named.Obj().Pkg() != pkg.Types {
+				continue
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				continue
+			}
+			v, ok := constant.Int64Val(c.Val())
+			if !ok {
+				continue
+			}
+			info := enums[named]
+			if info == nil {
+				info = &enumInfo{values: map[int64][]string{}}
+				enums[named] = info
+			}
+			info.names = append(info.names, name)
+			info.values[v] = append(info.values[v], name)
+		}
+	}
+	for named, info := range enums {
+		if len(info.names) < 2 {
+			delete(enums, named)
+		}
+	}
+	return enums
+}
+
+// checkEnumSwitch validates one switch over an enum type.
+func checkEnumSwitch(p *Program, pkg *Package, sw *ast.SwitchStmt,
+	named *types.Named, enum *enumInfo) *Finding {
+	covered := map[int64]bool{}
+	var defaultClause *ast.CaseClause
+	for _, c := range sw.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				// A non-constant case defeats coverage analysis; treat the
+				// switch as guarded by it, like a default.
+				defaultClause = cc
+				continue
+			}
+			if v, ok := constant.Int64Val(tv.Value); ok {
+				covered[v] = true
+			}
+		}
+	}
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 {
+			return &Finding{
+				Analyzer: kindSwitchName,
+				Pos:      p.Fset.Position(defaultClause.Pos()),
+				Message: fmt.Sprintf(
+					"empty default silently swallows unknown %s values; error or document the fallthrough",
+					named.Obj().Name()),
+			}
+		}
+		return nil
+	}
+	var missing []string
+	seen := map[int64]bool{}
+	for _, name := range enum.names {
+		// Walk values through the declared names so aliases report once.
+		for v, names := range enum.values {
+			if names[0] != name || covered[v] || seen[v] {
+				continue
+			}
+			seen[v] = true
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return &Finding{
+		Analyzer: kindSwitchName,
+		Pos:      p.Fset.Position(sw.Pos()),
+		Message: fmt.Sprintf(
+			"switch over %s is not exhaustive (missing %s) and has no default",
+			named.Obj().Name(), strings.Join(missing, ", ")),
+	}
+}

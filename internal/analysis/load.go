@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression and object tables.
+	Info *types.Info
+}
+
+// Program is the whole loaded module.
+type Program struct {
+	// Fset maps every node back to its source position.
+	Fset *token.FileSet
+	// Module is the module path from go.mod.
+	Module string
+	// Root is the module root directory.
+	Root string
+	// Packages holds every package in dependency (topological) order.
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// Load parses and type-checks every non-test package under the module
+// rooted at root. Standard-library dependencies are type-checked from
+// GOROOT source with cgo disabled, so the loader needs nothing but the
+// toolchain's source tree — no compiled export data, no external modules.
+// Test files are excluded: the invariants siglint encodes are about
+// production code, and external _test packages would complicate the
+// single-pass type-check for no analyzer benefit.
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer consults go/build's default context; stdlib cgo
+	// files would make it shell out to the cgo tool, so force the pure-Go
+	// variants (every package sigstream uses has one).
+	build.Default.CgoEnabled = false
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	p := &Program{Fset: fset, Module: module, Root: root, byPath: map[string]*Package{}}
+
+	// Parse everything first so import edges are known before checking.
+	type parsed struct {
+		pkg     *Package
+		imports map[string]bool
+	}
+	var all []*parsed
+	for _, dir := range dirs {
+		pkg, imps, err := parseDir(fset, root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable non-test sources
+		}
+		all = append(all, &parsed{pkg: pkg, imports: imps})
+		p.byPath[pkg.Path] = pkg
+	}
+
+	order, err := topoSort(module, all, func(x *parsed) (string, map[string]bool) {
+		return x.pkg.Path, x.imports
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := &programImporter{prog: p, std: std}
+	for _, x := range order {
+		pkg := x.pkg
+		conf := types.Config{Importer: imp}
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %w", pkg.Path, err)
+		}
+		pkg.Types = tpkg
+		p.Packages = append(p.Packages, pkg)
+	}
+	return p, nil
+}
+
+// Lookup returns the loaded package with the given import path, if any.
+func (p *Program) Lookup(path string) *Package { return p.byPath[path] }
+
+// programImporter resolves module-internal imports from the already
+// checked packages (topological order guarantees availability) and
+// delegates everything else to the GOROOT source importer.
+type programImporter struct {
+	prog *Program
+	std  types.Importer
+}
+
+func (pi *programImporter) Import(path string) (*types.Package, error) {
+	if pkg := pi.prog.byPath[path]; pkg != nil {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("import cycle or unordered import of %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return pi.std.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// packageDirs walks the module for directories that may hold a package,
+// skipping testdata, vendor, hidden and underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses a directory's non-test sources into one Package and
+// reports its module-internal import set. A directory without Go files
+// yields a nil package.
+func parseDir(fset *token.FileSet, root, module, dir string) (*Package, map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, nil, fmt.Errorf("%s: mixed package names %s and %s",
+				dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == module || strings.HasPrefix(path, module+"/") {
+				imports[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := module
+	if rel != "." {
+		path = module + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, imports, nil
+}
+
+// topoSort orders packages so every module-internal dependency precedes
+// its importer; it reports import cycles as errors.
+func topoSort[T any](module string, items []T, key func(T) (string, map[string]bool)) ([]T, error) {
+	byPath := map[string]T{}
+	paths := make([]string, 0, len(items))
+	for _, it := range items {
+		path, _ := key(it)
+		byPath[path] = it
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var order []T
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = visiting
+		it, ok := byPath[path]
+		if !ok {
+			return fmt.Errorf("module package %s imported but not found on disk", path)
+		}
+		_, imps := key(it)
+		deps := make([]string, 0, len(imps))
+		for dep := range imps {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, it)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

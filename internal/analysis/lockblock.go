@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockBlock flags potentially blocking operations — channel sends and
+// receives, defaultless selects, WaitGroup.Wait and Flush calls — executed
+// while a sync mutex is held. A worker that blocks under a shard or
+// tracker lock while the peer it waits on needs that same lock is the
+// pipeline's poison-on-panic deadlock class; inside a lock a hot path
+// should only touch memory.
+//
+// The walk is straight-line and branch-local: Lock()/RLock() raises the
+// held depth, Unlock()/RUnlock() lowers it, a deferred unlock leaves the
+// rest of the function locked, and nested blocks see the depth at their
+// entry without leaking their own changes back out. Function literals are
+// analyzed as fresh functions, since they run on their own schedule.
+const lockBlockName = "lockblock"
+
+var LockBlock = &Analyzer{
+	Name: lockBlockName,
+	Doc:  "no channel operation, Flush or WaitGroup.Wait while a sync mutex is held",
+	Run:  runLockBlock,
+}
+
+func runLockBlock(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						w := &lockWalker{prog: p, pkg: pkg, out: &out}
+						w.block(fn.Body, 0)
+					}
+					return false // fn's literals are walked by lockWalker
+				case *ast.FuncLit:
+					w := &lockWalker{prog: p, pkg: pkg, out: &out}
+					w.block(fn.Body, 0)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// lockWalker tracks the held-mutex depth through one function body.
+type lockWalker struct {
+	prog *Program
+	pkg  *Package
+	out  *[]Finding
+}
+
+// block walks a statement list, threading the lock depth through the
+// sequence and handing nested blocks a branch-local copy.
+func (w *lockWalker) block(b *ast.BlockStmt, depth int) {
+	for _, s := range b.List {
+		depth = w.stmt(s, depth)
+	}
+}
+
+// stmt processes one statement and returns the lock depth after it.
+func (w *lockWalker) stmt(s ast.Stmt, depth int) int {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			switch lockDelta(w.pkg, call) {
+			case +1:
+				return depth + 1
+			case -1:
+				if depth > 0 {
+					return depth - 1
+				}
+				return 0
+			}
+		}
+		w.exprs(x.X, depth)
+	case *ast.SendStmt:
+		if depth > 0 {
+			w.report(x.Pos(), "channel send while a sync mutex is held")
+		}
+		w.exprs(x.Chan, depth)
+		w.exprs(x.Value, depth)
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return; the body stays locked, which
+		// is exactly what not decrementing models. Deferred literals run
+		// on their own lock state.
+		if lockDelta(w.pkg, x.Call) == 0 {
+			w.exprs(x.Call, depth)
+		}
+	case *ast.GoStmt:
+		w.exprs(x.Call, 0) // the goroutine does not inherit the caller's locks
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.exprs(e, depth)
+		}
+		for _, e := range x.Lhs {
+			w.exprs(e, depth)
+		}
+	case *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt:
+		ast.Inspect(s, w.exprVisitor(depth))
+	case *ast.BlockStmt:
+		w.block(x, depth)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			depth = w.stmt(x.Init, depth)
+		}
+		w.exprs(x.Cond, depth)
+		w.block(x.Body, depth)
+		if x.Else != nil {
+			w.stmt(x.Else, depth)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			depth = w.stmt(x.Init, depth)
+		}
+		if x.Cond != nil {
+			w.exprs(x.Cond, depth)
+		}
+		w.block(x.Body, depth)
+	case *ast.RangeStmt:
+		if depth > 0 && isChannel(w.pkg, x.X) {
+			w.report(x.Pos(), "range over a channel while a sync mutex is held")
+		}
+		w.exprs(x.X, depth)
+		w.block(x.Body, depth)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			depth = w.stmt(x.Init, depth)
+		}
+		if x.Tag != nil {
+			w.exprs(x.Tag, depth)
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, s := range cc.Body {
+				w.stmt(s, depth)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, s := range cc.Body {
+				w.stmt(s, depth)
+			}
+		}
+	case *ast.SelectStmt:
+		if depth > 0 && !selectHasDefault(x) {
+			w.report(x.Pos(), "blocking select while a sync mutex is held")
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			for _, s := range cc.Body {
+				w.stmt(s, depth)
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, depth)
+	}
+	return depth
+}
+
+// exprs scans an expression tree for blocking operations, skipping nested
+// function literals (they are analyzed as fresh functions by the outer
+// Inspect pass).
+func (w *lockWalker) exprs(e ast.Expr, depth int) {
+	ast.Inspect(e, w.exprVisitor(depth))
+}
+
+func (w *lockWalker) exprVisitor(depth int) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lw := &lockWalker{prog: w.prog, pkg: w.pkg, out: w.out}
+			lw.block(x.Body, 0)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && depth > 0 {
+				w.report(x.Pos(), "channel receive while a sync mutex is held")
+			}
+		case *ast.CallExpr:
+			if depth == 0 {
+				return true
+			}
+			if name, blocking := blockingCall(w.pkg, x); blocking {
+				w.report(x.Pos(), fmt.Sprintf("call to %s while a sync mutex is held", name))
+			}
+		}
+		return true
+	}
+}
+
+// report records one finding at pos.
+func (w *lockWalker) report(pos token.Pos, msg string) {
+	*w.out = append(*w.out, Finding{
+		Analyzer: lockBlockName,
+		Pos:      w.prog.Fset.Position(pos),
+		Message:  msg,
+	})
+}
+
+// lockDelta classifies a call: +1 for sync Lock/RLock, -1 for sync
+// Unlock/RUnlock, 0 otherwise.
+func lockDelta(pkg *Package, call *ast.CallExpr) int {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return +1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// blockingCall reports whether call is a known blocking operation: any
+// method named Flush, or sync.WaitGroup.Wait. sync.Cond.Wait is excluded —
+// waiting on a condition with its mutex held is that API's contract.
+func blockingCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		// Plain function: only flag the sync-package WaitGroup helpers.
+		return "", false
+	}
+	switch fn.Name() {
+	case "Flush":
+		return "Flush", true
+	case "Wait":
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+			recvNamed(sig) == "WaitGroup" {
+			return "WaitGroup.Wait", true
+		}
+	}
+	return "", false
+}
+
+// recvNamed names a method's receiver type, dereferencing one pointer.
+func recvNamed(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isChannel reports whether e has channel type.
+func isChannel(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// selectHasDefault reports whether a select statement is non-blocking.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

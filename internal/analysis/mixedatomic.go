@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MixedAtomic flags variables that are accessed through sync/atomic in one
+// place and read or written plainly in another. Mixing the two memory
+// models hides real races from -race (it only sees the plain side) and is
+// exactly the bug class the pipeline's counter design avoids by keeping
+// atomics and mutex-guarded state in disjoint fields. Typed atomics
+// (atomic.Uint64 and friends) are immune by construction; this rule exists
+// for the address-taken form, atomic.AddUint64(&s.n, 1).
+const mixedAtomicName = "mixedatomic"
+
+var MixedAtomic = &Analyzer{
+	Name: mixedAtomicName,
+	Doc:  "a variable accessed via sync/atomic must never be accessed plainly",
+	Run:  runMixedAtomic,
+}
+
+func runMixedAtomic(p *Program) []Finding {
+	// Pass 1: collect every variable whose address is passed to a
+	// sync/atomic function, plus the exact AST nodes of those sanctioned
+	// uses. The object set is module-global, so a field updated atomically
+	// in one package and read plainly from another is still caught.
+	atomicVars := map[types.Object]token.Position{}
+	sanctioned := map[ast.Node]bool{}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					obj := addressedVar(pkg, un.X)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicVars[obj]; !seen {
+						atomicVars[obj] = p.Fset.Position(call.Pos())
+					}
+					sanctioned[un.X] = true
+					// Pass 2 visits a selector's Sel ident separately;
+					// sanction it too so &c.n does not flag its own n.
+					if sel, ok := un.X.(*ast.SelectorExpr); ok {
+						sanctioned[sel.Sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those variables is a plain access.
+	var out []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var obj types.Object
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					obj = pkg.Info.Uses[x.Sel]
+				case *ast.Ident:
+					obj = pkg.Info.Uses[x]
+				default:
+					return true
+				}
+				first, hot := atomicVars[obj]
+				if !hot || sanctioned[n] {
+					return true
+				}
+				// A SelectorExpr visit also visits its Sel ident; report
+				// the selector once and skip the nested ident.
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					sanctioned[sel.Sel] = true
+				}
+				out = append(out, Finding{
+					Analyzer: mixedAtomicName,
+					Pos:      p.Fset.Position(n.Pos()),
+					Message: fmt.Sprintf(
+						"%s is accessed via sync/atomic (first at %s); plain access mixes memory models",
+						obj.Name(), shortPos(first)),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id := identOf(sel.X)
+	if id == nil {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedVar resolves &expr's operand to a variable object (field,
+// package-level or local), or nil when the operand is not a variable.
+func addressedVar(pkg *Package, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return addressedVar(pkg, x.X)
+	}
+	return nil
+}
+
+// shortPos renders a position without the column, for finding messages.
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// noallocMarker annotates a function whose body must not allocate. It goes
+// in the function's doc comment:
+//
+//	//sig:noalloc
+//	func (l *LTC) Insert(item stream.Item) { ... }
+//
+// The gate runs the real compiler (go build -gcflags=-m) and fails when
+// any escape-to-heap or moved-to-heap diagnostic lands inside an annotated
+// function's body. Heavy-hitter structures live or die on their per-item
+// constant factors; an accidental boxing or a value captured by a closure
+// turns a ~90 ns insert into an allocation per arrival, and no unit test
+// notices. This pins the property mechanically.
+const noallocMarker = "sig:noalloc"
+
+// NoallocFunc is one annotated function.
+type NoallocFunc struct {
+	// Name is the (possibly method) name, e.g. "(*LTC).Insert".
+	Name string
+	// File is the source path relative to the module root.
+	File string
+	// StartLine and EndLine span the declaration including its body.
+	StartLine, EndLine int
+}
+
+// EscapeViolation is one compiler diagnostic inside an annotated function.
+type EscapeViolation struct {
+	Func NoallocFunc
+	// Pos is the compiler's position for the escaping value.
+	Pos string
+	// Detail is the compiler's message, e.g. "&x escapes to heap".
+	Detail string
+}
+
+func (v EscapeViolation) String() string {
+	return fmt.Sprintf("%s: //sig:noalloc %s: %s", v.Pos, v.Func.Name, v.Detail)
+}
+
+// FindNoalloc parses every non-test source under root (syntax only — the
+// gate needs positions, not types) and returns the annotated functions.
+func FindNoalloc(root string) ([]NoallocFunc, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var funcs []NoallocFunc
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return nil, err
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasNoallocMarker(fd) {
+					continue
+				}
+				funcs = append(funcs, NoallocFunc{
+					Name:      funcDisplayName(fd),
+					File:      filepath.ToSlash(rel),
+					StartLine: fset.Position(fd.Pos()).Line,
+					EndLine:   fset.Position(fd.End()).Line,
+				})
+			}
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].File != funcs[j].File {
+			return funcs[i].File < funcs[j].File
+		}
+		return funcs[i].StartLine < funcs[j].StartLine
+	})
+	return funcs, nil
+}
+
+// hasNoallocMarker reports whether the function's doc comment carries
+// //sig:noalloc.
+func hasNoallocMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == noallocMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders "Name", "(T).Name" or "(*T).Name".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	b.WriteString("(")
+	writeTypeExpr(&b, recv)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeTypeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeTypeExpr(b, x.X)
+	case *ast.IndexExpr: // generic receiver
+		writeTypeExpr(b, x.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// escapeLine matches one compiler diagnostic: "path.go:line:col: message".
+var escapeLine = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+)$`)
+
+// CheckEscapes compiles the module with escape-analysis diagnostics on and
+// returns every heap escape inside a //sig:noalloc function. The go
+// command replays compiler output from the build cache, so repeated runs
+// are cheap. The returned funcs list is the full annotation inventory, so
+// callers can report coverage alongside violations.
+func CheckEscapes(root string) ([]EscapeViolation, []NoallocFunc, error) {
+	funcs, err := FindNoalloc(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(funcs) == 0 {
+		return nil, funcs, nil
+	}
+	byFile := map[string][]NoallocFunc{}
+	for _, fn := range funcs {
+		byFile[fn.File] = append(byFile[fn.File], fn)
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	outBytes, err := cmd.CombinedOutput()
+	output := string(outBytes)
+	if err != nil {
+		return nil, funcs, fmt.Errorf("go build -gcflags=-m: %w\n%s", err, output)
+	}
+
+	var violations []EscapeViolation
+	for _, line := range strings.Split(output, "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") &&
+			!strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// Root-package diagnostics print as "./file.go"; FindNoalloc
+		// records module-relative paths without the prefix.
+		file := strings.TrimPrefix(filepath.ToSlash(m[1]), "./")
+		lineNo := atoiSafe(m[2])
+		for _, fn := range byFile[file] {
+			if lineNo >= fn.StartLine && lineNo <= fn.EndLine {
+				violations = append(violations, EscapeViolation{
+					Func:   fn,
+					Pos:    fmt.Sprintf("%s:%s:%s", m[1], m[2], m[3]),
+					Detail: msg,
+				})
+				break
+			}
+		}
+	}
+	return violations, funcs, nil
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, r := range s {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module for the escape gate to
+// compile. files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmp\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestFindNoallocInventory(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+// Add is annotated.
+//
+//sig:noalloc
+func Add(a, b int) int { return a + b }
+
+type T struct{ n int }
+
+//sig:noalloc
+func (t *T) Bump() { t.n++ }
+
+// Plain carries no marker.
+func Plain() {}
+`,
+	})
+	funcs, err := FindNoalloc(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 {
+		t.Fatalf("found %d annotated functions, want 2: %v", len(funcs), funcs)
+	}
+	if funcs[0].Name != "Add" || funcs[1].Name != "(*T).Bump" {
+		t.Errorf("names = %q, %q; want Add, (*T).Bump", funcs[0].Name, funcs[1].Name)
+	}
+	for _, fn := range funcs {
+		if fn.File != "lib/lib.go" {
+			t.Errorf("%s recorded in %q, want lib/lib.go", fn.Name, fn.File)
+		}
+		if fn.StartLine <= 0 || fn.EndLine < fn.StartLine {
+			t.Errorf("%s has bad span %d-%d", fn.Name, fn.StartLine, fn.EndLine)
+		}
+	}
+}
+
+func TestCheckEscapesCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module")
+	}
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+//sig:noalloc
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`,
+	})
+	violations, funcs, err := CheckEscapes(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 1 {
+		t.Fatalf("inventory = %v, want one function", funcs)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("clean function reported violations: %v", violations)
+	}
+}
+
+// TestCheckEscapesCatchesBoxing proves the gate actually bites: an
+// annotated function that boxes a local must fail.
+func TestCheckEscapesCatchesBoxing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module")
+	}
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+// Box deliberately leaks a local to the heap.
+//
+//sig:noalloc
+func Box() *int {
+	v := 42
+	return &v
+}
+
+// Fine is clean and must not be blamed for Box's escape.
+//
+//sig:noalloc
+func Fine(a int) int { return a * 2 }
+`,
+	})
+	violations, funcs, err := CheckEscapes(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 {
+		t.Fatalf("inventory = %v, want two functions", funcs)
+	}
+	if len(violations) == 0 {
+		t.Fatal("deliberate boxing produced no violations; the gate is blind")
+	}
+	for _, v := range violations {
+		if v.Func.Name != "Box" {
+			t.Errorf("violation blamed %s, want Box: %s", v.Func.Name, v)
+		}
+		if !strings.Contains(v.Detail, "heap") {
+			t.Errorf("violation detail %q does not mention the heap", v.Detail)
+		}
+	}
+}
+
+// TestCheckEscapesNoAnnotations pins the fast path: nothing annotated,
+// nothing compiled, nothing reported.
+func TestCheckEscapesNoAnnotations(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": "package lib\n\nfunc Plain() {}\n",
+	})
+	violations, funcs, err := CheckEscapes(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 0 || len(violations) != 0 {
+		t.Fatalf("got funcs=%v violations=%v, want none", funcs, violations)
+	}
+}
+
+// TestRealTreeEscapeGate runs the gate the CI job enforces: every
+// annotated hot-path function in this repository stays allocation-free.
+func TestRealTreeEscapeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module")
+	}
+	root := filepath.Join("..", "..")
+	violations, funcs, err := CheckEscapes(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) < 4 {
+		t.Fatalf("only %d //sig:noalloc annotations on the real tree, want >= 4", len(funcs))
+	}
+	for _, v := range violations {
+		t.Errorf("heap escape in annotated function: %s", v)
+	}
+}

@@ -1,0 +1,54 @@
+// Package codec seeds errdrop violations: Encode/Decode/io calls whose
+// error result is silently discarded.
+package codec
+
+import (
+	"io"
+	"strings"
+)
+
+type Store struct{}
+
+func (Store) Encode() error  { return nil }
+func (Store) Restore() error { return nil }
+func (Store) Close() error   { return nil }
+
+func Drop(s Store) {
+	s.Encode() // want "call of Encode discards its error result"
+}
+
+func Deferred(s Store) {
+	defer s.Restore() // want "defer of Restore discards its error result"
+}
+
+func Spawned(s Store) {
+	go s.Encode() // want "go of Encode discards its error result"
+}
+
+func Copy(w io.Writer, r io.Reader) {
+	io.Copy(w, r) // want "call of Copy discards its error result"
+}
+
+// Binding the error to _ is an explicit, reviewable decision: clean.
+func Explicit(s Store) {
+	_ = s.Encode()
+}
+
+// Handling the error is obviously clean.
+func Handled(s Store) error {
+	return s.Encode()
+}
+
+// Dropping a read-side Close error is accepted idiom: clean.
+func CloseIdiom(s Store) {
+	defer s.Close()
+	s.Close()
+}
+
+// A non-error-returning function of the same name is out of scope.
+func Decode() {}
+
+func CallsLocalDecode() {
+	Decode()
+	strings.NewReader("x").Len()
+}

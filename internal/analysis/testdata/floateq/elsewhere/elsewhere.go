@@ -1,0 +1,7 @@
+// Package elsewhere is outside the internal/ltc suffix: float equality
+// here is the legitimate config-identity idiom and stays unflagged.
+package elsewhere
+
+func Equal(a, b float64) bool {
+	return a == b
+}

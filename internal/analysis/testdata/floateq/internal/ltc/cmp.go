@@ -1,0 +1,27 @@
+// Package ltc lives under the internal/ltc path suffix the floateq rule
+// guards, and seeds float equality comparisons.
+package ltc
+
+func Equal(a, b float64) bool {
+	return a == b // want "compares floats"
+}
+
+func NotEqual(a, b float32) bool {
+	return a != b // want "compares floats"
+}
+
+type pair struct{ x, y float64 }
+
+func PairEqual(p, q pair) bool {
+	return p == q // want "compares floats"
+}
+
+// Integer equality is untouched.
+func IntEqual(a, b int) bool {
+	return a == b
+}
+
+// Ordering comparisons on floats are fine; only ==/!= are flagged.
+func Less(a, b float64) bool {
+	return a < b
+}

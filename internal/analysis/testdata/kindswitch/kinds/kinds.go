@@ -1,0 +1,53 @@
+// Package kinds seeds kindswitch violations: switches over a module enum
+// that are neither exhaustive nor guarded by a meaningful default.
+package kinds
+
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// Exhaustive covers every value: clean.
+func Exhaustive(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+// Guarded has a default that does something: clean.
+func Guarded(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		panic("unknown kind")
+	}
+}
+
+func Missing(k Kind) string {
+	switch k { // want "not exhaustive (missing KindC) and has no default"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+func Swallow(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default: // want "empty default silently swallows unknown Kind values"
+	}
+	return ""
+}

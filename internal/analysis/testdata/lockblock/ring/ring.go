@@ -1,0 +1,54 @@
+// Package ring seeds lockblock violations: channel operations and
+// blocking calls while a sync mutex is held.
+package ring
+
+import "sync"
+
+type Ring struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+type flusher struct{}
+
+func (flusher) Flush() {}
+
+func (r *Ring) SendLocked(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- v // want "channel send while a sync mutex is held"
+}
+
+func (r *Ring) RecvLocked() int {
+	r.mu.Lock()
+	v := <-r.ch // want "channel receive while a sync mutex is held"
+	r.mu.Unlock()
+	return v
+}
+
+func (r *Ring) FlushLocked(f flusher) {
+	r.mu.Lock()
+	f.Flush() // want "call to Flush while a sync mutex is held"
+	r.mu.Unlock()
+}
+
+func (r *Ring) RangeLocked() (sum int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for v := range r.ch { // want "range over a channel while a sync mutex is held"
+		sum += v
+	}
+	return sum
+}
+
+// SendUnlocked releases the lock before touching the channel: clean.
+func (r *Ring) SendUnlocked(v int) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.ch <- v
+}
+
+// SendNoLock never takes the lock: clean.
+func (r *Ring) SendNoLock(v int) {
+	r.ch <- v
+}

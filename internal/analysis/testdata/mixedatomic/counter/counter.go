@@ -1,0 +1,32 @@
+// Package counter seeds mixedatomic violations: the n field is touched
+// both through sync/atomic and with plain loads/stores.
+package counter
+
+import "sync/atomic"
+
+type Counter struct {
+	n    uint64
+	hits uint64
+}
+
+func (c *Counter) IncAtomic() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *Counter) LoadAtomic() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *Counter) IncPlain() {
+	c.n++ // want "accessed via sync/atomic"
+}
+
+func (c *Counter) ReadPlain() uint64 {
+	return c.n // want "accessed via sync/atomic"
+}
+
+// hits is never touched atomically, so plain access is fine.
+func (c *Counter) Hit() uint64 {
+	c.hits++
+	return c.hits
+}

@@ -1,0 +1,30 @@
+// Package pkg exercises the suppression machinery: standalone and
+// trailing //siglint:ignore forms, and the bare form that must itself be
+// reported.
+package pkg
+
+type Store struct{}
+
+func (Store) Encode() error { return nil }
+
+// Standalone form: the comment covers the next line.
+func Standalone(s Store) {
+	//siglint:ignore fixture proving the standalone suppression form
+	s.Encode()
+}
+
+// Trailing form: the comment covers its own line.
+func Trailing(s Store) {
+	s.Encode() //siglint:ignore fixture proving the trailing suppression form
+}
+
+// Bare ignore: no reason, so it does not suppress and is itself a finding.
+func Bare(s Store) {
+	//siglint:ignore
+	s.Encode()
+}
+
+// Unsuppressed control finding.
+func Plain(s Store) {
+	s.Encode()
+}

@@ -135,6 +135,18 @@ func (l *LTC) UnmarshalBinary(data []byte) error {
 	if w <= 0 || d <= 0 || w > 1<<30 || d > 1<<16 {
 		return fmt.Errorf("%w: implausible geometry %dx%d", ErrBadCheckpoint, w, d)
 	}
+	// New derives its lane sizes from MemoryBytes, so an inconsistent or
+	// absurd budget must be rejected before any allocation: a forged image
+	// can otherwise drive w·d past integer range (fuzz-found crash) or
+	// demand gigabytes for a header-only payload.
+	const maxCheckpointCells = 1 << 27
+	if w*d > maxCheckpointCells {
+		return fmt.Errorf("%w: implausible geometry %dx%d", ErrBadCheckpoint, w, d)
+	}
+	if opts.MemoryBytes <= 0 || opts.MemoryBytes/(CellBytes*d) != w {
+		return fmt.Errorf("%w: memory budget %d inconsistent with geometry %dx%d",
+			ErrBadCheckpoint, opts.MemoryBytes, w, d)
+	}
 	fresh := New(opts)
 	if fresh.w != w || fresh.d != d {
 		return fmt.Errorf("%w: geometry %dx%d does not match options-derived %dx%d",

@@ -269,6 +269,8 @@ func (l *LTC) currentFlag() uint8 {
 
 // Insert records one arrival of item (Section III-B, cases 1–3), then
 // advances the CLOCK pointer by its per-item step.
+//
+//sig:noalloc
 func (l *LTC) Insert(item stream.Item) {
 	l.itemsInPer++
 	l.stats.Arrivals++
@@ -283,6 +285,8 @@ func (l *LTC) Insert(item stream.Item) {
 // per batch, the bucket probes run in one fused loop, and the CLOCK
 // accumulator is flushed into sweeps only when at least one whole cell is
 // owed, instead of paying the advance bookkeeping on every call.
+//
+//sig:noalloc
 func (l *LTC) InsertBatch(items []stream.Item) {
 	if len(items) == 0 {
 		return
@@ -326,6 +330,8 @@ func (l *LTC) InsertBatch(items []stream.Item) {
 // path re-scans the flags lane for an empty cell and only then pays the
 // significance minimum. (A single merged scan was measured slower — it adds
 // eviction bookkeeping to the hit path, which dominates on skewed streams.)
+//
+//sig:noalloc
 func (l *LTC) place(item stream.Item) {
 	base := l.bucket(item) * l.d
 	end := base + l.d
@@ -349,6 +355,8 @@ func (l *LTC) place(item stream.Item) {
 }
 
 // placeMiss handles cases 2 and 3 once the ID-lane scan found no match.
+//
+//sig:noalloc
 func (l *LTC) placeMiss(item stream.Item, base, end int) {
 	// Case 2: an empty cell exists.
 	for i := base; i < end; i++ {
@@ -395,6 +403,9 @@ func (l *LTC) placeMiss(item stream.Item, base, end int) {
 			if initF < 1 {
 				initF = 1
 			}
+		case ReplaceBasic, ReplaceEager:
+			// ReplaceBasic keeps the basic initial value (1, 0);
+			// ReplaceEager replaced the cell before decrementing, above.
 		}
 		l.fill(min, item, initF, initC)
 		l.stats.Expulsions++

@@ -24,6 +24,7 @@ var ErrIncompatible = errors.New("ltc: incompatible trackers")
 // Compatible reports whether two trackers can be merged.
 func (l *LTC) Compatible(other *LTC) bool {
 	return l.w == other.w && l.d == other.d &&
+		//siglint:ignore exact config-identity check: merge requires bit-identical weights, and Validate rejects NaN so == is total here
 		l.opts.Weights == other.opts.Weights &&
 		l.opts.Seed == other.opts.Seed &&
 		l.opts.DisableDeviationEliminator == other.opts.DisableDeviationEliminator
@@ -71,6 +72,7 @@ func (l *LTC) Merge(other *LTC) error {
 		sort.Slice(all, func(i, j int) bool {
 			si := l.opts.Weights.Significance(all[i].freq, all[i].counter)
 			sj := l.opts.Weights.Significance(all[j].freq, all[j].counter)
+			//siglint:ignore cold-path ranking by the float reporting definition; equality only routes to the deterministic id tie-break
 			if si != sj {
 				return si > sj
 			}

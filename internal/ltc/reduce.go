@@ -22,6 +22,8 @@ func fastmodM(w int) uint64 {
 }
 
 // fastmod32 returns h % w using the precomputed M = fastmodM(w).
+//
+//sig:noalloc
 func fastmod32(h uint32, M, w uint64) uint32 {
 	lowbits := M * uint64(h)
 	hi, _ := bits.Mul64(lowbits, w)
@@ -30,6 +32,8 @@ func fastmod32(h uint32, M, w uint64) uint32 {
 
 // bucket is the shared bucket-lookup prologue of Insert, InsertAt and
 // Query: hash the item and reduce the hash into [0, w).
+//
+//sig:noalloc
 func (l *LTC) bucket(item uint64) int {
 	return int(fastmod32(l.hash.Hash64(item), l.modM, uint64(l.w)))
 }

@@ -41,6 +41,7 @@ func fixedWeight(w float64) (uint64, bool) {
 		return 0, false
 	}
 	s := w * (1 << sigShift)
+	//siglint:ignore exact integrality test: Trunc(s) == s iff s is a whole number, which is the Q44.20 representability condition itself
 	if s != math.Trunc(s) || s > 1<<31 {
 		return 0, false
 	}
@@ -62,6 +63,8 @@ func (l *LTC) sigFloat(i int) float64 {
 // leastIdx returns the index of the least-significant cell in
 // [base, end), first-minimum-wins — the scan order Significance
 // Decrementing targets.
+//
+//sig:noalloc
 func (l *LTC) leastIdx(base, end int) int {
 	min := base
 	if l.fixOK {

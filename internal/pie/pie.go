@@ -157,6 +157,9 @@ func (p *PIE) Insert(item stream.Item) {
 			if c.fp != fp || c.sym != p.symbol(item, pos, t) {
 				c.state = cellDirty
 			}
+		case cellDirty:
+			// A collided cell stays dirty for the rest of the period; no
+			// later arrival can make it decodable again.
 		}
 	}
 	p.stale = true

@@ -105,8 +105,14 @@ type Ingestor struct {
 
 	items, batches, stalls, flushes, dropped atomic.Uint64
 
-	pool sync.Pool // *[]uint64 sub-batch buffers, recycled by workers
+	pool   sync.Pool // *[]uint64 sub-batch buffers, recycled by workers
+	tables sync.Pool // *scatterTable per-shard scatter tables, recycled by Submit
 }
+
+// scatterTable is a pooled per-shard scatter buffer. It is a pointer-held
+// struct (not a bare [][]uint64) so returning it to the pool recycles the
+// same heap object instead of boxing a fresh slice header on every Put.
+type scatterTable struct{ slots [][]uint64 }
 
 type ingestError struct{ err error }
 
@@ -158,6 +164,11 @@ func (in *Ingestor) Err() error {
 //
 // Submit reports ErrClosed after Close, and the first sink failure once
 // the pipeline is poisoned (poisoned submissions are dropped, not queued).
+// Steady-state submission is allocation-free: sub-batch buffers and the
+// per-shard scatter table are pooled, with growth confined to the buf and
+// table helpers.
+//
+//sig:noalloc
 func (in *Ingestor) Submit(items []uint64) error {
 	if len(items) == 0 {
 		return in.Err()
@@ -175,7 +186,8 @@ func (in *Ingestor) Submit(items []uint64) error {
 	if n == 1 {
 		in.send(0, append(in.buf(len(items)), items...))
 	} else {
-		bufs := make([][]uint64, n)
+		t := in.table(n)
+		bufs := t.slots
 		for _, it := range items {
 			s := in.part(it, n)
 			if bufs[s] == nil {
@@ -186,8 +198,10 @@ func (in *Ingestor) Submit(items []uint64) error {
 		for s, b := range bufs {
 			if b != nil {
 				in.send(s, b)
+				bufs[s] = nil
 			}
 		}
+		in.tables.Put(t)
 	}
 	in.items.Add(uint64(len(items)))
 	return nil
@@ -217,6 +231,7 @@ func (in *Ingestor) Flush() error {
 	}
 	done := make(chan struct{}, len(in.rings))
 	for i := range in.rings {
+		//siglint:ignore read lock only: Close needs the write side so it cannot close a ring mid-send, and workers drain rings without taking mu, so the send always completes
 		in.rings[i] <- envelope{flush: done}
 	}
 	in.mu.RUnlock()
@@ -304,4 +319,19 @@ func (in *Ingestor) buf(n int) []uint64 {
 // recycle returns a drained sub-batch buffer to the pool.
 func (in *Ingestor) recycle(batch []uint64) {
 	in.pool.Put(&batch)
+}
+
+// table returns a scatter table with n per-shard slots, all nil: fresh
+// tables come zeroed from make, and Submit nils each used slot before
+// returning the table to the pool.
+func (in *Ingestor) table(n int) *scatterTable {
+	t, _ := in.tables.Get().(*scatterTable)
+	if t == nil {
+		t = &scatterTable{}
+	}
+	if cap(t.slots) < n {
+		t.slots = make([][]uint64, n)
+	}
+	t.slots = t.slots[:n]
+	return t
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -183,6 +184,31 @@ func TestSinkPanicPoisonsThePipeline(t *testing.T) {
 	}
 	if err := in.Close(); err == nil {
 		t.Fatal("Close returned nil, want the recorded failure")
+	}
+}
+
+// TestSinkPanicMessageSurfaces pins that the poison error carries the
+// original panic payload, not a generic "pipeline failed": an operator
+// debugging a dead ingest path needs the sink's own message.
+func TestSinkPanicMessageSurfaces(t *testing.T) {
+	in := New([]Sink{panicSink{}}, Options{})
+	if err := in.Submit([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	ferr := in.Flush()
+	if ferr == nil {
+		t.Fatal("Flush after a sink panic returned nil")
+	}
+	for name, err := range map[string]error{
+		"Flush":  ferr,
+		"Submit": in.Submit([]uint64{2}),
+		"Err":    in.Err(),
+		"Close":  in.Close(),
+	} {
+		if err == nil || !strings.Contains(err.Error(), "sink exploded") {
+			t.Errorf("%s error = %v, want the original panic message %q",
+				name, err, "sink exploded")
+		}
 	}
 }
 

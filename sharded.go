@@ -113,6 +113,10 @@ func (s *Sharded) Insert(item Item) {
 // insertion. Safe for concurrent use, but a batch is not atomic: a
 // concurrent EndPeriod may fall between two shards' sub-batches, splitting
 // the batch across the boundary (just as it can split per-item inserts).
+// The steady state is allocation-free: counting-sort scratch is pooled and
+// only grows inside getScratch.
+//
+//sig:noalloc
 func (s *Sharded) InsertBatch(items []Item) {
 	if len(items) == 0 {
 		return
@@ -125,20 +129,7 @@ func (s *Sharded) InsertBatch(items []Item) {
 		sh.mu.Unlock()
 		return
 	}
-	b, _ := s.scratch.Get().(*batchScratch)
-	if b == nil {
-		b = &batchScratch{}
-	}
-	if cap(b.owner) < len(items) {
-		b.owner = make([]uint32, len(items))
-	}
-	if cap(b.sorted) < len(items) {
-		b.sorted = make([]Item, len(items))
-	}
-	if cap(b.counts) < int(n) {
-		b.counts = make([]int, n)
-		b.next = make([]int, n)
-	}
+	b := s.getScratch(len(items), n)
 	owner, sorted := b.owner[:len(items)], b.sorted[:len(items)]
 	counts, next := b.counts[:n], b.next[:n]
 	// Counting sort by shard: one pass to hash and size the runs, one to
@@ -173,6 +164,28 @@ func (s *Sharded) InsertBatch(items []Item) {
 		start += c
 	}
 	s.scratch.Put(b)
+}
+
+// getScratch returns pooled counting-sort scratch with room for items
+// arrivals across n shards. Lane growth happens here — on pool miss or a
+// larger batch than any seen before — keeping the steady-state InsertBatch
+// path allocation-free.
+func (s *Sharded) getScratch(items int, n uint64) *batchScratch {
+	b, _ := s.scratch.Get().(*batchScratch)
+	if b == nil {
+		b = &batchScratch{}
+	}
+	if cap(b.owner) < items {
+		b.owner = make([]uint32, items)
+	}
+	if cap(b.sorted) < items {
+		b.sorted = make([]Item, items)
+	}
+	if cap(b.counts) < int(n) {
+		b.counts = make([]int, n)
+		b.next = make([]int, n)
+	}
+	return b
 }
 
 // EndPeriod marks a period boundary on every shard.
