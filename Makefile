@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build test race vet staticcheck lint siglint siglint-escapes \
 	cover bench bench-figures bench-core benchcmp bench-pipeline-smoke \
-	eval eval-paper fuzz fuzz-smoke examples clean
+	eval eval-paper fuzz fuzz-smoke chaos examples clean
 
 all: build test lint
 
@@ -83,12 +83,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/ltc/
 	$(GO) test -fuzz=FuzzReadText -fuzztime=30s ./internal/traceio/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/traceio/
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot/
 
 # The quick fuzz pass CI runs on every push (10s per LTC target).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzOps$$' -fuzztime=10s ./internal/ltc/
 	$(GO) test -run=^$$ -fuzz='^FuzzCheckpoint$$' -fuzztime=10s ./internal/ltc/
 	$(GO) test -run=^$$ -fuzz='^FuzzFastmod$$' -fuzztime=10s ./internal/ltc/
+	$(GO) test -run=^$$ -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s ./internal/snapshot/
+
+# The fault-injection suite under race: worker crash/restart/quarantine,
+# slow-shard shedding, torn snapshots, and the kill -9 recovery round-trip.
+chaos:
+	$(GO) test -race -run '^TestChaos' ./internal/pipeline/ ./internal/snapshot/ ./internal/server/ .
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,89 @@
+package sigstream
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"testing"
+
+	"sigstream/internal/fault"
+	"sigstream/internal/gen"
+)
+
+// TestChaosPipelineAccuracyUnderWorkerCrashes kills shard workers
+// mid-stream — an injected sink panic roughly every 25th delivery on one
+// shard — and checks the self-healing pipeline's output stays within the
+// accuracy gate's tolerance of a crash-free run: each panic costs one
+// in-flight sub-batch (a bounded, counted loss), so the significant-items
+// ranking must degrade by at most that fraction, not collapse.
+func TestChaosPipelineAccuracyUnderWorkerCrashes(t *testing.T) {
+	s := gen.NetworkLike(60_000, 11)
+	per := s.ItemsPerPeriod()
+	cfg := Config{MemoryBytes: 64 << 10, Weights: Balanced, ItemsPerPeriod: per}
+	const shards = 4
+
+	ref := NewSharded(cfg, shards)
+	feedSequential(ref, s.Items, per)
+
+	var deliveries atomic.Uint64
+	deactivate := fault.Activate(fault.PipelineSink, func(shard int) error {
+		if shard == 0 && deliveries.Add(1)%25 == 0 {
+			panic("chaos: injected worker crash")
+		}
+		return nil
+	})
+	t.Cleanup(deactivate)
+
+	chaos := NewSharded(cfg, shards)
+	p := chaos.Pipeline(PipelineOptions{
+		RingSize:      4,
+		RestartBudget: 1 << 20, // never quarantine: this test is about healing, not failing
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	feedPipelined(t, chaos, p, s.Items, per)
+	st := p.Stats()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after recovered crashes: %v", err)
+	}
+
+	if st.Restarts == 0 {
+		t.Fatal("no worker restarts recorded; the chaos injection never fired")
+	}
+	if st.QuarantinedShards != 0 {
+		t.Fatalf("QuarantinedShards = %d under an unreachable budget", st.QuarantinedShards)
+	}
+	if st.Dropped == 0 || st.Dropped >= uint64(len(s.Items))/5 {
+		t.Fatalf("Dropped = %d of %d items; expected a small bounded loss", st.Dropped, len(s.Items))
+	}
+
+	// Accuracy within the gate tolerance (0.10, as cmd/sigdiff enforces in
+	// CI): at least 90% of the crash-free top-20 survives, and the shared
+	// entries' frequencies are within 10% relative error.
+	const k, tol = 20, 0.10
+	want := ref.TopK(k)
+	got := chaos.TopK(k)
+	gotSet := make(map[Item]Entry, len(got))
+	for _, e := range got {
+		gotSet[e.Item] = e
+	}
+	hits := 0
+	for _, w := range want {
+		g, ok := gotSet[w.Item]
+		if !ok {
+			continue
+		}
+		hits++
+		diff := float64(w.Frequency) - float64(g.Frequency)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol*float64(w.Frequency) {
+			t.Errorf("item %d: frequency %d after crashes, want %d ±%.0f%%",
+				w.Item, g.Frequency, w.Frequency, tol*100)
+		}
+	}
+	if recall := float64(hits) / float64(len(want)); recall < 1-tol {
+		t.Fatalf("top-%d recall %.2f after worker crashes, want ≥ %.2f (restarts=%d dropped=%d)",
+			k, recall, 1-tol, st.Restarts, st.Dropped)
+	}
+}

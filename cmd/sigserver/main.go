@@ -12,6 +12,21 @@
 //	curl -s 'localhost:8080/v1/query?key=alice'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
+//
+// Durability: -snapshot-dir enables crash-safe checkpoints — the tracker
+// is recovered from the newest valid snapshot at startup, checkpointed
+// every -snapshot-interval, and checkpointed once more on SIGINT/SIGTERM
+// before the process exits. A kill -9 loses at most one interval of
+// arrivals, never the whole state.
+//
+// Robustness: request bodies are capped at -max-body (413 beyond it),
+// connections are bounded by -read-timeout/-write-timeout, and with
+// -pipeline the ingest path sheds load with 429 once the rings pass
+// -shed-highwater of capacity. /healthz is the liveness probe, /readyz
+// the readiness probe (503 during startup restore, after a pipeline
+// quarantine, and while shutting down).
 //
 // Observability: every request is logged structurally (method, path,
 // status, bytes, duration); requests slower than -slow log at WARN.
@@ -20,12 +35,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sigstream"
@@ -46,6 +65,17 @@ func main() {
 		withPprof = flag.Bool("pprof", false, "mount /debug/pprof (opt-in; exposes profiling data)")
 		pipelined = flag.Bool("pipeline", false, "route /v1/insert through the asynchronous sharded pipeline")
 		ring      = flag.Int("pipeline-ring", 0, "per-shard pipeline ring capacity in batches (0 = default)")
+
+		snapDir      = flag.String("snapshot-dir", "", "snapshot directory; empty disables crash-safe checkpoints")
+		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic checkpoint cadence (0 = only the final snapshot on shutdown)")
+		snapRetain   = flag.Int("snapshot-retain", 0, "snapshots to keep (0 = default)")
+
+		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32 MiB)")
+		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-connection read deadline (0 disables)")
+		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-connection write deadline (0 disables)")
+		shedHighWater = flag.Float64("shed-highwater", 0, "load-shed threshold as a fraction of ring capacity (0 = default 0.9, negative disables)")
+		restartBudget = flag.Int("restart-budget", 0, "pipeline worker restarts tolerated per shard per minute before quarantine (0 = default 3)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -56,13 +86,27 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	h := server.New(server.Config{
-		MemoryBytes:  *mem,
-		Weights:      sigstream.Weights{Alpha: *alpha, Beta: *beta},
-		Shards:       *shards,
-		DecayFactor:  *decay,
-		Pipeline:     *pipelined,
-		PipelineRing: *ring,
+		MemoryBytes:           *mem,
+		Weights:               sigstream.Weights{Alpha: *alpha, Beta: *beta},
+		Shards:                *shards,
+		DecayFactor:           *decay,
+		MaxBodyBytes:          *maxBody,
+		Pipeline:              *pipelined,
+		PipelineRing:          *ring,
+		PipelineRestartBudget: *restartBudget,
+		ShedHighWater:         *shedHighWater,
+		Logger:                logger,
 	})
+	if *snapDir != "" {
+		if err := h.StartSnapshots(server.SnapshotConfig{
+			Dir:      *snapDir,
+			Interval: *snapInterval,
+			Retain:   *snapRetain,
+		}); err != nil {
+			log.Fatalf("sigserver: snapshots: %v", err)
+		}
+		logger.Info("snapshots enabled", "dir", *snapDir, "interval", *snapInterval)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
 	if *withPprof {
@@ -75,8 +119,42 @@ func main() {
 	}
 	root := obs.LogRequests(logger, *slow, mux)
 
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      root,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests up to
+	// the deadline, then take the final snapshot and release the pipeline.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
 	logger.Info("sigserver listening", "addr", *addr, "mem_bytes", *mem,
 		"alpha", *alpha, "beta", *beta, "shards", *shards, "pprof", *withPprof,
-		"pipeline", *pipelined)
-	log.Fatal(http.ListenAndServe(*addr, root))
+		"pipeline", *pipelined, "snapshot_dir", *snapDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sigserver: %v", err)
+	case <-ctx.Done():
+		stop()
+		logger.Info("sigserver shutting down", "drain_timeout", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("sigserver: drain incomplete", "err", err)
+		}
+		if err := h.Close(); err != nil {
+			logger.Error("sigserver: close", "err", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("sigserver: listener", "err", err)
+		}
+		logger.Info("sigserver stopped")
+	}
 }

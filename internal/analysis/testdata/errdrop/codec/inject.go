@@ -1,0 +1,14 @@
+package codec
+
+import "fake/internal/fault"
+
+// Injection points from the fault package are exempt: these bare calls
+// drop error results on purpose (the caller only wants an injected sleep
+// or panic) and must produce no findings — not even for fault.Encode,
+// whose name is otherwise in errdrop scope.
+func FireInjectionPoints() {
+	fault.Inject("pipeline/sink", 0)
+	fault.Encode()
+	defer fault.Inject("snapshot/write", 0)
+	go fault.Encode()
+}

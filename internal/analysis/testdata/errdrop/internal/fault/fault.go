@@ -1,0 +1,11 @@
+// Package fault mirrors the real internal/fault injection package: its
+// error results exist to be injected by tests, so dropping them is
+// deliberate and exempt from errdrop — even for a helper whose name
+// (Encode) would otherwise put it in scope.
+package fault
+
+type Point string
+
+func Inject(p Point, arg int) error { return nil }
+
+func Encode() error { return nil }

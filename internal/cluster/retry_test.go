@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flakyFetcher fails the first failures calls, then serves img.
+func flakyFetcher(img []byte, failures int) Fetcher {
+	calls := 0
+	return func() ([]byte, error) {
+		calls++
+		if calls <= failures {
+			return nil, fmt.Errorf("connection refused (call %d)", calls)
+		}
+		return img, nil
+	}
+}
+
+// recordedPolicy returns a policy whose sleeps are captured instead of
+// slept, so backoff shape is asserted without wall-clock time.
+func recordedPolicy(attempts int, base, max time.Duration) (RetryPolicy, *[]time.Duration) {
+	var slept []time.Duration
+	return RetryPolicy{
+		Attempts:  attempts,
+		BaseDelay: base,
+		MaxDelay:  max,
+		sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}, &slept
+}
+
+func TestCollectFromRetriesTransientFailure(t *testing.T) {
+	s := NewSite("rack-a", cfg())
+	s.Insert(7)
+	s.EndPeriod()
+	img, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(cfg())
+	policy, slept := recordedPolicy(4, 50*time.Millisecond, time.Second)
+	if err := co.CollectFrom("rack-a", flakyFetcher(img, 2), policy); err != nil {
+		t.Fatalf("CollectFrom with 2 transient failures: %v", err)
+	}
+	if co.Pending() != 1 {
+		t.Fatalf("Pending = %d after a successful retried collect, want 1", co.Pending())
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("backoff %v, want %v (exponential from base)", *slept, want)
+	}
+}
+
+func TestCollectFromExhaustsAttemptsWithCappedBackoff(t *testing.T) {
+	co := NewCoordinator(cfg())
+	policy, slept := recordedPolicy(5, 400*time.Millisecond, time.Second)
+	dead := errors.New("site is on fire")
+	err := co.CollectFrom("rack-dead", func() ([]byte, error) { return nil, dead }, policy)
+	if err == nil {
+		t.Fatal("CollectFrom on a dead site returned nil")
+	}
+	if !errors.Is(err, dead) {
+		t.Fatalf("error %v does not wrap the fetch failure", err)
+	}
+	if !strings.Contains(err.Error(), "after 5 attempts") {
+		t.Fatalf("error %q does not report the attempt count", err)
+	}
+	// 400 doubles to 800, then the 1s cap holds.
+	want := []time.Duration{400 * time.Millisecond, 800 * time.Millisecond, time.Second, time.Second}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("backoff step %d = %v, want %v (cap at MaxDelay)", i, (*slept)[i], want[i])
+		}
+	}
+	if co.Pending() != 0 {
+		t.Fatalf("Pending = %d after a failed collect, want 0", co.Pending())
+	}
+}
+
+func TestCollectFromDoesNotRetryCorruptCheckpoint(t *testing.T) {
+	co := NewCoordinator(cfg())
+	calls := 0
+	policy, slept := recordedPolicy(4, time.Millisecond, time.Second)
+	err := co.CollectFrom("rack-a", func() ([]byte, error) {
+		calls++
+		return []byte("not a checkpoint"), nil
+	}, policy)
+	if err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if calls != 1 || len(*slept) != 0 {
+		t.Fatalf("corrupt checkpoint fetched %d times with %d sleeps; deterministic failures must not retry",
+			calls, len(*slept))
+	}
+}
+
+// siteFetcher closes the site's period and exports it, the in-process
+// equivalent of GET /v1/checkpoint at a period boundary.
+func siteFetcher(s *Site) Fetcher {
+	return func() ([]byte, error) {
+		s.EndPeriod()
+		return s.Export()
+	}
+}
+
+func TestGatherRoundMergesDegradedView(t *testing.T) {
+	a, b := NewSite("rack-a", cfg()), NewSite("rack-b", cfg())
+	for i := 0; i < 10; i++ {
+		a.Insert(1)
+		b.Insert(2)
+	}
+	co := NewCoordinator(cfg())
+	policy, _ := recordedPolicy(2, time.Millisecond, time.Millisecond)
+	rep := co.GatherRound(map[string]Fetcher{
+		"rack-a":    siteFetcher(a),
+		"rack-b":    siteFetcher(b),
+		"rack-dead": func() ([]byte, error) { return nil, errors.New("no route to host") },
+	}, policy)
+
+	if !rep.Degraded() {
+		t.Fatal("round with a dead site reported as complete")
+	}
+	if len(rep.Merged) != 2 || rep.Merged[0] != "rack-a" || rep.Merged[1] != "rack-b" {
+		t.Fatalf("Merged = %v, want the two live sites in name order", rep.Merged)
+	}
+	if err, ok := rep.Skipped["rack-dead"]; !ok || err == nil {
+		t.Fatalf("Skipped = %v, want rack-dead with its error", rep.Skipped)
+	}
+	if rep.Epoch != 1 {
+		t.Fatalf("Epoch = %d, want 1 (degraded rounds still commit)", rep.Epoch)
+	}
+	// The degraded view carries both live sites' items.
+	for _, item := range []uint64{1, 2} {
+		if e, ok := co.Query(item); !ok || e.Frequency != 10 {
+			t.Fatalf("item %d: entry %+v ok=%v, want frequency 10", item, e, ok)
+		}
+	}
+}
+
+func TestGatherRoundAllDeadKeepsPreviousView(t *testing.T) {
+	a := NewSite("rack-a", cfg())
+	for i := 0; i < 5; i++ {
+		a.Insert(9)
+	}
+	co := NewCoordinator(cfg())
+	policy, _ := recordedPolicy(2, time.Millisecond, time.Millisecond)
+	rep := co.GatherRound(map[string]Fetcher{"rack-a": siteFetcher(a)}, policy)
+	if rep.Degraded() || rep.Epoch != 1 {
+		t.Fatalf("healthy round: %+v", rep)
+	}
+
+	rep = co.GatherRound(map[string]Fetcher{
+		"rack-a": func() ([]byte, error) { return nil, errors.New("powered off") },
+	}, policy)
+	if len(rep.Merged) != 0 || rep.Epoch != 2 {
+		t.Fatalf("all-dead round: %+v, want empty merge at epoch 2", rep)
+	}
+	// Stale beats blank: the previous round's view still answers.
+	if e, ok := co.Query(9); !ok || e.Frequency != 5 {
+		t.Fatalf("previous view lost after an all-dead round: %+v ok=%v", e, ok)
+	}
+}

@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInactiveInjectIsNil(t *testing.T) {
+	if err := Inject(PipelineSink, 0); err != nil {
+		t.Fatalf("inactive Inject returned %v", err)
+	}
+	if Active(SnapshotWrite) {
+		t.Fatal("no hook installed, but Active reports one")
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	boom := errors.New("boom")
+	off := Activate(SnapshotWrite, func(int) error { return boom })
+	if !Active(SnapshotWrite) {
+		t.Fatal("hook not visible after Activate")
+	}
+	if err := Inject(SnapshotWrite, 0); err != boom {
+		t.Fatalf("Inject = %v, want boom", err)
+	}
+	// Other points stay inert.
+	if err := Inject(SnapshotSync, 0); err != nil {
+		t.Fatalf("unrelated point injected %v", err)
+	}
+	off()
+	if Active(SnapshotWrite) || Inject(SnapshotWrite, 0) != nil {
+		t.Fatal("hook survived deactivate")
+	}
+}
+
+func TestArgReachesHook(t *testing.T) {
+	var got int
+	off := Activate(PipelineSlow, func(arg int) error { got = arg; return nil })
+	defer off()
+	// The error is deliberately irrelevant for a sleep-style hook; this
+	// bare call is exactly the shape the errdrop exemption allows.
+	Inject(PipelineSlow, 7)
+	if got != 7 {
+		t.Fatalf("hook saw arg %d, want 7", got)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	off := Activate(PipelineSink, func(int) error { panic("injected") })
+	defer off()
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	_ = Inject(PipelineSink, 0)
+	t.Fatal("injected panic did not propagate")
+}

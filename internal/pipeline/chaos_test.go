@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sigstream/internal/fault"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// flakySink panics on the deliveries whose ordinal is in fail, and
+// records everything else.
+type flakySink struct {
+	rec   recordSink
+	calls atomic.Uint64
+	fail  map[uint64]bool
+}
+
+func (f *flakySink) InsertBatch(items []uint64) {
+	n := f.calls.Add(1)
+	if f.fail[n] {
+		panic("flaky sink crash")
+	}
+	f.rec.InsertBatch(items)
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosWorkerRestartBelowBudget checks the self-healing path: a sink
+// that panics once loses exactly that batch, the worker restarts, and
+// producers never observe an error.
+func TestChaosWorkerRestartBelowBudget(t *testing.T) {
+	sink := &flakySink{fail: map[uint64]bool{2: true}}
+	in := New([]Sink{sink}, Options{Logger: quietLogger()})
+	defer in.Close()
+
+	for i := 0; i < 4; i++ {
+		if err := in.Submit([]uint64{uint64(10 + i)}); err != nil {
+			t.Fatalf("Submit %d on a healthy pipeline: %v", i, err)
+		}
+		if err := in.Flush(); err != nil {
+			t.Fatalf("Flush %d after a below-budget panic: %v", i, err)
+		}
+	}
+	st := in.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", st.Restarts)
+	}
+	if st.QuarantinedShards != 0 {
+		t.Fatalf("QuarantinedShards = %d, want 0", st.QuarantinedShards)
+	}
+	if st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want exactly the in-flight batch", st.Dropped)
+	}
+	if in.Err() != nil {
+		t.Fatalf("Err() = %v after a recovered panic, want nil", in.Err())
+	}
+	// Deliveries 1, 3 and 4 landed; delivery 2 was the dropped batch.
+	if got := sink.rec.snapshot(); len(got) != 3 {
+		t.Fatalf("sink recorded %v, want the 3 non-dropped batches", got)
+	}
+}
+
+// TestChaosInjectedSinkPanicViaFault drives the restart path through the
+// fault package instead of a hand-rolled flaky sink: an injected panic on
+// shard 0 restarts the worker without failing producer Submits, visible
+// in Stats.Restarts — the /metrics counter's source.
+func TestChaosInjectedSinkPanicViaFault(t *testing.T) {
+	var fired atomic.Bool
+	deactivate := fault.Activate(fault.PipelineSink, func(shard int) error {
+		if shard == 0 && fired.CompareAndSwap(false, true) {
+			panic("injected sink crash")
+		}
+		return nil
+	})
+	t.Cleanup(deactivate)
+
+	sinks := []*recordSink{{}, {}}
+	in := New([]Sink{sinks[0], sinks[1]}, Options{
+		Partition: modPartition, Logger: quietLogger(),
+	})
+	defer in.Close()
+
+	if err := in.Submit([]uint64{0, 1, 2, 3}); err != nil { // shard 0 gets {0,2}, shard 1 {1,3}
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatalf("Flush after injected panic: %v", err)
+	}
+	if err := in.Submit([]uint64{4, 5}); err != nil {
+		t.Fatalf("Submit after injected panic: %v", err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Restarts != 1 || st.QuarantinedShards != 0 {
+		t.Fatalf("stats = %+v, want 1 restart, 0 quarantined", st)
+	}
+	// Shard 1 never panicked: all its items arrived.
+	if got := sinks[1].snapshot(); len(got) != 3 {
+		t.Fatalf("shard 1 recorded %v, want 3 items", got)
+	}
+	// Shard 0 lost only the injected batch {0,2}; {4} arrived after restart.
+	if got := sinks[0].snapshot(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("shard 0 recorded %v, want [4]", got)
+	}
+}
+
+// TestChaosQuarantineAfterBudget exhausts the restart budget on shard 0 of
+// a two-shard pipeline and checks the terminal path: the error names the
+// shard, Flush surfaces it, and the drain keeps answering flush markers
+// (no producer deadlock).
+func TestChaosQuarantineAfterBudget(t *testing.T) {
+	deactivate := fault.Activate(fault.PipelineSink, func(shard int) error {
+		if shard == 0 {
+			panic("injected persistent crash")
+		}
+		return nil
+	})
+	t.Cleanup(deactivate)
+
+	sinks := []*recordSink{{}, {}}
+	in := New([]Sink{sinks[0], sinks[1]}, Options{
+		Partition: modPartition, RestartBudget: 2, Logger: quietLogger(),
+	})
+	defer in.Close()
+
+	waitFor(t, "quarantine", func() bool {
+		_ = in.Submit([]uint64{0}) // always shard 0
+		return in.Err() != nil
+	})
+	err := in.Err()
+	if !strings.Contains(err.Error(), "shard 0 quarantined") {
+		t.Fatalf("terminal error %q does not name the quarantined shard", err)
+	}
+	if !strings.Contains(err.Error(), "injected persistent crash") {
+		t.Fatalf("terminal error %q lost the panic payload", err)
+	}
+	st := in.Stats()
+	if st.QuarantinedShards != 1 {
+		t.Fatalf("QuarantinedShards = %d, want 1", st.QuarantinedShards)
+	}
+	if st.Restarts != 3 {
+		t.Fatalf("Restarts = %d, want budget 2 + the quarantining panic", st.Restarts)
+	}
+	// Flush still completes (markers are answered by the drain) and
+	// reports the terminal error rather than deadlocking.
+	if ferr := in.Flush(); ferr == nil {
+		t.Fatal("Flush on a quarantined pipeline returned nil")
+	}
+}
+
+// TestChaosSlowShardBackpressure checks the slow-shard injection point:
+// with shard 0 stalled, submissions back its ring up to the configured
+// bound (visible as MaxRingDepth) instead of queueing without limit, and
+// everything drains once the stall clears.
+func TestChaosSlowShardBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	deactivate := fault.Activate(fault.PipelineSlow, func(shard int) error {
+		if shard == 0 {
+			<-gate
+		}
+		return nil
+	})
+	t.Cleanup(func() { deactivate() })
+
+	sinks := []*recordSink{{}, {}}
+	in := New([]Sink{sinks[0], sinks[1]}, Options{
+		Partition: modPartition, RingSize: 2, Logger: quietLogger(),
+	})
+	defer in.Close()
+
+	// One batch occupies the stalled worker, two more fill the ring.
+	for i := 0; i < 3; i++ {
+		if err := in.Submit([]uint64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "ring to fill behind the slow shard", func() bool {
+		return in.MaxRingDepth() == 2
+	})
+	close(gate)
+	deactivate()
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sinks[0].snapshot(); len(got) != 3 {
+		t.Fatalf("slow shard drained %v, want all 3 batches", got)
+	}
+}

@@ -16,17 +16,28 @@
 // producers the interleaving is unspecified, exactly as it is for
 // concurrent synchronous inserts.
 //
-// Failure: a panicking sink poisons the pipeline — the first failure is
-// recorded, subsequent batches are drained and counted as dropped rather
-// than deadlocking producers, and Submit/Flush/Close all report the error.
+// Failure: the pipeline self-heals. A panicking sink kills only its
+// worker; the supervisor logs the panic, counts the in-flight batch as
+// dropped (nothing is requeued — replaying a half-applied batch would
+// double-count), and restarts the worker with a fresh stack. Restarts are
+// budgeted per shard over a sliding window (default 3 per minute); a
+// shard that exhausts the budget is quarantined, which poisons the
+// pipeline exactly like the old permanent-failure path: the terminal
+// error is recorded, every subsequent batch is drained and counted as
+// dropped rather than deadlocking producers, and Submit/Flush/Close all
+// report it. Below the budget, producers never see an error — a transient
+// sink crash costs one batch and one log line.
 package pipeline
 
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sigstream/internal/fault"
 	"sigstream/internal/hashing"
 )
 
@@ -35,6 +46,13 @@ var ErrClosed = errors.New("pipeline: closed")
 
 // DefaultRingSize is the per-shard ring capacity, in batches.
 const DefaultRingSize = 64
+
+// DefaultRestartBudget is the number of worker restarts tolerated per
+// shard within DefaultRestartWindow before the shard is quarantined.
+const DefaultRestartBudget = 3
+
+// DefaultRestartWindow is the sliding window for the restart budget.
+const DefaultRestartWindow = time.Minute
 
 // Sink consumes one shard's sub-batches. Implementations must be safe for
 // use from the shard's single worker goroutine; they typically take the
@@ -59,6 +77,16 @@ type Options struct {
 	// uses, so the pipeline and the synchronous path agree on item
 	// ownership.
 	Partition func(item uint64, shards int) int
+	// RestartBudget is the number of worker restarts tolerated per shard
+	// within RestartWindow before the shard is quarantined (default
+	// DefaultRestartBudget).
+	RestartBudget int
+	// RestartWindow is the sliding window over which RestartBudget is
+	// counted (default DefaultRestartWindow).
+	RestartWindow time.Duration
+	// Logger receives restart and quarantine events (default
+	// slog.Default()).
+	Logger *slog.Logger
 }
 
 // Stats is a point-in-time observability snapshot of an Ingestor.
@@ -77,8 +105,15 @@ type Stats struct {
 	Stalls uint64
 	// Flushes counts completed Flush drains.
 	Flushes uint64
-	// Dropped counts items discarded after a sink failure.
+	// Dropped counts items discarded: the in-flight batch of each sink
+	// panic, plus everything drained after a quarantine poisons the
+	// pipeline.
 	Dropped uint64
+	// Restarts counts workers respawned after a recovered sink panic.
+	Restarts uint64
+	// QuarantinedShards counts shards retired after exhausting the
+	// restart budget.
+	QuarantinedShards uint64
 }
 
 // envelope is one ring element: either a batch of items or a flush marker.
@@ -90,10 +125,13 @@ type envelope struct {
 // Ingestor is the pipelined front-end. All methods are safe for concurrent
 // use by multiple producers.
 type Ingestor struct {
-	sinks []Sink
-	part  func(uint64, int) int
-	rings []chan envelope
-	wg    sync.WaitGroup
+	sinks  []Sink
+	part   func(uint64, int) int
+	rings  []chan envelope
+	wg     sync.WaitGroup
+	budget int
+	window time.Duration
+	logger *slog.Logger
 
 	// mu serializes Close against in-flight Submit/Flush sends: producers
 	// hold the read side while touching the rings, so Close cannot close a
@@ -104,6 +142,7 @@ type Ingestor struct {
 	failure atomic.Pointer[ingestError]
 
 	items, batches, stalls, flushes, dropped atomic.Uint64
+	restarts, quarantined                    atomic.Uint64
 
 	pool   sync.Pool // *[]uint64 sub-batch buffers, recycled by workers
 	tables sync.Pool // *scatterTable per-shard scatter tables, recycled by Submit
@@ -132,10 +171,25 @@ func New(sinks []Sink, opts Options) *Ingestor {
 			return int(hashing.Mix64(item) % uint64(shards))
 		}
 	}
+	budget := opts.RestartBudget
+	if budget <= 0 {
+		budget = DefaultRestartBudget
+	}
+	window := opts.RestartWindow
+	if window <= 0 {
+		window = DefaultRestartWindow
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	in := &Ingestor{
-		sinks: sinks,
-		part:  part,
-		rings: make([]chan envelope, len(sinks)),
+		sinks:  sinks,
+		part:   part,
+		rings:  make([]chan envelope, len(sinks)),
+		budget: budget,
+		window: window,
+		logger: logger,
 	}
 	for i := range in.rings {
 		in.rings[i] = make(chan envelope, ring)
@@ -148,7 +202,25 @@ func New(sinks []Sink, opts Options) *Ingestor {
 // Shards reports the number of rings/workers.
 func (in *Ingestor) Shards() int { return len(in.sinks) }
 
-// Err reports the first sink failure, if any.
+// RingCapacity reports each ring's capacity in batches.
+func (in *Ingestor) RingCapacity() int { return cap(in.rings[0]) }
+
+// MaxRingDepth reports the deepest ring's current queue depth in batches,
+// without allocating — cheap enough for a load-shed gate to poll on every
+// request.
+func (in *Ingestor) MaxRingDepth() int {
+	depth := 0
+	for _, r := range in.rings {
+		if d := len(r); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// Err reports the pipeline's terminal failure, if any: a shard was
+// quarantined after exhausting its restart budget. Recovered sink panics
+// below the budget are not errors; they surface through Stats.Restarts.
 func (in *Ingestor) Err() error {
 	if f := in.failure.Load(); f != nil {
 		return f.err
@@ -162,8 +234,9 @@ func (in *Ingestor) Err() error {
 // when Submit returns, the items are owned by the pipeline but not
 // necessarily applied — call Flush for a visibility barrier.
 //
-// Submit reports ErrClosed after Close, and the first sink failure once
-// the pipeline is poisoned (poisoned submissions are dropped, not queued).
+// Submit reports ErrClosed after Close, and the terminal quarantine error
+// once the pipeline is poisoned (poisoned submissions are dropped, not
+// queued). Sink panics below the restart budget never fail a Submit.
 // Steady-state submission is allocation-free: sub-batch buffers and the
 // per-shard scatter table are pooled, with growth confined to the buf and
 // table helpers.
@@ -263,14 +336,16 @@ func (in *Ingestor) Close() error {
 // Stats snapshots the pipeline's observability counters and ring depths.
 func (in *Ingestor) Stats() Stats {
 	st := Stats{
-		Shards:       len(in.sinks),
-		RingCapacity: cap(in.rings[0]),
-		RingDepth:    make([]int, len(in.rings)),
-		Items:        in.items.Load(),
-		Batches:      in.batches.Load(),
-		Stalls:       in.stalls.Load(),
-		Flushes:      in.flushes.Load(),
-		Dropped:      in.dropped.Load(),
+		Shards:            len(in.sinks),
+		RingCapacity:      cap(in.rings[0]),
+		RingDepth:         make([]int, len(in.rings)),
+		Items:             in.items.Load(),
+		Batches:           in.batches.Load(),
+		Stalls:            in.stalls.Load(),
+		Flushes:           in.flushes.Load(),
+		Dropped:           in.dropped.Load(),
+		Restarts:          in.restarts.Load(),
+		QuarantinedShards: in.quarantined.Load(),
 	}
 	for i, r := range in.rings {
 		st.RingDepth[i] = len(r)
@@ -278,9 +353,58 @@ func (in *Ingestor) Stats() Stats {
 	return st
 }
 
-// worker drains one ring into its sink until Close.
+// worker supervises one shard. It runs the drain loop and, when a sink
+// panic unwinds it, logs the panic, counts a restart against the shard's
+// sliding-window budget, and re-enters the loop with a fresh stack —
+// recover-and-respawn. A shard that panics more than budget times inside
+// the window is quarantined: the terminal error poisons the pipeline (as
+// the old permanent-failure path did) and the loop keeps running as a
+// drain, so flush markers are still answered and producers never block on
+// a dead shard.
 func (in *Ingestor) worker(shard int) {
 	defer in.wg.Done()
+	var recent []time.Time // restart times inside the window; only this goroutine touches it
+	for {
+		normal, val := in.run(shard)
+		if normal {
+			return // ring closed
+		}
+		now := time.Now()
+		keep := recent[:0]
+		for _, ts := range recent {
+			if now.Sub(ts) < in.window {
+				keep = append(keep, ts)
+			}
+		}
+		recent = append(keep, now)
+		in.restarts.Add(1)
+		if len(recent) > in.budget {
+			in.failure.CompareAndSwap(nil, &ingestError{fmt.Errorf(
+				"pipeline: shard %d quarantined after %d sink panics within %v (last: %v)",
+				shard, len(recent), in.window, val)})
+			in.quarantined.Add(1)
+			in.logger.Error("pipeline: shard quarantined",
+				"shard", shard, "panics_in_window", len(recent),
+				"window", in.window, "panic", val)
+			recent = recent[:0] // quarantined: consume stops reaching the sink, no more panics
+			continue
+		}
+		in.logger.Warn("pipeline: worker restarted after sink panic",
+			"shard", shard, "panic", val,
+			"restarts_in_window", len(recent), "budget", in.budget)
+	}
+}
+
+// run drains the ring until it closes (normal exit) or a sink panic
+// unwinds it. The recover lives here rather than in consume so every
+// restart re-enters through a fresh call frame, and so the panic value
+// reaches the supervisor for budgeting and logging.
+func (in *Ingestor) run(shard int) (normal bool, panicVal any) {
+	defer func() {
+		if r := recover(); r != nil {
+			normal, panicVal = false, r
+		}
+	}()
 	for env := range in.rings[shard] {
 		if env.flush != nil {
 			env.flush <- struct{}{}
@@ -288,10 +412,13 @@ func (in *Ingestor) worker(shard int) {
 		}
 		in.consume(shard, env.items)
 	}
+	return true, nil
 }
 
-// consume applies one sub-batch, converting a sink panic into a recorded
-// pipeline failure so producers are unblocked instead of deadlocked.
+// consume applies one sub-batch. A panicking sink counts its in-flight
+// batch as dropped and re-panics so the supervisor can restart the
+// worker; once the pipeline is poisoned (a shard exhausted its restart
+// budget) every batch is drained and dropped instead of applied.
 func (in *Ingestor) consume(shard int, batch []uint64) {
 	defer in.recycle(batch)
 	if in.Err() != nil {
@@ -300,11 +427,15 @@ func (in *Ingestor) consume(shard int, batch []uint64) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			in.failure.CompareAndSwap(nil,
-				&ingestError{fmt.Errorf("pipeline: shard %d sink panicked: %v", shard, r)})
 			in.dropped.Add(uint64(len(batch)))
+			panic(r)
 		}
 	}()
+	// Chaos-test injection points: a sleeping hook models a slow shard, a
+	// panicking hook models a crashing sink. Inactive they cost one atomic
+	// load per sub-batch; their error results are deliberately unused.
+	fault.Inject(fault.PipelineSlow, shard)
+	fault.Inject(fault.PipelineSink, shard)
 	in.sinks[shard].InsertBatch(batch)
 }
 

@@ -162,45 +162,55 @@ type panicSink struct{}
 
 func (panicSink) InsertBatch([]uint64) { panic("sink exploded") }
 
-func TestSinkPanicPoisonsThePipeline(t *testing.T) {
-	in := New([]Sink{panicSink{}}, Options{})
+// quarantine drives an always-panicking single-sink pipeline past its
+// restart budget and returns the poisoned pipeline.
+func quarantine(t *testing.T, in *Ingestor) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for in.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never quarantined")
+		}
+		_ = in.Submit([]uint64{1, 2, 3})
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSinkPanicQuarantinePoisonsThePipeline(t *testing.T) {
+	in := New([]Sink{panicSink{}}, Options{RestartBudget: 1, Logger: quietLogger()})
 	defer in.Close()
-	if err := in.Submit([]uint64{1, 2, 3}); err != nil {
-		t.Fatal(err)
-	}
-	if err := in.Flush(); err == nil {
-		t.Fatal("Flush after a sink panic returned nil, want the recorded failure")
-	}
+	quarantine(t, in)
 	// Poisoned pipeline: submissions are rejected-and-dropped, not queued,
 	// and every entry point reports the failure.
 	if err := in.Submit([]uint64{4}); err == nil {
 		t.Fatal("Submit on a poisoned pipeline returned nil")
 	}
-	if in.Err() == nil {
-		t.Fatal("Err() returned nil after a sink panic")
+	if err := in.Flush(); err == nil {
+		t.Fatal("Flush on a poisoned pipeline returned nil")
 	}
-	if st := in.Stats(); st.Dropped == 0 {
+	st := in.Stats()
+	if st.Dropped == 0 {
 		t.Fatal("expected dropped items after the failure")
+	}
+	if st.QuarantinedShards != 1 {
+		t.Fatalf("QuarantinedShards = %d, want 1", st.QuarantinedShards)
+	}
+	if st.Restarts != 2 {
+		t.Fatalf("Restarts = %d, want 2 (budget 1 + the quarantining panic)", st.Restarts)
 	}
 	if err := in.Close(); err == nil {
 		t.Fatal("Close returned nil, want the recorded failure")
 	}
 }
 
-// TestSinkPanicMessageSurfaces pins that the poison error carries the
+// TestSinkPanicMessageSurfaces pins that the quarantine error carries the
 // original panic payload, not a generic "pipeline failed": an operator
 // debugging a dead ingest path needs the sink's own message.
 func TestSinkPanicMessageSurfaces(t *testing.T) {
-	in := New([]Sink{panicSink{}}, Options{})
-	if err := in.Submit([]uint64{1}); err != nil {
-		t.Fatal(err)
-	}
-	ferr := in.Flush()
-	if ferr == nil {
-		t.Fatal("Flush after a sink panic returned nil")
-	}
+	in := New([]Sink{panicSink{}}, Options{RestartBudget: 1, Logger: quietLogger()})
+	quarantine(t, in)
 	for name, err := range map[string]error{
-		"Flush":  ferr,
+		"Flush":  in.Flush(),
 		"Submit": in.Submit([]uint64{2}),
 		"Err":    in.Err(),
 		"Close":  in.Close(),

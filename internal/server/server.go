@@ -12,10 +12,20 @@
 //	GET  /v1/checkpoint download a binary snapshot of the tracker
 //	POST /v1/restore    replace the tracker state from a snapshot body
 //	GET  /metrics       Prometheus text exposition (service + LTC + HTTP series)
+//	GET  /healthz       liveness: 200 while the process serves requests
+//	GET  /readyz        readiness: 200 when ingest is healthy and no restore is running
 //
 // Every endpoint is wrapped in obs.HTTPMetrics middleware, so /metrics
 // reports per-endpoint request counts, error counts and latency
 // histograms alongside the tracker's instrumentation counters.
+//
+// Fault tolerance: StartSnapshots recovers the newest valid on-disk
+// checkpoint at startup and then checkpoints periodically (crash safety);
+// the pipelined ingest path self-heals from sink panics and quarantines a
+// shard only after exhausting its restart budget (visible on /readyz and
+// /metrics); and when the ingest rings back up past Config.ShedHighWater,
+// /v1/insert sheds load with 429 + Retry-After instead of stalling every
+// handler goroutine on a saturated ring.
 //
 // /v1/insert is batched end-to-end: the whole request body is parsed into
 // one key batch, the keys are interned under a single lock acquisition, and
@@ -29,14 +39,19 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sigstream"
 	"sigstream/internal/obs"
+	"sigstream/internal/snapshot"
 )
 
 // Config sizes the served tracker.
@@ -50,7 +65,8 @@ type Config struct {
 	// DecayFactor optionally ages counts at each period boundary
 	// (see sigstream.Config.DecayFactor).
 	DecayFactor float64
-	// MaxBodyBytes caps an insert request body (default 8 MiB).
+	// MaxBodyBytes caps an insert or restore request body (default 32 MiB);
+	// an oversized body is refused with 413 before it is buffered whole.
 	MaxBodyBytes int64
 	// Pipeline routes /v1/insert through an asynchronous sigstream.Pipeline
 	// instead of the synchronous batch path: handler goroutines partition and
@@ -60,6 +76,36 @@ type Config struct {
 	// PipelineRing is the per-shard ring capacity in batches when Pipeline
 	// is on (default sigstream's DefaultRingSize).
 	PipelineRing int
+	// PipelineRestartBudget bounds the pipeline's self-healing: worker
+	// restarts tolerated per shard within PipelineRestartWindow before the
+	// shard is quarantined (default sigstream's, 3 per minute).
+	PipelineRestartBudget int
+	// PipelineRestartWindow is the sliding window for PipelineRestartBudget
+	// (default one minute).
+	PipelineRestartWindow time.Duration
+	// ShedHighWater is the load-shed threshold as a fraction of the
+	// per-shard ring capacity: once the deepest ingest ring reaches
+	// ShedHighWater×capacity, /v1/insert answers 429 with Retry-After
+	// instead of queueing more (default 0.9; negative disables shedding;
+	// meaningful only with Pipeline, where a saturated ring would otherwise
+	// stall every handler goroutine).
+	ShedHighWater float64
+	// Logger receives pipeline restart/quarantine and snapshot lifecycle
+	// events (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// SnapshotConfig wires crash-safe durability into a Server: where
+// checkpoints live, how often they are taken, and how many to keep.
+type SnapshotConfig struct {
+	// Dir is the snapshot directory (created if missing).
+	Dir string
+	// Interval is the periodic checkpoint cadence; zero means only the
+	// final snapshot on Close.
+	Interval time.Duration
+	// Retain is how many newest snapshots to keep (default
+	// snapshot.DefaultRetain).
+	Retain int
 }
 
 // Server is an http.Handler serving one tracker.
@@ -69,12 +115,24 @@ type Server struct {
 	cfg     Config
 	httpm   *obs.HTTPMetrics
 	reg     *obs.Registry
+	logger  *slog.Logger
 
 	mu       sync.Mutex // guards keys, counters, and the tracker/pipeline pair
 	keys     *sigstream.KeyMap
 	pipeline *sigstream.Pipeline // nil unless cfg.Pipeline; swapped with the tracker on restore
 	arrivals uint64
 	periods  uint64
+
+	shedDepth int // ring depth at which /v1/insert sheds; 0 disables
+
+	snapMu sync.Mutex
+	snap   *snapshot.Snapshotter // nil until StartSnapshots
+
+	restoring atomic.Bool // startup recovery in progress (/readyz gates on it)
+	sheds     atomic.Uint64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
 }
 
 // New builds a Server.
@@ -86,18 +144,28 @@ func New(cfg Config) *Server {
 		cfg.Weights = sigstream.Balanced
 	}
 	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = 8 << 20
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.ShedHighWater == 0 {
+		cfg.ShedHighWater = 0.9
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 	s := &Server{
-		mux:   http.NewServeMux(),
-		cfg:   cfg,
-		keys:  sigstream.NewKeyMap(),
-		httpm: obs.NewHTTPMetrics(),
-		reg:   obs.NewRegistry(),
+		mux:    http.NewServeMux(),
+		cfg:    cfg,
+		keys:   sigstream.NewKeyMap(),
+		httpm:  obs.NewHTTPMetrics(),
+		reg:    obs.NewRegistry(),
+		logger: cfg.Logger,
 	}
 	s.tracker = s.newTracker()
 	if cfg.Pipeline {
-		s.pipeline = s.tracker.Pipeline(sigstream.PipelineOptions{RingSize: cfg.PipelineRing})
+		s.pipeline = s.tracker.Pipeline(s.pipelineOptions())
+		if cfg.ShedHighWater > 0 {
+			s.shedDepth = max(1, int(cfg.ShedHighWater*float64(s.pipeline.RingCapacity())))
+		}
 	}
 	for path, h := range map[string]http.HandlerFunc{
 		"/v1/insert":     s.handleInsert,
@@ -107,6 +175,8 @@ func New(cfg Config) *Server {
 		"/v1/stats":      s.handleStats,
 		"/v1/checkpoint": s.handleCheckpoint,
 		"/v1/restore":    s.handleRestore,
+		"/healthz":       s.handleHealthz,
+		"/readyz":        s.handleReadyz,
 	} {
 		s.mux.Handle(path, s.httpm.Wrap(path, h))
 	}
@@ -125,6 +195,18 @@ func (s *Server) newTracker() *sigstream.Sharded {
 		Weights:     s.cfg.Weights,
 		DecayFactor: s.cfg.DecayFactor,
 	}, s.cfg.Shards)
+}
+
+// pipelineOptions builds the pipeline tuning from the server config; New
+// and the restore swap share it so a post-restore pipeline keeps the same
+// ring depth and restart budget.
+func (s *Server) pipelineOptions() sigstream.PipelineOptions {
+	return sigstream.PipelineOptions{
+		RingSize:      s.cfg.PipelineRing,
+		RestartBudget: s.cfg.PipelineRestartBudget,
+		RestartWindow: s.cfg.PipelineRestartWindow,
+		Logger:        s.logger,
+	}
 }
 
 // Registry exposes the server's metrics registry so embedding programs can
@@ -163,14 +245,86 @@ func (s *Server) barrier() error {
 	return nil
 }
 
-// Close releases the pipeline workers, if any. The HTTP handlers remain
-// usable (reads still work); it exists so embedding programs can shut the
-// ingestion path down cleanly.
-func (s *Server) Close() error {
-	if p := s.pipe(); p != nil {
-		return p.Close()
+// StartSnapshots makes the server crash-safe: it recovers the newest
+// valid checkpoint from cfg.Dir into the tracker (a fresh or empty
+// directory recovers nothing and is not an error), then checkpoints the
+// tracker there periodically and once more on Close. While recovery runs,
+// /readyz reports 503 so a load balancer holds traffic until the restored
+// state is live. Call it once, after New and before serving traffic.
+func (s *Server) StartSnapshots(cfg SnapshotConfig) error {
+	if cfg.Dir == "" {
+		return errors.New("server: snapshot dir required")
 	}
+	s.restoring.Store(true)
+	defer s.restoring.Store(false)
+	payload, name, err := snapshot.Recover(cfg.Dir, s.logger)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		if _, err := s.restoreImage(payload); err != nil {
+			return fmt.Errorf("server: restore snapshot %s: %w", name, err)
+		}
+		s.logger.Info("server: recovered snapshot", "file", name)
+	}
+	snap, err := snapshot.New(s.checkpointImage, snapshot.Options{
+		Dir:      cfg.Dir,
+		Interval: cfg.Interval,
+		Retain:   cfg.Retain,
+		Logger:   s.logger,
+	})
+	if err != nil {
+		return err
+	}
+	s.snapMu.Lock()
+	s.snap = snap
+	s.snapMu.Unlock()
+	snap.Start()
 	return nil
+}
+
+// snapshotter returns the Snapshotter, or nil before StartSnapshots.
+func (s *Server) snapshotter() *snapshot.Snapshotter {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snap
+}
+
+// SnapshotNow forces one checkpoint to disk outside the periodic cadence
+// and returns the written file name. It fails if StartSnapshots has not
+// run.
+func (s *Server) SnapshotNow() (string, error) {
+	snap := s.snapshotter()
+	if snap == nil {
+		return "", errors.New("server: snapshots not started")
+	}
+	return snap.Save()
+}
+
+// Close shuts the durability and ingestion paths down: one final snapshot
+// (when StartSnapshots ran), then the pipeline drain. The HTTP handlers
+// remain usable for reads; in-flight inserts either drain with the
+// pipeline or fail with 503, never panic. Close is idempotent and safe
+// under concurrent requests — the first call does the work and reports
+// any failure, later calls return nil.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		var errs []error
+		if snap := s.snapshotter(); snap != nil {
+			if cerr := snap.Close(); cerr != nil {
+				errs = append(errs, cerr)
+			}
+		}
+		if p := s.pipe(); p != nil {
+			if cerr := p.Close(); cerr != nil {
+				errs = append(errs, cerr)
+			}
+		}
+		err = errors.Join(errs...)
+	})
+	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -209,10 +363,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Shed before buffering the body: when the ingest rings are already at
+	// the high-water mark, accepting this request would stall the handler
+	// goroutine on a full ring; a 429 tells well-behaved producers to back
+	// off for a beat instead.
+	if p := s.pipe(); p != nil && s.shedDepth > 0 && p.Depth() >= s.shedDepth {
+		s.sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "ingest queue at high-water mark, retry later")
+		return
+	}
 	trk := s.trk()
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	// Intern the whole request under one lock acquisition, then feed the
@@ -355,11 +518,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	if err := s.barrier(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
-		return
-	}
-	img, err := s.trk().MarshalBinary()
+	img, err := s.checkpointImage()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -374,33 +533,55 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	// Restore into a fresh tracker first, then swap, so a bad image leaves
-	// the live tracker untouched. The fresh tracker is built from the
-	// server's configuration and the snapshot must match its geometry:
-	// accepting an arbitrary image would silently replace the configured
-	// shard count, memory budget and weights with whatever the snapshot
-	// carries. Key names are not part of the snapshot; unseen keys render
-	// as hex until re-interned.
+	fresh, err := s.restoreImage(body)
+	if err != nil {
+		var ge *geometryError
+		if errors.As(err, &ge) {
+			httpError(w, http.StatusConflict, ge.Error())
+		} else {
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, map[string]int{"shards": fresh.Shards()})
+}
+
+// geometryError reports a checkpoint image whose tracker geometry does not
+// match the server's configuration; /v1/restore maps it to 409 (the image
+// is well-formed, just for a differently-sized server) rather than 400.
+type geometryError struct{ msg string }
+
+func (e *geometryError) Error() string { return e.msg }
+
+// restoreImage validates a checkpoint image and installs it as the live
+// tracker, returning the installed tracker. The image is restored into a
+// fresh tracker first, then swapped, so a bad image leaves the live
+// tracker untouched. The fresh tracker is built from the server's
+// configuration and the snapshot must match its geometry: accepting an
+// arbitrary image would silently replace the configured shard count,
+// memory budget and weights with whatever the snapshot carries. Key names
+// are not part of the snapshot; unseen keys render as hex until
+// re-interned. Both /v1/restore and StartSnapshots recovery funnel
+// through here, so a crash-recovered snapshot passes the same geometry
+// gate as an operator-uploaded one.
+func (s *Server) restoreImage(body []byte) (*sigstream.Sharded, error) {
 	fresh := s.newTracker()
 	want := fresh.Stats()
 	if err := fresh.UnmarshalBinary(body); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	got := fresh.Stats()
 	if got.Shards != want.Shards || got.MemoryBytes != want.MemoryBytes ||
 		got.BucketWidth != want.BucketWidth ||
 		got.Alpha != want.Alpha || got.Beta != want.Beta {
-		httpError(w, http.StatusConflict, fmt.Sprintf(
+		return nil, &geometryError{fmt.Sprintf(
 			"snapshot geometry (shards=%d mem=%d d=%d α=%g β=%g) does not match server config (shards=%d mem=%d d=%d α=%g β=%g)",
 			got.Shards, got.MemoryBytes, got.BucketWidth, got.Alpha, got.Beta,
-			want.Shards, want.MemoryBytes, want.BucketWidth, want.Alpha, want.Beta))
-		return
+			want.Shards, want.MemoryBytes, want.BucketWidth, want.Alpha, want.Beta)}
 	}
 	// Reset the service counters to the snapshot's view of the stream: the
 	// tracker-level counters survive the checkpoint round-trip, so the
@@ -412,7 +593,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	old := s.pipeline
 	if old != nil {
-		s.pipeline = fresh.Pipeline(sigstream.PipelineOptions{RingSize: s.cfg.PipelineRing})
+		s.pipeline = fresh.Pipeline(s.pipelineOptions())
 	}
 	s.tracker = fresh
 	s.arrivals = got.Arrivals
@@ -421,7 +602,77 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if old != nil {
 		_ = old.Close()
 	}
-	writeJSON(w, map[string]int{"shards": fresh.Shards()})
+	return fresh, nil
+}
+
+// checkpointImage drains the pipeline and marshals the live tracker: the
+// shared source behind GET /v1/checkpoint, the periodic Snapshotter, and
+// the final snapshot on Close. The barrier is best-effort — a quarantined
+// pipeline still answers flush markers, so a crash-safe snapshot of the
+// state applied so far stays possible even after an ingest failure (the
+// failure itself is logged and keeps surfacing on /readyz).
+func (s *Server) checkpointImage() ([]byte, error) {
+	if err := s.barrier(); err != nil {
+		s.logger.Warn("server: checkpoint barrier failed; snapshotting applied state",
+			"err", err)
+	}
+	return s.trk().MarshalBinary()
+}
+
+// readBody buffers a request body under the configured limit, translating
+// an overrun into 413 (the limit is the operator's, not the client's) and
+// any other failure into 400. The bool reports whether the caller may
+// proceed.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d byte limit", mbe.Limit))
+			return nil, false
+		}
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// handleHealthz is the liveness probe: 200 whenever the process can
+// answer HTTP at all, including while degraded — restarting the process
+// is the remedy for a hung process, not for a quarantined shard.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only when the server should
+// receive traffic — no startup restore in progress, not shut down, and
+// the ingest pipeline not quarantined. A load balancer drains a 503
+// instance while /healthz keeps it alive for diagnosis.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	if s.restoring.Load() {
+		httpError(w, http.StatusServiceUnavailable, "snapshot restore in progress")
+		return
+	}
+	if p := s.pipe(); p != nil {
+		if err := p.Err(); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+			return
+		}
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 // collectTracker contributes the service- and tracker-level series to the
@@ -477,6 +728,24 @@ func (s *Server) collectTracker(w *obs.Writer) {
 			"Completed pipeline flush drains.", float64(ps.Flushes))
 		w.Counter("sigstream_pipeline_dropped_total",
 			"Items discarded after a worker failure.", float64(ps.Dropped))
+		w.Counter("sigstream_pipeline_restarts_total",
+			"Workers respawned after a recovered sink panic.", float64(ps.Restarts))
+		w.Gauge("sigstream_pipeline_quarantined_shards",
+			"Shards retired after exhausting the restart budget.",
+			float64(ps.QuarantinedShards))
+	}
+	w.Counter("sigstream_http_shed_total",
+		"Inserts refused with 429 at the ring high-water mark.", float64(s.sheds.Load()))
+	if snap := s.snapshotter(); snap != nil {
+		ss := snap.Stats()
+		w.Counter("sigstream_snapshot_saves_total",
+			"Snapshots written successfully.", float64(ss.Saves))
+		w.Counter("sigstream_snapshot_errors_total",
+			"Snapshot attempts that failed.", float64(ss.Errors))
+		w.Gauge("sigstream_snapshot_last_seq",
+			"Sequence number of the newest snapshot.", float64(ss.LastSeq))
+		w.Gauge("sigstream_snapshot_last_bytes",
+			"Frame size of the newest snapshot.", float64(ss.LastBytes))
 	}
 }
 

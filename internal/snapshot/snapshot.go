@@ -1,0 +1,457 @@
+// Package snapshot gives a serving tracker crash safety: a Snapshotter
+// periodically checkpoints an opaque payload (the tracker's MarshalBinary
+// image) to disk, and Recover finds the newest intact checkpoint after a
+// restart — including a kill -9 mid-write, a full disk, or a torn rename.
+//
+// Durability discipline: every snapshot is written to a temp file in the
+// target directory, fsynced, closed, renamed into place, and the directory
+// is fsynced so the rename itself survives power loss. A reader can
+// therefore trust any file with the final name — except one corrupted at
+// rest, which is why every frame carries a CRC32 trailer (format below).
+// Recovery walks snapshots newest-first and skips, with a logged reason,
+// anything torn, truncated, or bit-flipped, so one bad file costs one
+// interval of history, never the whole state.
+//
+// Frame format (little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SSN1"
+//	4       8     payload length n
+//	12      n     payload (opaque to this package)
+//	12+n    4     CRC32 (IEEE) over bytes [0, 12+n)
+//
+// Files are named snap-<seq>.ssnap with a zero-padded hexadecimal
+// sequence number, so lexical order is age order and the newest snapshot
+// is the highest name; sequence numbering resumes past any existing file
+// after a restart.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigstream/internal/fault"
+)
+
+const (
+	magic       = "SSN1"
+	headerSize  = 12
+	trailerSize = 4
+
+	prefix = "snap-"
+	suffix = ".ssnap"
+
+	// DefaultRetain is how many snapshots Snapshotter keeps when
+	// Options.Retain is zero.
+	DefaultRetain = 3
+)
+
+// ErrCorrupt tags every frame validation failure, so callers can
+// errors.Is one sentinel instead of matching reason strings.
+var ErrCorrupt = errors.New("snapshot: corrupt frame")
+
+// Encode frames payload for disk: magic, length, payload, CRC32 trailer.
+func Encode(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+trailerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	sum := crc32.ChecksumIEEE(buf[:headerSize+len(payload)])
+	binary.LittleEndian.PutUint32(buf[headerSize+len(payload):], sum)
+	return buf
+}
+
+// Decode validates one frame and returns its payload. The payload aliases
+// data; callers that outlive data must copy. Every failure wraps
+// ErrCorrupt with the specific reason (short frame, bad magic, length
+// mismatch, checksum mismatch) — the length is checked against the actual
+// frame size before any slicing, so a forged multi-gigabyte length field
+// cannot drive an allocation or an out-of-range read.
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d",
+			ErrCorrupt, len(data), headerSize+trailerSize)
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	n := binary.LittleEndian.Uint64(data[4:])
+	if n != uint64(len(data)-headerSize-trailerSize) {
+		return nil, fmt.Errorf("%w: declared payload %d bytes, frame carries %d",
+			ErrCorrupt, n, len(data)-headerSize-trailerSize)
+	}
+	body := data[:headerSize+n]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(data[headerSize+n:]); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return data[headerSize : headerSize+n], nil
+}
+
+// FileName renders the snapshot file name for a sequence number.
+func FileName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", prefix, seq, suffix)
+}
+
+// parseSeq extracts the sequence number from a snapshot file name.
+func parseSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Recover returns the payload and file name of the newest valid snapshot
+// in dir, or (nil, "", nil) when dir has none (including when dir does
+// not exist — a fresh deployment is not an error). Invalid files — torn
+// writes, truncation, bit flips — are skipped with a logged reason and
+// recovery falls back to the next-newest, so a single bad file never
+// blocks a restart.
+func Recover(dir string, logger *slog.Logger) ([]byte, string, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("snapshot: recover: %w", err)
+	}
+	type candidate struct {
+		seq  uint64
+		name string
+	}
+	var found []candidate
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(e.Name()); ok {
+			found = append(found, candidate{seq, e.Name()})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].seq > found[j].seq })
+	for _, c := range found {
+		data, err := os.ReadFile(filepath.Join(dir, c.name))
+		if err == nil {
+			var payload []byte
+			if payload, err = Decode(data); err == nil {
+				return payload, c.name, nil
+			}
+		}
+		logger.Warn("snapshot: skipping invalid snapshot",
+			"file", c.name, "reason", err)
+	}
+	return nil, "", nil
+}
+
+// writeAtomic writes frame to dir/name with full crash discipline: temp
+// file, fsync, close, rename, directory fsync. On any failure the temp
+// file is removed and dir/name is untouched, so a concurrent or later
+// Recover never observes a half-written final file. The write, sync and
+// rename steps carry fault-injection points for chaos tests; an injected
+// write fault additionally tears the temp file (half the frame lands) to
+// model a mid-write crash.
+func writeAtomic(dir, name string, frame []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(f, frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := renameFile(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// writeFrame writes the whole frame, or — under an injected write fault —
+// tears it: half the frame reaches the file and the injected error is
+// returned, exactly what a crash or a full disk mid-write leaves behind.
+func writeFrame(f *os.File, frame []byte) error {
+	if err := fault.Inject(fault.SnapshotWrite, 0); err != nil {
+		_, _ = f.Write(frame[:len(frame)/2])
+		return fmt.Errorf("snapshot: write %s: %w", f.Name(), err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+// syncFile fsyncs the temp file (injection point: fsync failure).
+func syncFile(f *os.File) error {
+	if err := fault.Inject(fault.SnapshotSync, 0); err != nil {
+		return fmt.Errorf("snapshot: fsync %s: %w", f.Name(), err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("snapshot: fsync %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+// renameFile renames the temp file into place (injection point: rename
+// failure).
+func renameFile(oldpath, newpath string) error {
+	if err := fault.Inject(fault.SnapshotRename, 0); err != nil {
+		return fmt.Errorf("snapshot: rename %s: %w", newpath, err)
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return fmt.Errorf("snapshot: rename %s: %w", newpath, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs dir so a completed rename survives power loss. Best
+// effort: some filesystems refuse directory fsync, and the rename itself
+// already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// Source produces one checkpoint payload; the Snapshotter calls it on
+// every interval tick and once more on Close.
+type Source func() ([]byte, error)
+
+// Options tunes a Snapshotter.
+type Options struct {
+	// Dir is the snapshot directory (created if missing).
+	Dir string
+	// Interval is the periodic checkpoint cadence; zero or negative means
+	// no ticker — only explicit Save calls and the final snapshot on
+	// Close.
+	Interval time.Duration
+	// Retain is how many newest snapshots to keep (default DefaultRetain).
+	// Pruning also removes stray .tmp files left by crashed writes.
+	Retain int
+	// Logger receives save/skip/prune events (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// Stats is a point-in-time snapshot of the Snapshotter's counters, for
+// /metrics exposition.
+type Stats struct {
+	// Saves counts successful snapshots written.
+	Saves uint64
+	// Errors counts failed snapshot attempts (source or I/O).
+	Errors uint64
+	// LastSeq is the sequence number of the newest successful snapshot.
+	LastSeq uint64
+	// LastBytes is the frame size of the newest successful snapshot.
+	LastBytes uint64
+}
+
+// Snapshotter periodically checkpoints a Source to disk. All methods are
+// safe for concurrent use.
+type Snapshotter struct {
+	src      Source
+	dir      string
+	interval time.Duration
+	retain   int
+	logger   *slog.Logger
+
+	mu      sync.Mutex // serializes Save and the seq counter
+	nextSeq uint64
+
+	saves, errs        atomic.Uint64
+	lastSeq, lastBytes atomic.Uint64
+
+	stop      chan struct{}
+	done      chan struct{}
+	started   bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New prepares a Snapshotter over src: it creates opts.Dir if missing and
+// resumes sequence numbering past any snapshot already there (valid or
+// not, so a skipped corrupt file is never overwritten and can be kept for
+// forensics). Call Start to begin periodic checkpoints and Close to take
+// the final one.
+func New(src Source, opts Options) (*Snapshotter, error) {
+	if src == nil {
+		return nil, errors.New("snapshot: nil source")
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("snapshot: no directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	retain := opts.Retain
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Snapshotter{
+		src:      src,
+		dir:      opts.Dir,
+		interval: opts.Interval,
+		retain:   retain,
+		logger:   logger,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name()); ok && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	}
+	return s, nil
+}
+
+// Dir reports the snapshot directory.
+func (s *Snapshotter) Dir() string { return s.dir }
+
+// Start launches the periodic checkpoint goroutine. With a non-positive
+// interval it is a no-op (Save and Close still work). Start must be
+// called at most once, before Close.
+func (s *Snapshotter) Start() {
+	if s.interval <= 0 {
+		return
+	}
+	s.started = true
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if _, err := s.Save(); err != nil {
+					s.logger.Error("snapshot: periodic save failed", "err", err)
+				}
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Save takes one snapshot now: pull a payload from the source, frame it,
+// write it atomically, prune old snapshots. It returns the written file
+// name. Saves are serialized; a failed save burns its sequence number,
+// which keeps numbering strictly increasing and costs nothing.
+func (s *Snapshotter) Save() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload, err := s.src()
+	if err != nil {
+		s.errs.Add(1)
+		return "", fmt.Errorf("snapshot: source: %w", err)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	name := FileName(seq)
+	frame := Encode(payload)
+	if err := writeAtomic(s.dir, name, frame); err != nil {
+		s.errs.Add(1)
+		return "", err
+	}
+	s.saves.Add(1)
+	s.lastSeq.Store(seq)
+	s.lastBytes.Store(uint64(len(frame)))
+	s.prune()
+	return name, nil
+}
+
+// prune removes all but the newest retain snapshots, plus any stray .tmp
+// files left behind by a crashed write. Called with mu held.
+func (s *Snapshotter) prune() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.logger.Warn("snapshot: prune readdir failed", "err", err)
+		return
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, prefix) {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if seq, ok := parseSeq(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) <= s.retain {
+		return
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs[s.retain:] {
+		name := FileName(seq)
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			s.logger.Warn("snapshot: prune failed", "file", name, "err", err)
+		} else {
+			s.logger.Debug("snapshot: pruned", "file", name)
+		}
+	}
+}
+
+// Close stops the periodic goroutine and takes one final snapshot, so a
+// graceful shutdown never loses more than the in-flight batch. It is
+// idempotent; every call reports the final snapshot's outcome.
+func (s *Snapshotter) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		if s.started {
+			<-s.done
+		}
+		_, err := s.Save()
+		s.closeErr = err
+	})
+	return s.closeErr
+}
+
+// Stats snapshots the save/error counters.
+func (s *Snapshotter) Stats() Stats {
+	return Stats{
+		Saves:     s.saves.Load(),
+		Errors:    s.errs.Load(),
+		LastSeq:   s.lastSeq.Load(),
+		LastBytes: s.lastBytes.Load(),
+	}
+}

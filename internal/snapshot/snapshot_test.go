@@ -1,0 +1,314 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sigstream/internal/fault"
+)
+
+func discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		got, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %d bytes -> %d", len(payload), len(got))
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	frame := Encode([]byte("significant items"))
+	cases := map[string][]byte{
+		"zero-length":    {},
+		"short":          frame[:headerSize+trailerSize-1],
+		"truncated":      frame[:len(frame)-1],
+		"bad magic":      append([]byte("NOPE"), frame[4:]...),
+		"huge length":    append([]byte("SSN1\xff\xff\xff\xff\xff\xff\xff\xff"), frame[12:]...),
+		"bit flip":       flipBit(frame, headerSize+3),
+		"trailer flip":   flipBit(frame, len(frame)-1),
+		"header flip":    flipBit(frame, 5),
+		"extra trailing": append(append([]byte{}, frame...), 0),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decode err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func flipBit(frame []byte, i int) []byte {
+	c := append([]byte{}, frame...)
+	c[i] ^= 0x40
+	return c
+}
+
+func newSnapshotter(t *testing.T, dir string, payload *[]byte) *Snapshotter {
+	t.Helper()
+	s, err := New(func() ([]byte, error) { return *payload, nil }, Options{
+		Dir: dir, Retain: 2, Logger: discard(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("state v1")
+	s := newSnapshotter(t, dir, &payload)
+	name, err := s.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = []byte("state v2")
+	if _, err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := Recover(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state v2" {
+		t.Fatalf("recovered %q, want state v2", got)
+	}
+	if from == name {
+		t.Fatalf("recovered the older snapshot %s", from)
+	}
+	st := s.Stats()
+	if st.Saves != 2 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 2 saves 0 errors", st)
+	}
+}
+
+func TestRecoverEmptyAndMissingDir(t *testing.T) {
+	if p, name, err := Recover(t.TempDir(), discard()); err != nil || p != nil || name != "" {
+		t.Fatalf("empty dir: %v %q %v", p, name, err)
+	}
+	if p, name, err := Recover(filepath.Join(t.TempDir(), "nope"), discard()); err != nil || p != nil || name != "" {
+		t.Fatalf("missing dir: %v %q %v", p, name, err)
+	}
+}
+
+// TestRecoverSkipsTornNewest corrupts the newest snapshot three ways in
+// turn (truncation, bit flip, zero length) and expects recovery to fall
+// back to the older intact file every time.
+func TestRecoverSkipsTornNewest(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("good old state")
+	s := newSnapshotter(t, dir, &payload)
+	if _, err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, FileName(99))
+	frame := Encode([]byte("newer but doomed"))
+	for name, corrupt := range map[string][]byte{
+		"truncated":   frame[:len(frame)-3],
+		"bit-flipped": flipBit(frame, headerSize+1),
+		"zero-length": {},
+	} {
+		if err := os.WriteFile(newest, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, from, err := Recover(dir, discard())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(got) != "good old state" {
+			t.Fatalf("%s: recovered %q from %s, want the older intact snapshot", name, got, from)
+		}
+	}
+}
+
+func TestRetentionPrunes(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("p")
+	s := newSnapshotter(t, dir, &payload) // Retain: 2
+	for i := 0; i < 5; i++ {
+		if _, err := s.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("retained %d files, want 2: %v", len(entries), entries)
+	}
+	// The two newest sequence numbers survive.
+	for _, e := range entries {
+		seq, ok := parseSeq(e.Name())
+		if !ok || seq < 3 {
+			t.Fatalf("unexpected survivor %s", e.Name())
+		}
+	}
+}
+
+func TestSequenceResumesPastExistingFiles(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("p")
+	s1 := newSnapshotter(t, dir, &payload)
+	for i := 0; i < 3; i++ {
+		if _, err := s1.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := newSnapshotter(t, dir, &payload)
+	name, err := s2.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := parseSeq(name)
+	if seq != 3 {
+		t.Fatalf("restarted snapshotter wrote seq %d, want 3", seq)
+	}
+}
+
+// TestChaosSnapshotWriteFaults injects each I/O fault in turn — short
+// write, fsync failure, rename failure — and checks the failed save
+// leaves no final file behind, counts an error, and recovery still finds
+// the last good snapshot.
+func TestChaosSnapshotWriteFaults(t *testing.T) {
+	boom := errors.New("injected io failure")
+	points := []fault.Point{fault.SnapshotWrite, fault.SnapshotSync, fault.SnapshotRename}
+	for _, p := range points {
+		t.Run(string(p), func(t *testing.T) {
+			dir := t.TempDir()
+			payload := []byte("durable")
+			s := newSnapshotter(t, dir, &payload)
+			if _, err := s.Save(); err != nil {
+				t.Fatal(err)
+			}
+			deactivate := fault.Activate(p, func(int) error { return boom })
+			t.Cleanup(deactivate)
+			payload = []byte("lost to the fault")
+			if _, err := s.Save(); !errors.Is(err, boom) {
+				t.Fatalf("faulted save err = %v, want injected failure", err)
+			}
+			deactivate()
+			if st := s.Stats(); st.Errors != 1 || st.Saves != 1 {
+				t.Fatalf("stats = %+v, want 1 save 1 error", st)
+			}
+			got, _, err := Recover(dir, discard())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "durable" {
+				t.Fatalf("recovered %q, want the pre-fault snapshot", got)
+			}
+			// The faulted attempt must not leave a final-named file; a torn
+			// temp file is allowed (the write fault models a crash) and the
+			// next successful save prunes it.
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finals := 0
+			for _, e := range entries {
+				if _, ok := parseSeq(e.Name()); ok {
+					finals++
+				}
+			}
+			if finals != 1 {
+				t.Fatalf("%d final snapshot files after faulted save, want 1", finals)
+			}
+			payload = []byte("recovered cadence")
+			if _, err := s.Save(); err != nil {
+				t.Fatalf("save after fault cleared: %v", err)
+			}
+			for _, e := range mustReadDir(t, dir) {
+				if filepath.Ext(e.Name()) == ".tmp" {
+					t.Fatalf("stray temp file %s survived pruning", e.Name())
+				}
+			}
+		})
+	}
+}
+
+func mustReadDir(t *testing.T, dir string) []os.DirEntry {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestPeriodicSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("tick")
+	s, err := New(func() ([]byte, error) { return payload, nil }, Options{
+		Dir: dir, Interval: 5 * time.Millisecond, Logger: discard(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Saves < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic snapshots after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and took a final snapshot.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	got, _, err := Recover(dir, discard())
+	if err != nil || string(got) != "tick" {
+		t.Fatalf("recover after close: %q %v", got, err)
+	}
+}
+
+func TestCloseTakesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	calls := 0
+	s, err := New(func() ([]byte, error) {
+		calls++
+		return []byte(fmt.Sprintf("call %d", calls)), nil
+	}, Options{Dir: dir, Logger: discard()}) // no interval: manual only
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start() // no-op without an interval
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Recover(dir, discard())
+	if err != nil || string(got) != "call 1" {
+		t.Fatalf("final snapshot: %q %v", got, err)
+	}
+}
+
+func TestSourceErrorCounts(t *testing.T) {
+	s, err := New(func() ([]byte, error) { return nil, errors.New("tracker busy") },
+		Options{Dir: t.TempDir(), Logger: discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(); err == nil {
+		t.Fatal("save with failing source succeeded")
+	}
+	if st := s.Stats(); st.Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 error", st)
+	}
+}

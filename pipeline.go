@@ -1,6 +1,9 @@
 package sigstream
 
 import (
+	"log/slog"
+	"time"
+
 	"sigstream/internal/pipeline"
 	"sigstream/internal/stream"
 )
@@ -19,6 +22,18 @@ type PipelineOptions struct {
 	// Deeper rings absorb burstier producers before backpressure kicks in,
 	// at the cost of a longer Flush and more queued memory.
 	RingSize int
+	// RestartBudget is the number of worker restarts tolerated per shard
+	// within RestartWindow before the shard is quarantined and the
+	// pipeline fails terminally (default 3). A panicking tracker below the
+	// budget costs only its in-flight sub-batch: the worker respawns and
+	// producers never see an error.
+	RestartBudget int
+	// RestartWindow is the sliding window over which RestartBudget is
+	// counted (default one minute).
+	RestartWindow time.Duration
+	// Logger receives worker restart and quarantine events (default
+	// slog.Default()).
+	Logger *slog.Logger
 }
 
 // PipelineStats is a point-in-time snapshot of a Pipeline's rings and
@@ -40,8 +55,14 @@ type PipelineStats struct {
 	Stalls uint64
 	// Flushes counts completed Flush drains.
 	Flushes uint64
-	// Dropped counts items discarded after a worker failure.
+	// Dropped counts items discarded: the in-flight sub-batch of every
+	// sink panic, plus everything drained after a quarantine.
 	Dropped uint64
+	// Restarts counts workers respawned after a recovered sink panic.
+	Restarts uint64
+	// QuarantinedShards counts shards retired after exhausting the
+	// restart budget.
+	QuarantinedShards uint64
 }
 
 // Pipeline is an asynchronous ingestion front-end over a Sharded tracker:
@@ -78,7 +99,10 @@ func (s *Sharded) Pipeline(opts PipelineOptions) *Pipeline {
 		})
 	}
 	return &Pipeline{in: pipeline.New(sinks, pipeline.Options{
-		RingSize: opts.RingSize,
+		RingSize:      opts.RingSize,
+		RestartBudget: opts.RestartBudget,
+		RestartWindow: opts.RestartWindow,
+		Logger:        opts.Logger,
 		// The default partition is hashing.Mix64 % shards, identical to
 		// Sharded.owner, so both ingestion paths agree on item ownership.
 	})}
@@ -100,20 +124,32 @@ func (p *Pipeline) Flush() error { return p.in.Flush() }
 // goroutines. Subsequent Submit/Flush calls fail; Close is idempotent.
 func (p *Pipeline) Close() error { return p.in.Close() }
 
-// Err reports the first worker failure, if any.
+// Err reports the pipeline's terminal failure, if any: a shard exhausted
+// its restart budget and was quarantined. Recovered sink panics below the
+// budget are not errors; they surface through Stats.Restarts.
 func (p *Pipeline) Err() error { return p.in.Err() }
+
+// Depth reports the deepest per-shard ring's current queue depth in
+// batches, allocation-free — the number an HTTP load-shed gate polls on
+// every request.
+func (p *Pipeline) Depth() int { return p.in.MaxRingDepth() }
+
+// RingCapacity reports each per-shard ring's capacity in batches.
+func (p *Pipeline) RingCapacity() int { return p.in.RingCapacity() }
 
 // Stats snapshots the pipeline's rings and counters.
 func (p *Pipeline) Stats() PipelineStats {
 	st := p.in.Stats()
 	return PipelineStats{
-		Shards:       st.Shards,
-		RingCapacity: st.RingCapacity,
-		RingDepth:    st.RingDepth,
-		Items:        st.Items,
-		Batches:      st.Batches,
-		Stalls:       st.Stalls,
-		Flushes:      st.Flushes,
-		Dropped:      st.Dropped,
+		Shards:            st.Shards,
+		RingCapacity:      st.RingCapacity,
+		RingDepth:         st.RingDepth,
+		Items:             st.Items,
+		Batches:           st.Batches,
+		Stalls:            st.Stalls,
+		Flushes:           st.Flushes,
+		Dropped:           st.Dropped,
+		Restarts:          st.Restarts,
+		QuarantinedShards: st.QuarantinedShards,
 	}
 }
