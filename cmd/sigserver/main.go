@@ -15,6 +15,19 @@
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/readyz
 //
+// Multi-tenant: every /v1/* route above also exists tenant-scoped as
+// /v1/t/{ns}/* (insert, period, top, query, stats, checkpoint,
+// restore), where {ns} is a namespace of [a-z0-9-], 1-63 characters.
+// Inserting into an unknown namespace creates its tracker lazily; GET
+// /v1/tenants lists namespaces, POST /v1/tenants creates one up front,
+// and DELETE /v1/t/{ns} drops one. The legacy un-namespaced routes are
+// aliases for the pinned "default" tenant. -tenant-mem sizes each
+// tenant's tracker, -tenant-budget caps resident tenant memory overall
+// (cold tenants spill to -snapshot-dir and revive on touch),
+// -tenant-quota/-tenant-burst rate-limit per-tenant ingest (429 +
+// Retry-After on breach), -tenant-idle spills tenants idle that long,
+// and -tenant-max bounds the number of namespaces.
+//
 // Durability: -snapshot-dir enables crash-safe checkpoints — the tracker
 // is recovered from the newest valid snapshot at startup, checkpointed
 // every -snapshot-interval, and checkpointed once more on SIGINT/SIGTERM
@@ -70,6 +83,13 @@ func main() {
 		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic checkpoint cadence (0 = only the final snapshot on shutdown)")
 		snapRetain   = flag.Int("snapshot-retain", 0, "snapshots to keep (0 = default)")
 
+		tenantMem    = flag.Int("tenant-mem", 0, "per-tenant tracker memory budget in bytes (0 = same as -mem)")
+		tenantBudget = flag.Int64("tenant-budget", 0, "total resident memory budget across tenants in bytes (0 = unlimited)")
+		tenantQuota  = flag.Float64("tenant-quota", 0, "per-tenant sustained ingest quota in keys/sec (0 = unlimited)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant ingest burst in keys (0 = quota-derived default)")
+		tenantIdle   = flag.Duration("tenant-idle", 0, "spill tenants idle this long to disk (0 = never)")
+		tenantMax    = flag.Int("tenant-max", 0, "maximum number of tenant namespaces (0 = unlimited)")
+
 		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32 MiB)")
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-connection read deadline (0 disables)")
 		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-connection write deadline (0 disables)")
@@ -90,6 +110,12 @@ func main() {
 		Weights:               sigstream.Weights{Alpha: *alpha, Beta: *beta},
 		Shards:                *shards,
 		DecayFactor:           *decay,
+		TenantMemoryBytes:     *tenantMem,
+		TenantBudgetBytes:     *tenantBudget,
+		TenantQuota:           *tenantQuota,
+		TenantBurst:           *tenantBurst,
+		TenantIdleAfter:       *tenantIdle,
+		TenantMax:             *tenantMax,
 		MaxBodyBytes:          *maxBody,
 		Pipeline:              *pipelined,
 		PipelineRing:          *ring,

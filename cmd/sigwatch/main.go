@@ -9,24 +9,36 @@
 // ("src[:port]>dst[:port][/proto]") and -key selects the aggregation
 // (src, dst, pair, 5tuple) — the paper's five-tuple flow definition.
 //
+// With -server, the stream is shipped to a running sigserver instance
+// (batched over HTTP with a signal-cancelled context) and alerts are
+// evaluated against the remote ranking at each period boundary; -tenant
+// selects the namespace. -flows is local-only.
+//
 // Usage:
 //
 //	tail -f flow.log | awk '{print $1}' | sigwatch -raise 5000 -min-periods 3
 //	siggen -preset caida -n 1000000 | sigwatch -raise 2000
 //	cat flows.txt | sigwatch -flows -key src -raise 5000
+//	tail -f keys.log | sigwatch -server http://localhost:8080 -tenant edge -raise 2000
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"sigstream"
 	"sigstream/internal/alert"
+	"sigstream/internal/client"
 	"sigstream/internal/flowkey"
 	"sigstream/internal/stream"
 )
@@ -43,8 +55,32 @@ func main() {
 		periodItems = flag.Int("period-items", 100_000, "arrivals per period when no period column is present")
 		flows       = flag.Bool("flows", false, "parse keys as flow tuples (src[:port]>dst[:port][/proto])")
 		keyBy       = flag.String("key", "src", "flow aggregation: src, dst, pair or 5tuple (with -flows)")
+		serverURL   = flag.String("server", "", "ship the stream to a sigserver base URL instead of tracking locally")
+		tenantNS    = flag.String("tenant", client.DefaultNamespace, "tenant namespace on the server (with -server)")
 	)
 	flag.Parse()
+
+	if *serverURL != "" {
+		if *flows {
+			fmt.Fprintln(os.Stderr, "sigwatch: -flows is local-only (aggregate before shipping)")
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(),
+			os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		w := alert.NewWatcher(alert.Rule{
+			Raise: *raise, Clear: *clear, MinPersistency: *minPeriods,
+		})
+		tn := client.New(*serverURL, nil).Tenant(*tenantNS)
+		events, err := watchRemote(ctx, os.Stdin, os.Stdout, tn, w, *k, *periodItems)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigwatch:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("done: %d scans, %d alert events, %d still active\n",
+			w.Scans(), events, w.Active())
+		return
+	}
 
 	tr := sigstream.New(sigstream.Config{
 		MemoryBytes: *memKB << 10,
@@ -119,6 +155,106 @@ func watch(in io.Reader, out io.Writer, tr *sigstream.LTC, w *alert.Watcher,
 		return events, err
 	}
 	endPeriod()
+	return events, nil
+}
+
+// remoteBatch is how many keys ship per insert request in -server mode.
+const remoteBatch = 1000
+
+// watchRemote drives a server-side tenant over the input: inserts ship in
+// batches (backing off when throttled), each period boundary closes the
+// remote period and scans the remote ranking for alert transitions. The
+// context cancels in-flight requests on SIGINT/SIGTERM.
+func watchRemote(ctx context.Context, in io.Reader, out io.Writer,
+	tn *client.Tenant, w *alert.Watcher, k, periodItems int) (int, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	count := 0
+	events := 0
+	lastPeriod := -1
+	batch := make([]string, 0, remoteBatch)
+
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		for {
+			_, err := tn.Insert(ctx, batch...)
+			var te *client.ThrottledError
+			if errors.As(err, &te) {
+				select {
+				case <-time.After(te.RetryAfter):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			if err == nil {
+				batch = batch[:0]
+			}
+			return err
+		}
+	}
+	endPeriod := func() error {
+		if err := flush(); err != nil {
+			return err
+		}
+		if _, err := tn.EndPeriod(ctx); err != nil {
+			return err
+		}
+		top, err := tn.TopK(ctx, k)
+		if err != nil {
+			return err
+		}
+		names := make(map[sigstream.Item]string, len(top))
+		entries := make([]stream.Entry, len(top))
+		for i, e := range top {
+			item := sigstream.Item(e.Item)
+			names[item] = e.Key
+			entries[i] = stream.Entry{Item: item, Frequency: e.Frequency,
+				Persistency: e.Persistency, Significance: e.Significance}
+		}
+		for _, ev := range w.Scan(entries) {
+			events++
+			fmt.Fprintf(out, "%s key=%s\n", ev, names[ev.Entry.Item])
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		boundary := false
+		if len(fields) >= 2 {
+			if p, err := strconv.Atoi(fields[1]); err == nil {
+				boundary = lastPeriod >= 0 && p != lastPeriod
+				lastPeriod = p
+			}
+		} else if periodItems > 0 && count > 0 && count%periodItems == 0 {
+			boundary = true
+		}
+		if boundary {
+			if err := endPeriod(); err != nil {
+				return events, err
+			}
+		}
+		batch = append(batch, fields[0])
+		count++
+		if len(batch) >= remoteBatch {
+			if err := flush(); err != nil {
+				return events, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return events, err
+	}
+	if err := endPeriod(); err != nil {
+		return events, err
+	}
 	return events, nil
 }
 

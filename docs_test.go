@@ -72,6 +72,68 @@ func TestAllExportedIdentifiersDocumented(t *testing.T) {
 	}
 }
 
+// TestNoConstructorBypassesNewBaseline is the compat gate: NewBaseline
+// (plus the NewWindow extension) is the only sanctioned way to build a
+// Tracker. Any other exported Tracker-returning constructor must be a
+// deprecated positional wrapper living in compat.go — so a new baseline
+// cannot grow a new positional entry point, and the legacy wrappers
+// cannot migrate back into the live API surface.
+func TestNoConstructorBypassesNewBaseline(t *testing.T) {
+	sanctioned := map[string]bool{"NewBaseline": true, "NewWindow": true}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "New") || !returnsTracker(fd) {
+				continue
+			}
+			if sanctioned[fd.Name.Name] {
+				continue
+			}
+			if name != "compat.go" {
+				t.Errorf("%s: exported constructor %s bypasses NewBaseline; "+
+					"construct through NewBaseline(kind, Config) instead",
+					posOf(fset, fd.Pos()), fd.Name.Name)
+				continue
+			}
+			if fd.Doc == nil || !strings.Contains(fd.Doc.Text(), "Deprecated:") {
+				t.Errorf("%s: compat.go constructor %s lacks a Deprecated: marker",
+					posOf(fset, fd.Pos()), fd.Name.Name)
+			}
+		}
+	}
+}
+
+// returnsTracker reports whether a function's results include the plain
+// Tracker interface.
+func returnsTracker(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		if id, ok := r.Type.(*ast.Ident); ok && id.Name == "Tracker" {
+			return true
+		}
+	}
+	return false
+}
+
 func posOf(fset *token.FileSet, p token.Pos) string {
 	pos := fset.Position(p)
 	rel, err := filepath.Rel(mustGetwd(), pos.Filename)

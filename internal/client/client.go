@@ -1,10 +1,20 @@
 // Package client is a typed Go client for the sigstream HTTP service
 // (internal/server, cmd/sigserver): batch inserts, period control, top-k
-// and point queries, stats, and checkpoint download/restore.
+// and point queries, stats, checkpoint download/restore and tenant
+// administration.
+//
+// The canonical surface is tenant-scoped and context-first: obtain a
+// handle with Client.Tenant (or Client.Default for the reserved default
+// namespace) and pass a context.Context to every request method, so
+// callers can cancel in-flight requests and bound deadlines. The
+// context-free Client methods are deprecated thin wrappers over the
+// default handle, kept for pre-namespace callers; they use the legacy
+// un-namespaced routes and context.Background().
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +24,10 @@ import (
 	"strings"
 	"time"
 )
+
+// DefaultNamespace is the service's reserved namespace behind the legacy
+// un-namespaced routes.
+const DefaultNamespace = "default"
 
 // Entry mirrors the service's JSON estimate.
 type Entry struct {
@@ -50,21 +64,76 @@ type TrackerStats struct {
 	ParityFlips   uint64  `json:"parity_flips"`
 }
 
+// SnapshotStats mirrors the durability section of the service's stats:
+// residency, spill/revive history, snapshot age and the last recovery
+// outcome.
+type SnapshotStats struct {
+	Resident     bool    `json:"resident"`
+	Spills       uint64  `json:"spills"`
+	Revives      uint64  `json:"revives"`
+	Saves        uint64  `json:"saves"`
+	Errors       uint64  `json:"errors"`
+	LastSaveUnix int64   `json:"last_save_unix"`
+	AgeSeconds   float64 `json:"age_seconds"`
+	LastRecovery string  `json:"last_recovery"`
+}
+
 // Stats mirrors the service's /v1/stats payload: the flat service-level
-// fields plus the typed tracker snapshot.
+// fields plus the typed tracker and snapshot sections.
 type Stats struct {
-	MemoryBytes int          `json:"memory_bytes"`
-	Shards      int          `json:"shards"`
-	Arrivals    uint64       `json:"arrivals"`
-	Periods     uint64       `json:"periods"`
-	Keys        int          `json:"distinct_keys_seen"`
-	Alpha       float64      `json:"alpha"`
-	Beta        float64      `json:"beta"`
-	Tracker     TrackerStats `json:"tracker"`
+	Tenant      string        `json:"tenant"`
+	MemoryBytes int           `json:"memory_bytes"`
+	Shards      int           `json:"shards"`
+	Arrivals    uint64        `json:"arrivals"`
+	Periods     uint64        `json:"periods"`
+	Keys        int           `json:"distinct_keys_seen"`
+	Alpha       float64       `json:"alpha"`
+	Beta        float64       `json:"beta"`
+	Tracker     TrackerStats  `json:"tracker"`
+	Snapshot    SnapshotStats `json:"snapshot"`
+}
+
+// TenantInfo mirrors one row of the service's tenant listing.
+type TenantInfo struct {
+	Namespace    string `json:"namespace"`
+	Pinned       bool   `json:"pinned"`
+	Resident     bool   `json:"resident"`
+	Arrivals     uint64 `json:"arrivals"`
+	Periods      uint64 `json:"periods"`
+	Spills       uint64 `json:"spills"`
+	Revives      uint64 `json:"revives"`
+	QuotaDenials uint64 `json:"quota_denials"`
+	Dirty        bool   `json:"dirty"`
+	LastSaveUnix int64  `json:"last_save_unix"`
+}
+
+// TenantList mirrors the service's /v1/tenants payload.
+type TenantList struct {
+	Tenants       []TenantInfo `json:"tenants"`
+	Count         int          `json:"count"`
+	Resident      int          `json:"resident"`
+	ResidentBytes int64        `json:"resident_bytes"`
+	BudgetBytes   int64        `json:"budget_bytes"`
+	CostPerTenant int64        `json:"cost_per_tenant_bytes"`
 }
 
 // ErrNotTracked reports a point query for an unknown key.
 var ErrNotTracked = fmt.Errorf("sigstream client: key not tracked")
+
+// ThrottledError reports a 429 — the tenant's quota is exhausted or the
+// ingest queue is at its high-water mark — with the server's retry hint.
+type ThrottledError struct {
+	// RetryAfter is the server's suggested backoff.
+	RetryAfter time.Duration
+	// Message is the server's error text.
+	Message string
+}
+
+// Error implements error.
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("sigstream client: throttled (retry after %s): %s",
+		e.RetryAfter, e.Message)
+}
 
 // Client talks to one sigstream service.
 type Client struct {
@@ -82,11 +151,106 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
 
+// Tenant returns a handle scoped to one namespace; every request it
+// makes targets the /v1/t/{ns}/* routes. Handles are cheap and safe for
+// concurrent use.
+func (c *Client) Tenant(ns string) *Tenant {
+	return &Tenant{c: c, ns: ns, prefix: "/v1/t/" + url.PathEscape(ns)}
+}
+
+// Default returns a handle for the reserved default namespace via the
+// legacy un-namespaced routes, so it works against pre-namespace servers
+// too.
+func (c *Client) Default() *Tenant {
+	return &Tenant{c: c, ns: DefaultNamespace, prefix: "/v1"}
+}
+
+// Tenants lists the service's namespaces with registry totals.
+func (c *Client) Tenants(ctx context.Context) (TenantList, error) {
+	resp, err := c.get(ctx, "/v1/tenants")
+	if err != nil {
+		return TenantList{}, err
+	}
+	var out TenantList
+	if err := decode(resp, &out); err != nil {
+		return TenantList{}, err
+	}
+	return out, nil
+}
+
+// CreateTenant registers a namespace without ingesting anything (inserts
+// auto-create, so this is only needed to reserve a namespace up front).
+func (c *Client) CreateTenant(ctx context.Context, ns string) error {
+	body, err := json.Marshal(map[string]string{"namespace": ns})
+	if err != nil {
+		return err
+	}
+	resp, err := c.post(ctx, "/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+// DeleteTenant removes a namespace, its tracker and its snapshots.
+func (c *Client) DeleteTenant(ctx context.Context, ns string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/v1/t/"+url.PathEscape(ns), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+// get issues a context-carrying GET against a service path.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+// post issues a context-carrying POST against a service path.
+func (c *Client) post(ctx context.Context, path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.http.Do(req)
+}
+
+// Tenant is a namespace-scoped view of a Client. Every method hits the
+// handle's namespace on the service and takes a context for cancellation
+// and deadlines.
+type Tenant struct {
+	c      *Client
+	ns     string
+	prefix string // "/v1/t/<ns>", or "/v1" for the legacy default handle
+}
+
+// Namespace reports the handle's namespace.
+func (t *Tenant) Namespace() string { return t.ns }
+
 // Insert ships a batch of keys (one arrival each, in order) and returns
-// the number the service ingested.
-func (c *Client) Insert(keys ...string) (uint64, error) {
+// the number the service ingested. A quota breach or load shed returns a
+// *ThrottledError with the server's backoff hint.
+func (t *Tenant) Insert(ctx context.Context, keys ...string) (uint64, error) {
 	body := strings.Join(keys, "\n")
-	resp, err := c.http.Post(c.base+"/v1/insert", "text/plain",
+	resp, err := t.c.post(ctx, t.prefix+"/insert", "text/plain",
 		strings.NewReader(body))
 	if err != nil {
 		return 0, err
@@ -100,10 +264,10 @@ func (c *Client) Insert(keys ...string) (uint64, error) {
 	return out.Inserted, nil
 }
 
-// EndPeriod closes the service's current period and returns the total
+// EndPeriod closes the tenant's current period and returns the total
 // period count.
-func (c *Client) EndPeriod() (uint64, error) {
-	resp, err := c.http.Post(c.base+"/v1/period", "text/plain", nil)
+func (t *Tenant) EndPeriod(ctx context.Context) (uint64, error) {
+	resp, err := t.c.post(ctx, t.prefix+"/period", "text/plain", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -116,9 +280,9 @@ func (c *Client) EndPeriod() (uint64, error) {
 	return out.Periods, nil
 }
 
-// TopK fetches the k most significant items.
-func (c *Client) TopK(k int) ([]Entry, error) {
-	resp, err := c.http.Get(c.base + "/v1/top?k=" + strconv.Itoa(k))
+// TopK fetches the tenant's k most significant items.
+func (t *Tenant) TopK(ctx context.Context, k int) ([]Entry, error) {
+	resp, err := t.c.get(ctx, t.prefix+"/top?k="+strconv.Itoa(k))
 	if err != nil {
 		return nil, err
 	}
@@ -130,8 +294,8 @@ func (c *Client) TopK(k int) ([]Entry, error) {
 }
 
 // Query fetches one key's estimate; ErrNotTracked when unknown.
-func (c *Client) Query(key string) (Entry, error) {
-	resp, err := c.http.Get(c.base + "/v1/query?key=" + url.QueryEscape(key))
+func (t *Tenant) Query(ctx context.Context, key string) (Entry, error) {
+	resp, err := t.c.get(ctx, t.prefix+"/query?key="+url.QueryEscape(key))
 	if err != nil {
 		return Entry{}, err
 	}
@@ -146,9 +310,10 @@ func (c *Client) Query(key string) (Entry, error) {
 	return out, nil
 }
 
-// Stats fetches the service statistics.
-func (c *Client) Stats() (Stats, error) {
-	resp, err := c.http.Get(c.base + "/v1/stats")
+// Stats fetches the tenant's statistics, including snapshot age and the
+// last recovery outcome.
+func (t *Tenant) Stats(ctx context.Context) (Stats, error) {
+	resp, err := t.c.get(ctx, t.prefix+"/stats")
 	if err != nil {
 		return Stats{}, err
 	}
@@ -159,9 +324,9 @@ func (c *Client) Stats() (Stats, error) {
 	return out, nil
 }
 
-// Checkpoint downloads a binary snapshot of the tracker.
-func (c *Client) Checkpoint() ([]byte, error) {
-	resp, err := c.http.Get(c.base + "/v1/checkpoint")
+// Checkpoint downloads a binary snapshot of the tenant's tracker.
+func (t *Tenant) Checkpoint(ctx context.Context) ([]byte, error) {
+	resp, err := t.c.get(ctx, t.prefix+"/checkpoint")
 	if err != nil {
 		return nil, err
 	}
@@ -172,9 +337,9 @@ func (c *Client) Checkpoint() ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// Restore replaces the service's tracker state with a snapshot.
-func (c *Client) Restore(checkpoint []byte) error {
-	resp, err := c.http.Post(c.base+"/v1/restore", "application/octet-stream",
+// Restore replaces the tenant's tracker state with a snapshot.
+func (t *Tenant) Restore(ctx context.Context, checkpoint []byte) error {
+	resp, err := t.c.post(ctx, t.prefix+"/restore", "application/octet-stream",
 		bytes.NewReader(checkpoint))
 	if err != nil {
 		return err
@@ -186,6 +351,58 @@ func (c *Client) Restore(checkpoint []byte) error {
 	return nil
 }
 
+// Insert ships a batch of keys to the default tenant.
+//
+// Deprecated: use Client.Default (or Client.Tenant) and Tenant.Insert
+// with a context.
+func (c *Client) Insert(keys ...string) (uint64, error) {
+	return c.Default().Insert(context.Background(), keys...)
+}
+
+// EndPeriod closes the default tenant's current period.
+//
+// Deprecated: use Tenant.EndPeriod with a context.
+func (c *Client) EndPeriod() (uint64, error) {
+	return c.Default().EndPeriod(context.Background())
+}
+
+// TopK fetches the default tenant's k most significant items.
+//
+// Deprecated: use Tenant.TopK with a context.
+func (c *Client) TopK(k int) ([]Entry, error) {
+	return c.Default().TopK(context.Background(), k)
+}
+
+// Query fetches one key's estimate from the default tenant.
+//
+// Deprecated: use Tenant.Query with a context.
+func (c *Client) Query(key string) (Entry, error) {
+	return c.Default().Query(context.Background(), key)
+}
+
+// Stats fetches the default tenant's statistics.
+//
+// Deprecated: use Tenant.Stats with a context.
+func (c *Client) Stats() (Stats, error) {
+	return c.Default().Stats(context.Background())
+}
+
+// Checkpoint downloads a binary snapshot of the default tenant.
+//
+// Deprecated: use Tenant.Checkpoint with a context.
+func (c *Client) Checkpoint() ([]byte, error) {
+	return c.Default().Checkpoint(context.Background())
+}
+
+// Restore replaces the default tenant's state with a snapshot.
+//
+// Deprecated: use Tenant.Restore with a context.
+func (c *Client) Restore(checkpoint []byte) error {
+	return c.Default().Restore(context.Background(), checkpoint)
+}
+
+// decode consumes a JSON 200 response into v, translating throttles and
+// other non-200s into typed errors.
 func decode(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -194,8 +411,20 @@ func decode(resp *http.Response, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
+// statusError turns a non-200 response into an error: 429 becomes a
+// *ThrottledError carrying the Retry-After hint, everything else a
+// plain error quoting the body.
 func statusError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Errorf("sigstream client: %s: %s", resp.Status,
-		strings.TrimSpace(string(body)))
+	msg := strings.TrimSpace(string(body))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return &ThrottledError{RetryAfter: after, Message: msg}
+	}
+	return fmt.Errorf("sigstream client: %s: %s", resp.Status, msg)
 }

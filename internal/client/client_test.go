@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -83,6 +84,67 @@ func TestClientCheckpointRestore(t *testing.T) {
 	// Garbage restore surfaces the server's 400.
 	if err := c.Restore([]byte("junk")); err == nil {
 		t.Fatal("garbage restore accepted")
+	}
+}
+
+func TestClientTenantScoped(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+	red, blue := c.Tenant("red"), c.Tenant("blue")
+	if _, err := red.Insert(ctx, "a", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blue.Insert(ctx, "z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.EndPeriod(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e, err := red.Query(ctx, "a")
+	if err != nil || e.Frequency != 2 {
+		t.Fatalf("red a: %+v, %v", e, err)
+	}
+	// Isolation: red's keys are invisible to blue.
+	if _, err := blue.Query(ctx, "a"); !errors.Is(err, ErrNotTracked) {
+		t.Fatalf("blue sees red's key: %v", err)
+	}
+	st, err := red.Stats(ctx)
+	if err != nil || st.Tenant != "red" || st.Arrivals != 3 {
+		t.Fatalf("red stats: %+v, %v", st, err)
+	}
+	list, err := c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 3 { // default, red, blue
+		t.Fatalf("tenant count %d, want 3", list.Count)
+	}
+	if err := c.DeleteTenant(ctx, "blue"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blue.Stats(ctx); err == nil {
+		t.Fatal("deleted tenant still answers stats")
+	}
+	if err := c.CreateTenant(ctx, "green"); err != nil {
+		t.Fatal(err)
+	}
+	// The legacy default handle and the scoped default handle see the
+	// same tracker.
+	if _, err := c.Tenant(DefaultNamespace).Insert(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	e, err = c.Default().Query(ctx, "k")
+	if err != nil || e.Frequency != 1 {
+		t.Fatalf("default via legacy routes: %+v, %v", e, err)
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	c := newPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Default().Insert(ctx, "a"); err == nil {
+		t.Fatal("cancelled context produced no error")
 	}
 }
 

@@ -1,39 +1,55 @@
-// Package server exposes a sigstream tracker over HTTP, so non-Go
-// producers (log shippers, packet samplers, cron jobs) can feed a stream
+// Package server exposes sigstream trackers over HTTP, so non-Go
+// producers (log shippers, packet samplers, cron jobs) can feed streams
 // and dashboards can poll the significant-items ranking.
 //
-// Endpoints (all JSON):
+// The API is tenant-scoped: every tracker lives in a namespace, and the
+// /v1/t/{ns}/* routes address one namespace's tracker. The legacy
+// un-namespaced /v1/* routes remain as thin aliases for the reserved
+// "default" tenant, so pre-namespace deployments keep working unchanged.
 //
-//	POST /v1/insert     body: newline-separated item keys (inserted in order)
-//	POST /v1/period     close the current period
-//	GET  /v1/top?k=N    top-N significant items
-//	GET  /v1/query?key=K one item's estimate
-//	GET  /v1/stats      tracker statistics
-//	GET  /v1/checkpoint download a binary snapshot of the tracker
-//	POST /v1/restore    replace the tracker state from a snapshot body
-//	GET  /metrics       Prometheus text exposition (service + LTC + HTTP series)
-//	GET  /healthz       liveness: 200 while the process serves requests
-//	GET  /readyz        readiness: 200 when ingest is healthy and no restore is running
+// Endpoints (all JSON unless noted):
 //
-// Every endpoint is wrapped in obs.HTTPMetrics middleware, so /metrics
-// reports per-endpoint request counts, error counts and latency
-// histograms alongside the tracker's instrumentation counters.
+//	POST   /v1/t/{ns}/insert     body: newline-separated item keys (tenant auto-created)
+//	POST   /v1/t/{ns}/period     close the tenant's current period
+//	GET    /v1/t/{ns}/top?k=N    tenant's top-N significant items
+//	GET    /v1/t/{ns}/query?key=K one item's estimate
+//	GET    /v1/t/{ns}/stats      tenant statistics, snapshot age and recovery state
+//	GET    /v1/t/{ns}/checkpoint download a binary snapshot of the tenant's tracker
+//	POST   /v1/t/{ns}/restore    replace the tenant's state from a snapshot body
+//	DELETE /v1/t/{ns}            delete the tenant and its snapshots
+//	GET    /v1/tenants           list tenants with registry totals
+//	POST   /v1/tenants           create a tenant: {"namespace": "..."}
+//	POST   /v1/insert            legacy alias for /v1/t/default/insert
+//	POST   /v1/period            legacy alias for /v1/t/default/period
+//	GET    /v1/top               legacy alias for /v1/t/default/top
+//	GET    /v1/query             legacy alias for /v1/t/default/query
+//	GET    /v1/stats             legacy alias for /v1/t/default/stats
+//	GET    /v1/checkpoint        legacy alias for /v1/t/default/checkpoint
+//	POST   /v1/restore           legacy alias for /v1/t/default/restore
+//	GET    /metrics              Prometheus text exposition
+//	GET    /healthz              liveness: 200 while the process serves requests
+//	GET    /readyz               readiness: 200 when ingest is healthy and no restore is running
 //
-// Fault tolerance: StartSnapshots recovers the newest valid on-disk
-// checkpoint at startup and then checkpoints periodically (crash safety);
-// the pipelined ingest path self-heals from sink panics and quarantines a
-// shard only after exhausting its restart budget (visible on /readyz and
-// /metrics); and when the ingest rings back up past Config.ShedHighWater,
-// /v1/insert sheds load with 429 + Retry-After instead of stalling every
-// handler goroutine on a saturated ring.
+// Every endpoint is wrapped in obs.HTTPMetrics middleware keyed by route
+// pattern (bounded label cardinality), so /metrics reports per-endpoint
+// request counts, error counts and latency histograms alongside the
+// tracker and tenant-registry series.
 //
-// /v1/insert is batched end-to-end: the whole request body is parsed into
-// one key batch, the keys are interned under a single lock acquisition, and
-// the batch is handed to the tracker's BatchInserter path, so each shard
-// lock is taken once per request instead of once per line. Put many keys in
-// one request for throughput; a request is still not atomic with respect to
-// a concurrent POST /v1/period, which may land between two shards'
-// sub-batches.
+// Multi-tenancy: tenants are created lazily on first insert, priced
+// against a global memory budget, and spilled to tenant-labelled
+// snapshot directories when the budget fills or they idle — reviving
+// transparently, bit-identical, on the next touch. Per-tenant token
+// buckets answer a quota breach with 429 + Retry-After, the same
+// contract as the pipeline load-shed gate, so one noisy namespace cannot
+// starve another. The default tenant is pinned: always resident, outside
+// budget and quota, carrying the exact single-tenant semantics this
+// server had before namespaces (including the optional pipelined ingest
+// path with self-healing workers and high-water load shedding).
+//
+// Fault tolerance: StartSnapshots recovers every namespace from disk at
+// startup (newest valid checkpoint each; legacy root-level snapshot
+// files recover into the default tenant), then checkpoints dirty tenants
+// periodically and once more on Close.
 package server
 
 import (
@@ -43,24 +59,28 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sigstream"
 	"sigstream/internal/obs"
-	"sigstream/internal/snapshot"
+	"sigstream/internal/tenant"
 )
 
-// Config sizes the served tracker.
+// Config sizes the served trackers.
 type Config struct {
-	// MemoryBytes is the tracker's budget (default 1 MiB).
+	// MemoryBytes is the default tenant's tracker budget (default 1 MiB).
 	MemoryBytes int
 	// Weights are the significance coefficients (default Balanced).
 	Weights sigstream.Weights
-	// Shards is the concurrency level (default GOMAXPROCS).
+	// Shards is the concurrency level of every tracker (default
+	// GOMAXPROCS).
 	Shards int
 	// DecayFactor optionally ages counts at each period boundary
 	// (see sigstream.Config.DecayFactor).
@@ -68,10 +88,11 @@ type Config struct {
 	// MaxBodyBytes caps an insert or restore request body (default 32 MiB);
 	// an oversized body is refused with 413 before it is buffered whole.
 	MaxBodyBytes int64
-	// Pipeline routes /v1/insert through an asynchronous sigstream.Pipeline
-	// instead of the synchronous batch path: handler goroutines partition and
-	// enqueue, per-shard workers apply. Read endpoints and period/checkpoint
-	// flush the pipeline first, so responses keep read-your-writes semantics.
+	// Pipeline routes the default tenant's inserts through an asynchronous
+	// sigstream.Pipeline instead of the synchronous batch path: handler
+	// goroutines partition and enqueue, per-shard workers apply. Read
+	// endpoints and period/checkpoint flush the pipeline first, so
+	// responses keep read-your-writes semantics.
 	Pipeline bool
 	// PipelineRing is the per-shard ring capacity in batches when Pipeline
 	// is on (default sigstream's DefaultRingSize).
@@ -85,57 +106,125 @@ type Config struct {
 	PipelineRestartWindow time.Duration
 	// ShedHighWater is the load-shed threshold as a fraction of the
 	// per-shard ring capacity: once the deepest ingest ring reaches
-	// ShedHighWater×capacity, /v1/insert answers 429 with Retry-After
+	// ShedHighWater×capacity, inserts answer 429 with Retry-After
 	// instead of queueing more (default 0.9; negative disables shedding;
 	// meaningful only with Pipeline, where a saturated ring would otherwise
 	// stall every handler goroutine).
 	ShedHighWater float64
-	// Logger receives pipeline restart/quarantine and snapshot lifecycle
-	// events (default slog.Default()).
+	// TenantMemoryBytes is each non-default tenant's tracker budget
+	// (default MemoryBytes). The global TenantBudgetBytes is spent in
+	// units of this size.
+	TenantMemoryBytes int
+	// TenantBudgetBytes caps the summed tracker budgets of resident
+	// non-default tenants; 0 means uncapped. When the cap is hit the
+	// least-recently-used tenant spills to disk (with snapshots started)
+	// or new tenants are refused with 507 (without).
+	TenantBudgetBytes int64
+	// TenantQuota is each non-default tenant's sustained insert rate in
+	// keys per second; a breach answers 429 + Retry-After. 0 disables
+	// quotas.
+	TenantQuota float64
+	// TenantBurst is the quota token-bucket depth in keys (default:
+	// TenantQuota rounded up).
+	TenantBurst int
+	// TenantIdleAfter spills tenants untouched for this long (0 disables
+	// idle spilling; requires StartSnapshots).
+	TenantIdleAfter time.Duration
+	// TenantMax caps the number of namespaces, resident or not; 0 means
+	// uncapped.
+	TenantMax int
+	// Logger receives pipeline restart/quarantine, tenant spill/revive
+	// and snapshot lifecycle events (default slog.Default()).
 	Logger *slog.Logger
 }
 
 // SnapshotConfig wires crash-safe durability into a Server: where
 // checkpoints live, how often they are taken, and how many to keep.
+// Every tenant persists under its own Dir/<namespace>/ subdirectory.
 type SnapshotConfig struct {
-	// Dir is the snapshot directory (created if missing).
+	// Dir is the snapshot base directory (created if missing).
 	Dir string
-	// Interval is the periodic checkpoint cadence; zero means only the
-	// final snapshot on Close.
+	// Interval is the periodic checkpoint cadence for dirty tenants;
+	// zero means only the final snapshot on Close.
 	Interval time.Duration
-	// Retain is how many newest snapshots to keep (default
+	// Retain is how many newest snapshots each tenant keeps (default
 	// snapshot.DefaultRetain).
 	Retain int
 }
 
-// Server is an http.Handler serving one tracker.
+// Route is one row of the server's route table: the contract shared by
+// the ServeMux registration, the README documentation and the
+// route-contract test.
+type Route struct {
+	// Method is the HTTP method the route accepts.
+	Method string
+	// Pattern is the ServeMux pattern ({ns} is the namespace wildcard).
+	Pattern string
+	// Legacy marks the deprecated un-namespaced aliases of default-tenant
+	// routes.
+	Legacy bool
+}
+
+// routeTable is the canonical route list; New panics if any row has no
+// registered handler, so the table cannot drift from the mux.
+var routeTable = []Route{
+	{Method: http.MethodPost, Pattern: "/v1/t/{ns}/insert"},
+	{Method: http.MethodPost, Pattern: "/v1/t/{ns}/period"},
+	{Method: http.MethodGet, Pattern: "/v1/t/{ns}/top"},
+	{Method: http.MethodGet, Pattern: "/v1/t/{ns}/query"},
+	{Method: http.MethodGet, Pattern: "/v1/t/{ns}/stats"},
+	{Method: http.MethodGet, Pattern: "/v1/t/{ns}/checkpoint"},
+	{Method: http.MethodPost, Pattern: "/v1/t/{ns}/restore"},
+	{Method: http.MethodDelete, Pattern: "/v1/t/{ns}"},
+	{Method: http.MethodGet, Pattern: "/v1/tenants"},
+	{Method: http.MethodPost, Pattern: "/v1/tenants"},
+	{Method: http.MethodPost, Pattern: "/v1/insert", Legacy: true},
+	{Method: http.MethodPost, Pattern: "/v1/period", Legacy: true},
+	{Method: http.MethodGet, Pattern: "/v1/top", Legacy: true},
+	{Method: http.MethodGet, Pattern: "/v1/query", Legacy: true},
+	{Method: http.MethodGet, Pattern: "/v1/stats", Legacy: true},
+	{Method: http.MethodGet, Pattern: "/v1/checkpoint", Legacy: true},
+	{Method: http.MethodPost, Pattern: "/v1/restore", Legacy: true},
+	{Method: http.MethodGet, Pattern: "/metrics"},
+	{Method: http.MethodGet, Pattern: "/healthz"},
+	{Method: http.MethodGet, Pattern: "/readyz"},
+}
+
+// Routes returns the server's full route table, sorted by pattern then
+// method. The README's route table documents exactly this set; the
+// route-contract test enforces it.
+func Routes() []Route {
+	out := make([]Route, len(routeTable))
+	copy(out, routeTable)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// Server is an http.Handler serving a tenant registry of trackers.
 type Server struct {
 	mux     *http.ServeMux
-	tracker *sigstream.Sharded
 	cfg     Config
 	httpm   *obs.HTTPMetrics
 	reg     *obs.Registry
 	logger  *slog.Logger
-
-	mu       sync.Mutex // guards keys, counters, and the tracker/pipeline pair
-	keys     *sigstream.KeyMap
-	pipeline *sigstream.Pipeline // nil unless cfg.Pipeline; swapped with the tracker on restore
-	arrivals uint64
-	periods  uint64
-
-	shedDepth int // ring depth at which /v1/insert sheds; 0 disables
-
-	snapMu sync.Mutex
-	snap   *snapshot.Snapshotter // nil until StartSnapshots
+	tenants *tenant.Registry
+	def     *tenant.Tenant // the pinned default tenant behind legacy routes
 
 	restoring atomic.Bool // startup recovery in progress (/readyz gates on it)
 	sheds     atomic.Uint64
+	snapsOn   atomic.Bool // StartSnapshots completed
 
 	closeOnce sync.Once
 	closed    atomic.Bool
 }
 
-// New builds a Server.
+// New builds a Server. It panics only on programming errors (a route
+// table row without a handler).
 func New(cfg Config) *Server {
 	if cfg.MemoryBytes <= 0 {
 		cfg.MemoryBytes = 1 << 20
@@ -149,180 +238,247 @@ func New(cfg Config) *Server {
 	if cfg.ShedHighWater == 0 {
 		cfg.ShedHighWater = 0.9
 	}
+	if cfg.TenantMemoryBytes <= 0 {
+		cfg.TenantMemoryBytes = cfg.MemoryBytes
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
 	s := &Server{
 		mux:    http.NewServeMux(),
 		cfg:    cfg,
-		keys:   sigstream.NewKeyMap(),
 		httpm:  obs.NewHTTPMetrics(),
 		reg:    obs.NewRegistry(),
 		logger: cfg.Logger,
 	}
-	s.tracker = s.newTracker()
-	if cfg.Pipeline {
-		s.pipeline = s.tracker.Pipeline(s.pipelineOptions())
-		if cfg.ShedHighWater > 0 {
-			s.shedDepth = max(1, int(cfg.ShedHighWater*float64(s.pipeline.RingCapacity())))
-		}
+	s.tenants = tenant.NewRegistry(tenant.Config{
+		Tracker: sigstream.Config{
+			MemoryBytes: cfg.TenantMemoryBytes,
+			Weights:     cfg.Weights,
+			DecayFactor: cfg.DecayFactor,
+		},
+		Shards:      cfg.Shards,
+		BudgetBytes: cfg.TenantBudgetBytes,
+		MaxTenants:  cfg.TenantMax,
+		QuotaPerSec: cfg.TenantQuota,
+		QuotaBurst:  cfg.TenantBurst,
+		IdleAfter:   cfg.TenantIdleAfter,
+		Logger:      cfg.Logger,
+	})
+	def, err := s.tenants.Pin(tenant.DefaultNamespace, tenant.PinOptions{
+		Tracker: sigstream.Config{
+			MemoryBytes: cfg.MemoryBytes,
+			Weights:     cfg.Weights,
+			DecayFactor: cfg.DecayFactor,
+		},
+		Shards:   cfg.Shards,
+		Pipeline: cfg.Pipeline,
+		PipelineOptions: sigstream.PipelineOptions{
+			RingSize:      cfg.PipelineRing,
+			RestartBudget: cfg.PipelineRestartBudget,
+			RestartWindow: cfg.PipelineRestartWindow,
+			Logger:        cfg.Logger,
+		},
+		ShedHighWater: cfg.ShedHighWater,
+	})
+	if err != nil {
+		panic("server: pin default tenant: " + err.Error())
 	}
-	for path, h := range map[string]http.HandlerFunc{
-		"/v1/insert":     s.handleInsert,
-		"/v1/period":     s.handlePeriod,
-		"/v1/top":        s.handleTop,
-		"/v1/query":      s.handleQuery,
-		"/v1/stats":      s.handleStats,
-		"/v1/checkpoint": s.handleCheckpoint,
-		"/v1/restore":    s.handleRestore,
-		"/healthz":       s.handleHealthz,
-		"/readyz":        s.handleReadyz,
-	} {
-		s.mux.Handle(path, s.httpm.Wrap(path, h))
-	}
+	s.def = def
+	s.registerRoutes()
 	s.reg.Register(obs.CollectorFunc(s.collectTracker))
+	s.reg.Register(obs.CollectorFunc(s.collectTenants))
 	s.reg.Register(s.httpm)
-	s.mux.Handle("/metrics", s.httpm.Wrap("/metrics", s.reg))
 	return s
 }
 
-// newTracker builds a tracker from the server's configuration; New and
-// /v1/restore share it so a restored tracker is validated against the same
-// geometry the server was started with.
-func (s *Server) newTracker() *sigstream.Sharded {
-	return sigstream.NewSharded(sigstream.Config{
-		MemoryBytes: s.cfg.MemoryBytes,
-		Weights:     s.cfg.Weights,
-		DecayFactor: s.cfg.DecayFactor,
-	}, s.cfg.Shards)
-}
-
-// pipelineOptions builds the pipeline tuning from the server config; New
-// and the restore swap share it so a post-restore pipeline keeps the same
-// ring depth and restart budget.
-func (s *Server) pipelineOptions() sigstream.PipelineOptions {
-	return sigstream.PipelineOptions{
-		RingSize:      s.cfg.PipelineRing,
-		RestartBudget: s.cfg.PipelineRestartBudget,
-		RestartWindow: s.cfg.PipelineRestartWindow,
-		Logger:        s.logger,
+// registerRoutes installs every routeTable row on the mux, one pattern
+// per mux entry with method dispatch inside (so a wrong method answers a
+// JSON 405 with an Allow header instead of ServeMux's plain-text 405).
+func (s *Server) registerRoutes() {
+	impl := map[string]http.HandlerFunc{
+		"POST /v1/t/{ns}/insert":    s.scoped(true, s.handleInsert),
+		"POST /v1/t/{ns}/period":    s.scoped(true, s.handlePeriod),
+		"GET /v1/t/{ns}/top":        s.scoped(false, s.handleTop),
+		"GET /v1/t/{ns}/query":      s.scoped(false, s.handleQuery),
+		"GET /v1/t/{ns}/stats":      s.scoped(false, s.handleStats),
+		"GET /v1/t/{ns}/checkpoint": s.scoped(false, s.handleCheckpoint),
+		"POST /v1/t/{ns}/restore":   s.scoped(true, s.handleRestore),
+		"DELETE /v1/t/{ns}":         s.handleTenantDelete,
+		"GET /v1/tenants":           s.handleTenantList,
+		"POST /v1/tenants":          s.handleTenantCreate,
+		"POST /v1/insert":           s.legacy(s.handleInsert),
+		"POST /v1/period":           s.legacy(s.handlePeriod),
+		"GET /v1/top":               s.legacy(s.handleTop),
+		"GET /v1/query":             s.legacy(s.handleQuery),
+		"GET /v1/stats":             s.legacy(s.handleStats),
+		"GET /v1/checkpoint":        s.legacy(s.handleCheckpoint),
+		"POST /v1/restore":          s.legacy(s.handleRestore),
+		"GET /metrics":              s.reg.ServeHTTP,
+		"GET /healthz":              s.handleHealthz,
+		"GET /readyz":               s.handleReadyz,
+	}
+	byPattern := make(map[string]map[string]http.HandlerFunc)
+	for _, rt := range routeTable {
+		h, ok := impl[rt.Method+" "+rt.Pattern]
+		if !ok {
+			panic("server: route table row without handler: " + rt.Method + " " + rt.Pattern)
+		}
+		if byPattern[rt.Pattern] == nil {
+			byPattern[rt.Pattern] = make(map[string]http.HandlerFunc)
+		}
+		byPattern[rt.Pattern][rt.Method] = h
+	}
+	if len(impl) != len(routeTable) {
+		panic("server: handler without route table row")
+	}
+	for pattern, methods := range byPattern {
+		s.mux.Handle(pattern, s.httpm.Wrap(pattern, methodDispatch(methods)))
 	}
 }
+
+// methodDispatch answers with the method's handler, or a JSON 405
+// carrying the Allow header.
+func methodDispatch(methods map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(methods))
+	for m := range methods {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	msg := strings.Join(allowed, " or ") + " required"
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := methods[r.Method]; ok {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Allow", allow)
+		httpError(w, http.StatusMethodNotAllowed, msg)
+	}
+}
+
+// tenantHandlerFunc is a handler bound to one resolved tenant.
+type tenantHandlerFunc func(http.ResponseWriter, *http.Request, *tenant.Tenant)
+
+// scoped resolves the {ns} path wildcard into a tenant before the
+// handler runs. Write routes (create=true) register unknown namespaces
+// on the fly; read routes answer 404 for them.
+func (s *Server) scoped(create bool, fn tenantHandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ns := r.PathValue("ns")
+		var tn *tenant.Tenant
+		var err error
+		if create {
+			tn, err = s.tenants.GetOrCreate(ns)
+		} else {
+			tn, err = s.tenants.Get(ns)
+		}
+		if err != nil {
+			s.tenantError(w, err)
+			return
+		}
+		fn(w, r, tn)
+	}
+}
+
+// legacy binds a tenant-scoped handler to the pinned default tenant, the
+// compatibility contract of the un-namespaced /v1/* routes.
+func (s *Server) legacy(fn tenantHandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fn(w, r, s.def)
+	}
+}
+
+// tenantError maps tenant-package failures onto the HTTP contract:
+// quota breach → 429 + Retry-After, geometry mismatch → 409, unknown
+// namespace → 404, invalid namespace → 400, exhausted budget or tenant
+// limit → 507, everything else (closed registry, quarantined pipeline,
+// disk failure) → 503.
+func (s *Server) tenantError(w http.ResponseWriter, err error) {
+	var qe *tenant.QuotaError
+	var ge *tenant.GeometryError
+	switch {
+	case errors.As(err, &qe):
+		secs := int(math.Ceil(qe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, "insert quota exceeded, retry later")
+	case errors.As(err, &ge):
+		httpError(w, http.StatusConflict, ge.Error())
+	case errors.Is(err, tenant.ErrNotFound):
+		httpError(w, http.StatusNotFound, "unknown tenant")
+	case errors.Is(err, tenant.ErrBadNamespace):
+		httpError(w, http.StatusBadRequest, "invalid namespace")
+	case errors.Is(err, tenant.ErrTooManyTenants), errors.Is(err, tenant.ErrBudget):
+		httpError(w, http.StatusInsufficientStorage, err.Error())
+	default:
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	}
+}
+
+// Tenants exposes the tenant registry so embedding programs (and tests)
+// can reach tenants directly.
+func (s *Server) Tenants() *tenant.Registry { return s.tenants }
 
 // Registry exposes the server's metrics registry so embedding programs can
 // register additional collectors into the same /metrics exposition.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// trk returns the live tracker under the lock, so /v1/restore can swap it
-// safely while other handlers run.
-func (s *Server) trk() *sigstream.Sharded {
-	s.mu.Lock()
-	t := s.tracker
-	s.mu.Unlock()
-	return t
-}
-
-// pipe returns the live pipeline (nil when disabled) under the lock.
-func (s *Server) pipe() *sigstream.Pipeline {
-	s.mu.Lock()
-	p := s.pipeline
-	s.mu.Unlock()
-	return p
-}
-
-// barrier flushes the pipeline, if any, so the following read or period
-// operation observes every previously accepted insert. A restore may close
-// the pipeline concurrently; the resulting ErrClosed only means there is
-// nothing left to flush, so it is not surfaced.
-func (s *Server) barrier() error {
-	p := s.pipe()
-	if p == nil {
-		return nil
-	}
-	if err := p.Flush(); err != nil && err != sigstream.ErrPipelineClosed {
-		return err
-	}
-	return nil
-}
-
-// StartSnapshots makes the server crash-safe: it recovers the newest
-// valid checkpoint from cfg.Dir into the tracker (a fresh or empty
-// directory recovers nothing and is not an error), then checkpoints the
-// tracker there periodically and once more on Close. While recovery runs,
-// /readyz reports 503 so a load balancer holds traffic until the restored
-// state is live. Call it once, after New and before serving traffic.
+// StartSnapshots makes the server crash-safe: it recovers every
+// namespace's newest valid checkpoint from cfg.Dir (tenant-labelled
+// subdirectories; legacy root-level snapshot files recover into the
+// default tenant; a fresh or empty directory recovers nothing and is not
+// an error), then checkpoints dirty tenants there periodically and once
+// more on Close. While recovery runs, /readyz reports 503 so a load
+// balancer holds traffic until the restored state is live. Call it once,
+// after New and before serving traffic.
 func (s *Server) StartSnapshots(cfg SnapshotConfig) error {
 	if cfg.Dir == "" {
 		return errors.New("server: snapshot dir required")
 	}
 	s.restoring.Store(true)
 	defer s.restoring.Store(false)
-	payload, name, err := snapshot.Recover(cfg.Dir, s.logger)
-	if err != nil {
+	s.tenants.SetRetain(cfg.Retain)
+	if err := s.tenants.AttachDir(cfg.Dir); err != nil {
 		return err
 	}
-	if payload != nil {
-		if _, err := s.restoreImage(payload); err != nil {
-			return fmt.Errorf("server: restore snapshot %s: %w", name, err)
-		}
-		s.logger.Info("server: recovered snapshot", "file", name)
-	}
-	snap, err := snapshot.New(s.checkpointImage, snapshot.Options{
-		Dir:      cfg.Dir,
-		Interval: cfg.Interval,
-		Retain:   cfg.Retain,
-		Logger:   s.logger,
-	})
-	if err != nil {
-		return err
-	}
-	s.snapMu.Lock()
-	s.snap = snap
-	s.snapMu.Unlock()
-	snap.Start()
+	s.tenants.Start(cfg.Interval)
+	s.snapsOn.Store(true)
 	return nil
 }
 
-// snapshotter returns the Snapshotter, or nil before StartSnapshots.
-func (s *Server) snapshotter() *snapshot.Snapshotter {
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	return s.snap
-}
-
-// SnapshotNow forces one checkpoint to disk outside the periodic cadence
-// and returns the written file name. It fails if StartSnapshots has not
+// SnapshotNow forces one checkpoint of the default tenant to disk
+// outside the periodic cadence — returning the written file name — and
+// flushes every other dirty tenant. It fails if StartSnapshots has not
 // run.
 func (s *Server) SnapshotNow() (string, error) {
-	snap := s.snapshotter()
-	if snap == nil {
+	if !s.snapsOn.Load() {
 		return "", errors.New("server: snapshots not started")
 	}
-	return snap.Save()
+	name, err := s.def.Save()
+	if err != nil {
+		return "", err
+	}
+	if derr := s.tenants.SaveDirty(); derr != nil {
+		s.logger.Warn("server: tenant snapshot failed", "err", derr)
+	}
+	return name, nil
 }
 
-// Close shuts the durability and ingestion paths down: one final snapshot
-// (when StartSnapshots ran), then the pipeline drain. The HTTP handlers
-// remain usable for reads; in-flight inserts either drain with the
-// pipeline or fail with 503, never panic. Close is idempotent and safe
-// under concurrent requests — the first call does the work and reports
-// any failure, later calls return nil.
+// Close shuts the durability and ingestion paths down: one final
+// snapshot of every resident tenant (when StartSnapshots ran), then the
+// pinned pipeline drain. The HTTP handlers remain usable for reads;
+// in-flight inserts either drain with the pipeline or fail with 503,
+// never panic. Close is idempotent and safe under concurrent requests —
+// the first call does the work and reports any failure, later calls
+// return nil.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
-		var errs []error
-		if snap := s.snapshotter(); snap != nil {
-			if cerr := snap.Close(); cerr != nil {
-				errs = append(errs, cerr)
-			}
-		}
-		if p := s.pipe(); p != nil {
-			if cerr := p.Close(); cerr != nil {
-				errs = append(errs, cerr)
-			}
-		}
-		err = errors.Join(errs...)
+		err = s.tenants.Close()
 	})
 	return err
 }
@@ -341,13 +497,29 @@ type entryJSON struct {
 	Significance float64 `json:"significance"`
 }
 
+// snapshotStatus is the durability section of /v1/stats: residency,
+// spill/revive history, snapshot age and the last recovery outcome, so
+// operators can see per-tenant spill state at a glance.
+type snapshotStatus struct {
+	Resident     bool    `json:"resident"`
+	Spills       uint64  `json:"spills"`
+	Revives      uint64  `json:"revives"`
+	Saves        uint64  `json:"saves"`
+	Errors       uint64  `json:"errors"`
+	LastSaveUnix int64   `json:"last_save_unix"`
+	AgeSeconds   float64 `json:"age_seconds"` // -1 when never saved
+	LastRecovery string  `json:"last_recovery"`
+}
+
 // statsResponse is the /v1/stats payload: the service-level counters plus
-// the tracker's typed sigstream.Stats snapshot. The flat fields mirror the
-// pre-StatsReporter payload for existing consumers; new consumers should
-// read the structured "tracker" object. The flat fields are filled from
-// the same snapshot, not tracked separately — the typed Stats is the
-// single source of truth.
+// the tracker's typed sigstream.Stats snapshot and the tenant's
+// durability state. The flat fields mirror the pre-StatsReporter payload
+// for existing consumers; new consumers should read the structured
+// "tracker" and "snapshot" objects. The flat fields are filled from the
+// same snapshot, not tracked separately — the typed Stats is the single
+// source of truth.
 type statsResponse struct {
+	Tenant      string          `json:"tenant"`
 	MemoryBytes int             `json:"memory_bytes"`
 	Shards      int             `json:"shards"`
 	Arrivals    uint64          `json:"arrivals"`
@@ -356,33 +528,66 @@ type statsResponse struct {
 	Alpha       float64         `json:"alpha"`
 	Beta        float64         `json:"beta"`
 	Tracker     sigstream.Stats `json:"tracker"`
+	Snapshot    snapshotStatus  `json:"snapshot"`
 }
 
-func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
+// tenantInfoJSON is one row of the /v1/tenants listing.
+type tenantInfoJSON struct {
+	Namespace    string `json:"namespace"`
+	Pinned       bool   `json:"pinned"`
+	Resident     bool   `json:"resident"`
+	Arrivals     uint64 `json:"arrivals"`
+	Periods      uint64 `json:"periods"`
+	Spills       uint64 `json:"spills"`
+	Revives      uint64 `json:"revives"`
+	QuotaDenials uint64 `json:"quota_denials"`
+	Dirty        bool   `json:"dirty"`
+	LastSaveUnix int64  `json:"last_save_unix"`
+}
+
+// tenantsResponse is the /v1/tenants payload: the per-tenant rows plus
+// registry totals.
+type tenantsResponse struct {
+	Tenants       []tenantInfoJSON `json:"tenants"`
+	Count         int              `json:"count"`
+	Resident      int              `json:"resident"`
+	ResidentBytes int64            `json:"resident_bytes"`
+	BudgetBytes   int64            `json:"budget_bytes"`
+	CostPerTenant int64            `json:"cost_per_tenant_bytes"`
+}
+
+func infoJSON(i tenant.Info) tenantInfoJSON {
+	return tenantInfoJSON{
+		Namespace:    i.Namespace,
+		Pinned:       i.Pinned,
+		Resident:     i.Resident,
+		Arrivals:     i.Arrivals,
+		Periods:      i.Periods,
+		Spills:       i.Spills,
+		Revives:      i.Revives,
+		QuotaDenials: i.QuotaDenials,
+		Dirty:        i.Dirty,
+		LastSaveUnix: i.LastSaveUnix,
 	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
 	// Shed before buffering the body: when the ingest rings are already at
 	// the high-water mark, accepting this request would stall the handler
 	// goroutine on a full ring; a 429 tells well-behaved producers to back
 	// off for a beat instead.
-	if p := s.pipe(); p != nil && s.shedDepth > 0 && p.Depth() >= s.shedDepth {
+	if tn.Overloaded() {
 		s.sheds.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "ingest queue at high-water mark, retry later")
 		return
 	}
-	trk := s.trk()
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	// Intern the whole request under one lock acquisition, then feed the
-	// tracker one batch: each shard lock is taken once per request.
 	lines := bytes.Split(body, []byte{'\n'})
-	batch := make([]sigstream.Item, 0, len(lines))
-	s.mu.Lock()
+	keys := make([]string, 0, len(lines))
 	for _, line := range lines {
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
@@ -390,47 +595,26 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		if len(line) == 0 {
 			continue
 		}
-		batch = append(batch, s.keys.Intern(string(line)))
+		keys = append(keys, string(line))
 	}
-	s.mu.Unlock()
-	if p := s.pipe(); p != nil {
-		if err := p.Submit(batch); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
-			return
-		}
-	} else {
-		trk.InsertBatch(batch)
+	n, err := tn.Ingest(keys)
+	if err != nil {
+		s.tenantError(w, err)
+		return
 	}
-	n := uint64(len(batch))
-	s.mu.Lock()
-	s.arrivals += n
-	s.mu.Unlock()
-	writeJSON(w, map[string]uint64{"inserted": n})
+	writeJSON(w, map[string]uint64{"inserted": uint64(n)})
 }
 
-func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
+	periods, err := tn.EndPeriod()
+	if err != nil {
+		s.tenantError(w, err)
 		return
 	}
-	// The period boundary must land after every accepted insert.
-	if err := s.barrier(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
-		return
-	}
-	s.trk().EndPeriod()
-	s.mu.Lock()
-	s.periods++
-	p := s.periods
-	s.mu.Unlock()
-	writeJSON(w, map[string]uint64{"periods": p})
+	writeJSON(w, map[string]uint64{"periods": periods})
 }
 
-func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
 	k := 10
 	if v := r.URL.Query().Get("k"); v != "" {
 		parsed, err := strconv.Atoi(v)
@@ -440,47 +624,41 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
-	if err := s.barrier(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+	entries, err := tn.TopK(k)
+	if err != nil {
+		s.tenantError(w, err)
 		return
 	}
-	entries := s.trk().TopK(k)
 	out := make([]entryJSON, len(entries))
-	s.mu.Lock()
 	for i, e := range entries {
 		out[i] = entryJSON{
-			Key:          s.keys.Name(e.Item),
+			Key:          e.Key,
 			Item:         e.Item,
 			Frequency:    e.Frequency,
 			Persistency:  e.Persistency,
 			Significance: e.Significance,
 		}
 	}
-	s.mu.Unlock()
 	writeJSON(w, out)
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "key required")
 		return
 	}
-	if err := s.barrier(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+	e, ok, err := tn.Query(key)
+	if err != nil {
+		s.tenantError(w, err)
 		return
 	}
-	e, ok := s.trk().Query(sigstream.HashKey(key))
 	if !ok {
 		httpError(w, http.StatusNotFound, "not tracked")
 		return
 	}
 	writeJSON(w, entryJSON{
-		Key:          key,
+		Key:          e.Key,
 		Item:         e.Item,
 		Frequency:    e.Frequency,
 		Persistency:  e.Persistency,
@@ -488,39 +666,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
+	ts, err := tn.Stats()
+	if err != nil {
+		s.tenantError(w, err)
 		return
 	}
-	if err := s.barrier(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
-		return
+	age := float64(-1)
+	if ts.LastSaveUnix > 0 {
+		age = math.Max(0, time.Since(time.Unix(ts.LastSaveUnix, 0)).Seconds())
 	}
-	ts := s.trk().Stats()
-	s.mu.Lock()
-	st := statsResponse{
-		MemoryBytes: ts.MemoryBytes,
-		Shards:      ts.Shards,
-		Arrivals:    s.arrivals,
-		Periods:     s.periods,
-		Keys:        s.keys.Len(),
-		Alpha:       ts.Alpha,
-		Beta:        ts.Beta,
-		Tracker:     ts,
-	}
-	s.mu.Unlock()
-	writeJSON(w, st)
+	writeJSON(w, statsResponse{
+		Tenant:      ts.Namespace,
+		MemoryBytes: ts.Tracker.MemoryBytes,
+		Shards:      ts.Tracker.Shards,
+		Arrivals:    ts.Arrivals,
+		Periods:     ts.Periods,
+		Keys:        ts.Keys,
+		Alpha:       ts.Tracker.Alpha,
+		Beta:        ts.Tracker.Beta,
+		Tracker:     ts.Tracker,
+		Snapshot: snapshotStatus{
+			Resident:     ts.Resident,
+			Spills:       ts.Spills,
+			Revives:      ts.Revives,
+			Saves:        ts.Saves,
+			Errors:       ts.SaveErrors,
+			LastSaveUnix: ts.LastSaveUnix,
+			AgeSeconds:   age,
+			LastRecovery: ts.LastRecovery,
+		},
+	})
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	img, err := s.checkpointImage()
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
+	img, err := tn.CheckpointImage()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.tenantError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -528,136 +710,97 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(img)
 }
 
-func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	fresh, err := s.restoreImage(body)
-	if err != nil {
-		var ge *geometryError
+	if err := tn.RestoreImage(body); err != nil {
+		var ge *tenant.GeometryError
 		if errors.As(err, &ge) {
-			httpError(w, http.StatusConflict, ge.Error())
-		} else {
-			httpError(w, http.StatusBadRequest, err.Error())
+			s.tenantError(w, err)
+			return
 		}
+		if errors.Is(err, tenant.ErrNotFound) || errors.Is(err, tenant.ErrClosed) ||
+			errors.Is(err, tenant.ErrBudget) || errors.Is(err, tenant.ErrTooManyTenants) {
+			s.tenantError(w, err)
+			return
+		}
+		// A malformed image is the client's problem, not the server's.
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, map[string]int{"shards": fresh.Shards()})
-}
-
-// geometryError reports a checkpoint image whose tracker geometry does not
-// match the server's configuration; /v1/restore maps it to 409 (the image
-// is well-formed, just for a differently-sized server) rather than 400.
-type geometryError struct{ msg string }
-
-func (e *geometryError) Error() string { return e.msg }
-
-// restoreImage validates a checkpoint image and installs it as the live
-// tracker, returning the installed tracker. The image is restored into a
-// fresh tracker first, then swapped, so a bad image leaves the live
-// tracker untouched. The fresh tracker is built from the server's
-// configuration and the snapshot must match its geometry: accepting an
-// arbitrary image would silently replace the configured shard count,
-// memory budget and weights with whatever the snapshot carries. Key names
-// are not part of the snapshot; unseen keys render as hex until
-// re-interned. Both /v1/restore and StartSnapshots recovery funnel
-// through here, so a crash-recovered snapshot passes the same geometry
-// gate as an operator-uploaded one.
-func (s *Server) restoreImage(body []byte) (*sigstream.Sharded, error) {
-	fresh := s.newTracker()
-	want := fresh.Stats()
-	if err := fresh.UnmarshalBinary(body); err != nil {
-		return nil, err
-	}
-	got := fresh.Stats()
-	if got.Shards != want.Shards || got.MemoryBytes != want.MemoryBytes ||
-		got.BucketWidth != want.BucketWidth ||
-		got.Alpha != want.Alpha || got.Beta != want.Beta {
-		return nil, &geometryError{fmt.Sprintf(
-			"snapshot geometry (shards=%d mem=%d d=%d α=%g β=%g) does not match server config (shards=%d mem=%d d=%d α=%g β=%g)",
-			got.Shards, got.MemoryBytes, got.BucketWidth, got.Alpha, got.Beta,
-			want.Shards, want.MemoryBytes, want.BucketWidth, want.Alpha, want.Beta)}
-	}
-	// Reset the service counters to the snapshot's view of the stream: the
-	// tracker-level counters survive the checkpoint round-trip, so the
-	// service resumes reporting where the snapshot left off. A pipeline is
-	// bound to one tracker, so the old one is retired with the old tracker
-	// and a fresh one is started over the restored state; the retired
-	// pipeline is drained outside the lock (its items target the replaced
-	// tracker, which is being discarded anyway).
-	s.mu.Lock()
-	old := s.pipeline
-	if old != nil {
-		s.pipeline = fresh.Pipeline(s.pipelineOptions())
-	}
-	s.tracker = fresh
-	s.arrivals = got.Arrivals
-	s.periods = got.Periods
-	s.mu.Unlock()
-	if old != nil {
-		_ = old.Close()
-	}
-	return fresh, nil
-}
-
-// checkpointImage drains the pipeline and marshals the live tracker: the
-// shared source behind GET /v1/checkpoint, the periodic Snapshotter, and
-// the final snapshot on Close. The barrier is best-effort — a quarantined
-// pipeline still answers flush markers, so a crash-safe snapshot of the
-// state applied so far stays possible even after an ingest failure (the
-// failure itself is logged and keeps surfacing on /readyz).
-func (s *Server) checkpointImage() ([]byte, error) {
-	if err := s.barrier(); err != nil {
-		s.logger.Warn("server: checkpoint barrier failed; snapshotting applied state",
-			"err", err)
-	}
-	return s.trk().MarshalBinary()
-}
-
-// readBody buffers a request body under the configured limit, translating
-// an overrun into 413 (the limit is the operator's, not the client's) and
-// any other failure into 400. The bool reports whether the caller may
-// proceed.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	st, err := tn.Stats()
 	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("body exceeds %d byte limit", mbe.Limit))
-			return nil, false
-		}
-		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
-		return nil, false
+		s.tenantError(w, err)
+		return
 	}
-	return body, true
+	writeJSON(w, map[string]int{"shards": st.Tracker.Shards})
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	infos := s.tenants.List()
+	rows := make([]tenantInfoJSON, len(infos))
+	for i, info := range infos {
+		rows[i] = infoJSON(info)
+	}
+	st := s.tenants.Stats()
+	writeJSON(w, tenantsResponse{
+		Tenants:       rows,
+		Count:         st.Tenants,
+		Resident:      st.Resident,
+		ResidentBytes: st.ResidentBytes,
+		BudgetBytes:   st.BudgetBytes,
+		CostPerTenant: st.CostPerTenant,
+	})
+}
+
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Namespace string `json:"namespace"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Namespace == "" {
+		httpError(w, http.StatusBadRequest, `body must be {"namespace": "..."}`)
+		return
+	}
+	tn, err := s.tenants.GetOrCreate(req.Namespace)
+	if err != nil {
+		s.tenantError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]string{"namespace": tn.Namespace()})
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	if err := s.tenants.Delete(ns); err != nil {
+		if errors.Is(err, tenant.ErrPinned) {
+			httpError(w, http.StatusConflict, "the default tenant cannot be deleted")
+			return
+		}
+		s.tenantError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": ns})
 }
 
 // handleHealthz is the liveness probe: 200 whenever the process can
 // answer HTTP at all, including while degraded — restarting the process
 // is the remedy for a hung process, not for a quarantined shard.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
 // handleReadyz is the readiness probe: 200 only when the server should
 // receive traffic — no startup restore in progress, not shut down, and
-// the ingest pipeline not quarantined. A load balancer drains a 503
-// instance while /healthz keeps it alive for diagnosis.
+// the default tenant's ingest pipeline not quarantined. A load balancer
+// drains a 503 instance while /healthz keeps it alive for diagnosis.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
 	if s.closed.Load() {
 		httpError(w, http.StatusServiceUnavailable, "shutting down")
 		return
@@ -666,26 +809,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "snapshot restore in progress")
 		return
 	}
-	if p := s.pipe(); p != nil {
-		if err := p.Err(); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
-			return
-		}
+	if err := s.def.PipelineErr(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "pipeline: "+err.Error())
+		return
 	}
 	writeJSON(w, map[string]string{"status": "ready"})
 }
 
-// collectTracker contributes the service- and tracker-level series to the
-// /metrics exposition. The historical five series keep their names; the
+// collectTracker contributes the default tenant's service- and
+// tracker-level series to the /metrics exposition — the historical
+// series keep their names, so pre-namespace dashboards stay correct; the
 // LTC core counters are exported under sigstream_ltc_*.
 func (s *Server) collectTracker(w *obs.Writer) {
-	ts := s.trk().Stats()
-	s.mu.Lock()
-	arrivals, periods, keys := s.arrivals, s.periods, s.keys.Len()
-	s.mu.Unlock()
-	w.Counter("sigstream_arrivals_total", "Stream arrivals ingested.", float64(arrivals))
-	w.Counter("sigstream_periods_total", "Periods closed.", float64(periods))
-	w.Gauge("sigstream_distinct_keys", "Distinct keys interned.", float64(keys))
+	ts, ok := s.def.TrackerStats()
+	if !ok {
+		return
+	}
+	w.Counter("sigstream_arrivals_total", "Stream arrivals ingested.", float64(s.def.Arrivals()))
+	w.Counter("sigstream_periods_total", "Periods closed.", float64(s.def.Periods()))
+	w.Gauge("sigstream_distinct_keys", "Distinct keys interned.", float64(s.def.KeyCount()))
 	w.Gauge("sigstream_memory_bytes", "Tracker memory budget.", float64(ts.MemoryBytes))
 	w.Gauge("sigstream_shards", "Tracker shard count.", float64(ts.Shards))
 	w.Gauge("sigstream_ltc_cells", "Total LTC cell capacity.", float64(ts.Cells))
@@ -708,8 +850,7 @@ func (s *Server) collectTracker(w *obs.Writer) {
 		"Native-path InsertBatch calls.", float64(ts.Batches))
 	w.Counter("sigstream_ltc_batched_items_total",
 		"Arrivals ingested via InsertBatch.", float64(ts.BatchedItems))
-	if p := s.pipe(); p != nil {
-		ps := p.Stats()
+	if ps, ok := s.def.PipelineStats(); ok {
 		w.Gauge("sigstream_pipeline_shards", "Pipeline shard workers.", float64(ps.Shards))
 		w.Gauge("sigstream_pipeline_ring_capacity",
 			"Per-shard ring capacity in batches.", float64(ps.RingCapacity))
@@ -736,17 +877,71 @@ func (s *Server) collectTracker(w *obs.Writer) {
 	}
 	w.Counter("sigstream_http_shed_total",
 		"Inserts refused with 429 at the ring high-water mark.", float64(s.sheds.Load()))
-	if snap := s.snapshotter(); snap != nil {
-		ss := snap.Stats()
+	if s.snapsOn.Load() {
+		saves, errs, lastUnix := s.def.SaveCounters()
 		w.Counter("sigstream_snapshot_saves_total",
-			"Snapshots written successfully.", float64(ss.Saves))
+			"Snapshots written successfully.", float64(saves))
 		w.Counter("sigstream_snapshot_errors_total",
-			"Snapshot attempts that failed.", float64(ss.Errors))
-		w.Gauge("sigstream_snapshot_last_seq",
-			"Sequence number of the newest snapshot.", float64(ss.LastSeq))
-		w.Gauge("sigstream_snapshot_last_bytes",
-			"Frame size of the newest snapshot.", float64(ss.LastBytes))
+			"Snapshot attempts that failed.", float64(errs))
+		w.Gauge("sigstream_snapshot_last_unix",
+			"Unix time of the newest snapshot.", float64(lastUnix))
 	}
+}
+
+// collectTenants contributes the tenant-registry series: global
+// residency and budget gauges plus per-tenant labeled counters (bounded
+// by the tenant count; assembled from atomics, so a scrape never revives
+// a spilled tenant).
+func (s *Server) collectTenants(w *obs.Writer) {
+	st := s.tenants.Stats()
+	w.Gauge("sigstream_tenants", "Known namespaces.", float64(st.Tenants))
+	w.Gauge("sigstream_tenants_resident", "Tenants resident in memory.", float64(st.Resident))
+	w.Gauge("sigstream_tenant_resident_bytes",
+		"Summed tracker budgets of resident non-pinned tenants.", float64(st.ResidentBytes))
+	w.Gauge("sigstream_tenant_budget_bytes",
+		"Global tenant memory budget (0 = uncapped).", float64(st.BudgetBytes))
+	w.Gauge("sigstream_tenant_cost_bytes",
+		"Priced memory cost of one tenant.", float64(st.CostPerTenant))
+	w.Counter("sigstream_tenant_spills_total",
+		"Tenant spill (resident to disk) transitions.", float64(st.Spills))
+	w.Counter("sigstream_tenant_revives_total",
+		"Tenant revive (disk to resident) transitions.", float64(st.Revives))
+	w.Counter("sigstream_tenant_quota_denials_total",
+		"Ingest batches denied by per-tenant quotas.", float64(st.QuotaDenials))
+	w.Counter("sigstream_tenant_saves_total",
+		"Tenant snapshots written successfully.", float64(st.Saves))
+	w.Counter("sigstream_tenant_save_errors_total",
+		"Tenant snapshot attempts that failed.", float64(st.SaveErrors))
+	for _, info := range s.tenants.List() {
+		lbl := obs.Label{Name: "tenant", Value: info.Namespace}
+		w.Counter("sigstream_tenant_arrivals_total",
+			"Arrivals ingested per tenant.", float64(info.Arrivals), lbl)
+		resident := 0.0
+		if info.Resident {
+			resident = 1
+		}
+		w.Gauge("sigstream_tenant_resident",
+			"Whether the tenant is resident (1) or spilled (0).", resident, lbl)
+	}
+}
+
+// readBody buffers a request body under the configured limit, translating
+// an overrun into 413 (the limit is the operator's, not the client's) and
+// any other failure into 400. The bool reports whether the caller may
+// proceed.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d byte limit", mbe.Limit))
+			return nil, false
+		}
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, false
+	}
+	return body, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -195,8 +195,12 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestDefaultsApplied(t *testing.T) {
 	s := New(Config{})
-	if s.tracker.MemoryBytes() <= 0 {
+	ts, ok := s.def.TrackerStats()
+	if !ok || ts.MemoryBytes <= 0 {
 		t.Fatal("no default memory")
+	}
+	if s.tenants.CostPerTenant() <= 0 {
+		t.Fatal("no tenant cost priced")
 	}
 }
 

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sigstream"
+)
+
+// newTenantServer serves a multi-tenant configuration: small per-tenant
+// trackers, a tight global budget, a snapshot dir for spilling, and a
+// per-tenant quota.
+func newTenantServer(t *testing.T, mutate func(*Config)) (*httptest.Server, *Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := Config{
+		MemoryBytes:       64 << 10,
+		Weights:           sigstream.Weights{Alpha: 1, Beta: 10},
+		Shards:            2,
+		TenantMemoryBytes: 16 << 10,
+		Logger:            quietLogger(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	if err := s.StartSnapshots(SnapshotConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return srv, s, dir
+}
+
+func TestTenantScopedRoutes(t *testing.T) {
+	srv, _, _ := newTenantServer(t, nil)
+
+	// Insert auto-creates; tenants are isolated.
+	resp := post(t, srv.URL+"/v1/t/red/insert", "a\na\nb\n")
+	if out := decode[map[string]uint64](t, resp); out["inserted"] != 3 {
+		t.Fatalf("inserted = %v", out)
+	}
+	post(t, srv.URL+"/v1/t/red/period", "").Body.Close()
+	post(t, srv.URL+"/v1/t/blue/insert", "z\n").Body.Close()
+
+	resp = get(t, srv.URL+"/v1/t/red/query?key=a")
+	if e := decode[map[string]any](t, resp); e["frequency"].(float64) != 2 {
+		t.Fatalf("red a: %v", e)
+	}
+	resp = get(t, srv.URL+"/v1/t/blue/query?key=a")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("blue sees red's key: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Stats carry the tenant label and the snapshot section.
+	resp = get(t, srv.URL+"/v1/t/red/stats")
+	st := decode[statsResponse](t, resp)
+	if st.Tenant != "red" || st.Arrivals != 3 || st.Periods != 1 {
+		t.Fatalf("red stats: %+v", st)
+	}
+	if !st.Snapshot.Resident || st.Snapshot.AgeSeconds != -1 || st.Snapshot.LastRecovery != "fresh" {
+		t.Fatalf("red snapshot section: %+v", st.Snapshot)
+	}
+
+	// Unknown tenants 404 on reads, invalid namespaces 400 everywhere.
+	resp = get(t, srv.URL+"/v1/t/ghost/top")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost top: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, srv.URL+"/v1/t/Bad.NS/insert", "x\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid namespace: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Listing and delete.
+	resp = get(t, srv.URL+"/v1/tenants")
+	list := decode[tenantsResponse](t, resp)
+	if list.Count != 3 { // default, red, blue
+		t.Fatalf("tenant count %d: %+v", list.Count, list)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/t/blue", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete blue: %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/t/default", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete default: %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+
+	// Explicit create.
+	resp = post(t, srv.URL+"/v1/tenants", `{"namespace":"green"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create green: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Legacy routes hit the same state as /v1/t/default/*.
+	post(t, srv.URL+"/v1/insert", "k\n").Body.Close()
+	resp = get(t, srv.URL+"/v1/t/default/query?key=k")
+	if e := decode[map[string]any](t, resp); e["frequency"].(float64) != 1 {
+		t.Fatalf("default via scoped route: %v", e)
+	}
+}
+
+// TestTenantQuotaShed is the quota acceptance test: a noisy tenant's
+// breach answers 429 + Retry-After without affecting another tenant.
+func TestTenantQuotaShed(t *testing.T) {
+	srv, _, _ := newTenantServer(t, func(c *Config) {
+		c.TenantQuota = 10
+		c.TenantBurst = 5
+	})
+
+	// The first batch fits the burst; the second exceeds it.
+	post(t, srv.URL+"/v1/t/noisy/insert", "a\nb\nc\nd\ne\n").Body.Close()
+	resp := post(t, srv.URL+"/v1/t/noisy/insert", "f\ng\nh\n")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota breach status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q", resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	// The victim tenant is untouched by the noisy tenant's denial.
+	resp = post(t, srv.URL+"/v1/t/victim/insert", "v\nv\n")
+	if out := decode[map[string]uint64](t, resp); out["inserted"] != 2 {
+		t.Fatalf("victim inserted = %v", out)
+	}
+
+	// The default tenant is quota-exempt.
+	resp = post(t, srv.URL+"/v1/insert", strings.Repeat("d\n", 50))
+	if out := decode[map[string]uint64](t, resp); out["inserted"] != 50 {
+		t.Fatalf("default inserted = %v", out)
+	}
+}
+
+// TestTenantBudgetSpillServes is the budget acceptance test: a global
+// budget far smaller than tenants×cost keeps every tenant serveable —
+// cold ones spill to disk and revive on touch with identical rankings.
+func TestTenantBudgetSpillServes(t *testing.T) {
+	const tenants = 100
+	srv, s, _ := newTenantServer(t, func(c *Config) {
+		// Budget for ~8 resident tenants out of 100.
+		c.TenantBudgetBytes = 8 * (64 << 10)
+		c.TenantMemoryBytes = 16 << 10
+	})
+	budget := s.Tenants().Stats().BudgetBytes
+	if capacity := budget / s.Tenants().CostPerTenant(); capacity >= tenants {
+		t.Fatalf("budget admits %d tenants, want < %d so spilling happens", capacity, tenants)
+	}
+
+	want := make(map[string][]entryJSON, tenants)
+	for i := 0; i < tenants; i++ {
+		ns := fmt.Sprintf("team-%03d", i)
+		body := fmt.Sprintf("item-%d\nitem-%d\nother-%d\n", i, i, i)
+		post(t, srv.URL+"/v1/t/"+ns+"/insert", body).Body.Close()
+		post(t, srv.URL+"/v1/t/"+ns+"/period", "").Body.Close()
+		resp := get(t, srv.URL+"/v1/t/"+ns+"/top?k=5")
+		want[ns] = decode[[]entryJSON](t, resp)
+		if len(want[ns]) != 2 {
+			t.Fatalf("%s top = %+v", ns, want[ns])
+		}
+	}
+	st := s.Tenants().Stats()
+	if st.Tenants != tenants+1 {
+		t.Fatalf("registry has %d tenants, want %d", st.Tenants, tenants+1)
+	}
+	if st.ResidentBytes > st.BudgetBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d", st.ResidentBytes, st.BudgetBytes)
+	}
+	if st.Spills == 0 {
+		t.Fatal("no tenant ever spilled under a tight budget")
+	}
+	// Every tenant — most of them spilled by now — still serves its exact
+	// pre-spill ranking.
+	for ns, entries := range want {
+		resp := get(t, srv.URL+"/v1/t/"+ns+"/top?k=5")
+		got := decode[[]entryJSON](t, resp)
+		if !reflect.DeepEqual(got, entries) {
+			t.Fatalf("%s ranking changed across spill/revive:\n got %+v\nwant %+v",
+				ns, got, entries)
+		}
+	}
+}
+
+// TestChaosTenantReviveAfterKill models kill -9 with tenants: snapshots
+// are taken, the server is abandoned without Close, and a fresh process
+// over the same directory serves every tenant's state back.
+func TestChaosTenantReviveAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		MemoryBytes:       64 << 10,
+		Weights:           sigstream.Weights{Alpha: 1, Beta: 10},
+		Shards:            2,
+		TenantMemoryBytes: 16 << 10,
+		Logger:            quietLogger(),
+	}
+	doomed := New(cfg)
+	if err := doomed.StartSnapshots(SnapshotConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(doomed)
+	want := make(map[string][]entryJSON)
+	for _, ns := range []string{"alpha", "beta", "gamma"} {
+		post(t, srv.URL+"/v1/t/"+ns+"/insert", ns+"\n"+ns+"\nextra\n").Body.Close()
+		post(t, srv.URL+"/v1/t/"+ns+"/period", "").Body.Close()
+		resp := get(t, srv.URL+"/v1/t/"+ns+"/top?k=5")
+		want[ns] = decode[[]entryJSON](t, resp)
+	}
+	post(t, srv.URL+"/v1/insert", "legacy\nlegacy\n").Body.Close()
+	if _, err := doomed.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill -9: the listener dies, Close never runs.
+	srv.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 4 { // default + 3 tenants
+		t.Fatalf("snapshot layout %v, want tenant-labelled directories", dirs)
+	}
+
+	revived := New(cfg)
+	if err := revived.StartSnapshots(SnapshotConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	srv2 := httptest.NewServer(revived)
+	defer srv2.Close()
+	for ns, entries := range want {
+		resp := get(t, srv2.URL+"/v1/t/"+ns+"/top?k=5")
+		got := decode[[]entryJSON](t, resp)
+		if !reflect.DeepEqual(got, entries) {
+			t.Fatalf("%s ranking lost in the crash:\n got %+v\nwant %+v", ns, got, entries)
+		}
+		resp = get(t, srv2.URL+"/v1/t/"+ns+"/stats")
+		st := decode[statsResponse](t, resp)
+		if !strings.HasPrefix(st.Snapshot.LastRecovery, "recovered ") {
+			t.Fatalf("%s last recovery %q", ns, st.Snapshot.LastRecovery)
+		}
+	}
+	// The default tenant recovered through the pinned path.
+	resp := get(t, srv2.URL+"/v1/query?key=legacy")
+	if e := decode[map[string]any](t, resp); e["frequency"].(float64) != 2 {
+		t.Fatalf("legacy key after revival: %v", e)
+	}
+}
+
+// TestTenantIdleSpillAndAge exercises the idle sweep end to end and the
+// stats snapshot age: an untouched tenant spills after IdleAfter, its
+// listing row goes non-resident, and a stats read revives it.
+func TestTenantIdleSpillAndAge(t *testing.T) {
+	srv, s, _ := newTenantServer(t, func(c *Config) {
+		c.TenantIdleAfter = time.Millisecond
+	})
+	post(t, srv.URL+"/v1/t/sleepy/insert", "a\n").Body.Close()
+	time.Sleep(5 * time.Millisecond)
+	s.Tenants().Sweep()
+	for _, info := range s.Tenants().List() {
+		if info.Namespace == "sleepy" && info.Resident {
+			t.Fatal("sleepy tenant still resident after idle sweep")
+		}
+	}
+	resp := get(t, srv.URL+"/v1/t/sleepy/stats")
+	st := decode[statsResponse](t, resp)
+	if st.Arrivals != 1 || st.Snapshot.Revives != 1 {
+		t.Fatalf("sleepy after revive: %+v", st.Snapshot)
+	}
+	if st.Snapshot.AgeSeconds < 0 {
+		t.Fatalf("snapshot age %v after a save", st.Snapshot.AgeSeconds)
+	}
+}
+
+// TestRouteContract pins the route table three ways: the mux serves
+// exactly the documented set, the README table matches server.Routes(),
+// and no handler exists without a table row (enforced by New's panic).
+func TestRouteContract(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`(GET|POST|DELETE)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
+	documented := make(map[string]bool)
+	for _, m := range rowRE.FindAllStringSubmatch(string(readme), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	routed := make(map[string]bool)
+	for _, rt := range Routes() {
+		routed[rt.Method+" "+rt.Pattern] = true
+	}
+	for key := range routed {
+		if !documented[key] {
+			t.Errorf("route %s is served but missing from the README route table", key)
+		}
+	}
+	for key := range documented {
+		if !routed[key] {
+			t.Errorf("README documents %s but the server does not serve it", key)
+		}
+	}
+
+	// Every table row resolves to a real mux handler of this server.
+	s := New(Config{MemoryBytes: 16 << 10, Logger: quietLogger()})
+	for _, rt := range Routes() {
+		path := strings.ReplaceAll(rt.Pattern, "{ns}", "default")
+		r := httptest.NewRequest(rt.Method, path, nil)
+		_, pattern := s.mux.Handler(r)
+		if pattern != rt.Pattern {
+			t.Errorf("%s %s resolves to mux pattern %q, want %q",
+				rt.Method, path, pattern, rt.Pattern)
+		}
+	}
+}

@@ -104,8 +104,9 @@ func FileName(seq uint64) string {
 	return fmt.Sprintf("%s%016x%s", prefix, seq, suffix)
 }
 
-// parseSeq extracts the sequence number from a snapshot file name.
-func parseSeq(name string) (uint64, bool) {
+// ParseSeq extracts the sequence number from a snapshot file name,
+// reporting false for names that are not snapshot files.
+func ParseSeq(name string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false
 	}
@@ -142,7 +143,7 @@ func Recover(dir string, logger *slog.Logger) ([]byte, string, error) {
 		if e.IsDir() {
 			continue
 		}
-		if seq, ok := parseSeq(e.Name()); ok {
+		if seq, ok := ParseSeq(e.Name()); ok {
 			found = append(found, candidate{seq, e.Name()})
 		}
 	}
@@ -159,6 +160,89 @@ func Recover(dir string, logger *slog.Logger) ([]byte, string, error) {
 			"file", c.name, "reason", err)
 	}
 	return nil, "", nil
+}
+
+// WriteFile frames payload and writes it to dir as snapshot seq with the
+// full crash discipline (temp file, fsync, rename, directory fsync),
+// creating dir if missing. It returns the written file name. WriteFile is
+// the one-shot counterpart of Snapshotter.Save for callers — like the
+// tenant registry — that manage many snapshot directories and their own
+// sequence numbers; concurrent writers of the same directory must
+// serialize externally.
+func WriteFile(dir string, seq uint64, payload []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	name := FileName(seq)
+	if err := writeAtomic(dir, name, Encode(payload)); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// NextSeq scans dir and returns the first sequence number past every
+// existing snapshot file, valid or corrupt — so a skipped corrupt file is
+// never overwritten. A missing directory yields 0, the first sequence of a
+// fresh deployment.
+func NextSeq(dir string) (uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	var next uint64
+	for _, e := range entries {
+		if seq, ok := ParseSeq(e.Name()); ok && seq >= next {
+			next = seq + 1
+		}
+	}
+	return next, nil
+}
+
+// Prune removes all but the newest retain snapshots in dir, plus any
+// stray .tmp files left behind by a crashed write. Failures are logged,
+// not returned: pruning is housekeeping and must never block a save path.
+// A nil logger means slog.Default(); retain < 1 is treated as 1 so the
+// newest snapshot always survives.
+func Prune(dir string, retain int, logger *slog.Logger) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			logger.Warn("snapshot: prune readdir failed", "dir", dir, "err", err)
+		}
+		return
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, prefix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := ParseSeq(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) <= retain {
+		return
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs[retain:] {
+		name := FileName(seq)
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			logger.Warn("snapshot: prune failed", "file", name, "err", err)
+		} else {
+			logger.Debug("snapshot: pruned", "file", name)
+		}
+	}
 }
 
 // writeAtomic writes frame to dir/name with full crash discipline: temp
@@ -336,7 +420,7 @@ func New(src Source, opts Options) (*Snapshotter, error) {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 	for _, e := range entries {
-		if seq, ok := parseSeq(e.Name()); ok && seq >= s.nextSeq {
+		if seq, ok := ParseSeq(e.Name()); ok && seq >= s.nextSeq {
 			s.nextSeq = seq + 1
 		}
 	}
@@ -401,34 +485,7 @@ func (s *Snapshotter) Save() (string, error) {
 // prune removes all but the newest retain snapshots, plus any stray .tmp
 // files left behind by a crashed write. Called with mu held.
 func (s *Snapshotter) prune() {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		s.logger.Warn("snapshot: prune readdir failed", "err", err)
-		return
-	}
-	var seqs []uint64
-	for _, e := range entries {
-		name := e.Name()
-		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, prefix) {
-			os.Remove(filepath.Join(s.dir, name))
-			continue
-		}
-		if seq, ok := parseSeq(name); ok {
-			seqs = append(seqs, seq)
-		}
-	}
-	if len(seqs) <= s.retain {
-		return
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
-	for _, seq := range seqs[s.retain:] {
-		name := FileName(seq)
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
-			s.logger.Warn("snapshot: prune failed", "file", name, "err", err)
-		} else {
-			s.logger.Debug("snapshot: pruned", "file", name)
-		}
-	}
+	Prune(s.dir, s.retain, s.logger)
 }
 
 // Close stops the periodic goroutine and takes one final snapshot, so a

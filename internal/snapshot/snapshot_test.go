@@ -152,7 +152,7 @@ func TestRetentionPrunes(t *testing.T) {
 	}
 	// The two newest sequence numbers survive.
 	for _, e := range entries {
-		seq, ok := parseSeq(e.Name())
+		seq, ok := ParseSeq(e.Name())
 		if !ok || seq < 3 {
 			t.Fatalf("unexpected survivor %s", e.Name())
 		}
@@ -173,7 +173,7 @@ func TestSequenceResumesPastExistingFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, _ := parseSeq(name)
+	seq, _ := ParseSeq(name)
 	if seq != 3 {
 		t.Fatalf("restarted snapshotter wrote seq %d, want 3", seq)
 	}
@@ -220,7 +220,7 @@ func TestChaosSnapshotWriteFaults(t *testing.T) {
 			}
 			finals := 0
 			for _, e := range entries {
-				if _, ok := parseSeq(e.Name()); ok {
+				if _, ok := ParseSeq(e.Name()); ok {
 					finals++
 				}
 			}

@@ -1,0 +1,89 @@
+package tenant
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sigstream"
+)
+
+// envMagic identifies a tenant spill envelope ("TNT1"). A spill image
+// carries the tenant's key names alongside the tracker image, so a
+// revived tenant reports the same strings a never-spilled one would; a
+// payload without the magic is treated as a legacy raw tracker image
+// (the PR-5 root-level snapshot format) with no key names.
+const envMagic = "TNT1"
+
+// maxEnvelopeKeys bounds the declared key count of an envelope so a
+// corrupt header cannot drive an unbounded decode loop.
+const maxEnvelopeKeys = 1 << 28
+
+// ErrBadEnvelope reports a corrupt tenant spill envelope.
+var ErrBadEnvelope = errors.New("tenant: bad spill envelope")
+
+// encodeEnvelope frames a tenant spill image (little-endian):
+//
+//	offset  size  field
+//	0       4     magic "TNT1"
+//	4       4     key count n
+//	8       …     n × (u32 length | key bytes)
+//	…       …     tracker MarshalBinary image
+//
+// Keys are written in sorted order so identical state encodes to
+// identical bytes.
+func encodeEnvelope(keys *sigstream.KeyMap, image []byte) []byte {
+	var names []string
+	if keys != nil {
+		names = make([]string, 0, keys.Len())
+		keys.Range(func(_ sigstream.Item, k string) bool {
+			names = append(names, k)
+			return true
+		})
+		sort.Strings(names)
+	}
+	size := 8 + len(image)
+	for _, n := range names {
+		size += 4 + len(n)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, envMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n)))
+		buf = append(buf, n...)
+	}
+	return append(buf, image...)
+}
+
+// decodeEnvelope splits a spill payload into a rebuilt key map and the
+// tracker image. A payload without the envelope magic is a legacy raw
+// tracker image: it decodes to an empty key map (unseen keys render as
+// hex until re-interned), preserving compatibility with PR-5 root-level
+// snapshots. Every declared length is checked against the actual payload
+// size before slicing.
+func decodeEnvelope(payload []byte) (*sigstream.KeyMap, []byte, error) {
+	km := sigstream.NewKeyMap()
+	if len(payload) < 8 || string(payload[:4]) != envMagic {
+		return km, payload, nil
+	}
+	n := binary.LittleEndian.Uint32(payload[4:])
+	if n > maxEnvelopeKeys {
+		return nil, nil, fmt.Errorf("%w: implausible key count %d", ErrBadEnvelope, n)
+	}
+	off := 8
+	for i := uint32(0); i < n; i++ {
+		if off+4 > len(payload) {
+			return nil, nil, fmt.Errorf("%w: truncated at key %d", ErrBadEnvelope, i)
+		}
+		l := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if l < 0 || l > len(payload)-off {
+			return nil, nil, fmt.Errorf("%w: key %d overruns envelope", ErrBadEnvelope, i)
+		}
+		km.Intern(string(payload[off : off+l]))
+		off += l
+	}
+	return km, payload[off:], nil
+}

@@ -1,0 +1,56 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors for registry and tenant operations. The HTTP layer maps
+// each to a status code: ErrNotFound → 404, ErrBadNamespace → 400,
+// ErrTooManyTenants and ErrBudget → 507, ErrClosed → 503, ErrPinned →
+// whatever suits the operation (409 for delete).
+var (
+	// ErrNotFound reports an operation against a namespace the registry
+	// does not know (or one deleted mid-flight).
+	ErrNotFound = errors.New("tenant: namespace not found")
+	// ErrBadNamespace reports a namespace that fails ValidNamespace.
+	ErrBadNamespace = errors.New("tenant: invalid namespace")
+	// ErrTooManyTenants reports that Config.MaxTenants is reached and no
+	// new namespace can be created.
+	ErrTooManyTenants = errors.New("tenant: tenant limit reached")
+	// ErrBudget reports that the global memory budget is exhausted and no
+	// tenant can be evicted to make room (only possible without a spill
+	// directory — with one, cold tenants are spilled instead).
+	ErrBudget = errors.New("tenant: global memory budget exhausted")
+	// ErrClosed reports an operation against a closed registry.
+	ErrClosed = errors.New("tenant: registry closed")
+	// ErrPinned reports an operation — delete, spill — that pinned
+	// tenants do not support.
+	ErrPinned = errors.New("tenant: operation not valid for a pinned tenant")
+)
+
+// QuotaError reports an ingest batch denied by the tenant's rate limit.
+// The HTTP layer maps it to 429 with a Retry-After header.
+type QuotaError struct {
+	// RetryAfter is how long until the token bucket holds enough tokens
+	// for the denied batch (capped at a full bucket).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant: insert quota exceeded, retry in %s", e.RetryAfter)
+}
+
+// GeometryError reports a checkpoint or spill image whose tracker geometry
+// does not match the tenant's configuration. The image is well-formed,
+// just for a differently-sized tracker — the HTTP layer maps it to 409
+// rather than 400.
+type GeometryError struct {
+	// Msg describes the mismatch, both geometries included.
+	Msg string
+}
+
+// Error implements error.
+func (e *GeometryError) Error() string { return e.Msg }

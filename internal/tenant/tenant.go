@@ -1,0 +1,706 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigstream"
+	"sigstream/internal/snapshot"
+)
+
+// Tenant is one namespace's tracker, key map and counters. Tenants are
+// created by a Registry and live in one of two residency states: resident
+// (tracker in memory) or spilled (state on disk, tracker freed). Every
+// data operation transparently revives a spilled tenant first, so callers
+// never observe the distinction except through Stats.
+//
+// All methods are safe for concurrent use. A tenant holds a read lock for
+// the duration of each data operation — the tracker itself is a
+// concurrency-safe sigstream.Sharded — and takes the write lock only for
+// residency transitions (spill, revive, restore, delete).
+type Tenant struct {
+	ns     string
+	reg    *Registry
+	pinned bool
+	pin    PinOptions
+
+	// mu guards the tracker/keys/pipeline pointers and the residency
+	// state. Data operations hold it read; spill/revive/restore/delete
+	// hold it write. Lock order: Tenant.mu before Registry.mu, never the
+	// reverse.
+	mu       sync.RWMutex
+	tracker  *sigstream.Sharded
+	keys     *sigstream.KeyMap
+	pipeline *sigstream.Pipeline // pinned tenants only, when PinOptions.Pipeline
+	shed     int                 // pipeline depth at which Overloaded trips; 0 disables
+
+	keysMu sync.Mutex // KeyMap is not concurrency-safe
+
+	quotaMu    sync.Mutex // token bucket state
+	tokens     float64
+	lastRefill time.Time
+
+	saveMu       sync.Mutex // sequence counter and recovery note
+	seqInit      bool
+	nextSeq      uint64
+	lastRecovery string
+
+	arrivals, periods        atomic.Uint64
+	spillCount, reviveCount  atomic.Uint64
+	saveCount, saveErrCount  atomic.Uint64
+	quotaDenials, shedCount  atomic.Uint64
+	lastSaveUnix, lastTouch  atomic.Int64
+	resident, deleted, dirty atomic.Bool
+}
+
+// Entry is one ranking or query result: the tracker's estimate plus the
+// interned key string (hex-rendered when the key was never interned or
+// its name was lost to a legacy snapshot).
+type Entry struct {
+	// Key is the item's string key.
+	Key string
+	// Entry is the tracker's estimate.
+	sigstream.Entry
+}
+
+// Stats is a point-in-time observability snapshot of one tenant, the
+// substance behind the per-tenant /v1/stats response.
+type Stats struct {
+	// Namespace is the tenant's namespace.
+	Namespace string
+	// Pinned reports whether the tenant is pinned (always resident,
+	// outside the budget and quota).
+	Pinned bool
+	// Resident reports whether the tracker is currently in memory.
+	Resident bool
+	// Arrivals is the number of recorded arrivals.
+	Arrivals uint64
+	// Periods is the number of period boundaries crossed.
+	Periods uint64
+	// Keys is the number of interned key names.
+	Keys int
+	// Spills counts resident→disk transitions.
+	Spills uint64
+	// Revives counts disk→resident transitions.
+	Revives uint64
+	// QuotaDenials counts ingest batches denied by the rate limit.
+	QuotaDenials uint64
+	// Sheds counts ingest requests shed by the pipeline high-water gate.
+	Sheds uint64
+	// Saves counts successful snapshot writes.
+	Saves uint64
+	// SaveErrors counts failed snapshot attempts.
+	SaveErrors uint64
+	// LastSaveUnix is the Unix time of the newest successful snapshot (0
+	// when never saved).
+	LastSaveUnix int64
+	// LastRecovery describes the most recent residency recovery:
+	// "recovered <file>", "fresh", or "" before first residency.
+	LastRecovery string
+	// Tracker is the underlying tracker's snapshot.
+	Tracker sigstream.Stats
+}
+
+// Namespace reports the tenant's namespace.
+func (t *Tenant) Namespace() string { return t.ns }
+
+// Pinned reports whether the tenant is pinned.
+func (t *Tenant) Pinned() bool { return t.pinned }
+
+// Resident reports whether the tracker is currently in memory.
+func (t *Tenant) Resident() bool { return t.resident.Load() }
+
+// dir returns the tenant's snapshot directory, or "" when the registry
+// has no durability configured.
+func (t *Tenant) dir() string {
+	base := t.reg.baseDir()
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, t.ns)
+}
+
+// touch records activity for LRU eviction and idle sweeps.
+func (t *Tenant) touch() {
+	t.lastTouch.Store(t.reg.clock().UnixNano())
+}
+
+// acquire returns with the read lock held on a resident, live tenant —
+// reviving it from disk first if it was spilled — or returns an error
+// with no lock held.
+func (t *Tenant) acquire() error {
+	for {
+		t.mu.RLock()
+		if t.deleted.Load() {
+			t.mu.RUnlock()
+			return ErrNotFound
+		}
+		if t.resident.Load() {
+			return nil
+		}
+		t.mu.RUnlock()
+		t.mu.Lock()
+		err := t.ensureResidentLocked()
+		t.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// ensureResidentLocked brings a spilled tenant back into memory: reserve
+// budget (evicting colder tenants if needed), recover the newest valid
+// spill image from disk — or start fresh when there is none — and install
+// the tracker. Caller holds the write lock.
+func (t *Tenant) ensureResidentLocked() error {
+	if t.deleted.Load() {
+		return ErrNotFound
+	}
+	if t.resident.Load() {
+		return nil
+	}
+	if err := t.reg.reserve(t); err != nil {
+		return err
+	}
+	keys := sigstream.NewKeyMap()
+	var tracker *sigstream.Sharded
+	recovery := "fresh"
+	if dir := t.dir(); dir != "" {
+		payload, file, err := snapshot.Recover(dir, t.reg.logger)
+		if err == nil && payload != nil {
+			var km *sigstream.KeyMap
+			var img []byte
+			km, img, err = decodeEnvelope(payload)
+			if err == nil {
+				var st sigstream.Stats
+				tracker, st, err = t.restoreInto(img)
+				if err == nil {
+					keys = km
+					t.arrivals.Store(st.Arrivals)
+					t.periods.Store(st.Periods)
+					t.reviveCount.Add(1)
+					t.reg.revives.Add(1)
+					recovery = "recovered " + file
+				}
+			}
+		}
+		if err != nil {
+			t.reg.release()
+			t.saveMu.Lock()
+			t.lastRecovery = "failed: " + err.Error()
+			t.saveMu.Unlock()
+			return err
+		}
+	}
+	if tracker == nil {
+		tracker = t.newTracker()
+	}
+	t.tracker = tracker
+	t.keysMu.Lock()
+	t.keys = keys
+	t.keysMu.Unlock()
+	t.saveMu.Lock()
+	t.lastRecovery = recovery
+	t.saveMu.Unlock()
+	t.dirty.Store(false)
+	t.resident.Store(true)
+	return nil
+}
+
+// newTracker builds an empty tracker from the tenant's configuration;
+// revive and restore share it so every installed image is validated
+// against the same geometry.
+func (t *Tenant) newTracker() *sigstream.Sharded {
+	cfg, shards := t.reg.cfg.Tracker, t.reg.cfg.Shards
+	if t.pinned {
+		cfg, shards = t.pin.Tracker, t.pin.Shards
+	}
+	return sigstream.NewSharded(cfg, shards)
+}
+
+// restoreInto decodes a tracker image into a fresh tracker of the
+// tenant's geometry, rejecting with GeometryError any image built for a
+// differently-sized tracker — accepting it would silently replace the
+// configured shard count, memory budget and weights with whatever the
+// image carries.
+func (t *Tenant) restoreInto(img []byte) (*sigstream.Sharded, sigstream.Stats, error) {
+	fresh := t.newTracker()
+	want := fresh.Stats()
+	if err := fresh.UnmarshalBinary(img); err != nil {
+		return nil, sigstream.Stats{}, err
+	}
+	got := fresh.Stats()
+	if got.Shards != want.Shards || got.MemoryBytes != want.MemoryBytes ||
+		got.BucketWidth != want.BucketWidth ||
+		got.Alpha != want.Alpha || got.Beta != want.Beta {
+		return nil, sigstream.Stats{}, &GeometryError{Msg: fmt.Sprintf(
+			"tenant %s: snapshot geometry (shards=%d mem=%d d=%d α=%g β=%g) does not match configuration (shards=%d mem=%d d=%d α=%g β=%g)",
+			t.ns,
+			got.Shards, got.MemoryBytes, got.BucketWidth, got.Alpha, got.Beta,
+			want.Shards, want.MemoryBytes, want.BucketWidth, want.Alpha, want.Beta)}
+	}
+	return fresh, got, nil
+}
+
+// allow runs the token bucket: an ingest of n keys needs n tokens (capped
+// at one full bucket, so a single batch larger than the burst drains the
+// bucket rather than being denied forever). On denial it reports how long
+// until the bucket holds enough tokens.
+func (t *Tenant) allow(n int) (time.Duration, bool) {
+	qps, burst := t.reg.cfg.QuotaPerSec, float64(t.reg.quotaBurst)
+	now := t.reg.clock()
+	t.quotaMu.Lock()
+	defer t.quotaMu.Unlock()
+	if t.lastRefill.IsZero() {
+		t.tokens = burst
+		t.lastRefill = now
+	}
+	if elapsed := now.Sub(t.lastRefill).Seconds(); elapsed > 0 {
+		t.tokens = math.Min(burst, t.tokens+elapsed*qps)
+		t.lastRefill = now
+	}
+	need := math.Min(float64(n), burst)
+	if need <= t.tokens {
+		t.tokens -= need
+		return 0, true
+	}
+	retry := time.Duration((need - t.tokens) / qps * float64(time.Second))
+	return retry, false
+}
+
+// Overloaded reports whether the tenant's ingest pipeline is backed up
+// past the shed high-water mark; the HTTP layer calls it before reading
+// an insert body so a saturated ring sheds cheaply. Tenants without a
+// pipeline are never overloaded.
+func (t *Tenant) Overloaded() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pipeline == nil || t.shed <= 0 {
+		return false
+	}
+	if t.pipeline.Depth() >= t.shed {
+		t.shedCount.Add(1)
+		return true
+	}
+	return false
+}
+
+// Ingest records one arrival per key, in order: intern the keys, charge
+// the tenant's quota (one token per key; pinned tenants are exempt), and
+// feed the batch to the pipeline (pinned, when configured) or directly to
+// the tracker. It reports the number of arrivals accepted — all of them,
+// or none with a QuotaError carrying the retry hint.
+func (t *Tenant) Ingest(keys []string) (int, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	if err := t.acquire(); err != nil {
+		return 0, err
+	}
+	defer t.mu.RUnlock()
+	if !t.pinned && t.reg.cfg.QuotaPerSec > 0 {
+		if retry, ok := t.allow(len(keys)); !ok {
+			t.quotaDenials.Add(1)
+			t.reg.quotaDenied.Add(1)
+			return 0, &QuotaError{RetryAfter: retry}
+		}
+	}
+	items := make([]sigstream.Item, len(keys))
+	t.keysMu.Lock()
+	for i, k := range keys {
+		items[i] = t.keys.Intern(k)
+	}
+	t.keysMu.Unlock()
+	if t.pipeline != nil {
+		if err := t.pipeline.Submit(items); err != nil {
+			return 0, err
+		}
+	} else {
+		t.tracker.InsertBatch(items)
+	}
+	t.arrivals.Add(uint64(len(keys)))
+	t.dirty.Store(true)
+	t.touch()
+	return len(keys), nil
+}
+
+// EndPeriod closes the tenant's current period and reports the new
+// period count. For a pipelined tenant the rings are flushed first, so
+// the boundary lands after every previously accepted insert.
+func (t *Tenant) EndPeriod() (uint64, error) {
+	if err := t.acquire(); err != nil {
+		return 0, err
+	}
+	defer t.mu.RUnlock()
+	if err := t.barrierRLocked(); err != nil {
+		return 0, err
+	}
+	t.tracker.EndPeriod()
+	periods := t.periods.Add(1)
+	t.dirty.Store(true)
+	t.touch()
+	return periods, nil
+}
+
+// TopK reports the tenant's k most significant items with their key
+// names, most significant first.
+func (t *Tenant) TopK(k int) ([]Entry, error) {
+	if err := t.acquire(); err != nil {
+		return nil, err
+	}
+	defer t.mu.RUnlock()
+	if err := t.barrierRLocked(); err != nil {
+		return nil, err
+	}
+	es := t.tracker.TopK(k)
+	out := make([]Entry, len(es))
+	t.keysMu.Lock()
+	for i, e := range es {
+		out[i] = Entry{Key: t.keys.Name(e.Item), Entry: e}
+	}
+	t.keysMu.Unlock()
+	t.touch()
+	return out, nil
+}
+
+// Query reports the tenant's estimate for one key and whether the key is
+// currently tracked.
+func (t *Tenant) Query(key string) (Entry, bool, error) {
+	if err := t.acquire(); err != nil {
+		return Entry{}, false, err
+	}
+	defer t.mu.RUnlock()
+	if err := t.barrierRLocked(); err != nil {
+		return Entry{}, false, err
+	}
+	e, ok := t.tracker.Query(sigstream.HashKey(key))
+	t.touch()
+	if !ok {
+		return Entry{}, false, nil
+	}
+	return Entry{Key: key, Entry: e}, true, nil
+}
+
+// Stats reports the tenant's observability snapshot, reviving a spilled
+// tenant first so the tracker fields are live.
+func (t *Tenant) Stats() (Stats, error) {
+	if err := t.acquire(); err != nil {
+		return Stats{}, err
+	}
+	defer t.mu.RUnlock()
+	if err := t.barrierRLocked(); err != nil {
+		return Stats{}, err
+	}
+	st := t.statsRLocked()
+	st.Tracker = t.tracker.Stats()
+	t.keysMu.Lock()
+	st.Keys = t.keys.Len()
+	t.keysMu.Unlock()
+	t.touch()
+	return st, nil
+}
+
+// statsRLocked assembles the counter-only part of Stats from atomics.
+// Caller holds at least the read lock.
+func (t *Tenant) statsRLocked() Stats {
+	t.saveMu.Lock()
+	recovery := t.lastRecovery
+	t.saveMu.Unlock()
+	return Stats{
+		Namespace:    t.ns,
+		Pinned:       t.pinned,
+		Resident:     t.resident.Load(),
+		Arrivals:     t.arrivals.Load(),
+		Periods:      t.periods.Load(),
+		Spills:       t.spillCount.Load(),
+		Revives:      t.reviveCount.Load(),
+		QuotaDenials: t.quotaDenials.Load(),
+		Sheds:        t.shedCount.Load(),
+		Saves:        t.saveCount.Load(),
+		SaveErrors:   t.saveErrCount.Load(),
+		LastSaveUnix: t.lastSaveUnix.Load(),
+		LastRecovery: recovery,
+	}
+}
+
+// TrackerStats reports the live tracker's counters without a pipeline
+// barrier, so a metrics scrape never blocks behind ingest, and without
+// reviving a spilled tenant (false when not resident).
+func (t *Tenant) TrackerStats() (sigstream.Stats, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tracker == nil {
+		return sigstream.Stats{}, false
+	}
+	return t.tracker.Stats(), true
+}
+
+// Arrivals reports the number of recorded arrivals.
+func (t *Tenant) Arrivals() uint64 { return t.arrivals.Load() }
+
+// Periods reports the number of period boundaries crossed.
+func (t *Tenant) Periods() uint64 { return t.periods.Load() }
+
+// SaveCounters reports the snapshot counters — successful saves, failed
+// attempts, and the Unix time of the newest save — from atomics, so a
+// metrics scrape never blocks or revives.
+func (t *Tenant) SaveCounters() (saves, errs uint64, lastUnix int64) {
+	return t.saveCount.Load(), t.saveErrCount.Load(), t.lastSaveUnix.Load()
+}
+
+// KeyCount reports the number of interned key names (0 when spilled).
+func (t *Tenant) KeyCount() int {
+	t.keysMu.Lock()
+	defer t.keysMu.Unlock()
+	if t.keys == nil {
+		return 0
+	}
+	return t.keys.Len()
+}
+
+// PipelineStats reports the ingest pipeline's counters, false when the
+// tenant has none.
+func (t *Tenant) PipelineStats() (sigstream.PipelineStats, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pipeline == nil {
+		return sigstream.PipelineStats{}, false
+	}
+	return t.pipeline.Stats(), true
+}
+
+// PipelineErr reports the pipeline's terminal failure (a quarantined
+// shard), nil when healthy or absent; /readyz gates on it.
+func (t *Tenant) PipelineErr() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pipeline == nil {
+		return nil
+	}
+	return t.pipeline.Err()
+}
+
+// barrierRLocked flushes the pipeline, if any, so the following read or
+// period operation observes every previously accepted insert. A closed
+// pipeline only means there is nothing left to flush. Caller holds at
+// least the read lock.
+func (t *Tenant) barrierRLocked() error {
+	if t.pipeline == nil {
+		return nil
+	}
+	if err := t.pipeline.Flush(); err != nil && err != sigstream.ErrPipelineClosed {
+		return err
+	}
+	return nil
+}
+
+// CheckpointImage drains the pipeline and marshals the tracker into a
+// portable image (the /v1/checkpoint body and golden-fixture format).
+// The barrier is best-effort: a quarantined pipeline still answers flush
+// markers, so a snapshot of the state applied so far stays possible even
+// after an ingest failure.
+func (t *Tenant) CheckpointImage() ([]byte, error) {
+	if err := t.acquire(); err != nil {
+		return nil, err
+	}
+	defer t.mu.RUnlock()
+	if err := t.barrierRLocked(); err != nil {
+		t.reg.logger.Warn("tenant: checkpoint barrier failed; snapshotting applied state",
+			"tenant", t.ns, "err", err)
+	}
+	t.touch()
+	return t.tracker.MarshalBinary()
+}
+
+// RestoreImage validates a checkpoint image against the tenant's
+// geometry and installs it as the live tracker. The image is restored
+// into a fresh tracker first, so a bad image leaves the live state
+// untouched; key names are not part of the image, so existing interned
+// names survive. A pipelined tenant's pipeline is retired with the old
+// tracker and a fresh one started over the restored state.
+func (t *Tenant) RestoreImage(body []byte) error {
+	t.mu.Lock()
+	if t.deleted.Load() {
+		t.mu.Unlock()
+		return ErrNotFound
+	}
+	if err := t.ensureResidentLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	fresh, st, err := t.restoreInto(body)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	old := t.pipeline
+	if old != nil {
+		t.pipeline = fresh.Pipeline(t.pin.PipelineOptions)
+	}
+	t.tracker = fresh
+	t.arrivals.Store(st.Arrivals)
+	t.periods.Store(st.Periods)
+	t.dirty.Store(true)
+	t.touch()
+	t.mu.Unlock()
+	if old != nil {
+		// The retired pipeline is drained outside the lock; its items
+		// target the replaced tracker, which is being discarded anyway.
+		_ = old.Close()
+	}
+	return nil
+}
+
+// Spill writes the tenant's state to disk (when dirty) and frees the
+// tracker, reporting whether a resident→disk transition happened. A
+// pinned tenant never spills; a save failure keeps the tenant resident so
+// no state is lost.
+func (t *Tenant) Spill() (bool, error) {
+	if t.pinned {
+		return false, ErrPinned
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.resident.Load() || t.deleted.Load() {
+		return false, nil
+	}
+	if t.dirty.Load() {
+		if _, err := t.saveRLocked(); err != nil {
+			return false, err
+		}
+	}
+	t.tracker = nil
+	t.keysMu.Lock()
+	t.keys = nil
+	t.keysMu.Unlock()
+	t.resident.Store(false)
+	t.spillCount.Add(1)
+	t.reg.spills.Add(1)
+	t.reg.release()
+	return true, nil
+}
+
+// Save forces one snapshot of the tenant's state to disk and returns the
+// written file name. A spilled tenant ("", nil) already has its state on
+// disk; a registry without a spill directory has nowhere to save.
+func (t *Tenant) Save() (string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.deleted.Load() {
+		return "", ErrNotFound
+	}
+	if !t.resident.Load() {
+		return "", nil
+	}
+	return t.saveRLocked()
+}
+
+// saveRLocked snapshots the tenant's envelope (key names + tracker image)
+// to its directory with the crash discipline of internal/snapshot, then
+// prunes old files. The dirty flag is cleared before the state is read,
+// so writes landing during the save re-mark it. Caller holds at least
+// the read lock on a resident tenant.
+func (t *Tenant) saveRLocked() (string, error) {
+	dir := t.dir()
+	if dir == "" {
+		return "", nil
+	}
+	if err := t.barrierRLocked(); err != nil {
+		t.reg.logger.Warn("tenant: save barrier failed; snapshotting applied state",
+			"tenant", t.ns, "err", err)
+	}
+	t.dirty.Store(false)
+	img, err := t.tracker.MarshalBinary()
+	if err != nil {
+		t.dirty.Store(true)
+		t.saveErrCount.Add(1)
+		return "", fmt.Errorf("tenant %s: %w", t.ns, err)
+	}
+	t.keysMu.Lock()
+	payload := encodeEnvelope(t.keys, img)
+	t.keysMu.Unlock()
+	t.saveMu.Lock()
+	defer t.saveMu.Unlock()
+	if !t.seqInit {
+		seq, err := snapshot.NextSeq(dir)
+		if err != nil {
+			t.dirty.Store(true)
+			t.saveErrCount.Add(1)
+			return "", err
+		}
+		t.nextSeq, t.seqInit = seq, true
+	}
+	seq := t.nextSeq
+	t.nextSeq++
+	name, err := snapshot.WriteFile(dir, seq, payload)
+	if err != nil {
+		t.dirty.Store(true)
+		t.saveErrCount.Add(1)
+		return "", err
+	}
+	t.saveCount.Add(1)
+	t.lastSaveUnix.Store(t.reg.clock().Unix())
+	snapshot.Prune(dir, t.reg.retain(), t.reg.logger)
+	return name, nil
+}
+
+// recoverPinned loads a pinned tenant's newest valid snapshot at startup:
+// first from its own directory, then — for the default tenant only —
+// from legacy root-level snapshot files written before the tenant layout
+// existed. No snapshot recovers nothing and is not an error.
+func (t *Tenant) recoverPinned(base string) error {
+	t.mu.Lock()
+	payload, file, err := snapshot.Recover(filepath.Join(base, t.ns), t.reg.logger)
+	if err == nil && payload == nil && t.ns == DefaultNamespace {
+		payload, file, err = snapshot.Recover(base, t.reg.logger)
+	}
+	var fresh *sigstream.Sharded
+	var km *sigstream.KeyMap
+	var st sigstream.Stats
+	if err == nil && payload != nil {
+		var img []byte
+		if km, img, err = decodeEnvelope(payload); err == nil {
+			fresh, st, err = t.restoreInto(img)
+		}
+	}
+	if err != nil {
+		t.saveMu.Lock()
+		t.lastRecovery = "failed: " + err.Error()
+		t.saveMu.Unlock()
+		t.mu.Unlock()
+		return fmt.Errorf("tenant %s: restore snapshot %s: %w", t.ns, file, err)
+	}
+	if payload == nil {
+		t.saveMu.Lock()
+		t.lastRecovery = "fresh"
+		t.saveMu.Unlock()
+		t.mu.Unlock()
+		return nil
+	}
+	old := t.pipeline
+	if old != nil {
+		t.pipeline = fresh.Pipeline(t.pin.PipelineOptions)
+	}
+	t.tracker = fresh
+	if km.Len() > 0 {
+		t.keysMu.Lock()
+		t.keys = km
+		t.keysMu.Unlock()
+	}
+	t.arrivals.Store(st.Arrivals)
+	t.periods.Store(st.Periods)
+	t.reviveCount.Add(1)
+	t.saveMu.Lock()
+	t.lastRecovery = "recovered " + file
+	t.saveMu.Unlock()
+	t.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	t.reg.logger.Info("tenant: recovered snapshot", "tenant", t.ns, "file", file)
+	return nil
+}

@@ -53,6 +53,18 @@ func (m *KeyMap) Name(item Item) string {
 // Len reports the number of interned keys.
 func (m *KeyMap) Len() int { return len(m.names) }
 
+// Range calls fn for every interned (item, key) pair in unspecified
+// order, stopping early if fn returns false. It exists so callers that
+// persist a KeyMap (e.g. a tenant spill image) can walk the mapping
+// without this package committing to an exposed map.
+func (m *KeyMap) Range(fn func(item Item, key string) bool) {
+	for it, key := range m.names {
+		if !fn(it, key) {
+			return
+		}
+	}
+}
+
 // BoundedKeyMap is a KeyMap with a hard entry limit: when full, interning a
 // new key evicts the least-recently-used one. Use it on unbounded key
 // spaces (IPs, URLs) where a plain KeyMap would grow without limit; evicted

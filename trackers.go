@@ -231,37 +231,6 @@ func Baselines() []BaselineKind {
 		FrequentSketch, PersistentSketch, SignificantSketch, PIE, Sampling}
 }
 
-// NewSpaceSaving creates the Space-Saving baseline (counter-based, top-k
-// frequent items). It tracks frequency only; alpha scales the reported
-// significance.
-//
-// Deprecated: Use NewBaseline(SpaceSaving, Config{MemoryBytes: memoryBytes,
-// Weights: Weights{Alpha: alpha}}).
-func NewSpaceSaving(memoryBytes int, alpha float64) Tracker {
-	return NewBaseline(SpaceSaving,
-		Config{MemoryBytes: memoryBytes, Weights: Weights{Alpha: alpha}})
-}
-
-// NewLossyCounting creates the Lossy Counting baseline (counter-based,
-// top-k frequent items). It tracks frequency only.
-//
-// Deprecated: Use NewBaseline(LossyCounting, Config{MemoryBytes:
-// memoryBytes, Weights: Weights{Alpha: alpha}}).
-func NewLossyCounting(memoryBytes int, alpha float64) Tracker {
-	return NewBaseline(LossyCounting,
-		Config{MemoryBytes: memoryBytes, Weights: Weights{Alpha: alpha}})
-}
-
-// NewMisraGries creates the Misra-Gries "Frequent" baseline (counter-based,
-// top-k frequent items; never overestimates). It tracks frequency only.
-//
-// Deprecated: Use NewBaseline(MisraGries, Config{MemoryBytes: memoryBytes,
-// Weights: Weights{Alpha: alpha}}).
-func NewMisraGries(memoryBytes int, alpha float64) Tracker {
-	return NewBaseline(MisraGries,
-		Config{MemoryBytes: memoryBytes, Weights: Weights{Alpha: alpha}})
-}
-
 // SketchKind selects a sketch family for the sketch-based baselines.
 type SketchKind int
 
@@ -285,38 +254,6 @@ func (k SketchKind) factory() adapters.Factory {
 	}
 }
 
-// NewFrequentSketch creates a sketch+min-heap tracker for top-k frequent
-// items (the paper's sketch baselines in the α=1, β=0 setting).
-//
-// Deprecated: Use NewBaseline(FrequentSketch, Config{MemoryBytes:
-// memoryBytes, TopK: k, Sketch: kind, Weights: Weights{Alpha: alpha}}).
-func NewFrequentSketch(kind SketchKind, memoryBytes, k int, alpha float64) Tracker {
-	return NewBaseline(FrequentSketch, Config{MemoryBytes: memoryBytes,
-		TopK: k, Sketch: kind, Weights: Weights{Alpha: alpha}})
-}
-
-// NewPersistentSketch creates the sketch+Bloom-filter+heap tracker for
-// top-k persistent items: half the memory deduplicates appearances within
-// the current period, the rest counts periods.
-//
-// Deprecated: Use NewBaseline(PersistentSketch, Config{MemoryBytes:
-// memoryBytes, TopK: k, Sketch: kind, Weights: Weights{Beta: beta}}).
-func NewPersistentSketch(kind SketchKind, memoryBytes, k int, beta float64) Tracker {
-	return NewBaseline(PersistentSketch, Config{MemoryBytes: memoryBytes,
-		TopK: k, Sketch: kind, Weights: Weights{Beta: beta}})
-}
-
-// NewSignificantSketch creates the two-sketch tracker for top-k significant
-// items: a frequency sketch and a persistency structure share the memory
-// evenly, with one heap ranking by α·f̂ + β·p̂.
-//
-// Deprecated: Use NewBaseline(SignificantSketch, Config{MemoryBytes:
-// memoryBytes, TopK: k, Sketch: kind, Weights: w}).
-func NewSignificantSketch(kind SketchKind, memoryBytes, k int, w Weights) Tracker {
-	return NewBaseline(SignificantSketch, Config{MemoryBytes: memoryBytes,
-		TopK: k, Sketch: kind, Weights: w})
-}
-
 // NewWindow creates a jumping-window LTC: top-k significant items over the
 // most recent windowPeriods periods, covered by `blocks` rotating
 // sub-summaries (blocks ≤ 0 selects 4). Old history expires with a
@@ -334,28 +271,4 @@ func NewWindow(cfg Config, windowPeriods, blocks int) Tracker {
 		ItemsPerPeriod: cfg.ItemsPerPeriod,
 		Seed:           cfg.Seed,
 	})}
-}
-
-// NewPIE creates the PIE baseline for top-k persistent items: one
-// Space-Time Bloom Filter of perPeriodBytes per period, with fountain-coded
-// item IDs decoded at query time. Note PIE's total memory is
-// perPeriodBytes × periods, matching the paper's T× allowance.
-//
-// Deprecated: Use NewBaseline(PIE, Config{MemoryBytes: perPeriodBytes,
-// Weights: Weights{Beta: beta}}).
-func NewPIE(perPeriodBytes int, beta float64) Tracker {
-	return NewBaseline(PIE,
-		Config{MemoryBytes: perPeriodBytes, Weights: Weights{Beta: beta}})
-}
-
-// NewSampling creates the coordinated hash-sampling baseline: a
-// hash-defined subset of the item space is tracked exactly; everything
-// else is ignored. expectedDistinct calibrates the sampling rate to the
-// memory budget.
-//
-// Deprecated: Use NewBaseline(Sampling, Config{MemoryBytes: memoryBytes,
-// ExpectedDistinct: expectedDistinct, Weights: w}).
-func NewSampling(memoryBytes, expectedDistinct int, w Weights) Tracker {
-	return NewBaseline(Sampling, Config{MemoryBytes: memoryBytes,
-		ExpectedDistinct: expectedDistinct, Weights: w})
 }
