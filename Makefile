@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build test race vet staticcheck lint siglint siglint-escapes \
 	cover bench bench-figures bench-core benchcmp bench-pipeline-smoke \
-	eval eval-paper fuzz fuzz-smoke chaos examples clean
+	eval eval-paper fuzz fuzz-smoke chaos chaos-wal examples clean
 
 all: build test lint
 
@@ -84,6 +84,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadText -fuzztime=30s ./internal/traceio/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/traceio/
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot/
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/wal/
 
 # The quick fuzz pass CI runs on every push (10s per LTC target).
 fuzz-smoke:
@@ -91,11 +92,20 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzCheckpoint$$' -fuzztime=10s ./internal/ltc/
 	$(GO) test -run=^$$ -fuzz='^FuzzFastmod$$' -fuzztime=10s ./internal/ltc/
 	$(GO) test -run=^$$ -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s ./internal/snapshot/
+	$(GO) test -run=^$$ -fuzz='^FuzzWALDecode$$' -fuzztime=10s ./internal/wal/
 
 # The fault-injection suite under race: worker crash/restart/quarantine,
 # slow-shard shedding, torn snapshots, and the kill -9 recovery round-trip.
 chaos:
 	$(GO) test -race -run '^TestChaos' ./internal/pipeline/ ./internal/snapshot/ ./internal/server/ .
+
+# The WAL durability suite under race: kill -9 at every wal/* fault point
+# must recover bit-identically to the acknowledged prefix, per tenant,
+# with bounded disk across snapshot/truncate cycles.
+chaos-wal:
+	$(GO) test -race -run '^TestChaosWAL' ./internal/server/
+	$(GO) test -race -run '^TestWAL' ./internal/tenant/
+	$(GO) test -race ./internal/wal/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -15,6 +15,14 @@
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/readyz
 //
+// Configuration: every flag below has a JSON key of the same name with
+// dashes as underscores, loadable from a file with -config. Explicitly
+// set flags take precedence over the file, the file over built-in
+// defaults; the fully resolved configuration is logged at startup so an
+// operator can see exactly what the process is running with:
+//
+//	sigserver -config /etc/sigserver.json -addr :9090
+//
 // Multi-tenant: every /v1/* route above also exists tenant-scoped as
 // /v1/t/{ns}/* (insert, period, top, query, stats, checkpoint,
 // restore), where {ns} is a namespace of [a-z0-9-], 1-63 characters.
@@ -32,7 +40,14 @@
 // is recovered from the newest valid snapshot at startup, checkpointed
 // every -snapshot-interval, and checkpointed once more on SIGINT/SIGTERM
 // before the process exits. A kill -9 loses at most one interval of
-// arrivals, never the whole state.
+// arrivals — unless -wal-dir is also set, which adds a per-tenant
+// write-ahead log: each insert is acknowledged only after its record is
+// fsynced, recovery replays the log tail over the newest snapshot, and
+// nothing a client was told succeeded is ever lost. -wal-sync widens the
+// group-commit window (0 fsyncs every insert inline); -wal-segment sets
+// the segment rotation size. Run the WAL together with -snapshot-dir:
+// snapshots are what truncate the log, so without them it grows without
+// bound.
 //
 // Robustness: request bodies are capped at -max-body (413 beyond it),
 // connections are bounded by -read-timeout/-write-timeout, and with
@@ -49,6 +64,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
@@ -60,82 +76,150 @@ import (
 	"syscall"
 	"time"
 
-	"sigstream"
 	"sigstream/internal/obs"
 	"sigstream/internal/server"
 )
 
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		mem       = flag.Int("mem", 1<<20, "tracker memory budget in bytes")
-		alpha     = flag.Float64("alpha", 1, "frequency weight α")
-		beta      = flag.Float64("beta", 1, "persistency weight β")
-		shards    = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
-		decay     = flag.Float64("decay", 0, "per-period decay factor λ ∈ (0,1); 0 = all-history")
-		slow      = flag.Duration("slow", time.Second, "slow-request log threshold (0 disables)")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
-		withPprof = flag.Bool("pprof", false, "mount /debug/pprof (opt-in; exposes profiling data)")
-		pipelined = flag.Bool("pipeline", false, "route /v1/insert through the asynchronous sharded pipeline")
-		ring      = flag.Int("pipeline-ring", 0, "per-shard pipeline ring capacity in batches (0 = default)")
+	// Flags bind into a scratch Options so explicitly-set flags can be
+	// overlaid onto a -config file afterwards (flags beat file, file
+	// beats defaults).
+	fo := server.DefaultOptions()
+	configPath := flag.String("config", "", "JSON config file; explicitly set flags take precedence over it")
 
-		snapDir      = flag.String("snapshot-dir", "", "snapshot directory; empty disables crash-safe checkpoints")
-		snapInterval = flag.Duration("snapshot-interval", time.Minute, "periodic checkpoint cadence (0 = only the final snapshot on shutdown)")
-		snapRetain   = flag.Int("snapshot-retain", 0, "snapshots to keep (0 = default)")
-
-		tenantMem    = flag.Int("tenant-mem", 0, "per-tenant tracker memory budget in bytes (0 = same as -mem)")
-		tenantBudget = flag.Int64("tenant-budget", 0, "total resident memory budget across tenants in bytes (0 = unlimited)")
-		tenantQuota  = flag.Float64("tenant-quota", 0, "per-tenant sustained ingest quota in keys/sec (0 = unlimited)")
-		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant ingest burst in keys (0 = quota-derived default)")
-		tenantIdle   = flag.Duration("tenant-idle", 0, "spill tenants idle this long to disk (0 = never)")
-		tenantMax    = flag.Int("tenant-max", 0, "maximum number of tenant namespaces (0 = unlimited)")
-
-		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32 MiB)")
-		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "per-connection read deadline (0 disables)")
-		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-connection write deadline (0 disables)")
-		shedHighWater = flag.Float64("shed-highwater", 0, "load-shed threshold as a fraction of ring capacity (0 = default 0.9, negative disables)")
-		restartBudget = flag.Int("restart-budget", 0, "pipeline worker restarts tolerated per shard per minute before quarantine (0 = default 3)")
-		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
-	)
+	flag.StringVar(&fo.Addr, "addr", fo.Addr, "listen address")
+	flag.IntVar(&fo.MemoryBytes, "mem", fo.MemoryBytes, "tracker memory budget in bytes")
+	flag.Float64Var(&fo.Alpha, "alpha", fo.Alpha, "frequency weight α")
+	flag.Float64Var(&fo.Beta, "beta", fo.Beta, "persistency weight β")
+	flag.IntVar(&fo.Shards, "shards", fo.Shards, "shard count (0 = GOMAXPROCS)")
+	flag.Float64Var(&fo.Decay, "decay", fo.Decay, "per-period decay factor λ ∈ (0,1); 0 = all-history")
+	flag.Var(&fo.Slow, "slow", "slow-request log threshold (0 disables)")
+	flag.StringVar(&fo.LogLevel, "log-level", fo.LogLevel, "log level: debug, info, warn, error (debug logs every request)")
+	flag.BoolVar(&fo.Pprof, "pprof", fo.Pprof, "mount /debug/pprof (opt-in; exposes profiling data)")
+	flag.BoolVar(&fo.Pipeline, "pipeline", fo.Pipeline, "route /v1/insert through the asynchronous sharded pipeline")
+	flag.IntVar(&fo.PipelineRing, "pipeline-ring", fo.PipelineRing, "per-shard pipeline ring capacity in batches (0 = default)")
+	flag.StringVar(&fo.SnapshotDir, "snapshot-dir", fo.SnapshotDir, "snapshot directory; empty disables crash-safe checkpoints")
+	flag.Var(&fo.SnapshotInterval, "snapshot-interval", "periodic checkpoint cadence (0 = only the final snapshot on shutdown)")
+	flag.IntVar(&fo.SnapshotRetain, "snapshot-retain", fo.SnapshotRetain, "snapshots to keep (0 = default)")
+	flag.IntVar(&fo.TenantMem, "tenant-mem", fo.TenantMem, "per-tenant tracker memory budget in bytes (0 = same as -mem)")
+	flag.Int64Var(&fo.TenantBudget, "tenant-budget", fo.TenantBudget, "total resident memory budget across tenants in bytes (0 = unlimited)")
+	flag.Float64Var(&fo.TenantQuota, "tenant-quota", fo.TenantQuota, "per-tenant sustained ingest quota in keys/sec (0 = unlimited)")
+	flag.IntVar(&fo.TenantBurst, "tenant-burst", fo.TenantBurst, "per-tenant ingest burst in keys (0 = quota-derived default)")
+	flag.Var(&fo.TenantIdle, "tenant-idle", "spill tenants idle this long to disk (0 = never)")
+	flag.IntVar(&fo.TenantMax, "tenant-max", fo.TenantMax, "maximum number of tenant namespaces (0 = unlimited)")
+	flag.StringVar(&fo.WALDir, "wal-dir", fo.WALDir, "write-ahead log directory; empty disables the WAL")
+	flag.Var(&fo.WALSync, "wal-sync", "WAL group-commit window; 0 fsyncs every insert inline")
+	flag.Int64Var(&fo.WALSegment, "wal-segment", fo.WALSegment, "WAL segment rotation threshold in bytes (0 = default)")
+	flag.Int64Var(&fo.MaxBody, "max-body", fo.MaxBody, "request body cap in bytes (0 = default 32 MiB)")
+	flag.Var(&fo.ReadTimeout, "read-timeout", "per-connection read deadline (0 disables)")
+	flag.Var(&fo.WriteTimeout, "write-timeout", "per-connection write deadline (0 disables)")
+	flag.Float64Var(&fo.ShedHighWater, "shed-highwater", fo.ShedHighWater, "load-shed threshold as a fraction of ring capacity (0 = default 0.9, negative disables)")
+	flag.IntVar(&fo.RestartBudget, "restart-budget", fo.RestartBudget, "pipeline worker restarts tolerated per shard per minute before quarantine (0 = default 3)")
+	flag.Var(&fo.DrainTimeout, "drain-timeout", "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
 
-	var level slog.Level
-	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
-		log.Fatalf("sigserver: bad -log-level %q: %v", *logLevel, err)
+	opts := fo
+	if *configPath != "" {
+		loaded, err := server.LoadOptions(*configPath)
+		if err != nil {
+			log.Fatalf("sigserver: %v", err)
+		}
+		opts = loaded
+		// Re-apply every flag the operator set explicitly: flags beat the
+		// config file field by field, not wholesale.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "addr":
+				opts.Addr = fo.Addr
+			case "mem":
+				opts.MemoryBytes = fo.MemoryBytes
+			case "alpha":
+				opts.Alpha = fo.Alpha
+			case "beta":
+				opts.Beta = fo.Beta
+			case "shards":
+				opts.Shards = fo.Shards
+			case "decay":
+				opts.Decay = fo.Decay
+			case "slow":
+				opts.Slow = fo.Slow
+			case "log-level":
+				opts.LogLevel = fo.LogLevel
+			case "pprof":
+				opts.Pprof = fo.Pprof
+			case "pipeline":
+				opts.Pipeline = fo.Pipeline
+			case "pipeline-ring":
+				opts.PipelineRing = fo.PipelineRing
+			case "snapshot-dir":
+				opts.SnapshotDir = fo.SnapshotDir
+			case "snapshot-interval":
+				opts.SnapshotInterval = fo.SnapshotInterval
+			case "snapshot-retain":
+				opts.SnapshotRetain = fo.SnapshotRetain
+			case "tenant-mem":
+				opts.TenantMem = fo.TenantMem
+			case "tenant-budget":
+				opts.TenantBudget = fo.TenantBudget
+			case "tenant-quota":
+				opts.TenantQuota = fo.TenantQuota
+			case "tenant-burst":
+				opts.TenantBurst = fo.TenantBurst
+			case "tenant-idle":
+				opts.TenantIdle = fo.TenantIdle
+			case "tenant-max":
+				opts.TenantMax = fo.TenantMax
+			case "wal-dir":
+				opts.WALDir = fo.WALDir
+			case "wal-sync":
+				opts.WALSync = fo.WALSync
+			case "wal-segment":
+				opts.WALSegment = fo.WALSegment
+			case "max-body":
+				opts.MaxBody = fo.MaxBody
+			case "read-timeout":
+				opts.ReadTimeout = fo.ReadTimeout
+			case "write-timeout":
+				opts.WriteTimeout = fo.WriteTimeout
+			case "shed-highwater":
+				opts.ShedHighWater = fo.ShedHighWater
+			case "restart-budget":
+				opts.RestartBudget = fo.RestartBudget
+			case "drain-timeout":
+				opts.DrainTimeout = fo.DrainTimeout
+			}
+		})
+	}
+	if err := opts.Validate(); err != nil {
+		log.Fatalf("sigserver: bad configuration: %v", err)
+	}
+
+	level, err := opts.Level()
+	if err != nil {
+		log.Fatalf("sigserver: bad -log-level %q: %v", opts.LogLevel, err)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	h := server.New(server.Config{
-		MemoryBytes:           *mem,
-		Weights:               sigstream.Weights{Alpha: *alpha, Beta: *beta},
-		Shards:                *shards,
-		DecayFactor:           *decay,
-		TenantMemoryBytes:     *tenantMem,
-		TenantBudgetBytes:     *tenantBudget,
-		TenantQuota:           *tenantQuota,
-		TenantBurst:           *tenantBurst,
-		TenantIdleAfter:       *tenantIdle,
-		TenantMax:             *tenantMax,
-		MaxBodyBytes:          *maxBody,
-		Pipeline:              *pipelined,
-		PipelineRing:          *ring,
-		PipelineRestartBudget: *restartBudget,
-		ShedHighWater:         *shedHighWater,
-		Logger:                logger,
-	})
-	if *snapDir != "" {
-		if err := h.StartSnapshots(server.SnapshotConfig{
-			Dir:      *snapDir,
-			Interval: *snapInterval,
-			Retain:   *snapRetain,
-		}); err != nil {
+	// The resolved configuration — defaults, file and flags merged — in
+	// the same JSON shape -config accepts, so an operator can round-trip
+	// the log line straight back into a config file.
+	if resolved, err := json.Marshal(opts); err == nil {
+		logger.Info("resolved configuration", "config", string(resolved))
+	}
+	if opts.WALDir != "" && opts.SnapshotDir == "" {
+		logger.Warn("wal-dir set without snapshot-dir: only snapshots truncate the log, disk use is unbounded")
+	}
+
+	h := server.New(opts.ServerConfig(logger))
+	if opts.SnapshotDir != "" {
+		if err := h.StartSnapshots(opts.SnapshotOptions()); err != nil {
 			log.Fatalf("sigserver: snapshots: %v", err)
 		}
-		logger.Info("snapshots enabled", "dir", *snapDir, "interval", *snapInterval)
+		logger.Info("snapshots enabled", "dir", opts.SnapshotDir, "interval", opts.SnapshotInterval)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
-	if *withPprof {
+	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -143,13 +227,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
-	root := obs.LogRequests(logger, *slow, mux)
+	root := obs.LogRequests(logger, time.Duration(opts.Slow), mux)
 
 	srv := &http.Server{
-		Addr:         *addr,
+		Addr:         opts.Addr,
 		Handler:      root,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
+		ReadTimeout:  time.Duration(opts.ReadTimeout),
+		WriteTimeout: time.Duration(opts.WriteTimeout),
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests up to
@@ -159,17 +243,17 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
-	logger.Info("sigserver listening", "addr", *addr, "mem_bytes", *mem,
-		"alpha", *alpha, "beta", *beta, "shards", *shards, "pprof", *withPprof,
-		"pipeline", *pipelined, "snapshot_dir", *snapDir)
+	logger.Info("sigserver listening", "addr", opts.Addr, "mem_bytes", opts.MemoryBytes,
+		"alpha", opts.Alpha, "beta", opts.Beta, "shards", opts.Shards, "pprof", opts.Pprof,
+		"pipeline", opts.Pipeline, "snapshot_dir", opts.SnapshotDir, "wal_dir", opts.WALDir)
 
 	select {
 	case err := <-errc:
 		log.Fatalf("sigserver: %v", err)
 	case <-ctx.Done():
 		stop()
-		logger.Info("sigserver shutting down", "drain_timeout", *drainTimeout)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		logger.Info("sigserver shutting down", "drain_timeout", opts.DrainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Duration(opts.DrainTimeout))
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Warn("sigserver: drain incomplete", "err", err)

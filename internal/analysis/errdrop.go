@@ -10,13 +10,17 @@ import (
 // errDropNames are the method/function names whose error results ErrDrop
 // refuses to see discarded, wherever they are declared. They are the
 // persistence and wire surface of the repo: a dropped Encode/Restore error
-// means a checkpoint that silently never happened.
+// means a checkpoint that silently never happened, and a dropped WAL
+// Append/Sync error means an insert acknowledged without the durability
+// the ack promised.
 var errDropNames = map[string]bool{
 	"Encode":          true,
 	"Decode":          true,
 	"Restore":         true,
 	"MarshalBinary":   true,
 	"UnmarshalBinary": true,
+	"Append":          true,
+	"Sync":            true,
 }
 
 // errDropPackages are the packages whose error-returning functions are

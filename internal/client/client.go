@@ -78,8 +78,21 @@ type SnapshotStats struct {
 	LastRecovery string  `json:"last_recovery"`
 }
 
+// WALStats mirrors the write-ahead-log section of the service's stats,
+// present only when the server runs with a WAL.
+type WALStats struct {
+	Appends       uint64 `json:"appends"`
+	AppendedBytes uint64 `json:"appended_bytes"`
+	Syncs         uint64 `json:"syncs"`
+	Rotations     uint64 `json:"rotations"`
+	Truncations   uint64 `json:"truncations"`
+	Segments      int    `json:"segments"`
+	DiskBytes     int64  `json:"disk_bytes"`
+}
+
 // Stats mirrors the service's /v1/stats payload: the flat service-level
-// fields plus the typed tracker and snapshot sections.
+// fields plus the typed tracker, snapshot and (when the server runs a
+// WAL) wal sections.
 type Stats struct {
 	Tenant      string        `json:"tenant"`
 	MemoryBytes int           `json:"memory_bytes"`
@@ -91,6 +104,7 @@ type Stats struct {
 	Beta        float64       `json:"beta"`
 	Tracker     TrackerStats  `json:"tracker"`
 	Snapshot    SnapshotStats `json:"snapshot"`
+	WAL         *WALStats     `json:"wal,omitempty"`
 }
 
 // TenantInfo mirrors one row of the service's tenant listing.
@@ -133,6 +147,30 @@ type ThrottledError struct {
 func (e *ThrottledError) Error() string {
 	return fmt.Sprintf("sigstream client: throttled (retry after %s): %s",
 		e.RetryAfter, e.Message)
+}
+
+// APIError reports any non-200 response that is not a throttle: the HTTP
+// status, the server's stable machine-readable code (the envelope's
+// "code" field — branch on this, not on Message), and the human-readable
+// message. Responses from servers predating the typed envelope carry the
+// raw body as Message and an empty Code.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the server's stable error identifier ("bad_request",
+	// "not_found", "conflict", ...), empty when the server did not send a
+	// typed envelope.
+	Code string
+	// Message is the server's error text.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("sigstream client: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("sigstream client: status %d: %s", e.Status, e.Message)
 }
 
 // Client talks to one sigstream service.
@@ -411,20 +449,35 @@ func decode(resp *http.Response, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// statusError turns a non-200 response into an error: 429 becomes a
-// *ThrottledError carrying the Retry-After hint, everything else a
-// plain error quoting the body.
+// statusError turns a non-200 response into a typed error. The body is
+// the server's JSON error envelope {code, message, retry_after_seconds?};
+// 429 becomes a *ThrottledError carrying the backoff hint (envelope field
+// first, Retry-After header as fallback), everything else a *APIError
+// carrying the envelope's stable code. A non-envelope body (an older
+// server, a proxy error page) degrades to the raw text with no code.
 func statusError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	msg := strings.TrimSpace(string(body))
+	var env struct {
+		Code              string `json:"code"`
+		Message           string `json:"message"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
+		msg = env.Message
+	} else {
+		env.Code = ""
+	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		after := time.Second
-		if v := resp.Header.Get("Retry-After"); v != "" {
+		if env.RetryAfterSeconds > 0 {
+			after = time.Duration(env.RetryAfterSeconds) * time.Second
+		} else if v := resp.Header.Get("Retry-After"); v != "" {
 			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
 				after = time.Duration(secs) * time.Second
 			}
 		}
 		return &ThrottledError{RetryAfter: after, Message: msg}
 	}
-	return fmt.Errorf("sigstream client: %s: %s", resp.Status, msg)
+	return &APIError{Status: resp.StatusCode, Code: env.Code, Message: msg}
 }

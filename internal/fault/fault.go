@@ -38,6 +38,18 @@ const (
 	SnapshotSync Point = "snapshot/sync"
 	// SnapshotRename fires before the temp file is renamed into place.
 	SnapshotRename Point = "snapshot/rename"
+	// WALAppend fires before a WAL record frame is appended; an erroring
+	// hook tears the write (half the frame lands) and the append is
+	// refused, exactly what a crash mid-append leaves on disk.
+	WALAppend Point = "wal/append"
+	// WALSync fires before the WAL segment is fsynced; an erroring hook
+	// makes the group commit fail, so none of the waiting appends are
+	// acknowledged.
+	WALSync Point = "wal/sync"
+	// WALRotate fires before the WAL seals the active segment and opens
+	// the next one; an erroring hook makes rotation — and therefore the
+	// snapshot cut that wanted it — fail while the log keeps appending.
+	WALRotate Point = "wal/rotate"
 )
 
 // Hook is one activated fault. arg carries site context — the shard index

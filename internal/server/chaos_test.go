@@ -348,9 +348,12 @@ func TestBodyLimitReturns413(t *testing.T) {
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s with a 200-byte body: status %d, want 413", path, resp.StatusCode)
 		}
-		errBody := decode[map[string]string](t, resp)
-		if !strings.Contains(errBody["error"], "64 byte limit") {
-			t.Fatalf("%s 413 error %q does not name the limit", path, errBody["error"])
+		errBody := decode[ErrorBody](t, resp)
+		if errBody.Code != "payload_too_large" {
+			t.Fatalf("%s 413 code %q, want payload_too_large", path, errBody.Code)
+		}
+		if !strings.Contains(errBody.Message, "64 byte limit") {
+			t.Fatalf("%s 413 error %q does not name the limit", path, errBody.Message)
 		}
 	}
 	resp := post(t, srv.URL+"/v1/insert", "small\n")

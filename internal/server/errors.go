@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// ErrorBody is the typed JSON error envelope every /v1 endpoint answers
+// with on failure: a stable machine-readable code, a human-readable
+// message, and — on throttled responses — the backoff hint mirrored from
+// the Retry-After header. Clients branch on Code; Message is for humans
+// and may change wording between releases.
+type ErrorBody struct {
+	// Code is the stable error identifier (see ErrorCodes).
+	Code string `json:"code"`
+	// Message describes the failure for humans.
+	Message string `json:"message"`
+	// RetryAfterSeconds is the backoff hint on throttled responses, 0
+	// (omitted) otherwise.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// ErrorCodes is the canonical HTTP status → error code table, the
+// contract shared by every /v1 error response, the README's error-code
+// documentation and the error-envelope contract test. A status outside
+// the table answers "internal".
+var ErrorCodes = map[int]string{
+	http.StatusBadRequest:            "bad_request",
+	http.StatusNotFound:              "not_found",
+	http.StatusMethodNotAllowed:      "method_not_allowed",
+	http.StatusConflict:              "conflict",
+	http.StatusRequestEntityTooLarge: "payload_too_large",
+	http.StatusTooManyRequests:       "throttled",
+	http.StatusInternalServerError:   "internal",
+	http.StatusServiceUnavailable:    "unavailable",
+	http.StatusInsufficientStorage:   "insufficient_storage",
+}
+
+// ErrorCode maps an HTTP status to its stable envelope code, "internal"
+// for statuses outside the table.
+func ErrorCode(status int) string {
+	if code, ok := ErrorCodes[status]; ok {
+		return code
+	}
+	return "internal"
+}
+
+// httpError writes the typed error envelope for one failing request. The
+// envelope's retry_after_seconds mirrors a Retry-After header already set
+// on w (throttle paths set it before calling), so the JSON body and the
+// header can never disagree.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	body := ErrorBody{Code: ErrorCode(status), Message: msg}
+	if v := w.Header().Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			body.RetryAfterSeconds = secs
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a flat struct of strings and ints cannot fail; a broken
+	// connection mid-write has no remedy here either way.
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestErrorEnvelopeContract cross-checks the README's error-code table
+// against ErrorCodes in both directions, the same way TestRouteContract
+// keeps the route table honest: every documented code must be served,
+// and every served code must be documented.
+func TestErrorEnvelopeContract(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`([a-z_]+)`\\s*\\|\\s*(\\d{3})\\s*\\|")
+	documented := make(map[int]string)
+	for _, m := range rowRE.FindAllStringSubmatch(string(readme), -1) {
+		status, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("README error row %q: %v", m[0], err)
+		}
+		if prev, dup := documented[status]; dup {
+			t.Errorf("README documents status %d twice (%s, %s)", status, prev, m[1])
+		}
+		documented[status] = m[1]
+	}
+	if len(documented) == 0 {
+		t.Fatal("no error-code rows found in README — table format drifted?")
+	}
+	for status, code := range documented {
+		if got := ErrorCode(status); got != code {
+			t.Errorf("README documents %d as %q, server answers %q", status, code, got)
+		}
+	}
+	for status, code := range ErrorCodes {
+		if doc, ok := documented[status]; !ok {
+			t.Errorf("served code %q (status %d) is not in the README table", code, status)
+		} else if doc != code {
+			t.Errorf("status %d: served %q, README says %q", status, code, doc)
+		}
+	}
+}
+
+// TestErrorEnvelopeOnMethodNotAllowed asserts every routeTable pattern
+// answers a wrong-method request with the typed envelope and an Allow
+// header — ServeMux's plain-text 405 must never leak through.
+func TestErrorEnvelopeOnMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t)
+	seen := make(map[string]bool)
+	for _, rt := range routeTable {
+		if seen[rt.Pattern] {
+			continue
+		}
+		seen[rt.Pattern] = true
+		path := strings.ReplaceAll(rt.Pattern, "{ns}", "default")
+		// PATCH is used by no route, so it is method-not-allowed on every
+		// pattern.
+		req, err := http.NewRequest(http.MethodPatch, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("PATCH %s: status %d, want 405", path, resp.StatusCode)
+			resp.Body.Close()
+			continue
+		}
+		if allow := resp.Header.Get("Allow"); allow == "" {
+			t.Errorf("PATCH %s: missing Allow header", path)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("PATCH %s: Content-Type %q, want application/json", path, ct)
+		}
+		body := decode[ErrorBody](t, resp)
+		if body.Code != "method_not_allowed" {
+			t.Errorf("PATCH %s: envelope code %q, want method_not_allowed", path, body.Code)
+		}
+		if body.Message == "" {
+			t.Errorf("PATCH %s: empty envelope message", path)
+		}
+	}
+}
+
+// TestErrorEnvelopeOnBadRequests walks the malformed-input paths of the
+// API — bad bodies, bad parameters, missing resources, forbidden
+// deletes — and asserts each answers the typed envelope with the code
+// matching its status.
+func TestErrorEnvelopeOnBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"tenant create malformed JSON", http.MethodPost, "/v1/tenants", "{not json", http.StatusBadRequest},
+		{"tenant create empty namespace", http.MethodPost, "/v1/tenants", `{"namespace":""}`, http.StatusBadRequest},
+		{"restore malformed image", http.MethodPost, "/v1/restore", "garbage-image-bytes", http.StatusBadRequest},
+		{"top bad k", http.MethodGet, "/v1/top?k=banana", "", http.StatusBadRequest},
+		{"query missing key", http.MethodGet, "/v1/query", "", http.StatusBadRequest},
+		{"query untracked key", http.MethodGet, "/v1/query?key=never-seen", "", http.StatusNotFound},
+		{"top of unknown tenant", http.MethodGet, "/v1/t/nope/top", "", http.StatusNotFound},
+		{"delete pinned default", http.MethodDelete, "/v1/t/default", "", http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			body := decode[ErrorBody](t, resp)
+			if want := ErrorCode(tc.status); body.Code != want {
+				t.Errorf("envelope code %q, want %q", body.Code, want)
+			}
+			if body.Message == "" {
+				t.Error("empty envelope message")
+			}
+			if body.RetryAfterSeconds != 0 {
+				t.Errorf("retry_after_seconds %d on a non-throttle error", body.RetryAfterSeconds)
+			}
+		})
+	}
+}

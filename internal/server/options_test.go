@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"30s"`, 30 * time.Second},
+		{`"1m30s"`, 90 * time.Second},
+		{`"0s"`, 0},
+		{`1500000000`, 1500 * time.Millisecond}, // bare nanoseconds
+	}
+	for _, tc := range cases {
+		var d Duration
+		if err := json.Unmarshal([]byte(tc.in), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", tc.in, err)
+		}
+		if time.Duration(d) != tc.want {
+			t.Errorf("unmarshal %s: got %s, want %s", tc.in, time.Duration(d), tc.want)
+		}
+		out, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Duration
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip %s via %s: %v", tc.in, out, err)
+		}
+		if back != d {
+			t.Errorf("round trip %s: %s came back as %s", tc.in, d, back)
+		}
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"banana"`), &d); err == nil {
+		t.Error("unmarshal of a non-duration string succeeded")
+	}
+}
+
+func TestLoadOptionsSparseFileKeepsDefaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "config.json")
+	body := `{"mem": 262144, "wal_dir": "/tmp/wal", "wal_sync": "5ms", "read_timeout": "2m"}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := LoadOptions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MemoryBytes != 262144 || opts.WALDir != "/tmp/wal" {
+		t.Errorf("file keys not applied: %+v", opts)
+	}
+	if time.Duration(opts.WALSync) != 5*time.Millisecond {
+		t.Errorf("wal_sync = %s, want 5ms", time.Duration(opts.WALSync))
+	}
+	if time.Duration(opts.ReadTimeout) != 2*time.Minute {
+		t.Errorf("read_timeout = %s, want 2m", time.Duration(opts.ReadTimeout))
+	}
+	def := DefaultOptions()
+	if opts.Addr != def.Addr || opts.LogLevel != def.LogLevel || opts.DrainTimeout != def.DrainTimeout {
+		t.Errorf("unnamed keys drifted from defaults: %+v", opts)
+	}
+	if err := opts.Validate(); err != nil {
+		t.Errorf("sparse config failed validation: %v", err)
+	}
+}
+
+func TestLoadOptionsRejectsUnknownKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(`{"wal_dirr": "/tmp/wal"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOptions(path); err == nil {
+		t.Fatal("typoed key accepted silently")
+	} else if !strings.Contains(err.Error(), "wal_dirr") {
+		t.Errorf("error does not name the offending key: %v", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"zero mem", func(o *Options) { o.MemoryBytes = 0 }},
+		{"negative alpha", func(o *Options) { o.Alpha = -1 }},
+		{"decay of 1", func(o *Options) { o.Decay = 1 }},
+		{"negative shards", func(o *Options) { o.Shards = -2 }},
+		{"bad log level", func(o *Options) { o.LogLevel = "loud" }},
+		{"negative wal segment", func(o *Options) { o.WALSegment = -1 }},
+		{"negative tenant quota", func(o *Options) { o.TenantQuota = -3 }},
+		{"negative read timeout", func(o *Options) { o.ReadTimeout = Duration(-time.Second) }},
+	}
+	for _, tc := range bad {
+		o := DefaultOptions()
+		tc.mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+// TestOptionsJSONTagsCoverEveryFlagField keeps the Options ↔ flag
+// correspondence honest from the config side: marshaling the defaults
+// must produce a JSON object whose keys decode back without tripping
+// DisallowUnknownFields, i.e. MarshalJSON and UnmarshalJSON agree on
+// the schema.
+func TestOptionsJSONTagsCoverEveryFlagField(t *testing.T) {
+	data, err := json.Marshal(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := LoadOptions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts != DefaultOptions() {
+		t.Errorf("defaults did not survive a marshal/load round trip:\n got %+v\nwant %+v", opts, DefaultOptions())
+	}
+}

@@ -30,7 +30,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"log/slog"
 	"os"
@@ -97,6 +99,158 @@ func Decode(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
 	}
 	return data[headerSize : headerSize+n], nil
+}
+
+// WriteFileTo is the streaming counterpart of WriteFile: instead of a
+// materialized payload it takes a function that streams the payload into
+// an io.Writer (for example Sharded.EncodeTo), so a large tracker image
+// goes to disk without ever existing as one []byte. The frame is built
+// in place — payload bytes land at their final offset while a running
+// CRC accumulates, then the header is patched in and the trailer checksum
+// derived by CRC combination — and the write keeps the full crash
+// discipline (temp file, fsync, rename, directory fsync). It returns the
+// written file name.
+func WriteFileTo(dir string, seq uint64, write func(io.Writer) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	name := FileName(seq)
+	if err := writeAtomicTo(dir, name, write); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// writeAtomicTo streams a frame to dir/name with the same crash
+// discipline as writeAtomic. The payload is written at its final offset
+// behind a placeholder header; once its length and CRC are known the
+// header is patched and the trailer appended, with the frame checksum
+// assembled as combine(crc(header), crc(payload)) so the payload is
+// never re-read or buffered.
+func writeAtomicTo(dir, name string, write func(io.Writer) error) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fault.Inject(fault.SnapshotWrite, 0); err != nil {
+		// Model a mid-write crash: the placeholder header lands (a torn
+		// file) and the write is refused.
+		var hdr [headerSize]byte
+		copy(hdr[:], magic)
+		_, _ = f.Write(hdr[:headerSize/2])
+		return fail(fmt.Errorf("snapshot: write %s: %w", f.Name(), err))
+	}
+	var hdr [headerSize]byte
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fail(fmt.Errorf("snapshot: write %s: %w", f.Name(), err))
+	}
+	cw := &crcWriter{w: f, sum: crc32.NewIEEE()}
+	if err := write(cw); err != nil {
+		return fail(fmt.Errorf("snapshot: write %s: %w", f.Name(), err))
+	}
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(cw.n))
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fail(fmt.Errorf("snapshot: write %s: %w", f.Name(), err))
+	}
+	frameSum := crc32Combine(crc32.ChecksumIEEE(hdr[:]), cw.sum.Sum32(), cw.n)
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[:], frameSum)
+	if _, err := f.Write(trailer[:]); err != nil {
+		return fail(fmt.Errorf("snapshot: write %s: %w", f.Name(), err))
+	}
+	if err := syncFile(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := renameFile(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// crcWriter tees writes into a running CRC32 and counts payload bytes.
+type crcWriter struct {
+	w   io.Writer
+	sum hash.Hash32
+	n   int64
+}
+
+// Write implements io.Writer.
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		// hash.Hash.Write is documented to never return an error.
+		_, _ = c.sum.Write(p[:n])
+		c.n += int64(n)
+	}
+	return n, err
+}
+
+// crc32Combine returns the CRC32 (IEEE) of the concatenation A‖B given
+// crc1 = CRC(A), crc2 = CRC(B) and len2 = len(B) — zlib's crc32_combine,
+// which advances crc1 through len2 zero bytes by GF(2) matrix squaring
+// and folds crc2 in. This is what lets writeAtomicTo checksum a frame
+// whose header is only known after the payload streamed through.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1 ^ crc2
+	}
+	var even, odd [32]uint32
+	odd[0] = crc32.IEEE // reflected polynomial: operator for one zero bit
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	gf2MatrixSquare(&even, &odd) // two zero bits
+	gf2MatrixSquare(&odd, &even) // four zero bits
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&odd, crc1)
+		}
+		len2 >>= 1
+	}
+	return crc1 ^ crc2
+}
+
+// gf2MatrixTimes multiplies the GF(2) matrix mat by the vector vec.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square to mat·mat over GF(2).
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for n := 0; n < 32; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
 }
 
 // FileName renders the snapshot file name for a sequence number.

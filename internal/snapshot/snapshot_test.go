@@ -312,3 +312,85 @@ func TestSourceErrorCounts(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 error", st)
 	}
 }
+
+func TestWriteFileToMatchesWriteFile(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		{0},
+		[]byte("hello snapshot"),
+		bytes.Repeat([]byte{0xab, 0xcd, 0x01}, 40000), // multi-chunk stream
+	}
+	for i, payload := range payloads {
+		dir := t.TempDir()
+		// Stream the payload in awkward chunk sizes to exercise the
+		// running CRC across write boundaries.
+		name, err := WriteFileTo(dir, uint64(i), func(w io.Writer) error {
+			for off := 0; off < len(payload); off += 7 {
+				end := off + 7
+				if end > len(payload) {
+					end = len(payload)
+				}
+				if _, err := w.Write(payload[off:end]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("case %d: WriteFileTo: %v", i, err)
+		}
+		streamed, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// Bit-identical to the buffered path: the combined CRC is the CRC.
+		if want := Encode(payload); !bytes.Equal(streamed, want) {
+			t.Fatalf("case %d: streamed frame differs from Encode", i)
+		}
+		got, err := Decode(streamed)
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("case %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestWriteFileToFaultLeavesNoFinalFile(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("injected write fault")
+	off := fault.Activate(fault.SnapshotWrite, func(int) error { return boom })
+	_, err := WriteFileTo(dir, 0, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	off()
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteFileTo = %v, want injected error", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("faulted WriteFileTo left %d files behind", len(entries))
+	}
+}
+
+func TestWriteFileToSourceErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("source failed")
+	_, err := WriteFileTo(dir, 0, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteFileTo = %v, want source error", err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("failed stream left %d files behind", len(entries))
+	}
+}

@@ -19,6 +19,7 @@ package tenant
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"os"
 	"path/filepath"
@@ -29,6 +30,7 @@ import (
 
 	"sigstream"
 	"sigstream/internal/snapshot"
+	"sigstream/internal/wal"
 )
 
 // DefaultNamespace is the reserved namespace legacy un-namespaced routes
@@ -102,6 +104,19 @@ type Config struct {
 	// Dir is the snapshot base directory: each tenant persists under
 	// Dir/<namespace>/. Empty disables durability and spilling.
 	Dir string
+	// WALDir is the write-ahead log base directory: each tenant logs
+	// accepted mutations under WALDir/<namespace>/ and acknowledges only
+	// after the record is fsynced. Empty disables the WAL. Without Dir the
+	// log is replayed whole on every recovery and never truncated — pair
+	// both for bounded disk.
+	WALDir string
+	// WALSyncInterval is the WAL group-commit window: ≤ 0 fsyncs every
+	// append inline; positive coalesces concurrent appends into one fsync
+	// taken at most this long after the first waiter arrived.
+	WALSyncInterval time.Duration
+	// WALSegmentBytes is the WAL segment rotation threshold (0 means
+	// wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
 	// Retain is how many snapshots each tenant keeps (default
 	// snapshot.DefaultRetain).
 	Retain int
@@ -239,7 +254,7 @@ func NewRegistry(cfg Config) *Registry {
 		burst = 1
 	}
 	probe := sigstream.NewSharded(cfg.Tracker, cfg.Shards)
-	return &Registry{
+	r := &Registry{
 		cfg:        cfg,
 		cost:       int64(probe.MemoryBytes()),
 		quotaBurst: burst,
@@ -247,6 +262,22 @@ func NewRegistry(cfg Config) *Registry {
 		clock:      cfg.Clock,
 		tenants:    make(map[string]*Tenant),
 	}
+	if cfg.WALDir != "" {
+		// Register every namespace that left a log behind, so its tail
+		// replays on first touch instead of lying orphaned — the WAL
+		// counterpart of AttachDir's spilled-tenant scan. The default
+		// namespace is pinned later and recovers its own log then.
+		entries, err := os.ReadDir(cfg.WALDir)
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			r.logger.Warn("tenant: cannot scan wal dir", "dir", cfg.WALDir, "err", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() && ValidNamespace(e.Name()) && e.Name() != DefaultNamespace {
+				r.newTenantLocked(e.Name())
+			}
+		}
+	}
+	return r
 }
 
 // baseDir reports the snapshot base directory ("" = no durability).
@@ -255,6 +286,25 @@ func (r *Registry) baseDir() string {
 	d := r.cfg.Dir
 	r.mu.Unlock()
 	return d
+}
+
+// walBase reports the write-ahead log base directory ("" = no WAL).
+// Unlike Dir (mutated by AttachDir), the WAL configuration is immutable
+// after NewRegistry, so no lock is needed — which also lets Pin call it
+// while holding mu.
+func (r *Registry) walBase() string {
+	return r.cfg.WALDir
+}
+
+// walOptions assembles one tenant log's options from the (immutable) WAL
+// configuration.
+func (r *Registry) walOptions(dir string) wal.Options {
+	return wal.Options{
+		Dir:          dir,
+		SyncInterval: r.cfg.WALSyncInterval,
+		SegmentBytes: r.cfg.WALSegmentBytes,
+		Logger:       r.logger,
+	}
 }
 
 // retain reports the per-tenant snapshot retention count.
@@ -342,6 +392,31 @@ func (r *Registry) Pin(ns string, opts PinOptions) (*Tenant, error) {
 	t := &Tenant{ns: ns, reg: r, pinned: true, pin: opts}
 	t.tracker = sigstream.NewSharded(opts.Tracker, opts.Shards)
 	t.keys = sigstream.NewKeyMap()
+	if r.cfg.WALDir != "" {
+		// Open the namespace's log and replay it whole, so a pinned
+		// tenant killed before its first snapshot still comes back with
+		// every acknowledged batch. AttachDir's recoverPinned, when
+		// durability is layered on later, rebuilds from the snapshot and
+		// replays only the tail.
+		l, err := t.openWAL()
+		if err != nil {
+			return nil, err
+		}
+		replayed, n, err := t.replayWAL(l, 0, t.tracker, t.keys)
+		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		t.tracker = replayed
+		t.wal = l
+		st := replayed.Stats()
+		t.arrivals.Store(st.Arrivals)
+		t.periods.Store(st.Periods)
+		if n > 0 {
+			t.lastRecovery = fmt.Sprintf("replayed %d wal records", n)
+			r.logger.Info("tenant: replayed wal", "tenant", ns, "records", n)
+		}
+	}
 	if opts.Pipeline {
 		t.pipeline = t.tracker.Pipeline(opts.PipelineOptions)
 		if opts.ShedHighWater > 0 {
@@ -371,6 +446,7 @@ func (r *Registry) Delete(ns string) error {
 	}
 	t.deleted.Store(true)
 	wasResident := t.resident.Load()
+	t.closeWAL()
 	t.tracker = nil
 	t.keysMu.Lock()
 	t.keys = nil
@@ -388,6 +464,11 @@ func (r *Registry) Delete(ns string) error {
 	if base := r.baseDir(); base != "" {
 		if err := os.RemoveAll(filepath.Join(base, ns)); err != nil {
 			r.logger.Warn("tenant: delete directory failed", "tenant", ns, "err", err)
+		}
+	}
+	if base := r.walBase(); base != "" {
+		if err := os.RemoveAll(filepath.Join(base, ns)); err != nil {
+			r.logger.Warn("tenant: delete wal directory failed", "tenant", ns, "err", err)
 		}
 	}
 	return nil
@@ -687,6 +768,13 @@ func (r *Registry) Close() error {
 			if p != nil {
 				err = errors.Join(err, p.Close())
 			}
+		}
+		// Every log gets a final fsync and close after the last save;
+		// whatever outlived the final snapshot replays on next boot.
+		for _, t := range r.snapshotTenants() {
+			t.mu.Lock()
+			t.closeWAL()
+			t.mu.Unlock()
 		}
 		r.closeErr = err
 	})

@@ -547,9 +547,12 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	km.Intern("beta")
 	img := []byte{1, 2, 3, 4, 5}
 	payload := encodeEnvelope(km, img)
-	got, gotImg, err := decodeEnvelope(payload)
+	got, gotImg, cut, err := decodeEnvelope(payload)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cut != 0 {
+		t.Fatalf("cut = %d, want 0", cut)
 	}
 	if !bytes.Equal(gotImg, img) {
 		t.Fatalf("image %v, want %v", gotImg, img)
@@ -564,14 +567,31 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	if !bytes.Equal(payload, encodeEnvelope(km, img)) {
 		t.Fatal("envelope encoding not deterministic")
 	}
+	// A non-zero cut rides the envelope and round-trips.
+	var withCut bytes.Buffer
+	if err := encodeEnvelopeTo(&withCut, envelopeNames(km), 42, func(w io.Writer) error {
+		_, err := w.Write(img)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, cut, err = decodeEnvelope(withCut.Bytes()); err != nil || cut != 42 {
+		t.Fatalf("cut round-trip = %d, %v, want 42", cut, err)
+	}
+	// A TNT1 payload (pre-WAL) still decodes, with cut 0.
+	legacy := append([]byte(envMagic), payload[12:]...)
+	if got, gotImg, cut, err = decodeEnvelope(legacy); err != nil ||
+		cut != 0 || got.Len() != 2 || !bytes.Equal(gotImg, img) {
+		t.Fatalf("TNT1 decode = %d keys, cut %d, %v", got.Len(), cut, err)
+	}
 	// Corruption is refused, not mis-sliced.
 	bad := append([]byte{}, payload...)
-	bad[4] = 0xff // implausible key count under a valid magic
-	bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff
-	if _, _, err := decodeEnvelope(bad); err == nil {
+	bad[12] = 0xff // implausible key count under a valid magic
+	bad[13], bad[14], bad[15] = 0xff, 0xff, 0xff
+	if _, _, _, err := decodeEnvelope(bad); err == nil {
 		t.Fatal("corrupt envelope decoded")
 	}
-	truncated := payload[:10]
+	truncated := payload[:18]
 	if _, _, err := decodeEnvelopeSafe(truncated); err == nil {
 		t.Fatal("truncated envelope decoded")
 	}
@@ -581,7 +601,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 // threshold (treated as raw images, which then fail tracker decode — the
 // error surfaces there instead).
 func decodeEnvelopeSafe(p []byte) (*sigstream.KeyMap, []byte, error) {
-	km, img, err := decodeEnvelope(p)
+	km, img, _, err := decodeEnvelope(p)
 	if err != nil {
 		return nil, nil, err
 	}

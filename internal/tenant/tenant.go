@@ -2,6 +2,7 @@ package tenant
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"path/filepath"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"sigstream"
 	"sigstream/internal/snapshot"
+	"sigstream/internal/wal"
 )
 
 // Tenant is one namespace's tracker, key map and counters. Tenants are
@@ -48,6 +50,20 @@ type Tenant struct {
 	seqInit      bool
 	nextSeq      uint64
 	lastRecovery string
+
+	// walMu makes a WAL append and its tracker apply one atomic unit
+	// against the snapshot cut: data operations hold it read around
+	// [append record, apply to tracker], the save path holds it write
+	// around [barrier, rotate → cut, marshal image], so the image covers
+	// exactly the records in segments below the cut. Lock order: mu
+	// before walMu. wal is guarded by mu like the tracker pointer; it is
+	// nil when the registry has no WAL configured or the tenant is
+	// spilled. walCuts (the cuts of the retained snapshots, oldest first)
+	// is touched under saveMu while resident and under mu during
+	// residency transitions.
+	walMu   sync.RWMutex
+	wal     *wal.Log
+	walCuts []uint64
 
 	arrivals, periods        atomic.Uint64
 	spillCount, reviveCount  atomic.Uint64
@@ -124,6 +140,87 @@ func (t *Tenant) dir() string {
 	return filepath.Join(base, t.ns)
 }
 
+// walDir returns the tenant's write-ahead log directory, or "" when the
+// registry has no WAL configured.
+func (t *Tenant) walDir() string {
+	base := t.reg.walBase()
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, t.ns)
+}
+
+// openWAL opens the tenant's write-ahead log, (nil, nil) when the
+// registry has no WAL configured.
+func (t *Tenant) openWAL() (*wal.Log, error) {
+	dir := t.walDir()
+	if dir == "" {
+		return nil, nil
+	}
+	l, err := wal.Open(t.reg.walOptions(dir))
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", t.ns, err)
+	}
+	return l, nil
+}
+
+// replayWAL replays l's records at or above cut, in log order, into
+// tracker and km: batches re-intern and re-insert their keys, period
+// records close periods, and a restore record swaps in the image it
+// carries (validated against the tenant's geometry). It returns the
+// tracker in effect after the replay and the number of records applied.
+// The caller owns tracker and km exclusively — replay runs during
+// recovery, before the state is installed or served.
+func (t *Tenant) replayWAL(l *wal.Log, cut uint64, tracker *sigstream.Sharded, km *sigstream.KeyMap) (*sigstream.Sharded, int, error) {
+	cur := tracker
+	n, err := l.Replay(cut, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecordBatch:
+			items := make([]sigstream.Item, len(rec.Keys))
+			for i, k := range rec.Keys {
+				items[i] = km.Intern(k)
+			}
+			cur.InsertBatch(items)
+		case wal.RecordPeriod:
+			cur.EndPeriod()
+		case wal.RecordRestore:
+			fresh, _, err := t.restoreInto(rec.Image)
+			if err != nil {
+				return err
+			}
+			cur = fresh
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("tenant %s: wal replay: %w", t.ns, err)
+	}
+	return cur, n, nil
+}
+
+// closeWAL closes and clears the tenant's log, logging (not returning)
+// the close outcome. Caller holds the write lock.
+func (t *Tenant) closeWAL() {
+	if t.wal == nil {
+		return
+	}
+	if err := t.wal.Close(); err != nil {
+		t.reg.logger.Warn("tenant: wal close failed", "tenant", t.ns, "err", err)
+	}
+	t.wal = nil
+}
+
+// WALStats reports the tenant's write-ahead log counters, false when the
+// tenant has no open log (WAL disabled, or the tenant is spilled).
+func (t *Tenant) WALStats() (wal.Stats, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.wal == nil {
+		return wal.Stats{}, false
+	}
+	return t.wal.Stats(), true
+}
+
 // touch records activity for LRU eviction and idle sweeps.
 func (t *Tenant) touch() {
 	t.lastTouch.Store(t.reg.clock().UnixNano())
@@ -168,20 +265,25 @@ func (t *Tenant) ensureResidentLocked() error {
 	}
 	keys := sigstream.NewKeyMap()
 	var tracker *sigstream.Sharded
+	var cut uint64
 	recovery := "fresh"
+	fail := func(err error) error {
+		t.reg.release()
+		t.saveMu.Lock()
+		t.lastRecovery = "failed: " + err.Error()
+		t.saveMu.Unlock()
+		return err
+	}
 	if dir := t.dir(); dir != "" {
 		payload, file, err := snapshot.Recover(dir, t.reg.logger)
 		if err == nil && payload != nil {
 			var km *sigstream.KeyMap
 			var img []byte
-			km, img, err = decodeEnvelope(payload)
+			km, img, cut, err = decodeEnvelope(payload)
 			if err == nil {
-				var st sigstream.Stats
-				tracker, st, err = t.restoreInto(img)
+				tracker, _, err = t.restoreInto(img)
 				if err == nil {
 					keys = km
-					t.arrivals.Store(st.Arrivals)
-					t.periods.Store(st.Periods)
 					t.reviveCount.Add(1)
 					t.reg.revives.Add(1)
 					recovery = "recovered " + file
@@ -189,17 +291,38 @@ func (t *Tenant) ensureResidentLocked() error {
 			}
 		}
 		if err != nil {
-			t.reg.release()
-			t.saveMu.Lock()
-			t.lastRecovery = "failed: " + err.Error()
-			t.saveMu.Unlock()
-			return err
+			return fail(err)
 		}
 	}
 	if tracker == nil {
 		tracker = t.newTracker()
 	}
+	// Replay the WAL tail past the snapshot cut, so the revived tenant
+	// lands on exactly the state whose appends were acknowledged.
+	l, err := t.openWAL()
+	if err != nil {
+		return fail(err)
+	}
+	if l != nil {
+		replayed, n, err := t.replayWAL(l, cut, tracker, keys)
+		if err != nil {
+			_ = l.Close()
+			return fail(err)
+		}
+		tracker = replayed
+		if n > 0 {
+			recovery += fmt.Sprintf(" +%d wal records", n)
+		}
+	}
+	st := tracker.Stats()
+	t.arrivals.Store(st.Arrivals)
+	t.periods.Store(st.Periods)
 	t.tracker = tracker
+	t.wal = l
+	t.walCuts = nil
+	if cut > 0 {
+		t.walCuts = []uint64{cut}
+	}
 	t.keysMu.Lock()
 	t.keys = keys
 	t.keysMu.Unlock()
@@ -290,10 +413,13 @@ func (t *Tenant) Overloaded() bool {
 }
 
 // Ingest records one arrival per key, in order: intern the keys, charge
-// the tenant's quota (one token per key; pinned tenants are exempt), and
-// feed the batch to the pipeline (pinned, when configured) or directly to
-// the tracker. It reports the number of arrivals accepted — all of them,
-// or none with a QuotaError carrying the retry hint.
+// the tenant's quota (one token per key; pinned tenants are exempt),
+// append the batch to the write-ahead log (when configured) and feed it
+// to the pipeline (pinned, when configured) or directly to the tracker.
+// It reports the number of arrivals accepted — all of them, or none with
+// a QuotaError carrying the retry hint. With a WAL, a successful return
+// means the batch is fsynced: a crash after the ack replays it; an error
+// means the batch was neither logged nor applied.
 func (t *Tenant) Ingest(keys []string) (int, error) {
 	if len(keys) == 0 {
 		return 0, nil
@@ -307,6 +433,15 @@ func (t *Tenant) Ingest(keys []string) (int, error) {
 			t.quotaDenials.Add(1)
 			t.reg.quotaDenied.Add(1)
 			return 0, &QuotaError{RetryAfter: retry}
+		}
+	}
+	if t.wal != nil {
+		// Append and apply under the WAL gate, so a snapshot cut can
+		// never land between a batch's record and its tracker effect.
+		t.walMu.RLock()
+		defer t.walMu.RUnlock()
+		if err := t.wal.Append(wal.EncodeBatch(keys)); err != nil {
+			return 0, fmt.Errorf("tenant %s: %w", t.ns, err)
 		}
 	}
 	items := make([]sigstream.Item, len(keys))
@@ -330,14 +465,26 @@ func (t *Tenant) Ingest(keys []string) (int, error) {
 
 // EndPeriod closes the tenant's current period and reports the new
 // period count. For a pipelined tenant the rings are flushed first, so
-// the boundary lands after every previously accepted insert.
+// the boundary lands after every previously accepted insert. With a WAL
+// the boundary is logged holding the gate exclusively, so no insert can
+// slip between the period record and its tracker effect and replay
+// closes periods at exactly the logged positions.
 func (t *Tenant) EndPeriod() (uint64, error) {
 	if err := t.acquire(); err != nil {
 		return 0, err
 	}
 	defer t.mu.RUnlock()
+	if t.wal != nil {
+		t.walMu.Lock()
+		defer t.walMu.Unlock()
+	}
 	if err := t.barrierRLocked(); err != nil {
 		return 0, err
+	}
+	if t.wal != nil {
+		if err := t.wal.Append(wal.EncodePeriod()); err != nil {
+			return 0, fmt.Errorf("tenant %s: %w", t.ns, err)
+		}
 	}
 	t.tracker.EndPeriod()
 	periods := t.periods.Add(1)
@@ -537,6 +684,15 @@ func (t *Tenant) RestoreImage(body []byte) error {
 		t.mu.Unlock()
 		return err
 	}
+	if t.wal != nil {
+		// A restore is just another logged mutation: the full image rides
+		// the log, so replay swaps trackers at exactly this position. The
+		// write lock on mu already excludes every data operation and save.
+		if err := t.wal.Append(wal.EncodeRestore(body)); err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("tenant %s: %w", t.ns, err)
+		}
+	}
 	old := t.pipeline
 	if old != nil {
 		t.pipeline = fresh.Pipeline(t.pin.PipelineOptions)
@@ -573,6 +729,7 @@ func (t *Tenant) Spill() (bool, error) {
 			return false, err
 		}
 	}
+	t.closeWAL()
 	t.tracker = nil
 	t.keysMu.Lock()
 	t.keys = nil
@@ -599,108 +756,193 @@ func (t *Tenant) Save() (string, error) {
 	return t.saveRLocked()
 }
 
-// saveRLocked snapshots the tenant's envelope (key names + tracker image)
-// to its directory with the crash discipline of internal/snapshot, then
-// prunes old files. The dirty flag is cleared before the state is read,
-// so writes landing during the save re-mark it. Caller holds at least
-// the read lock on a resident tenant.
+// saveRLocked snapshots the tenant's envelope (key names + WAL cut +
+// tracker image) to its directory with the crash discipline of
+// internal/snapshot, then prunes old files and truncates the WAL below
+// the oldest retained snapshot's cut. The dirty flag is cleared before
+// the state is read, so writes landing during the save re-mark it.
+// Caller holds at least the read lock on a resident tenant.
+//
+// With a WAL, the save is the snapshot/truncate coordinator: it holds
+// the WAL gate exclusively across [pipeline barrier, segment rotation →
+// cut, image marshal], so the image covers exactly the records in
+// segments below the cut — replay from the cut is the missing suffix,
+// nothing less and nothing twice. The cut rides inside the envelope, so
+// snapshot and replay point commit atomically in one renamed file.
 func (t *Tenant) saveRLocked() (string, error) {
 	dir := t.dir()
 	if dir == "" {
 		return "", nil
 	}
-	if err := t.barrierRLocked(); err != nil {
-		t.reg.logger.Warn("tenant: save barrier failed; snapshotting applied state",
-			"tenant", t.ns, "err", err)
-	}
-	t.dirty.Store(false)
-	img, err := t.tracker.MarshalBinary()
-	if err != nil {
+	fail := func(err error) (string, error) {
 		t.dirty.Store(true)
 		t.saveErrCount.Add(1)
-		return "", fmt.Errorf("tenant %s: %w", t.ns, err)
+		return "", err
+	}
+	var cut uint64
+	var writeImage func(io.Writer) error
+	if t.wal != nil {
+		t.walMu.Lock()
+		if err := t.barrierRLocked(); err != nil {
+			t.reg.logger.Warn("tenant: save barrier failed; snapshotting applied state",
+				"tenant", t.ns, "err", err)
+		}
+		var err error
+		cut, err = t.wal.Rotate()
+		if err != nil {
+			t.walMu.Unlock()
+			return fail(fmt.Errorf("tenant %s: %w", t.ns, err))
+		}
+		t.dirty.Store(false)
+		img, err := t.tracker.MarshalBinary()
+		t.walMu.Unlock()
+		if err != nil {
+			return fail(fmt.Errorf("tenant %s: %w", t.ns, err))
+		}
+		writeImage = func(w io.Writer) error {
+			_, werr := w.Write(img)
+			return werr
+		}
+	} else {
+		if err := t.barrierRLocked(); err != nil {
+			t.reg.logger.Warn("tenant: save barrier failed; snapshotting applied state",
+				"tenant", t.ns, "err", err)
+		}
+		t.dirty.Store(false)
+		// Without a cut to pin, the image streams straight to the temp
+		// file — it never materializes in memory.
+		writeImage = t.tracker.EncodeTo
 	}
 	t.keysMu.Lock()
-	payload := encodeEnvelope(t.keys, img)
+	names := envelopeNames(t.keys)
 	t.keysMu.Unlock()
 	t.saveMu.Lock()
 	defer t.saveMu.Unlock()
 	if !t.seqInit {
 		seq, err := snapshot.NextSeq(dir)
 		if err != nil {
-			t.dirty.Store(true)
-			t.saveErrCount.Add(1)
-			return "", err
+			return fail(err)
 		}
 		t.nextSeq, t.seqInit = seq, true
 	}
 	seq := t.nextSeq
 	t.nextSeq++
-	name, err := snapshot.WriteFile(dir, seq, payload)
+	name, err := snapshot.WriteFileTo(dir, seq, func(w io.Writer) error {
+		return encodeEnvelopeTo(w, names, cut, writeImage)
+	})
 	if err != nil {
-		t.dirty.Store(true)
-		t.saveErrCount.Add(1)
-		return "", err
+		return fail(err)
 	}
 	t.saveCount.Add(1)
 	t.lastSaveUnix.Store(t.reg.clock().Unix())
-	snapshot.Prune(dir, t.reg.retain(), t.reg.logger)
+	retain := t.reg.retain()
+	snapshot.Prune(dir, retain, t.reg.logger)
+	if t.wal != nil {
+		// Truncate below the oldest retained snapshot's cut: any snapshot
+		// still on disk can be recovered and replayed from its own cut.
+		t.walCuts = append(t.walCuts, cut)
+		if len(t.walCuts) > retain {
+			t.walCuts = t.walCuts[len(t.walCuts)-retain:]
+		}
+		t.wal.TruncateBefore(t.walCuts[0])
+	}
 	return name, nil
 }
 
 // recoverPinned loads a pinned tenant's newest valid snapshot at startup:
 // first from its own directory, then — for the default tenant only —
 // from legacy root-level snapshot files written before the tenant layout
-// existed. No snapshot recovers nothing and is not an error.
+// existed. With a WAL the recovered image is then rolled forward through
+// the log tail past the snapshot's cut (the log opened at Pin time, which
+// replayed from record zero, is closed and rebuilt against the snapshot).
+// No snapshot and no WAL recovers nothing and is not an error.
 func (t *Tenant) recoverPinned(base string) error {
 	t.mu.Lock()
-	payload, file, err := snapshot.Recover(filepath.Join(base, t.ns), t.reg.logger)
-	if err == nil && payload == nil && t.ns == DefaultNamespace {
-		payload, file, err = snapshot.Recover(base, t.reg.logger)
-	}
-	var fresh *sigstream.Sharded
-	var km *sigstream.KeyMap
-	var st sigstream.Stats
-	if err == nil && payload != nil {
-		var img []byte
-		if km, img, err = decodeEnvelope(payload); err == nil {
-			fresh, st, err = t.restoreInto(img)
-		}
-	}
-	if err != nil {
+	fail := func(file string, err error) error {
 		t.saveMu.Lock()
 		t.lastRecovery = "failed: " + err.Error()
 		t.saveMu.Unlock()
 		t.mu.Unlock()
 		return fmt.Errorf("tenant %s: restore snapshot %s: %w", t.ns, file, err)
 	}
-	if payload == nil {
+	payload, file, err := snapshot.Recover(filepath.Join(base, t.ns), t.reg.logger)
+	if err == nil && payload == nil && t.ns == DefaultNamespace {
+		payload, file, err = snapshot.Recover(base, t.reg.logger)
+	}
+	var fresh *sigstream.Sharded
+	km := sigstream.NewKeyMap()
+	var cut uint64
+	if err == nil && payload != nil {
+		var img []byte
+		if km, img, cut, err = decodeEnvelope(payload); err == nil {
+			fresh, _, err = t.restoreInto(img)
+		}
+	}
+	if err != nil {
+		return fail(file, err)
+	}
+	recovery := "fresh"
+	revived := payload != nil
+	if revived {
+		recovery = "recovered " + file
+	}
+	if fresh == nil && t.wal == nil {
+		// Nothing on disk: the Pin-time state stands.
 		t.saveMu.Lock()
-		t.lastRecovery = "fresh"
+		t.lastRecovery = recovery
 		t.saveMu.Unlock()
 		t.mu.Unlock()
 		return nil
+	}
+	if fresh == nil {
+		fresh = t.newTracker()
+	}
+	t.closeWAL()
+	l, err := t.openWAL()
+	if err != nil {
+		return fail(file, err)
+	}
+	replayed := 0
+	if l != nil {
+		var rerr error
+		fresh, replayed, rerr = t.replayWAL(l, cut, fresh, km)
+		if rerr != nil {
+			_ = l.Close()
+			return fail(file, rerr)
+		}
+		if replayed > 0 {
+			recovery += fmt.Sprintf(" +%d wal records", replayed)
+		}
 	}
 	old := t.pipeline
 	if old != nil {
 		t.pipeline = fresh.Pipeline(t.pin.PipelineOptions)
 	}
 	t.tracker = fresh
-	if km.Len() > 0 {
-		t.keysMu.Lock()
-		t.keys = km
-		t.keysMu.Unlock()
-	}
+	t.keysMu.Lock()
+	t.keys = km
+	t.keysMu.Unlock()
+	st := fresh.Stats()
 	t.arrivals.Store(st.Arrivals)
 	t.periods.Store(st.Periods)
-	t.reviveCount.Add(1)
+	if revived {
+		t.reviveCount.Add(1)
+	}
+	t.wal = l
+	t.walCuts = nil
+	if cut > 0 {
+		t.walCuts = []uint64{cut}
+	}
 	t.saveMu.Lock()
-	t.lastRecovery = "recovered " + file
+	t.lastRecovery = recovery
 	t.saveMu.Unlock()
 	t.mu.Unlock()
 	if old != nil {
 		_ = old.Close()
 	}
-	t.reg.logger.Info("tenant: recovered snapshot", "tenant", t.ns, "file", file)
+	if revived || replayed > 0 {
+		t.reg.logger.Info("tenant: recovered state",
+			"tenant", t.ns, "file", file, "wal_records", replayed)
+	}
 	return nil
 }

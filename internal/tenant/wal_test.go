@@ -1,0 +1,422 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sigstream"
+	"sigstream/internal/fault"
+	"sigstream/internal/wal"
+)
+
+// walConfig is a registry configuration with snapshots and a WAL, inline
+// fsync so tests run deterministically fast.
+func walConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Tracker: smallTracker(),
+		Shards:  1,
+		Dir:     filepath.Join(t.TempDir(), "snap"),
+		WALDir:  filepath.Join(t.TempDir(), "wal"),
+		Logger:  quietLogger(),
+	}
+}
+
+// feed ingests batches sequentially and fails the test on any error.
+func feed(t *testing.T, tn *Tenant, batches [][]string) {
+	t.Helper()
+	for i, b := range batches {
+		if _, err := tn.Ingest(b); err != nil {
+			t.Fatalf("Ingest batch %d: %v", i, err)
+		}
+	}
+}
+
+// topKeys flattens a ranking to its ordered keys for compact compares.
+func topKeys(t *testing.T, tn *Tenant, k int) []string {
+	t.Helper()
+	top, err := tn.TopK(k)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	keys := make([]string, len(top))
+	for i, e := range top {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// oracleTopK replays a workload into a fresh tracker of the registry's
+// geometry and returns its exact TopK — the state a correct recovery must
+// reproduce bit for bit.
+func oracleTopK(cfg Config, k int, workload func(tr *sigstream.Sharded, km *sigstream.KeyMap)) []Entry {
+	tr := sigstream.NewSharded(cfg.Tracker, cfg.Shards)
+	km := sigstream.NewKeyMap()
+	workload(tr, km)
+	es := tr.TopK(k)
+	out := make([]Entry, len(es))
+	for i, e := range es {
+		out[i] = Entry{Key: km.Name(e.Item), Entry: e}
+	}
+	return out
+}
+
+// insert interns and inserts one batch, mirroring the tenant ingest path.
+func insert(tr *sigstream.Sharded, km *sigstream.KeyMap, keys []string) {
+	items := make([]sigstream.Item, len(keys))
+	for i, k := range keys {
+		items[i] = km.Intern(k)
+	}
+	tr.InsertBatch(items)
+}
+
+func TestWALReplayAfterAbandon(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"a", "b", "a"}, {"c", "a"}, {"b", "b", "d"}})
+	if _, err := tn.EndPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"e", "a", "a"}})
+	// Abandon the registry without Close — the in-process kill -9
+	// analogue. Every ingest was acked, so every record is fsynced.
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	tn2, err := r2.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleTopK(cfg, 10, func(tr *sigstream.Sharded, km *sigstream.KeyMap) {
+		insert(tr, km, []string{"a", "b", "a"})
+		insert(tr, km, []string{"c", "a"})
+		insert(tr, km, []string{"b", "b", "d"})
+		tr.EndPeriod()
+		insert(tr, km, []string{"e", "a", "a"})
+	})
+	got, err := tn2.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed TopK:\n got %+v\nwant %+v", got, want)
+	}
+	if a := tn2.Arrivals(); a != 11 {
+		t.Fatalf("Arrivals = %d, want 11", a)
+	}
+	if p := tn2.Periods(); p != 1 {
+		t.Fatalf("Periods = %d, want 1", p)
+	}
+}
+
+func TestWALSnapshotCutReplaysOnlyTail(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"pre", "pre"}, {"snap"}})
+	if _, err := tn.Save(); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"post", "pre"}})
+	st, ok := tn.WALStats()
+	if !ok {
+		t.Fatal("no WAL stats on a WAL-enabled tenant")
+	}
+	if st.Rotations == 0 {
+		t.Fatalf("save did not rotate the WAL: %+v", st)
+	}
+	// Abandon and recover in a second registry; the snapshot covers the
+	// first two batches, replay must add exactly the third.
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	tn2, err := r2.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleTopK(cfg, 10, func(tr *sigstream.Sharded, km *sigstream.KeyMap) {
+		insert(tr, km, []string{"pre", "pre"})
+		insert(tr, km, []string{"snap"})
+		insert(tr, km, []string{"post", "pre"})
+	})
+	got, err := tn2.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cut replay TopK:\n got %+v\nwant %+v", got, want)
+	}
+	stats, err := tn2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastRecovery == "fresh" || stats.LastRecovery == "" {
+		t.Fatalf("recovery = %q, want snapshot + wal tail", stats.LastRecovery)
+	}
+}
+
+func TestWALSpillReviveReplaysOwnTail(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	defer r.Close()
+	a, err := r.GetOrCreate("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.GetOrCreate("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, a, [][]string{{"x", "x", "y"}})
+	feed(t, b, [][]string{{"z"}, {"z", "w"}})
+	wantA := topKeys(t, a, 10)
+	// Spill alpha (save + close its log), mutate beta, revive alpha: the
+	// revive must replay only alpha's tail and reproduce its rankings.
+	spilled, err := a.Spill()
+	if err != nil || !spilled {
+		t.Fatalf("Spill = %v, %v", spilled, err)
+	}
+	if _, ok := a.WALStats(); ok {
+		t.Fatal("spilled tenant still holds an open WAL")
+	}
+	feed(t, b, [][]string{{"w", "w", "w"}})
+	gotA := topKeys(t, a, 10) // revives transparently
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatalf("revived rankings %v, want %v", gotA, wantA)
+	}
+	if !a.Resident() {
+		t.Fatal("tenant not resident after revive")
+	}
+	wantB := oracleTopK(cfg, 10, func(tr *sigstream.Sharded, km *sigstream.KeyMap) {
+		insert(tr, km, []string{"z"})
+		insert(tr, km, []string{"z", "w"})
+		insert(tr, km, []string{"w", "w", "w"})
+	})
+	gotB, err := b.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatalf("neighbour rankings disturbed:\n got %+v\nwant %+v", gotB, wantB)
+	}
+}
+
+func TestWALAppendFaultNacksAndSkipsApply(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	defer r.Close()
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"kept"}})
+	boom := errors.New("injected append fault")
+	deactivate := fault.Activate(fault.WALAppend, func(int) error { return boom })
+	_, err = tn.Ingest([]string{"lost"})
+	deactivate()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Ingest under append fault = %v, want injected error", err)
+	}
+	// The nacked batch must be neither applied now nor replayed later.
+	if _, ok, err := tn.Query("lost"); err != nil || ok {
+		t.Fatalf("nacked key visible: ok=%v err=%v", ok, err)
+	}
+	if a := tn.Arrivals(); a != 1 {
+		t.Fatalf("Arrivals = %d, want 1", a)
+	}
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	tn2, err := r2.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tn2.Query("lost"); err != nil || ok {
+		t.Fatalf("nacked key replayed: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := tn2.Query("kept"); err != nil || !ok {
+		t.Fatalf("acked key missing after replay: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWALRestoreReplays(t *testing.T) {
+	cfg := walConfig(t)
+	// Donor state to restore from, same geometry as the tenant's.
+	donor := sigstream.NewSharded(cfg.Tracker, cfg.Shards)
+	donor.Insert(sigstream.HashKey("donor-key"))
+	img, err := donor.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(cfg)
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"overwritten"}})
+	if err := tn.RestoreImage(img); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"after-restore"}})
+	want := topKeys(t, tn, 10)
+	// Recover from the log alone: replay must apply batch, restore, batch
+	// in order — the restore record swaps trackers at its logged position.
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	tn2, err := r2.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topKeys(t, tn2, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restore replay rankings %v, want %v", got, want)
+	}
+	if _, ok, err := tn2.Query("overwritten"); err != nil || ok {
+		t.Fatalf("pre-restore key survived replay: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWALDiskBoundedAcrossSaves(t *testing.T) {
+	cfg := walConfig(t)
+	cfg.WALSegmentBytes = 256
+	r := NewRegistry(cfg)
+	defer r.Close()
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last wal.Stats
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := 0; i < 30; i++ {
+			feed(t, tn, [][]string{{fmt.Sprintf("cycle-%d-key-%02d", cycle, i)}})
+		}
+		if _, err := tn.Save(); err != nil {
+			t.Fatal(err)
+		}
+		st, ok := tn.WALStats()
+		if !ok {
+			t.Fatal("no WAL stats")
+		}
+		// Retention keeps snapshot.DefaultRetain cuts; segments below the
+		// oldest retained cut are deleted, so the on-disk set stays bounded
+		// by the retention window no matter how many cycles run.
+		if st.Segments > 24 {
+			t.Fatalf("cycle %d: %d segments on disk, disk unbounded: %+v",
+				cycle, st.Segments, st)
+		}
+		last = st
+	}
+	if last.Truncations == 0 {
+		t.Fatalf("no segment was ever truncated: %+v", last)
+	}
+	if last.Rotations < 6 {
+		t.Fatalf("Rotations = %d, want at least one per save", last.Rotations)
+	}
+}
+
+func TestWALWithoutSnapshotsReplaysWhole(t *testing.T) {
+	cfg := walConfig(t)
+	cfg.Dir = "" // WAL-only durability
+	r := NewRegistry(cfg)
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"only", "wal"}, {"only"}})
+	want := topKeys(t, tn, 10)
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	tn2, err := r2.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topKeys(t, tn2, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("wal-only replay rankings %v, want %v", got, want)
+	}
+}
+
+func TestWALDeleteRemovesLog(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	defer r.Close()
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tn, [][]string{{"gone"}})
+	if err := r.Delete("acme"); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh registry must not resurrect the deleted tenant's data.
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	if _, err := r2.Get("acme"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted tenant re-registered: %v", err)
+	}
+	tn2, err := r2.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tn2.Query("gone"); err != nil || ok {
+		t.Fatalf("deleted tenant's data replayed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWALPinnedDefaultReplay(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	def, err := r.Pin(DefaultNamespace, PinOptions{Tracker: cfg.Tracker, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, def, [][]string{{"pinned", "pinned", "other"}})
+	want := topKeys(t, def, 10)
+	// New process: Pin replays the default namespace's log from zero.
+	r2 := NewRegistry(cfg)
+	defer r2.Close()
+	def2, err := r2.Pin(DefaultNamespace, PinOptions{Tracker: cfg.Tracker, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topKeys(t, def2, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pinned replay rankings %v, want %v", got, want)
+	}
+	// Layer snapshots on: recoverPinned must rebuild snapshot + tail with
+	// the same result, not double-apply.
+	if err := r2.AttachDir(cfg.Dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := topKeys(t, def2, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-AttachDir rankings %v, want %v", got, want)
+	}
+	if a := def2.Arrivals(); a != 3 {
+		t.Fatalf("Arrivals = %d, want 3 (double replay?)", a)
+	}
+}
+
+func TestWALStatsSurface(t *testing.T) {
+	cfg := walConfig(t)
+	r := NewRegistry(cfg)
+	defer r.Close()
+	tn, err := r.GetOrCreate("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tn.WALStats(); ok {
+		t.Fatal("non-resident tenant reports WAL stats")
+	}
+	feed(t, tn, [][]string{{"a"}, {"b"}})
+	st, ok := tn.WALStats()
+	if !ok {
+		t.Fatal("resident WAL-enabled tenant reports no stats")
+	}
+	if st.Appends != 2 || st.Syncs == 0 || st.DiskBytes == 0 {
+		t.Fatalf("unexpected WAL stats: %+v", st)
+	}
+}

@@ -1,0 +1,661 @@
+// Package wal is an append-only write-ahead log of accepted tracker
+// mutations: insert batches, period boundaries and state restores. The
+// serving layer appends a record before acknowledging the mutation, so a
+// crash — even kill -9 — loses nothing a client was told succeeded:
+// recovery replays the log tail over the newest snapshot and lands on
+// bit-identical state.
+//
+// Durability contract: Append returns only after the record is on disk
+// and fsynced. With Options.SyncInterval ≤ 0 every append fsyncs inline;
+// with a positive interval appends are group-committed — concurrent
+// appends coalesce into one fsync taken at most SyncInterval after the
+// first waiter arrived, so a burst of producers pays one disk flush, and
+// no append waits longer than roughly the interval. Either way an
+// acknowledged record survives; a crash between fsyncs can only drop
+// records whose Append had not yet returned.
+//
+// The log is a directory of segment files (wal-<seq>.swal, zero-padded
+// hexadecimal so lexical order is age order), each a concatenation of
+// CRC32-trailed frames (format in record.go). Rotate seals the active
+// segment and opens the next; the returned boundary is the snapshot cut:
+// a snapshot taken immediately after a rotation covers exactly the
+// records in segments below the cut, so TruncateBefore(cut) bounds disk
+// without losing anything the snapshot does not already hold. Replay
+// walks segments at or above a cut in order and stops at the first
+// invalid frame — the torn, never-acknowledged tail of a crash — which
+// Open also trims so later appends land on a valid frame boundary.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigstream/internal/fault"
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".swal"
+
+	// DefaultSegmentBytes is the rotation threshold when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 8 << 20
+)
+
+// ErrClosed reports an operation against a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options tunes a Log.
+type Options struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+	// SyncInterval is the group-commit batching window: ≤ 0 fsyncs every
+	// append inline; positive coalesces appends into one fsync taken at
+	// most this long after the first waiter arrived.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it would exceed this
+	// size (default DefaultSegmentBytes). A single oversized record still
+	// lands whole — segments bound typical size, they are not a record
+	// limit.
+	SegmentBytes int64
+	// Logger receives torn-tail trims and truncation failures (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// Stats is a point-in-time snapshot of the log's counters, for /v1/stats
+// and /metrics exposition.
+type Stats struct {
+	// Appends counts acknowledged (durable) record appends.
+	Appends uint64
+	// AppendedBytes counts frame bytes written by acknowledged appends.
+	AppendedBytes uint64
+	// Syncs counts fsyncs taken; under group commit this is the measure
+	// of how well appends coalesce (Appends/Syncs is the batch factor).
+	Syncs uint64
+	// Rotations counts sealed segments.
+	Rotations uint64
+	// Truncations counts segment files deleted by TruncateBefore.
+	Truncations uint64
+	// Segments is the number of segment files on disk, active included.
+	Segments int
+	// ActiveSegment is the sequence number of the segment appends land in.
+	ActiveSegment uint64
+	// DiskBytes is the total size of all segment files on disk.
+	DiskBytes int64
+}
+
+// commit is one group-commit batch: every append since the previous fsync
+// waits on done and reads err after it closes.
+type commit struct {
+	done chan struct{}
+	err  error
+}
+
+// Log is an append-only segmented record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir      string
+	interval time.Duration
+	segBytes int64
+	logger   *slog.Logger
+
+	// mu guards the active file, segment bookkeeping and the pending
+	// group-commit batch. No channel operation happens while it is held:
+	// waiters block on their commit after releasing it, and resolved
+	// commits are closed by the holder after unlocking.
+	mu      sync.Mutex
+	f       *os.File
+	seg     uint64 // active segment sequence
+	size    int64  // active segment size
+	pending *commit
+	closed  bool
+
+	kick chan struct{} // wakes the group-commit goroutine; buffered(1)
+	stop chan struct{}
+	done chan struct{}
+
+	appends, appendedBytes        atomic.Uint64
+	syncs, rotations, truncations atomic.Uint64
+	segCount                      atomic.Int64
+	diskBytes                     atomic.Int64
+}
+
+// segName renders the segment file name for a sequence number.
+func segName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix)
+}
+
+// parseSeg extracts the sequence number from a segment file name,
+// reporting false for names that are not segment files.
+func parseSeg(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the segment sequence numbers in dir, ascending.
+// A missing directory lists empty.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeg(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Open opens (or creates) the log at opts.Dir and resumes appending to
+// the newest segment. A torn tail — the half-written frame a crash
+// mid-append leaves behind — is trimmed with a logged reason so the next
+// append lands on a valid frame boundary; nothing acknowledged is ever
+// behind a tear, because acknowledgement required the fsync to finish.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: no directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	segBytes := opts.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	l := &Log{
+		dir:      opts.Dir,
+		interval: opts.SyncInterval,
+		segBytes: segBytes,
+		logger:   logger,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	seqs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range seqs {
+		if info, err := os.Stat(filepath.Join(opts.Dir, segName(seq))); err == nil {
+			l.diskBytes.Add(info.Size())
+		}
+	}
+	l.segCount.Store(int64(len(seqs)))
+	if len(seqs) == 0 {
+		if err := l.createSegment(0); err != nil {
+			return nil, err
+		}
+	} else {
+		l.seg = seqs[len(seqs)-1]
+		if err := l.openActive(); err != nil {
+			return nil, err
+		}
+	}
+	if l.interval > 0 {
+		go l.run()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// createSegment creates and opens segment seq as the active file and
+// fsyncs the directory so the file's existence survives power loss.
+func (l *Log) createSegment(seq uint64) error {
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(l.dir)
+	l.f, l.seg, l.size = f, seq, 0
+	l.segCount.Add(1)
+	return nil
+}
+
+// openActive opens the newest existing segment for appending, trimming a
+// torn tail first.
+func (l *Log) openActive() error {
+	path := filepath.Join(l.dir, segName(l.seg))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, scanErr := Scan(data, nil)
+	if valid < len(data) {
+		l.logger.Warn("wal: trimming torn tail",
+			"segment", segName(l.seg), "valid_bytes", valid,
+			"torn_bytes", len(data)-valid, "reason", scanErr)
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return fmt.Errorf("wal: trim torn tail: %w", err)
+		}
+		l.diskBytes.Add(int64(valid - len(data)))
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f, l.size = f, int64(valid)
+	return nil
+}
+
+// Append writes one record payload and returns once it is durable. Under
+// group commit the call blocks until the batch's shared fsync completes —
+// at most roughly SyncInterval plus the flush itself. An error means the
+// record is NOT durable and the caller must not acknowledge the mutation;
+// the log itself stays usable (a torn partial write is rolled back so the
+// next append lands on a frame boundary).
+func (l *Log) Append(payload []byte) error {
+	frame := encodeFrame(payload)
+	var sealed *commit
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.size > 0 && l.size+int64(len(frame)) > l.segBytes {
+		var err error
+		sealed, err = l.rotateLocked()
+		if err != nil {
+			l.mu.Unlock()
+			release(sealed)
+			return err
+		}
+	}
+	if err := l.writeLocked(frame); err != nil {
+		l.mu.Unlock()
+		release(sealed)
+		return err
+	}
+	if l.interval <= 0 {
+		err := l.syncLocked()
+		l.mu.Unlock()
+		release(sealed)
+		if err != nil {
+			return err
+		}
+		l.appends.Add(1)
+		l.appendedBytes.Add(uint64(len(frame)))
+		return nil
+	}
+	c := l.pending
+	if c == nil {
+		c = &commit{done: make(chan struct{})}
+		l.pending = c
+	}
+	l.mu.Unlock()
+	release(sealed)
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	<-c.done
+	if c.err != nil {
+		return c.err
+	}
+	l.appends.Add(1)
+	l.appendedBytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// release closes a resolved group-commit batch, waking its waiters. Called
+// only with mu released.
+func release(c *commit) {
+	if c != nil {
+		close(c.done)
+	}
+}
+
+// writeLocked appends one frame to the active segment, or — under an
+// injected append fault — tears it: half the frame lands and the tear is
+// rolled back with Truncate so the next append stays on a valid frame
+// boundary, exactly the on-disk state a crash mid-append leaves for
+// recovery to trim. Caller holds mu.
+func (l *Log) writeLocked(frame []byte) error {
+	if err := fault.Inject(fault.WALAppend, 0); err != nil {
+		_, _ = l.f.Write(frame[:len(frame)/2])
+		l.rollbackLocked()
+		return fmt.Errorf("wal: append %s: %w", l.f.Name(), err)
+	}
+	n, err := l.f.Write(frame)
+	if err != nil {
+		l.rollbackLocked()
+		return fmt.Errorf("wal: append %s: %w", l.f.Name(), err)
+	}
+	l.size += int64(n)
+	l.diskBytes.Add(int64(n))
+	return nil
+}
+
+// rollbackLocked truncates the active segment back to the last valid
+// frame boundary after a failed append. If even the truncate fails the
+// log is closed — appending past a torn frame would strand every later
+// record behind an unreadable tear.
+func (l *Log) rollbackLocked() {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.logger.Error("wal: cannot roll back torn append; closing log",
+			"segment", segName(l.seg), "err", err)
+		l.closed = true
+	}
+}
+
+// syncLocked fsyncs the active segment (injection point: fsync failure).
+// Caller holds mu.
+func (l *Log) syncLocked() error {
+	if err := fault.Inject(fault.WALSync, 0); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.f.Name(), err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.f.Name(), err)
+	}
+	l.syncs.Add(1)
+	return nil
+}
+
+// run is the group-commit goroutine: each kick waits out the batching
+// window (letting concurrent appends pile onto the pending commit), then
+// flushes. On stop it flushes once more so no waiter is stranded.
+func (l *Log) run() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stop:
+			l.flush()
+			return
+		case <-l.kick:
+			if l.interval > 0 {
+				t := time.NewTimer(l.interval)
+				select {
+				case <-t.C:
+				case <-l.stop:
+					t.Stop()
+					l.flush()
+					return
+				}
+			}
+			l.flush()
+		}
+	}
+}
+
+// flush resolves the pending group-commit batch with one fsync.
+func (l *Log) flush() {
+	l.mu.Lock()
+	c := l.pending
+	l.pending = nil
+	var err error
+	if c != nil {
+		err = l.syncLocked()
+	}
+	l.mu.Unlock()
+	if c != nil {
+		c.err = err
+		release(c)
+	}
+}
+
+// Rotate seals the active segment — fsyncing it and resolving any pending
+// group commit — and opens the next one, returning the new active
+// sequence number. That number is the snapshot cut: every record appended
+// before Rotate returned lives in a segment below it, every record after
+// lives at or above it. An empty active segment is already a clean cut
+// and is reused without churn.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.size == 0 && l.pending == nil {
+		seq := l.seg
+		l.mu.Unlock()
+		return seq, nil
+	}
+	sealed, err := l.rotateLocked()
+	seq := l.seg
+	l.mu.Unlock()
+	release(sealed)
+	if err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// rotateLocked seals the active segment and opens the next. It returns
+// the pending group-commit batch — already resolved with the seal's
+// fsync outcome — for the caller to release once mu is dropped. On error
+// the old segment stays active. Caller holds mu.
+func (l *Log) rotateLocked() (sealed *commit, err error) {
+	if err := fault.Inject(fault.WALRotate, 0); err != nil {
+		return nil, fmt.Errorf("wal: rotate %s: %w", segName(l.seg), err)
+	}
+	sealed = l.pending
+	l.pending = nil
+	syncErr := l.syncLocked()
+	if sealed != nil {
+		sealed.err = syncErr
+	}
+	if syncErr != nil {
+		return sealed, syncErr
+	}
+	old := l.f
+	if err := l.createSegment(l.seg + 1); err != nil {
+		l.f = old // keep appending to the sealed segment
+		return sealed, err
+	}
+	if err := old.Close(); err != nil {
+		l.logger.Warn("wal: closing sealed segment failed", "err", err)
+	}
+	l.rotations.Add(1)
+	return sealed, nil
+}
+
+// TruncateBefore deletes every segment with a sequence number below cut,
+// never the active one. Failures are logged, not returned: truncation is
+// housekeeping after a successful snapshot and must never fail the save
+// that triggered it.
+func (l *Log) TruncateBefore(cut uint64) {
+	l.mu.Lock()
+	active := l.seg
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return
+	}
+	if cut > active {
+		cut = active
+	}
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		l.logger.Warn("wal: truncate listing failed", "err", err)
+		return
+	}
+	for _, seq := range seqs {
+		if seq >= cut {
+			break
+		}
+		path := filepath.Join(l.dir, segName(seq))
+		var size int64
+		if info, err := os.Stat(path); err == nil {
+			size = info.Size()
+		}
+		if err := os.Remove(path); err != nil {
+			l.logger.Warn("wal: truncate failed", "segment", segName(seq), "err", err)
+			continue
+		}
+		l.truncations.Add(1)
+		l.segCount.Add(-1)
+		l.diskBytes.Add(-size)
+	}
+}
+
+// Replay walks every segment at or above from, oldest first, decoding
+// records in log order into fn. It returns the number of records applied.
+// The scan stops cleanly — with a logged reason, not an error — at the
+// first invalid frame: that is the torn, never-acknowledged tail of a
+// crash. A gap in the segment sequence also stops replay (with a louder
+// log), since records past a missing segment are not contiguous history.
+// fn's error aborts the replay and is returned.
+//
+// Replay holds the log's lock, so it cannot race appends; call it before
+// serving traffic.
+func (l *Log) Replay(from uint64, fn func(Record) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	expect := uint64(0)
+	haveExpect := false
+	for _, seq := range seqs {
+		if seq < from {
+			continue
+		}
+		if haveExpect && seq != expect {
+			l.logger.Error("wal: segment gap, replay stops",
+				"want", segName(expect), "found", segName(seq))
+			return applied, nil
+		}
+		expect, haveExpect = seq+1, true
+		data, err := os.ReadFile(filepath.Join(l.dir, segName(seq)))
+		if err != nil {
+			return applied, fmt.Errorf("wal: replay: %w", err)
+		}
+		var fnErr error
+		valid, scanErr := Scan(data, func(payload []byte) error {
+			rec, err := DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			if err := fn(rec); err != nil {
+				fnErr = err
+				return err
+			}
+			applied++
+			return nil
+		})
+		if fnErr != nil {
+			return applied, fnErr
+		}
+		if valid < len(data) {
+			if seq != l.seg {
+				l.logger.Error("wal: torn frame in a sealed segment, replay stops",
+					"segment", segName(seq), "reason", scanErr)
+			} else {
+				l.logger.Warn("wal: replay stopped at torn tail",
+					"segment", segName(seq), "reason", scanErr)
+			}
+			return applied, nil
+		}
+	}
+	return applied, nil
+}
+
+// Sync forces an fsync of the active segment now, resolving any pending
+// group commit first.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	c := l.pending
+	l.pending = nil
+	err := l.syncLocked()
+	l.mu.Unlock()
+	if c != nil {
+		c.err = err
+		release(c)
+	}
+	return err
+}
+
+// Close stops the group-commit goroutine, takes a final fsync and closes
+// the active segment. Appends after Close fail with ErrClosed. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	// The run goroutine has exited; resolve any batch that raced in
+	// between its final flush and the closed flag.
+	l.mu.Lock()
+	c := l.pending
+	l.pending = nil
+	err := l.syncLocked()
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	if c != nil {
+		c.err = err
+		release(c)
+	}
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	seg := l.seg
+	l.mu.Unlock()
+	return Stats{
+		Appends:       l.appends.Load(),
+		AppendedBytes: l.appendedBytes.Load(),
+		Syncs:         l.syncs.Load(),
+		Rotations:     l.rotations.Load(),
+		Truncations:   l.truncations.Load(),
+		Segments:      int(l.segCount.Load()),
+		ActiveSegment: seg,
+		DiskBytes:     l.diskBytes.Load(),
+	}
+}
+
+// syncDir fsyncs dir so a created segment's directory entry survives
+// power loss. Best effort, mirroring internal/snapshot.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

@@ -1,0 +1,440 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sigstream/internal/fault"
+)
+
+// openT opens a log in a fresh temp dir and closes it on cleanup.
+func openT(t *testing.T, opts Options) (*Log, string) {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, opts.Dir
+}
+
+// replayAll collects every record at or above from.
+func replayAll(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var recs []Record
+	n, err := l.Replay(from, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(recs) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(recs))
+	}
+	return recs
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	cases := []Record{
+		{Type: RecordBatch, Keys: []string{"a", "bb", "", "日本語"}},
+		{Type: RecordBatch, Keys: []string{}},
+		{Type: RecordPeriod},
+		{Type: RecordRestore, Image: []byte{1, 2, 3, 0, 255}},
+		{Type: RecordRestore, Image: []byte{}},
+	}
+	for i, want := range cases {
+		var payload []byte
+		switch want.Type {
+		case RecordBatch:
+			payload = EncodeBatch(want.Keys)
+		case RecordPeriod:
+			payload = EncodePeriod()
+		case RecordRestore:
+			payload = EncodeRestore(want.Image)
+		}
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("case %d: DecodeRecord: %v", i, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("case %d: type %d, want %d", i, got.Type, want.Type)
+		}
+		if len(got.Keys) != len(want.Keys) {
+			t.Fatalf("case %d: %d keys, want %d", i, len(got.Keys), len(want.Keys))
+		}
+		for j := range want.Keys {
+			if got.Keys[j] != want.Keys[j] {
+				t.Fatalf("case %d key %d: %q, want %q", i, j, got.Keys[j], want.Keys[j])
+			}
+		}
+		if !bytes.Equal(got.Image, want.Image) {
+			t.Fatalf("case %d: image %v, want %v", i, got.Image, want.Image)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsCorruption(t *testing.T) {
+	bad := [][]byte{
+		nil,                                   // empty
+		{99},                                  // unknown type
+		{RecordBatch},                         // truncated header
+		{RecordBatch, 2, 0, 0, 0},             // declares 2 keys, has none
+		{RecordPeriod, 0},                     // trailing byte
+		append(EncodeBatch([]string{"a"}), 0), // trailing byte after keys
+	}
+	// Forged huge key count must not allocate or loop forever.
+	huge := []byte{RecordBatch, 0xff, 0xff, 0xff, 0xff}
+	bad = append(bad, huge)
+	for i, payload := range bad {
+		if _, err := DecodeRecord(payload); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	l, _ := openT(t, Options{})
+	want := []Record{
+		{Type: RecordBatch, Keys: []string{"x", "y", "x"}},
+		{Type: RecordPeriod},
+		{Type: RecordBatch, Keys: []string{"z"}},
+		{Type: RecordRestore, Image: []byte("image-bytes")},
+	}
+	for _, r := range want {
+		var payload []byte
+		switch r.Type {
+		case RecordBatch:
+			payload = EncodeBatch(r.Keys)
+		case RecordPeriod:
+			payload = EncodePeriod()
+		case RecordRestore:
+			payload = EncodeRestore(r.Image)
+		}
+		if err := l.Append(payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got := replayAll(t, l, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	st := l.Stats()
+	if st.Appends != uint64(len(want)) {
+		t.Fatalf("Appends = %d, want %d", st.Appends, len(want))
+	}
+	if st.Syncs == 0 || st.DiskBytes == 0 || st.Segments != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestReopenAppendsContinue(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	if err := l.Append(EncodeBatch([]string{"before"})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Append(EncodePeriod()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	l2, _ := openT(t, Options{Dir: dir})
+	if err := l2.Append(EncodeBatch([]string{"after"})); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	got := replayAll(t, l2, 0)
+	if len(got) != 2 || got[0].Keys[0] != "before" || got[1].Keys[0] != "after" {
+		t.Fatalf("replay after reopen: %+v", got)
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	l, _ := openT(t, Options{SyncInterval: 20 * time.Millisecond})
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := l.Append(EncodeBatch([]string{fmt.Sprintf("w%d-%d", w, i)})); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != writers*each {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*each)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("group commit did not coalesce: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	if got := replayAll(t, l, 0); len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+}
+
+func TestRotationAndCut(t *testing.T) {
+	l, dir := openT(t, Options{SegmentBytes: 64})
+	// Empty active segment: Rotate is a no-op returning the current cut.
+	cut0, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate empty: %v", err)
+	}
+	if cut0 != 0 {
+		t.Fatalf("empty rotate cut = %d, want 0", cut0)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(EncodeBatch([]string{fmt.Sprintf("key-%02d-padding-padding", i)})); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if st := l.Stats(); st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("small segments did not rotate: %+v", st)
+	}
+	cut, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := l.Append(EncodeBatch([]string{"after-cut"})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Everything before the cut is below it; replay from the cut sees only
+	// the post-cut record.
+	tail := replayAll(t, l, cut)
+	if len(tail) != 1 || tail[0].Keys[0] != "after-cut" {
+		t.Fatalf("replay from cut %d: %+v", cut, tail)
+	}
+	// Truncation below the cut loses nothing at or above it and bounds disk.
+	before := l.Stats()
+	l.TruncateBefore(cut)
+	after := l.Stats()
+	if after.Segments >= before.Segments || after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("truncation freed nothing: before %+v after %+v", before, after)
+	}
+	if got := replayAll(t, l, cut); !reflect.DeepEqual(got, tail) {
+		t.Fatalf("replay changed after truncation: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != after.Segments {
+		t.Fatalf("%d files on disk, stats say %d segments", len(entries), after.Segments)
+	}
+}
+
+func TestDiskBoundedAcrossCycles(t *testing.T) {
+	l, _ := openT(t, Options{SegmentBytes: 128})
+	var peak int64
+	for cycle := 0; cycle < 4; cycle++ {
+		for i := 0; i < 20; i++ {
+			if err := l.Append(EncodeBatch([]string{fmt.Sprintf("c%d-i%02d-padding", cycle, i)})); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		cut, err := l.Rotate()
+		if err != nil {
+			t.Fatalf("Rotate: %v", err)
+		}
+		l.TruncateBefore(cut)
+		st := l.Stats()
+		if st.Segments > 2 {
+			t.Fatalf("cycle %d: %d segments survive truncation", cycle, st.Segments)
+		}
+		if peak == 0 || st.DiskBytes < peak {
+			peak = st.DiskBytes
+		}
+		if st.DiskBytes > 4*peak {
+			t.Fatalf("cycle %d: disk grew unbounded: %d bytes (floor %d)", cycle, st.DiskBytes, peak)
+		}
+	}
+}
+
+func TestTornTailTrimmedAtEveryBoundary(t *testing.T) {
+	// Build a reference segment of three records, then truncate it at every
+	// offset inside the final frame: reopen must trim the tear, keep the
+	// two whole records, and accept new appends on the repaired boundary.
+	ref := t.TempDir()
+	l, _ := openT(t, Options{Dir: ref})
+	whole := [][]byte{EncodeBatch([]string{"one"}), EncodePeriod()}
+	last := EncodeBatch([]string{"torn-victim"})
+	for _, p := range whole {
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	prefixLen := int(l.Stats().DiskBytes)
+	if err := l.Append(last); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full, err := os.ReadFile(filepath.Join(ref, segName(0)))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for cutAt := prefixLen + 1; cutAt < len(full); cutAt++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), full[:cutAt], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		l2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cutAt, err)
+		}
+		if err := l2.Append(EncodeBatch([]string{"revived"})); err != nil {
+			t.Fatalf("cut %d: Append after trim: %v", cutAt, err)
+		}
+		var got []Record
+		if _, err := l2.Replay(0, func(r Record) error { got = append(got, r); return nil }); err != nil {
+			t.Fatalf("cut %d: Replay: %v", cutAt, err)
+		}
+		if len(got) != 3 || got[0].Keys[0] != "one" || got[1].Type != RecordPeriod || got[2].Keys[0] != "revived" {
+			t.Fatalf("cut %d: replay %+v", cutAt, got)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cutAt, err)
+		}
+	}
+}
+
+func TestAppendFaultTearsAndRollsBack(t *testing.T) {
+	l, _ := openT(t, Options{})
+	if err := l.Append(EncodeBatch([]string{"good"})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	boom := errors.New("injected append fault")
+	off := fault.Activate(fault.WALAppend, func(int) error { return boom })
+	err := l.Append(EncodeBatch([]string{"lost"}))
+	off()
+	if !errors.Is(err, boom) {
+		t.Fatalf("faulted Append = %v, want injected error", err)
+	}
+	// The tear was rolled back: the log keeps accepting and replay never
+	// sees the refused record.
+	if err := l.Append(EncodeBatch([]string{"after"})); err != nil {
+		t.Fatalf("Append after fault: %v", err)
+	}
+	got := replayAll(t, l, 0)
+	if len(got) != 2 || got[0].Keys[0] != "good" || got[1].Keys[0] != "after" {
+		t.Fatalf("replay after torn append: %+v", got)
+	}
+}
+
+func TestSyncFaultFailsAppends(t *testing.T) {
+	for _, interval := range []time.Duration{0, 5 * time.Millisecond} {
+		t.Run(fmt.Sprintf("interval=%v", interval), func(t *testing.T) {
+			l, _ := openT(t, Options{SyncInterval: interval})
+			boom := errors.New("injected fsync fault")
+			off := fault.Activate(fault.WALSync, func(int) error { return boom })
+			err := l.Append(EncodeBatch([]string{"unacked"}))
+			off()
+			if !errors.Is(err, boom) {
+				t.Fatalf("Append under fsync fault = %v, want injected error", err)
+			}
+			if err := l.Append(EncodeBatch([]string{"acked"})); err != nil {
+				t.Fatalf("Append after fault cleared: %v", err)
+			}
+			if st := l.Stats(); st.Appends != 1 {
+				t.Fatalf("Appends = %d, want 1 (unacked write must not count)", st.Appends)
+			}
+		})
+	}
+}
+
+func TestRotateFaultKeepsAppending(t *testing.T) {
+	l, _ := openT(t, Options{})
+	if err := l.Append(EncodeBatch([]string{"a"})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	boom := errors.New("injected rotate fault")
+	off := fault.Activate(fault.WALRotate, func(int) error { return boom })
+	_, err := l.Rotate()
+	off()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Rotate under fault = %v, want injected error", err)
+	}
+	// Rotation failed but the log still appends to the old segment.
+	if err := l.Append(EncodeBatch([]string{"b"})); err != nil {
+		t.Fatalf("Append after rotate fault: %v", err)
+	}
+	if got := replayAll(t, l, 0); len(got) != 2 {
+		t.Fatalf("replay: %+v", got)
+	}
+	if st := l.Stats(); st.Rotations != 0 || st.Segments != 1 {
+		t.Fatalf("failed rotation changed segments: %+v", st)
+	}
+}
+
+func TestReplayStopsAtSegmentGap(t *testing.T) {
+	l, dir := openT(t, Options{SegmentBytes: 32})
+	for i := 0; i < 8; i++ {
+		if err := l.Append(EncodeBatch([]string{fmt.Sprintf("key-%d-padpad", i)})); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("want ≥3 segments, got %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Remove a middle segment: replay must stop before it, not skip over.
+	if err := os.Remove(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	l2, _ := openT(t, Options{Dir: dir})
+	var got []Record
+	if _, err := l2.Replay(0, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) == 0 || got[0].Keys[0] != "key-0-padpad" {
+		t.Fatalf("replay lost segment-0 records: %+v", got)
+	}
+	for _, r := range got {
+		if r.Keys[0] == "key-7-padpad" {
+			t.Fatalf("replay skipped over a gap: %+v", got)
+		}
+	}
+}
+
+func TestReplayPropagatesCallbackError(t *testing.T) {
+	l, _ := openT(t, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(EncodePeriod()); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	boom := errors.New("apply failed")
+	seen := 0
+	n, err := l.Replay(0, func(Record) error {
+		seen++
+		if seen == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay = %v, want callback error", err)
+	}
+	if n != 1 {
+		t.Fatalf("Replay applied %d before the error, want 1", n)
+	}
+}
