@@ -4,7 +4,8 @@ GO ?= go
 
 .PHONY: all build test race vet staticcheck lint siglint siglint-escapes \
 	cover bench bench-figures bench-core benchcmp bench-pipeline-smoke \
-	eval eval-paper fuzz fuzz-smoke chaos chaos-wal examples clean
+	bench-mc bench-ingest-smoke eval eval-paper fuzz fuzz-smoke \
+	chaos chaos-wal examples clean
 
 all: build test lint
 
@@ -70,6 +71,21 @@ benchcmp: bench-core
 bench-pipeline-smoke:
 	$(GO) test -run=^$$ -bench=Pipeline -benchtime=100x .
 
+# The wire-ingestion comparison behind BENCH_8.json: the sigbench rig
+# prices text-HTTP vs binary TCP vs pipelined binary over a batch-size
+# sweep on live loopback servers, then the micro-benchmarks pin the
+# per-frame decode and per-transport costs. On a multi-core host, see
+# EXPERIMENTS.md "Multi-core ingest procedure" for the scaling run.
+bench-mc:
+	$(GO) run ./cmd/sigbench -fig ingest
+	$(GO) test -run=^$$ -bench='DecodeBatch|IngestBinaryTCP' -benchmem ./internal/ingest/
+	$(GO) test -run=^$$ -bench='InsertHTTP' -benchmem ./internal/server/
+
+# Fast sanity run of the ingest benchmarks (what CI runs on every push).
+bench-ingest-smoke:
+	$(GO) test -run=^$$ -bench='DecodeBatch|IngestBinaryTCP' -benchtime=100x ./internal/ingest/
+	$(GO) test -run=^$$ -bench='InsertHTTP' -benchtime=100x ./internal/server/
+
 # Regenerate the full evaluation (quick scale) into results/.
 eval:
 	$(GO) run ./cmd/sigbench -fig all -out results > results/quick_all.txt
@@ -85,6 +101,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/traceio/
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot/
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/wal/
+	$(GO) test -fuzz=FuzzIngestDecode -fuzztime=30s ./internal/ingest/
 
 # The quick fuzz pass CI runs on every push (10s per LTC target).
 fuzz-smoke:
@@ -93,6 +110,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzFastmod$$' -fuzztime=10s ./internal/ltc/
 	$(GO) test -run=^$$ -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s ./internal/snapshot/
 	$(GO) test -run=^$$ -fuzz='^FuzzWALDecode$$' -fuzztime=10s ./internal/wal/
+	$(GO) test -run=^$$ -fuzz='^FuzzIngestDecode$$' -fuzztime=10s ./internal/ingest/
 
 # The fault-injection suite under race: worker crash/restart/quarantine,
 # slow-shard shedding, torn snapshots, and the kill -9 recovery round-trip.

@@ -74,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		for _, e := range exp.Registry() {
 			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
 		}
+		fmt.Fprintln(stdout, "  ingest   Wire ingestion throughput: HTTP text vs framed binary TCP")
 		fmt.Fprintln(stdout, "groups: all, paper, ablation, extensions")
 		if *fig == "" && !*list {
 			return fmt.Errorf("no -fig given")
@@ -92,6 +93,24 @@ func run(args []string, stdout io.Writer) error {
 	sc.Seed = *seed
 	if *n > 0 {
 		sc.CAIDA, sc.Network, sc.Social, sc.Zipf = *n, *n, *n, *n
+	}
+
+	if *fig == "ingest" {
+		r, err := ingestFigure(sc)
+		if err != nil {
+			return err
+		}
+		emit(stdout, r, *csv, *doPlot)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, "figingest.csv")
+			if err := os.WriteFile(path, []byte(exp.CSV(r)), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	exps, ok := exp.Expand(*fig)

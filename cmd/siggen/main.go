@@ -1,19 +1,25 @@
 // Command siggen generates the synthetic workloads used by the experiments
 // and writes them as text (one "item period" pair per line) or binary
 // (16-byte header + little-endian uint64 items; see internal/traceio).
+// With -ingest it instead streams the workload live at a sigserver's
+// framed binary ingest listener, period boundaries included.
 //
 // Usage:
 //
 //	siggen -preset caida -n 1000000 > caida.txt
 //	siggen -m 50000 -periods 100 -skew 1.1 -head 500 -window 0.3
+//	siggen -preset network -n 1000000 -ingest localhost:9090 -ingest-window 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"sigstream/internal/gen"
+	"sigstream/internal/ingest"
 	"sigstream/internal/stream"
 	"sigstream/internal/traceio"
 )
@@ -29,6 +35,12 @@ func main() {
 		window  = flag.Float64("window", 0.3, "mean tail active-window fraction")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		binOut  = flag.Bool("bin", false, "binary output (traceio format: header + uint64 LE items)")
+
+		ingestAddr  = flag.String("ingest", "", "stream the workload to this sigserver binary ingest address instead of writing it out")
+		ingestNS    = flag.String("tenant", "", "namespace for -ingest frames (empty = default tenant)")
+		ingestBatch = flag.Int("ingest-batch", 512, "arrivals per -ingest batch frame")
+		ingestWin   = flag.Int("ingest-window", 1, "unacked -ingest frames in flight (1 = synchronous)")
+		ingestUDP   = flag.Bool("ingest-udp", false, "use the UDP fire-and-forget transport for -ingest")
 	)
 	flag.Parse()
 
@@ -50,13 +62,86 @@ func main() {
 	}
 
 	var err error
-	if *binOut {
+	switch {
+	case *ingestAddr != "":
+		err = shipIngest(s, *ingestAddr, *ingestNS, *ingestBatch, *ingestWin, *ingestUDP)
+	case *binOut:
 		err = traceio.WriteBinary(os.Stdout, s)
-	} else {
+	default:
 		err = traceio.WriteText(os.Stdout, s)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "siggen:", err)
 		os.Exit(1)
 	}
+}
+
+// shipIngest replays the stream over the binary ingest protocol: items
+// are rendered as decimal keys (the same rendering a text trace feeds
+// through /v1/insert), batched, and a period frame sent at every period
+// boundary. Over TCP the final Close waits for every ack, so a zero
+// exit means the server applied — and, with a WAL, fsynced — the whole
+// workload.
+func shipIngest(s *stream.Stream, addr, ns string, batch, win int, udp bool) error {
+	if batch < 1 {
+		batch = 1
+	}
+	network := "tcp"
+	if udp {
+		network = "udp"
+	}
+	conn, err := ingest.Dial(addr, ingest.Options{
+		Namespace: ns,
+		Window:    win,
+		Network:   network,
+	})
+	if err != nil {
+		return err
+	}
+	per := s.ItemsPerPeriod()
+	keys := make([]string, 0, batch)
+	flushBatch := func() error {
+		if len(keys) == 0 {
+			return nil
+		}
+		err := conn.Insert(keys...)
+		keys = keys[:0]
+		return err
+	}
+	start := time.Now()
+	for i, it := range s.Items {
+		if i > 0 && per > 0 && i%per == 0 {
+			if err := flushBatch(); err != nil {
+				_ = conn.Close()
+				return err
+			}
+			if err := conn.Period(); err != nil {
+				_ = conn.Close()
+				return err
+			}
+		}
+		keys = append(keys, strconv.FormatUint(it, 10))
+		if len(keys) == batch {
+			if err := flushBatch(); err != nil {
+				_ = conn.Close()
+				return err
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if err := conn.Period(); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if err := conn.Close(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rate := float64(len(s.Items)) / elapsed.Seconds() / 1e6
+	fmt.Fprintf(os.Stderr, "siggen: shipped %d arrivals over %s in %s (%.2f Mitems/s, %d acked)\n",
+		len(s.Items), network, elapsed.Round(time.Millisecond), rate, conn.Accepted())
+	return nil
 }

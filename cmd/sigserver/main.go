@@ -49,6 +49,17 @@
 // snapshots are what truncate the log, so without them it grows without
 // bound.
 //
+// Wire-speed ingest: -ingest-addr opens the framed binary ingest
+// listener (length-prefixed, CRC32-trailered batches of (key, weight)
+// records over persistent TCP; wire format in internal/ingest and the
+// README), which skips HTTP and JSON entirely and decodes batches
+// zero-copy into the tracker's native form. Batches are acked only
+// after the WAL fsync when -wal-dir is set — the same durability
+// contract as /v1/insert. -ingest-udp adds a fire-and-forget UDP
+// listener for lossy telemetry (no acks; drops are counted in
+// sigstream_ingest_udp_drops_total), and -ingest-max-frame caps frame
+// payloads. siggen -ingest streams a workload straight at it.
+//
 // Robustness: request bodies are capped at -max-body (413 beyond it),
 // connections are bounded by -read-timeout/-write-timeout, and with
 // -pipeline the ingest path sheds load with 429 once the rings pass
@@ -110,6 +121,9 @@ func main() {
 	flag.StringVar(&fo.WALDir, "wal-dir", fo.WALDir, "write-ahead log directory; empty disables the WAL")
 	flag.Var(&fo.WALSync, "wal-sync", "WAL group-commit window; 0 fsyncs every insert inline")
 	flag.Int64Var(&fo.WALSegment, "wal-segment", fo.WALSegment, "WAL segment rotation threshold in bytes (0 = default)")
+	flag.StringVar(&fo.IngestAddr, "ingest-addr", fo.IngestAddr, "framed binary ingest TCP listen address; empty disables the listener")
+	flag.StringVar(&fo.IngestUDP, "ingest-udp", fo.IngestUDP, "UDP fire-and-forget ingest listen address; empty disables it")
+	flag.IntVar(&fo.IngestMaxFrame, "ingest-max-frame", fo.IngestMaxFrame, "binary ingest frame payload cap in bytes (0 = default 1 MiB)")
 	flag.Int64Var(&fo.MaxBody, "max-body", fo.MaxBody, "request body cap in bytes (0 = default 32 MiB)")
 	flag.Var(&fo.ReadTimeout, "read-timeout", "per-connection read deadline (0 disables)")
 	flag.Var(&fo.WriteTimeout, "write-timeout", "per-connection write deadline (0 disables)")
@@ -175,6 +189,12 @@ func main() {
 				opts.WALSync = fo.WALSync
 			case "wal-segment":
 				opts.WALSegment = fo.WALSegment
+			case "ingest-addr":
+				opts.IngestAddr = fo.IngestAddr
+			case "ingest-udp":
+				opts.IngestUDP = fo.IngestUDP
+			case "ingest-max-frame":
+				opts.IngestMaxFrame = fo.IngestMaxFrame
 			case "max-body":
 				opts.MaxBody = fo.MaxBody
 			case "read-timeout":
@@ -216,6 +236,15 @@ func main() {
 			log.Fatalf("sigserver: snapshots: %v", err)
 		}
 		logger.Info("snapshots enabled", "dir", opts.SnapshotDir, "interval", opts.SnapshotInterval)
+	}
+	if opts.IngestAddr != "" || opts.IngestUDP != "" {
+		// After recovery: the first binary frame must land on replayed
+		// state, not race it.
+		if err := h.StartIngest(opts.IngestOptions()); err != nil {
+			log.Fatalf("sigserver: ingest: %v", err)
+		}
+		ing := h.Ingest()
+		logger.Info("binary ingest enabled", "tcp", ing.Addr(), "udp", ing.UDPAddr())
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", h)

@@ -1,0 +1,56 @@
+package client
+
+import (
+	"errors"
+	"time"
+
+	"sigstream/internal/ingest"
+)
+
+// IngestOptions configures a binary ingest connection opened by
+// DialIngest.
+type IngestOptions struct {
+	// Namespace is the tenant every frame targets ("" = default).
+	Namespace string
+	// Window is the maximum unacknowledged frames in flight (default 1;
+	// larger windows pipeline batches and amortise the round trip).
+	Window int
+	// UDP switches to the fire-and-forget transport: sends are never
+	// acknowledged and may be silently dropped.
+	UDP bool
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// DialIngest opens a framed binary ingest connection to a sigserver's
+// -ingest-addr listener — the wire-speed alternative to Tenant.Insert
+// for sustained producer streams. The returned Conn's methods surface
+// quota refusals as *ingest.AckError; IngestThrottle translates one into
+// the same *ThrottledError the HTTP paths return, so a producer's
+// backoff loop handles both transports identically.
+func DialIngest(addr string, opts IngestOptions) (*ingest.Conn, error) {
+	network := "tcp"
+	if opts.UDP {
+		network = "udp"
+	}
+	return ingest.Dial(addr, ingest.Options{
+		Namespace:   opts.Namespace,
+		Window:      opts.Window,
+		Network:     network,
+		DialTimeout: opts.DialTimeout,
+	})
+}
+
+// IngestThrottle maps a binary-ingest ack error onto the HTTP client's
+// typed errors: a throttled ack becomes a *ThrottledError carrying the
+// server's Retry-After hint; anything else is returned unchanged.
+func IngestThrottle(err error) error {
+	var ae *ingest.AckError
+	if errors.As(err, &ae) && ae.Throttled() {
+		return &ThrottledError{
+			RetryAfter: ae.RetryAfter,
+			Message:    ae.Error(),
+		}
+	}
+	return err
+}

@@ -50,6 +50,11 @@ const (
 	// the next one; an erroring hook makes rotation — and therefore the
 	// snapshot cut that wanted it — fail while the log keeps appending.
 	WALRotate Point = "wal/rotate"
+	// IngestAccept fires in the binary ingest server after a batch frame
+	// is fully read and decoded but before it is appended to the WAL; an
+	// erroring hook drops the connection without an ack, exactly what a
+	// kill -9 between receive and append looks like to the client.
+	IngestAccept Point = "ingest/accept"
 )
 
 // Hook is one activated fault. arg carries site context — the shard index

@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"strconv"
+	"testing"
+
+	"sigstream/internal/tenant"
+)
+
+// benchKeys renders n distinct decimal keys, the same rendering siggen
+// ships and the trace loader feeds through /v1/insert.
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = strconv.FormatUint(uint64(1_000_000+i%5_000), 10)
+	}
+	return keys
+}
+
+// BenchmarkDecodeBatch is the per-frame hot path in isolation: verify,
+// parse and zero-copy decode one 512-record batch. The -benchmem numbers
+// pin the //sig:noalloc promise end to end.
+func BenchmarkDecodeBatch(b *testing.B) {
+	keys := benchKeys(512)
+	payload, err := AppendBatchPayload(nil, 1, "", keys, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := AppendFrame(nil, payload)
+	sc := &Scratch{}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := VerifyFrame(frame, DefaultMaxFrameBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, records, arrivals, err := ParsePayload(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Grow(records, arrivals)
+		DecodeBatch(p, h, records, sc)
+	}
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds()/1e6, "Mitems/s")
+}
+
+// benchIngest drives one TCP connection at the given window over a live
+// loopback server, one 512-key batch per op.
+func benchIngest(b *testing.B, window int) {
+	s, _ := startServer(b, tenant.Config{})
+	c := dialTCP(b, s, Options{Window: window})
+	defer c.Close()
+	keys := benchKeys(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(keys...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds()/1e6, "Mitems/s")
+}
+
+// BenchmarkIngestBinaryTCP is the synchronous transport: every batch
+// waits for its fsync-backed ack before the next is sent.
+func BenchmarkIngestBinaryTCP(b *testing.B) { benchIngest(b, 1) }
+
+// BenchmarkIngestBinaryTCPPipelined keeps 32 batches in flight, the
+// windowed mode a sustained producer runs.
+func BenchmarkIngestBinaryTCPPipelined(b *testing.B) { benchIngest(b, 32) }

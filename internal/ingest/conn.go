@@ -1,0 +1,289 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options configures a client connection.
+type Options struct {
+	// Namespace is the tenant every frame targets ("" = default).
+	Namespace string
+	// Window is the maximum number of unacknowledged frames in flight
+	// (minimum and default 1 = fully synchronous; larger windows
+	// pipeline batches and amortise the round trip). Ignored over UDP.
+	Window int
+	// Network is "tcp" (default, acked and durable) or "udp"
+	// (fire-and-forget; sends never block on the server and are never
+	// confirmed).
+	Network string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// AckError is a non-OK acknowledgement. Throttled and refused frames
+// leave the connection usable — the batch was not applied, and the
+// caller may retry after RetryAfter; other statuses mean the server is
+// about to drop the connection.
+type AckError struct {
+	// Status is the ack's status byte (StatusThrottled, …).
+	Status byte
+	// Seq is the rejected frame's sequence number. With Window > 1 the
+	// error surfaces on a later call than the one that sent the frame;
+	// Seq says which frame was refused.
+	Seq uint32
+	// RetryAfter is the server's backoff hint (StatusThrottled only).
+	RetryAfter time.Duration
+}
+
+func (e *AckError) Error() string {
+	switch e.Status {
+	case StatusThrottled:
+		return fmt.Sprintf("ingest: frame %d throttled, retry after %s", e.Seq, e.RetryAfter)
+	case StatusBadFrame:
+		return fmt.Sprintf("ingest: frame %d rejected as malformed", e.Seq)
+	case StatusRefused:
+		return fmt.Sprintf("ingest: frame %d refused (bad or deleted namespace)", e.Seq)
+	default:
+		return fmt.Sprintf("ingest: frame %d failed with status %d", e.Seq, e.Status)
+	}
+}
+
+// Throttled reports whether the error is a retryable quota/backpressure
+// refusal.
+func (e *AckError) Throttled() bool { return e.Status == StatusThrottled }
+
+// Conn is a client connection speaking the framed binary protocol. Its
+// methods are safe for concurrent use (serialized internally); frames
+// are sequenced and, over TCP, acknowledged in order.
+type Conn struct {
+	mu       sync.Mutex
+	c        net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	udp      bool
+	ns       string
+	window   int
+	seq      uint32
+	pending  int
+	sticky   error
+	payload  []byte
+	frame    []byte
+	accepted uint64
+}
+
+// Dial connects to a sigserver binary ingest listener.
+func Dial(addr string, opts Options) (*Conn, error) {
+	network := opts.Network
+	if network == "" {
+		network = "tcp"
+	}
+	if network != "tcp" && network != "udp" {
+		return nil, fmt.Errorf("ingest: unsupported network %q", network)
+	}
+	if len(opts.Namespace) > MaxNamespaceBytes {
+		return nil, errBadNS
+	}
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	window := opts.Window
+	if window < 1 {
+		window = 1
+	}
+	conn := &Conn{c: c, udp: network == "udp", ns: opts.Namespace, window: window}
+	if !conn.udp {
+		conn.br = bufio.NewReaderSize(c, 4<<10)
+		conn.bw = bufio.NewWriterSize(c, 64<<10)
+	}
+	return conn, nil
+}
+
+// Insert sends one batch recording one arrival per key, in order.
+func (c *Conn) Insert(keys ...string) error {
+	return c.InsertWeighted(keys, nil)
+}
+
+// InsertWeighted sends one batch of (key, weight) records: weights[i]
+// arrivals of keys[i], in record order (nil weights = all ones). Over
+// TCP a nil return means the batch is acknowledged — or still in flight
+// within the window; call Flush for the hard guarantee. Over UDP the
+// datagram is sent and may be silently dropped.
+func (c *Conn) InsertWeighted(keys []string, weights []uint32) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sticky != nil {
+		return c.sticky
+	}
+	var err error
+	c.payload, err = AppendBatchPayload(c.payload[:0], c.seq, c.ns, keys, weights)
+	if err != nil {
+		return err
+	}
+	return c.sendLocked()
+}
+
+// Period sends a period-boundary frame for the connection's tenant.
+func (c *Conn) Period() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sticky != nil {
+		return c.sticky
+	}
+	var err error
+	c.payload, err = AppendPeriodPayload(c.payload[:0], c.seq, c.ns)
+	if err != nil {
+		return err
+	}
+	return c.sendLocked()
+}
+
+// sendLocked frames c.payload, writes it, and over TCP reads acks until
+// the window has room again. Caller holds c.mu with c.payload built for
+// c.seq.
+func (c *Conn) sendLocked() error {
+	c.seq++
+	c.frame = AppendFrame(c.frame[:0], c.payload)
+	if c.udp {
+		// One frame per datagram; no ack will ever come.
+		_, err := c.c.Write(c.frame)
+		if err != nil {
+			c.sticky = err
+		}
+		return err
+	}
+	if _, err := c.bw.Write(c.frame); err != nil {
+		c.sticky = err
+		return err
+	}
+	c.pending++
+	var ackErr error
+	for c.pending >= c.window {
+		if err := c.readAckLocked(); err != nil {
+			if c.sticky != nil {
+				return err
+			}
+			ackErr = err // retryable refusal; keep draining to the window
+		}
+	}
+	return ackErr
+}
+
+// Flush pushes every buffered frame and, over TCP, waits for all
+// outstanding acks. A nil return means every frame sent so far was
+// applied (and fsynced when the server runs a WAL).
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sticky != nil {
+		return c.sticky
+	}
+	if c.udp {
+		return nil
+	}
+	var ackErr error
+	for c.pending > 0 {
+		if err := c.readAckLocked(); err != nil {
+			if c.sticky != nil {
+				return err
+			}
+			if ackErr == nil {
+				ackErr = err
+			}
+		}
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	return ackErr
+}
+
+// flushLocked pushes the write buffer, making any failure sticky. Caller
+// holds c.mu — the buffered writer is only ever touched under it.
+func (c *Conn) flushLocked() error {
+	if err := c.bw.Flush(); err != nil {
+		c.sticky = err
+		return err
+	}
+	return nil
+}
+
+// readAckLocked flushes pending writes and consumes one ack. I/O and
+// protocol failures become sticky; a non-OK status is returned as an
+// *AckError without poisoning the connection (unless the server is
+// about to drop it anyway).
+func (c *Conn) readAckLocked() error {
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	var buf [AckSize]byte
+	if _, err := io.ReadFull(c.br, buf[:]); err != nil {
+		c.sticky = err
+		return err
+	}
+	a, err := ParseAck(buf[:])
+	if err != nil {
+		c.sticky = err
+		return err
+	}
+	c.pending--
+	if a.Status == StatusOK {
+		c.accepted += uint64(a.Accepted)
+		return nil
+	}
+	aerr := &AckError{Status: a.Status, Seq: a.Seq, RetryAfter: time.Duration(a.RetryAfter) * time.Second}
+	if a.Status != StatusThrottled && a.Status != StatusRefused {
+		c.sticky = aerr
+	}
+	return aerr
+}
+
+// Accepted reports the total weight-expanded arrivals the server has
+// acknowledged on this connection.
+func (c *Conn) Accepted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.accepted
+}
+
+// Close flushes, drains outstanding acks (TCP), and closes the
+// connection. The first ack error, if any, is returned after the close.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ackErr error
+	if c.sticky == nil && !c.udp {
+		for c.pending > 0 {
+			if err := c.readAckLocked(); err != nil {
+				if c.sticky != nil {
+					break
+				}
+				if ackErr == nil {
+					ackErr = err
+				}
+			}
+		}
+		if err := c.flushLocked(); err != nil && ackErr == nil {
+			ackErr = err
+		}
+	}
+	if err := c.c.Close(); err != nil && ackErr == nil {
+		ackErr = err
+	}
+	return ackErr
+}

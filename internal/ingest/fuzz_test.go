@@ -1,0 +1,80 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIngestDecode throws arbitrary bytes at the full server-side decode
+// path — header, CRC, payload structure, batch decode — and checks the
+// invariants that keep a hostile or corrupted producer from crashing the
+// listener: no panics, no out-of-range reads, every accepted frame
+// internally consistent, and the decoded shape bounded by the caps the
+// parser promised.
+func FuzzIngestDecode(f *testing.F) {
+	// Seed corpus: one valid batch, one valid period, and the corruption
+	// classes the protocol must reject — torn frame, forged length,
+	// bit-flip, truncated trailer.
+	valid, _ := AppendBatchPayload(nil, 7, "team-a", []string{"alice", "bob"}, []uint32{1, 3})
+	validFrame := AppendFrame(nil, valid)
+	f.Add(validFrame)
+	period, _ := AppendPeriodPayload(nil, 8, "")
+	f.Add(AppendFrame(nil, period))
+	f.Add(validFrame[:len(validFrame)/2]) // torn mid-payload
+	forged := bytes.Clone(validFrame)
+	forged[5] ^= 0x7f // forged length field
+	f.Add(forged)
+	flipped := bytes.Clone(validFrame)
+	flipped[HeaderSize+3] ^= 0x01 // payload bit-flip
+	f.Add(flipped)
+	f.Add(validFrame[:len(validFrame)-TrailerSize+1]) // truncated trailer
+	f.Add([]byte(FrameMagic))                         // bare magic, no length
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := VerifyFrame(data, DefaultMaxFrameBytes)
+		if err != nil {
+			return
+		}
+		// VerifyFrame accepted: the payload must sit inside the frame.
+		if len(p) > len(data)-HeaderSize-TrailerSize {
+			t.Fatalf("payload longer than frame: %d > %d", len(p), len(data))
+		}
+		h, records, arrivals, err := ParsePayload(p)
+		if err != nil {
+			return
+		}
+		if arrivals > MaxBatchArrivals {
+			t.Fatalf("parse admitted %d arrivals past the cap", arrivals)
+		}
+		if h.Type == TypePeriod {
+			if records != 0 || arrivals != 0 {
+				t.Fatalf("period with records=%d arrivals=%d", records, arrivals)
+			}
+			return
+		}
+		sc := &Scratch{}
+		sc.Grow(records, arrivals)
+		DecodeBatch(p, h, records, sc)
+		if len(sc.Keys) != records || len(sc.Weights) != records {
+			t.Fatalf("decoded %d/%d records, parser said %d",
+				len(sc.Keys), len(sc.Weights), records)
+		}
+		if len(sc.Items) != arrivals {
+			t.Fatalf("decoded %d items, parser said %d arrivals", len(sc.Items), arrivals)
+		}
+		total := 0
+		for i, k := range sc.Keys {
+			if len(k) == 0 {
+				t.Fatalf("record %d decoded with an empty key", i)
+			}
+			if sc.Weights[i] == 0 {
+				t.Fatalf("record %d decoded with zero weight", i)
+			}
+			total += int(sc.Weights[i])
+		}
+		if total != arrivals {
+			t.Fatalf("weights sum to %d, parser said %d", total, arrivals)
+		}
+	})
+}

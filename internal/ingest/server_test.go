@@ -1,0 +1,344 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sigstream"
+	"sigstream/internal/tenant"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// startServer boots a registry with a pinned default tenant and an
+// ingest listener on loopback, both torn down with the test.
+func startServer(t testing.TB, rcfg tenant.Config) (*Server, *tenant.Registry) {
+	t.Helper()
+	if rcfg.Tracker.MemoryBytes == 0 {
+		rcfg.Tracker.MemoryBytes = 1 << 14
+	}
+	if rcfg.Logger == nil {
+		rcfg.Logger = quietLogger()
+	}
+	reg := tenant.NewRegistry(rcfg)
+	if _, err := reg.Pin(tenant.DefaultNamespace, tenant.PinOptions{
+		Tracker: sigstream.Config{MemoryBytes: 1 << 14},
+		Shards:  1,
+	}); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	s, err := Start(Config{
+		Addr:     "127.0.0.1:0",
+		UDPAddr:  "127.0.0.1:0",
+		Registry: reg,
+		Logger:   quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = s.Close()
+		_ = reg.Close()
+	})
+	return s, reg
+}
+
+func dialTCP(t testing.TB, s *Server, opts Options) *Conn {
+	t.Helper()
+	c, err := Dial(s.Addr().String(), opts)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return c
+}
+
+// waitFor polls until cond holds, failing the test after two seconds —
+// for the UDP paths, which are fire-and-forget and settle asynchronously.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestServerTCPInsertAndPeriod(t *testing.T) {
+	s, reg := startServer(t, tenant.Config{})
+	c := dialTCP(t, s, Options{})
+	if err := c.Insert("alpha", "beta", "alpha"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := c.InsertWeighted([]string{"alpha"}, []uint32{5}); err != nil {
+		t.Fatalf("InsertWeighted: %v", err)
+	}
+	if err := c.Period(); err != nil {
+		t.Fatalf("Period: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := c.Accepted(); got != 8 {
+		t.Fatalf("Accepted = %d, want 8", got)
+	}
+
+	def, err := reg.Get(tenant.DefaultNamespace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := def.Arrivals(); a != 8 {
+		t.Fatalf("tenant arrivals = %d, want 8", a)
+	}
+	if p := def.Periods(); p != 1 {
+		t.Fatalf("tenant periods = %d, want 1", p)
+	}
+	// Weighted and repeated arrivals are the same stream: alpha has 7.
+	e, ok, err := def.Query("alpha")
+	if err != nil || !ok {
+		t.Fatalf("Query(alpha): ok=%v err=%v", ok, err)
+	}
+	if e.Frequency != 7 {
+		t.Fatalf("alpha frequency = %d, want 7", e.Frequency)
+	}
+
+	st := s.Stats()
+	if st.ConnsTotal != 1 || st.Frames != 3 || st.Batches != 2 ||
+		st.Arrivals != 8 || st.Periods != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes == 0 {
+		t.Fatalf("no wire bytes counted")
+	}
+}
+
+func TestServerPipelinedWindow(t *testing.T) {
+	s, reg := startServer(t, tenant.Config{})
+	c := dialTCP(t, s, Options{Window: 8})
+	const batches = 64
+	for i := 0; i < batches; i++ {
+		if err := c.Insert("k1", "k2", "k3"); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := c.Accepted(); got != batches*3 {
+		t.Fatalf("Accepted = %d, want %d", got, batches*3)
+	}
+	def, _ := reg.Get(tenant.DefaultNamespace)
+	if a := def.Arrivals(); a != batches*3 {
+		t.Fatalf("tenant arrivals = %d, want %d", a, batches*3)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestServerNamespaceRouting(t *testing.T) {
+	s, reg := startServer(t, tenant.Config{})
+	c := dialTCP(t, s, Options{Namespace: "team-a"})
+	if err := c.Insert("x", "y"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	tn, err := reg.Get("team-a")
+	if err != nil {
+		t.Fatalf("namespace was not auto-created: %v", err)
+	}
+	if a := tn.Arrivals(); a != 2 {
+		t.Fatalf("team-a arrivals = %d, want 2", a)
+	}
+	def, _ := reg.Get(tenant.DefaultNamespace)
+	if a := def.Arrivals(); a != 0 {
+		t.Fatalf("default tenant got %d arrivals, want 0", a)
+	}
+}
+
+func TestServerThrottleAck(t *testing.T) {
+	// Quota of 4/sec with a burst of 4: the first batch of 4 passes, the
+	// next is throttled with a retry hint; the connection stays usable.
+	s, _ := startServer(t, tenant.Config{QuotaPerSec: 4, QuotaBurst: 4})
+	c := dialTCP(t, s, Options{Namespace: "ratelimited"})
+	if err := c.Insert("a", "b", "c", "d"); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	err := c.Insert("e", "f", "g", "h")
+	var ae *AckError
+	if !errors.As(err, &ae) || !ae.Throttled() {
+		t.Fatalf("second batch err = %v, want throttled AckError", err)
+	}
+	if ae.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want ≥ 1s", ae.RetryAfter)
+	}
+	// The refusal is per-frame: a period still goes through.
+	if err := c.Period(); err != nil {
+		t.Fatalf("Period after throttle: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := s.Stats(); st.Throttled != 1 {
+		t.Fatalf("Throttled = %d, want 1", st.Throttled)
+	}
+}
+
+func TestServerRefusedNamespace(t *testing.T) {
+	// "UPPER" passes the wire-level length check but fails the registry's
+	// ValidNamespace, so the server answers StatusRefused and keeps the
+	// connection.
+	s, _ := startServer(t, tenant.Config{})
+	c := dialTCP(t, s, Options{Namespace: "UPPER"})
+	err := c.Insert("k")
+	var ae *AckError
+	if !errors.As(err, &ae) || ae.Status != StatusRefused {
+		t.Fatalf("err = %v, want refused AckError", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := s.Stats(); st.Refused != 1 {
+		t.Fatalf("Refused = %d, want 1", st.Refused)
+	}
+}
+
+func TestServerBadFrameDropsConnection(t *testing.T) {
+	s, _ := startServer(t, tenant.Config{})
+	raw, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	payload, err := AppendBatchPayload(nil, 1, "", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := AppendFrame(nil, payload)
+	frame[len(frame)-1] ^= 0xff // corrupt the CRC
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// Framing trust is lost: the server closes without an ack.
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after bad frame = %v, want EOF", err)
+	}
+	if st := s.Stats(); st.BadFrames != 1 {
+		t.Fatalf("BadFrames = %d, want 1", st.BadFrames)
+	}
+}
+
+func TestServerOversizeHeaderDropsConnection(t *testing.T) {
+	s, _ := startServer(t, tenant.Config{})
+	raw, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var hdr [HeaderSize]byte
+	copy(hdr[:], FrameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], DefaultMaxFrameBytes+1)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after oversize header = %v, want EOF", err)
+	}
+}
+
+func TestServerUDPApplyAndDrops(t *testing.T) {
+	s, reg := startServer(t, tenant.Config{})
+	c, err := Dial(s.UDPAddr().String(), Options{Network: "udp"})
+	if err != nil {
+		t.Fatalf("Dial udp: %v", err)
+	}
+	defer c.Close()
+	if err := c.Insert("u1", "u2"); err != nil {
+		t.Fatalf("udp Insert: %v", err)
+	}
+	if err := c.Period(); err != nil {
+		t.Fatalf("udp Period: %v", err)
+	}
+	def, _ := reg.Get(tenant.DefaultNamespace)
+	waitFor(t, "udp arrivals", func() bool {
+		return def.Arrivals() == 2 && def.Periods() == 1
+	})
+
+	// A corrupt datagram is silently discarded and counted.
+	raw, err := net.Dial("udp", s.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("not a frame at all")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "udp drop counter", func() bool {
+		return s.Stats().UDPDrops == 1
+	})
+	if st := s.Stats(); st.UDPFrames != 3 {
+		t.Fatalf("UDPFrames = %d, want 3", st.UDPFrames)
+	}
+}
+
+func TestServerGracefulDrain(t *testing.T) {
+	s, reg := startServer(t, tenant.Config{})
+	c := dialTCP(t, s, Options{})
+	if err := c.Insert("drained"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain the idle connection")
+	}
+	// The acked insert survived the drain.
+	def, _ := reg.Get(tenant.DefaultNamespace)
+	if a := def.Arrivals(); a != 1 {
+		t.Fatalf("arrivals after drain = %d, want 1", a)
+	}
+	_ = c.Close()
+	if s.Stats().Conns != 0 {
+		t.Fatalf("open conns after drain: %d", s.Stats().Conns)
+	}
+}
+
+// TestREADMEProtocolContract pins the README's protocol documentation to
+// the implementation: the magics, the fixed sizes, the default payload
+// cap and the serving flags must all appear in the protocol section, so
+// the wire format cannot drift undocumented.
+func TestREADMEProtocolContract(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+	for _, want := range []string{
+		FrameMagic, AckMagic,
+		"`-ingest-addr`", "`-ingest-udp`",
+		"CRC32", "1 MiB",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("README protocol section is missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// BenchmarkInsertHTTP exercises the /v1/insert handler at the ServeHTTP
+// level, one 512-key batch per op — the path the request-scratch pool
+// (insertPool) serves. Run with -benchmem: the pool's effect is the
+// allocs/op column, which no longer scales with body size or key count.
+func BenchmarkInsertHTTP(b *testing.B) {
+	s := New(Config{MemoryBytes: 64 << 10, Shards: 1, Logger: quietLogger()})
+	defer s.Close()
+	var sb strings.Builder
+	for i := 0; i < 512; i++ {
+		sb.WriteString(strconv.FormatUint(uint64(1_000_000+i%5_000), 10))
+		sb.WriteByte('\n')
+	}
+	body := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/insert", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds()/1e6, "Mitems/s")
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sigstream/internal/fault"
+	"sigstream/internal/ingest"
+)
+
+// TestChaosIngestCrashMidBatch is the binary transport's durability
+// contract under kill -9: every batch acknowledged over TCP was fsynced
+// to the WAL first, so a crash — simulated here by abandoning the server
+// without any shutdown and injecting a connection drop mid-batch via the
+// ingest/accept fault point — must recover exactly the acked prefix.
+// The batch in flight when the "process died" was never acked, so it
+// must be absent; per-tenant rankings must come back bit-identical.
+func TestChaosIngestCrashMidBatch(t *testing.T) {
+	base := t.TempDir()
+	a := New(walConfig(base))
+	srvA := httptest.NewServer(a)
+	if err := a.StartIngest(IngestConfig{Addr: "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Ingest().Addr().String()
+
+	def, err := ingest.Dial(addr, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brv, err := ingest.Dial(addr, ingest.Options{Namespace: "bravo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The acknowledged prefix: weighted and repeated arrivals, a period
+	// boundary, and a second tenant's stream, all over the wire.
+	if err := def.InsertWeighted([]string{"key-a", "key-b"}, []uint32{5, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := def.Period(); err != nil {
+		t.Fatal(err)
+	}
+	if err := def.Insert("key-a", "key-c", "key-c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := brv.Insert("b1", "b2", "b2", "b3", "b3", "b3"); err != nil {
+		t.Fatal(err)
+	}
+
+	preDef := mustTop(t, srvA.URL, 5)
+	preBravo := decode[[]entryJSON](t, get(t, srvA.URL+"/v1/t/bravo/top?k=3"))
+	preStats := decode[statsResponse](t, get(t, srvA.URL+"/v1/stats"))
+
+	// The crash: the fault point fires after the frame is fully received
+	// but before the WAL append, dropping the connection without an ack —
+	// exactly what a kill -9 between receive and fsync looks like to the
+	// client.
+	deactivate := fault.Activate(fault.IngestAccept, func(int) error {
+		return fmt.Errorf("injected crash before append")
+	})
+	err = def.Insert("doomed")
+	deactivate()
+	if err == nil {
+		t.Fatal("batch cut down mid-flight was acknowledged")
+	}
+
+	srvA.Close() // kill -9: no Close, no drain, no final snapshot
+
+	b := New(walConfig(base))
+	srvB := httptest.NewServer(b)
+	t.Cleanup(func() { srvB.Close(); _ = b.Close() })
+	waitForStatus(t, srvB.URL+"/readyz", http.StatusOK)
+
+	gotDef := mustTop(t, srvB.URL, 5)
+	requireSameRanking(t, gotDef, preDef)
+	for _, e := range gotDef {
+		if e.Key == "doomed" {
+			t.Fatalf("unacked batch replayed after crash: %+v", e)
+		}
+	}
+	requireSameRanking(t,
+		decode[[]entryJSON](t, get(t, srvB.URL+"/v1/t/bravo/top?k=3")), preBravo)
+
+	gotStats := decode[statsResponse](t, get(t, srvB.URL+"/v1/stats"))
+	if gotStats.Arrivals != preStats.Arrivals || gotStats.Periods != preStats.Periods {
+		t.Fatalf("recovered %d arrivals/%d periods, want %d/%d",
+			gotStats.Arrivals, gotStats.Periods, preStats.Arrivals, preStats.Periods)
+	}
+
+	_ = def.Close()
+	_ = brv.Close()
+}
+
+// TestChaosIngestDrainOnClose checks the graceful half: a server Close
+// with a live binary connection drains it — the close completes, the
+// acked stream survives into the final snapshot, and the metrics
+// registry still answers.
+func TestChaosIngestDrainOnClose(t *testing.T) {
+	base := t.TempDir()
+	a := New(walConfig(base))
+	srvA := httptest.NewServer(a)
+	if err := a.StartIngest(IngestConfig{Addr: "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ingest.Dial(a.Ingest().Addr().String(), ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Insert("survivor", "survivor"); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := readAll(get(t, srvA.URL+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"sigstream_ingest_connections",
+		"sigstream_ingest_frames_total",
+		"sigstream_ingest_arrivals_total",
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Fatalf("/metrics missing %q after StartIngest", series)
+		}
+	}
+	preKill := mustTop(t, srvA.URL, 2)
+	srvA.Close()
+	if err := a.Close(); err != nil { // graceful: drains ingest before tenants
+		t.Fatalf("Close with a live ingest conn: %v", err)
+	}
+	_ = conn.Close()
+
+	b := New(walConfig(base))
+	srvB := httptest.NewServer(b)
+	t.Cleanup(func() { srvB.Close(); _ = b.Close() })
+	waitForStatus(t, srvB.URL+"/readyz", http.StatusOK)
+	requireSameRanking(t, mustTop(t, srvB.URL, 2), preKill)
+}

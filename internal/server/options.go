@@ -120,6 +120,15 @@ type Options struct {
 	// WALSegment is the WAL segment rotation threshold in bytes, 0 =
 	// default (-wal-segment).
 	WALSegment int64 `json:"wal_segment"`
+	// IngestAddr is the framed binary ingest TCP listen address; empty
+	// disables the listener (-ingest-addr).
+	IngestAddr string `json:"ingest_addr"`
+	// IngestUDP is the UDP fire-and-forget ingest listen address; empty
+	// disables it (-ingest-udp).
+	IngestUDP string `json:"ingest_udp"`
+	// IngestMaxFrame caps a binary ingest frame's payload in bytes, 0 =
+	// default 1 MiB (-ingest-max-frame).
+	IngestMaxFrame int `json:"ingest_max_frame"`
 	// MaxBody caps request bodies in bytes, 0 = default 32 MiB
 	// (-max-body).
 	MaxBody int64 `json:"max_body"`
@@ -233,6 +242,9 @@ func (o Options) Validate() error {
 	if o.MaxBody < 0 {
 		return fmt.Errorf("max_body must be non-negative, got %d", o.MaxBody)
 	}
+	if o.IngestMaxFrame < 0 {
+		return fmt.Errorf("ingest_max_frame must be non-negative, got %d", o.IngestMaxFrame)
+	}
 	for _, d := range []struct {
 		name string
 		v    Duration
@@ -283,6 +295,17 @@ func (o Options) ServerConfig(logger *slog.Logger) Config {
 		PipelineRestartBudget: o.RestartBudget,
 		ShedHighWater:         o.ShedHighWater,
 		Logger:                logger,
+	}
+}
+
+// IngestOptions translates the resolved Options into the binary ingest
+// listener configuration for StartIngest; meaningful only when
+// IngestAddr or IngestUDP is non-empty.
+func (o Options) IngestOptions() IngestConfig {
+	return IngestConfig{
+		Addr:          o.IngestAddr,
+		UDPAddr:       o.IngestUDP,
+		MaxFrameBytes: o.IngestMaxFrame,
 	}
 }
 

@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"sigstream"
+	"sigstream/internal/ingest"
 	"sigstream/internal/obs"
 	"sigstream/internal/tenant"
 )
@@ -234,6 +235,8 @@ type Server struct {
 	restoring atomic.Bool // startup recovery in progress (/readyz gates on it)
 	sheds     atomic.Uint64
 	snapsOn   atomic.Bool // StartSnapshots completed
+
+	ingest *ingest.Server // binary ingest listener (nil before StartIngest)
 
 	closeOnce sync.Once
 	closed    atomic.Bool
@@ -468,6 +471,45 @@ func (s *Server) StartSnapshots(cfg SnapshotConfig) error {
 	return nil
 }
 
+// IngestConfig configures the framed binary ingest listener (wire
+// protocol in internal/ingest).
+type IngestConfig struct {
+	// Addr is the TCP listen address ("" disables TCP).
+	Addr string
+	// UDPAddr is the UDP fire-and-forget listen address ("" disables UDP).
+	UDPAddr string
+	// MaxFrameBytes caps a frame's payload length (1 MiB when zero).
+	MaxFrameBytes int
+}
+
+// StartIngest opens the binary ingest listener against the server's
+// tenant registry and registers its sigstream_ingest_* metrics. Call it
+// once, after New — and after StartSnapshots, so recovery finishes
+// before the first frame lands. Close drains the listener before the
+// tenants shut down, so every acked frame reaches the WAL.
+func (s *Server) StartIngest(cfg IngestConfig) error {
+	if s.ingest != nil {
+		return errors.New("server: ingest already started")
+	}
+	ing, err := ingest.Start(ingest.Config{
+		Addr:          cfg.Addr,
+		UDPAddr:       cfg.UDPAddr,
+		Registry:      s.tenants,
+		MaxFrameBytes: cfg.MaxFrameBytes,
+		Logger:        s.logger,
+	})
+	if err != nil {
+		return err
+	}
+	s.ingest = ing
+	s.reg.Register(obs.CollectorFunc(ing.Collect))
+	return nil
+}
+
+// Ingest exposes the running binary ingest listener so embedding
+// programs can read its address and counters; nil before StartIngest.
+func (s *Server) Ingest() *ingest.Server { return s.ingest }
+
 // SnapshotNow forces one checkpoint of the default tenant to disk
 // outside the periodic cadence — returning the written file name — and
 // flushes every other dirty tenant. It fails if StartSnapshots has not
@@ -497,6 +539,14 @@ func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
+		// Drain the binary listener first: frames fully received before
+		// the close are processed and acked while the tenants (and their
+		// WALs) are still up; later frames are never acked.
+		if s.ingest != nil {
+			if ierr := s.ingest.Close(); ierr != nil {
+				s.logger.Warn("server: ingest close failed", "err", ierr)
+			}
+		}
 		err = s.tenants.Close()
 	})
 	return err
@@ -616,28 +666,53 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, tn *tenant
 		httpError(w, http.StatusTooManyRequests, "ingest queue at high-water mark, retry later")
 		return
 	}
-	body, ok := s.readBody(w, r)
+	// The body buffer and batch slices are pooled: a steady producer
+	// stream stops allocating per request, and the parsed key views feed
+	// IngestWire without ever materialising per-key strings (names are
+	// copied only on an intern miss).
+	sc := insertPool.Get().(*insertScratch)
+	defer insertPool.Put(sc)
+	var ok bool
+	sc.body, ok = s.readBodyInto(w, r, sc.body[:0])
 	if !ok {
 		return
 	}
-	lines := bytes.Split(body, []byte{'\n'})
-	keys := make([]string, 0, len(lines))
-	for _, line := range lines {
+	sc.keys, sc.items = sc.keys[:0], sc.items[:0]
+	rest := sc.body
+	for len(rest) > 0 {
+		line := rest
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = nil
+		}
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
 		}
 		if len(line) == 0 {
 			continue
 		}
-		keys = append(keys, string(line))
+		sc.keys = append(sc.keys, line)
+		sc.items = append(sc.items, sigstream.HashKeyBytes(line))
 	}
-	n, err := tn.Ingest(keys)
+	n, err := tn.IngestWire(tenant.WireBatch{Keys: sc.keys, Items: sc.items})
 	if err != nil {
 		s.tenantError(w, err)
 		return
 	}
 	writeJSON(w, map[string]uint64{"inserted": uint64(n)})
 }
+
+// insertScratch is the pooled per-request state of handleInsert. keys
+// alias body; items carry the pre-hashed arrivals. IngestWire retains
+// none of it, so the scratch recycles as soon as the handler returns.
+type insertScratch struct {
+	body  []byte
+	keys  [][]byte
+	items []sigstream.Item
+}
+
+var insertPool = sync.Pool{New: func() any { return new(insertScratch) }}
 
 func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request, tn *tenant.Tenant) {
 	periods, err := tn.EndPeriod()
@@ -994,18 +1069,45 @@ func (s *Server) collectTenants(w *obs.Writer) {
 // any other failure into 400. The bool reports whether the caller may
 // proceed.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	return s.readBodyInto(w, r, nil)
+}
+
+// readBodyInto is readBody appending into a caller-owned (typically
+// pooled) buffer, so hot handlers reuse one allocation across requests.
+func (s *Server) readBodyInto(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, bool) {
+	body, err := appendAll(buf, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			httpError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("body exceeds %d byte limit", mbe.Limit))
-			return nil, false
+			return body, false
 		}
 		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
-		return nil, false
+		return body, false
 	}
 	return body, true
+}
+
+// appendAll reads r to EOF, appending into dst (io.ReadAll with a
+// caller-owned buffer).
+func appendAll(dst []byte, r io.Reader) ([]byte, error) {
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 4096)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

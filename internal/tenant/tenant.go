@@ -463,6 +463,76 @@ func (t *Tenant) Ingest(keys []string) (int, error) {
 	return len(keys), nil
 }
 
+// WireBatch is one decoded ingest batch in the tenant's native currency:
+// Keys and Weights are the distinct records in frame order (nil Weights
+// means every record has weight 1) and Items is the weight-expanded,
+// pre-hashed arrival sequence — the caller guarantees Items holds
+// sigstream.HashKeyBytes of each key, repeated that key's weight, in
+// record order, and that every weight is at least 1. Decoders build all
+// three in pooled buffers; IngestWire never retains any of the slices
+// (the WAL encoder copies the key bytes, the pipeline copies Items), so
+// the caller may recycle them the moment the call returns.
+type WireBatch struct {
+	Keys    [][]byte
+	Weights []uint32
+	Items   []sigstream.Item
+}
+
+// IngestWire records b's arrivals, in order, with exactly Ingest's quota,
+// WAL and apply discipline: charge one token per arrival, append one
+// RecordBatch holding the weight-expanded key sequence (bit-identical to
+// what Ingest would log for the same arrivals), note key names on first
+// sight, and feed Items to the pipeline or tracker. With a WAL a
+// successful return means the batch is fsynced; on error nothing was
+// logged or applied.
+func (t *Tenant) IngestWire(b WireBatch) (int, error) {
+	if len(b.Items) == 0 {
+		return 0, nil
+	}
+	if err := t.acquire(); err != nil {
+		return 0, err
+	}
+	defer t.mu.RUnlock()
+	if !t.pinned && t.reg.cfg.QuotaPerSec > 0 {
+		if retry, ok := t.allow(len(b.Items)); !ok {
+			t.quotaDenials.Add(1)
+			t.reg.quotaDenied.Add(1)
+			return 0, &QuotaError{RetryAfter: retry}
+		}
+	}
+	if t.wal != nil {
+		// Append and apply under the WAL gate, so a snapshot cut can
+		// never land between a batch's record and its tracker effect.
+		t.walMu.RLock()
+		defer t.walMu.RUnlock()
+		if err := t.wal.Append(wal.EncodeBatchRecords(b.Keys, b.Weights)); err != nil {
+			return 0, fmt.Errorf("tenant %s: %w", t.ns, err)
+		}
+	}
+	t.keysMu.Lock()
+	cursor := 0
+	for i, k := range b.Keys {
+		t.keys.Note(b.Items[cursor], k)
+		if b.Weights != nil {
+			cursor += int(b.Weights[i])
+		} else {
+			cursor++
+		}
+	}
+	t.keysMu.Unlock()
+	if t.pipeline != nil {
+		if err := t.pipeline.Submit(b.Items); err != nil {
+			return 0, err
+		}
+	} else {
+		t.tracker.InsertBatch(b.Items)
+	}
+	t.arrivals.Add(uint64(len(b.Items)))
+	t.dirty.Store(true)
+	t.touch()
+	return len(b.Items), nil
+}
+
 // EndPeriod closes the tenant's current period and reports the new
 // period count. For a pipelined tenant the rings are flushed first, so
 // the boundary lands after every previously accepted insert. With a WAL

@@ -79,6 +79,41 @@ func EncodeBatch(keys []string) []byte {
 	return buf
 }
 
+// EncodeBatchRecords renders a weighted wire batch as a RecordBatch
+// payload. The record format has no weight field — a record with weight w
+// is written as w repetitions of its key — so logs written by the binary
+// ingest path decode with the same DecodeRecord, replay through the same
+// path, and stay bit-identical to what EncodeBatch would have produced
+// for the expanded key sequence. weights == nil means every record has
+// weight 1. The caller is responsible for bounding the total expansion
+// (the ingest decoder caps arrivals per frame well under maxRecordKeys).
+func EncodeBatchRecords(keys [][]byte, weights []uint32) []byte {
+	total := 0
+	size := 5
+	for i, k := range keys {
+		w := 1
+		if weights != nil {
+			w = int(weights[i])
+		}
+		total += w
+		size += w * (4 + len(k))
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, RecordBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(total))
+	for i, k := range keys {
+		w := 1
+		if weights != nil {
+			w = int(weights[i])
+		}
+		for ; w > 0; w-- {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+			buf = append(buf, k...)
+		}
+	}
+	return buf
+}
+
 // EncodePeriod renders a period boundary as a record payload.
 func EncodePeriod() []byte { return []byte{RecordPeriod} }
 

@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncodeBatchRecordsEquivalence pins the binary-ingest WAL encoding
+// to the HTTP path's: a weighted record set must produce exactly the
+// bytes EncodeBatch produces for the weight-expanded key sequence, so
+// logs from either transport replay through one decoder, bit-identical.
+func TestEncodeBatchRecordsEquivalence(t *testing.T) {
+	keys := [][]byte{[]byte("alice"), []byte("bob"), []byte("carol")}
+	weights := []uint32{2, 1, 3}
+	expanded := []string{"alice", "alice", "bob", "carol", "carol", "carol"}
+	got := EncodeBatchRecords(keys, weights)
+	want := EncodeBatch(expanded)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("weighted encoding diverges from expanded encoding:\n got %x\nwant %x", got, want)
+	}
+
+	// nil weights = all ones.
+	got = EncodeBatchRecords(keys, nil)
+	want = EncodeBatch([]string{"alice", "bob", "carol"})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("unit-weight encoding diverges:\n got %x\nwant %x", got, want)
+	}
+
+	// And the round trip decodes to the expanded sequence.
+	rec, err := DecodeRecord(EncodeBatchRecords(keys, weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecordBatch || len(rec.Keys) != len(expanded) {
+		t.Fatalf("decoded %d keys of type %d", len(rec.Keys), rec.Type)
+	}
+	for i, k := range expanded {
+		if rec.Keys[i] != k {
+			t.Fatalf("key %d = %q, want %q", i, rec.Keys[i], k)
+		}
+	}
+}

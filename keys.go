@@ -9,9 +9,16 @@ import (
 // accidental collisions are negligible for realistic key sets (~2^-64 per
 // pair × pairs).
 func HashKey(key string) Item {
-	b := []byte(key)
-	lo := hashing.NewBob(0x5eed0001).Hash(b)
-	hi := hashing.NewBob(0x5eed0002).Hash(b)
+	return HashKeyBytes([]byte(key))
+}
+
+// HashKeyBytes is HashKey for a raw byte key. It exists so wire decoders
+// (the binary ingest protocol, the pooled JSON insert path) can hash keys
+// straight out of a network buffer without materialising a string first;
+// HashKeyBytes(b) == HashKey(string(b)) for every b.
+func HashKeyBytes(key []byte) Item {
+	lo := hashing.NewBob(0x5eed0001).Hash(key)
+	hi := hashing.NewBob(0x5eed0002).Hash(key)
 	return uint64(hi)<<32 | uint64(lo)
 }
 
@@ -34,6 +41,17 @@ func (m *KeyMap) Intern(key string) Item {
 		m.names[it] = key
 	}
 	return it
+}
+
+// Note remembers key as the string behind an already-hashed item. It is
+// the byte-slice complement of Intern for callers that computed the Item
+// with HashKeyBytes: the string copy is made only on first sight, so a
+// hot key costs one map probe and zero allocations after its first
+// arrival. The caller must pass item == HashKeyBytes(key).
+func (m *KeyMap) Note(item Item, key []byte) {
+	if _, ok := m.names[item]; !ok {
+		m.names[item] = string(key)
+	}
 }
 
 // Lookup returns the string behind item, if interned.
