@@ -29,8 +29,9 @@ staticcheck:
 		|| echo "staticcheck not installed; skipping"
 
 # The full lint surface: go vet, staticcheck (if installed), the
-# repo-specific analyzers, and the zero-alloc hot-path gate.
-lint: vet staticcheck siglint siglint-escapes
+# repo-specific analyzers, the zero-alloc hot-path gate, and the
+# suppression audit.
+lint: vet staticcheck siglint siglint-escapes siglint-suppressions
 
 # Repo-specific analyzers (see DESIGN.md "Static analysis").
 siglint:
@@ -39,6 +40,10 @@ siglint:
 # Verify every //sig:noalloc function compiles without heap escapes.
 siglint-escapes:
 	$(GO) run ./cmd/siglint -escapes ./...
+
+# Audit every //siglint:ignore; stale suppressions fail the build.
+siglint-suppressions:
+	$(GO) run ./cmd/siglint -suppressions
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -7,6 +7,7 @@
 //	siglint -list            list the analyzers
 //	siglint -run floateq     run a single analyzer
 //	siglint -escapes ./...   verify //sig:noalloc functions stay heap-free
+//	siglint -suppressions    audit every //siglint:ignore (stale ones fail)
 //
 // siglint always analyzes the entire module containing the working
 // directory (the analyzers are cross-package by design); a trailing
@@ -39,10 +40,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("siglint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		escapes = fs.Bool("escapes", false, "check //sig:noalloc functions for heap escapes instead of running the analyzers")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		runOnly = fs.String("run", "", "run only the named analyzer")
-		rootDir = fs.String("C", "", "module root (default: walk up from the working directory)")
+		escapes  = fs.Bool("escapes", false, "check //sig:noalloc functions for heap escapes instead of running the analyzers")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		runOnly  = fs.String("run", "", "run only the named analyzer")
+		rootDir  = fs.String("C", "", "module root (default: walk up from the working directory)")
+		suppress = fs.Bool("suppressions", false, "report every //siglint:ignore with file and reason; stale ones exit 1")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *escapes {
 		return runEscapes(root, stdout, stderr)
+	}
+	if *suppress {
+		return runSuppressions(root, stdout, stderr)
 	}
 
 	analyzers := analysis.Analyzers()
@@ -118,6 +123,39 @@ func runEscapes(root string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "siglint: %d //sig:noalloc function(s) allocation-free\n", len(funcs))
+	return 0
+}
+
+// runSuppressions audits every //siglint:ignore in the module: each is
+// listed with its file, line and reason, and ones that no longer cover
+// any finding are marked stale and fail the run — a suppression without
+// a live finding is a lie about the code.
+func runSuppressions(root string, stdout, stderr io.Writer) int {
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "siglint:", err)
+		return 2
+	}
+	sups := analysis.Suppressions(prog, analysis.Analyzers())
+	stale := 0
+	for _, s := range sups {
+		pos := s.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil &&
+			!filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			pos.Filename = rel
+		}
+		mark := ""
+		if !s.Used {
+			mark = " [STALE]"
+			stale++
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s%s\n", pos.Filename, pos.Line, s.Reason, mark)
+	}
+	if stale > 0 {
+		fmt.Fprintf(stderr, "siglint: %d stale suppression(s) of %d\n", stale, len(sups))
+		return 1
+	}
+	fmt.Fprintf(stdout, "siglint: %d suppression(s), none stale\n", len(sups))
 	return 0
 }
 

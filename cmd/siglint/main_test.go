@@ -11,7 +11,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("siglint -list = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"mixedatomic", "lockblock", "floateq", "kindswitch", "errdrop"} {
+	for _, name := range []string{
+		"mixedatomic", "lockblock", "lockorder", "goleak",
+		"floateq", "kindswitch", "errdrop", "contractdrift",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing %s:\n%s", name, out.String())
 		}
@@ -25,6 +28,25 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Errorf("stderr = %q, want an unknown-analyzer message", errOut.String())
+	}
+}
+
+// TestSuppressionsReport runs the -suppressions audit over the suppress
+// fixture: the two reasoned ignores there cover live findings, so none
+// is stale and the mode exits 0.
+func TestSuppressionsReport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", "../../internal/analysis/testdata/suppress", "-suppressions"}, &out, &errOut); code != 0 {
+		t.Fatalf("siglint -suppressions = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "none stale") {
+		t.Errorf("stdout = %q, want a none-stale summary", out.String())
+	}
+	if strings.Contains(out.String(), "[STALE]") {
+		t.Errorf("stdout = %q, fixture suppressions should all be live", out.String())
+	}
+	if strings.Count(out.String(), "\n") == 0 {
+		t.Errorf("stdout = %q, want the suppression list", out.String())
 	}
 }
 

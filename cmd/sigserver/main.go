@@ -140,74 +140,12 @@ func main() {
 		}
 		opts = loaded
 		// Re-apply every flag the operator set explicitly: flags beat the
-		// config file field by field, not wholesale.
+		// config file field by field, not wholesale. ApplyFlag maps the
+		// flag name to its Options field through the JSON tag, so every
+		// flag bound above is covered without a parallel switch here
+		// (-config itself has no Options field and is a no-op).
 		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "addr":
-				opts.Addr = fo.Addr
-			case "mem":
-				opts.MemoryBytes = fo.MemoryBytes
-			case "alpha":
-				opts.Alpha = fo.Alpha
-			case "beta":
-				opts.Beta = fo.Beta
-			case "shards":
-				opts.Shards = fo.Shards
-			case "decay":
-				opts.Decay = fo.Decay
-			case "slow":
-				opts.Slow = fo.Slow
-			case "log-level":
-				opts.LogLevel = fo.LogLevel
-			case "pprof":
-				opts.Pprof = fo.Pprof
-			case "pipeline":
-				opts.Pipeline = fo.Pipeline
-			case "pipeline-ring":
-				opts.PipelineRing = fo.PipelineRing
-			case "snapshot-dir":
-				opts.SnapshotDir = fo.SnapshotDir
-			case "snapshot-interval":
-				opts.SnapshotInterval = fo.SnapshotInterval
-			case "snapshot-retain":
-				opts.SnapshotRetain = fo.SnapshotRetain
-			case "tenant-mem":
-				opts.TenantMem = fo.TenantMem
-			case "tenant-budget":
-				opts.TenantBudget = fo.TenantBudget
-			case "tenant-quota":
-				opts.TenantQuota = fo.TenantQuota
-			case "tenant-burst":
-				opts.TenantBurst = fo.TenantBurst
-			case "tenant-idle":
-				opts.TenantIdle = fo.TenantIdle
-			case "tenant-max":
-				opts.TenantMax = fo.TenantMax
-			case "wal-dir":
-				opts.WALDir = fo.WALDir
-			case "wal-sync":
-				opts.WALSync = fo.WALSync
-			case "wal-segment":
-				opts.WALSegment = fo.WALSegment
-			case "ingest-addr":
-				opts.IngestAddr = fo.IngestAddr
-			case "ingest-udp":
-				opts.IngestUDP = fo.IngestUDP
-			case "ingest-max-frame":
-				opts.IngestMaxFrame = fo.IngestMaxFrame
-			case "max-body":
-				opts.MaxBody = fo.MaxBody
-			case "read-timeout":
-				opts.ReadTimeout = fo.ReadTimeout
-			case "write-timeout":
-				opts.WriteTimeout = fo.WriteTimeout
-			case "shed-highwater":
-				opts.ShedHighWater = fo.ShedHighWater
-			case "restart-budget":
-				opts.RestartBudget = fo.RestartBudget
-			case "drain-timeout":
-				opts.DrainTimeout = fo.DrainTimeout
-			}
+			opts.ApplyFlag(f.Name, fo)
 		})
 	}
 	if err := opts.Validate(); err != nil {

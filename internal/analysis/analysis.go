@@ -58,9 +58,12 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MixedAtomic,
 		LockBlock,
+		LockOrder,
+		GoLeak,
 		FloatEq,
 		KindSwitch,
 		ErrDrop,
+		ContractDrift,
 	}
 }
 
@@ -108,7 +111,67 @@ func (s suppressions) covers(pos token.Position) bool {
 // form). A suppression with no reason is reported as a finding instead of
 // taking effect.
 func collectSuppressions(p *Program) (suppressions, []Finding) {
+	entries, bad := suppressionEntries(p)
 	sup := suppressions{}
+	for _, e := range entries {
+		lines := sup[e.Pos.Filename]
+		if lines == nil {
+			lines = map[int]bool{}
+			sup[e.Pos.Filename] = lines
+		}
+		lines[e.Pos.Line] = true
+		lines[e.Pos.Line+1] = true
+	}
+	return sup, bad
+}
+
+// Suppression is one //siglint:ignore comment in the tree, with whether
+// any raw finding still needs it.
+type Suppression struct {
+	// Pos locates the comment.
+	Pos token.Position
+	// Reason is the mandatory justification text.
+	Reason string
+	// Used reports whether the suppression covers at least one finding
+	// the analyzers would otherwise emit. A suppression that covers
+	// nothing is stale and should be deleted.
+	Used bool
+}
+
+// Suppressions runs the analyzers without applying suppressions and
+// reports every reasoned //siglint:ignore with whether it still covers a
+// finding — the audit behind `siglint -suppressions`.
+func Suppressions(p *Program, analyzers []*Analyzer) []Suppression {
+	entries, _ := suppressionEntries(p)
+	var raw []Finding
+	for _, a := range analyzers {
+		raw = append(raw, a.Run(p)...)
+	}
+	out := make([]Suppression, len(entries))
+	for i, e := range entries {
+		out[i] = e
+		for _, f := range raw {
+			if f.Pos.Filename == e.Pos.Filename &&
+				(f.Pos.Line == e.Pos.Line || f.Pos.Line == e.Pos.Line+1) {
+				out[i].Used = true
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// suppressionEntries scans every file's comments for //siglint:ignore,
+// returning the reasoned entries and a finding per reasonless one.
+func suppressionEntries(p *Program) ([]Suppression, []Finding) {
+	var entries []Suppression
 	var bad []Finding
 	for _, pkg := range p.Packages {
 		for _, file := range pkg.Files {
@@ -129,18 +192,12 @@ func collectSuppressions(p *Program) (suppressions, []Finding) {
 						})
 						continue
 					}
-					lines := sup[pos.Filename]
-					if lines == nil {
-						lines = map[int]bool{}
-						sup[pos.Filename] = lines
-					}
-					lines[pos.Line] = true
-					lines[pos.Line+1] = true
+					entries = append(entries, Suppression{Pos: pos, Reason: reason})
 				}
 			}
 		}
 	}
-	return sup, bad
+	return entries, bad
 }
 
 // identOf unwraps parenthesized identifiers; it returns nil for anything

@@ -1,0 +1,54 @@
+package analysis
+
+// Shared call-graph plumbing for the whole-module concurrency analyzers
+// (lockorder, goleak). Both need to follow a call from its site to the
+// function declaration it lands on, across package boundaries, using
+// nothing but the type-checker's object tables.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// declSite is one function or method declared in the module, with the
+// package whose type info describes its body.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// moduleFuncs maps every function and method declared in the module
+// (with a body) to its declaration site.
+func moduleFuncs(p *Program) map[*types.Func]declSite {
+	out := map[*types.Func]declSite{}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = declSite{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeOf resolves a call expression to the concrete function object it
+// invokes: a plain function call or a method call on a concrete receiver.
+// Interface dispatch and calls through function values return nil — the
+// analyzers treat those conservatively at each use site.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

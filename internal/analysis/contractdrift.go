@@ -1,0 +1,537 @@
+package analysis
+
+// contractdrift diffs the contracts the code exports against the
+// documentation that promises them, in both directions. Four surfaces
+// are extracted from source:
+//
+//   - metric families: the first string-literal argument of every
+//     Counter/Gauge/Histogram registration starting with "sigstream_";
+//   - wire magics: string constants shaped like SWL1 (three capitals,
+//     one digit);
+//   - the HTTP route table: the package-level `routeTable` slice;
+//   - the error envelope codes: the package-level `ErrorCodes` map.
+//
+// Docs are README.md, OPERATIONS.md and DESIGN.md at the module root
+// (missing files are skipped; route and error tables live in README.md
+// only). A metric token in the docs may end in `*`, documenting every
+// family with that prefix; a token ending in `_` is a prose fragment and
+// claims nothing. Histogram families are documented by their base name
+// or any of the _bucket/_count/_sum series. Everything the source
+// exports must be documented, and everything the docs promise must still
+// exist — an undocumented metric and a stale table row are both
+// findings. Doc-side findings carry the doc file position; they cannot
+// be suppressed inline, only fixed.
+//
+// This one generated check replaces the hand-written README contract
+// tests for routes, error codes and the ingest protocol.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+const contractDriftName = "contractdrift"
+
+var ContractDrift = &Analyzer{
+	Name: contractDriftName,
+	Doc:  "metric names, wire magics, the route table and error codes stay in sync with README/OPERATIONS/DESIGN",
+	Run:  runContractDrift,
+}
+
+// contractDocNames are the documentation files searched, relative to the
+// module root.
+var contractDocNames = []string{"README.md", "OPERATIONS.md", "DESIGN.md"}
+
+var (
+	metricTokenRe = regexp.MustCompile(`sigstream_[a-z0-9_]*\*?`)
+	magicConstRe  = regexp.MustCompile(`^[A-Z]{3}[0-9]$`)
+	magicTokenRe  = regexp.MustCompile(`\b[A-Z]{3}[0-9]\b`)
+	routeRowRe    = regexp.MustCompile("^\\|\\s*`(GET|POST|PUT|PATCH|DELETE)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
+	errorRowRe    = regexp.MustCompile("^\\|\\s*`([a-z_]+)`\\s*\\|\\s*([0-9]{3})\\s*\\|")
+)
+
+// docSite is one token occurrence in a documentation file.
+type docSite struct {
+	pos token.Position
+}
+
+// contractDocs is the parsed documentation side of the diff.
+type contractDocs struct {
+	present bool // at least one doc file exists
+	readme  bool // README.md exists (route/error tables live there)
+
+	metricExact map[string][]docSite // exact metric tokens
+	metricGlob  map[string][]docSite // prefix tokens (trailing * stripped)
+	magics      map[string][]docSite
+	routes      map[[2]string]docSite // {method, pattern} → first row
+	errors      map[string]docSite    // "code name" → first row
+}
+
+func runContractDrift(p *Program) []Finding {
+	docs := loadContractDocs(p.Root)
+	if !docs.present {
+		return nil
+	}
+	var out []Finding
+	out = append(out, driftMetrics(p, docs)...)
+	out = append(out, driftMagics(p, docs)...)
+	out = append(out, driftRoutes(p, docs)...)
+	out = append(out, driftErrors(p, docs)...)
+	return out
+}
+
+// loadContractDocs scans the documentation files for metric tokens,
+// magic tokens, route rows and error rows.
+func loadContractDocs(root string) *contractDocs {
+	d := &contractDocs{
+		metricExact: map[string][]docSite{},
+		metricGlob:  map[string][]docSite{},
+		magics:      map[string][]docSite{},
+		routes:      map[[2]string]docSite{},
+		errors:      map[string]docSite{},
+	}
+	for _, name := range contractDocNames {
+		path := filepath.Join(root, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		d.present = true
+		isReadme := name == "README.md"
+		if isReadme {
+			d.readme = true
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			at := func(col int) docSite {
+				return docSite{pos: token.Position{Filename: path, Line: i + 1, Column: col + 1}}
+			}
+			seen := map[string]bool{}
+			for _, m := range metricTokenRe.FindAllStringIndex(line, -1) {
+				tok := line[m[0]:m[1]]
+				if seen[tok] {
+					continue
+				}
+				seen[tok] = true
+				switch {
+				case strings.HasSuffix(tok, "*"):
+					pre := strings.TrimSuffix(tok, "*")
+					d.metricGlob[pre] = append(d.metricGlob[pre], at(m[0]))
+				case strings.HasSuffix(tok, "_"):
+					// A prose fragment like "grep sigstream_"; claims nothing.
+				default:
+					d.metricExact[tok] = append(d.metricExact[tok], at(m[0]))
+				}
+			}
+			for _, m := range magicTokenRe.FindAllStringIndex(line, -1) {
+				tok := line[m[0]:m[1]]
+				if seen["magic:"+tok] {
+					continue
+				}
+				seen["magic:"+tok] = true
+				d.magics[tok] = append(d.magics[tok], at(m[0]))
+			}
+			if isReadme {
+				if m := routeRowRe.FindStringSubmatch(line); m != nil {
+					key := [2]string{m[1], m[2]}
+					if _, ok := d.routes[key]; !ok {
+						d.routes[key] = at(0)
+					}
+				}
+				if m := errorRowRe.FindStringSubmatch(line); m != nil {
+					key := m[2] + " " + m[1]
+					if _, ok := d.errors[key]; !ok {
+						d.errors[key] = at(0)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// metricDef is one registered metric family.
+type metricDef struct {
+	kind string
+	pos  token.Position
+}
+
+// driftMetrics diffs registered sigstream_* families against doc tokens.
+func driftMetrics(p *Program, docs *contractDocs) []Finding {
+	defs := map[string]metricDef{}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				var kind string
+				switch sel.Sel.Name {
+				case "Counter":
+					kind = "counter"
+				case "Gauge":
+					kind = "gauge"
+				case "Histogram":
+					kind = "histogram"
+				default:
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !strings.HasPrefix(name, "sigstream_") {
+					return true
+				}
+				if _, dup := defs[name]; !dup {
+					defs[name] = metricDef{kind: kind, pos: p.Fset.Position(call.Args[0].Pos())}
+				}
+				return true
+			})
+		}
+	}
+	if len(defs) == 0 && len(docs.metricExact) == 0 && len(docs.metricGlob) == 0 {
+		return nil
+	}
+
+	// resolve maps a doc token to the family it documents, honoring the
+	// histogram series suffixes.
+	resolve := func(tok string) (string, bool) {
+		if _, ok := defs[tok]; ok {
+			return tok, true
+		}
+		for _, suf := range []string{"_bucket", "_count", "_sum"} {
+			base := strings.TrimSuffix(tok, suf)
+			if base != tok {
+				if def, ok := defs[base]; ok && def.kind == "histogram" {
+					return base, true
+				}
+			}
+		}
+		return "", false
+	}
+
+	documented := map[string]bool{}
+	for tok := range docs.metricExact {
+		if fam, ok := resolve(tok); ok {
+			documented[fam] = true
+		}
+	}
+	for pre := range docs.metricGlob {
+		for fam := range defs {
+			if strings.HasPrefix(fam, pre) {
+				documented[fam] = true
+			}
+		}
+	}
+
+	var out []Finding
+	for _, fam := range sortedKeys(defs) {
+		if !documented[fam] {
+			out = append(out, Finding{
+				Analyzer: contractDriftName,
+				Pos:      defs[fam].pos,
+				Message:  fmt.Sprintf("metric %s is not documented in README.md, OPERATIONS.md or DESIGN.md", fam),
+			})
+		}
+	}
+	for _, tok := range sortedKeys(docs.metricExact) {
+		if _, ok := resolve(tok); !ok {
+			for _, site := range docs.metricExact[tok] {
+				out = append(out, Finding{
+					Analyzer: contractDriftName,
+					Pos:      site.pos,
+					Message:  fmt.Sprintf("documented metric %s is not registered in source", tok),
+				})
+			}
+		}
+	}
+	for _, pre := range sortedKeys(docs.metricGlob) {
+		matched := false
+		for fam := range defs {
+			if strings.HasPrefix(fam, pre) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			for _, site := range docs.metricGlob[pre] {
+				out = append(out, Finding{
+					Analyzer: contractDriftName,
+					Pos:      site.pos,
+					Message:  fmt.Sprintf("documented metric prefix %s* matches no registered metric", pre),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// driftMagics diffs magic string constants against doc tokens.
+func driftMagics(p *Program, docs *contractDocs) []Finding {
+	magics := map[string]token.Position{}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok || obj.Val().Kind() != constant.String {
+							continue
+						}
+						v := constant.StringVal(obj.Val())
+						if !magicConstRe.MatchString(v) {
+							continue
+						}
+						if _, dup := magics[v]; !dup {
+							magics[v] = p.Fset.Position(name.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(magics) == 0 && len(docs.magics) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, v := range sortedKeys(magics) {
+		if _, ok := docs.magics[v]; !ok {
+			out = append(out, Finding{
+				Analyzer: contractDriftName,
+				Pos:      magics[v],
+				Message:  fmt.Sprintf("wire magic %q is not documented in README.md, OPERATIONS.md or DESIGN.md", v),
+			})
+		}
+	}
+	for _, v := range sortedKeys(docs.magics) {
+		if _, ok := magics[v]; !ok {
+			for _, site := range docs.magics[v] {
+				out = append(out, Finding{
+					Analyzer: contractDriftName,
+					Pos:      site.pos,
+					Message:  fmt.Sprintf("documented magic %q is not a constant in source", v),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// driftRoutes diffs the routeTable slice against README route rows.
+func driftRoutes(p *Program, docs *contractDocs) []Finding {
+	table := map[[2]string]bool{}
+	var pos token.Position
+	found := false
+	for _, pkg := range p.Packages {
+		lit, vpos := packageVarLit(p, pkg, "routeTable")
+		if lit == nil {
+			continue
+		}
+		found = true
+		pos = vpos
+		for _, elt := range lit.Elts {
+			row, ok := elt.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			method, mok := structFieldString(pkg, row, "Method")
+			pattern, pok := structFieldString(pkg, row, "Pattern")
+			if mok && pok {
+				table[[2]string{method, pattern}] = true
+			}
+		}
+	}
+	if !found || !docs.readme {
+		return nil
+	}
+	var out []Finding
+	keys := make([][2]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][1] != keys[j][1] {
+			return keys[i][1] < keys[j][1]
+		}
+		return keys[i][0] < keys[j][0]
+	})
+	for _, k := range keys {
+		if _, ok := docs.routes[k]; !ok {
+			out = append(out, Finding{
+				Analyzer: contractDriftName,
+				Pos:      pos,
+				Message:  fmt.Sprintf("route %s %s is not documented in README.md's route table", k[0], k[1]),
+			})
+		}
+	}
+	dkeys := make([][2]string, 0, len(docs.routes))
+	for k := range docs.routes {
+		dkeys = append(dkeys, k)
+	}
+	sort.Slice(dkeys, func(i, j int) bool {
+		if dkeys[i][1] != dkeys[j][1] {
+			return dkeys[i][1] < dkeys[j][1]
+		}
+		return dkeys[i][0] < dkeys[j][0]
+	})
+	for _, k := range dkeys {
+		if !table[k] {
+			out = append(out, Finding{
+				Analyzer: contractDriftName,
+				Pos:      docs.routes[k].pos,
+				Message:  fmt.Sprintf("documented route %s %s is not in routeTable", k[0], k[1]),
+			})
+		}
+	}
+	return out
+}
+
+// driftErrors diffs the ErrorCodes map against README error rows.
+func driftErrors(p *Program, docs *contractDocs) []Finding {
+	codes := map[string]bool{} // "status code_name"
+	var pos token.Position
+	found := false
+	for _, pkg := range p.Packages {
+		lit, vpos := packageVarLit(p, pkg, "ErrorCodes")
+		if lit == nil {
+			continue
+		}
+		found = true
+		pos = vpos
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			ktv, kok := pkg.Info.Types[kv.Key]
+			vtv, vok := pkg.Info.Types[kv.Value]
+			if !kok || !vok || ktv.Value == nil || vtv.Value == nil {
+				continue
+			}
+			status, exact := constant.Int64Val(constant.ToInt(ktv.Value))
+			if !exact || vtv.Value.Kind() != constant.String {
+				continue
+			}
+			codes[fmt.Sprintf("%d %s", status, constant.StringVal(vtv.Value))] = true
+		}
+	}
+	if !found || !docs.readme {
+		return nil
+	}
+	var out []Finding
+	for _, k := range sortedKeys(codes) {
+		if _, ok := docs.errors[k]; !ok {
+			out = append(out, Finding{
+				Analyzer: contractDriftName,
+				Pos:      pos,
+				Message:  fmt.Sprintf("error code %s is not documented in README.md's error table", k),
+			})
+		}
+	}
+	for _, k := range sortedKeys(docs.errors) {
+		if !codes[k] {
+			out = append(out, Finding{
+				Analyzer: contractDriftName,
+				Pos:      docs.errors[k].pos,
+				Message:  fmt.Sprintf("documented error code %s is not in ErrorCodes", k),
+			})
+		}
+	}
+	return out
+}
+
+// packageVarLit finds a package-level `var name = ...` composite literal.
+func packageVarLit(p *Program, pkg *Package, name string) (*ast.CompositeLit, token.Position) {
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, n := range vs.Names {
+					if n.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return lit, p.Fset.Position(n.Pos())
+					}
+				}
+			}
+		}
+	}
+	return nil, token.Position{}
+}
+
+// structFieldString extracts a struct literal's named string field,
+// handling both keyed and positional forms; the value must be constant.
+func structFieldString(pkg *Package, lit *ast.CompositeLit, field string) (string, bool) {
+	constStr := func(e ast.Expr) (string, bool) {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+				return constStr(kv.Value)
+			}
+		}
+	}
+	// Positional literal: find the field's index in the struct type.
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields() && i < len(lit.Elts); i++ {
+		if st.Field(i).Name() == field {
+			if _, keyed := lit.Elts[i].(*ast.KeyValueExpr); keyed {
+				return "", false
+			}
+			return constStr(lit.Elts[i])
+		}
+	}
+	return "", false
+}
+
+// sortedKeys returns a map's string keys in order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

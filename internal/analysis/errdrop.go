@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // errDropNames are the method/function names whose error results ErrDrop
@@ -29,15 +28,6 @@ var errDropPackages = map[string]bool{
 	"io":    true,
 	"bufio": true,
 }
-
-// errDropExemptSuffix marks packages whose error results exist to be
-// injected, not handled: internal/fault's injection points return an error
-// only when a test activates one, and call sites that only care about an
-// injected sleep or panic drop it deliberately. Exempting the package
-// keeps those sites free of reflexive //siglint:ignore suppressions, and
-// the exemption wins even over errDropNames (a fault helper named like a
-// codec method stays exempt).
-const errDropExemptSuffix = "internal/fault"
 
 // ErrDrop flags statements that discard the error result of a
 // serialization or I/O call: an expression statement (or defer/go) whose
@@ -106,9 +96,6 @@ func errDropTarget(pkg *Package, call *ast.CallExpr) (string, bool) {
 	// accepted Go idiom; flagging it would only breed reflexive ignores.
 	// Write-side close errors surface through the preceding Flush/Encode.
 	if fn.Name() == "Close" {
-		return "", false
-	}
-	if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), errDropExemptSuffix) {
 		return "", false
 	}
 	inScope := errDropNames[fn.Name()] ||

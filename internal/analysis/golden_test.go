@@ -23,14 +23,20 @@ type want struct {
 	substr string
 }
 
-var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+// wantRe accepts the line-comment form and a block-comment form; the
+// latter is for lines whose trailing // comment is itself a directive
+// under test (//sig:lockorder, //sig:daemon), where appending "// want"
+// would become part of the directive's text.
+var wantRe = regexp.MustCompile(`(?://|/\*) want "([^"]*)"`)
 
-// collectWants scans every .go file under root for want comments.
+// collectWants scans every .go and .md file under root for want
+// comments (markdown carries contractdrift's doc-side findings).
 func collectWants(t *testing.T, root string) []want {
 	t.Helper()
 	var wants []want
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+		if err != nil || d.IsDir() ||
+			(!strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, ".md")) {
 			return err
 		}
 		data, err := os.ReadFile(path)
@@ -65,9 +71,12 @@ func TestAnalyzerGolden(t *testing.T) {
 	}{
 		{"mixedatomic", MixedAtomic},
 		{"lockblock", LockBlock},
+		{"lockorder", LockOrder},
+		{"goleak", GoLeak},
 		{"floateq", FloatEq},
 		{"kindswitch", KindSwitch},
 		{"errdrop", ErrDrop},
+		{"contractdrift", ContractDrift},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

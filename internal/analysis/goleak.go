@@ -1,0 +1,220 @@
+package analysis
+
+// goleak demands that every goroutine the module spawns can be shown to
+// stop. A `go` statement passes when the spawned body — a function
+// literal, or the module function the call resolves to — exhibits a
+// termination signal:
+//
+//   - it receives from a channel (<-ch, <-ctx.Done(), a select with a
+//     receive case, or ranging over a channel), the done-channel and
+//     supervisor-loop patterns;
+//   - it calls sync.WaitGroup.Done, the tracked-worker pattern (a leak
+//     would deadlock the owner's Wait);
+//   - it contains no loop at all, so it ends when its calls return
+//     (listener wrappers like `go func() { errc <- srv.Serve(ln) }()`);
+//   - failing those, some module function it calls has a receive or a
+//     Done — one hop of indirection for bodies that delegate their loop.
+//
+// A goroutine that is genuinely meant to run for the process lifetime is
+// declared, not silenced: `//sig:daemon <reason>` on the go statement's
+// line or the line above. The reason is mandatory — a bare //sig:daemon
+// is itself reported.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const goLeakName = "goleak"
+
+var GoLeak = &Analyzer{
+	Name: goLeakName,
+	Doc:  "every go statement reaches a termination signal (channel receive, WaitGroup.Done) or declares //sig:daemon",
+	Run:  runGoLeak,
+}
+
+// daemonPrefix introduces a process-lifetime goroutine declaration.
+const daemonPrefix = "sig:daemon"
+
+func runGoLeak(p *Program) []Finding {
+	var out []Finding
+	decls := moduleFuncs(p)
+	daemons := collectDaemons(p, &out)
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pos := p.Fset.Position(g.Pos())
+				if daemons[pos.Filename][pos.Line] {
+					return true
+				}
+				body, bodyPkg := spawnBody(pkg, g, decls)
+				switch {
+				case body == nil:
+					out = append(out, Finding{
+						Analyzer: goLeakName,
+						Pos:      pos,
+						Message:  "goroutine target cannot be resolved to a module function; spawn a literal or declare //sig:daemon <reason>",
+					})
+				case !goroutineTerminates(bodyPkg, body, decls):
+					out = append(out, Finding{
+						Analyzer: goLeakName,
+						Pos:      pos,
+						Message:  "goroutine has no provable termination signal (channel receive, WaitGroup.Done, or //sig:daemon <reason>)",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectDaemons indexes //sig:daemon comments by file and covered line
+// (the comment's own line and the next), reporting reasonless ones.
+func collectDaemons(p *Program, out *[]Finding) map[string]map[int]bool {
+	daemons := map[string]map[int]bool{}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, daemonPrefix) {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					reason := strings.TrimSpace(strings.TrimPrefix(text, daemonPrefix))
+					if reason == "" {
+						*out = append(*out, Finding{
+							Analyzer: goLeakName,
+							Pos:      pos,
+							Message:  "//sig:daemon requires a reason",
+						})
+						continue
+					}
+					lines := daemons[pos.Filename]
+					if lines == nil {
+						lines = map[int]bool{}
+						daemons[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+					lines[pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return daemons
+}
+
+// spawnBody resolves the body a go statement runs: the literal itself, or
+// the declaration of the module function it calls.
+func spawnBody(pkg *Package, g *ast.GoStmt, decls map[*types.Func]declSite) (*ast.BlockStmt, *Package) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, pkg
+	}
+	if fn := calleeOf(pkg, g.Call); fn != nil {
+		if ds, ok := decls[fn]; ok {
+			return ds.decl.Body, ds.pkg
+		}
+	}
+	return nil, nil
+}
+
+// goroutineTerminates applies the termination rules to a spawned body.
+func goroutineTerminates(pkg *Package, body *ast.BlockStmt, decls map[*types.Func]declSite) bool {
+	if hasTerminationSignal(pkg, body) || !hasLoop(body) {
+		return true
+	}
+	// One hop: a body that delegates its loop or its signal to a helper.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeOf(pkg, x); fn != nil {
+				if ds, ok := decls[fn]; ok && hasTerminationSignal(ds.pkg, ds.decl.Body) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasTerminationSignal scans one body (not nested literals or spawned
+// goroutines) for a channel receive, a range over a channel, or a
+// WaitGroup.Done call.
+func hasTerminationSignal(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChannel(pkg, x.X) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pkg, x) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasLoop reports whether the body itself loops (nested literals and
+// spawned goroutines loop on their own account).
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupDone reports whether call is sync.WaitGroup.Done.
+func isWaitGroupDone(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Done" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && recvNamed(sig) == "WaitGroup"
+}

@@ -1,0 +1,740 @@
+package analysis
+
+// lockorder builds the module's mutex-acquisition graph and checks it
+// against declared orderings. A node is one mutex field of a named struct
+// type; an edge A → B records that B was acquired somewhere while A was
+// held, either directly at a Lock call or transitively through a callee
+// that may acquire B. Deadlock by lock inversion needs two goroutines
+// nesting the same pair of locks in opposite orders, so the analyzer
+// demands that nesting be intentional:
+//
+//   - A struct with two or more mutex fields must declare their order in
+//     its doc comment: //sig:lockorder mu < walMu < keysMu. Several lines
+//     may declare independent chains; together they must name every
+//     mutex field of the struct.
+//   - Every observed intra-struct edge must be consistent with the
+//     declared (transitively closed) order; an edge against it, or
+//     between an undeclared pair, is a finding.
+//   - The whole graph — including cross-type edges, which no annotation
+//     covers — must be acyclic. A cycle is the inversion itself.
+//   - Re-acquiring a mutex field that is already held is reported
+//     (sync.Mutex is not reentrant).
+//
+// RLock and Lock count the same: read/write flavors of the same mutex
+// still invert. The graph is typed, not instance-aware: acquiring the
+// same field of two *different* instances (a registry spilling a victim
+// tenant while another tenant's method runs) would look like a self-edge,
+// so transitive self-edges are dropped silently — only a *direct* nested
+// re-lock in one function body is reported. That trades instance-level
+// self-deadlock detection for zero false positives on sharded code.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const lockOrderName = "lockorder"
+
+var LockOrder = &Analyzer{
+	Name: lockOrderName,
+	Doc:  "mutex nesting follows declared //sig:lockorder orderings and the acquisition graph is acyclic",
+	Run:  runLockOrder,
+}
+
+// lockOrderPrefix introduces an ordering declaration on a struct.
+const lockOrderPrefix = "sig:lockorder"
+
+// lockNode identifies one mutex: a field of a named struct type.
+type lockNode struct {
+	typ   string // qualified type: "pkg/path.TypeName"
+	field string
+}
+
+func (n lockNode) key() string { return n.typ + "." + n.field }
+
+// short renders the node as TypeName.field for messages.
+func (n lockNode) short() string {
+	typ := n.typ
+	if i := strings.LastIndexByte(typ, '/'); i >= 0 {
+		typ = typ[i+1:]
+	}
+	return typ + "." + n.field
+}
+
+// lockEdge records one observation "to was acquired while from was held".
+type lockEdge struct {
+	from, to lockNode
+	pos      token.Position
+	direct   bool // acquired at a Lock call in the same function body
+}
+
+// lockStruct is one struct type declaring mutex fields, with its parsed
+// //sig:lockorder annotations.
+type lockStruct struct {
+	typ     string
+	pos     token.Position
+	fields  []string
+	fieldOK map[string]bool
+	// before holds the declared pairs, transitively closed:
+	// before[a][b] means a must be acquired before b.
+	before  map[string]map[string]bool
+	covered map[string]bool
+}
+
+func runLockOrder(p *Program) []Finding {
+	structs, out := collectLockStructs(p)
+	decls := moduleFuncs(p)
+	sums := lockSummaries(p, decls)
+	edges := collectLockEdges(p, sums, &out)
+	edges = dedupeEdges(edges)
+
+	// Intra-struct edges against (or absent from) the declared order.
+	cyclic := make([]lockEdge, 0, len(edges))
+	for _, e := range edges {
+		if e.from.typ == e.to.typ && e.from.field != e.to.field {
+			ls := structs[e.from.typ]
+			switch {
+			case ls == nil:
+				// A struct the collector did not see (shouldn't happen: two
+				// fields of one type imply the type was collected); keep the
+				// edge for cycle detection.
+			case ls.before[e.to.field][e.from.field]:
+				out = append(out, Finding{
+					Analyzer: lockOrderName,
+					Pos:      e.pos,
+					Message: fmt.Sprintf("%s acquired while %s is held, against the declared //sig:lockorder %s < %s",
+						e.to.short(), e.from.short(), e.to.field, e.from.field),
+				})
+				continue // a reported inversion does not also feed cycle detection
+			case !ls.before[e.from.field][e.to.field]:
+				out = append(out, Finding{
+					Analyzer: lockOrderName,
+					Pos:      e.pos,
+					Message: fmt.Sprintf("acquisition order %s before %s is not declared by //sig:lockorder on %s",
+						e.from.field, e.to.field, e.from.short()[:strings.IndexByte(e.from.short(), '.')]),
+				})
+				continue
+			}
+		}
+		cyclic = append(cyclic, e)
+	}
+
+	out = append(out, lockCycles(cyclic)...)
+	return out
+}
+
+// collectLockStructs finds every struct type with mutex fields and parses
+// its //sig:lockorder declarations, reporting malformed or missing ones.
+func collectLockStructs(p *Program) (map[string]*lockStruct, []Finding) {
+	structs := map[string]*lockStruct{}
+	var out []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					ls := &lockStruct{
+						typ:     pkg.Path + "." + ts.Name.Name,
+						pos:     p.Fset.Position(ts.Pos()),
+						fieldOK: map[string]bool{},
+						before:  map[string]map[string]bool{},
+						covered: map[string]bool{},
+					}
+					for _, f := range st.Fields.List {
+						if !isMutexType(pkg, f.Type) {
+							continue
+						}
+						for _, name := range f.Names {
+							ls.fields = append(ls.fields, name.Name)
+							ls.fieldOK[name.Name] = true
+						}
+					}
+					out = append(out, parseLockOrder(p, pkg, gd, ts, ls)...)
+					if len(ls.fields) == 0 {
+						continue
+					}
+					structs[ls.typ] = ls
+					if len(ls.fields) >= 2 {
+						var missing []string
+						for _, f := range ls.fields {
+							if !ls.covered[f] {
+								missing = append(missing, f)
+							}
+						}
+						if len(missing) == len(ls.fields) {
+							out = append(out, Finding{
+								Analyzer: lockOrderName,
+								Pos:      ls.pos,
+								Message: fmt.Sprintf("struct %s has %d mutex fields and no //sig:lockorder declaration",
+									ts.Name.Name, len(ls.fields)),
+							})
+						} else if len(missing) > 0 {
+							out = append(out, Finding{
+								Analyzer: lockOrderName,
+								Pos:      ls.pos,
+								Message: fmt.Sprintf("//sig:lockorder on %s does not order mutex field(s) %s",
+									ts.Name.Name, strings.Join(missing, ", ")),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return structs, out
+}
+
+// parseLockOrder reads every //sig:lockorder line attached to the type
+// declaration, fills ls.before with the transitive closure of the chains,
+// and reports unknown fields and contradictory declarations.
+func parseLockOrder(p *Program, pkg *Package, gd *ast.GenDecl, ts *ast.TypeSpec, ls *lockStruct) []Finding {
+	var out []Finding
+	name := ts.Name.Name
+	for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, lockOrderPrefix) {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			chain := strings.TrimSpace(strings.TrimPrefix(text, lockOrderPrefix))
+			if chain == "" {
+				out = append(out, Finding{
+					Analyzer: lockOrderName,
+					Pos:      pos,
+					Message:  "//sig:lockorder requires a chain of mutex fields: a < b < c",
+				})
+				continue
+			}
+			var fields []string
+			bad := false
+			for _, part := range strings.Split(chain, "<") {
+				f := strings.TrimSpace(part)
+				if !ls.fieldOK[f] {
+					out = append(out, Finding{
+						Analyzer: lockOrderName,
+						Pos:      pos,
+						Message:  fmt.Sprintf("//sig:lockorder names %q, which is not a mutex field of %s", f, name),
+					})
+					bad = true
+					continue
+				}
+				fields = append(fields, f)
+				ls.covered[f] = true
+			}
+			if bad || len(fields) < 2 {
+				continue
+			}
+			for i := 0; i < len(fields); i++ {
+				for j := i + 1; j < len(fields); j++ {
+					a, b := fields[i], fields[j]
+					if ls.before[b][a] {
+						out = append(out, Finding{
+							Analyzer: lockOrderName,
+							Pos:      pos,
+							Message: fmt.Sprintf("//sig:lockorder on %s declares both %s < %s and the reverse",
+								name, a, b),
+						})
+						continue
+					}
+					if ls.before[a] == nil {
+						ls.before[a] = map[string]bool{}
+					}
+					ls.before[a][b] = true
+				}
+			}
+		}
+	}
+	// Transitive closure across chains: mu < walMu plus walMu < keysMu
+	// implies mu < keysMu even if no single line says so.
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range ls.before {
+			for b := range bs {
+				for c := range ls.before[b] {
+					if !ls.before[a][c] {
+						ls.before[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isMutexType reports whether the field type is sync.Mutex or sync.RWMutex.
+func isMutexType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// resolveLockCall classifies a call as a lock-field acquisition or
+// release: x.mu.Lock() → (node for x's type's mu field, +1). Calls on
+// mutexes that are not struct fields have no node and are ignored here
+// (lockblock still tracks their depth).
+func resolveLockCall(pkg *Package, call *ast.CallExpr) (lockNode, int, bool) {
+	delta := lockDelta(pkg, call)
+	if delta == 0 {
+		return lockNode{}, 0, false
+	}
+	sel := call.Fun.(*ast.SelectorExpr) // lockDelta established the shape
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockNode{}, 0, false
+	}
+	tv, ok := pkg.Info.Types[inner.X]
+	if !ok || tv.Type == nil {
+		return lockNode{}, 0, false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return lockNode{}, 0, false
+	}
+	node := lockNode{
+		typ:   named.Obj().Pkg().Path() + "." + named.Obj().Name(),
+		field: inner.Sel.Name,
+	}
+	return node, delta, true
+}
+
+// lockSummaries computes, for every module function, the set of lock
+// nodes it may acquire directly or through module callees (a fixpoint
+// over the call graph). Goroutines spawned by a function are excluded:
+// their acquisitions do not nest inside the caller's held set.
+func lockSummaries(p *Program, decls map[*types.Func]declSite) map[*types.Func]map[lockNode]bool {
+	type facts struct {
+		acquires map[lockNode]bool
+		callees  map[*types.Func]bool
+	}
+	all := map[*types.Func]*facts{}
+	for fn, ds := range decls {
+		f := &facts{acquires: map[lockNode]bool{}, callees: map[*types.Func]bool{}}
+		ast.Inspect(ds.decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if node, delta, ok := resolveLockCall(ds.pkg, x); ok {
+					if delta > 0 {
+						f.acquires[node] = true
+					}
+					return true
+				}
+				if callee := calleeOf(ds.pkg, x); callee != nil {
+					f.callees[callee] = true
+				}
+			}
+			return true
+		})
+		all[fn] = f
+	}
+
+	sums := map[*types.Func]map[lockNode]bool{}
+	for fn, f := range all {
+		s := map[lockNode]bool{}
+		for n := range f.acquires {
+			s[n] = true
+		}
+		sums[fn] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, f := range all {
+			s := sums[fn]
+			for callee := range f.callees {
+				for n := range sums[callee] {
+					if !s[n] {
+						s[n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// collectLockEdges walks every function body with a held-set tracker and
+// records acquisition edges; direct nested re-locks are reported through
+// out.
+func collectLockEdges(p *Program, sums map[*types.Func]map[lockNode]bool, out *[]Finding) []lockEdge {
+	var edges []lockEdge
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						w := &orderWalker{prog: p, pkg: pkg, sums: sums, edges: &edges, out: out}
+						w.block(fn.Body, nil)
+					}
+					return false
+				case *ast.FuncLit:
+					w := &orderWalker{prog: p, pkg: pkg, sums: sums, edges: &edges, out: out}
+					w.block(fn.Body, nil)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return edges
+}
+
+// orderWalker threads the set of held lock nodes through one function
+// body, branch-locally, mirroring lockblock's traversal semantics.
+type orderWalker struct {
+	prog  *Program
+	pkg   *Package
+	sums  map[*types.Func]map[lockNode]bool
+	edges *[]lockEdge
+	out   *[]Finding
+}
+
+// block walks a statement list; nested blocks see a copy of the held
+// stack so their changes stay branch-local.
+func (w *orderWalker) block(b *ast.BlockStmt, held []lockNode) []lockNode {
+	for _, s := range b.List {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *orderWalker) branch(b *ast.BlockStmt, held []lockNode) {
+	w.block(b, append([]lockNode(nil), held...))
+}
+
+func (w *orderWalker) stmt(s ast.Stmt, held []lockNode) []lockNode {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if node, delta, ok := resolveLockCall(w.pkg, call); ok {
+				if delta > 0 {
+					return w.acquire(node, call.Pos(), held)
+				}
+				return release(node, held)
+			}
+		}
+		w.exprs(x.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return: the body stays held. Any other
+		// deferred call is approximated as running under the current set.
+		if node, delta, ok := resolveLockCall(w.pkg, x.Call); ok {
+			if delta > 0 {
+				return w.acquire(node, x.Call.Pos(), held)
+			}
+			return held
+		}
+		w.exprs(x.Call, held)
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's held set.
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.branch(lit.Body, nil)
+		}
+		for _, arg := range x.Call.Args {
+			w.exprs(arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.exprs(e, held)
+		}
+		for _, e := range x.Lhs {
+			w.exprs(e, held)
+		}
+	case *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.SendStmt:
+		ast.Inspect(s, w.exprVisitor(held))
+	case *ast.BlockStmt:
+		w.branch(x, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			held = w.stmt(x.Init, held)
+		}
+		w.exprs(x.Cond, held)
+		w.branch(x.Body, held)
+		if x.Else != nil {
+			w.stmt(x.Else, append([]lockNode(nil), held...))
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			held = w.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			w.exprs(x.Cond, held)
+		}
+		w.branch(x.Body, held)
+	case *ast.RangeStmt:
+		w.exprs(x.X, held)
+		w.branch(x.Body, held)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			held = w.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			w.exprs(x.Tag, held)
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			branch := append([]lockNode(nil), held...)
+			for _, s := range cc.Body {
+				branch = w.stmt(s, branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			branch := append([]lockNode(nil), held...)
+			for _, s := range cc.Body {
+				branch = w.stmt(s, branch)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := append([]lockNode(nil), held...)
+			for _, s := range cc.Body {
+				branch = w.stmt(s, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, held)
+	}
+	return held
+}
+
+// acquire records edges from every held node to the new one and reports
+// a direct re-lock of an already-held field.
+func (w *orderWalker) acquire(node lockNode, pos token.Pos, held []lockNode) []lockNode {
+	p := w.prog.Fset.Position(pos)
+	for _, h := range held {
+		if h == node {
+			*w.out = append(*w.out, Finding{
+				Analyzer: lockOrderName,
+				Pos:      p,
+				Message:  fmt.Sprintf("%s acquired while already held (sync mutexes are not reentrant)", node.short()),
+			})
+			continue
+		}
+		*w.edges = append(*w.edges, lockEdge{from: h, to: node, pos: p, direct: true})
+	}
+	return append(held, node)
+}
+
+// release drops the most recent occurrence of node from the held stack.
+func release(node lockNode, held []lockNode) []lockNode {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == node {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// exprs scans an expression for calls whose callees may acquire locks,
+// emitting transitive edges; nested function literals run on their own
+// schedule and get a fresh (empty) held set.
+func (w *orderWalker) exprs(e ast.Expr, held []lockNode) {
+	ast.Inspect(e, w.exprVisitor(held))
+}
+
+func (w *orderWalker) exprVisitor(held []lockNode) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ow := &orderWalker{prog: w.prog, pkg: w.pkg, sums: w.sums, edges: w.edges, out: w.out}
+			ow.block(x.Body, nil)
+			return false
+		case *ast.CallExpr:
+			if len(held) == 0 {
+				return true
+			}
+			if _, _, ok := resolveLockCall(w.pkg, x); ok {
+				return true // lock/unlock statements are handled by stmt
+			}
+			callee := calleeOf(w.pkg, x)
+			if callee == nil {
+				return true
+			}
+			sum := w.sums[callee]
+			if len(sum) == 0 {
+				return true
+			}
+			pos := w.prog.Fset.Position(x.Pos())
+			nodes := make([]lockNode, 0, len(sum))
+			for n := range sum {
+				nodes = append(nodes, n)
+			}
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i].key() < nodes[j].key() })
+			for _, h := range held {
+				for _, a := range nodes {
+					if a == h {
+						// Transitive self-edge: almost always a different
+						// instance of the same type (registry spilling a
+						// victim tenant); dropped by design.
+						continue
+					}
+					*w.edges = append(*w.edges, lockEdge{from: h, to: a, pos: pos})
+				}
+			}
+		}
+		return true
+	}
+}
+
+// dedupeEdges keeps one representative edge per (from, to) pair,
+// preferring direct observations and earlier positions.
+func dedupeEdges(edges []lockEdge) []lockEdge {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.direct != b.direct {
+			return a.direct
+		}
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		return a.pos.Line < b.pos.Line
+	})
+	seen := map[[2]string]bool{}
+	var out []lockEdge
+	for _, e := range edges {
+		k := [2]string{e.from.key(), e.to.key()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.from.key() != b.from.key() {
+			return a.from.key() < b.from.key()
+		}
+		return a.to.key() < b.to.key()
+	})
+	return out
+}
+
+// lockCycles reports one finding per cycle in the acquisition graph.
+func lockCycles(edges []lockEdge) []Finding {
+	adj := map[string][]lockEdge{}
+	for _, e := range edges {
+		adj[e.from.key()] = append(adj[e.from.key()], e)
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var out []Finding
+	reported := map[string]bool{}
+	const (
+		unvisited = iota
+		onStack
+		done
+	)
+	state := map[string]int{}
+	var stack []lockEdge
+	var visit func(n string)
+	visit = func(n string) {
+		state[n] = onStack
+		for _, e := range adj[n] {
+			to := e.to.key()
+			switch state[to] {
+			case onStack:
+				// Unwind the stack back to `to` to extract the cycle path.
+				cycle := []lockEdge{e}
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append([]lockEdge{stack[i]}, cycle...)
+					if stack[i].from.key() == to {
+						break
+					}
+				}
+				key := cycleKey(cycle)
+				if !reported[key] {
+					reported[key] = true
+					out = append(out, Finding{
+						Analyzer: lockOrderName,
+						Pos:      cycle[0].pos,
+						Message:  "lock-order cycle: " + cyclePath(cycle),
+					})
+				}
+			case unvisited:
+				stack = append(stack, e)
+				visit(to)
+				stack = stack[:len(stack)-1]
+			}
+		}
+		state[n] = done
+	}
+	for _, n := range nodes {
+		if state[n] == unvisited {
+			visit(n)
+		}
+	}
+	return out
+}
+
+// cycleKey canonicalizes a cycle for dedup regardless of entry point.
+func cycleKey(cycle []lockEdge) string {
+	keys := make([]string, len(cycle))
+	for i, e := range cycle {
+		keys[i] = e.from.key() + ">" + e.to.key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// cyclePath renders the cycle as A -> B -> A with acquisition sites.
+func cyclePath(cycle []lockEdge) string {
+	var b strings.Builder
+	for i, e := range cycle {
+		if i == 0 {
+			b.WriteString(e.from.short())
+		}
+		fmt.Fprintf(&b, " -> %s (%s:%d)", e.to.short(), shortFile(e.pos.Filename), e.pos.Line)
+	}
+	return b.String()
+}
+
+// shortFile trims a path to its final two elements for readability.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,56 @@
+// Package pkg exercises contractdrift: metric registrations, wire
+// magics, a route table and error codes, each with one drift seeded
+// against README.md.
+package pkg
+
+// Label mirrors the shape of the real obs label type.
+type Label struct{ K, V string }
+
+// Writer mimics the registration surface; contractdrift matches the
+// Counter/Gauge/Histogram method names, not the package they live in.
+type Writer struct{}
+
+func (w *Writer) Counter(name, help string, v float64, labels ...Label) {}
+
+func (w *Writer) Gauge(name, help string, v float64, labels ...Label) {}
+
+func (w *Writer) Histogram(name, help string, bounds []float64, counts []uint64, sum float64, labels ...Label) {
+}
+
+const (
+	// FrameMagic is documented in README.md.
+	FrameMagic = "FKE1"
+	// orphanMagic is not documented anywhere.
+	orphanMagic = "FKE9" // want "not documented"
+)
+
+// Route mirrors the server's route-table row type.
+type Route struct {
+	Method  string
+	Pattern string
+}
+
+var routeTable = []Route{ // want "route GET /v1/undocumented is not documented"
+	{Method: "GET", Pattern: "/v1/ok"},
+	{Method: "GET", Pattern: "/v1/undocumented"},
+}
+
+// ErrorCodes maps HTTP statuses to envelope code strings; the teapot
+// row is missing from README's table.
+var ErrorCodes = map[int]string{ // want "error code 418 teapot is not documented"
+	400: "bad_request",
+	418: "teapot",
+}
+
+// Collect registers one documented counter, one undocumented counter, a
+// histogram documented through its _bucket series, and a gauge covered
+// by a prefix wildcard.
+func Collect(w *Writer) {
+	w.Counter("sigstream_good_total", "documented", 1)
+	w.Counter("sigstream_missing_total", "undocumented", 1) // want "not documented"
+	w.Histogram("sigstream_lat_seconds", "documented via _bucket", nil, nil, 0)
+	w.Gauge("sigstream_covered_by_glob", "documented via prefix", 1)
+	use(orphanMagic)
+}
+
+func use(string) {}

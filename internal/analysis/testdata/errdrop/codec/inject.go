@@ -2,13 +2,14 @@ package codec
 
 import "fake/internal/fault"
 
-// Injection points from the fault package are exempt: these bare calls
-// drop error results on purpose (the caller only wants an injected sleep
-// or panic) and must produce no findings — not even for fault.Encode,
-// whose name is otherwise in errdrop scope.
+// The fault package gets no blanket exemption: the allowlist audit
+// showed the real injection helpers are named Inject/Activate, outside
+// errdrop's name scope, so bare Inject calls are fine on their own. A
+// fault helper that borrows a codec name is in scope like any other
+// function.
 func FireInjectionPoints() {
 	fault.Inject("pipeline/sink", 0)
-	fault.Encode()
+	fault.Encode() // want "discards its error result"
 	defer fault.Inject("snapshot/write", 0)
-	go fault.Encode()
+	_ = fault.Encode() // explicit discard stays reviewable and allowed
 }

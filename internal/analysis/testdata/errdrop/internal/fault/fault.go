@@ -1,7 +1,6 @@
-// Package fault mirrors the real internal/fault injection package: its
-// error results exist to be injected by tests, so dropping them is
-// deliberate and exempt from errdrop — even for a helper whose name
-// (Encode) would otherwise put it in scope.
+// Package fault mirrors the real internal/fault injection package.
+// Inject's name keeps it out of errdrop's scope; Encode exists to prove
+// a fault helper with a codec name is NOT exempt.
 package fault
 
 type Point string

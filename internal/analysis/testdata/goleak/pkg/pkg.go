@@ -1,0 +1,119 @@
+package pkg
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func busy() bool { return false }
+
+// A straight-line body ends when its calls return.
+func SpawnStraight() {
+	go func() { work() }()
+}
+
+// A loop with no exit signal is the leak this analyzer exists for.
+func SpawnLoop() {
+	go func() { // want "no provable termination signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// WaitGroup-tracked workers terminate by contract: leaking one would
+// deadlock the owner's Wait.
+func SpawnTracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for busy() {
+			work()
+		}
+	}()
+}
+
+// Supervisor's go statement resolves to a module method whose select
+// receives a stop signal.
+type Supervisor struct {
+	stop chan struct{}
+	tick chan int
+}
+
+func (s *Supervisor) Start() {
+	go s.run()
+}
+
+func (s *Supervisor) run() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case n := <-s.tick:
+			_ = n
+		}
+	}
+}
+
+// A context loop receives from ctx.Done().
+func SpawnCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Ranging over a channel drains until the sender closes it.
+func SpawnRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// One hop of indirection: the body loops but delegates the receive to a
+// helper.
+func SpawnDelegate(ch chan int) {
+	go func() {
+		for {
+			drain(ch)
+		}
+	}()
+}
+
+func drain(ch chan int) {
+	<-ch
+}
+
+// A declared daemon is exempt — with a reason.
+func SpawnDaemon() {
+	//sig:daemon background sampler runs for the process lifetime
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// A bare //sig:daemon declares nothing: the declaration itself is
+// reported and the go statement still has to prove termination.
+func SpawnBareDaemon() {
+	/* want "requires a reason" */ //sig:daemon
+	go func() {                    // want "no provable termination signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// A goroutine target outside the module cannot be checked.
+func SpawnOpaque(f func()) {
+	go f() // want "cannot be resolved"
+}

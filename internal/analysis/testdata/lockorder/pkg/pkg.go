@@ -1,0 +1,141 @@
+package pkg
+
+import "sync"
+
+// Store is the well-annotated case: the declared chain is the order the
+// methods actually nest in, so Append and Snapshot stay silent.
+//
+//sig:lockorder mu < walMu < keysMu
+type Store struct {
+	mu     sync.RWMutex
+	walMu  sync.RWMutex
+	keysMu sync.Mutex
+	data   map[string]int
+}
+
+// Append nests in the declared order: no findings.
+func (s *Store) Append(k string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.walMu.Lock()
+	s.keysMu.Lock()
+	s.data[k]++
+	s.keysMu.Unlock()
+	s.walMu.Unlock()
+}
+
+// sweep is a helper whose summary says it may acquire keysMu.
+func (s *Store) sweep() {
+	s.keysMu.Lock()
+	s.data = map[string]int{}
+	s.keysMu.Unlock()
+}
+
+// Snapshot acquires keysMu transitively through sweep while walMu is
+// held — walMu < keysMu is declared, so this is silent too.
+func (s *Store) Snapshot() {
+	s.walMu.Lock()
+	s.sweep()
+	s.walMu.Unlock()
+}
+
+// Invert acquires against the declared order.
+func (s *Store) Invert() {
+	s.walMu.Lock()
+	s.mu.Lock() // want "against the declared //sig:lockorder"
+	s.mu.Unlock()
+	s.walMu.Unlock()
+}
+
+// Relock re-acquires a mutex it already holds.
+func (s *Store) Relock() {
+	s.keysMu.Lock()
+	s.keysMu.Lock() // want "already held"
+	s.keysMu.Unlock()
+	s.keysMu.Unlock()
+}
+
+// Pair has two mutex fields and no declaration at all.
+type Pair struct { // want "no //sig:lockorder declaration"
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Triple declares a and b but never orders c.
+//
+//sig:lockorder a < b
+type Triple struct { // want "does not order mutex field"
+	a, b, c sync.Mutex
+}
+
+// Wrong names a field that does not exist, leaving b unordered.
+//
+//sig:lockorder a < zz /* want "is not a mutex field" */
+type Wrong struct { // want "does not order mutex field"
+	a, b sync.Mutex
+}
+
+// Flip declares both directions of the same pair.
+//
+//sig:lockorder a < b
+//sig:lockorder b < a /* want "and the reverse" */
+type Flip struct {
+	a, b sync.Mutex
+}
+
+// Left and Right each hold a single mutex; LR and RL nest them in
+// opposite orders — the inversion no per-struct annotation can see.
+type Left struct{ mu sync.Mutex }
+
+type Right struct{ mu sync.Mutex }
+
+func LR(l *Left, r *Right) {
+	l.mu.Lock()
+	r.mu.Lock() // want "lock-order cycle"
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func RL(l *Left, r *Right) {
+	r.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Quad declares two chains that never relate b and c; Mixed acquires c
+// through a helper while b is held, an order nobody declared.
+//
+//sig:lockorder a < b
+//sig:lockorder a < c
+type Quad struct {
+	a, b, c sync.Mutex
+}
+
+func (q *Quad) lockC() {
+	q.c.Lock()
+	q.c.Unlock()
+}
+
+func (q *Quad) Mixed() {
+	q.b.Lock()
+	q.lockC() // want "not declared by //sig:lockorder"
+	q.b.Unlock()
+}
+
+// Cache shows the deliberate blind spot: Evict calls shed on a
+// *different* instance while holding its own mu. The type-level
+// self-edge this produces is dropped by design (sharded code), so no
+// finding here.
+type Cache struct{ mu sync.Mutex }
+
+func (c *Cache) Evict(victim *Cache) {
+	c.mu.Lock()
+	victim.shed()
+	c.mu.Unlock()
+}
+
+func (c *Cache) shed() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}

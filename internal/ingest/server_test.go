@@ -6,8 +6,6 @@ import (
 	"io"
 	"log/slog"
 	"net"
-	"os"
-	"strings"
 	"testing"
 	"time"
 
@@ -319,26 +317,5 @@ func TestServerGracefulDrain(t *testing.T) {
 	_ = c.Close()
 	if s.Stats().Conns != 0 {
 		t.Fatalf("open conns after drain: %d", s.Stats().Conns)
-	}
-}
-
-// TestREADMEProtocolContract pins the README's protocol documentation to
-// the implementation: the magics, the fixed sizes, the default payload
-// cap and the serving flags must all appear in the protocol section, so
-// the wire format cannot drift undocumented.
-func TestREADMEProtocolContract(t *testing.T) {
-	readme, err := os.ReadFile("../../README.md")
-	if err != nil {
-		t.Fatal(err)
-	}
-	doc := string(readme)
-	for _, want := range []string{
-		FrameMagic, AckMagic,
-		"`-ingest-addr`", "`-ingest-udp`",
-		"CRC32", "1 MiB",
-	} {
-		if !strings.Contains(doc, want) {
-			t.Errorf("README protocol section is missing %q", want)
-		}
 	}
 }

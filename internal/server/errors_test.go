@@ -2,50 +2,13 @@ package server
 
 import (
 	"net/http"
-	"os"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 )
 
-// TestErrorEnvelopeContract cross-checks the README's error-code table
-// against ErrorCodes in both directions, the same way TestRouteContract
-// keeps the route table honest: every documented code must be served,
-// and every served code must be documented.
-func TestErrorEnvelopeContract(t *testing.T) {
-	readme, err := os.ReadFile("../../README.md")
-	if err != nil {
-		t.Fatal(err)
-	}
-	rowRE := regexp.MustCompile("(?m)^\\|\\s*`([a-z_]+)`\\s*\\|\\s*(\\d{3})\\s*\\|")
-	documented := make(map[int]string)
-	for _, m := range rowRE.FindAllStringSubmatch(string(readme), -1) {
-		status, err := strconv.Atoi(m[2])
-		if err != nil {
-			t.Fatalf("README error row %q: %v", m[0], err)
-		}
-		if prev, dup := documented[status]; dup {
-			t.Errorf("README documents status %d twice (%s, %s)", status, prev, m[1])
-		}
-		documented[status] = m[1]
-	}
-	if len(documented) == 0 {
-		t.Fatal("no error-code rows found in README — table format drifted?")
-	}
-	for status, code := range documented {
-		if got := ErrorCode(status); got != code {
-			t.Errorf("README documents %d as %q, server answers %q", status, code, got)
-		}
-	}
-	for status, code := range ErrorCodes {
-		if doc, ok := documented[status]; !ok {
-			t.Errorf("served code %q (status %d) is not in the README table", code, status)
-		} else if doc != code {
-			t.Errorf("status %d: served %q, README says %q", status, code, doc)
-		}
-	}
-}
+// The README error-table cross-check that used to live here is now the
+// contractdrift analyzer's job (siglint), which diffs ErrorCodes against
+// the README table in both directions on every lint run.
 
 // TestErrorEnvelopeOnMethodNotAllowed asserts every routeTable pattern
 // answers a wrong-method request with the typed envelope and an Allow

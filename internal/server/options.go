@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"reflect"
+	"strings"
 	"time"
 
 	"sigstream"
@@ -184,6 +186,28 @@ func LoadOptions(path string) (Options, error) {
 		return opts, fmt.Errorf("config %s: %w", path, err)
 	}
 	return opts, nil
+}
+
+// ApplyFlag copies the field bound to the named command-line flag from
+// `from` into o — the flags-beat-file half of sigserver's precedence:
+// after LoadOptions, main re-applies every explicitly set flag field by
+// field. A flag name maps to the field whose JSON tag is the name with
+// dashes as underscores (the documented correspondence), so a new
+// Options field is covered the moment it gets its tag — there is no
+// second list to keep in sync. Unknown names (such as -config itself,
+// which has no Options field) return false and change nothing.
+func (o *Options) ApplyFlag(name string, from Options) bool {
+	key := strings.ReplaceAll(name, "-", "_")
+	rv := reflect.ValueOf(o).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+		if tag == key && tag != "" {
+			rv.Field(i).Set(reflect.ValueOf(from).Field(i))
+			return true
+		}
+	}
+	return false
 }
 
 // withDefaults fills the fields whose zero value has no serving meaning

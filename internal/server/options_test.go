@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -108,6 +109,93 @@ func TestOptionsValidate(t *testing.T) {
 		if err := o.Validate(); err == nil {
 			t.Errorf("%s: validated", tc.name)
 		}
+	}
+}
+
+// TestApplyFlagIngestPrecedence pins the three-way precedence of the
+// binary-ingest fields the way an operator experiences it: built-in
+// defaults, overridden by a -config file, overridden again by exactly
+// the flags set on the command line — the other file-provided fields
+// must survive untouched.
+func TestApplyFlagIngestPrecedence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "config.json")
+	body := `{"ingest_addr": ":7000", "ingest_udp": ":7001", "ingest_max_frame": 65536}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := LoadOptions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The operator set only -ingest-addr and -ingest-max-frame; the flag
+	// struct holds their parsed values (and defaults everywhere else).
+	flags := DefaultOptions()
+	flags.IngestAddr = ":9000"
+	flags.IngestMaxFrame = 1 << 20
+	for _, name := range []string{"ingest-addr", "ingest-max-frame"} {
+		if !opts.ApplyFlag(name, flags) {
+			t.Fatalf("ApplyFlag(%q) found no field", name)
+		}
+	}
+
+	if opts.IngestAddr != ":9000" {
+		t.Errorf("ingest_addr = %q, want the flag value :9000", opts.IngestAddr)
+	}
+	if opts.IngestMaxFrame != 1<<20 {
+		t.Errorf("ingest_max_frame = %d, want the flag value %d", opts.IngestMaxFrame, 1<<20)
+	}
+	if opts.IngestUDP != ":7001" {
+		t.Errorf("ingest_udp = %q, want the config-file value :7001", opts.IngestUDP)
+	}
+	ic := opts.IngestOptions()
+	if ic.Addr != ":9000" || ic.UDPAddr != ":7001" || ic.MaxFrameBytes != 1<<20 {
+		t.Errorf("IngestOptions did not carry the resolved values: %+v", ic)
+	}
+}
+
+// TestApplyFlagCoversEveryField proves the flag → field mapping is
+// total: for every Options field, the flag name derived from its JSON
+// tag (underscores as dashes) must land on exactly that field. A new
+// field with a tag is therefore covered by sigserver's flag.Visit loop
+// with no further wiring.
+func TestApplyFlagCoversEveryField(t *testing.T) {
+	rt := reflect.TypeOf(Options{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			t.Fatalf("field %s has no JSON tag; ApplyFlag cannot reach it", rt.Field(i).Name)
+		}
+		flagName := strings.ReplaceAll(tag, "_", "-")
+
+		// Build a donor whose field i differs from the zero value, apply,
+		// and check that exactly that field changed.
+		var from, got Options
+		fv := reflect.ValueOf(&from).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.String:
+			fv.SetString("x")
+		case reflect.Bool:
+			fv.SetBool(true)
+		case reflect.Float64:
+			fv.SetFloat(1.5)
+		default:
+			fv.SetInt(42) // int, int64 and Duration all land here
+		}
+		if !got.ApplyFlag(flagName, from) {
+			t.Errorf("ApplyFlag(%q) found no field for %s", flagName, rt.Field(i).Name)
+			continue
+		}
+		if got != from {
+			t.Errorf("ApplyFlag(%q) changed the wrong field: got %+v, want %+v", flagName, got, from)
+		}
+	}
+	var o Options
+	if o.ApplyFlag("config", DefaultOptions()) {
+		t.Error("ApplyFlag(\"config\") claimed a field; -config has none")
+	}
+	if o != (Options{}) {
+		t.Errorf("unknown flag mutated options: %+v", o)
 	}
 }
 

@@ -24,6 +24,16 @@ import (
 // the duration of each data operation — the tracker itself is a
 // concurrency-safe sigstream.Sharded — and takes the write lock only for
 // residency transitions (spill, revive, restore, delete).
+//
+// The declared acquisition order below is machine-checked by siglint's
+// lockorder analyzer (see DESIGN.md §12): mu is always outermost; the
+// append path nests walMu then keysMu under it; the save path and the
+// quota gate each nest their own mutex under mu and never under each
+// other.
+//
+//sig:lockorder mu < walMu < keysMu
+//sig:lockorder mu < saveMu
+//sig:lockorder mu < quotaMu
 type Tenant struct {
 	ns     string
 	reg    *Registry
