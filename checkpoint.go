@@ -31,3 +31,39 @@ func MergeCheckpoints(images ...[]byte) (*LTC, error) {
 	}
 	return root, nil
 }
+
+// MergeShardedCheckpoints restores each binary checkpoint (as produced by
+// Sharded.MarshalBinary, and as served by sigserver's checkpoint route)
+// and folds them shard by shard into a single Sharded tracker — the
+// aggregation path a cluster coordinator uses on images pulled from
+// remote sites. All checkpoints must come from trackers built with the
+// same Config and shard count: shard i of every image merges into shard i
+// of the result, preserving the hash partition, so the merged tracker
+// answers TopK and Query exactly as one tracker that saw every site's
+// arrivals. The images are decoded fresh and owned exclusively here, so
+// no locks are taken during the merge.
+func MergeShardedCheckpoints(images ...[]byte) (*Sharded, error) {
+	if len(images) == 0 {
+		return nil, ErrNoCheckpoints
+	}
+	root := new(Sharded)
+	if err := root.UnmarshalBinary(images[0]); err != nil {
+		return nil, fmt.Errorf("checkpoint 0: %w", err)
+	}
+	for i, img := range images[1:] {
+		next := new(Sharded)
+		if err := next.UnmarshalBinary(img); err != nil {
+			return nil, fmt.Errorf("checkpoint %d: %w", i+1, err)
+		}
+		if len(next.shards) != len(root.shards) {
+			return nil, fmt.Errorf("checkpoint %d: %d shards, want %d",
+				i+1, len(next.shards), len(root.shards))
+		}
+		for s := range root.shards {
+			if err := root.shards[s].l.Merge(next.shards[s].l); err != nil {
+				return nil, fmt.Errorf("checkpoint %d shard %d: %w", i+1, s, err)
+			}
+		}
+	}
+	return root, nil
+}

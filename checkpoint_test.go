@@ -34,6 +34,85 @@ func TestMergeCheckpoints(t *testing.T) {
 	}
 }
 
+func TestMergeShardedCheckpoints(t *testing.T) {
+	cfg := Config{MemoryBytes: 64 << 10, Seed: 3}
+	const shards = 4
+	images := make([][]byte, 3)
+	for site := 0; site < 3; site++ {
+		tr := NewSharded(cfg, shards)
+		for p := 0; p < 2; p++ {
+			for i := 0; i < 5; i++ {
+				tr.Insert(Item(site*100 + i + 1))
+			}
+			tr.EndPeriod()
+		}
+		img, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[site] = img
+	}
+	global, err := MergeShardedCheckpoints(images...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Shards() != shards {
+		t.Fatalf("merged tracker has %d shards, want %d", global.Shards(), shards)
+	}
+	for site := 0; site < 3; site++ {
+		for i := 0; i < 5; i++ {
+			item := Item(site*100 + i + 1)
+			e, ok := global.Query(item)
+			if !ok || e.Frequency != 2 || e.Persistency != 2 {
+				t.Fatalf("site %d item %d missing or wrong: %+v ok=%v", site, item, e, ok)
+			}
+		}
+	}
+	// The merged view's top-k sees every site's items.
+	if got := len(global.TopK(32)); got != 15 {
+		t.Fatalf("merged TopK holds %d items, want 15", got)
+	}
+}
+
+func TestMergeShardedCheckpointsErrors(t *testing.T) {
+	if _, err := MergeShardedCheckpoints(); !errors.Is(err, ErrNoCheckpoints) {
+		t.Fatalf("want ErrNoCheckpoints, got %v", err)
+	}
+	if _, err := MergeShardedCheckpoints([]byte("garbage")); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+	cfg := Config{MemoryBytes: 64 << 10, Seed: 3}
+	a := NewSharded(cfg, 4)
+	a.Insert(1)
+	imgA, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShardedCheckpoints(imgA, []byte("garbage")); err == nil {
+		t.Fatal("garbage second checkpoint accepted")
+	}
+	// Mismatched shard counts must be rejected, not silently cross-merged.
+	b := NewSharded(cfg, 2)
+	b.Insert(2)
+	imgB, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShardedCheckpoints(imgA, imgB); err == nil {
+		t.Fatal("mismatched shard counts accepted")
+	}
+	// Same shard count, different geometry: the per-shard merge must fail.
+	c := NewSharded(Config{MemoryBytes: 128 << 10, Seed: 3}, 4)
+	c.Insert(3)
+	imgC, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShardedCheckpoints(imgA, imgC); err == nil {
+		t.Fatal("incompatible shard geometry accepted")
+	}
+}
+
 func TestMergeCheckpointsErrors(t *testing.T) {
 	if _, err := MergeCheckpoints(); !errors.Is(err, ErrNoCheckpoints) {
 		t.Fatalf("want ErrNoCheckpoints, got %v", err)

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sigstream"
+	"sigstream/internal/coord"
+	"sigstream/internal/gen"
+	"sigstream/internal/server"
+)
+
+// TestShipClusterFanOutGathersExactly drives the full producer path: a
+// generated workload fanned out with -cluster semantics over three
+// in-process sigservers, then gathered by a coordinator with the same
+// partition map. Every arrival must be counted exactly once in the
+// cluster view — the replica writes exist for availability and must not
+// inflate any frequency.
+func TestShipClusterFanOutGathersExactly(t *testing.T) {
+	var sites []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(server.New(server.Config{
+			MemoryBytes:       128 << 10,
+			TenantMemoryBytes: 64 << 10,
+			Shards:            2,
+			Weights:           sigstream.Weights{Alpha: 1, Beta: 1},
+		}))
+		t.Cleanup(srv.Close)
+		sites = append(sites, srv.URL)
+	}
+
+	s := gen.Generate(gen.Config{
+		N: 2000, M: 40, Periods: 4, Skew: 1.0,
+		Head: 8, TailWindowFrac: 0.5, Seed: 42, Label: "fanout",
+	})
+	if err := shipCluster(s, strings.Join(sites, ","), 4, 2, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := coord.New(coord.Config{
+		Sites:        sites,
+		Partitions:   4,
+		Replicas:     2,
+		FetchTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if rep := c.GatherNow(context.Background()); !rep.Committed {
+		t.Fatalf("gather: %+v", rep)
+	}
+
+	entries, _, ok := c.TopKView(1000)
+	if !ok {
+		t.Fatal("no view")
+	}
+	want := make(map[string]uint64, 40)
+	for _, it := range s.Items {
+		want[fmt.Sprintf("%d", it)]++
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("view has %d items, want %d", len(entries), len(want))
+	}
+	var total uint64
+	for _, e := range entries {
+		if want[e.Key] != e.Frequency {
+			t.Fatalf("key %s: frequency %d, want %d (replication double-counted?)",
+				e.Key, e.Frequency, want[e.Key])
+		}
+		total += e.Frequency
+	}
+	if total != uint64(len(s.Items)) {
+		t.Fatalf("total frequency %d, want %d", total, len(s.Items))
+	}
+}

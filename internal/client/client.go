@@ -252,6 +252,147 @@ func (c *Client) DeleteTenant(ctx context.Context, ns string) error {
 	return nil
 }
 
+// Ready probes the service's readiness endpoint: nil when it is
+// accepting traffic, a typed error (usually a 503 *APIError) while it
+// restores, quarantines, drains — or, for a coordinator, before its
+// first committed view.
+func (c *Client) Ready(ctx context.Context) error {
+	resp, err := c.get(ctx, "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+// ClusterView mirrors the coordinator's /v1/topk payload: the committed
+// cluster-wide ranking with its provenance.
+type ClusterView struct {
+	// Epoch is the committed view's epoch.
+	Epoch int `json:"epoch"`
+	// CommittedUnix is when the view was installed (Unix seconds).
+	CommittedUnix int64 `json:"committed_unix"`
+	// AgeSeconds is the view's age at response time.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Stale reports that at least one round failed to commit since the
+	// view was installed.
+	Stale bool `json:"stale"`
+	// Entries is the ranked item list.
+	Entries []Entry `json:"entries"`
+}
+
+// ClusterTopology mirrors the coordinator's partition-map summary.
+type ClusterTopology struct {
+	// Sites is the member-site count.
+	Sites int `json:"sites"`
+	// Partitions is the partition count P.
+	Partitions int `json:"partitions"`
+	// Replicas is the replication factor R.
+	Replicas int `json:"replicas"`
+	// Quorum is the per-partition read quorum ⌈R/2⌉.
+	Quorum int `json:"quorum"`
+}
+
+// ClusterSiteStatus mirrors one site's row in the coordinator's status.
+type ClusterSiteStatus struct {
+	// Site is the site's base URL.
+	Site string `json:"site"`
+	// Health is "healthy", "degraded" or "tripped".
+	Health string `json:"health"`
+	// Breaker is the circuit-breaker position.
+	Breaker string `json:"breaker"`
+	// Failures is the consecutive failed-round streak.
+	Failures int `json:"failures"`
+	// LastEpoch is the last committed epoch the site contributed to.
+	LastEpoch int `json:"last_epoch"`
+	// Skips lists the last round's per-partition skip reasons.
+	Skips []string `json:"skips"`
+}
+
+// ClusterPartitionStatus mirrors one partition's row in the
+// coordinator's status.
+type ClusterPartitionStatus struct {
+	// Partition is the partition index.
+	Partition int `json:"partition"`
+	// Namespace is the tenant namespace hosting the partition.
+	Namespace string `json:"namespace"`
+	// Reported is the replica count that answered last round.
+	Reported int `json:"reported"`
+	// Quorum reports whether Reported reached the read quorum.
+	Quorum bool `json:"quorum"`
+	// MergedFrom is the site whose image entered the view.
+	MergedFrom string `json:"merged_from"`
+	// Empty reports an answering-but-dataless partition.
+	Empty bool `json:"empty"`
+}
+
+// ClusterRound mirrors the coordinator's last-round report.
+type ClusterRound struct {
+	// Epoch is the view epoch after the round.
+	Epoch int `json:"epoch"`
+	// Committed reports whether the round installed a new view.
+	Committed bool `json:"committed"`
+	// Reason explains an uncommitted round.
+	Reason string `json:"reason"`
+	// Partitions holds per-partition outcomes.
+	Partitions []ClusterPartitionStatus `json:"partitions"`
+	// Sites holds per-site outcomes.
+	Sites []ClusterSiteStatus `json:"sites"`
+}
+
+// ClusterViewInfo mirrors the coordinator's committed-view provenance.
+type ClusterViewInfo struct {
+	// Epoch is the view's commit epoch.
+	Epoch int `json:"epoch"`
+	// AgeSeconds is the view's age at response time.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Stale reports an uncommitted round since the view was installed.
+	Stale bool `json:"stale"`
+}
+
+// ClusterStatus mirrors the coordinator's /v1/cluster/status payload.
+type ClusterStatus struct {
+	// Topology summarizes the partition map.
+	Topology ClusterTopology `json:"topology"`
+	// View is the committed view's provenance, nil before the first
+	// commit.
+	View *ClusterViewInfo `json:"view"`
+	// Round is the last gather round's report, nil before the first
+	// round.
+	Round *ClusterRound `json:"round"`
+}
+
+// ClusterTopK fetches the cluster-wide top-k ranking from a coordinator
+// (cmd/sigcoord). A 503 *APIError means no view has been committed yet.
+func (c *Client) ClusterTopK(ctx context.Context, k int) (ClusterView, error) {
+	resp, err := c.get(ctx, "/v1/topk?k="+strconv.Itoa(k))
+	if err != nil {
+		return ClusterView{}, err
+	}
+	var out ClusterView
+	if err := decode(resp, &out); err != nil {
+		return ClusterView{}, err
+	}
+	return out, nil
+}
+
+// ClusterStatus fetches a coordinator's per-site and per-partition
+// health report.
+func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatus, error) {
+	resp, err := c.get(ctx, "/v1/cluster/status")
+	if err != nil {
+		return ClusterStatus{}, err
+	}
+	var out ClusterStatus
+	if err := decode(resp, &out); err != nil {
+		return ClusterStatus{}, err
+	}
+	return out, nil
+}
+
 // get issues a context-carrying GET against a service path.
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)

@@ -1,0 +1,130 @@
+// Per-site circuit breaker: a site that fails round after round stops
+// being fetched at all, so a dead node costs the gather loop nothing
+// (no retries, no timeouts burned) until its cooldown passes and a cheap
+// readiness probe says it is worth trying again. The breaker is advanced
+// only at gather time by the round that owns it — no background
+// goroutines, no timers, nothing to leak.
+
+package cluster
+
+import "time"
+
+// BreakerConfig bounds one site's circuit breaker. The zero value
+// selects the defaults.
+type BreakerConfig struct {
+	// Trip is the number of consecutive failed rounds that opens the
+	// breaker (default 3).
+	Trip int
+	// Cooldown is how long an open breaker suppresses fetches before a
+	// readiness probe may half-open it (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Trip <= 0 {
+		c.Trip = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// BreakerState is one position of a site's circuit breaker.
+type BreakerState int
+
+// The breaker states: closed (site fetched normally), open (site skipped
+// until its cooldown passes a readiness probe), half-open (one trial
+// fetch in flight; success closes, failure re-opens).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for status endpoints and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one site's circuit breaker. Not safe for concurrent use;
+// the gatherer serializes rounds and owns all breaker transitions.
+type breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	failures int       // consecutive failed rounds while closed
+	openedAt time.Time // when the breaker last opened
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether the site may be fetched at time now. When the
+// breaker is open and the cooldown has elapsed, allowed is false but
+// probe is true: the caller should run a readiness probe and report it
+// via Probe, then ask again.
+func (b *breaker) Allow(now time.Time) (allowed, probe bool) {
+	if b.state != BreakerOpen {
+		return true, false
+	}
+	if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+		return false, true
+	}
+	return false, false
+}
+
+// Probe records a readiness-probe outcome on an open breaker: success
+// half-opens it (one trial fetch allowed), failure restarts the cooldown.
+func (b *breaker) Probe(ok bool, now time.Time) {
+	if b.state != BreakerOpen {
+		return
+	}
+	if ok {
+		b.state = BreakerHalfOpen
+	} else {
+		b.openedAt = now
+	}
+}
+
+// Success records a round in which the site delivered; any state closes.
+func (b *breaker) Success() {
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records a round in which the site failed: a half-open trial
+// re-opens immediately, a closed breaker trips open after Trip
+// consecutive failures.
+func (b *breaker) Failure(now time.Time) {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Trip {
+			b.state = BreakerOpen
+			b.openedAt = now
+		}
+	case BreakerOpen:
+		// Already open: Allow gated the site, so a failure here can only
+		// come from a round that raced the trip. The cooldown clock is
+		// deliberately not restarted — only a failed probe restarts it.
+	}
+}
+
+// State reports the breaker's current position.
+func (b *breaker) State() BreakerState { return b.state }
+
+// ConsecutiveFailures reports the closed-state failure streak.
+func (b *breaker) ConsecutiveFailures() int { return b.failures }

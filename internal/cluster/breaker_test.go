@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Trip: 3, Cooldown: 5 * time.Second})
+	for i := 0; i < 2; i++ {
+		b.Failure(now)
+		if b.State() != BreakerClosed {
+			t.Fatalf("failure %d tripped the breaker early (state %v)", i+1, b.State())
+		}
+	}
+	// A success resets the streak: three MORE failures are needed.
+	b.Success()
+	if b.ConsecutiveFailures() != 0 {
+		t.Fatalf("failure streak %d after success, want 0", b.ConsecutiveFailures())
+	}
+	for i := 0; i < 3; i++ {
+		b.Failure(now)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after 3 consecutive failures, want open", b.State())
+	}
+	if allowed, _ := b.Allow(now); allowed {
+		t.Fatal("open breaker allowed a fetch inside the cooldown")
+	}
+}
+
+func TestBreakerHalfOpensOnProbeAfterCooldown(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Trip: 1, Cooldown: 5 * time.Second})
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	// Inside the cooldown: no fetch, no probe.
+	if allowed, probe := b.Allow(now.Add(time.Second)); allowed || probe {
+		t.Fatalf("Allow inside cooldown = (%v, %v), want (false, false)", allowed, probe)
+	}
+	// Cooldown elapsed: still no fetch, but a probe is requested.
+	at := now.Add(5 * time.Second)
+	if allowed, probe := b.Allow(at); allowed || !probe {
+		t.Fatalf("Allow after cooldown = (%v, %v), want (false, true)", allowed, probe)
+	}
+	// Failed probe restarts the cooldown.
+	b.Probe(false, at)
+	if allowed, probe := b.Allow(at.Add(4 * time.Second)); allowed || probe {
+		t.Fatal("failed probe did not restart the cooldown")
+	}
+	// Successful probe half-opens: one trial fetch allowed.
+	at = at.Add(5 * time.Second)
+	if allowed, probe := b.Allow(at); allowed || !probe {
+		t.Fatalf("Allow after restarted cooldown = (%v, %v), want (false, true)", allowed, probe)
+	}
+	b.Probe(true, at)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after successful probe, want half-open", b.State())
+	}
+	if allowed, _ := b.Allow(at); !allowed {
+		t.Fatal("half-open breaker refused the trial fetch")
+	}
+	// Trial failure re-opens immediately.
+	b.Failure(at)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed trial, want open", b.State())
+	}
+	// Next trial succeeds and closes.
+	at = at.Add(5 * time.Second)
+	b.Probe(true, at)
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful trial, want closed", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", int(state), got, want)
+		}
+	}
+}

@@ -88,6 +88,7 @@ type Coordinator struct {
 	global *ltc.LTC            // latest merged view (nil before first round)
 	seen   map[string]struct{} // sites collected this round
 	staged *ltc.LTC            // merge-in-progress for the current round
+	last   *Report             // last GatherRound outcome (nil before one runs)
 }
 
 // NewCoordinator creates a coordinator expecting checkpoints built with cfg.
@@ -139,6 +140,32 @@ func (c *Coordinator) Epoch() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.epoch
+}
+
+// LastReport returns the report of the most recent GatherRound, so
+// degraded state stays observable between rounds instead of vanishing
+// with the gather call's return value. The second result is false before
+// the first round. The returned report is a copy; mutating it does not
+// affect the coordinator.
+func (c *Coordinator) LastReport() (Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last == nil {
+		return Report{}, false
+	}
+	rep := Report{Epoch: c.last.Epoch, Skipped: make(map[string]error, len(c.last.Skipped))}
+	rep.Merged = append(rep.Merged, c.last.Merged...)
+	for site, err := range c.last.Skipped {
+		rep.Skipped[site] = err
+	}
+	return rep, true
+}
+
+// setLastReport records rep as the most recent round outcome.
+func (c *Coordinator) setLastReport(rep Report) {
+	c.mu.Lock()
+	c.last = &rep
+	c.mu.Unlock()
 }
 
 // Pending reports the sites collected in the current round.

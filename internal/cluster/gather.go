@@ -1,0 +1,666 @@
+// Networked quorum gather: the failure-first core of the cluster tier.
+// A Gatherer owns the partition topology and one SiteClient per member
+// site; each Round pulls every partition's checkpoint from its replica
+// sites — deadline per call, full-jitter retry for transient failures,
+// no retry for deterministic ones, per-site circuit breaker — and
+// commits a merged cluster view only when every partition reached read
+// quorum (⌈R/2⌉ replicas reported). On quorum loss the previous
+// committed view keeps serving with a growing staleness age: a stale
+// cluster-wide ranking beats no ranking, and beats a silently partial
+// one even more.
+//
+// Round uses a named return so its deferred bookkeeping (breaker
+// transitions, site reports, the last-round record) lands in the value
+// the caller sees even when the commit fault hook panics mid-round.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sigstream"
+	"sigstream/internal/fault"
+)
+
+// ErrNoPartition is the sentinel a SiteClient returns from
+// FetchCheckpoint when the site is reachable but has never seen the
+// partition's namespace (a cluster warming up, or a partition with no
+// traffic yet). It counts as a successful, empty report for quorum — the
+// site answered; there is simply nothing to merge.
+var ErrNoPartition = errors.New("cluster: partition namespace not present on site")
+
+// SiteClient is the transport to one sigserver node. The production
+// implementation wraps internal/client over HTTP; tests substitute
+// in-process fakes. Every call must honor its context deadline.
+type SiteClient interface {
+	// FetchCheckpoint downloads the binary checkpoint of one partition
+	// namespace (a Sharded image, as served by the checkpoint route).
+	// Unknown namespaces map to ErrNoPartition.
+	FetchCheckpoint(ctx context.Context, ns string) ([]byte, error)
+	// FetchNames returns up to k of the namespace's top items with their
+	// registered key strings, for display-name resolution in the cluster
+	// view. Best-effort: an error degrades names, never the round.
+	FetchNames(ctx context.Context, ns string, k int) (map[uint64]string, error)
+	// Ready probes the site's readiness endpoint; it gates half-opening a
+	// tripped breaker.
+	Ready(ctx context.Context) error
+}
+
+// GatherConfig shapes a Gatherer. Topology and Clients are required;
+// zero values elsewhere select defaults.
+type GatherConfig struct {
+	// Topology is the cluster's partition map.
+	Topology *Topology
+	// Clients maps each topology site name to its transport.
+	Clients map[string]SiteClient
+	// Retry bounds the per-fetch backoff for transient failures.
+	Retry RetryPolicy
+	// Breaker bounds each site's circuit breaker.
+	Breaker BreakerConfig
+	// FetchTimeout is the deadline applied to every remote call
+	// (default 2s).
+	FetchTimeout time.Duration
+	// ResolveNames is the number of top items per partition whose key
+	// strings are harvested for the cluster view (default 64; negative
+	// disables resolution).
+	ResolveNames int
+
+	// now replaces time.Now in tests.
+	now func() time.Time
+}
+
+// SiteHealth classifies one site in a round report.
+type SiteHealth string
+
+// The site health classes surfaced by cluster status: healthy (delivered
+// everything asked of it), degraded (answered with failures, breaker
+// still closed or trialing), tripped (breaker open; the site is being
+// skipped).
+const (
+	SiteHealthy  SiteHealth = "healthy"
+	SiteDegraded SiteHealth = "degraded"
+	SiteTripped  SiteHealth = "tripped"
+)
+
+// SiteReport is one site's state after a round.
+type SiteReport struct {
+	// Site is the topology site name.
+	Site string `json:"site"`
+	// Health is the coarse classification.
+	Health SiteHealth `json:"health"`
+	// Breaker is the breaker position after the round.
+	Breaker string `json:"breaker"`
+	// Failures is the consecutive failed-round streak while closed.
+	Failures int `json:"failures,omitempty"`
+	// LastEpoch is the last committed epoch this site contributed to
+	// (0 before its first contribution).
+	LastEpoch int `json:"last_epoch"`
+	// Skips lists this round's skip reasons, one per partition fetch the
+	// site failed or was excused from.
+	Skips []string `json:"skips,omitempty"`
+}
+
+// PartitionReport is one partition's outcome in a round.
+type PartitionReport struct {
+	// Partition is the partition index.
+	Partition int `json:"partition"`
+	// Namespace is the tenant namespace hosting the partition.
+	Namespace string `json:"namespace"`
+	// Reported is the number of replicas that answered this round.
+	Reported int `json:"reported"`
+	// Quorum reports whether Reported reached ⌈R/2⌉.
+	Quorum bool `json:"quorum"`
+	// MergedFrom is the replica site whose image entered the view
+	// (empty when the partition had no data or missed quorum).
+	MergedFrom string `json:"merged_from,omitempty"`
+	// Empty reports that every answering replica had no data.
+	Empty bool `json:"empty,omitempty"`
+}
+
+// RoundReport describes one gather round end to end.
+type RoundReport struct {
+	// Epoch is the view epoch after the round (unchanged if uncommitted).
+	Epoch int `json:"epoch"`
+	// Committed reports whether the round installed a new view.
+	Committed bool `json:"committed"`
+	// Reason explains an uncommitted round.
+	Reason string `json:"reason,omitempty"`
+	// Partitions holds one entry per partition, in index order.
+	Partitions []PartitionReport `json:"partitions"`
+	// Sites holds one entry per topology site, in name order.
+	Sites []SiteReport `json:"sites"`
+}
+
+// QuorumPartitions counts partitions that reached quorum this round.
+func (r RoundReport) QuorumPartitions() int {
+	n := 0
+	for _, p := range r.Partitions {
+		if p.Quorum {
+			n++
+		}
+	}
+	return n
+}
+
+// HealthySites counts sites classified healthy this round.
+func (r RoundReport) HealthySites() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Health == SiteHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// ViewEntry is one ranked item of the cluster view, with its display key
+// when a replica's top list resolved one.
+type ViewEntry struct {
+	// Key is the registered key string, or a decimal rendering of the
+	// item hash when no site resolved a name.
+	Key string `json:"key"`
+	// Item is the item identifier.
+	Item uint64 `json:"item"`
+	// Frequency is the estimated number of appearances cluster-wide.
+	Frequency uint64 `json:"frequency"`
+	// Persistency is the estimated number of periods with ≥1 appearance.
+	Persistency uint64 `json:"persistency"`
+	// Significance is the weighted score.
+	Significance float64 `json:"significance"`
+}
+
+// ViewInfo describes the committed view being served.
+type ViewInfo struct {
+	// Epoch is the view's commit epoch.
+	Epoch int `json:"epoch"`
+	// Committed is when the view was installed.
+	Committed time.Time `json:"committed"`
+	// AgeSeconds is how old the view was at query time.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Stale reports that at least one round has failed to commit since
+	// this view was installed — the answers are real but not current.
+	Stale bool `json:"stale"`
+}
+
+// GatherStats is a counters snapshot for metrics export.
+type GatherStats struct {
+	// Rounds is the number of gather rounds run.
+	Rounds uint64
+	// Commits is the number of rounds that installed a new view.
+	Commits uint64
+	// StaleRounds is the number of rounds that failed to commit.
+	StaleRounds uint64
+	// Fetches is the number of checkpoint fetch attempts (retries count).
+	Fetches uint64
+	// FetchErrors is the number of failed fetch attempts.
+	FetchErrors uint64
+	// SiteSkips counts per-site partition skips across all rounds.
+	SiteSkips map[string]uint64
+	// BreakerState is each site's current breaker position.
+	BreakerState map[string]BreakerState
+	// ViewEpoch is the committed view's epoch (0 before the first).
+	ViewEpoch int
+	// ViewAgeSeconds is the committed view's age (0 before the first).
+	ViewAgeSeconds float64
+	// Sites is the topology's member count.
+	Sites int
+	// SitesHealthy is the healthy-site count of the last round.
+	SitesHealthy int
+	// Partitions is the topology's partition count.
+	Partitions int
+	// PartitionsQuorum is the last round's quorum-partition count.
+	PartitionsQuorum int
+}
+
+// view is one committed cluster snapshot.
+type view struct {
+	epoch     int
+	committed time.Time
+	tracker   *sigstream.Sharded // nil when the committed cluster was empty
+	names     map[uint64]string
+}
+
+// Gatherer runs quorum gather rounds and serves the committed view.
+// Rounds are serialized on roundMu; view readers only take mu, so a slow
+// round (retries, timeouts) never blocks TopK or Status.
+//
+//sig:lockorder roundMu < mu
+type Gatherer struct {
+	cfg     GatherConfig
+	topo    *Topology
+	timeout time.Duration
+	resolve int
+	now     func() time.Time
+
+	roundMu sync.Mutex // serializes Round
+
+	mu        sync.Mutex
+	sites     map[string]*siteEntry
+	cur       *view
+	lastRound *RoundReport
+	rounds    uint64
+	commits   uint64
+	stale     uint64
+	fetches   uint64
+	fetchErrs uint64
+	skips     map[string]uint64
+}
+
+// siteEntry is the per-site state the gatherer tracks across rounds.
+type siteEntry struct {
+	b         *breaker
+	lastEpoch int
+}
+
+// NewGatherer builds a gatherer over cfg. Every topology site must have
+// a client.
+func NewGatherer(cfg GatherConfig) (*Gatherer, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("cluster: gatherer needs a topology")
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	resolve := cfg.ResolveNames
+	if resolve == 0 {
+		resolve = 64
+	}
+	if resolve < 0 {
+		resolve = 0
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	g := &Gatherer{
+		cfg:     cfg,
+		topo:    cfg.Topology,
+		timeout: cfg.FetchTimeout,
+		resolve: resolve,
+		now:     cfg.now,
+		sites:   make(map[string]*siteEntry),
+		skips:   make(map[string]uint64),
+	}
+	for _, site := range cfg.Topology.Sites() {
+		if cfg.Clients[site] == nil {
+			return nil, fmt.Errorf("cluster: no client for site %s", site)
+		}
+		g.sites[site] = &siteEntry{b: newBreaker(cfg.Breaker)}
+	}
+	return g, nil
+}
+
+// fetchClass classifies one replica fetch outcome.
+type fetchClass int
+
+const (
+	fetchOK fetchClass = iota
+	fetchEmpty
+	fetchCorrupt
+	fetchUnreachable
+)
+
+// replicaFetch is one replica's round outcome for one partition.
+type replicaFetch struct {
+	class   fetchClass
+	img     []byte
+	tracker *sigstream.Sharded
+	err     error
+}
+
+// fetchReplica pulls and validates one partition checkpoint from one
+// site, retrying transient failures under the configured policy.
+// Deterministic failures (a corrupt image) surface immediately: re-asking
+// the same question gets the same broken answer.
+func (g *Gatherer) fetchReplica(ctx context.Context, sc SiteClient, ns string) replicaFetch {
+	p := g.cfg.Retry.withDefaults()
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			p.sleep(time.Duration(p.rand() * float64(delay)))
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return replicaFetch{class: fetchUnreachable, err: err}
+		}
+		g.mu.Lock()
+		g.fetches++
+		g.mu.Unlock()
+		cctx, cancel := context.WithTimeout(ctx, g.timeout)
+		img, err := sc.FetchCheckpoint(cctx, ns)
+		cancel()
+		if errors.Is(err, ErrNoPartition) {
+			return replicaFetch{class: fetchEmpty}
+		}
+		if err != nil {
+			g.mu.Lock()
+			g.fetchErrs++
+			g.mu.Unlock()
+			lastErr = err
+			continue
+		}
+		tracker := new(sigstream.Sharded)
+		if derr := tracker.UnmarshalBinary(img); derr != nil {
+			g.mu.Lock()
+			g.fetchErrs++
+			g.mu.Unlock()
+			return replicaFetch{class: fetchCorrupt, err: derr}
+		}
+		return replicaFetch{class: fetchOK, img: img, tracker: tracker}
+	}
+	return replicaFetch{class: fetchUnreachable,
+		err: fmt.Errorf("unreachable after %d attempts: %w", p.Attempts, lastErr)}
+}
+
+// Round runs one gather cycle: probe tripped breakers, fetch every
+// partition from its replicas, and commit a merged view if every
+// partition reached quorum. It never returns an error — failure detail
+// lives in the report, and an uncommitted round leaves the previous view
+// serving. Concurrent Round calls serialize.
+func (g *Gatherer) Round(ctx context.Context) (rep RoundReport) {
+	g.roundMu.Lock()
+	defer g.roundMu.Unlock()
+
+	now := g.now()
+	siteNames := g.topo.Sites()
+
+	// Breaker gate: decide per site whether to fetch at all this round,
+	// probing readiness where a cooldown has expired.
+	allowed := make(map[string]bool, len(siteNames))
+	for _, site := range siteNames {
+		g.mu.Lock()
+		ok, probe := g.sites[site].b.Allow(now)
+		g.mu.Unlock()
+		if probe {
+			pctx, cancel := context.WithTimeout(ctx, g.timeout)
+			perr := g.cfg.Clients[site].Ready(pctx)
+			cancel()
+			g.mu.Lock()
+			g.sites[site].b.Probe(perr == nil, now)
+			ok, _ = g.sites[site].b.Allow(now)
+			g.mu.Unlock()
+		}
+		allowed[site] = ok
+	}
+
+	// Fetch phase. A site that exhausts its retries once is marked down
+	// for the remainder of the round: burning the full backoff schedule
+	// against a dead node once per partition would turn one node death
+	// into a round lasting partitions×retries×timeout.
+	down := make(map[string]bool, len(siteNames))
+	hardFail := make(map[string]bool, len(siteNames))
+	succeeded := make(map[string]bool, len(siteNames))
+	siteSkips := make(map[string][]string, len(siteNames))
+	skip := func(site, ns, reason string) {
+		siteSkips[site] = append(siteSkips[site], ns+": "+reason)
+		g.mu.Lock()
+		g.skips[site]++
+		g.mu.Unlock()
+	}
+
+	parts := make([]PartitionReport, g.topo.Partitions())
+	images := make([][]byte, 0, g.topo.Partitions())
+	mergedSite := make([]string, g.topo.Partitions())
+	quorum := g.topo.Quorum()
+	allQuorum := true
+	for p := 0; p < g.topo.Partitions(); p++ {
+		ns := PartitionNamespace(p)
+		pr := PartitionReport{Partition: p, Namespace: ns}
+		var best replicaFetch
+		for _, site := range g.topo.ReplicaSites(p) {
+			switch {
+			case !allowed[site]:
+				skip(site, ns, "breaker open")
+				continue
+			case down[site]:
+				skip(site, ns, "site down this round")
+				continue
+			}
+			res := g.fetchReplica(ctx, g.cfg.Clients[site], ns)
+			switch res.class {
+			case fetchUnreachable:
+				down[site] = true
+				hardFail[site] = true
+				skip(site, ns, res.err.Error())
+			case fetchCorrupt:
+				hardFail[site] = true
+				skip(site, ns, "corrupt checkpoint: "+res.err.Error())
+			case fetchEmpty:
+				succeeded[site] = true
+				pr.Reported++
+			case fetchOK:
+				succeeded[site] = true
+				pr.Reported++
+				if better(res, best) {
+					best = res
+					pr.MergedFrom = site
+				}
+			}
+		}
+		pr.Quorum = pr.Reported >= quorum
+		pr.Empty = pr.Reported > 0 && best.tracker == nil
+		if !pr.Quorum {
+			allQuorum = false
+		}
+		if best.tracker != nil {
+			images = append(images, best.img)
+			mergedSite[p] = pr.MergedFrom
+		}
+		parts[p] = pr
+	}
+
+	rep.Partitions = parts
+	committedEpoch := 0
+	defer func() {
+		// Breaker and report bookkeeping runs whether or not the commit
+		// succeeded — and, crucially, even if the commit fault hook panics
+		// (the simulated coordinator crash unwinds through here).
+		g.mu.Lock()
+		g.rounds++
+		if rep.Committed {
+			g.commits++
+		} else {
+			g.stale++
+		}
+		for _, site := range siteNames {
+			se := g.sites[site]
+			if hardFail[site] || (!succeeded[site] && !allowed[site]) {
+				if hardFail[site] {
+					se.b.Failure(now)
+				}
+			} else if succeeded[site] {
+				se.b.Success()
+				if rep.Committed {
+					se.lastEpoch = committedEpoch
+				}
+			}
+			sr := SiteReport{
+				Site:      site,
+				Breaker:   se.b.State().String(),
+				Failures:  se.b.ConsecutiveFailures(),
+				LastEpoch: se.lastEpoch,
+				Skips:     siteSkips[site],
+			}
+			switch {
+			case se.b.State() != BreakerClosed:
+				sr.Health = SiteTripped
+			case hardFail[site] || len(siteSkips[site]) > 0:
+				sr.Health = SiteDegraded
+			default:
+				sr.Health = SiteHealthy
+			}
+			rep.Sites = append(rep.Sites, sr)
+		}
+		if g.cur != nil {
+			rep.Epoch = g.cur.epoch
+		}
+		g.lastRound = &rep
+		g.mu.Unlock()
+	}()
+
+	if !allQuorum {
+		rep.Reason = fmt.Sprintf("quorum loss: %d/%d partitions reported ≥%d replicas",
+			rep.QuorumPartitions(), len(parts), quorum)
+		return rep
+	}
+
+	// Every partition reached quorum: merge and commit. The fault point
+	// models the coordinator dying (panic) or failing (error) between
+	// Collect and Commit; either way the previous view must survive.
+	if err := fault.Inject(fault.CoordCommit, 0); err != nil {
+		rep.Reason = "commit aborted: " + err.Error()
+		return rep
+	}
+	var merged *sigstream.Sharded
+	if len(images) > 0 {
+		var err error
+		merged, err = sigstream.MergeShardedCheckpoints(images...)
+		if err != nil {
+			rep.Reason = "merge failed: " + err.Error()
+			return rep
+		}
+	}
+	names := g.harvestNames(ctx, parts)
+
+	g.mu.Lock()
+	epoch := 1
+	if g.cur != nil {
+		epoch = g.cur.epoch + 1
+	}
+	g.cur = &view{epoch: epoch, committed: now, tracker: merged, names: names}
+	g.mu.Unlock()
+	rep.Committed = true
+	committedEpoch = epoch
+	return rep
+}
+
+// better ranks replica images of one partition: prefer the one that has
+// seen the most history (periods, then arrivals), so a freshly restarted
+// replica that missed traffic while dead does not mask the survivor's
+// complete view.
+func better(a, b replicaFetch) bool {
+	if b.tracker == nil {
+		return a.tracker != nil
+	}
+	as, bs := a.tracker.Stats(), b.tracker.Stats()
+	if as.Periods != bs.Periods {
+		return as.Periods > bs.Periods
+	}
+	return as.Arrivals > bs.Arrivals
+}
+
+// harvestNames pulls display keys for each merged partition's top items,
+// best-effort, from the replica whose image entered the view.
+func (g *Gatherer) harvestNames(ctx context.Context, parts []PartitionReport) map[uint64]string {
+	names := make(map[uint64]string)
+	if g.resolve == 0 {
+		return names
+	}
+	for _, pr := range parts {
+		if pr.MergedFrom == "" {
+			continue
+		}
+		nctx, cancel := context.WithTimeout(ctx, g.timeout)
+		m, err := g.cfg.Clients[pr.MergedFrom].FetchNames(nctx, pr.Namespace, g.resolve)
+		cancel()
+		if err != nil {
+			continue
+		}
+		for item, key := range m {
+			names[item] = key
+		}
+	}
+	return names
+}
+
+// TopK reports the committed cluster view's top-k entries with view
+// provenance. ok is false before the first committed view.
+func (g *Gatherer) TopK(k int) (entries []ViewEntry, info ViewInfo, ok bool) {
+	g.mu.Lock()
+	v := g.cur
+	staleRound := g.lastRound != nil && !g.lastRound.Committed
+	g.mu.Unlock()
+	if v == nil {
+		return nil, ViewInfo{}, false
+	}
+	info = ViewInfo{
+		Epoch:      v.epoch,
+		Committed:  v.committed,
+		AgeSeconds: g.now().Sub(v.committed).Seconds(),
+		Stale:      staleRound,
+	}
+	if v.tracker == nil {
+		return []ViewEntry{}, info, true
+	}
+	for _, e := range v.tracker.TopK(k) {
+		key, found := v.names[e.Item]
+		if !found {
+			key = fmt.Sprintf("%d", e.Item)
+		}
+		entries = append(entries, ViewEntry{
+			Key:          key,
+			Item:         e.Item,
+			Frequency:    e.Frequency,
+			Persistency:  e.Persistency,
+			Significance: e.Significance,
+		})
+	}
+	return entries, info, true
+}
+
+// ViewInfo reports the committed view's provenance without its entries.
+// ok is false before the first committed view.
+func (g *Gatherer) ViewInfo() (ViewInfo, bool) {
+	_, info, ok := g.TopK(0)
+	return info, ok
+}
+
+// LastRound returns the most recent round report. ok is false before the
+// first round.
+func (g *Gatherer) LastRound() (RoundReport, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.lastRound == nil {
+		return RoundReport{}, false
+	}
+	return *g.lastRound, true
+}
+
+// Stats snapshots the gatherer's counters for metrics export.
+func (g *Gatherer) Stats() GatherStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := GatherStats{
+		Rounds:       g.rounds,
+		Commits:      g.commits,
+		StaleRounds:  g.stale,
+		Fetches:      g.fetches,
+		FetchErrors:  g.fetchErrs,
+		SiteSkips:    make(map[string]uint64, len(g.skips)),
+		BreakerState: make(map[string]BreakerState, len(g.sites)),
+		Sites:        len(g.sites),
+		Partitions:   g.topo.Partitions(),
+	}
+	for site, n := range g.skips {
+		st.SiteSkips[site] = n
+	}
+	for site, se := range g.sites {
+		st.BreakerState[site] = se.b.State()
+	}
+	if g.cur != nil {
+		st.ViewEpoch = g.cur.epoch
+		st.ViewAgeSeconds = g.now().Sub(g.cur.committed).Seconds()
+	}
+	if g.lastRound != nil {
+		st.SitesHealthy = g.lastRound.HealthySites()
+		st.PartitionsQuorum = g.lastRound.QuorumPartitions()
+	}
+	return st
+}

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -20,11 +21,15 @@ type Fetcher func() ([]byte, error)
 
 // RetryPolicy bounds the capped exponential backoff applied when a
 // site's checkpoint fetch fails. The zero value selects the defaults.
+// Each wait is fully jittered: the sleep before attempt n is a uniform
+// random fraction of the capped exponential delay min(BaseDelay·2ⁿ⁻¹,
+// MaxDelay), so N clients retrying one flapped server spread their
+// re-fetches out instead of hammering it again in lockstep.
 type RetryPolicy struct {
 	// Attempts is the total number of fetch tries per site (default 4).
 	Attempts int
-	// BaseDelay is the wait after the first failure (default 50ms); each
-	// further failure doubles it.
+	// BaseDelay is the backoff ceiling after the first failure (default
+	// 50ms); each further failure doubles it.
 	BaseDelay time.Duration
 	// MaxDelay caps the doubling (default 1s), so a long outage costs a
 	// bounded wait per attempt instead of an unbounded one.
@@ -32,6 +37,10 @@ type RetryPolicy struct {
 
 	// sleep replaces time.Sleep in tests.
 	sleep func(time.Duration)
+	// rand replaces the jitter source in tests. It must return a value in
+	// [0, 1]; the sleep before each retry is rand()·delay (full jitter), so
+	// a source pinned to 1 recovers the deterministic un-jittered schedule.
+	rand func() float64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -46,6 +55,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.sleep == nil {
 		p.sleep = time.Sleep
+	}
+	if p.rand == nil {
+		p.rand = rand.Float64
 	}
 	return p
 }
@@ -62,7 +74,7 @@ func (c *Coordinator) CollectFrom(site string, fetch Fetcher, policy RetryPolicy
 	delay := p.BaseDelay
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		if attempt > 0 {
-			p.sleep(delay)
+			p.sleep(time.Duration(p.rand() * float64(delay)))
 			delay *= 2
 			if delay > p.MaxDelay {
 				delay = p.MaxDelay
@@ -119,5 +131,6 @@ func (c *Coordinator) GatherRound(fetchers map[string]Fetcher, policy RetryPolic
 	}
 	c.Commit()
 	rep.Epoch = c.Epoch()
+	c.setLastReport(rep)
 	return rep
 }

@@ -21,7 +21,8 @@ func flakyFetcher(img []byte, failures int) Fetcher {
 }
 
 // recordedPolicy returns a policy whose sleeps are captured instead of
-// slept, so backoff shape is asserted without wall-clock time.
+// slept and whose jitter source is pinned to 1, so the exact un-jittered
+// backoff shape is asserted without wall-clock time.
 func recordedPolicy(attempts int, base, max time.Duration) (RetryPolicy, *[]time.Duration) {
 	var slept []time.Duration
 	return RetryPolicy{
@@ -29,6 +30,7 @@ func recordedPolicy(attempts int, base, max time.Duration) (RetryPolicy, *[]time
 		BaseDelay: base,
 		MaxDelay:  max,
 		sleep:     func(d time.Duration) { slept = append(slept, d) },
+		rand:      func() float64 { return 1 },
 	}, &slept
 }
 
@@ -100,6 +102,63 @@ func TestCollectFromDoesNotRetryCorruptCheckpoint(t *testing.T) {
 	}
 }
 
+func TestCollectFromBackoffAppliesFullJitter(t *testing.T) {
+	co := NewCoordinator(cfg())
+	var slept []time.Duration
+	policy := RetryPolicy{
+		Attempts:  4,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  time.Second,
+		sleep:     func(d time.Duration) { slept = append(slept, d) },
+		rand:      func() float64 { return 0.25 },
+	}
+	err := co.CollectFrom("rack-flap", func() ([]byte, error) {
+		return nil, errors.New("connection reset")
+	}, policy)
+	if err == nil {
+		t.Fatal("CollectFrom on a dead site returned nil")
+	}
+	// Full jitter scales each capped-exponential ceiling (100ms, 200ms,
+	// 400ms) by the rand draw, here pinned to 0.25.
+	want := []time.Duration{25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("jittered backoff step %d = %v, want %v (rand·ceiling)", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestCollectFromDefaultJitterStaysUnderCeiling(t *testing.T) {
+	co := NewCoordinator(cfg())
+	var slept []time.Duration
+	policy := RetryPolicy{
+		Attempts:  5,
+		BaseDelay: 80 * time.Millisecond,
+		MaxDelay:  200 * time.Millisecond,
+		sleep:     func(d time.Duration) { slept = append(slept, d) },
+		// rand deliberately nil: the default source must be installed.
+	}
+	err := co.CollectFrom("rack-flap", func() ([]byte, error) {
+		return nil, errors.New("connection reset")
+	}, policy)
+	if err == nil {
+		t.Fatal("CollectFrom on a dead site returned nil")
+	}
+	ceilings := []time.Duration{80 * time.Millisecond, 160 * time.Millisecond,
+		200 * time.Millisecond, 200 * time.Millisecond}
+	if len(slept) != len(ceilings) {
+		t.Fatalf("slept %v, want %d jittered waits", slept, len(ceilings))
+	}
+	for i, d := range slept {
+		if d < 0 || d > ceilings[i] {
+			t.Fatalf("jittered wait %d = %v outside [0, %v]", i, d, ceilings[i])
+		}
+	}
+}
+
 // siteFetcher closes the site's period and exports it, the in-process
 // equivalent of GET /v1/checkpoint at a period boundary.
 func siteFetcher(s *Site) Fetcher {
@@ -140,6 +199,94 @@ func TestGatherRoundMergesDegradedView(t *testing.T) {
 		if e, ok := co.Query(item); !ok || e.Frequency != 10 {
 			t.Fatalf("item %d: entry %+v ok=%v, want frequency 10", item, e, ok)
 		}
+	}
+}
+
+// TestGatherRoundMixedFailureModes exercises one round with every failure
+// class at once: a site that times out twice before answering (retried to
+// success), a site serving a corrupt checkpoint (deterministic, never
+// retried), a dead site (retries exhausted), and a healthy site. The
+// committed view must contain exactly the sites that produced a valid
+// checkpoint.
+func TestGatherRoundMixedFailureModes(t *testing.T) {
+	healthy, slow := NewSite("rack-ok", cfg()), NewSite("rack-slow", cfg())
+	for i := 0; i < 10; i++ {
+		healthy.Insert(1)
+		slow.Insert(2)
+	}
+	okImg, err := healthy.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowImg, err := slow.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slowCalls, corruptCalls := 0, 0
+	co := NewCoordinator(cfg())
+	policy, slept := recordedPolicy(3, time.Millisecond, time.Millisecond)
+	rep := co.GatherRound(map[string]Fetcher{
+		"rack-ok": func() ([]byte, error) { return okImg, nil },
+		"rack-slow": func() ([]byte, error) {
+			slowCalls++
+			if slowCalls <= 2 {
+				return nil, errors.New("i/o timeout")
+			}
+			return slowImg, nil
+		},
+		"rack-corrupt": func() ([]byte, error) {
+			corruptCalls++
+			return []byte("garbage"), nil
+		},
+		"rack-dead": func() ([]byte, error) { return nil, errors.New("no route to host") },
+	}, policy)
+
+	if slowCalls != 3 {
+		t.Fatalf("timing-out site fetched %d times, want 3 (transient failures retry)", slowCalls)
+	}
+	if corruptCalls != 1 {
+		t.Fatalf("corrupt site fetched %d times, want 1 (deterministic failures must not retry)", corruptCalls)
+	}
+	if len(rep.Merged) != 2 || rep.Merged[0] != "rack-ok" || rep.Merged[1] != "rack-slow" {
+		t.Fatalf("Merged = %v, want exactly the two sites with valid checkpoints", rep.Merged)
+	}
+	for _, site := range []string{"rack-corrupt", "rack-dead"} {
+		if err, ok := rep.Skipped[site]; !ok || err == nil {
+			t.Fatalf("Skipped = %v, want %s with its error", rep.Skipped, site)
+		}
+	}
+	// Only the timing-out site slept: two retries at the (jitter-pinned)
+	// 1ms base; the dead site adds its own two.
+	if len(*slept) != 4 {
+		t.Fatalf("observed %d sleeps (%v), want 4: 2 for the slow site, 2 for the dead one", len(*slept), *slept)
+	}
+	// The merged view holds exactly the healthy sites' items.
+	for _, item := range []uint64{1, 2} {
+		if e, ok := co.Query(item); !ok || e.Frequency != 10 {
+			t.Fatalf("item %d: entry %+v ok=%v, want frequency 10", item, e, ok)
+		}
+	}
+
+	// Satellite: the report survives the round on the coordinator.
+	last, ok := co.LastReport()
+	if !ok {
+		t.Fatal("LastReport empty after a round")
+	}
+	if last.Epoch != rep.Epoch || len(last.Merged) != len(rep.Merged) || len(last.Skipped) != len(rep.Skipped) {
+		t.Fatalf("LastReport %+v does not match the returned report %+v", last, rep)
+	}
+	last.Merged[0] = "mutated"
+	again, _ := co.LastReport()
+	if again.Merged[0] != "rack-ok" {
+		t.Fatal("LastReport returned a view aliasing internal state")
+	}
+}
+
+func TestLastReportEmptyBeforeFirstRound(t *testing.T) {
+	co := NewCoordinator(cfg())
+	if _, ok := co.LastReport(); ok {
+		t.Fatal("LastReport reported a round before one ran")
 	}
 }
 

@@ -1,0 +1,130 @@
+// Partition topology: the cluster tier lifts Sharded's hash split one
+// level. A Topology carves the item space into P partitions by hash,
+// names each partition as a tenant namespace that every sigserver can
+// host, and assigns each partition to R replica sites by rendezvous
+// (highest-random-weight) hashing — deterministic given the member list,
+// with minimal partition movement when membership changes, and no
+// central assignment state to persist or repair.
+
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"sigstream/internal/hashing"
+	"sigstream/internal/stream"
+)
+
+// partitionSalt decorrelates the cluster-level partition hash from the
+// Mix64(item) split Sharded uses internally. Without it, every item in
+// partition p would satisfy Mix64(item) ≡ p (mod P), pinning the whole
+// partition onto one shard of the tenant's tracker whenever the shard
+// count shares a factor with P.
+const partitionSalt = 0x9E3779B97F4A7C15
+
+// siteHashSeed keys the site-name hash used in rendezvous scoring.
+const siteHashSeed = 0x51C0
+
+// PartitionNamespace returns the tenant namespace that hosts partition p
+// on every one of its replica sites.
+func PartitionNamespace(p int) string { return fmt.Sprintf("part-%d", p) }
+
+// Topology is an immutable partition map: P hash partitions of the item
+// space, each assigned to R of the member sites. Build one with
+// NewTopology; all methods are safe for concurrent use.
+type Topology struct {
+	sites      []string
+	partitions int
+	replicas   int
+	assign     [][]string // partition -> replica sites in rendezvous rank order
+}
+
+// NewTopology builds the partition map for the given member sites.
+// Site names must be unique and non-empty; partitions must be ≥ 1;
+// replicas must satisfy 1 ≤ replicas ≤ len(sites). Every caller with the
+// same arguments (in any site order) derives the identical map, so
+// producers and the coordinator agree on placement without coordination.
+func NewTopology(sites []string, partitions, replicas int) (*Topology, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("cluster: topology needs at least one site")
+	}
+	if partitions < 1 {
+		return nil, fmt.Errorf("cluster: partitions = %d, need at least 1", partitions)
+	}
+	if replicas < 1 || replicas > len(sites) {
+		return nil, fmt.Errorf("cluster: replicas = %d with %d sites, need 1..%d",
+			replicas, len(sites), len(sites))
+	}
+	sorted := append([]string(nil), sites...)
+	sort.Strings(sorted)
+	for i, s := range sorted {
+		if s == "" {
+			return nil, fmt.Errorf("cluster: empty site name")
+		}
+		if i > 0 && sorted[i-1] == s {
+			return nil, fmt.Errorf("cluster: duplicate site %q", s)
+		}
+	}
+	t := &Topology{
+		sites:      sorted,
+		partitions: partitions,
+		replicas:   replicas,
+		assign:     make([][]string, partitions),
+	}
+	hash := hashing.NewBob(siteHashSeed)
+	siteHash := make(map[string]uint64, len(sorted))
+	for _, s := range sorted {
+		siteHash[s] = uint64(hash.Hash([]byte(s)))
+	}
+	for p := 0; p < partitions; p++ {
+		ranked := append([]string(nil), sorted...)
+		score := func(site string) uint64 {
+			return hashing.Mix64(siteHash[site]<<32 | uint64(p))
+		}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			si, sj := score(ranked[i]), score(ranked[j])
+			if si != sj {
+				return si > sj
+			}
+			return ranked[i] < ranked[j]
+		})
+		t.assign[p] = ranked[:replicas:replicas]
+	}
+	return t, nil
+}
+
+// Sites returns the member site names in sorted order.
+func (t *Topology) Sites() []string {
+	return append([]string(nil), t.sites...)
+}
+
+// Partitions reports the partition count P.
+func (t *Topology) Partitions() int { return t.partitions }
+
+// Replicas reports the replication factor R.
+func (t *Topology) Replicas() int { return t.replicas }
+
+// Quorum reports the replica count a partition needs reporting in an
+// epoch to be considered healthy: ⌈R/2⌉.
+func (t *Topology) Quorum() int { return (t.replicas + 1) / 2 }
+
+// Partition maps an item to its partition.
+func (t *Topology) Partition(item stream.Item) int {
+	return int(hashing.Mix64(uint64(item)^partitionSalt) % uint64(t.partitions))
+}
+
+// PartitionKey maps a string key to its partition, hashing the key bytes
+// with the topology's fixed seed. Every producer and the coordinator's
+// tooling use this one function, so a key always lands in the same
+// partition namespace no matter which process routes it.
+func (t *Topology) PartitionKey(key string) int {
+	item := stream.Item(hashing.NewBob(siteHashSeed).Hash([]byte(key)))
+	return t.Partition(item)
+}
+
+// ReplicaSites returns partition p's replica sites in rendezvous rank
+// order. The returned slice is a copy.
+func (t *Topology) ReplicaSites(p int) []string {
+	return append([]string(nil), t.assign[p]...)
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+
+	"sigstream/internal/stream"
+)
+
+func testSites() []string {
+	return []string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		sites      []string
+		partitions int
+		replicas   int
+	}{
+		{"no sites", nil, 4, 1},
+		{"zero partitions", testSites(), 0, 1},
+		{"zero replicas", testSites(), 4, 0},
+		{"replicas exceed sites", testSites(), 4, 4},
+		{"duplicate site", []string{"a", "a"}, 4, 1},
+		{"empty site name", []string{"a", ""}, 4, 1},
+	}
+	for _, tc := range cases {
+		if _, err := NewTopology(tc.sites, tc.partitions, tc.replicas); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestTopologyDeterministicAcrossSiteOrder(t *testing.T) {
+	a, err := NewTopology(testSites(), 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{"http://n3:8080", "http://n1:8080", "http://n2:8080"}
+	b, err := NewTopology(shuffled, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 16; p++ {
+		ra, rb := a.ReplicaSites(p), b.ReplicaSites(p)
+		if len(ra) != 2 || len(rb) != 2 || ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("partition %d: %v vs %v; placement must not depend on argument order", p, ra, rb)
+		}
+	}
+}
+
+func TestTopologyReplicaSetsAreDistinctSites(t *testing.T) {
+	topo, err := NewTopology(testSites(), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < topo.Partitions(); p++ {
+		reps := topo.ReplicaSites(p)
+		if len(reps) != 2 {
+			t.Fatalf("partition %d: %d replicas, want 2", p, len(reps))
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("partition %d: duplicate replica %q", p, reps[0])
+		}
+	}
+}
+
+func TestTopologyEverySiteOwnsSomePartition(t *testing.T) {
+	topo, err := NewTopology(testSites(), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]int{}
+	for p := 0; p < topo.Partitions(); p++ {
+		for _, s := range topo.ReplicaSites(p) {
+			owned[s]++
+		}
+	}
+	for _, s := range testSites() {
+		if owned[s] == 0 {
+			t.Fatalf("site %s owns no partitions: %v", s, owned)
+		}
+	}
+}
+
+func TestTopologyMinimalMovementOnMembershipChange(t *testing.T) {
+	before, err := NewTopology(testSites(), 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewTopology(append(testSites(), "http://n4:8080"), 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendezvous hashing: a partition moves only if the new site wins its
+	// score race, so surviving placements must be a subset of the old ones.
+	moved := 0
+	for p := 0; p < 64; p++ {
+		b, a := before.ReplicaSites(p)[0], after.ReplicaSites(p)[0]
+		if b != a {
+			if a != "http://n4:8080" {
+				t.Fatalf("partition %d moved %s -> %s, not to the new site", p, b, a)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved == 64 {
+		t.Fatalf("%d/64 partitions moved after adding a site; want a strict fraction", moved)
+	}
+}
+
+func TestTopologyPartitionSpread(t *testing.T) {
+	topo, err := NewTopology(testSites(), 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, topo.Partitions())
+	const items = 16000
+	for i := 0; i < items; i++ {
+		p := topo.Partition(stream.Item(i + 1))
+		if p < 0 || p >= topo.Partitions() {
+			t.Fatalf("item %d mapped to partition %d outside [0,%d)", i, p, topo.Partitions())
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c < items/topo.Partitions()/2 || c > items/topo.Partitions()*2 {
+			t.Fatalf("partition %d holds %d of %d items; hash spread is badly skewed: %v",
+				p, c, items, counts)
+		}
+	}
+}
+
+func TestTopologyQuorum(t *testing.T) {
+	for _, tc := range []struct{ replicas, want int }{{1, 1}, {2, 1}, {3, 2}} {
+		topo, err := NewTopology(testSites(), 4, tc.replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := topo.Quorum(); got != tc.want {
+			t.Fatalf("R=%d: quorum %d, want %d", tc.replicas, got, tc.want)
+		}
+	}
+}
+
+func TestPartitionNamespace(t *testing.T) {
+	if ns := PartitionNamespace(7); ns != "part-7" {
+		t.Fatalf("PartitionNamespace(7) = %q", ns)
+	}
+}

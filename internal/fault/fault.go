@@ -55,6 +55,18 @@ const (
 	// erroring hook drops the connection without an ack, exactly what a
 	// kill -9 between receive and append looks like to the client.
 	IngestAccept Point = "ingest/accept"
+	// CheckpointShip fires in the HTTP checkpoint handler after the image
+	// is built but before it is written to the response; an erroring hook
+	// tears the shipment (half the image is sent under the full declared
+	// length), exactly what a site crashing mid-transfer looks like to a
+	// cluster coordinator.
+	CheckpointShip Point = "server/checkpoint"
+	// CoordCommit fires in the cluster gatherer after every partition has
+	// been collected but before the merged view is committed; a panicking
+	// hook simulates the coordinator dying between Collect and Commit, an
+	// erroring hook aborts the commit while the process survives. Either
+	// way the previous committed view must keep serving.
+	CoordCommit Point = "cluster/commit"
 )
 
 // Hook is one activated fault. arg carries site context — the shard index

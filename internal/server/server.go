@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"sigstream"
+	"sigstream/internal/fault"
 	"sigstream/internal/ingest"
 	"sigstream/internal/obs"
 	"sigstream/internal/tenant"
@@ -829,6 +830,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, tn *te
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(img)))
+	if ferr := fault.Inject(fault.CheckpointShip, 0); ferr != nil {
+		// Torn shipment: half the image under the full declared length, so
+		// the fetching coordinator sees an unexpected EOF mid-transfer —
+		// what a site crashing between accept and write looks like.
+		_, _ = w.Write(img[:len(img)/2])
+		return
+	}
 	_, _ = w.Write(img)
 }
 
